@@ -1,0 +1,65 @@
+"""Ablation — each exploit depends on exactly its own vulnerability.
+
+Starting from the vulnerable 4.6 configuration, remove one defect at a
+time and re-run the original PoCs: an exploit must fail exactly when
+its advisory's fix is applied and keep working otherwise.  This
+validates that the simulator's version gating is per-defect and not an
+artefact of the version label.
+"""
+
+from benchmarks.conftest import publish
+from repro.core.campaign import Campaign, Mode
+from repro.exploits import USE_CASES
+from repro.xen.versions import XEN_4_6, Vulnerability
+
+FIXES = {
+    "fix-XSA-148": Vulnerability.XSA_148,
+    "fix-XSA-182": Vulnerability.XSA_182,
+    "fix-XSA-212": Vulnerability.XSA_212,
+}
+
+DEPENDS_ON = {
+    "XSA-212-crash": Vulnerability.XSA_212,
+    "XSA-212-priv": Vulnerability.XSA_212,
+    "XSA-148-priv": Vulnerability.XSA_148,
+    "XSA-182-test": Vulnerability.XSA_182,
+}
+
+
+def run_ablation():
+    campaign = Campaign()
+    outcome = {}
+    for label, vulnerability in FIXES.items():
+        version = XEN_4_6.derive(name=f"4.6-{label}", remove_vulns=[vulnerability])
+        for use_case in USE_CASES:
+            result = campaign.run(use_case, version, Mode.EXPLOIT)
+            outcome[(label, use_case.name)] = result.violation.occurred
+    return outcome
+
+
+def test_vulnerability_ablation(benchmark):
+    outcome = benchmark(run_ablation)
+
+    for (label, use_case_name), violated in outcome.items():
+        fixed_vuln = FIXES[label]
+        if DEPENDS_ON[use_case_name] is fixed_vuln:
+            assert not violated, f"{use_case_name} should fail under {label}"
+        else:
+            assert violated, f"{use_case_name} should still work under {label}"
+
+    lines = [
+        "ABLATION — SINGLE-FIX VARIANTS OF XEN 4.6 vs ORIGINAL EXPLOITS",
+        "-" * 72,
+        f"{'variant':<16}" + "".join(f"{u.name:<16}" for u in USE_CASES),
+        "-" * 72,
+    ]
+    for label in FIXES:
+        row = f"{label:<16}"
+        for use_case in USE_CASES:
+            row += f"{'violated' if outcome[(label, use_case.name)] else 'blocked':<16}"
+        lines.append(row)
+    lines += [
+        "-" * 72,
+        "each exploit is blocked exactly by its own advisory's fix",
+    ]
+    publish("ablation_vulnerabilities", "\n".join(lines))

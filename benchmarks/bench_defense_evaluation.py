@@ -1,0 +1,89 @@
+"""Extension experiment — evaluating a defence mechanism (§IV-C).
+
+The paper's motivating applicability example: "Assuming a deployed
+mechanism to prevent unauthorized modification of page tables, the
+effectiveness of this mechanism can be tested using our approach."
+
+This benchmark deploys the integrity guards on Xen 4.8 in four
+configurations (none / page-table guard / IDT guard / both) and runs
+the paper's four injections against each — producing the
+effectiveness matrix the paper's example calls for, with exact
+per-guard attribution.
+"""
+
+from benchmarks.conftest import publish
+from repro.core.campaign import Campaign, Mode
+from repro.core.testbed import build_testbed
+from repro.defenses import IdtGuard, PageTableGuard, deploy
+from repro.exploits import USE_CASES
+from repro.xen.versions import XEN_4_8
+
+CONFIGS = {
+    "no guards": (False, False),
+    "pagetable guard": (True, False),
+    "idt guard": (False, True),
+    "both guards": (True, True),
+}
+
+EXPECTED_SHIELDS = {
+    "no guards": set(),
+    "pagetable guard": {"XSA-148-priv", "XSA-182-test"},
+    "idt guard": {"XSA-212-crash", "XSA-212-priv"},
+    "both guards": {u.name for u in USE_CASES},
+}
+
+
+def _factory(pt: bool, idt: bool):
+    def build(version):
+        bed = build_testbed(version)
+        guards = []
+        if pt:
+            guards.append(PageTableGuard(bed.xen))
+        if idt:
+            guards.append(IdtGuard(bed.xen))
+        if guards:
+            deploy(bed.xen, *guards)
+        return bed
+
+    return build
+
+
+def run_evaluation():
+    shields = {}
+    for label, (pt, idt) in CONFIGS.items():
+        campaign = Campaign(testbed_factory=_factory(pt, idt))
+        shielded = set()
+        for use_case in USE_CASES:
+            result = campaign.run(use_case, XEN_4_8, Mode.INJECTION)
+            if not result.violation.occurred:
+                shielded.add(use_case.name)
+        shields[label] = shielded
+    return shields
+
+
+def test_defense_evaluation(benchmark):
+    shields = benchmark(run_evaluation)
+
+    assert shields == EXPECTED_SHIELDS
+
+    lines = [
+        "DEFENCE EVALUATION — INTEGRITY GUARDS vs INJECTED STATES "
+        "(Xen 4.8, §IV-C)",
+        "-" * 76,
+        f"{'configuration':<18}"
+        + "".join(f"{u.name:<15}" for u in USE_CASES),
+        "-" * 76,
+    ]
+    for label, shielded in shields.items():
+        row = f"{label:<18}"
+        for use_case in USE_CASES:
+            row += f"{'SHIELD' if use_case.name in shielded else 'violated':<15}"
+        lines.append(row)
+    lines += [
+        "-" * 76,
+        "attribution is exact: the page-table guard handles the two",
+        "'Write Page Table Entries' states, the IDT guard the two",
+        "'Write Arbitrary Memory' states; together they handle all four",
+        "injected states on an otherwise unhardened Xen 4.8.",
+    ]
+    publish("defense_evaluation", "\n".join(lines))

@@ -1,0 +1,89 @@
+"""Extension experiment — the IO backend under injected ring states.
+
+Applies the paper's §IV-C mechanism-assessment recipe to the split
+block driver: inject three classes of ring corruption into a victim's
+shared ring page on every Xen version and check whether dom0's backend
+handles them (it should — its robustness checks are version-independent
+code, unlike the hypervisor's page-table hardening).
+"""
+
+from benchmarks.conftest import publish
+from repro.core.injector import IntrusionInjector
+from repro.core.testbed import build_testbed
+from repro.drivers import Blkback, Blkfront, VirtualDisk
+from repro.drivers.ring import OP_READ
+from repro.xen import layout
+from repro.xen.versions import ALL_VERSIONS
+
+STATES = ("runaway-req-prod", "forged-grant-ref", "out-of-range-sector")
+
+
+def _run_one(version):
+    bed = build_testbed(version)
+    backend = Blkback(bed.dom0.kernel, VirtualDisk(num_sectors=16))
+    backend.start()
+    victim = bed.guests[0]
+    frontend = Blkfront(victim.kernel)
+    frontend.connect()
+    frontend.write_sector(1, [0xCAFE])
+
+    injector = IntrusionInjector(bed.attacker_domain.kernel)
+    ring_mfn = frontend.ring.mfn
+    connection = backend.connections[victim.id]
+    handled = {}
+
+    injector.write_word(layout.directmap_va(ring_mfn, 0), 1_000_000)
+    frontend._kick()
+    handled["runaway-req-prod"] = connection.clamps == 1
+    frontend.ring.req_prod = connection.req_cons
+    frontend._rsp_cons = connection.rsp_prod
+
+    for name, request in (
+        ("forged-grant-ref", [777, OP_READ, 0, 6]),
+        ("out-of-range-sector", [778, OP_READ, 5000, 1]),
+    ):
+        errors_before = connection.errors_returned
+        slot_base = 8 + (connection.req_cons % 32) * 4
+        injector.write(layout.directmap_va(ring_mfn, slot_base), request)
+        injector.write_word(
+            layout.directmap_va(ring_mfn, 0), connection.req_cons + 1
+        )
+        frontend._kick()
+        handled[name] = connection.errors_returned > errors_before
+        frontend._rsp_cons = connection.rsp_prod
+
+    frontend.write_sector(2, [0xBEEF])
+    service_ok = frontend.read_sector(2, 1) == [0xBEEF]
+    return handled, service_ok, not bed.xen.crashed
+
+
+def run_matrix():
+    return {version.name: _run_one(version) for version in ALL_VERSIONS}
+
+
+def test_io_backend_assessment(benchmark):
+    outcome = benchmark(run_matrix)
+
+    for version_name, (handled, service_ok, alive) in outcome.items():
+        assert all(handled.values()), (version_name, handled)
+        assert service_ok, version_name
+        assert alive, version_name
+
+    lines = [
+        "EXTENSION — IO BACKEND vs INJECTED RING STATES (§IV-C recipe)",
+        "-" * 72,
+        f"{'version':<10}" + "".join(f"{s:<22}" for s in STATES),
+        "-" * 72,
+    ]
+    for version_name, (handled, _, _) in outcome.items():
+        row = f"{'Xen ' + version_name:<10}"
+        for state in STATES:
+            row += f"{'SHIELD' if handled[state] else 'VIOLATED':<22}"
+        lines.append(row)
+    lines += [
+        "-" * 72,
+        "the backend handles every injected ring state on every version,",
+        "and victim IO service survives — a component that needs no",
+        "additional hardening for this intrusion model.",
+    ]
+    publish("extension_io_backend", "\n".join(lines))

@@ -1,0 +1,44 @@
+"""Extension experiment — the extended field study (§IV-D's follow-up).
+
+"An extended study to cover all vulnerabilities on Xen is planned for
+future work."  This benchmark runs the study analytics the follow-up
+would report: the temporal and per-component distribution of the
+classified CVEs, alongside the assessment-coverage view (which slice
+of the study the shipped injectors can already exercise).
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.coverage import coverage_report
+from repro.cvedata import FunctionalityStudy
+
+
+def run_study_analytics():
+    study = FunctionalityStudy.default()
+    return study, study.by_year(), study.by_component(), coverage_report(study)
+
+
+def test_field_study(benchmark):
+    study, by_year, by_component, coverage = benchmark(run_study_analytics)
+
+    assert sum(by_year.values()) == 100
+    assert sum(by_component.values()) == 100
+    assert min(by_year) >= 2012 and max(by_year) <= 2021
+    assert coverage.cve_coverage >= 0.7
+
+    lines = [
+        "FIELD STUDY ANALYTICS — THE 100-CVE DATASET (§IV-D follow-up)",
+        "-" * 64,
+        "CVEs per year:",
+    ]
+    peak = max(by_year.values())
+    for year, count in by_year.items():
+        bar = "#" * int(round(count / peak * 32))
+        lines.append(f"  {year}  {count:>3}  {bar}")
+    lines += ["", "top components:"]
+    for component, count in list(by_component.items())[:10]:
+        lines.append(f"  {component:<28} {count}")
+    lines += [
+        "",
+        coverage.render(),
+    ]
+    publish("field_study", "\n".join(lines))

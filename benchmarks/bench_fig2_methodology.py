@@ -1,0 +1,47 @@
+"""Fig. 2 — the methodology overview: the traditional path (attack →
+vulnerability → intrusion → erroneous state) and the injection path
+(intrusion model → injector → erroneous state) reach the same place.
+
+The benchmark runs both paths for one use case on the vulnerable
+version and checks they converge on the same erroneous state — the
+red-dotted-arrow shortcut of the figure.
+"""
+
+from benchmarks.conftest import publish
+from repro.core.campaign import Campaign, Mode
+from repro.exploits import XSA212Priv
+from repro.xen.versions import XEN_4_6
+
+
+def run_both_paths():
+    campaign = Campaign()
+    traditional = campaign.run(XSA212Priv, XEN_4_6, Mode.EXPLOIT)
+    injector_path = campaign.run(XSA212Priv, XEN_4_6, Mode.INJECTION)
+    return traditional, injector_path
+
+
+def test_fig2_reproduction(benchmark):
+    traditional, injector_path = benchmark(run_both_paths)
+
+    assert traditional.erroneous_state.matches(injector_path.erroneous_state)
+    assert traditional.violation.matches(injector_path.violation)
+
+    model = XSA212Priv.intrusion_model()
+    lines = [
+        "FIG. 2 — METHODOLOGY OVERVIEW (XSA-212-priv on Xen 4.6)",
+        "-" * 72,
+        "traditional scenario:",
+        "  attack (PoC) -> vulnerability (XSA-212) -> intrusion",
+        f"  -> erroneous state: {traditional.erroneous_state.fingerprint}",
+        f"  -> security violation: {traditional.violation.kind}",
+        "",
+        "intrusion injection (red dotted path):",
+        f"  {model.describe()}",
+        "  -> intrusion injector (arbitrary_access hypercall)",
+        f"  -> erroneous state: {injector_path.erroneous_state.fingerprint}",
+        f"  -> security violation: {injector_path.violation.kind}",
+        "",
+        "paths converge: erroneous states identical = "
+        + str(traditional.erroneous_state.matches(injector_path.erroneous_state)),
+    ]
+    publish("fig2", "\n".join(lines))

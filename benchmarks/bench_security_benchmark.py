@@ -1,0 +1,84 @@
+"""Extension experiment — the security benchmark (paper conclusion).
+
+"We expect to apply it in assessing the security attributes of
+hypervisors and establish a security benchmark for virtualized
+infrastructures in the future."  This benchmark runs the eight-IM
+suite (the paper's four + the four extension IMs) against the three
+versions *plus* a fourth configuration — Xen 4.8 with the integrity
+guards deployed — and ranks them.  The guarded configuration ranks
+first: for these erroneous states, targeted integrity defences beat
+two major version upgrades.
+"""
+
+from benchmarks.conftest import publish
+from repro.core.benchmarking import ScoreCard, SecurityBenchmark
+from repro.core.testbed import build_testbed
+from repro.defenses import IdtGuard, PageTableGuard, deploy
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+
+def _guarded_factory(version):
+    bed = build_testbed(version)
+    deploy(bed.xen, PageTableGuard(bed.xen), IdtGuard(bed.xen))
+    return bed
+
+
+def run_benchmark():
+    plain = SecurityBenchmark().rank((XEN_4_6, XEN_4_8, XEN_4_13))
+    guarded_card = SecurityBenchmark(
+        testbed_factory=_guarded_factory
+    ).score(XEN_4_8)
+    guarded_card.version = "4.8+guards"
+    cards = sorted(
+        [*plain, guarded_card], key=lambda c: c.handling_rate, reverse=True
+    )
+    return cards
+
+
+def test_security_benchmark(benchmark):
+    cards = benchmark(run_benchmark)
+
+    by_version = {card.version: card for card in cards}
+    assert by_version["4.13"].handled == 2
+    assert by_version["4.6"].handled == 0
+    assert by_version["4.8"].handled == 0
+    assert all(by_version[v].injected == 8 for v in ("4.6", "4.8", "4.13"))
+
+    # The guarded configuration: the guards revert most erroneous
+    # states at the first integrity point — before the post-run audit
+    # can even observe them, so they score as "not injected" — handle
+    # XSA-212-priv (whose audited state, the PUD link, is outside the
+    # guards' scope but whose exploitation path is not), and still
+    # miss the two unguarded surfaces (the M2P invariant and
+    # cross-domain reads).
+    guarded = by_version["4.8+guards"]
+    assert guarded.handled == 1
+    assert guarded.injected == 3
+    not_injected = [i.name for i in guarded.items if not i.injected]
+    assert set(not_injected) == {
+        "XSA-212-crash",
+        "XSA-148-priv",
+        "XSA-182-test",
+        "interrupt-storm",
+        "host-hang",
+    }
+    assert cards[0].version == "4.8+guards"  # 33% > 4.13's 25%
+
+    lines = [
+        "SECURITY BENCHMARK — EIGHT-IM SUITE, RANKED (paper's §X goal)",
+        "",
+    ]
+    for rank, card in enumerate(cards, start=1):
+        lines.append(f"rank {rank}:")
+        lines.extend("  " + line for line in card.render().splitlines())
+        lines.append("")
+    lines += [
+        "of the stock releases only the hardened 4.13 handles anything",
+        "(its two integrity shields).  With the integrity guards on",
+        "4.8, most states read 'not injected': the guards revert them",
+        "at the first integrity point, before the post-run audit can",
+        "observe them — prevention, not just handling.  The benchmark",
+        "still pinpoints the guards' blind spots (the M2P invariant and",
+        "cross-domain reads stay violated).",
+    ]
+    publish("security_benchmark", "\n".join(lines))

@@ -1,0 +1,28 @@
+"""Table I — the abusive-functionality study over 100 Xen CVEs.
+
+Regenerates the paper's Table I from the classified dataset and
+benchmarks the classification/aggregation pipeline.
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.tables import render_table1
+from repro.cvedata import FunctionalityStudy
+from repro.cvedata.study import TABLE_I_CLASS_TOTALS, TABLE_I_EXPECTED
+
+
+def run_study():
+    study = FunctionalityStudy.default()
+    study.validate()
+    return study, study.functionality_counts(), study.class_counts()
+
+
+def test_table1_reproduction(benchmark):
+    study, counts, class_counts = benchmark(run_study)
+
+    # The regenerated rows must equal the published table.
+    assert {f: counts[f] for f in TABLE_I_EXPECTED} == TABLE_I_EXPECTED
+    assert class_counts == TABLE_I_CLASS_TOTALS
+    assert study.num_cves == 100
+    assert study.num_assignments == 108
+
+    publish("table1", render_table1(study))

@@ -1,0 +1,80 @@
+"""Table III + RQ1 + RQ2 — the full injection campaign.
+
+Regenerates the paper's central result: the injection campaign across
+Xen 4.6 / 4.8 / 4.13, asserting every published cell, and benchmarks
+one full campaign execution.
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.tables import render_rq1, render_rq2, render_table3
+from repro.core.campaign import Campaign, Mode
+from repro.core.comparison import compare_runs
+from repro.exploits import USE_CASES
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+#: Table III as published: (use case, version) -> (err_state, violation).
+TABLE_III_PAPER = {
+    ("XSA-212-crash", "4.8"): (True, True),
+    ("XSA-212-crash", "4.13"): (True, True),
+    ("XSA-212-priv", "4.8"): (True, True),
+    ("XSA-212-priv", "4.13"): (True, False),
+    ("XSA-148-priv", "4.8"): (True, True),
+    ("XSA-148-priv", "4.13"): (True, True),
+    ("XSA-182-test", "4.8"): (True, True),
+    ("XSA-182-test", "4.13"): (True, False),
+}
+
+
+def run_table3_campaign():
+    campaign = Campaign()
+    return campaign.table3_runs(USE_CASES, (XEN_4_8, XEN_4_13))
+
+
+def test_table3_reproduction(benchmark):
+    cells = benchmark(run_table3_campaign)
+
+    derived = {
+        key: (r.erroneous_state.achieved, r.violation.occurred)
+        for key, r in cells.items()
+    }
+    assert derived == TABLE_III_PAPER
+
+    publish(
+        "table3",
+        render_table3(cells, [u.name for u in USE_CASES], ["4.8", "4.13"]),
+    )
+
+
+def run_rq1_campaign():
+    campaign = Campaign()
+    pairs = campaign.rq1_runs(USE_CASES, XEN_4_6)
+    verdicts = [compare_runs(e, i) for e, i in pairs]
+    return pairs, verdicts
+
+
+def test_rq1_reproduction(benchmark):
+    pairs, verdicts = benchmark(run_rq1_campaign)
+
+    # §VI: 4/4 use cases — same erroneous state, same violation.
+    assert all(v.equivalent for v in verdicts)
+
+    publish("rq1", render_rq1(pairs, verdicts))
+
+
+def run_rq2_campaign():
+    campaign = Campaign()
+    return [
+        campaign.run(use_case, version, Mode.EXPLOIT)
+        for use_case in USE_CASES
+        for version in (XEN_4_8, XEN_4_13)
+    ]
+
+
+def test_rq2_reproduction(benchmark):
+    results = benchmark(run_rq2_campaign)
+
+    # §VII: every original exploit fails on the fixed versions.
+    assert all(not r.erroneous_state.achieved for r in results)
+    assert all(not r.violation.occurred for r in results)
+
+    publish("rq2", render_rq2(results))

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it (visible with ``pytest benchmarks/ -s``), and archives the
+rendering under ``benchmarks/output/`` so EXPERIMENTS.md can reference
+stable artefacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table and archive it."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    from repro.core.campaign import Campaign
+
+    return Campaign()

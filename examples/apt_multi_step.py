@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Emulating a multi-step attack (APT) with chained injections (§IX-B).
+
+"Each step towards a system breach can be modeled as an abusive
+functionality ... conceptually, a set of intrusion injectors can
+emulate the outcomes of the tools that attackers use to perform
+complex attacks (e.g., advanced persistent threats)."
+
+This example chains three steps against a fully patched Xen 4.8 host,
+each step an injected erroneous state rather than an exploit:
+
+1. **reconnaissance** — *Read Unauthorized Memory*: exfiltrate dom0's
+   in-memory secret to locate the control domain;
+2. **foothold** — the XSA-148-priv erroneous state (writable PSE
+   window) → vDSO backdoor → reverse root shell on dom0;
+3. **impact** — the attacker, now holding dom0's management interface,
+   destroys a co-tenant through ``xl`` (cross-tenant availability
+   violation).
+
+Run:  python examples/apt_multi_step.py
+"""
+
+from repro.core.injections import inject_xsa148_priv
+from repro.core.injections.extensions import inject_read_unauthorized
+from repro.core.testbed import build_testbed
+from repro.xen.versions import XEN_4_8
+
+
+def main() -> None:
+    bed = build_testbed(XEN_4_8)
+    print(f"target host: {bed.xen} — tenants: "
+          f"{[d.name for d in bed.all_domains()]}\n")
+
+    # -- step 1: reconnaissance ------------------------------------------------
+    print("step 1 — reconnaissance (Read Unauthorized Memory)")
+    erroneous, violation = inject_read_unauthorized(bed)
+    print(f"  erroneous state: {erroneous.description} "
+          f"({'ok' if erroneous.achieved else 'failed'})")
+    print(f"  observed: {violation.kind}")
+    assert violation.occurred
+
+    # -- step 2: foothold on dom0 ------------------------------------------------
+    print("\nstep 2 — foothold (Write Page Table Entries, XSA-148 model)")
+    erroneous, violation = inject_xsa148_priv(bed)
+    print(f"  erroneous state: {erroneous.description} "
+          f"({'ok' if erroneous.achieved else 'failed'})")
+    print(f"  observed: {violation.kind}")
+    assert violation.occurred
+
+    # -- step 3: impact through the management interface ------------------------
+    print("\nstep 3 — impact (management interface from the stolen shell)")
+    listener = bed.network.listener(bed.attacker_host, bed.attacker_port)
+    shell = listener.latest()
+    print(f"  attacker shell: {shell.run('whoami && hostname')!r}")
+    print("  $ xl list")
+    for line in shell.run("xl list").splitlines():
+        print(f"    {line}")
+    victim = bed.guests[0].name
+    print(f"  $ xl destroy {victim}")
+    print(f"    {shell.run(f'xl destroy {victim}')}")
+
+    survivors = [d.name for d in bed.xen.domains.values()]
+    print(f"\nsurviving domains: {survivors}")
+    assert victim not in survivors
+    print("\nthe co-tenant is gone: three injected erroneous states chained")
+    print("into a full APT outcome — on a host with zero known-vulnerable")
+    print("code paths.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Evaluating a page-table protection mechanism (§IV-C, verbatim).
+
+"Assuming a deployed mechanism to prevent unauthorized modification of
+page tables, the effectiveness of this mechanism can be tested using
+our approach.  For this, we need to model different intrusions that
+target unauthorized page-table changes and execute a testing campaign
+injecting various erroneous states using an intrusion injector."
+
+This example does exactly that: deploy the page-table integrity guard
+on Xen 4.8, run the two 'Write Page Table Entries' injections
+(XSA-148-priv and XSA-182-test) against it, and report whether the
+mechanism held — then repeat in detect-only mode to show the
+difference between *detecting* and *preventing*.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro.core.campaign import Campaign, Mode
+from repro.core.testbed import build_testbed
+from repro.defenses import GuardMode, PageTableGuard, deploy
+from repro.exploits import XSA148Priv, XSA182Test
+from repro.xen.versions import XEN_4_8
+
+USE_CASES = (XSA148Priv, XSA182Test)
+
+
+def run_with_guard(mode: GuardMode):
+    guards = {}
+
+    def factory(version):
+        bed = build_testbed(version)
+        guard = PageTableGuard(bed.xen, mode=mode)
+        deploy(bed.xen, guard)
+        guards["last"] = guard
+        return bed
+
+    campaign = Campaign(testbed_factory=factory)
+    print(f"--- guard mode: {mode.value} ---")
+    for use_case in USE_CASES:
+        result = campaign.run(use_case, XEN_4_8, Mode.INJECTION)
+        guard = guards["last"]
+        verdict = (
+            "VIOLATION: " + result.violation.kind
+            if result.violation.occurred
+            else "handled (no violation)"
+        )
+        print(f"{use_case.name:<16} {verdict}")
+        print(
+            f"{'':<16} guard alerts: {len(guard.alerts)}, "
+            f"integrity scans: {guard.scans}"
+        )
+        if guard.alerts:
+            print(f"{'':<16} first alert: {guard.alerts[0].render()}")
+    print()
+
+
+def main() -> None:
+    print("testing campaign against the page-table protection mechanism\n")
+    run_with_guard(GuardMode.RESTORE)
+    run_with_guard(GuardMode.DETECT)
+    print("conclusion: in restore mode the mechanism *prevents* both")
+    print("injected states; in detect mode it sees them but the attack")
+    print("completes — the campaign quantifies exactly that difference,")
+    print("without needing a single real exploit for the mechanism's")
+    print("threat model (unknown write-what-where vulnerabilities).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The "Keep Page Reference" intrusion model (§IV-B's example).
+
+XSA-387 and XSA-393 are different grant-table/memory bugs with the
+same abusive functionality: a guest keeps access to a page after
+returning it to Xen.  This example instantiates that IM and evaluates
+it on two configurations:
+
+* the shipped Xen 4.13 (both defects present — they post-date it);
+* the hypothetical 4.16 with the fixes.
+
+On the vulnerable build the stale mapping leaks a *victim's* secret
+once Xen reuses the freed frame — the confidentiality violation.  On
+the fixed build the same guest actions end in revoked access.
+
+Run:  python examples/grant_table_keep_page.py
+"""
+
+from repro.core.model import (
+    InteractionInterface,
+    IntrusionModel,
+    TargetComponent,
+    TriggeringSource,
+)
+from repro.core.taxonomy import AbusiveFunctionality
+from repro.errors import SimulationError
+from repro.guest.kernel import GuestKernel, KernelOops
+from repro.xen import constants as C
+from repro.xen import layout
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.paging import make_pte
+from repro.xen.versions import XEN_4_13, XEN_4_16
+
+KEEP_PAGE_IM = IntrusionModel(
+    name="keep-page-reference",
+    abusive_functionality=AbusiveFunctionality.KEEP_PAGE_ACCESS,
+    triggering_source=TriggeringSource.UNPRIVILEGED_GUEST,
+    target_component=TargetComponent.GRANT_TABLES,
+    interface=InteractionInterface.HYPERCALL,
+    description="guest retains access to a page returned to Xen",
+    related_advisories=("XSA-387", "XSA-393"),
+)
+
+SECRET = 0x5EC2E7_C0DE
+MAP_SLOT = 40  # spare L1 slot in the attacker's kernel map
+
+
+def run_scenario(version) -> str:
+    xen = Xen(version, Machine(256))
+    attacker = xen.create_domain("attacker", num_pages=32)
+    GuestKernel(xen, attacker).boot()
+    kernel = attacker.kernel
+
+    # 1. The guest switches its grant table to v2: Xen installs status
+    #    frames into its pseudo-physical space...
+    xen.grants.set_version(attacker, 2)
+    status_pfn = xen.grants.get_status_frames(attacker)[0]
+    status_mfn = attacker.pfn_to_mfn(status_pfn)
+    kernel.update_pt_entry(
+        kernel.pfn_to_mfn(kernel.l1_pfns[0]),
+        MAP_SLOT,
+        make_pte(status_mfn, C.PTE_PRESENT),
+    )
+
+    # 2. ...then switches back to v1 — the XSA-387 site: the status
+    #    frame goes back to the heap.
+    xen.grants.set_version(attacker, 1)
+
+    # 3. Xen hands the freed frame to a brand-new victim domain, which
+    #    writes a secret into it.
+    victim = xen.create_domain("victim", num_pages=1)
+    victim_mfn = victim.p2m[0]
+    xen.machine.write_word(victim_mfn, 3, SECRET)
+
+    # 4. The attacker reads through its (possibly stale) mapping.
+    leak_va = layout.GUEST_KERNEL_BASE + MAP_SLOT * C.PAGE_SIZE + 3 * 8
+    try:
+        value = kernel.read_va(leak_va)
+    except KernelOops:
+        return "access revoked (mapping zapped) — IM handled"
+    if victim_mfn == status_mfn and value == SECRET:
+        return (f"CONFIDENTIALITY VIOLATION: read victim secret "
+                f"{value:#x} through the stale mapping")
+    return f"stale mapping alive but frame not reused (read {value:#x})"
+
+
+def main() -> None:
+    print(KEEP_PAGE_IM.describe())
+    print()
+    for version in (XEN_4_13, XEN_4_16):
+        print(f"Xen {version.name}: {run_scenario(version)}")
+    print()
+    print("the same guest behaviour, two outcomes: the IM separates the")
+    print("erroneous state (kept reference) from the defect that causes it.")
+
+
+if __name__ == "__main__":
+    main()

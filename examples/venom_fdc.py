@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""VENOM (§III's running example) on the device-emulation substrate.
+
+Shows the paper's concept-introduction scenario end to end: the
+floppy-disk-controller overflow as an *attack* on the vulnerable QEMU
+build, then as an *injection* on the patched build — same erroneous
+state (heap corruption right past the FIFO), same potential violation
+(guest escape through the corrupted dispatch pointer).
+
+Run:  python examples/venom_fdc.py
+"""
+
+from repro.exploits.venom import VenomUseCase
+from repro.qemu.machine import QEMU_FIXED, QEMU_VULNERABLE
+
+
+def show(result) -> None:
+    state = "corrupted" if result.erroneous_state else "intact"
+    outcome = "GUEST ESCAPE" if result.violation else "contained"
+    print(f"  {result.mode:<10} on {result.version:<26} "
+          f"heap {state:<10} -> {outcome}")
+    for line in result.log:
+        print(f"      {line}")
+
+
+def main() -> None:
+    use_case = VenomUseCase()
+    print("VENOM / XSA-133: FDC FIFO overflow (CVE-2015-3456)\n")
+
+    print("1) the real attack — 'a malicious user ... can send an input")
+    print("   buffer larger than specified to the FDC' (§III-A):")
+    show(use_case.run_exploit(QEMU_VULNERABLE))
+    show(use_case.run_exploit(QEMU_FIXED))
+
+    print()
+    print("2) intrusion injection — 'the intrusion injection tool could")
+    print("   change the QEMU process to allow the injection of the")
+    print("   corresponding error' (§III-B):")
+    show(use_case.run_injection(QEMU_VULNERABLE))
+    show(use_case.run_injection(QEMU_FIXED))
+
+    print()
+    print("the patched build blocks the *attack* but has no handling for")
+    print("the *erroneous state* — which intrusion injection reveals.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (offline environments without
+the ``wheel`` package).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

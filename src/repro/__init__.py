@@ -1,0 +1,71 @@
+"""repro — reproduction of *Intrusion Injection for Virtualized Systems* (DSN 2023).
+
+The package is organised in layers:
+
+``repro.xen``
+    A behavioural simulator of the Xen paravirtualized hypervisor:
+    machine memory, the frame table with Xen's page-type system,
+    4-level page tables, the hypercall interface (including the
+    version-gated XSA-148 / XSA-182 / XSA-212 defects), IDT and trap
+    delivery, domains, grant tables and event channels.
+
+``repro.guest``
+    A guest-kernel simulator (pseudo-physical memory, page tables built
+    through hypercalls, processes, filesystem, vDSO).
+
+``repro.net``
+    A tiny simulated network used by the XSA-148 reverse-shell
+    scenario.
+
+``repro.qemu``
+    A minimal device-emulation substrate (floppy-disk controller) used
+    for the paper's VENOM running example.
+
+``repro.exploits``
+    Re-implementations of the four third-party proof-of-concept
+    exploits evaluated in the paper.
+
+``repro.core``
+    The paper's contribution: intrusion models, the abusive
+    functionality taxonomy, the ``arbitrary_access()`` injector, the
+    injection scripts, monitors, and the experiment campaign runner.
+
+``repro.cvedata``
+    The 100-record Xen CVE study behind Table I.
+
+``repro.analysis``
+    Renderers for the paper's tables.
+"""
+
+from repro.core.benchmarking import SecurityBenchmark
+from repro.core.campaign import Campaign, Mode, RunResult
+from repro.core.fuzz import RandomErroneousStateCampaign
+from repro.core.injector import ArbitraryAccessAction, IntrusionInjector
+from repro.core.model import IntrusionModel
+from repro.core.taxonomy import AbusiveFunctionality, FunctionalityClass
+from repro.core.testbed import TestBed, build_testbed
+from repro.xen.hypervisor import Xen
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13, XenVersion
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbusiveFunctionality",
+    "ArbitraryAccessAction",
+    "Campaign",
+    "FunctionalityClass",
+    "IntrusionInjector",
+    "IntrusionModel",
+    "Mode",
+    "RandomErroneousStateCampaign",
+    "RunResult",
+    "SecurityBenchmark",
+    "TestBed",
+    "Xen",
+    "XenVersion",
+    "XEN_4_6",
+    "XEN_4_8",
+    "XEN_4_13",
+    "build_testbed",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Analysis over campaign output: table renderers, reports, statistics,
+intrusiveness profiling and assessment-coverage planning."""
+
+from repro.analysis.coverage import coverage_report
+from repro.analysis.intrusiveness import IntrusivenessProfile, profile
+from repro.analysis.report import (
+    render_markdown_report,
+    results_to_json,
+    summarize_by_version,
+)
+from repro.analysis.stats import bootstrap_rate, compare_handling, handling_scores
+from repro.analysis.tables import (
+    render_rq1,
+    render_rq2,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "IntrusivenessProfile",
+    "bootstrap_rate",
+    "compare_handling",
+    "coverage_report",
+    "handling_scores",
+    "profile",
+    "render_markdown_report",
+    "render_rq1",
+    "render_rq2",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "results_to_json",
+    "summarize_by_version",
+]

@@ -1,0 +1,118 @@
+"""Assessment-coverage planning: taxonomy ↔ implemented injectors.
+
+The §IV-D study ends with the plan to "properly understand what are
+the possible set of erroneous states that we may inject and which IMs
+we can abstract from them".  This module closes that loop for the
+current prototype: it maps each abusive functionality of Table I to
+the injection capability that covers it (one of the paper's four
+use-case scripts, one of the extension scripts, or nothing yet), and
+reports what fraction of the CVE study a campaign built from the
+available injectors would exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.taxonomy import AbusiveFunctionality as AF
+from repro.core.taxonomy import FunctionalityClass
+from repro.cvedata.study import FunctionalityStudy
+
+#: Functionality -> the injection capability that covers it (None =
+#: not yet injectable with the shipped scripts).
+INJECTOR_COVERAGE: Dict[AF, Optional[str]] = {
+    AF.READ_UNAUTHORIZED_MEMORY: "extensions.inject_read_unauthorized",
+    AF.WRITE_UNAUTHORIZED_MEMORY: "arbitrary_access (direct write)",
+    AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY: "XSA-212 use-case scripts",
+    AF.RW_UNAUTHORIZED_MEMORY: "arbitrary_access (read+write modes)",
+    AF.FAIL_A_MEMORY_ACCESS: None,
+    AF.CORRUPT_VIRTUAL_MEMORY_MAPPING: "fuzz campaign (pagetable targets)",
+    AF.CORRUPT_A_PAGE_REFERENCE: None,
+    AF.DECREASE_PAGE_MAPPING_AVAILABILITY: None,
+    AF.GUEST_WRITABLE_PAGE_TABLE_ENTRY: "XSA-148/182 use-case scripts",
+    AF.FAIL_A_MEMORY_MAPPING: None,
+    AF.UNCONTROLLED_MEMORY_ALLOCATION: None,
+    AF.KEEP_PAGE_ACCESS: "grant-table v2→v1 scenario (XSA-387/393)",
+    AF.INDUCE_A_FATAL_EXCEPTION: "extensions.inject_fatal_exception",
+    AF.INDUCE_A_MEMORY_EXCEPTION: "fuzz campaign (fault outcomes)",
+    AF.INDUCE_A_HANG_STATE: "extensions.inject_hang_state",
+    AF.UNCONTROLLED_ARBITRARY_INTERRUPT_REQUESTS: (
+        "extensions.inject_interrupt_storm"
+    ),
+}
+
+
+@dataclass
+class CoverageReport:
+    """How much of the study the shipped injectors can exercise."""
+
+    study: FunctionalityStudy
+    coverage: Dict[AF, Optional[str]]
+
+    @property
+    def covered_functionalities(self) -> List[AF]:
+        return [f for f, injector in self.coverage.items() if injector]
+
+    @property
+    def uncovered_functionalities(self) -> List[AF]:
+        return [f for f, injector in self.coverage.items() if not injector]
+
+    @property
+    def functionality_coverage(self) -> float:
+        return len(self.covered_functionalities) / len(self.coverage)
+
+    def covered_cves(self) -> int:
+        """CVEs with at least one covered functionality."""
+        covered = set(self.covered_functionalities)
+        return sum(
+            1
+            for record in self.study.records
+            if any(f in covered for f in record.functionalities)
+        )
+
+    @property
+    def cve_coverage(self) -> float:
+        return self.covered_cves() / self.study.num_cves
+
+    def class_gaps(self) -> Dict[FunctionalityClass, List[AF]]:
+        gaps: Dict[FunctionalityClass, List[AF]] = {}
+        for functionality in self.uncovered_functionalities:
+            gaps.setdefault(functionality.functionality_class, []).append(
+                functionality
+            )
+        return gaps
+
+    def render(self) -> str:
+        lines = [
+            "ASSESSMENT COVERAGE — TABLE I FUNCTIONALITIES vs SHIPPED "
+            "INJECTORS",
+            "-" * 76,
+        ]
+        for functionality, injector in self.coverage.items():
+            status = injector if injector else "(no injector yet)"
+            lines.append(f"  {functionality.label:<45} {status}")
+        lines += [
+            "-" * 76,
+            f"functionalities covered: {len(self.covered_functionalities)}"
+            f"/{len(self.coverage)} ({self.functionality_coverage:.0%})",
+            f"study CVEs exercisable:  {self.covered_cves()}"
+            f"/{self.study.num_cves} ({self.cve_coverage:.0%})",
+        ]
+        gaps = self.class_gaps()
+        if gaps:
+            lines.append("gaps by class:")
+            for klass, functionalities in gaps.items():
+                names = ", ".join(f.label for f in functionalities)
+                lines.append(f"  {klass.value}: {names}")
+        return "\n".join(lines)
+
+
+def coverage_report(
+    study: Optional[FunctionalityStudy] = None,
+) -> CoverageReport:
+    """Build the coverage report for a study (default: the paper's)."""
+    return CoverageReport(
+        study=study or FunctionalityStudy.default(),
+        coverage=dict(INJECTOR_COVERAGE),
+    )

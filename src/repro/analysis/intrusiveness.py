@@ -1,0 +1,70 @@
+"""Quantifying the injector's intrusiveness (paper §IX-D).
+
+"Intrusiveness is another aspect [that] can be seen as a drawback
+since the injection of erroneous states may require modifying the
+system."  The simulator makes that footprint measurable: the injector
+adds one entry to the hypercall table, each injection appears in the
+hypervisor's hypercall audit trail, and its installation is logged on
+the console.  This module extracts those signals from a run so that
+the exploit path and the injection path can be compared — useful both
+to judge the prototype's footprint and to check whether a defender's
+monitoring would see injections at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.xen.constants import HYPERCALL_ARBITRARY_ACCESS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.hypervisor import Xen
+
+
+@dataclass
+class IntrusivenessProfile:
+    """The observable footprint of one run on one hypervisor."""
+
+    total_hypercalls: int
+    injector_hypercalls: int
+    injector_console_lines: int
+    hypercalls_by_number: Dict[int, int]
+
+    @property
+    def injector_fraction(self) -> float:
+        if not self.total_hypercalls:
+            return 0.0
+        return self.injector_hypercalls / self.total_hypercalls
+
+    @property
+    def detectable(self) -> bool:
+        """Would a defender tapping the hypercall trail see the
+        injector in use?"""
+        return self.injector_hypercalls > 0
+
+    def render(self) -> str:
+        return (
+            f"{self.injector_hypercalls}/{self.total_hypercalls} hypercalls "
+            f"via arbitrary_access ({self.injector_fraction:.0%}); "
+            f"{self.injector_console_lines} injector console line(s)"
+        )
+
+
+def profile(xen: "Xen") -> IntrusivenessProfile:
+    """Extract the intrusiveness profile from a hypervisor's trails."""
+    by_number: Dict[int, int] = {}
+    injector_calls = 0
+    for _, number, _ in xen.audit:
+        by_number[number] = by_number.get(number, 0) + 1
+        if number == HYPERCALL_ARBITRARY_ACCESS:
+            injector_calls += 1
+    console_lines = sum(
+        1 for line in xen.console if "arbitrary_access" in line or "injector" in line
+    )
+    return IntrusivenessProfile(
+        total_hypercalls=len(xen.audit),
+        injector_hypercalls=injector_calls,
+        injector_console_lines=console_lines,
+        hypercalls_by_number=by_number,
+    )

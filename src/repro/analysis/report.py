@@ -1,0 +1,126 @@
+"""Campaign reports: serialization and markdown summaries.
+
+Campaigns produce lists of :class:`~repro.core.campaign.RunResult`;
+this module turns them into durable artefacts — JSON for tooling,
+markdown for humans — and computes the cross-version summary the
+paper's RQ3 discussion draws (which version handled how many injected
+erroneous states).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.campaign import Mode, RunResult
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Serialize one run result (log tails only, to keep files small)."""
+    return {
+        "use_case": result.use_case,
+        "version": result.version,
+        "mode": result.mode.value,
+        "erroneous_state": {
+            "achieved": result.erroneous_state.achieved,
+            "description": result.erroneous_state.description,
+            "fingerprint": {
+                key: value
+                for key, value in result.erroneous_state.fingerprint.items()
+            },
+            "evidence": list(result.erroneous_state.evidence),
+        },
+        "violation": {
+            "occurred": result.violation.occurred,
+            "kind": result.violation.kind,
+            "evidence": list(result.violation.evidence),
+        },
+        "crashed": result.crashed,
+        "failure": result.failure,
+        "console_tail": result.console[-6:],
+        "guest_log_tail": result.guest_log[-6:],
+    }
+
+
+def results_to_json(results: Iterable[RunResult], indent: int = 2) -> str:
+    """Serialize a list of run results to a JSON document."""
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+@dataclass
+class VersionSummary:
+    """Aggregate over one version's injection runs."""
+
+    version: str
+    injected: int = 0
+    violated: int = 0
+    handled: int = 0
+    not_injected: int = 0
+
+    @property
+    def handling_rate(self) -> float:
+        """Fraction of injected erroneous states the version handled —
+        a simple security-attribute indicator (RQ3)."""
+        if not self.injected:
+            return 0.0
+        return self.handled / self.injected
+
+
+def summarize_by_version(results: Sequence[RunResult]) -> Dict[str, VersionSummary]:
+    """RQ3-style aggregation over injection runs."""
+    summaries: Dict[str, VersionSummary] = {}
+    for result in results:
+        if result.mode is not Mode.INJECTION:
+            continue
+        summary = summaries.setdefault(
+            result.version, VersionSummary(version=result.version)
+        )
+        if not result.erroneous_state.achieved:
+            summary.not_injected += 1
+            continue
+        summary.injected += 1
+        if result.violation.occurred:
+            summary.violated += 1
+        else:
+            summary.handled += 1
+    return summaries
+
+
+def render_markdown_report(results: Sequence[RunResult], title: str) -> str:
+    """A human-readable campaign report."""
+    lines = [f"# {title}", ""]
+
+    summaries = summarize_by_version(results)
+    if summaries:
+        lines += [
+            "## Version summary (injection runs)",
+            "",
+            "| version | states injected | violations | handled | handling rate |",
+            "|---|---|---|---|---|",
+        ]
+        for version in sorted(summaries):
+            summary = summaries[version]
+            lines.append(
+                f"| Xen {summary.version} | {summary.injected} "
+                f"| {summary.violated} | {summary.handled} "
+                f"| {summary.handling_rate:.0%} |"
+            )
+        lines.append("")
+
+    lines += ["## Runs", ""]
+    lines += [
+        "| use case | version | mode | err. state | violation | failure |",
+        "|---|---|---|---|---|---|",
+    ]
+    for result in results:
+        violation = result.violation.kind if result.violation.occurred else (
+            "handled" if result.erroneous_state.achieved else "—"
+        )
+        lines.append(
+            f"| {result.use_case} | {result.version} | {result.mode.value} "
+            f"| {'yes' if result.erroneous_state.achieved else 'no'} "
+            f"| {violation} | {result.failure or '—'} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

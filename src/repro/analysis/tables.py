@@ -1,0 +1,189 @@
+"""ASCII renderings of the paper's tables.
+
+Each ``render_*`` function takes the live data structures (the study,
+use-case classes, campaign results) and returns the table as a string
+whose rows mirror the published layout, so benchmark output can be
+compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Type
+
+from repro.core.campaign import RunResult
+from repro.core.comparison import EquivalenceVerdict
+from repro.core.taxonomy import AbusiveFunctionality, FunctionalityClass
+from repro.cvedata.study import FunctionalityStudy
+from repro.exploits.base import UseCase
+
+CHECK = "ok"
+SHIELD = "SHIELD"
+MISS = "--"
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+def render_table1(study: FunctionalityStudy) -> str:
+    """Table I: abusive functionalities from activating Xen CVEs."""
+    counts = study.functionality_counts()
+    class_totals = study.class_counts()
+    lines = [
+        "TABLE I — ABUSIVE FUNCTIONALITIES OBTAINED FROM ACTIVATING "
+        "XEN VULNERABILITIES",
+        _rule(),
+    ]
+    for klass, functionalities in AbusiveFunctionality.by_class().items():
+        lines.append(f"{klass.value} - {class_totals[klass]} CVEs")
+        for functionality in functionalities:
+            lines.append(f"  {functionality.label:<45} {counts[functionality]:02d}")
+        lines.append(_rule())
+    lines.append(
+        f"total CVEs: {study.num_cves}   "
+        f"functionality assignments: {study.num_assignments} "
+        f"({len(study.multi_functionality_cves())} CVEs with more than one)"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table II
+# ---------------------------------------------------------------------------
+
+def render_table2(use_cases: Sequence[Type[UseCase]]) -> str:
+    """Table II: use case → abusive functionality."""
+    lines = [
+        "TABLE II — USE CASES AND THEIR ABUSIVE FUNCTIONALITY",
+        _rule(48),
+        f"{'Use Case':<18} {'Abusive Functionality':<28}",
+        _rule(48),
+    ]
+    for use_case in use_cases:
+        model = use_case.intrusion_model()
+        lines.append(f"{use_case.name:<18} {model.functionality_label:<28}")
+    lines.append(_rule(48))
+    lines.append(
+        "full instantiation: an unprivileged guest virtual machine uses a "
+        "hypercall\nto target the memory management component in the "
+        "virtualization layer"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table III
+# ---------------------------------------------------------------------------
+
+def _cell(result: RunResult) -> Tuple[str, str]:
+    err = CHECK if result.erroneous_state.achieved else MISS
+    if result.violation.occurred:
+        vio = CHECK
+    elif result.erroneous_state.achieved:
+        vio = SHIELD  # erroneous state present but handled by the system
+    else:
+        vio = MISS
+    return err, vio
+
+
+def render_table3(
+    cells: Dict[Tuple[str, str], RunResult],
+    use_case_names: Sequence[str],
+    version_names: Sequence[str],
+) -> str:
+    """Table III: the injection campaign on non-vulnerable versions.
+
+    ``ok`` = property correctly induced; ``SHIELD`` = the erroneous
+    state was injected but the system handled it (no violation).
+    """
+    header_versions = "".join(
+        f"{'Xen ' + v:<24}" for v in version_names
+    )
+    sub = "".join(f"{'Err.State':<12}{'Sec.Viol.':<12}" for _ in version_names)
+    lines = [
+        "TABLE III — RESULTS OF THE INJECTION CAMPAIGN IN NON-VULNERABLE "
+        "VERSIONS",
+        _rule(16 + 24 * len(version_names)),
+        f"{'Use Case':<16}{header_versions}",
+        f"{'':<16}{sub}",
+        _rule(16 + 24 * len(version_names)),
+    ]
+    for name in use_case_names:
+        row = f"{name:<16}"
+        for version in version_names:
+            result = cells[(name, version)]
+            err, vio = _cell(result)
+            row += f"{err:<12}{vio:<12}"
+        lines.append(row)
+    lines.append(_rule(16 + 24 * len(version_names)))
+    lines.append(
+        f"{CHECK} = property correctly induced; {SHIELD} = erroneous state "
+        "handled by the system"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# RQ1 (the §VI validation on the vulnerable version)
+# ---------------------------------------------------------------------------
+
+def render_rq1(
+    pairs: Sequence[Tuple[RunResult, RunResult]],
+    verdicts: Sequence[EquivalenceVerdict],
+) -> str:
+    """§VI: exploit vs injection on the vulnerable version."""
+    lines = [
+        "RQ1 — EXPLOIT vs INJECTION ON THE VULNERABLE VERSION (Xen 4.6)",
+        _rule(),
+        f"{'Use Case':<16}{'Exploit':<22}{'Injection':<22}{'Equivalent':<10}",
+        _rule(),
+    ]
+    for (exploit, injection), verdict in zip(pairs, verdicts):
+        def fmt(result: RunResult) -> str:
+            err, vio = _cell(result)
+            return f"err:{err} viol:{vio}"
+
+        lines.append(
+            f"{exploit.use_case:<16}{fmt(exploit):<22}{fmt(injection):<22}"
+            f"{'YES' if verdict.equivalent else 'NO':<10}"
+        )
+    lines.append(_rule())
+    equivalent = sum(1 for v in verdicts if v.equivalent)
+    lines.append(
+        f"{equivalent}/{len(verdicts)} use cases: injection induced the same "
+        "erroneous state and the same security violation as the exploit"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# RQ2 summary (exploits failing on fixed versions)
+# ---------------------------------------------------------------------------
+
+def render_rq2(results: Sequence[RunResult]) -> str:
+    """§VII preamble: the original PoCs all fail on fixed versions."""
+    lines = [
+        "RQ2 (precondition) — ORIGINAL EXPLOITS ON NON-VULNERABLE VERSIONS",
+        _rule(),
+        f"{'Use Case':<16}{'Version':<10}{'Outcome':<46}",
+        _rule(),
+    ]
+    for result in results:
+        outcome = result.failure or (
+            "erroneous state induced (unexpected!)"
+            if result.erroneous_state.achieved
+            else "failed"
+        )
+        lines.append(f"{result.use_case:<16}{result.version:<10}{outcome:<46}")
+    lines.append(_rule())
+    all_failed = all(not r.erroneous_state.achieved for r in results)
+    lines.append(
+        "all exploits failed -> vulnerabilities are fixed"
+        if all_failed
+        else "WARNING: some exploit still works on a 'fixed' version"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1`` / ``table2`` / ``table3`` / ``rq1`` / ``rq2`` — regenerate
+  the paper's tables and research-question results;
+* ``run --use-case U --version V --mode M`` — one experiment;
+* ``campaign [--json PATH] [--markdown PATH]`` — the full matrix with
+  optional report artefacts;
+* ``study [--by-year | --by-component]`` — the Table I dataset;
+* ``versions`` — the shipped hypervisor configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_markdown_report, results_to_json
+from repro.analysis.tables import (
+    render_rq1,
+    render_rq2,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.core.campaign import Campaign, Mode
+from repro.core.comparison import compare_runs
+from repro.cvedata import FunctionalityStudy
+from repro.exploits import USE_CASE_BY_NAME, USE_CASES
+from repro.xen.versions import ALL_VERSIONS, XEN_4_6, version_by_name
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Intrusion injection for virtualized systems "
+        "(DSN 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: abusive-functionality study")
+    sub.add_parser("table2", help="Table II: use cases and functionalities")
+    sub.add_parser("table3", help="Table III: injection campaign")
+    sub.add_parser("rq1", help="exploit vs injection on Xen 4.6")
+    sub.add_parser("rq2", help="original exploits on fixed versions")
+    sub.add_parser("versions", help="shipped hypervisor configurations")
+
+    run = sub.add_parser("run", help="one experiment run")
+    run.add_argument("--use-case", required=True, choices=sorted(USE_CASE_BY_NAME))
+    run.add_argument("--version", required=True, help="4.6 / 4.8 / 4.13 / 4.16")
+    run.add_argument(
+        "--mode", default="injection", choices=["exploit", "injection"]
+    )
+    run.add_argument("--verbose", action="store_true", help="dump logs")
+
+    campaign = sub.add_parser("campaign", help="full experiment matrix")
+    campaign.add_argument("--json", help="write raw results as JSON")
+    campaign.add_argument("--markdown", help="write a markdown report")
+
+    study = sub.add_parser("study", help="the 100-CVE dataset")
+    study.add_argument("--by-year", action="store_true")
+    study.add_argument("--by-component", action="store_true")
+
+    bench = sub.add_parser(
+        "benchmark", help="the eight-IM security benchmark, ranked"
+    )
+    bench.add_argument(
+        "--versions", nargs="+", default=["4.6", "4.8", "4.13"],
+        help="configurations to score",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz", help="randomized erroneous-state campaign (§IV-C)"
+    )
+    fuzz.add_argument("--version", default="4.13")
+    fuzz.add_argument("--runs", type=int, default=20)
+    fuzz.add_argument("--seed", type=int, default=2023)
+
+    sub.add_parser(
+        "coverage", help="Table I functionalities vs shipped injectors"
+    )
+
+    testcase = sub.add_parser(
+        "testcase", help="the §X open test-case list"
+    )
+    testcase.add_argument(
+        "action", choices=["list", "run", "suite"],
+    )
+    testcase.add_argument("name", nargs="?", help="test case for 'run'")
+    testcase.add_argument("--version", default="4.13")
+
+    return parser
+
+
+def _cmd_run(args) -> int:
+    use_case = USE_CASE_BY_NAME[args.use_case]
+    version = version_by_name(args.version)
+    mode = Mode(args.mode)
+    result = Campaign().run(use_case, version, mode)
+    print(result.summary)
+    if result.failure:
+        print(f"failure: {result.failure}")
+    for line in result.erroneous_state.evidence:
+        print(f"audit: {line}")
+    for line in result.violation.evidence:
+        print(f"violation: {line}")
+    if args.verbose:
+        print("\n--- guest log ---")
+        print("\n".join(result.guest_log))
+        print("\n--- Xen console ---")
+        print("\n".join(result.console))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    campaign = Campaign()
+    results = campaign.run_matrix(USE_CASES, ALL_VERSIONS)
+    for result in results:
+        print(result.summary)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(results_to_json(results))
+        print(f"\nraw results written to {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(
+                render_markdown_report(results, "Intrusion-injection campaign")
+            )
+        print(f"report written to {args.markdown}")
+    return 0
+
+
+def _cmd_study(args) -> int:
+    study = FunctionalityStudy.default()
+    if args.by_year:
+        for year, count in study.by_year().items():
+            print(f"{year}: {count}")
+        return 0
+    if args.by_component:
+        for component, count in study.by_component().items():
+            print(f"{component:<24} {count}")
+        return 0
+    print(render_table1(study))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    campaign = Campaign()
+
+    if args.command == "table1":
+        print(render_table1(FunctionalityStudy.default()))
+    elif args.command == "table2":
+        print(render_table2(USE_CASES))
+    elif args.command == "table3":
+        from repro.xen.versions import XEN_4_8, XEN_4_13
+
+        cells = campaign.table3_runs(USE_CASES, (XEN_4_8, XEN_4_13))
+        print(render_table3(cells, [u.name for u in USE_CASES], ["4.8", "4.13"]))
+    elif args.command == "rq1":
+        pairs = campaign.rq1_runs(USE_CASES, XEN_4_6)
+        verdicts = [compare_runs(e, i) for e, i in pairs]
+        print(render_rq1(pairs, verdicts))
+    elif args.command == "rq2":
+        from repro.xen.versions import XEN_4_8, XEN_4_13
+
+        results = [
+            campaign.run(u, v, Mode.EXPLOIT)
+            for u in USE_CASES
+            for v in (XEN_4_8, XEN_4_13)
+        ]
+        print(render_rq2(results))
+    elif args.command == "versions":
+        for version in ALL_VERSIONS:
+            vulns = ", ".join(sorted(v.value for v in version.vulnerabilities))
+            hard = ", ".join(sorted(h.value for h in version.hardening)) or "none"
+            print(f"Xen {version.name} ({version.release_year}): "
+                  f"vulnerabilities=[{vulns or 'none'}] hardening=[{hard}]")
+    elif args.command == "run":
+        return _cmd_run(args)
+    elif args.command == "campaign":
+        return _cmd_campaign(args)
+    elif args.command == "study":
+        return _cmd_study(args)
+    elif args.command == "benchmark":
+        from repro.core.benchmarking import SecurityBenchmark
+
+        versions = [version_by_name(name) for name in args.versions]
+        for rank, card in enumerate(SecurityBenchmark().rank(versions), start=1):
+            print(f"rank {rank}:")
+            print(card.render())
+            print()
+    elif args.command == "fuzz":
+        from repro.core.fuzz import RandomErroneousStateCampaign
+
+        fuzz_campaign = RandomErroneousStateCampaign(
+            version_by_name(args.version), seed=args.seed
+        )
+        print(fuzz_campaign.run(runs_per_component=args.runs).render())
+    elif args.command == "coverage":
+        from repro.analysis.coverage import coverage_report
+
+        print(coverage_report().render())
+    elif args.command == "testcase":
+        return _cmd_testcase(args)
+    return 0
+
+
+def _cmd_testcase(args) -> int:
+    from repro.core.testcases import REGISTRY, run_suite, run_test_case
+
+    if args.action == "list":
+        for case in REGISTRY.values():
+            print(
+                f"{case.name:<20} [{case.origin}/{case.attribute}] "
+                f"{case.description}"
+            )
+        return 0
+    version = version_by_name(args.version)
+    if args.action == "run":
+        if not args.name:
+            print("testcase run: missing test-case name", file=sys.stderr)
+            return 2
+        try:
+            outcome = run_test_case(args.name, version)
+        except KeyError as exc:
+            print(f"testcase run: {exc.args[0]}", file=sys.stderr)
+            return 2
+        state = "injected" if outcome.erroneous_state else "NOT injected"
+        verdict = (
+            f"violation: {outcome.violation_kind}"
+            if outcome.violation
+            else "handled (no violation)"
+        )
+        print(f"{outcome.name} on Xen {outcome.version}: {state}; {verdict}")
+        return 0
+    # suite
+    outcomes = run_suite(version)
+    handled = sum(1 for o in outcomes if o.handled)
+    for outcome in outcomes:
+        verdict = "HANDLED" if outcome.handled else (
+            outcome.violation_kind or "not injected"
+        )
+        print(f"{outcome.name:<20} {verdict}")
+    print(f"\nXen {version.name}: handled {handled}/{len(outcomes)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

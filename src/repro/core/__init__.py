@@ -1,0 +1,18 @@
+"""The paper's contribution: intrusion models and intrusion injection."""
+
+from repro.core.campaign import Campaign, Mode, RunResult
+from repro.core.injector import ArbitraryAccessAction, IntrusionInjector, install_injector
+from repro.core.model import IntrusionModel
+from repro.core.taxonomy import AbusiveFunctionality, FunctionalityClass
+
+__all__ = [
+    "AbusiveFunctionality",
+    "ArbitraryAccessAction",
+    "Campaign",
+    "FunctionalityClass",
+    "IntrusionInjector",
+    "IntrusionModel",
+    "Mode",
+    "RunResult",
+    "install_injector",
+]

@@ -1,0 +1,178 @@
+"""A security benchmark for virtualized infrastructures.
+
+The paper's conclusion: "We expect to apply it in assessing the
+security attributes of hypervisors and establish a security benchmark
+for virtualized infrastructures in the future."  This module is a
+first cut of that benchmark: a fixed suite of intrusion models — the
+paper's four memory use cases plus the four extension IMs — executed
+against a hypervisor configuration, scored by which *security
+attribute* each unhandled erroneous state violates.
+
+The score card reports, per attribute (confidentiality, integrity,
+availability), how many injected states the system handled, plus an
+overall handling rate usable for ranking configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.campaign import Campaign, Mode
+from repro.core.injections.extensions import (
+    inject_fatal_exception,
+    inject_hang_state,
+    inject_interrupt_storm,
+    inject_read_unauthorized,
+)
+from repro.core.testbed import TestBed, build_testbed
+from repro.exploits import XSA148Priv, XSA182Test, XSA212Crash, XSA212Priv
+from repro.xen.versions import XenVersion
+
+#: Security attributes (CIA).
+CONFIDENTIALITY = "confidentiality"
+INTEGRITY = "integrity"
+AVAILABILITY = "availability"
+
+
+@dataclass(frozen=True)
+class BenchmarkItem:
+    """One suite entry: an injection plus the attribute it threatens."""
+
+    name: str
+    attribute: str
+    #: Runs the injection on a testbed; returns (state_injected,
+    #: violation_occurred).
+    run: Callable[[TestBed], Tuple[bool, bool]]
+
+
+def _use_case_item(use_case_cls, attribute: str) -> BenchmarkItem:
+    def run(bed: TestBed) -> Tuple[bool, bool]:
+        # Reuse the campaign machinery on the already-built testbed.
+        campaign = Campaign(testbed_factory=lambda _version: bed)
+        result = campaign.run(use_case_cls, bed.xen.version, Mode.INJECTION)
+        return result.erroneous_state.achieved, result.violation.occurred
+
+    return BenchmarkItem(name=use_case_cls.name, attribute=attribute, run=run)
+
+
+def _extension_item(name: str, attribute: str, script) -> BenchmarkItem:
+    def run(bed: TestBed) -> Tuple[bool, bool]:
+        erroneous, violation = script(bed)
+        return erroneous.achieved, violation.occurred
+
+    return BenchmarkItem(name=name, attribute=attribute, run=run)
+
+
+def default_suite() -> List[BenchmarkItem]:
+    """The standard eight-IM suite."""
+    return [
+        _use_case_item(XSA212Crash, AVAILABILITY),
+        _use_case_item(XSA212Priv, INTEGRITY),
+        _use_case_item(XSA148Priv, CONFIDENTIALITY),
+        _use_case_item(XSA182Test, INTEGRITY),
+        _extension_item("interrupt-storm", AVAILABILITY, inject_interrupt_storm),
+        _extension_item("host-hang", AVAILABILITY, inject_hang_state),
+        _extension_item("fatal-exception", AVAILABILITY, inject_fatal_exception),
+        _extension_item(
+            "read-unauthorized", CONFIDENTIALITY, inject_read_unauthorized
+        ),
+    ]
+
+
+@dataclass
+class ItemResult:
+    name: str
+    attribute: str
+    injected: bool
+    violated: bool
+
+    @property
+    def handled(self) -> bool:
+        return self.injected and not self.violated
+
+
+@dataclass
+class ScoreCard:
+    """Benchmark output for one hypervisor configuration."""
+
+    version: str
+    items: List[ItemResult] = field(default_factory=list)
+
+    @property
+    def handled(self) -> int:
+        return sum(1 for item in self.items if item.handled)
+
+    @property
+    def injected(self) -> int:
+        return sum(1 for item in self.items if item.injected)
+
+    @property
+    def handling_rate(self) -> float:
+        return self.handled / self.injected if self.injected else 0.0
+
+    def by_attribute(self) -> Dict[str, Tuple[int, int]]:
+        """attribute -> (handled, total injected)."""
+        summary: Dict[str, Tuple[int, int]] = {}
+        for attribute in (CONFIDENTIALITY, INTEGRITY, AVAILABILITY):
+            relevant = [i for i in self.items if i.attribute == attribute]
+            summary[attribute] = (
+                sum(1 for i in relevant if i.handled),
+                sum(1 for i in relevant if i.injected),
+            )
+        return summary
+
+    def render(self) -> str:
+        lines = [
+            f"security score card — Xen {self.version}",
+            f"{'intrusion model':<20}{'attribute':<17}{'outcome':<12}",
+            "-" * 49,
+        ]
+        for item in self.items:
+            if not item.injected:
+                outcome = "not injected"
+            elif item.handled:
+                outcome = "HANDLED"
+            else:
+                outcome = "violated"
+            lines.append(f"{item.name:<20}{item.attribute:<17}{outcome:<12}")
+        lines.append("-" * 49)
+        for attribute, (handled, total) in self.by_attribute().items():
+            lines.append(f"{attribute:<20}handled {handled}/{total}")
+        lines.append(
+            f"overall handling rate: {self.handling_rate:.0%} "
+            f"({self.handled}/{self.injected})"
+        )
+        return "\n".join(lines)
+
+
+class SecurityBenchmark:
+    """Run the suite against hypervisor configurations and rank them."""
+
+    def __init__(
+        self,
+        suite: Optional[Sequence[BenchmarkItem]] = None,
+        testbed_factory: Callable[[XenVersion], TestBed] = build_testbed,
+    ):
+        self.suite = list(suite or default_suite())
+        self.testbed_factory = testbed_factory
+
+    def score(self, version: XenVersion) -> ScoreCard:
+        card = ScoreCard(version=version.name)
+        for item in self.suite:
+            bed = self.testbed_factory(version)  # fresh host per item
+            injected, violated = item.run(bed)
+            card.items.append(
+                ItemResult(
+                    name=item.name,
+                    attribute=item.attribute,
+                    injected=injected,
+                    violated=violated,
+                )
+            )
+        return card
+
+    def rank(self, versions: Sequence[XenVersion]) -> List[ScoreCard]:
+        """Score each version; best handling rate first."""
+        cards = [self.score(version) for version in versions]
+        return sorted(cards, key=lambda c: c.handling_rate, reverse=True)

@@ -1,0 +1,171 @@
+"""The experiment campaign runner (paper Fig. 4 and §VI–§VIII).
+
+A campaign runs use cases against freshly booted testbeds:
+
+* ``Mode.EXPLOIT`` replays the third-party PoC's attack strategy;
+* ``Mode.INJECTION`` injects the same erroneous state through the
+  ``arbitrary_access`` injector and replays the post-state steps.
+
+Each run yields a :class:`RunResult` with the erroneous-state audit,
+the security-violation report, and the captured logs.  Helper methods
+produce the full matrices behind the paper's research questions:
+RQ1 (exploit vs injection on the vulnerable version), RQ2 (erroneous
+states on fixed versions), RQ3 (violations across versions,
+Table III).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.erroneous_state import ErroneousStateReport
+from repro.core.monitor import ViolationReport
+from repro.core.testbed import TestBed, build_testbed
+from repro.errors import HypervisorCrash
+from repro.exploits.base import ExploitFailed, UseCase
+from repro.guest.kernel import KernelOops
+from repro.xen.versions import XenVersion
+
+
+class Mode(enum.Enum):
+    """How the erroneous state is induced."""
+
+    EXPLOIT = "exploit"
+    INJECTION = "injection"
+
+
+@dataclass
+class RunResult:
+    """Everything observed in one (use case × version × mode) run."""
+
+    use_case: str
+    version: str
+    mode: Mode
+    erroneous_state: ErroneousStateReport
+    violation: ViolationReport
+    crashed: bool
+    #: How the run ended early, if it did ("kernel exception: ...",
+    #: "exploit failed: ...").  ``None`` when the script ran to its end
+    #: or the run ended in a hypervisor crash (which is an outcome, not
+    #: a failure).
+    failure: Optional[str] = None
+    console: List[str] = field(default_factory=list)
+    guest_log: List[str] = field(default_factory=list)
+
+    @property
+    def summary(self) -> str:
+        err = "err-state:YES" if self.erroneous_state.achieved else "err-state:no"
+        if self.violation.occurred:
+            vio = f"violation:YES ({self.violation.kind})"
+        else:
+            vio = "violation:no (handled)"
+        return f"[{self.use_case} on Xen {self.version} / {self.mode.value}] {err}, {vio}"
+
+
+class Campaign:
+    """Runs use cases against versions and collects the matrices."""
+
+    def __init__(
+        self,
+        testbed_factory: Callable[[XenVersion], TestBed] = build_testbed,
+        settle_rounds: int = 2,
+    ):
+        self.testbed_factory = testbed_factory
+        self.settle_rounds = settle_rounds
+
+    # ------------------------------------------------------------------
+    # Single run
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        use_case_cls: Type[UseCase],
+        version: XenVersion,
+        mode: Mode,
+    ) -> RunResult:
+        """One experiment: fresh testbed, attack or inject, observe."""
+        bed = self.testbed_factory(version)
+        use_case = use_case_cls()
+        use_case.prepare(bed)
+
+        failure: Optional[str] = None
+        try:
+            if mode is Mode.EXPLOIT:
+                use_case.run_exploit(bed)
+            else:
+                use_case.run_injection(bed)
+        except HypervisorCrash:
+            pass  # a crash is an observable outcome, not a run failure
+        except KernelOops as oops:
+            failure = f"kernel exception: {oops.fault.reason}"
+        except ExploitFailed as exc:
+            failure = f"{mode.value} failed: {exc}"
+
+        # Let the system run so deferred effects (vDSO calls, event
+        # deliveries) materialise, then observe.
+        bed.tick(self.settle_rounds)
+        erroneous = use_case.audit_erroneous_state(bed)
+        violation = use_case.detect_violation(bed)
+
+        attacker_log = (
+            list(bed.attacker_domain.kernel.log)
+            if bed.attacker_domain.kernel is not None
+            else []
+        )
+        return RunResult(
+            use_case=use_case_cls.name,
+            version=version.name,
+            mode=mode,
+            erroneous_state=erroneous,
+            violation=violation,
+            crashed=bed.xen.crashed,
+            failure=failure,
+            console=list(bed.xen.console),
+            guest_log=attacker_log,
+        )
+
+    # ------------------------------------------------------------------
+    # Matrices
+    # ------------------------------------------------------------------
+
+    def run_matrix(
+        self,
+        use_cases: Sequence[Type[UseCase]],
+        versions: Sequence[XenVersion],
+        modes: Sequence[Mode] = (Mode.EXPLOIT, Mode.INJECTION),
+    ) -> List[RunResult]:
+        results = []
+        for use_case_cls in use_cases:
+            for version in versions:
+                for mode in modes:
+                    results.append(self.run(use_case_cls, version, mode))
+        return results
+
+    def rq1_runs(
+        self,
+        use_cases: Sequence[Type[UseCase]],
+        vulnerable_version: XenVersion,
+    ) -> List[Tuple[RunResult, RunResult]]:
+        """RQ1: (exploit, injection) pairs on the vulnerable version."""
+        pairs = []
+        for use_case_cls in use_cases:
+            exploit = self.run(use_case_cls, vulnerable_version, Mode.EXPLOIT)
+            injection = self.run(use_case_cls, vulnerable_version, Mode.INJECTION)
+            pairs.append((exploit, injection))
+        return pairs
+
+    def table3_runs(
+        self,
+        use_cases: Sequence[Type[UseCase]],
+        versions: Sequence[XenVersion],
+    ) -> Dict[Tuple[str, str], RunResult]:
+        """RQ2/RQ3: injection runs on the non-vulnerable versions,
+        keyed by ``(use_case, version)`` — Table III's cells."""
+        cells = {}
+        for use_case_cls in use_cases:
+            for version in versions:
+                result = self.run(use_case_cls, version, Mode.INJECTION)
+                cells[(use_case_cls.name, version.name)] = result
+        return cells

@@ -1,0 +1,70 @@
+"""Exploit-vs-injection comparison (paper Fig. 4).
+
+The experimental validation strategy compares, on the same version,
+the security violation and the erroneous state observed when attacking
+the real vulnerability against those observed when injecting with the
+prototype: "If the violations and erroneous states observed are the
+same, it means that we could emulate effects caused by real
+intrusions."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.campaign import RunResult
+
+
+@dataclass
+class EquivalenceVerdict:
+    """Outcome of comparing one exploit run with one injection run."""
+
+    use_case: str
+    version: str
+    same_erroneous_state: bool
+    same_violation: bool
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return self.same_erroneous_state and self.same_violation
+
+    def render(self) -> str:
+        status = "EQUIVALENT" if self.equivalent else "DIFFERENT"
+        return (
+            f"{self.use_case} on Xen {self.version}: {status} "
+            f"(erroneous state: {'same' if self.same_erroneous_state else 'differs'}, "
+            f"violation: {'same' if self.same_violation else 'differs'})"
+        )
+
+
+def compare_runs(exploit: RunResult, injection: RunResult) -> EquivalenceVerdict:
+    """Compare an exploit run against its injection twin."""
+    if exploit.use_case != injection.use_case:
+        raise ValueError("comparing different use cases")
+    if exploit.version != injection.version:
+        raise ValueError("comparing different versions")
+
+    same_state = exploit.erroneous_state.matches(injection.erroneous_state)
+    same_violation = exploit.violation.matches(injection.violation)
+
+    notes = []
+    if not same_state:
+        notes.append(
+            "fingerprints differ: "
+            f"exploit={exploit.erroneous_state.fingerprint} "
+            f"injection={injection.erroneous_state.fingerprint}"
+        )
+    if not same_violation:
+        notes.append(
+            f"violations differ: exploit={exploit.violation.kind} "
+            f"injection={injection.violation.kind}"
+        )
+    return EquivalenceVerdict(
+        use_case=exploit.use_case,
+        version=exploit.version,
+        same_erroneous_state=same_state,
+        same_violation=same_violation,
+        notes=notes,
+    )

@@ -1,0 +1,141 @@
+"""Differential state-equivalence analysis (a stronger Fig. 4 check).
+
+The paper argues exploit and injection are equivalent when they induce
+"the same erroneous state".  The use-case audits check the *intended*
+state; this module checks the whole machine: snapshot memory before
+each run, diff afterwards, strip run-specific noise (console buffers,
+allocation ordering), and compare the *shapes* of the two change sets.
+
+Because an exploit and its injection twin allocate different frames,
+raw locations differ; the comparison therefore classifies each changed
+word by the *role* of the frame it lives in (IDT, shared upper-half
+table, M2P, a domain's page table, a domain's data page) and compares
+role histograms — two runs that corrupt "one word of the shared PUD
+and one gate of the IDT" match even if the surrounding allocations
+landed elsewhere.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.xen.frames import PageType
+from repro.xen.snapshot import MachineSnapshot, WordChange
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import TestBed
+
+
+def classify_frame(bed: "TestBed", mfn: int) -> str:
+    """The architectural role of a machine frame."""
+    xen = bed.xen
+    if mfn in xen.idt_mfns:
+        return "idt"
+    if mfn == xen.xen_pud_mfn:
+        return "shared-pud"
+    if mfn in xen.m2p_frames:
+        return "m2p"
+    if mfn == xen.xen_code_mfn:
+        return "xen-code"
+    info = xen.frames.info(mfn)
+    if info.type.is_pagetable:
+        return f"pagetable-l{info.type.level}"
+    owner = info.owner
+    if owner is None:
+        return "free"
+    for domain in bed.all_domains():
+        if domain.id == owner:
+            return "domain-data" if not domain.is_privileged else "dom0-data"
+    return f"domain-{owner}-data"
+
+
+@dataclass
+class StateDelta:
+    """The classified memory footprint of one run."""
+
+    changes: List[WordChange]
+    roles: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def capture(cls, bed: "TestBed", snapshot: MachineSnapshot) -> "StateDelta":
+        changes = snapshot.diff(bed.xen.machine)
+        roles = Counter(classify_frame(bed, change.mfn) for change in changes)
+        return cls(changes=changes, roles=roles)
+
+    def role_signature(self) -> Dict[str, int]:
+        """Roles that carry security meaning (data-page churn from
+        normal activity is noise; control-structure changes are not)."""
+        interesting = {
+            "idt",
+            "shared-pud",
+            "m2p",
+            "xen-code",
+            "pagetable-l1",
+            "pagetable-l2",
+            "pagetable-l3",
+            "pagetable-l4",
+        }
+        return {
+            role: count
+            for role, count in sorted(self.roles.items())
+            if role in interesting
+        }
+
+
+@dataclass
+class DifferentialVerdict:
+    """Outcome of the whole-machine comparison of two runs.
+
+    Three grades:
+
+    * ``equivalent`` — identical control-structure footprints;
+    * ``injection-minimal`` — the injection's footprint is a subset of
+      the exploit's: both corrupt the same target structures, but the
+      exploit additionally perturbs state as a side effect of driving
+      the vulnerable code path (e.g. XSA-212's ``memory_exchange``
+      legitimately updates the M2P while delivering its rogue write).
+      This is the paper's "directly driving the system into the
+      erroneous state" made visible: injections are *more surgical*
+      than the attacks they emulate;
+    * ``different`` — the footprints disagree on some target structure.
+    """
+
+    exploit_signature: Dict[str, int]
+    injection_signature: Dict[str, int]
+
+    @property
+    def equivalent(self) -> bool:
+        return self.exploit_signature == self.injection_signature
+
+    @property
+    def injection_minimal(self) -> bool:
+        """Injection footprint ⊆ exploit footprint (role-wise)."""
+        return all(
+            self.exploit_signature.get(role, 0) >= count
+            for role, count in self.injection_signature.items()
+        )
+
+    @property
+    def grade(self) -> str:
+        if self.equivalent:
+            return "equivalent"
+        if self.injection_minimal:
+            return "injection-minimal"
+        return "different"
+
+    def render(self) -> str:
+        return (
+            f"{self.grade.upper()}: exploit footprint "
+            f"{self.exploit_signature} vs injection footprint "
+            f"{self.injection_signature}"
+        )
+
+
+def compare_deltas(exploit: StateDelta, injection: StateDelta) -> DifferentialVerdict:
+    """Grade an exploit run's footprint against its injection twin's."""
+    return DifferentialVerdict(
+        exploit_signature=exploit.role_signature(),
+        injection_signature=injection.role_signature(),
+    )

@@ -1,0 +1,129 @@
+"""Erroneous-state reports and audit helpers (paper §VI).
+
+After an exploit or an injection runs, the experimenter audits the
+system to decide whether the intended erroneous state is present —
+the paper does this with page-table walks and by re-reading the
+corrupted structures.  The helpers here perform those audits against
+the simulator: an *inspection* page walk that records every level
+(ignoring access permissions, like a debugger), PTE dumps, and IDT
+gate dumps.
+
+Reports carry a ``fingerprint``: the *stable* characteristics of the
+state (flags, linkage, structure) with run-specific values (allocated
+MFNs) factored out, so that an exploit run and an injection run can be
+compared for state equivalence (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.xen.constants import PTE_PRESENT, PTE_PSE, PTE_RW, PTE_USER
+from repro.xen.hypervisor import Xen
+from repro.xen.idt import decode_gate
+from repro.xen.paging import (
+    describe_pte,
+    l1_index,
+    l2_index,
+    l3_index,
+    l4_index,
+    pte_mfn,
+    pte_present,
+)
+
+
+@dataclass
+class ErroneousStateReport:
+    """Did the intended erroneous state materialise, and what does the
+    audit show?"""
+
+    achieved: bool
+    description: str
+    #: Stable, run-independent characteristics (used for equivalence).
+    fingerprint: Dict[str, object] = field(default_factory=dict)
+    #: Free-form audit evidence lines (addresses, PTE dumps, ...).
+    evidence: List[str] = field(default_factory=list)
+
+    def matches(self, other: "ErroneousStateReport") -> bool:
+        """State equivalence: both achieved (or not) with identical
+        stable fingerprints."""
+        return (
+            self.achieved == other.achieved
+            and self.fingerprint == other.fingerprint
+        )
+
+
+@dataclass
+class WalkStep:
+    level: int
+    table_mfn: int
+    index: int
+    entry: int
+
+    def render(self) -> str:
+        return (
+            f"L{self.level}[{self.index:3d}] @mfn {self.table_mfn:#06x}: "
+            f"{describe_pte(self.entry)}"
+        )
+
+
+def inspection_walk(xen: Xen, l4_mfn: int, va: int) -> List[WalkStep]:
+    """Debugger-style page walk: follow entries regardless of access
+    permissions, recording each level; stops at a non-present entry."""
+    steps: List[WalkStep] = []
+    table_mfn = l4_mfn
+    for level, index in (
+        (4, l4_index(va)),
+        (3, l3_index(va)),
+        (2, l2_index(va)),
+        (1, l1_index(va)),
+    ):
+        entry = xen.machine.read_word(table_mfn, index)
+        steps.append(WalkStep(level=level, table_mfn=table_mfn, index=index, entry=entry))
+        if not pte_present(entry):
+            break
+        if level == 2 and entry & PTE_PSE:
+            break  # superpage leaf
+        next_mfn = pte_mfn(entry)
+        if next_mfn >= xen.machine.num_frames:
+            break
+        table_mfn = next_mfn
+    return steps
+
+
+def pte_flag_signature(entry: int) -> str:
+    """Stable flag rendering used in fingerprints (P/RW/US/PSE only —
+    the bits that define the erroneous states of the four use cases)."""
+    if not entry & PTE_PRESENT:
+        return "not-present"
+    parts = ["P"]
+    for mask, label in ((PTE_RW, "RW"), (PTE_USER, "US"), (PTE_PSE, "PSE")):
+        if entry & mask:
+            parts.append(label)
+    return "|".join(parts)
+
+
+def audit_pte(xen: Xen, table_mfn: int, index: int) -> Tuple[int, str]:
+    """Read one PTE and render it for evidence logs."""
+    entry = xen.machine.read_word(table_mfn, index)
+    return entry, f"mfn {table_mfn:#06x}[{index}] = {describe_pte(entry)}"
+
+
+def audit_idt_gate(xen: Xen, vector: int, cpu: int = 0) -> Dict[str, object]:
+    """Decode an IDT gate for audit purposes."""
+    idt = xen.idt(cpu)
+    word0, word1 = idt.gate_words(vector)
+    handler = decode_gate(word0, word1)
+    return {
+        "vector": vector,
+        "word0": word0,
+        "word1": word1,
+        "valid": handler is not None,
+        "handler": handler,
+    }
+
+
+def render_walk(steps: List[WalkStep]) -> List[str]:
+    """Render walk steps as evidence lines."""
+    return [step.render() for step in steps]

@@ -1,0 +1,188 @@
+"""Randomized erroneous-state campaigns (paper §IV-C).
+
+"One possibility is to randomize inputs to an injector, creating an
+approach that resembles fuzzing testing but in another level of
+interaction, in a post-attack phase."  This module is that approach as
+a library: draw random single-word corruptions of chosen hypervisor
+components (the *Write Unauthorized Arbitrary Memory* intrusion model
+with randomized inputs), inject each into a fresh testbed, exercise
+the system, and classify the outcome.
+
+Outcome classes:
+
+``crash``
+    the corruption brought the hypervisor down (availability);
+``exception``
+    contained in a guest-visible fault — the system noticed;
+``silent``
+    victim-owned state changed with no error anywhere (latent
+    integrity violation);
+``latent``
+    no observable effect during the exercise window;
+``refused``
+    the injector itself rejected the write (should not happen for
+    valid components).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.injector import IntrusionInjector
+from repro.core.testbed import TestBed, build_testbed
+from repro.errors import GuestFault, HypervisorCrash
+from repro.guest.kernel import KernelOops
+from repro.xen import layout
+from repro.xen.versions import XenVersion
+
+#: A component is a name plus a frame-selector over a testbed.
+FrameSelector = Callable[[TestBed], Sequence[int]]
+
+
+@dataclass(frozen=True)
+class ComponentTarget:
+    """One corruptible component of the virtualization layer."""
+
+    name: str
+    frames: FrameSelector
+
+
+def default_components() -> List[ComponentTarget]:
+    """The five components the §IV-C example campaign corrupts."""
+    return [
+        ComponentTarget("idt", lambda bed: bed.xen.idt_mfns[:1]),
+        ComponentTarget("shared-pud", lambda bed: [bed.xen.xen_pud_mfn]),
+        ComponentTarget("m2p", lambda bed: bed.xen.m2p_frames),
+        ComponentTarget(
+            "victim-pagetables",
+            lambda bed: [
+                bed.dom0.pfn_to_mfn(bed.dom0.kernel.l4_pfn),
+                bed.dom0.pfn_to_mfn(bed.dom0.kernel.l1_pfns[0]),
+            ],
+        ),
+        ComponentTarget(
+            "victim-data", lambda bed: [bed.dom0.pfn_to_mfn(4)]
+        ),
+    ]
+
+
+@dataclass
+class FuzzResult:
+    """One random injection and its classified outcome."""
+
+    component: str
+    mfn: int
+    word: int
+    value: int
+    outcome: str
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated campaign output."""
+
+    version: str
+    results: List[FuzzResult] = field(default_factory=list)
+
+    def outcomes_by_component(self) -> Dict[str, Counter]:
+        grouped: Dict[str, Counter] = {}
+        for result in self.results:
+            grouped.setdefault(result.component, Counter())[result.outcome] += 1
+        return grouped
+
+    def rate(self, component: str, outcome: str) -> float:
+        hits = [r for r in self.results if r.component == component]
+        if not hits:
+            return 0.0
+        return sum(1 for r in hits if r.outcome == outcome) / len(hits)
+
+    def render(self) -> str:
+        lines = [
+            f"random erroneous-state campaign on Xen {self.version} "
+            f"({len(self.results)} injections)",
+            f"{'component':<22}{'crash':<8}{'exception':<11}"
+            f"{'silent':<8}{'latent':<8}{'refused':<8}",
+            "-" * 65,
+        ]
+        for component, counts in self.outcomes_by_component().items():
+            lines.append(
+                f"{component:<22}{counts.get('crash', 0):<8}"
+                f"{counts.get('exception', 0):<11}"
+                f"{counts.get('silent', 0):<8}{counts.get('latent', 0):<8}"
+                f"{counts.get('refused', 0):<8}"
+            )
+        return "\n".join(lines)
+
+
+class RandomErroneousStateCampaign:
+    """Fuzz-style intrusion injection over hypervisor components."""
+
+    def __init__(
+        self,
+        version: XenVersion,
+        seed: int = 2023,
+        components: Optional[Sequence[ComponentTarget]] = None,
+        testbed_factory: Callable[[XenVersion], TestBed] = build_testbed,
+    ):
+        self.version = version
+        self.rng = random.Random(seed)
+        self.components = list(components or default_components())
+        self.testbed_factory = testbed_factory
+
+    # ------------------------------------------------------------------
+
+    def run(self, runs_per_component: int = 20) -> FuzzReport:
+        report = FuzzReport(version=self.version.name)
+        for component in self.components:
+            for _ in range(runs_per_component):
+                report.results.append(self._one(component))
+        return report
+
+    def _one(self, component: ComponentTarget) -> FuzzResult:
+        bed = self.testbed_factory(self.version)
+        frames = list(component.frames(bed))
+        mfn = self.rng.choice(frames)
+        word = self.rng.randrange(512)
+        value = self.rng.getrandbits(64)
+        previous = bed.xen.machine.read_word(mfn, word)
+        injector = IntrusionInjector(bed.attacker_domain.kernel)
+        rc = injector.write_word(layout.directmap_va(mfn, word), value)
+        if rc != 0:
+            outcome = "refused"
+        else:
+            outcome = self._exercise(bed, mfn, word, changed=value != previous)
+        return FuzzResult(
+            component=component.name, mfn=mfn, word=word, value=value,
+            outcome=outcome,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _exercise(bed: TestBed, mfn: int, word: int, changed: bool) -> str:
+        attacker = bed.attacker_domain.kernel
+        dom0 = bed.dom0.kernel
+        victim_frames = {m for m in bed.dom0.p2m if m is not None}
+        try:
+            for pfn in range(2, 8):
+                dom0.read_va(dom0.kva(pfn))
+            try:
+                attacker.trigger_page_fault()
+            except KernelOops:
+                pass  # normal delivery: guest oops, Xen survives
+            if mfn in bed.xen.idt_mfns:
+                bed.xen.software_interrupt(bed.attacker_domain, word // 2)
+            attacker.read_va(layout.RO_MPT_START + word * 8)
+            bed.tick()
+        except HypervisorCrash:
+            return "crash"
+        except (KernelOops, GuestFault):
+            return "exception"
+        if bed.xen.crashed:
+            return "crash"
+        if changed and mfn in victim_frames:
+            return "silent"
+        return "latent"

@@ -1,0 +1,63 @@
+"""The four injection scripts of Table II, as standalone functions.
+
+Each function boots nothing itself — it takes a prepared
+:class:`~repro.core.testbed.TestBed` and injects one use case's
+erroneous state (plus the post-state steps), exactly like
+``Campaign.run(..., Mode.INJECTION)`` does internally.  They exist so
+scripts and examples can say ``inject_xsa212_crash(bed)`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.core.erroneous_state import ErroneousStateReport
+from repro.core.monitor import ViolationReport
+from repro.errors import HypervisorCrash
+from repro.exploits import XSA148Priv, XSA182Test, XSA212Crash, XSA212Priv
+from repro.exploits.base import ExploitFailed, UseCase
+from repro.guest.kernel import KernelOops
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import TestBed
+
+
+def _inject(
+    use_case_cls, bed: "TestBed"
+) -> Tuple[ErroneousStateReport, ViolationReport]:
+    use_case: UseCase = use_case_cls()
+    use_case.prepare(bed)
+    try:
+        use_case.run_injection(bed)
+    except (HypervisorCrash, KernelOops, ExploitFailed):
+        pass
+    bed.tick(2)
+    return use_case.audit_erroneous_state(bed), use_case.detect_violation(bed)
+
+
+def inject_xsa212_crash(bed: "TestBed"):
+    """Overwrite the IDT page-fault gate and trigger a page fault."""
+    return _inject(XSA212Crash, bed)
+
+
+def inject_xsa212_priv(bed: "TestBed"):
+    """Link a crafted PMD into Xen's shared PUD and run a ring-0 payload."""
+    return _inject(XSA212Priv, bed)
+
+
+def inject_xsa148_priv(bed: "TestBed"):
+    """Create the writable PSE window and patch dom0's vDSO."""
+    return _inject(XSA148Priv, bed)
+
+
+def inject_xsa182_test(bed: "TestBed"):
+    """Set RW on a self-mapping L4 entry and test-write through it."""
+    return _inject(XSA182Test, bed)
+
+
+__all__ = [
+    "inject_xsa148_priv",
+    "inject_xsa182_test",
+    "inject_xsa212_crash",
+    "inject_xsa212_priv",
+]

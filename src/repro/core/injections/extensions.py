@@ -1,0 +1,245 @@
+"""Extension injection scripts beyond the paper's four use cases.
+
+§IX-C: "the approach is threat vector agnostic and can be mapped to
+other components, e.g., interruptions, device drivers, IO.  We are
+expanding our prototype to cover IMs related with malicious interrupts
+and activities originating from the management interface."  These
+scripts implement that expansion over the simulator, one per abusive
+functionality class that the four memory use cases do not cover:
+
+* :func:`inject_interrupt_storm` — *Uncontrolled Arbitrary Interrupts
+  Requests* (Non-Memory class);
+* :func:`inject_hang_state` — *Induce a Hang State* (Non-Memory);
+* :func:`inject_fatal_exception` — *Induce a Fatal Exception*
+  (Exceptional Conditions): corrupt an internal invariant, then let a
+  defensive ``BUG_ON`` bring the host down;
+* :func:`inject_read_unauthorized` — *Read Unauthorized Memory*
+  (Memory Access): exfiltrate another domain's in-memory secret.
+
+Each returns ``(ErroneousStateReport, ViolationReport)``, like the
+Table II scripts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.core.erroneous_state import ErroneousStateReport
+from repro.core.injector import IntrusionInjector
+from repro.core.model import (
+    InteractionInterface,
+    IntrusionModel,
+    TargetComponent,
+    TriggeringSource,
+)
+from repro.core.monitor import (
+    ConfidentialityMonitor,
+    CrashMonitor,
+    HangMonitor,
+    InterruptStormMonitor,
+    ViolationReport,
+)
+from repro.core.taxonomy import AbusiveFunctionality
+from repro.errors import HypervisorCrash
+from repro.xen import layout
+from repro.xen.constants import PAGE_SIZE, WORDS_PER_PAGE
+from repro.xen.idt import encode_gate
+from repro.xen.payload import Payload, SpinPayload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import TestBed
+
+#: Spare interrupt vectors the extension scripts register.
+_STORM_VECTOR = 0xD1
+_SPIN_VECTOR = 0xD2
+
+INTERRUPT_STORM_IM = IntrusionModel(
+    name="interrupt-storm",
+    abusive_functionality=(
+        AbusiveFunctionality.UNCONTROLLED_ARBITRARY_INTERRUPT_REQUESTS
+    ),
+    triggering_source=TriggeringSource.UNPRIVILEGED_GUEST,
+    target_component=TargetComponent.INTERRUPT_HANDLING,
+    interface=InteractionInterface.HYPERCALL,
+    description="flood a victim with event notifications it never bound",
+)
+
+HANG_IM = IntrusionModel(
+    name="host-hang",
+    abusive_functionality=AbusiveFunctionality.INDUCE_A_HANG_STATE,
+    triggering_source=TriggeringSource.UNPRIVILEGED_GUEST,
+    target_component=TargetComponent.SCHEDULER,
+    interface=InteractionInterface.HYPERCALL,
+    description="park a physical CPU in non-yielding ring-0 code",
+)
+
+FATAL_EXCEPTION_IM = IntrusionModel(
+    name="fatal-exception",
+    abusive_functionality=AbusiveFunctionality.INDUCE_A_FATAL_EXCEPTION,
+    triggering_source=TriggeringSource.UNPRIVILEGED_GUEST,
+    target_component=TargetComponent.MEMORY_MANAGEMENT,
+    interface=InteractionInterface.HYPERCALL,
+    description="violate an internal invariant guarded by BUG_ON",
+)
+
+READ_UNAUTHORIZED_IM = IntrusionModel(
+    name="read-unauthorized",
+    abusive_functionality=AbusiveFunctionality.READ_UNAUTHORIZED_MEMORY,
+    triggering_source=TriggeringSource.UNPRIVILEGED_GUEST,
+    target_component=TargetComponent.MEMORY_MANAGEMENT,
+    interface=InteractionInterface.HYPERCALL,
+    description="read another tenant's memory across the isolation boundary",
+)
+
+
+def _inject_ring0(bed: "TestBed", vector: int, payload: Payload) -> int:
+    """Shared helper: hide a payload, forge a gate for it, fire it."""
+    kernel = bed.attacker_domain.kernel
+    injector = IntrusionInjector(kernel)
+    payload_pfn = kernel.alloc_page()
+    payload_mfn = kernel.pfn_to_mfn(payload_pfn)
+    payload_va = layout.directmap_va(payload_mfn)
+    rc = injector.write_payload(payload_va, payload)
+    if rc != 0:
+        return rc
+    word0, word1 = encode_gate(payload_va)
+    gate_va = bed.xen.sidt(0) + vector * 16
+    rc = injector.write(gate_va, [word0, word1])
+    if rc != 0:
+        return rc
+    bed.xen.software_interrupt(bed.attacker_domain, vector)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Uncontrolled Arbitrary Interrupts Requests
+# ---------------------------------------------------------------------------
+
+class _StormPayload(Payload):
+    """Ring-0 payload that fabricates event deliveries to the victim."""
+
+    def __init__(self, victim_id: int, count: int):
+        super().__init__("interrupt-storm")
+        self.victim_id = victim_id
+        self.count = count
+
+    def execute(self, xen, domain) -> None:
+        victim = xen.domains.get(self.victim_id)
+        if victim is None or victim.kernel is None:
+            return
+        for i in range(self.count):
+            port = 1 + (i % 4)
+            xen.events.pending.setdefault(self.victim_id, []).append(port)
+            victim.kernel.on_event(port)
+        xen.log(
+            f"forged {self.count} event notifications for d{self.victim_id}"
+        )
+
+
+def inject_interrupt_storm(
+    bed: "TestBed", count: int = 128
+) -> Tuple[ErroneousStateReport, ViolationReport]:
+    """Flood the first (victim) guest with notifications it never
+    bound a channel for."""
+    victim = bed.guests[0]
+    rc = _inject_ring0(bed, _STORM_VECTOR, _StormPayload(victim.id, count))
+    pending = len(bed.xen.events.pending.get(victim.id, []))
+    erroneous = ErroneousStateReport(
+        achieved=rc == 0 and pending >= count,
+        description="forged pending events on unbound victim ports",
+        fingerprint={"victim": "guest", "storm": pending >= count},
+        evidence=[f"d{victim.id} pending queue length: {pending}"],
+    )
+    violation = InterruptStormMonitor(victim.id, threshold=count).observe(bed)
+    return erroneous, violation
+
+
+# ---------------------------------------------------------------------------
+# Induce a Hang State
+# ---------------------------------------------------------------------------
+
+def inject_hang_state(
+    bed: "TestBed", observe_ticks: int = 10
+) -> Tuple[ErroneousStateReport, ViolationReport]:
+    """Park pCPU 0 in spinning ring-0 code, then watch the scheduler
+    starve."""
+    rc = _inject_ring0(bed, _SPIN_VECTOR, SpinPayload(cpu=0))
+    spinning = bed.xen.scheduler.pcpus[0].spinning
+    erroneous = ErroneousStateReport(
+        achieved=rc == 0 and spinning,
+        description="physical CPU stuck in non-yielding ring-0 code",
+        fingerprint={"cpu": 0, "spinning": spinning},
+        evidence=[f"cpu0 spinning: {spinning}"],
+    )
+    bed.tick(observe_ticks)
+    violation = HangMonitor().observe(bed)
+    return erroneous, violation
+
+
+# ---------------------------------------------------------------------------
+# Induce a Fatal Exception
+# ---------------------------------------------------------------------------
+
+def inject_fatal_exception(
+    bed: "TestBed",
+) -> Tuple[ErroneousStateReport, ViolationReport]:
+    """Corrupt the machine-to-phys invariant for one of our own pages,
+    then take the code path whose ``BUG_ON`` guards it."""
+    kernel = bed.attacker_domain.kernel
+    injector = IntrusionInjector(kernel)
+    pfn = kernel.alloc_page()
+    mfn = kernel.pfn_to_mfn(pfn)
+
+    # The M2P table is a hypervisor structure; find the backing word.
+    frame_slot, word = divmod(mfn, WORDS_PER_PAGE)
+    m2p_mfn = bed.xen.m2p_frames[frame_slot]
+    rc = injector.write_word(layout.directmap_va(m2p_mfn, word), 0xBAD_BAD)
+    corrupted = bed.xen.m2p(mfn) == 0xBAD_BAD
+    erroneous = ErroneousStateReport(
+        achieved=rc == 0 and corrupted,
+        description="machine-to-phys entry inconsistent with the P2M",
+        fingerprint={"invariant": "m2p==p2m", "violated": corrupted},
+        evidence=[f"m2p[{mfn:#x}] = {bed.xen.m2p(mfn):#x}, p2m says {pfn:#x}"],
+    )
+
+    # Activate: memory_exchange re-checks the invariant defensively.
+    from repro.xen.hypercalls import ExchangeArgs
+
+    try:
+        kernel.memory_exchange(
+            ExchangeArgs(in_pfns=[pfn], out_extent_start=kernel.kva(pfn))
+        )
+    except HypervisorCrash:
+        pass
+    violation = CrashMonitor().observe(bed)
+    return erroneous, violation
+
+
+# ---------------------------------------------------------------------------
+# Read Unauthorized Memory
+# ---------------------------------------------------------------------------
+
+def inject_read_unauthorized(
+    bed: "TestBed",
+) -> Tuple[ErroneousStateReport, ViolationReport]:
+    """Exfiltrate dom0's in-memory secret through the injector's
+    physical-read mode (the info-leak IM)."""
+    from repro.core.testbed import SECRET_CANARY, SECRET_PFN, SECRET_WORD
+
+    kernel = bed.attacker_domain.kernel
+    injector = IntrusionInjector(kernel)
+    target_mfn = bed.dom0.pfn_to_mfn(SECRET_PFN)
+    value = injector.read_word(
+        target_mfn * PAGE_SIZE + SECRET_WORD * 8, linear=False
+    )
+    if value is not None:
+        kernel.exfiltrate(value)
+    erroneous = ErroneousStateReport(
+        achieved=value is not None,
+        description="guest read access to another domain's memory",
+        fingerprint={"cross_domain_read": value is not None},
+        evidence=[f"read d{bed.dom0.id} mfn {target_mfn:#x} -> "
+                  f"{value:#x}" if value is not None else "read failed"],
+    )
+    violation = ConfidentialityMonitor().observe(bed)
+    return erroneous, violation

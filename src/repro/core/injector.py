@@ -1,0 +1,211 @@
+"""The prototype intrusion injector (paper §V).
+
+The injector is a new hypercall —
+
+.. code-block:: c
+
+    long HYPERVISOR_arbitrary_access(unsigned long addr,
+                                     void *buf, size_t n, int action);
+
+— that lets a guest kernel read or write ``n`` bytes of memory at
+``addr`` with no restriction checks, in either *linear* or *physical*
+address mode.  Linear addresses are resolved in the hypervisor's own
+address space (``__copy_from_user`` / ``__copy_to_user`` semantics);
+physical addresses are mapped into the hypervisor first, then
+accessed.
+
+:func:`install_injector` adds the hypercall to a hypervisor's table —
+the "small changes in the hypercalls table" the paper applies to each
+of the three Xen versions.  :class:`IntrusionInjector` is the
+guest-side wrapper the injection scripts use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import EFAULT, EINVAL, HypercallError, HypervisorFault
+from repro.xen.addrspace import Access
+from repro.xen.constants import HYPERCALL_ARBITRARY_ACCESS
+from repro.xen.payload import Payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guest.kernel import GuestKernel
+    from repro.xen.domain import Domain
+    from repro.xen.hypervisor import Xen
+
+
+class ArbitraryAccessAction(enum.Enum):
+    """The ``action`` parameter of the injector hypercall."""
+
+    READ_LINEAR = "ARBITRARY_READ_LINEAR"
+    WRITE_LINEAR = "ARBITRARY_WRITE_LINEAR"
+    READ_PHYSICAL = "ARBITRARY_READ_PHYSICAL"
+    WRITE_PHYSICAL = "ARBITRARY_WRITE_PHYSICAL"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (self.WRITE_LINEAR, self.WRITE_PHYSICAL)
+
+    @property
+    def is_linear(self) -> bool:
+        return self in (self.READ_LINEAR, self.WRITE_LINEAR)
+
+
+def install_injector(xen: "Xen") -> None:
+    """Register ``arbitrary_access`` in the hypercall table.
+
+    Idempotent; works on every version — the injector's point is that
+    the *same* injection interface exists across the systems under
+    comparison.
+    """
+    if xen.hypercalls.is_registered(HYPERCALL_ARBITRARY_ACCESS):
+        return
+
+    def arbitrary_access(domain: "Domain", addr: int, buf: list, n: int, action) -> int:
+        return _do_arbitrary_access(xen, domain, addr, buf, n, action)
+
+    xen.hypercalls.register(HYPERCALL_ARBITRARY_ACCESS, arbitrary_access)
+    xen.log("intrusion injector: arbitrary_access hypercall installed")
+
+
+def injector_installed(xen: "Xen") -> bool:
+    """Is the arbitrary_access hypercall present in this build?"""
+    return xen.hypercalls.is_registered(HYPERCALL_ARBITRARY_ACCESS)
+
+
+def _resolve(xen: "Xen", addr: int, linear: bool, access: Access) -> Tuple[int, int]:
+    """Resolve one word address in the requested mode.
+
+    Linear mode uses the hypervisor's address space directly ("already
+    mapped in the hypervisor and can be used directly"); physical mode
+    maps the frame first ("it must be mapped prior to use").
+    """
+    if linear:
+        try:
+            return xen.addrspace.hypervisor_translate(addr, access)
+        except HypervisorFault as exc:
+            raise HypercallError(EFAULT, f"linear address: {exc.reason}") from None
+    if addr % 8:
+        raise HypercallError(EINVAL, f"unaligned physical address {addr:#x}")
+    mfn, word = xen.machine.split_paddr(addr)
+    if mfn >= xen.machine.num_frames:
+        raise HypercallError(EFAULT, f"physical address {addr:#x} beyond memory")
+    return mfn, word
+
+
+def _do_arbitrary_access(
+    xen: "Xen",
+    domain: "Domain",
+    addr: int,
+    buf: list,
+    n: int,
+    action: ArbitraryAccessAction,
+) -> int:
+    """The hypervisor-side implementation (paper §V-B).
+
+    ``buf`` models the guest buffer: for writes it supplies ``n`` words
+    (or :class:`Payload` objects — injected "code"); for reads the
+    words are appended to it (``__copy_to_user``).
+    """
+    if n <= 0 or n % 8:
+        raise HypercallError(EINVAL, f"byte count {n} not a multiple of 8")
+    words = n // 8
+    if action.is_write and len(buf) < words:
+        raise HypercallError(EINVAL, "write buffer shorter than n")
+
+    for i in range(words):
+        mfn, word = _resolve(
+            xen,
+            addr + 8 * i,
+            action.is_linear,
+            Access.WRITE if action.is_write else Access.READ,
+        )
+        if action.is_write:
+            value = buf[i]
+            if isinstance(value, Payload):
+                xen.machine.attach_blob(mfn, word, value)
+            else:
+                xen.machine.write_word(mfn, word, int(value))
+        else:
+            buf.append(xen.machine.read_word(mfn, word))
+    return 0
+
+
+class IntrusionInjector:
+    """Guest-side wrapper over the injector hypercall.
+
+    Mirrors the paper's interface: reads and writes of ``n`` bytes at
+    an address, in linear or physical mode.  Word granularity (8
+    bytes) matches the simulator's memory model.
+    """
+
+    def __init__(self, kernel: "GuestKernel"):
+        self.kernel = kernel
+
+    @property
+    def available(self) -> bool:
+        return injector_installed(self.kernel.xen)
+
+    def _call(self, addr: int, buf: list, n: int, action: ArbitraryAccessAction) -> int:
+        from repro.xen.constants import HYPERCALL_ARBITRARY_ACCESS as NR
+
+        return self.kernel.hypercall(NR, addr, buf, n, action)
+
+    # -- writes --------------------------------------------------------------
+
+    def write(
+        self,
+        addr: int,
+        values: Sequence[Union[int, Payload]],
+        action: ArbitraryAccessAction = ArbitraryAccessAction.WRITE_LINEAR,
+    ) -> int:
+        """``HYPERVISOR_arbitrary_access(addr, &val, 8*len, action)``."""
+        if not action.is_write:
+            raise ValueError(f"{action} is not a write action")
+        return self._call(addr, list(values), 8 * len(values), action)
+
+    def write_word(self, addr: int, value: int, linear: bool = True) -> int:
+        action = (
+            ArbitraryAccessAction.WRITE_LINEAR
+            if linear
+            else ArbitraryAccessAction.WRITE_PHYSICAL
+        )
+        return self.write(addr, [value], action)
+
+    def write_payload(self, addr: int, payload: Payload, linear: bool = True) -> int:
+        """Inject "code" at an address (a payload blob)."""
+        action = (
+            ArbitraryAccessAction.WRITE_LINEAR
+            if linear
+            else ArbitraryAccessAction.WRITE_PHYSICAL
+        )
+        return self.write(addr, [payload], action)
+
+    # -- reads ----------------------------------------------------------------
+
+    def read(
+        self,
+        addr: int,
+        n_words: int = 1,
+        action: ArbitraryAccessAction = ArbitraryAccessAction.READ_LINEAR,
+    ) -> Optional[List[int]]:
+        """Read ``n_words`` words; ``None`` if the hypercall failed."""
+        if action.is_write:
+            raise ValueError(f"{action} is not a read action")
+        buf: list = []
+        rc = self._call(addr, buf, 8 * n_words, action)
+        if rc != 0:
+            return None
+        return buf
+
+    def read_word(self, addr: int, linear: bool = True) -> Optional[int]:
+        action = (
+            ArbitraryAccessAction.READ_LINEAR
+            if linear
+            else ArbitraryAccessAction.READ_PHYSICAL
+        )
+        result = self.read(addr, 1, action)
+        return None if result is None else result[0]

@@ -1,0 +1,178 @@
+"""Intrusion models and the extended-AVI chain (paper §III, §IV-B/C).
+
+An **Intrusion Model** (IM) "abstracts how an erroneous state is
+achieved when using an abusive functionality through a given
+interface".  Instantiating one fixes the *triggering source* (who
+attacks), the *target component* (what part of the virtualization
+layer is abused), and the *interaction interface* (how), on top of the
+abusive functionality itself.
+
+:class:`AviChain` renders Fig. 1: the classic dependability chain of
+threats specialised by the extended AVI model —
+``attack + vulnerability → intrusion → erroneous state → security
+violation``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.taxonomy import AbusiveFunctionality, table_ii_label
+
+
+class TriggeringSource(enum.Enum):
+    """Who drives the abusive functionality (threat-model dimension)."""
+
+    UNPRIVILEGED_GUEST = "unprivileged guest virtual machine"
+    PRIVILEGED_GUEST_USER = "privileged user in a guest"
+    CONTROL_DOMAIN = "control domain (dom0)"
+    MANAGEMENT_INTERFACE = "management interface"
+    DEVICE_DRIVER = "device driver"
+
+
+class TargetComponent(enum.Enum):
+    """Which subsystem of the virtualization layer is targeted."""
+
+    MEMORY_MANAGEMENT = "memory management component"
+    INTERRUPT_HANDLING = "interrupt/event handling"
+    GRANT_TABLES = "grant tables"
+    DEVICE_EMULATION = "device emulation"
+    SCHEDULER = "scheduler"
+
+
+class InteractionInterface(enum.Enum):
+    """Through which interface the adversary interacts."""
+
+    HYPERCALL = "hypercall"
+    IO_PORT = "emulated I/O port"
+    SHARED_MEMORY = "shared memory"
+    MANAGEMENT_API = "management API"
+
+
+@dataclass(frozen=True)
+class IntrusionModel:
+    """One instantiated intrusion model (paper §IV-C).
+
+    ``related_advisories`` records the known vulnerabilities the model
+    generalises; an IM remains meaningful for *unknown* vulnerabilities
+    that would lead to the same erroneous states.
+    """
+
+    name: str
+    abusive_functionality: AbusiveFunctionality
+    triggering_source: TriggeringSource
+    target_component: TargetComponent
+    interface: InteractionInterface
+    description: str = ""
+    related_advisories: Tuple[str, ...] = ()
+
+    @property
+    def functionality_label(self) -> str:
+        return table_ii_label(self.abusive_functionality)
+
+    def describe(self) -> str:
+        return (
+            f"IM[{self.name}]: a {self.triggering_source.value} uses a "
+            f"{self.interface.value} against the {self.target_component.value} "
+            f"to obtain '{self.functionality_label}'"
+        )
+
+
+#: The full instantiation shared by the paper's four use cases (§VI-A):
+#: "an unprivileged guest virtual machine that uses an hypercall to
+#: target the memory management component in the virtualization layer".
+def memory_management_im(
+    name: str,
+    functionality: AbusiveFunctionality,
+    advisories: Sequence[str],
+    description: str = "",
+) -> IntrusionModel:
+    """Instantiate the paper's shared memory-management IM (§VI-A)."""
+    return IntrusionModel(
+        name=name,
+        abusive_functionality=functionality,
+        triggering_source=TriggeringSource.UNPRIVILEGED_GUEST,
+        target_component=TargetComponent.MEMORY_MANAGEMENT,
+        interface=InteractionInterface.HYPERCALL,
+        description=description,
+        related_advisories=tuple(advisories),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1: the chain of dependability threats with the extended AVI model
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChainStage:
+    name: str
+    dependability_term: str
+    description: str
+
+
+class AviChain:
+    """The extended-AVI specialisation of fault → error → failure.
+
+    The stages and their mapping onto the classic chain reproduce
+    Fig. 1; :meth:`propagate` walks a concrete incident through them.
+    """
+
+    STAGES: Tuple[ChainStage, ...] = (
+        ChainStage(
+            name="attack",
+            dependability_term="external malicious fault",
+            description="intentional act taken by the adversary, usually an exploit",
+        ),
+        ChainStage(
+            name="vulnerability",
+            dependability_term="internal fault",
+            description="fault introduced during design, development or operation",
+        ),
+        ChainStage(
+            name="intrusion",
+            dependability_term="fault activation",
+            description="the exploit activates the vulnerability",
+        ),
+        ChainStage(
+            name="erroneous state",
+            dependability_term="error",
+            description="intrusion-induced perturbation of the system state",
+        ),
+        ChainStage(
+            name="security violation",
+            dependability_term="failure",
+            description="a failure that affects a security attribute",
+        ),
+    )
+
+    @classmethod
+    def stage(cls, name: str) -> ChainStage:
+        for stage in cls.STAGES:
+            if stage.name == name:
+                return stage
+        raise KeyError(name)
+
+    @classmethod
+    def propagate(cls, handled_at: Optional[str] = None) -> List[str]:
+        """Walk the chain; stop early if the system handles the error.
+
+        ``handled_at`` names the stage at which a defence intercepts
+        the propagation (e.g. ``"erroneous state"`` when the system
+        tolerates the error, as Xen 4.13 does in two use cases).
+        """
+        trace = []
+        for stage in cls.STAGES:
+            trace.append(stage.name)
+            if handled_at is not None and stage.name == handled_at:
+                trace.append("<handled — no security violation>")
+                break
+        return trace
+
+    @classmethod
+    def render(cls) -> str:
+        arrow = " -> "
+        top = arrow.join(stage.name for stage in cls.STAGES)
+        bottom = arrow.join(stage.dependability_term for stage in cls.STAGES)
+        return f"{top}\n({bottom})"

@@ -1,0 +1,294 @@
+"""System monitoring and security-violation detection (paper §IV-A).
+
+"As a security violation may happen or not, depending on the capacity
+of the system to deal with intrusions, system monitoring is needed to
+evaluate how the system behaves in the presence of the erroneous
+state."  The paper observes its violations by hand (console crashes,
+dropped files, reverse shells, debug prints); this module automates
+those observations as composable monitors so campaigns are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.xen.constants import ENTRIES_PER_TABLE, PTE_PRESENT, PTE_PSE, PTE_RW
+from repro.xen.frames import PageType
+from repro.xen.paging import pte_mfn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import TestBed
+
+
+@dataclass
+class ViolationReport:
+    """Outcome of violation detection for one run."""
+
+    occurred: bool
+    kind: Optional[str] = None  # e.g. "hypervisor crash", "privilege escalation"
+    evidence: List[str] = field(default_factory=list)
+
+    @classmethod
+    def none(cls) -> "ViolationReport":
+        return cls(occurred=False)
+
+    def matches(self, other: "ViolationReport") -> bool:
+        return self.occurred == other.occurred and self.kind == other.kind
+
+
+class Monitor(abc.ABC):
+    """One observation channel over the testbed."""
+
+    name: str = "monitor"
+
+    @abc.abstractmethod
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        """Inspect the testbed and report any violation seen."""
+
+
+class CrashMonitor(Monitor):
+    """Watches the Xen console for a panic (availability violation)."""
+
+    name = "hypervisor-crash"
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        xen = bed.xen
+        if not xen.crashed:
+            return ViolationReport.none()
+        evidence = [line for line in xen.console[-12:]]
+        return ViolationReport(
+            occurred=True, kind="hypervisor crash", evidence=evidence
+        )
+
+
+class FileDropMonitor(Monitor):
+    """Detects the XSA-212-priv observable: a root-owned log file
+    appearing in *every* domain's filesystem."""
+
+    name = "file-drop"
+
+    def __init__(self, path: str = "/tmp/injector_log"):
+        self.path = path
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        evidence = []
+        domains = [d for d in bed.all_domains() if d.kernel is not None]
+        for domain in domains:
+            if not domain.kernel.fs.exists(self.path):
+                return ViolationReport.none()
+            content = domain.kernel.fs.read(self.path, uid=0)
+            if "uid=0(root)" not in content:
+                return ViolationReport.none()
+            evidence.append(f"d{domain.id} ({domain.hostname}): {content}")
+        if not domains:
+            return ViolationReport.none()
+        return ViolationReport(
+            occurred=True,
+            kind="privilege escalation (all domains)",
+            evidence=evidence,
+        )
+
+
+class ReverseShellMonitor(Monitor):
+    """Detects the XSA-148-priv observable: the attacker's listener
+    received a connection whose shell runs commands as root."""
+
+    name = "reverse-shell"
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        listener = bed.network.listener(self.host, self.port)
+        if listener is None or not listener.connected:
+            return ViolationReport.none()
+        connection = listener.latest()
+        whoami = connection.run("whoami && hostname")
+        if not whoami.startswith("root"):
+            return ViolationReport(
+                occurred=True,
+                kind="remote access (unprivileged)",
+                evidence=[f"shell banner: {whoami}"],
+            )
+        secret = connection.run("cat /root/root_msg")
+        return ViolationReport(
+            occurred=True,
+            kind="remote privilege escalation",
+            evidence=[
+                f"connection from {connection.from_host} to "
+                f"{self.host}:{self.port}",
+                f"whoami && hostname -> {whoami!r}",
+                f"cat /root/root_msg -> {secret!r}",
+            ],
+        )
+
+
+class PageTableIntegrityMonitor(Monitor):
+    """Scans domain page tables for states that should never exist:
+    guest-writable PSE superpages and writable L4 self-mappings."""
+
+    name = "pagetable-integrity"
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        xen = bed.xen
+        evidence = []
+        for domain in bed.all_domains():
+            for mfn in domain.p2m:
+                if mfn is None:
+                    continue
+                info = xen.frames.info(mfn)
+                if info.type is PageType.L2:
+                    evidence.extend(self._scan_l2(xen, domain, mfn))
+                elif info.type is PageType.L4:
+                    evidence.extend(self._scan_l4(xen, domain, mfn))
+        if evidence:
+            return ViolationReport(
+                occurred=True, kind="page-table corruption", evidence=evidence
+            )
+        return ViolationReport.none()
+
+    @staticmethod
+    def _scan_l2(xen, domain, mfn) -> List[str]:
+        hits = []
+        for index in range(ENTRIES_PER_TABLE):
+            entry = xen.machine.read_word(mfn, index)
+            if entry & PTE_PRESENT and entry & PTE_PSE and entry & PTE_RW:
+                hits.append(
+                    f"d{domain.id} L2 mfn {mfn:#06x}[{index}]: "
+                    f"writable PSE superpage -> mfn {pte_mfn(entry):#06x}"
+                )
+        return hits
+
+    @staticmethod
+    def _scan_l4(xen, domain, mfn) -> List[str]:
+        hits = []
+        for index in range(ENTRIES_PER_TABLE):
+            entry = xen.machine.read_word(mfn, index)
+            if (
+                entry & PTE_PRESENT
+                and entry & PTE_RW
+                and pte_mfn(entry) == mfn
+            ):
+                hits.append(
+                    f"d{domain.id} L4 mfn {mfn:#06x}[{index}]: "
+                    "writable self-mapping"
+                )
+        return hits
+
+
+class IdtIntegrityMonitor(Monitor):
+    """Verifies every IDT gate still decodes as valid."""
+
+    name = "idt-integrity"
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        xen = bed.xen
+        evidence = []
+        for cpu in range(xen.num_pcpus):
+            idt = xen.idt(cpu)
+            for vector in range(256):
+                if not idt.is_valid(vector):
+                    evidence.append(f"cpu{cpu} vector {vector}: corrupt gate")
+        if evidence:
+            return ViolationReport(
+                occurred=True, kind="IDT corruption", evidence=evidence
+            )
+        return ViolationReport.none()
+
+
+class HangMonitor(Monitor):
+    """Detects host hang states via scheduler starvation accounting
+    (the "Induce a Hang State" abusive functionality)."""
+
+    name = "hang"
+
+    def __init__(self, starvation_threshold: int = 5):
+        self.starvation_threshold = starvation_threshold
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        scheduler = bed.xen.scheduler
+        if not scheduler.is_hung(self.starvation_threshold):
+            return ViolationReport.none()
+        evidence = [
+            f"cpu{p.cpu_id}: spinning={p.spinning}, "
+            f"starved for {p.starved_ticks} ticks"
+            for p in scheduler.hung_pcpus
+        ]
+        return ViolationReport(
+            occurred=True, kind="availability violation (host hang)",
+            evidence=evidence,
+        )
+
+
+class InterruptStormMonitor(Monitor):
+    """Detects interrupt floods against a victim domain (the
+    "Uncontrolled Arbitrary Interrupts Requests" functionality)."""
+
+    name = "interrupt-storm"
+
+    def __init__(self, victim_id: int, threshold: int = 64):
+        self.victim_id = victim_id
+        self.threshold = threshold
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        victim = bed.xen.domains.get(self.victim_id)
+        if victim is None or victim.kernel is None:
+            return ViolationReport.none()
+        received = len(victim.kernel.events_received)
+        if received < self.threshold:
+            return ViolationReport.none()
+        return ViolationReport(
+            occurred=True,
+            kind="availability degradation (interrupt storm)",
+            evidence=[
+                f"d{victim.id} received {received} notifications "
+                f"(threshold {self.threshold})"
+            ],
+        )
+
+
+class ConfidentialityMonitor(Monitor):
+    """Detects exfiltration of the dom0 in-memory secret canary."""
+
+    name = "confidentiality"
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        from repro.core.testbed import SECRET_CANARY
+
+        for domain in bed.guests:
+            if domain.kernel is None:
+                continue
+            if SECRET_CANARY in domain.kernel.loot:
+                return ViolationReport(
+                    occurred=True,
+                    kind="confidentiality violation (secret exfiltrated)",
+                    evidence=[
+                        f"d{domain.id} ({domain.name}) exfiltrated the dom0 "
+                        f"canary {SECRET_CANARY:#x}"
+                    ],
+                )
+        return ViolationReport.none()
+
+
+class CompositeMonitor(Monitor):
+    """Run several monitors; report the first violation found (in
+    registration order, so put the most specific monitor first)."""
+
+    name = "composite"
+
+    def __init__(self, monitors: List[Monitor]):
+        self.monitors = monitors
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        for monitor in self.monitors:
+            report = monitor.observe(bed)
+            if report.occurred:
+                return report
+        return ViolationReport.none()
+
+    def observe_all(self, bed: "TestBed") -> Dict[str, ViolationReport]:
+        return {monitor.name: monitor.observe(bed) for monitor in self.monitors}

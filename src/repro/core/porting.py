@@ -1,0 +1,182 @@
+"""Cross-system injector interfaces — porting erroneous states (§IX-A).
+
+"To trigger similar erroneous states in different systems, we envision
+each system having its own injector, providing abusive functionality
+interfaces that handle the design and run-time differences."  This
+module implements that vision over the two systems the repository
+ships: the Xen PV simulator and the QEMU-like device emulator.
+
+A :class:`SystemInjector` exposes *abusive functionality interfaces* —
+one method per supported functionality — so that a portable test case
+is written once against the functionality and runs on any system that
+implements it:
+
+>>> for adapter in (XenSystemInjector(bed), QemuSystemInjector(process)):
+...     outcome = adapter.induce(AbusiveFunctionality.WRITE_UNAUTHORIZED_MEMORY)
+
+The adapters absorb the system differences: on Xen, "write
+unauthorized memory" goes through the ``arbitrary_access`` hypercall
+into another domain's frame; on the emulator it is a heap write past
+the FDC FIFO.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.injector import IntrusionInjector
+from repro.core.taxonomy import AbusiveFunctionality as AF
+from repro.xen.constants import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import TestBed
+    from repro.qemu.machine import QemuProcess
+
+
+@dataclass
+class InductionOutcome:
+    """What one portable induction did on one system."""
+
+    system: str
+    functionality: AF
+    erroneous_state: bool
+    detail: str = ""
+
+
+class SystemInjector(abc.ABC):
+    """The per-system injector of §IX-A."""
+
+    system_name: str = "abstract"
+
+    @abc.abstractmethod
+    def supported(self) -> List[AF]:
+        """The abusive functionalities this system's injector offers."""
+
+    def induce(self, functionality: AF, **params) -> InductionOutcome:
+        """Run the abusive functionality; raises ``KeyError`` for
+        functionalities this system does not support."""
+        handler = self._handlers().get(functionality)
+        if handler is None:
+            raise KeyError(
+                f"{self.system_name} injector does not support "
+                f"{functionality.label!r}"
+            )
+        return handler(**params)
+
+    @abc.abstractmethod
+    def _handlers(self) -> Dict[AF, object]:
+        ...
+
+
+class XenSystemInjector(SystemInjector):
+    """Adapter over the Xen prototype injector."""
+
+    system_name = "xen-pv"
+
+    def __init__(self, bed: "TestBed"):
+        self.bed = bed
+        self.injector = IntrusionInjector(bed.attacker_domain.kernel)
+
+    def supported(self) -> List[AF]:
+        return sorted(self._handlers(), key=lambda f: f.label)
+
+    def _handlers(self):
+        return {
+            AF.WRITE_UNAUTHORIZED_MEMORY: self._write_unauthorized,
+            AF.READ_UNAUTHORIZED_MEMORY: self._read_unauthorized,
+            AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY: self._write_arbitrary,
+        }
+
+    def _victim_paddr(self, word: int = 0) -> int:
+        return self.bed.dom0.pfn_to_mfn(4) * PAGE_SIZE + word * 8
+
+    def _write_unauthorized(self, value: int = 0x4141) -> InductionOutcome:
+        """Corrupt a fixed victim structure (dom0 data page)."""
+        rc = self.injector.write_word(self._victim_paddr(), value, linear=False)
+        return InductionOutcome(
+            system=self.system_name,
+            functionality=AF.WRITE_UNAUTHORIZED_MEMORY,
+            erroneous_state=rc == 0,
+            detail=f"wrote {value:#x} into dom0 memory (rc={rc})",
+        )
+
+    def _read_unauthorized(self) -> InductionOutcome:
+        value = self.injector.read_word(self._victim_paddr(), linear=False)
+        if value is not None:
+            self.bed.attacker_domain.kernel.exfiltrate(value)
+        return InductionOutcome(
+            system=self.system_name,
+            functionality=AF.READ_UNAUTHORIZED_MEMORY,
+            erroneous_state=value is not None,
+            detail=f"read dom0 word -> {value!r}",
+        )
+
+    def _write_arbitrary(
+        self, paddr: Optional[int] = None, value: int = 0x4242
+    ) -> InductionOutcome:
+        target = paddr if paddr is not None else self._victim_paddr(8)
+        rc = self.injector.write_word(target, value, linear=False)
+        return InductionOutcome(
+            system=self.system_name,
+            functionality=AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY,
+            erroneous_state=rc == 0,
+            detail=f"wrote {value:#x} at physical {target:#x} (rc={rc})",
+        )
+
+
+class QemuSystemInjector(SystemInjector):
+    """Adapter over the device-emulator injector (§III-B)."""
+
+    system_name = "qemu-emulator"
+
+    def __init__(self, process: "QemuProcess"):
+        self.process = process
+
+    def supported(self) -> List[AF]:
+        return sorted(self._handlers(), key=lambda f: f.label)
+
+    def _handlers(self):
+        return {
+            AF.WRITE_UNAUTHORIZED_MEMORY: self._write_unauthorized,
+            AF.READ_UNAUTHORIZED_MEMORY: self._read_unauthorized,
+        }
+
+    def _write_unauthorized(self, value: int = 0x4141) -> InductionOutcome:
+        """Corrupt the security-critical heap word past the FIFO."""
+        from repro.qemu.machine import QemuInjector
+
+        QemuInjector(self.process).inject_fifo_overflow(
+            bytes([value & 0xFF, (value >> 8) & 0xFF])
+        )
+        return InductionOutcome(
+            system=self.system_name,
+            functionality=AF.WRITE_UNAUTHORIZED_MEMORY,
+            erroneous_state=self.process.dispatch_corrupted,
+            detail="overwrote the IO dispatch pointer past the FDC FIFO",
+        )
+
+    def _read_unauthorized(self) -> InductionOutcome:
+        from repro.qemu.machine import DISPATCH_PTR_OFFSET
+
+        value = self.process._read_u16(DISPATCH_PTR_OFFSET)  # noqa: SLF001
+        return InductionOutcome(
+            system=self.system_name,
+            functionality=AF.READ_UNAUTHORIZED_MEMORY,
+            erroneous_state=True,
+            detail=f"read emulator heap word -> {value:#x}",
+        )
+
+
+def portable_campaign(
+    injectors: List[SystemInjector], functionality: AF
+) -> List[InductionOutcome]:
+    """Run one abusive functionality against every system that
+    supports it — the "portable test cases based on architectural
+    conceptual aspects" of the paper's introduction (capability v)."""
+    outcomes = []
+    for injector in injectors:
+        if functionality in injector.supported():
+            outcomes.append(injector.induce(functionality))
+    return outcomes

@@ -1,0 +1,163 @@
+"""The weird-machine view of an intrusion (paper Fig. 3, §IV-B).
+
+The left of Fig. 3 shows the *internal* transitions of a system under
+attack: a state machine stepping through instruction sets until the
+vulnerability-activation transition lands it in an erroneous state.
+The right shows the attacker's *external* abstraction: a single
+**abusive functionality** transition from the initial state straight
+to the erroneous state.  "Both diagrams are equivalent in
+functionality, i.e., putting the system into a specific erroneous
+state based on a given input."
+
+This module provides both machines and the functional-equivalence
+check; the Fig. 3 benchmark instantiates them for the paper's example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One internal transition consumed by an instruction set."""
+
+    source: str
+    instruction_set: str
+    target: str
+    activates_vulnerability: bool = False
+
+
+class ConcreteSystemMachine:
+    """The internal view: states + instruction-set transitions."""
+
+    def __init__(
+        self,
+        initial_state: str,
+        transitions: Sequence[Transition],
+        erroneous_states: Sequence[str],
+    ):
+        self.initial_state = initial_state
+        self.transitions = list(transitions)
+        self.erroneous_states = set(erroneous_states)
+        self._by_key: Dict[Tuple[str, str], Transition] = {
+            (t.source, t.instruction_set): t for t in self.transitions
+        }
+
+    def step(self, state: str, instruction_set: str) -> Optional[str]:
+        transition = self._by_key.get((state, instruction_set))
+        return None if transition is None else transition.target
+
+    def run(self, inputs: Sequence[str]) -> Optional[str]:
+        """Process the input sequence; ``None`` if the run gets stuck."""
+        state = self.initial_state
+        for instruction_set in inputs:
+            nxt = self.step(state, instruction_set)
+            if nxt is None:
+                return None
+            state = nxt
+        return state
+
+    def reaches_erroneous_state(self, inputs: Sequence[str]) -> Optional[str]:
+        final = self.run(inputs)
+        if final is not None and final in self.erroneous_states:
+            return final
+        return None
+
+    @property
+    def states(self) -> List[str]:
+        names = {self.initial_state}
+        for t in self.transitions:
+            names.add(t.source)
+            names.add(t.target)
+        return sorted(names)
+
+
+class AbstractIntrusionMachine:
+    """The external (attacker) view: initial state, one abusive
+    functionality per input class, straight to the erroneous state."""
+
+    def __init__(self, initial_state: str):
+        self.initial_state = initial_state
+        self._functionality: Dict[Tuple[str, ...], str] = {}
+
+    def define_abusive_functionality(
+        self, inputs: Sequence[str], erroneous_state: str
+    ) -> None:
+        """Declare: feeding ``inputs`` exercises the abusive
+        functionality and lands the system in ``erroneous_state``."""
+        self._functionality[tuple(inputs)] = erroneous_state
+
+    def run(self, inputs: Sequence[str]) -> Optional[str]:
+        return self._functionality.get(tuple(inputs))
+
+    @property
+    def modelled_inputs(self) -> List[Tuple[str, ...]]:
+        return sorted(self._functionality)
+
+
+def functionally_equivalent(
+    concrete: ConcreteSystemMachine,
+    abstract: AbstractIntrusionMachine,
+    input_sequences: Sequence[Sequence[str]],
+) -> bool:
+    """Fig. 3's equivalence claim, checked over the given inputs.
+
+    For every input sequence, the erroneous state the concrete machine
+    lands in must equal the one the abstraction predicts (including
+    both predicting "no erroneous state").
+    """
+    for inputs in input_sequences:
+        if concrete.reaches_erroneous_state(inputs) != abstract.run(inputs):
+            return False
+    return True
+
+
+def abstract_from_concrete(
+    concrete: ConcreteSystemMachine,
+    input_sequences: Sequence[Sequence[str]],
+) -> AbstractIntrusionMachine:
+    """Derive the attacker's abstraction by observing the system —
+    the modelling step an analyst performs when defining an IM."""
+    abstract = AbstractIntrusionMachine(concrete.initial_state)
+    for inputs in input_sequences:
+        erroneous = concrete.reaches_erroneous_state(inputs)
+        if erroneous is not None:
+            abstract.define_abusive_functionality(inputs, erroneous)
+    return abstract
+
+
+def build_figure3_machines() -> Tuple[
+    ConcreteSystemMachine, AbstractIntrusionMachine, List[List[str]]
+]:
+    """The example machines of Fig. 3.
+
+    The concrete machine mirrors the figure: state 1 processes
+    instruction set *a* to reach state 2, further instruction sets move
+    it along, and the vulnerability-activation transition drops it into
+    the erroneous state.  The abstraction maps the whole malicious
+    input directly onto that erroneous state.
+    """
+    concrete = ConcreteSystemMachine(
+        initial_state="state-1",
+        transitions=[
+            Transition("state-1", "instruction-set-a", "state-2"),
+            Transition("state-2", "instruction-set-b", "state-3"),
+            Transition("state-3", "instruction-set-c", "state-1"),
+            Transition(
+                "state-3",
+                "malicious-input",
+                "erroneous-state",
+                activates_vulnerability=True,
+            ),
+        ],
+        erroneous_states=["erroneous-state"],
+    )
+    inputs = [
+        ["instruction-set-a", "instruction-set-b", "malicious-input"],
+        ["instruction-set-a", "instruction-set-b", "instruction-set-c"],
+        ["instruction-set-a"],
+    ]
+    abstract = abstract_from_concrete(concrete, inputs)
+    return concrete, abstract, inputs

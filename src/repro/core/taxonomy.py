@@ -1,0 +1,124 @@
+"""The abusive-functionality taxonomy (paper §IV-D, Table I).
+
+An *abusive functionality* is "the essential characteristic that can be
+generalized from a collection of exploits": the advantage an adversary
+gains from activating a vulnerability, abstracted away from the
+specific bug.  The paper's preliminary study over 100 memory-related
+Xen CVEs yields four classes and sixteen functionalities, reproduced
+here verbatim.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+
+class FunctionalityClass(enum.Enum):
+    """Primary-goal grouping of abusive functionalities (Table I)."""
+
+    MEMORY_ACCESS = "Memory Access"
+    MEMORY_MANAGEMENT = "Memory Management"
+    EXCEPTIONAL_CONDITIONS = "Exceptional Conditions"
+    NON_MEMORY = "Non-Memory Related"
+
+
+class AbusiveFunctionality(enum.Enum):
+    """The sixteen abusive functionalities of Table I.
+
+    Each member carries its printable label and its class.
+    """
+
+    READ_UNAUTHORIZED_MEMORY = (
+        "Read Unauthorized Memory",
+        FunctionalityClass.MEMORY_ACCESS,
+    )
+    WRITE_UNAUTHORIZED_MEMORY = (
+        "Write Unauthorized Memory",
+        FunctionalityClass.MEMORY_ACCESS,
+    )
+    WRITE_UNAUTHORIZED_ARBITRARY_MEMORY = (
+        "Write Unauthorized Arbitrary Memory",
+        FunctionalityClass.MEMORY_ACCESS,
+    )
+    RW_UNAUTHORIZED_MEMORY = (
+        "R/W Unauthorized Memory",
+        FunctionalityClass.MEMORY_ACCESS,
+    )
+    FAIL_A_MEMORY_ACCESS = (
+        "Fail a Memory Access",
+        FunctionalityClass.MEMORY_ACCESS,
+    )
+    CORRUPT_VIRTUAL_MEMORY_MAPPING = (
+        "Corrupt Virtual Memory Mapping",
+        FunctionalityClass.MEMORY_MANAGEMENT,
+    )
+    CORRUPT_A_PAGE_REFERENCE = (
+        "Corrupt a Page Reference",
+        FunctionalityClass.MEMORY_MANAGEMENT,
+    )
+    DECREASE_PAGE_MAPPING_AVAILABILITY = (
+        "Decrease Page Mapping Availability",
+        FunctionalityClass.MEMORY_MANAGEMENT,
+    )
+    GUEST_WRITABLE_PAGE_TABLE_ENTRY = (
+        "Guest-Writable Page Table Entry",
+        FunctionalityClass.MEMORY_MANAGEMENT,
+    )
+    FAIL_A_MEMORY_MAPPING = (
+        "Fail a memory mapping",
+        FunctionalityClass.MEMORY_MANAGEMENT,
+    )
+    UNCONTROLLED_MEMORY_ALLOCATION = (
+        "Uncontrolled Memory Allocation",
+        FunctionalityClass.MEMORY_MANAGEMENT,
+    )
+    KEEP_PAGE_ACCESS = (
+        "Keep Page Access",
+        FunctionalityClass.MEMORY_MANAGEMENT,
+    )
+    INDUCE_A_FATAL_EXCEPTION = (
+        "Induce a Fatal Exception",
+        FunctionalityClass.EXCEPTIONAL_CONDITIONS,
+    )
+    INDUCE_A_MEMORY_EXCEPTION = (
+        "Induce a Memory Exception",
+        FunctionalityClass.EXCEPTIONAL_CONDITIONS,
+    )
+    INDUCE_A_HANG_STATE = (
+        "Induce a Hang State",
+        FunctionalityClass.NON_MEMORY,
+    )
+    UNCONTROLLED_ARBITRARY_INTERRUPT_REQUESTS = (
+        "Uncontrolled Arbitrary Interrupts Requests",
+        FunctionalityClass.NON_MEMORY,
+    )
+
+    def __init__(self, label: str, functionality_class: FunctionalityClass):
+        self.label = label
+        self.functionality_class = functionality_class
+
+    @classmethod
+    def by_class(cls) -> Dict[FunctionalityClass, List["AbusiveFunctionality"]]:
+        """Table I's row grouping, in declaration (= paper) order."""
+        grouped: Dict[FunctionalityClass, List[AbusiveFunctionality]] = {
+            klass: [] for klass in FunctionalityClass
+        }
+        for functionality in cls:
+            grouped[functionality.functionality_class].append(functionality)
+        return grouped
+
+
+#: Shorthand used throughout the use-case definitions.  The paper's
+#: Table II labels the XSA-212 functionality "Write Arbitrary Memory"
+#: and the XSA-148/182 functionality "Write Page Table Entries"; these
+#: map onto the Table I taxonomy as follows.
+TABLE_II_LABELS = {
+    AbusiveFunctionality.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY: "Write Arbitrary Memory",
+    AbusiveFunctionality.GUEST_WRITABLE_PAGE_TABLE_ENTRY: "Write Page Table Entries",
+}
+
+
+def table_ii_label(functionality: AbusiveFunctionality) -> str:
+    """Render a functionality the way Table II abbreviates it."""
+    return TABLE_II_LABELS.get(functionality, functionality.label)

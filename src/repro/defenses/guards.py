@@ -1,0 +1,161 @@
+"""Integrity guards over security-critical hypervisor structures.
+
+Both guards follow the same pattern (an in-hypervisor analog of the
+integrity monitors surveyed in the paper's §IV-A monitoring
+references):
+
+* at deployment, record a baseline of the guarded frames;
+* follow *legitimate* changes (validated ``mmu_update`` writes refresh
+  the page-table baseline);
+* at every integrity point (hypercall return, trap delivery), compare
+  the frames against the baseline;
+* on divergence, raise an alert — and in ``RESTORE`` mode write the
+  baseline back, undoing the erroneous state before it can be used.
+
+The guards deliberately trust the hypervisor's own validation: a
+write that went through ``mmu_update`` is legitimate *by definition*,
+so a validation defect (XSA-148/182 on Xen 4.6) walks right past
+them.  What they catch is exactly what intrusion injection produces —
+state changed without passing validation — which also models the
+out-of-band corruption (DMA attacks, fault injection) such mechanisms
+exist for.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.xen.constants import WORDS_PER_PAGE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.hypervisor import Xen
+
+
+class GuardMode(enum.Enum):
+    """Response policy on divergence: alert only, or alert + revert."""
+
+    DETECT = "detect"  # alert only
+    RESTORE = "restore"  # alert and write the baseline back
+
+
+@dataclass(frozen=True)
+class GuardAlert:
+    """One detected divergence."""
+
+    guard: str
+    mfn: int
+    word: int
+    expected: int
+    observed: int
+    restored: bool
+
+    def render(self) -> str:
+        action = "restored" if self.restored else "alert only"
+        return (
+            f"[{self.guard}] mfn {self.mfn:#06x}[{self.word}]: "
+            f"expected {self.expected:#018x}, observed "
+            f"{self.observed:#018x} ({action})"
+        )
+
+
+class IntegrityGuard:
+    """Shared baseline/verify machinery."""
+
+    name = "integrity-guard"
+
+    def __init__(self, xen: "Xen", mode: GuardMode = GuardMode.RESTORE):
+        self.xen = xen
+        self.mode = mode
+        self._baseline: Dict[int, List[int]] = {}
+        self.alerts: List[GuardAlert] = []
+        self.scans = 0
+
+    # -- baseline ------------------------------------------------------------
+
+    def _record(self, mfn: int) -> None:
+        self._baseline[mfn] = self.xen.machine.read_words(mfn, 0, WORDS_PER_PAGE)
+
+    def _guarded_frames(self) -> List[int]:  # pragma: no cover - abstract-ish
+        raise NotImplementedError
+
+    # -- verification -----------------------------------------------------------
+
+    def verify(self) -> List[GuardAlert]:
+        """One integrity scan; returns the new alerts."""
+        self.scans += 1
+        new_alerts: List[GuardAlert] = []
+        guarded = set(self._guarded_frames())
+        # Frames that left the guarded set drop out of the baseline.
+        for stale in [mfn for mfn in self._baseline if mfn not in guarded]:
+            del self._baseline[stale]
+        for mfn in guarded:
+            baseline = self._baseline.get(mfn)
+            if baseline is None:
+                self._record(mfn)  # newly guarded frame: adopt as-is
+                continue
+            current = self.xen.machine.read_words(mfn, 0, WORDS_PER_PAGE)
+            if current == baseline:
+                continue
+            for word, (expected, observed) in enumerate(zip(baseline, current)):
+                if expected == observed:
+                    continue
+                restored = self.mode is GuardMode.RESTORE
+                if restored:
+                    self.xen.machine.write_word(mfn, word, expected)
+                alert = GuardAlert(
+                    guard=self.name,
+                    mfn=mfn,
+                    word=word,
+                    expected=expected,
+                    observed=observed,
+                    restored=restored,
+                )
+                new_alerts.append(alert)
+        self.alerts.extend(new_alerts)
+        if new_alerts:
+            self.xen.log(
+                f"{self.name}: {len(new_alerts)} unauthorized change(s) "
+                f"{'reverted' if self.mode is GuardMode.RESTORE else 'detected'}"
+            )
+        return new_alerts
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.alerts)
+
+
+class PageTableGuard(IntegrityGuard):
+    """Guards every validated guest page table (§IV-C's example
+    mechanism: "prevent unauthorized modification of page tables")."""
+
+    name = "pagetable-guard"
+
+    def _guarded_frames(self) -> List[int]:
+        return [mfn for mfn, _ in self.xen.frames.iter_pagetables()]
+
+    def on_pt_update(self, table_mfn: int, index: int, value: int) -> None:
+        """A *validated* update happened: follow it in the baseline."""
+        baseline = self._baseline.get(table_mfn)
+        if baseline is not None:
+            baseline[index] = value
+
+
+class IdtGuard(IntegrityGuard):
+    """Guards the per-CPU interrupt descriptor tables."""
+
+    name = "idt-guard"
+
+    def _guarded_frames(self) -> List[int]:
+        return list(self.xen.idt_mfns)
+
+
+def deploy(xen: "Xen", *guards: IntegrityGuard) -> Tuple[IntegrityGuard, ...]:
+    """Install guards into the hypervisor's integrity points."""
+    for guard in guards:
+        guard.verify()  # adopt the current (trusted) state as baseline
+        xen.integrity_hooks.append(guard.verify)
+        if isinstance(guard, PageTableGuard):
+            xen.pt_update_listeners.append(guard.on_pt_update)
+    return guards

@@ -1,0 +1,33 @@
+"""Paravirtual split drivers (frontend/backend over grants + events).
+
+Xen IO flows through split drivers: a *frontend* in the guest shares a
+ring page with a *backend* in dom0 through the grant tables, and the
+two notify each other over an event channel — with XenStore carrying
+the handshake.  The paper names this surface repeatedly (device
+drivers and IO as threat vectors, §IX-C/D; ring/page references as
+erroneous-state targets), so the substrate includes two working
+devices on top of the shared-ring protocol: a block device
+(:class:`~repro.drivers.blkfront.Blkfront` /
+:class:`~repro.drivers.blkback.Blkback` against a
+:class:`~repro.drivers.disk.VirtualDisk`) and a network device
+(:class:`~repro.drivers.netfront.Netfront` /
+:class:`~repro.drivers.netback.Netback`, with dom0 switching packets
+between guest vifs).
+"""
+
+from repro.drivers.blkback import Blkback
+from repro.drivers.blkfront import Blkfront
+from repro.drivers.disk import VirtualDisk
+from repro.drivers.netback import Netback
+from repro.drivers.netfront import Netfront
+from repro.drivers.ring import RING_SIZE, SharedRing
+
+__all__ = [
+    "Blkback",
+    "Blkfront",
+    "Netback",
+    "Netfront",
+    "VirtualDisk",
+    "SharedRing",
+    "RING_SIZE",
+]

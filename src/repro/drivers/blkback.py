@@ -1,0 +1,214 @@
+"""The block-device backend (dom0 side of the split driver).
+
+The backend watches XenStore for frontends entering the Initialised
+state, maps their ring page through the grant tables, binds the event
+channel, and serves requests against a :class:`VirtualDisk`.
+
+It is written to *survive* malicious frontends — the robustness the
+paper's intrusion models probe: out-of-range sectors and bad grant
+references produce error responses, unknown operations are rejected,
+and runaway producer indices are clamped (see
+:meth:`repro.drivers.ring.SharedRing.pop_requests`).  Every such event
+is counted, so tests and campaigns can check that the erroneous state
+was *handled*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.drivers.disk import DiskError, VirtualDisk
+from repro.drivers.ring import (
+    OP_READ,
+    OP_WRITE,
+    RingResponse,
+    SharedRing,
+    STATUS_ERROR,
+    STATUS_OK,
+)
+from repro.errors import HypercallError
+from repro.xen import constants as C
+from repro.xen.constants import WORDS_PER_PAGE
+from repro.xen.hypercalls import EventChannelOpArgs
+from repro.xen.xenstore import domain_prefix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guest.kernel import GuestKernel
+
+
+@dataclass
+class FrontendConnection:
+    """Backend-side state for one connected frontend."""
+
+    frontend_id: int
+    ring: SharedRing
+    event_port: int  # backend's local port
+    req_cons: int = 0
+    rsp_prod: int = 0
+    requests_served: int = 0
+    errors_returned: int = 0
+    clamps: int = 0
+
+
+class Blkback:
+    """The dom0 block backend daemon."""
+
+    def __init__(self, kernel: "GuestKernel", disk: Optional[VirtualDisk] = None):
+        if not kernel.domain.is_privileged:
+            raise ValueError("the block backend runs in the control domain")
+        self.kernel = kernel
+        self.disk = disk if disk is not None else VirtualDisk()
+        self.connections: Dict[int, FrontendConnection] = {}
+        self.log: List[str] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Watch XenStore for frontends announcing themselves."""
+        if self._started:
+            return
+        self._started = True
+        self.kernel.xen.xenstore.watch(
+            self.kernel.domain, "/local/domain", self._on_store_write
+        )
+
+    def _on_store_write(self, path: str, value: str) -> None:
+        # Waiting for: /local/domain/<id>/device/vbd/0/state = "3"
+        parts = path.split("/")
+        if len(parts) != 8 or parts[-1] != "state" or value != "3":
+            return
+        if parts[4] != "device" or parts[5] != "vbd":
+            return
+        frontend_id = int(parts[3])
+        if frontend_id == self.kernel.domain.id:
+            return
+        if frontend_id in self.connections:
+            return
+        self._connect(frontend_id)
+
+    def _connect(self, frontend_id: int) -> None:
+        xen = self.kernel.xen
+        store = xen.xenstore
+        front_dir = f"{domain_prefix(frontend_id)}/device/vbd/0"
+        ring_ref = store.read(f"{front_dir}/ring-ref")
+        remote_port = store.read(f"{front_dir}/event-channel")
+        if ring_ref is None or remote_port is None:
+            self.log.append(f"d{frontend_id}: incomplete handshake, ignoring")
+            return
+
+        try:
+            ring_mfn = xen.grants.map_grant_ref(
+                self.kernel.domain, frontend_id, int(ring_ref)
+            )
+        except HypercallError as exc:
+            self.log.append(f"d{frontend_id}: ring grant refused ({exc})")
+            return
+
+        local_port = self.kernel.event_channel_op(
+            EventChannelOpArgs(
+                cmd=C.EVTCHNOP_BIND_INTERDOMAIN,
+                remote_domid=frontend_id,
+                remote_port=int(remote_port),
+            )
+        )
+        if local_port < 0:
+            self.log.append(f"d{frontend_id}: event bind failed ({local_port})")
+            return
+
+        connection = FrontendConnection(
+            frontend_id=frontend_id,
+            ring=SharedRing(xen.machine, ring_mfn),
+            event_port=local_port,
+        )
+        self.connections[frontend_id] = connection
+        self.kernel.bind_handler(
+            local_port, lambda port, fid=frontend_id: self._on_event(fid)
+        )
+        store.write(
+            self.kernel.domain,
+            f"{domain_prefix(self.kernel.domain.id)}/backend/vbd/"
+            f"{frontend_id}/0/state",
+            "4",
+        )
+        self.log.append(f"d{frontend_id}: connected (ring mfn {ring_mfn:#x})")
+
+    # ------------------------------------------------------------------
+    # Request processing
+    # ------------------------------------------------------------------
+
+    def _on_event(self, frontend_id: int) -> None:
+        connection = self.connections.get(frontend_id)
+        if connection is None:
+            return
+        self._process(connection)
+
+    def _process(self, connection: FrontendConnection) -> None:
+        requests, connection.req_cons, clamped = connection.ring.pop_requests(
+            connection.req_cons
+        )
+        if clamped:
+            connection.clamps += 1
+            self.log.append(
+                f"d{connection.frontend_id}: runaway req_prod clamped "
+                "(malformed ring state handled)"
+            )
+        for request in requests:
+            status = self._serve(connection, request)
+            connection.ring.write_response(
+                connection.rsp_prod,
+                RingResponse(req_id=request.req_id, status=status),
+            )
+            connection.rsp_prod += 1
+            connection.ring.rsp_prod = connection.rsp_prod
+            if status == STATUS_OK:
+                connection.requests_served += 1
+            else:
+                connection.errors_returned += 1
+        if requests:
+            self._notify(connection)
+
+    def _serve(self, connection: FrontendConnection, request) -> int:
+        xen = self.kernel.xen
+        if request.op not in (OP_READ, OP_WRITE):
+            self.log.append(
+                f"d{connection.frontend_id}: unknown op {request.op} rejected"
+            )
+            return STATUS_ERROR
+        if not self.disk.in_range(request.sector):
+            self.log.append(
+                f"d{connection.frontend_id}: sector {request.sector} "
+                "out of range"
+            )
+            return STATUS_ERROR
+        try:
+            data_mfn = xen.grants.map_grant_ref(
+                self.kernel.domain, connection.frontend_id, request.gref
+            )
+        except HypercallError as exc:
+            self.log.append(
+                f"d{connection.frontend_id}: data grant {request.gref} "
+                f"refused ({exc})"
+            )
+            return STATUS_ERROR
+        try:
+            if request.op == OP_READ:
+                words = self.disk.read_sector(request.sector)
+                xen.machine.write_words(data_mfn, 0, words)
+            else:
+                words = xen.machine.read_words(data_mfn, 0, WORDS_PER_PAGE)
+                self.disk.write_sector(request.sector, words)
+            return STATUS_OK
+        except DiskError as exc:
+            self.log.append(f"d{connection.frontend_id}: disk error ({exc})")
+            return STATUS_ERROR
+        finally:
+            xen.grants.unmap_grant_ref(self.kernel.domain, data_mfn)
+
+    def _notify(self, connection: FrontendConnection) -> None:
+        self.kernel.event_channel_op(
+            EventChannelOpArgs(cmd=C.EVTCHNOP_SEND, port=connection.event_port)
+        )

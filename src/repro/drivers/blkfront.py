@@ -1,0 +1,161 @@
+"""The block-device frontend (guest side of the split driver).
+
+Connection handshake (as on real Xen, via XenStore):
+
+1. the frontend allocates the ring page and a data page, grants both
+   to the backend domain, and allocates an unbound event channel;
+2. it publishes ``ring-ref``, ``event-channel`` and ``state = 3``
+   (Initialised) under ``/local/domain/<id>/device/vbd/0``;
+3. the watching backend connects and flips its own state to 4
+   (Connected).
+
+IO is synchronous in the simulator: pushing a request and kicking the
+event channel runs the backend's handler inline, so the response is
+on the ring when the call returns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.drivers.ring import (
+    OP_READ,
+    OP_WRITE,
+    RingRequest,
+    SharedRing,
+    STATUS_OK,
+)
+from repro.xen import constants as C
+from repro.xen.constants import WORDS_PER_PAGE
+from repro.xen.hypercalls import EventChannelOpArgs, GrantTableOpArgs
+from repro.xen.xenstore import domain_prefix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guest.kernel import GuestKernel
+
+
+class BlkfrontError(Exception):
+    """Setup failure or IO error reported by the backend."""
+
+
+#: Grant references the frontend uses.
+RING_GREF = 0
+DATA_GREF = 1
+
+#: XenBus states (subset).
+STATE_INITIALISED = "3"
+STATE_CONNECTED = "4"
+
+
+class Blkfront:
+    """The guest's block device driver."""
+
+    def __init__(self, kernel: "GuestKernel", backend_domid: int = 0):
+        self.kernel = kernel
+        self.backend_domid = backend_domid
+        self.ring: Optional[SharedRing] = None
+        self.ring_pfn: Optional[int] = None
+        self.data_pfn: Optional[int] = None
+        self.event_port: Optional[int] = None
+        self._rsp_cons = 0
+        self._next_req_id = 1
+        self.connected = False
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+
+    @property
+    def xenstore_dir(self) -> str:
+        return f"{domain_prefix(self.kernel.domain.id)}/device/vbd/0"
+
+    def connect(self) -> None:
+        kernel = self.kernel
+        xen = kernel.xen
+
+        self.ring_pfn = kernel.alloc_page()
+        self.data_pfn = kernel.alloc_page()
+        self.ring = SharedRing(xen.machine, kernel.pfn_to_mfn(self.ring_pfn))
+
+        rc = kernel.grant_table_op(
+            GrantTableOpArgs(cmd=C.GNTTABOP_SETUP_TABLE, nr_entries=8)
+        )
+        if rc != 0:
+            raise BlkfrontError(f"grant table setup failed: {rc}")
+        xen.grants.grant_access(
+            kernel.domain, RING_GREF, self.backend_domid,
+            pfn=self.ring_pfn, readonly=False,
+        )
+        xen.grants.grant_access(
+            kernel.domain, DATA_GREF, self.backend_domid,
+            pfn=self.data_pfn, readonly=False,
+        )
+
+        port = kernel.event_channel_op(
+            EventChannelOpArgs(
+                cmd=C.EVTCHNOP_ALLOC_UNBOUND, remote_domid=self.backend_domid
+            )
+        )
+        if port < 0:
+            raise BlkfrontError(f"event channel allocation failed: {port}")
+        self.event_port = port
+
+        store = xen.xenstore
+        store.write(kernel.domain, f"{self.xenstore_dir}/ring-ref", str(RING_GREF))
+        store.write(kernel.domain, f"{self.xenstore_dir}/event-channel", str(port))
+        store.write(
+            kernel.domain, f"{self.xenstore_dir}/state", STATE_INITIALISED
+        )
+        self.connected = True
+
+    @property
+    def backend_state(self) -> Optional[str]:
+        return self.kernel.xen.xenstore.read(
+            f"/local/domain/{self.backend_domid}/backend/vbd/"
+            f"{self.kernel.domain.id}/0/state"
+        )
+
+    # ------------------------------------------------------------------
+    # IO
+    # ------------------------------------------------------------------
+
+    def _kick(self) -> None:
+        rc = self.kernel.event_channel_op(
+            EventChannelOpArgs(cmd=C.EVTCHNOP_SEND, port=self.event_port)
+        )
+        if rc != 0:
+            raise BlkfrontError(f"event kick failed: {rc}")
+
+    def _submit(self, op: int, sector: int) -> int:
+        """Push one request and return the backend's status."""
+        if not self.connected:
+            raise BlkfrontError("frontend not connected")
+        req_id = self._next_req_id
+        self._next_req_id += 1
+        self.ring.push_request(
+            RingRequest(req_id=req_id, op=op, sector=sector, gref=DATA_GREF)
+        )
+        self._kick()
+        responses, self._rsp_cons = self.ring.poll_responses(self._rsp_cons)
+        for response in responses:
+            if response.req_id == req_id:
+                return response.status
+        raise BlkfrontError(f"no response for request {req_id}")
+
+    def write_sector(self, sector: int, words: List[int]) -> None:
+        if len(words) > WORDS_PER_PAGE:
+            raise BlkfrontError("sector payload too large")
+        padded = list(words) + [0] * (WORDS_PER_PAGE - len(words))
+        data_va = self.kernel.kva(self.data_pfn)
+        for i, word in enumerate(padded):
+            self.kernel.write_va(data_va + 8 * i, word)
+        status = self._submit(OP_WRITE, sector)
+        if status != STATUS_OK:
+            raise BlkfrontError(f"write of sector {sector} failed ({status})")
+
+    def read_sector(self, sector: int, count: int = WORDS_PER_PAGE) -> List[int]:
+        status = self._submit(OP_READ, sector)
+        if status != STATUS_OK:
+            raise BlkfrontError(f"read of sector {sector} failed ({status})")
+        data_va = self.kernel.kva(self.data_pfn)
+        return [self.kernel.read_va(data_va + 8 * i) for i in range(count)]

@@ -1,0 +1,46 @@
+"""Packing byte payloads into page words (for PV packet transfer)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xen.constants import WORDS_PER_PAGE
+
+#: Maximum payload a single shared page carries.
+MAX_PAYLOAD_BYTES = WORDS_PER_PAGE * 8
+
+
+class CodecError(Exception):
+    """Payload too large or malformed."""
+
+
+def encode_bytes(payload: bytes) -> List[int]:
+    """Pack bytes into little-endian 64-bit words (zero padded)."""
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise CodecError(
+            f"payload of {len(payload)} bytes exceeds one page "
+            f"({MAX_PAYLOAD_BYTES})"
+        )
+    words = []
+    for offset in range(0, len(payload), 8):
+        chunk = payload[offset:offset + 8]
+        words.append(int.from_bytes(chunk.ljust(8, b"\x00"), "little"))
+    return words
+
+
+def decode_bytes(words: List[int], length: int) -> bytes:
+    """Unpack ``length`` bytes from little-endian words."""
+    if length > len(words) * 8:
+        raise CodecError(f"length {length} exceeds provided words")
+    raw = b"".join(word.to_bytes(8, "little") for word in words)
+    return raw[:length]
+
+
+def encode_text(message: str) -> List[int]:
+    """Pack a UTF-8 string into page words."""
+    return encode_bytes(message.encode("utf-8"))
+
+
+def decode_text(words: List[int], length: int) -> str:
+    """Unpack ``length`` bytes of UTF-8 text from page words."""
+    return decode_bytes(words, length).decode("utf-8", errors="replace")

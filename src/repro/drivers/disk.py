@@ -1,0 +1,46 @@
+"""The virtual disk behind the block backend."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.xen.constants import WORDS_PER_PAGE
+
+
+class DiskError(Exception):
+    """Out-of-range sector or malformed transfer."""
+
+
+class VirtualDisk:
+    """A sector-addressed store (one sector = one page of words)."""
+
+    def __init__(self, num_sectors: int = 64):
+        if num_sectors <= 0:
+            raise DiskError("disk needs at least one sector")
+        self.num_sectors = num_sectors
+        self._sectors: Dict[int, List[int]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, sector: int) -> None:
+        if not 0 <= sector < self.num_sectors:
+            raise DiskError(
+                f"sector {sector} out of range (0..{self.num_sectors - 1})"
+            )
+
+    def read_sector(self, sector: int) -> List[int]:
+        self._check(sector)
+        self.reads += 1
+        return list(self._sectors.get(sector, [0] * WORDS_PER_PAGE))
+
+    def write_sector(self, sector: int, words: List[int]) -> None:
+        self._check(sector)
+        if len(words) != WORDS_PER_PAGE:
+            raise DiskError(
+                f"sector write needs {WORDS_PER_PAGE} words, got {len(words)}"
+            )
+        self.writes += 1
+        self._sectors[sector] = list(words)
+
+    def in_range(self, sector: int) -> bool:
+        return 0 <= sector < self.num_sectors

@@ -1,0 +1,209 @@
+"""The network backend: dom0's virtual switch between guest vifs.
+
+Watches XenStore for ``device/vif/0`` frontends, maps each one's ring
+and RX page, and switches packets between them: a transmit request
+names a destination domain; the backend copies the payload from the
+sender's granted TX page into the receiver's granted RX page and kicks
+the receiver's event channel.
+
+Robustness mirrors the block backend: unknown destinations, oversized
+lengths, busy RX buffers and bad grants produce error responses (and
+drop counters), never backend failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.drivers.codec import MAX_PAYLOAD_BYTES
+from repro.drivers.netfront import OP_SEND
+from repro.drivers.ring import RingResponse, SharedRing, STATUS_ERROR, STATUS_OK
+from repro.errors import HypercallError
+from repro.xen import constants as C
+from repro.xen.hypercalls import EventChannelOpArgs
+from repro.xen.xenstore import domain_prefix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guest.kernel import GuestKernel
+
+_RX_SRC_WORD = 0
+_RX_LEN_WORD = 1
+_RX_DATA_WORD = 8
+
+
+@dataclass
+class VifConnection:
+    """Backend-side state for one connected virtual interface."""
+
+    frontend_id: int
+    ring: SharedRing
+    rx_mfn: int
+    event_port: int  # backend's local port
+    req_cons: int = 0
+    rsp_prod: int = 0
+    packets_switched: int = 0
+    errors_returned: int = 0
+    drops: int = 0
+
+
+class Netback:
+    """The dom0 network backend / virtual switch."""
+
+    def __init__(self, kernel: "GuestKernel"):
+        if not kernel.domain.is_privileged:
+            raise ValueError("the network backend runs in the control domain")
+        self.kernel = kernel
+        self.vifs: Dict[int, VifConnection] = {}
+        self.log: List[str] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.kernel.xen.xenstore.watch(
+            self.kernel.domain, "/local/domain", self._on_store_write
+        )
+
+    def _on_store_write(self, path: str, value: str) -> None:
+        parts = path.split("/")
+        if len(parts) != 8 or parts[-1] != "state" or value != "3":
+            return
+        if parts[4] != "device" or parts[5] != "vif":
+            return
+        frontend_id = int(parts[3])
+        if frontend_id == self.kernel.domain.id or frontend_id in self.vifs:
+            return
+        self._connect(frontend_id)
+
+    def _connect(self, frontend_id: int) -> None:
+        xen = self.kernel.xen
+        store = xen.xenstore
+        front_dir = f"{domain_prefix(frontend_id)}/device/vif/0"
+        ring_ref = store.read(f"{front_dir}/ring-ref")
+        rx_ref = store.read(f"{front_dir}/rx-ref")
+        remote_port = store.read(f"{front_dir}/event-channel")
+        if None in (ring_ref, rx_ref, remote_port):
+            self.log.append(f"vif d{frontend_id}: incomplete handshake")
+            return
+        try:
+            ring_mfn = xen.grants.map_grant_ref(
+                self.kernel.domain, frontend_id, int(ring_ref)
+            )
+            rx_mfn = xen.grants.map_grant_ref(
+                self.kernel.domain, frontend_id, int(rx_ref)
+            )
+        except HypercallError as exc:
+            self.log.append(f"vif d{frontend_id}: grant refused ({exc})")
+            return
+        local_port = self.kernel.event_channel_op(
+            EventChannelOpArgs(
+                cmd=C.EVTCHNOP_BIND_INTERDOMAIN,
+                remote_domid=frontend_id,
+                remote_port=int(remote_port),
+            )
+        )
+        if local_port < 0:
+            self.log.append(f"vif d{frontend_id}: event bind failed")
+            return
+        vif = VifConnection(
+            frontend_id=frontend_id,
+            ring=SharedRing(xen.machine, ring_mfn),
+            rx_mfn=rx_mfn,
+            event_port=local_port,
+        )
+        self.vifs[frontend_id] = vif
+        self.kernel.bind_handler(
+            local_port, lambda port, fid=frontend_id: self._on_event(fid)
+        )
+        store.write(
+            self.kernel.domain,
+            f"{domain_prefix(self.kernel.domain.id)}/backend/vif/"
+            f"{frontend_id}/0/state",
+            "4",
+        )
+        self.log.append(f"vif d{frontend_id}: connected")
+
+    # ------------------------------------------------------------------
+    # Switching
+    # ------------------------------------------------------------------
+
+    def _on_event(self, frontend_id: int) -> None:
+        vif = self.vifs.get(frontend_id)
+        if vif is None:
+            return
+        requests, vif.req_cons, clamped = vif.ring.pop_requests(vif.req_cons)
+        if clamped:
+            self.log.append(f"vif d{frontend_id}: runaway req_prod clamped")
+        for request in requests:
+            status = self._switch(vif, request)
+            vif.ring.write_response(
+                vif.rsp_prod, RingResponse(req_id=request.req_id, status=status)
+            )
+            vif.rsp_prod += 1
+            vif.ring.rsp_prod = vif.rsp_prod
+            if status == STATUS_OK:
+                vif.packets_switched += 1
+            else:
+                vif.errors_returned += 1
+
+    def _switch(self, sender: VifConnection, request) -> int:
+        xen = self.kernel.xen
+        if request.op != OP_SEND:
+            self.log.append(
+                f"vif d{sender.frontend_id}: unknown op {request.op}"
+            )
+            return STATUS_ERROR
+        dest = self.vifs.get(request.sector)  # sector carries dest domid
+        if dest is None:
+            self.log.append(
+                f"vif d{sender.frontend_id}: no such destination "
+                f"d{request.sector}"
+            )
+            return STATUS_ERROR
+        try:
+            tx_mfn = xen.grants.map_grant_ref(
+                self.kernel.domain, sender.frontend_id, request.gref
+            )
+        except HypercallError as exc:
+            self.log.append(
+                f"vif d{sender.frontend_id}: TX grant refused ({exc})"
+            )
+            return STATUS_ERROR
+        try:
+            length = xen.machine.read_word(tx_mfn, 0)
+            if length > MAX_PAYLOAD_BYTES - 16:
+                self.log.append(
+                    f"vif d{sender.frontend_id}: oversized packet "
+                    f"({length} bytes) dropped"
+                )
+                sender.drops += 1
+                return STATUS_ERROR
+            if xen.machine.read_word(dest.rx_mfn, _RX_LEN_WORD) != 0:
+                # Receiver hasn't drained its buffer: drop.
+                dest.drops += 1
+                self.log.append(
+                    f"vif d{dest.frontend_id}: RX buffer busy, packet dropped"
+                )
+                return STATUS_ERROR
+            n_words = (length + 7) // 8
+            payload = xen.machine.read_words(tx_mfn, 1, n_words)
+            xen.machine.write_word(
+                dest.rx_mfn, _RX_SRC_WORD, sender.frontend_id
+            )
+            xen.machine.write_words(dest.rx_mfn, _RX_DATA_WORD, payload)
+            xen.machine.write_word(dest.rx_mfn, _RX_LEN_WORD, length)
+            self._notify(dest)
+            return STATUS_OK
+        finally:
+            xen.grants.unmap_grant_ref(self.kernel.domain, tx_mfn)
+
+    def _notify(self, vif: VifConnection) -> None:
+        self.kernel.event_channel_op(
+            EventChannelOpArgs(cmd=C.EVTCHNOP_SEND, port=vif.event_port)
+        )

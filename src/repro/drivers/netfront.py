@@ -1,0 +1,171 @@
+"""The network frontend (guest side of the PV network driver).
+
+Mirrors the block frontend's handshake (ring grant + event channel +
+XenStore announcement under ``device/vif/0``) and adds a receive
+buffer: the frontend grants one RX page that the backend fills with
+incoming packet payloads, notifying over the same event channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.drivers.codec import MAX_PAYLOAD_BYTES, decode_text, encode_text
+from repro.drivers.ring import RingRequest, SharedRing, STATUS_OK
+from repro.xen import constants as C
+from repro.xen.hypercalls import EventChannelOpArgs, GrantTableOpArgs
+from repro.xen.xenstore import domain_prefix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guest.kernel import GuestKernel
+
+
+class NetfrontError(Exception):
+    """Setup failure or transmit error."""
+
+
+#: Ring request op for packet transmit.
+OP_SEND = 10
+
+#: Grant references used by the network device (separate table slots
+#: from the block device's 0/1 so both can coexist).
+RING_GREF = 2
+TX_GREF = 3
+RX_GREF = 4
+
+#: RX page layout: word 0 = source domid, word 1 = byte length,
+#: words 8.. = payload.
+_RX_SRC_WORD = 0
+_RX_LEN_WORD = 1
+_RX_DATA_WORD = 8
+
+
+@dataclass
+class ReceivedPacket:
+    source_domid: int
+    message: str
+
+
+class Netfront:
+    """The guest's network interface."""
+
+    def __init__(self, kernel: "GuestKernel", backend_domid: int = 0):
+        self.kernel = kernel
+        self.backend_domid = backend_domid
+        self.ring: Optional[SharedRing] = None
+        self.ring_pfn: Optional[int] = None
+        self.tx_pfn: Optional[int] = None
+        self.rx_pfn: Optional[int] = None
+        self.event_port: Optional[int] = None
+        self._rsp_cons = 0
+        self._next_req_id = 1
+        self.connected = False
+        self.inbox: List[ReceivedPacket] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+
+    @property
+    def xenstore_dir(self) -> str:
+        return f"{domain_prefix(self.kernel.domain.id)}/device/vif/0"
+
+    def connect(self) -> None:
+        kernel = self.kernel
+        xen = kernel.xen
+
+        self.ring_pfn = kernel.alloc_page()
+        self.tx_pfn = kernel.alloc_page()
+        self.rx_pfn = kernel.alloc_page()
+        self.ring = SharedRing(xen.machine, kernel.pfn_to_mfn(self.ring_pfn))
+
+        rc = kernel.grant_table_op(
+            GrantTableOpArgs(cmd=C.GNTTABOP_SETUP_TABLE, nr_entries=8)
+        )
+        if rc != 0:
+            raise NetfrontError(f"grant table setup failed: {rc}")
+        for gref, pfn in (
+            (RING_GREF, self.ring_pfn),
+            (TX_GREF, self.tx_pfn),
+            (RX_GREF, self.rx_pfn),
+        ):
+            xen.grants.grant_access(
+                kernel.domain, gref, self.backend_domid, pfn=pfn, readonly=False
+            )
+
+        port = kernel.event_channel_op(
+            EventChannelOpArgs(
+                cmd=C.EVTCHNOP_ALLOC_UNBOUND, remote_domid=self.backend_domid
+            )
+        )
+        if port < 0:
+            raise NetfrontError(f"event channel allocation failed: {port}")
+        self.event_port = port
+        kernel.bind_handler(port, self._on_event)
+
+        store = xen.xenstore
+        store.write(kernel.domain, f"{self.xenstore_dir}/ring-ref", str(RING_GREF))
+        store.write(kernel.domain, f"{self.xenstore_dir}/rx-ref", str(RX_GREF))
+        store.write(kernel.domain, f"{self.xenstore_dir}/event-channel", str(port))
+        store.write(kernel.domain, f"{self.xenstore_dir}/state", "3")
+        self.connected = True
+
+    # ------------------------------------------------------------------
+    # Transmit
+    # ------------------------------------------------------------------
+
+    def send(self, dest_domid: int, message: str) -> int:
+        """Transmit one packet; returns the backend's status."""
+        if not self.connected:
+            raise NetfrontError("netfront not connected")
+        payload = message.encode("utf-8")
+        if len(payload) > MAX_PAYLOAD_BYTES - 16:
+            raise NetfrontError("packet too large")
+
+        words = encode_text(message)
+        tx_va = self.kernel.kva(self.tx_pfn)
+        self.kernel.write_va(tx_va, len(payload))  # word 0: byte length
+        for i, word in enumerate(words):
+            self.kernel.write_va(tx_va + 8 * (1 + i), word)
+
+        req_id = self._next_req_id
+        self._next_req_id += 1
+        # The block ring's request layout is reused: sector carries the
+        # destination domain, gref the TX buffer.
+        self.ring.push_request(
+            RingRequest(req_id=req_id, op=OP_SEND, sector=dest_domid, gref=TX_GREF)
+        )
+        rc = self.kernel.event_channel_op(
+            EventChannelOpArgs(cmd=C.EVTCHNOP_SEND, port=self.event_port)
+        )
+        if rc != 0:
+            raise NetfrontError(f"event kick failed: {rc}")
+        responses, self._rsp_cons = self.ring.poll_responses(self._rsp_cons)
+        for response in responses:
+            if response.req_id == req_id:
+                return response.status
+        raise NetfrontError(f"no response for packet {req_id}")
+
+    # ------------------------------------------------------------------
+    # Receive
+    # ------------------------------------------------------------------
+
+    def _on_event(self, port: int) -> None:
+        """Backend notification: a packet landed in our RX page."""
+        rx_va = self.kernel.kva(self.rx_pfn)
+        length = self.kernel.read_va(rx_va + 8 * _RX_LEN_WORD)
+        if length == 0:
+            return  # TX completion notification, nothing to receive
+        source = self.kernel.read_va(rx_va + 8 * _RX_SRC_WORD)
+        n_words = (length + 7) // 8
+        words = [
+            self.kernel.read_va(rx_va + 8 * (_RX_DATA_WORD + i))
+            for i in range(n_words)
+        ]
+        self.inbox.append(
+            ReceivedPacket(source_domid=source, message=decode_text(words, length))
+        )
+        # Hand the buffer back: zero length marks it free.
+        self.kernel.write_va(rx_va + 8 * _RX_LEN_WORD, 0)

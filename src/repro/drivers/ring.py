@@ -1,0 +1,149 @@
+"""The shared-ring protocol of Xen's split drivers.
+
+One 4 KiB page, shared between frontend and backend through a grant,
+carries both directions of the conversation:
+
+======  =====================================================
+words   contents
+======  =====================================================
+0       ``req_prod`` — requests produced (written by frontend)
+1       ``rsp_prod`` — responses produced (written by backend)
+8..135  32 request slots × 4 words: id, op, sector, grant-ref
+200..263  32 response slots × 2 words: id, status
+======  =====================================================
+
+Consumer indices are *private* to each side (like the real
+``RING_*`` macros keep them in local memory), so a peer can only lie
+about what it produced — which is exactly the attack surface the
+backend must survive: ``pop_requests`` clamps runaway producer
+indices instead of trusting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.machine import Machine
+
+RING_SIZE = 32
+
+_REQ_PROD_WORD = 0
+_RSP_PROD_WORD = 1
+_REQ_BASE = 8
+_REQ_WORDS = 4
+_RSP_BASE = 200
+_RSP_WORDS = 2
+
+# request operations
+OP_READ = 0
+OP_WRITE = 1
+
+# response status
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+
+@dataclass(frozen=True)
+class RingRequest:
+    req_id: int
+    op: int
+    sector: int
+    gref: int
+
+
+@dataclass(frozen=True)
+class RingResponse:
+    req_id: int
+    status: int
+
+
+class SharedRing:
+    """A view over the shared ring page (either side instantiates one
+    over the same machine frame)."""
+
+    def __init__(self, machine: "Machine", mfn: int):
+        self.machine = machine
+        self.mfn = mfn
+
+    # -- producer indices (shared, hence untrusted) -------------------------
+
+    @property
+    def req_prod(self) -> int:
+        return self.machine.read_word(self.mfn, _REQ_PROD_WORD)
+
+    @req_prod.setter
+    def req_prod(self, value: int) -> None:
+        self.machine.write_word(self.mfn, _REQ_PROD_WORD, value)
+
+    @property
+    def rsp_prod(self) -> int:
+        return self.machine.read_word(self.mfn, _RSP_PROD_WORD)
+
+    @rsp_prod.setter
+    def rsp_prod(self, value: int) -> None:
+        self.machine.write_word(self.mfn, _RSP_PROD_WORD, value)
+
+    # -- slots ---------------------------------------------------------------
+
+    def write_request(self, index: int, request: RingRequest) -> None:
+        base = _REQ_BASE + (index % RING_SIZE) * _REQ_WORDS
+        self.machine.write_words(
+            self.mfn,
+            base,
+            [request.req_id, request.op, request.sector, request.gref],
+        )
+
+    def read_request(self, index: int) -> RingRequest:
+        base = _REQ_BASE + (index % RING_SIZE) * _REQ_WORDS
+        req_id, op, sector, gref = self.machine.read_words(self.mfn, base, 4)
+        return RingRequest(req_id=req_id, op=op, sector=sector, gref=gref)
+
+    def write_response(self, index: int, response: RingResponse) -> None:
+        base = _RSP_BASE + (index % RING_SIZE) * _RSP_WORDS
+        self.machine.write_words(
+            self.mfn, base, [response.req_id, response.status]
+        )
+
+    def read_response(self, index: int) -> RingResponse:
+        base = _RSP_BASE + (index % RING_SIZE) * _RSP_WORDS
+        req_id, status = self.machine.read_words(self.mfn, base, 2)
+        return RingResponse(req_id=req_id, status=status)
+
+    # -- frontend side ----------------------------------------------------------
+
+    def push_request(self, request: RingRequest) -> None:
+        prod = self.req_prod
+        self.write_request(prod, request)
+        self.req_prod = prod + 1
+
+    def poll_responses(self, rsp_cons: int) -> Tuple[List[RingResponse], int]:
+        """Responses between the private ``rsp_cons`` and ``rsp_prod``;
+        returns them plus the new consumer index."""
+        responses = []
+        prod = self.rsp_prod
+        while rsp_cons < prod and len(responses) <= RING_SIZE:
+            responses.append(self.read_response(rsp_cons))
+            rsp_cons += 1
+        return responses, rsp_cons
+
+    # -- backend side --------------------------------------------------------------
+
+    def pop_requests(self, req_cons: int) -> Tuple[List[RingRequest], int, bool]:
+        """Requests between the private ``req_cons`` and ``req_prod``.
+
+        Returns ``(requests, new_cons, clamped)``.  A malicious
+        frontend can write any ``req_prod``; the backend never consumes
+        more than one ring's worth per poll (``clamped=True`` flags the
+        runaway index — the handled erroneous state)."""
+        prod = self.req_prod
+        clamped = False
+        if prod - req_cons > RING_SIZE:
+            prod = req_cons + RING_SIZE
+            clamped = True
+        requests = []
+        while req_cons < prod:
+            requests.append(self.read_request(req_cons))
+            req_cons += 1
+        return requests, req_cons, clamped

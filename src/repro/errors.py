@@ -1,0 +1,106 @@
+"""Error codes and exception hierarchy shared by the whole simulator.
+
+The Xen hypercall ABI reports failures through negative errno values;
+this module defines the subset the simulator uses, plus the exception
+types raised by the simulated hardware (faults) and the simulator
+itself (panics, misuse).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Xen-style errno values (negated on hypercall return, like the real ABI).
+# ---------------------------------------------------------------------------
+
+EPERM = 1
+ENOENT = 2
+ESRCH = 3
+EFAULT = 14
+EBUSY = 16
+EEXIST = 17
+EINVAL = 22
+ENOMEM = 12
+ENOSYS = 38
+EACCES = 13
+
+_ERRNO_NAMES = {
+    EPERM: "EPERM",
+    ENOENT: "ENOENT",
+    ESRCH: "ESRCH",
+    EFAULT: "EFAULT",
+    EBUSY: "EBUSY",
+    EEXIST: "EEXIST",
+    EINVAL: "EINVAL",
+    ENOMEM: "ENOMEM",
+    ENOSYS: "ENOSYS",
+    EACCES: "EACCES",
+}
+
+
+def errno_name(code: int) -> str:
+    """Return the symbolic name for an errno (sign-insensitive)."""
+    return _ERRNO_NAMES.get(abs(code), f"E?{abs(code)}")
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulator."""
+
+
+class MachineError(SimulationError):
+    """Misuse of the raw machine model (bad MFN, bad word index)."""
+
+
+class HypercallError(SimulationError):
+    """A hypercall failed; carries the Xen errno.
+
+    Hypercall implementations raise this internally; the dispatcher
+    converts it into the negative integer return value of the ABI.
+    """
+
+    def __init__(self, errno: int, message: str = ""):
+        self.errno = abs(errno)
+        detail = f" ({message})" if message else ""
+        super().__init__(f"-{errno_name(errno)}{detail}")
+
+
+class GuestFault(SimulationError):
+    """A guest-context memory access faulted (simulated #PF / #GP).
+
+    Guest kernels normally catch this and turn it into a "kernel
+    exception" log entry, mirroring the failure mode the paper reports
+    for the fixed Xen versions.
+    """
+
+    def __init__(self, va: int, access: str, reason: str):
+        self.va = va
+        self.access = access
+        self.reason = reason
+        super().__init__(
+            f"guest fault: {access} access to {va:#018x} denied ({reason})"
+        )
+
+
+class HypervisorFault(SimulationError):
+    """A hypervisor-context linear access could not be translated."""
+
+    def __init__(self, va: int, reason: str):
+        self.va = va
+        self.reason = reason
+        super().__init__(f"hypervisor fault at {va:#018x}: {reason}")
+
+
+class DoubleFault(SimulationError):
+    """Exception raised while delivering an exception: the CPU gives up."""
+
+    def __init__(self, vector: int, detail: str):
+        self.vector = vector
+        self.detail = detail
+        super().__init__(f"double fault while delivering vector {vector}: {detail}")
+
+
+class HypervisorCrash(SimulationError):
+    """The hypervisor panicked.  The machine is dead after this."""
+
+    def __init__(self, banner: str):
+        self.banner = banner
+        super().__init__(banner)

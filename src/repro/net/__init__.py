@@ -1,0 +1,142 @@
+"""A minimal simulated network (listeners, connections, shells).
+
+The XSA-148-priv use case needs one observable: a reverse shell
+connecting from the compromised host to the attacker's ``nc -l``
+listener, able to run commands as root (paper §VI-C.3).  This module
+provides exactly that: hosts are plain strings, a listener collects
+connections, and a connection carries a :class:`Shell` whose command
+interpreter understands the commands the paper's transcript uses
+(``whoami``, ``hostname``, ``id``, ``cat``) plus ``&&`` chaining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.domain import Domain
+
+
+class Shell:
+    """A command shell bound to a domain with fixed credentials."""
+
+    def __init__(self, domain: "Domain", uid: int):
+        self.domain = domain
+        self.uid = uid
+
+    @property
+    def username(self) -> str:
+        return "root" if self.uid == 0 else f"uid{self.uid}"
+
+    def run(self, command_line: str) -> str:
+        """Run a (possibly ``&&``-chained) command line."""
+        outputs = []
+        for command in command_line.split("&&"):
+            outputs.append(self._run_one(command.strip()))
+        return "\n".join(outputs)
+
+    def _run_one(self, command: str) -> str:
+        from repro.guest.filesystem import FileAccessError
+
+        kernel = self.domain.kernel
+        if command == "whoami":
+            return self.username
+        if command == "hostname":
+            return self.domain.hostname
+        if command == "id":
+            from repro.guest.process import Credentials
+
+            creds = Credentials(uid=self.uid, gid=self.uid, username=self.username)
+            return creds.id_string()
+        if command.startswith("cat "):
+            path = command[len("cat "):].strip()
+            if kernel is None:
+                return f"cat: {path}: no kernel"
+            try:
+                return kernel.fs.read(path, uid=self.uid)
+            except FileAccessError as exc:
+                return f"cat: {exc}"
+        if command.startswith("echo "):
+            return command[len("echo "):].strip().strip('"')
+        if command.startswith("xl ") or command == "xl":
+            return self._run_xl(command)
+        return f"sh: {command.split()[0] if command else ''}: command not found"
+
+    def _run_xl(self, command: str) -> str:
+        """The management toolstack, reachable from a root shell on the
+        control domain — which is exactly what makes a dom0 compromise
+        (XSA-148-priv) so consequential."""
+        from repro.tools.xl import XlError, XlToolstack
+
+        if self.uid != 0:
+            return "xl: permission denied (need root)"
+        if kernel := self.domain.kernel:
+            toolstack = XlToolstack(kernel.xen, self.domain)
+            try:
+                return toolstack.run(command[len("xl "):].strip())
+            except XlError as exc:
+                return str(exc)
+        return "xl: no kernel"
+
+
+@dataclass
+class Connection:
+    """An established TCP-ish connection carrying a shell."""
+
+    from_host: str
+    to_host: str
+    port: int
+    shell: Shell
+    transcript: List[Tuple[str, str]] = field(default_factory=list)
+
+    def run(self, command_line: str) -> str:
+        output = self.shell.run(command_line)
+        self.transcript.append((command_line, output))
+        return output
+
+
+@dataclass
+class Listener:
+    """The attacker's ``nc -l -p <port>``."""
+
+    host: str
+    port: int
+    connections: List[Connection] = field(default_factory=list)
+
+    @property
+    def connected(self) -> bool:
+        return bool(self.connections)
+
+    def latest(self) -> Optional[Connection]:
+        return self.connections[-1] if self.connections else None
+
+
+class Network:
+    """All listeners and connections of one testbed."""
+
+    def __init__(self):
+        self._listeners: Dict[Tuple[str, int], Listener] = {}
+        self.connections: List[Connection] = []
+
+    def listen(self, host: str, port: int) -> Listener:
+        listener = Listener(host=host, port=port)
+        self._listeners[(host, port)] = listener
+        return listener
+
+    def connect(
+        self, from_host: str, to_host: str, port: int, shell: Shell
+    ) -> Optional[Connection]:
+        """Attempt a connection; ``None`` if nobody is listening."""
+        listener = self._listeners.get((to_host, port))
+        if listener is None:
+            return None
+        connection = Connection(
+            from_host=from_host, to_host=to_host, port=port, shell=shell
+        )
+        listener.connections.append(connection)
+        self.connections.append(connection)
+        return connection
+
+    def listener(self, host: str, port: int) -> Optional[Listener]:
+        return self._listeners.get((host, port))

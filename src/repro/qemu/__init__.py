@@ -1,0 +1,21 @@
+"""Minimal QEMU-like device-emulation substrate (the VENOM example).
+
+The paper's §III uses XSA-133/VENOM (CVE-2015-3456) — a floppy-disk
+controller buffer overflow in QEMU — as its running example for the
+intrusion-injection concept, and §III-B sketches how an injector
+"could change the QEMU process to allow the injection of the
+corresponding error".  This subpackage provides that second injection
+target: a device-emulator process with an FDC whose FIFO overflow is
+version-gated, plus an injector that recreates the overflow's
+erroneous state directly.
+"""
+
+from repro.qemu.fdc import FloppyDiskController
+from repro.qemu.machine import QemuInjector, QemuProcess, QemuVersion
+
+__all__ = [
+    "FloppyDiskController",
+    "QemuInjector",
+    "QemuProcess",
+    "QemuVersion",
+]

@@ -1,0 +1,76 @@
+"""The virtual floppy-disk controller (the VENOM defect site).
+
+CVE-2015-3456: the FDC keeps a FIFO buffer and an index; two commands
+(``FD_CMD_READ_ID`` / ``FD_CMD_DRIVE_SPECIFICATION_COMMAND``) fail to
+reset/bound the index, so a guest feeding enough bytes pushes the
+index past the buffer and overwrites adjacent heap memory.
+
+The simulated controller reproduces that control flow: on vulnerable
+builds the two defective commands leave the index unbounded; on fixed
+builds every write is bounds-checked.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.qemu.machine import QemuProcess
+
+FDC_FIFO_SIZE = 512
+
+# FDC command bytes (real values from the QEMU source)
+FD_CMD_READ = 0xE6
+FD_CMD_WRITE = 0xC5
+FD_CMD_VERSION = 0x10
+FD_CMD_READ_ID = 0x4A
+FD_CMD_DRIVE_SPECIFICATION_COMMAND = 0x8E
+
+_DEFECTIVE_COMMANDS = {FD_CMD_READ_ID, FD_CMD_DRIVE_SPECIFICATION_COMMAND}
+
+
+class FloppyDiskController:
+    """State machine of the emulated FDC's command FIFO."""
+
+    def __init__(self, process: "QemuProcess"):
+        self.process = process
+        self.fifo_index = 0
+        self.current_command: int = 0
+        self.log: List[str] = []
+
+    @property
+    def _vulnerable(self) -> bool:
+        return self.process.version.venom_vulnerable
+
+    def write_command(self, command: int) -> None:
+        """Guest writes a command byte to the FDC data port."""
+        self.current_command = command
+        self.fifo_index = 0
+        self.log.append(f"fdc: command {command:#04x}")
+
+    def write_data(self, byte: int) -> None:
+        """Guest streams one parameter byte into the FIFO.
+
+        The defect: for the two buggy commands on vulnerable builds
+        the index check is skipped, so the write lands wherever the
+        index has crawled to — including past the buffer.
+        """
+        from repro.qemu.machine import FIFO_BASE
+
+        unchecked = self._vulnerable and self.current_command in _DEFECTIVE_COMMANDS
+        if not unchecked and self.fifo_index >= FDC_FIFO_SIZE:
+            # Fixed behaviour: index wraps/clamps inside the buffer.
+            self.fifo_index = 0
+        self.process.heap_write(FIFO_BASE + self.fifo_index, bytes([byte & 0xFF]))
+        self.fifo_index += 1
+
+    def write_block(self, data: bytes) -> None:
+        for byte in data:
+            if self.process.crashed:
+                return
+            self.write_data(byte)
+
+    @property
+    def overflowed(self) -> bool:
+        """Did the FIFO index ever escape the buffer?"""
+        return self.fifo_index > FDC_FIFO_SIZE

@@ -1,0 +1,117 @@
+"""The emulator process hosting the virtual devices.
+
+A :class:`QemuProcess` owns a flat heap (a bytearray).  The FDC's FIFO
+buffer lives at a fixed heap offset, and — as in the real VENOM layout
+— security-critical state (the IO-request dispatch pointer) sits right
+behind it, so an overflow of the FIFO corrupts it.
+
+:class:`QemuInjector` is the intrusion-injection counterpart: it
+writes the erroneous state (heap corruption past the FIFO) directly,
+without needing the FDC defect, so patched builds can be assessed too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.qemu.fdc import FDC_FIFO_SIZE, FloppyDiskController
+
+#: Heap layout of the emulator process.
+FIFO_BASE = 0x100
+DISPATCH_PTR_OFFSET = FIFO_BASE + FDC_FIFO_SIZE  # right behind the FIFO
+HEAP_SIZE = 0x400
+
+#: The legitimate value of the IO-request dispatch pointer.
+LEGIT_DISPATCH = 0xC0DE
+
+
+@dataclass(frozen=True)
+class QemuVersion:
+    """Build configuration of the emulator."""
+
+    name: str
+    venom_vulnerable: bool
+
+
+QEMU_VULNERABLE = QemuVersion(name="qemu-2.2 (pre-VENOM-fix)", venom_vulnerable=True)
+QEMU_FIXED = QemuVersion(name="qemu-2.3 (VENOM fixed)", venom_vulnerable=False)
+
+
+class QemuProcess:
+    """One device-emulator process serving one guest."""
+
+    def __init__(self, version: QemuVersion):
+        self.version = version
+        self.heap = bytearray(HEAP_SIZE)
+        self._write_u16(DISPATCH_PTR_OFFSET, LEGIT_DISPATCH)
+        self.fdc = FloppyDiskController(self)
+        self.crashed = False
+        self.escaped = False
+        self.log: List[str] = []
+
+    # -- heap ---------------------------------------------------------------
+
+    def _write_u16(self, offset: int, value: int) -> None:
+        self.heap[offset] = value & 0xFF
+        self.heap[offset + 1] = (value >> 8) & 0xFF
+
+    def _read_u16(self, offset: int) -> int:
+        return self.heap[offset] | (self.heap[offset + 1] << 8)
+
+    def heap_write(self, offset: int, data: bytes) -> None:
+        """Raw heap write.  Overflowing the heap end crashes the
+        process (like a segfault past the mapping)."""
+        if offset + len(data) > len(self.heap):
+            self.crashed = True
+            self.log.append("qemu: segmentation fault (heap overrun)")
+            return
+        self.heap[offset : offset + len(data)] = data
+
+    @property
+    def dispatch_pointer(self) -> int:
+        return self._read_u16(DISPATCH_PTR_OFFSET)
+
+    @property
+    def dispatch_corrupted(self) -> bool:
+        return self.dispatch_pointer != LEGIT_DISPATCH
+
+    # -- IO request path -------------------------------------------------------
+
+    def handle_io_request(self) -> Optional[str]:
+        """Dispatch a guest IO request through the dispatch pointer.
+
+        With the pointer intact the request is served normally.  With a
+        corrupted pointer the "CPU" jumps to attacker-chosen code:
+        the guest has escaped into the emulator process — the VENOM
+        security violation.
+        """
+        if self.crashed:
+            return None
+        if self.dispatch_corrupted:
+            self.escaped = True
+            self.log.append(
+                "qemu: control transferred to corrupted dispatch pointer "
+                f"{self.dispatch_pointer:#x} — guest escape"
+            )
+            return "escape"
+        return "served"
+
+
+class QemuInjector:
+    """Intrusion injector for the emulator process (§III-B).
+
+    Reproduces the erroneous state of a VENOM-style intrusion — heap
+    corruption immediately past the FDC FIFO — by writing it directly,
+    independent of whether the FDC defect is present.
+    """
+
+    def __init__(self, process: QemuProcess):
+        self.process = process
+
+    def inject_fifo_overflow(self, payload: bytes) -> None:
+        """Write ``payload`` at the first byte past the FIFO buffer."""
+        self.process.heap_write(DISPATCH_PTR_OFFSET, payload)
+        self.process.log.append(
+            f"injector: wrote {len(payload)} bytes past the FDC FIFO"
+        )

@@ -1,0 +1,5 @@
+"""Management tooling for the simulated host (the ``xl`` toolstack)."""
+
+from repro.tools.xl import XlError, XlToolstack
+
+__all__ = ["XlError", "XlToolstack"]

@@ -1,0 +1,286 @@
+"""A simulated ``xl`` toolstack — the management interface.
+
+Xen administration happens through the ``xl`` command-line tool in
+dom0; the paper's threat models include "activities originating from
+the management interface" (§IX-C) and instantiations with a privileged
+triggering source (§IV-C: "a privileged guest (dom0) abusing ...").
+This module provides that interface over the simulator:
+
+* lifecycle — ``create``, ``destroy``, ``pause``, ``unpause``;
+* inspection — ``list``, ``dmesg``, ``info``;
+* authorisation — every command is issued *by* a domain, and only the
+  privileged domain may manage others, so a compromised dom0 (e.g.
+  after XSA-148-priv) wields the full blast radius an APT would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.guest.kernel import GuestKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.domain import Domain
+    from repro.xen.hypervisor import Xen
+
+
+class XlError(Exception):
+    """A toolstack command failed (bad arguments or permission)."""
+
+
+@dataclass
+class DomainInfo:
+    """One row of ``xl list``."""
+
+    domid: int
+    name: str
+    memory_pages: int
+    vcpus: int
+    state: str  # r (running) / p (paused) / d (dying)
+
+    def render(self) -> str:
+        return (
+            f"{self.name:<24}{self.domid:>5}{self.memory_pages:>8}"
+            f"{self.vcpus:>7}     {self.state}"
+        )
+
+
+class XlToolstack:
+    """The management interface, bound to the domain issuing commands."""
+
+    def __init__(self, xen: "Xen", caller: "Domain"):
+        self.xen = xen
+        self.caller = caller
+
+    def _require_privilege(self, command: str) -> None:
+        if not self.caller.is_privileged:
+            raise XlError(
+                f"xl {command}: permission denied "
+                f"(d{self.caller.id} is not the control domain)"
+            )
+
+    def _find(self, name_or_id: str) -> "Domain":
+        for domain in self.xen.domains.values():
+            if domain.name == name_or_id or str(domain.id) == str(name_or_id):
+                return domain
+        raise XlError(f"xl: unknown domain {name_or_id!r}")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def list(self) -> List[DomainInfo]:
+        """``xl list`` — every domain on the host (dom0-only, like the
+        real tool when talking to the hypervisor)."""
+        self._require_privilege("list")
+        rows = []
+        for domain in sorted(self.xen.domains.values(), key=lambda d: d.id):
+            if domain.dead:
+                state = "d"
+            elif domain.paused:
+                state = "p"
+            else:
+                state = "r"
+            rows.append(
+                DomainInfo(
+                    domid=domain.id,
+                    name=domain.name,
+                    memory_pages=domain.num_pages,
+                    vcpus=len(domain.vcpus),
+                    state=state,
+                )
+            )
+        return rows
+
+    def render_list(self) -> str:
+        header = f"{'Name':<24}{'ID':>5}{'Mem':>8}{'VCPUs':>7}     State"
+        return "\n".join([header] + [row.render() for row in self.list()])
+
+    def dmesg(self, tail: Optional[int] = None) -> str:
+        """``xl dmesg`` — the hypervisor console."""
+        self._require_privilege("dmesg")
+        lines = self.xen.console if tail is None else self.xen.console[-tail:]
+        return "\n".join(lines)
+
+    def console(self, name_or_id: str, tail: Optional[int] = None) -> str:
+        """``xl console`` — a domain's kernel log."""
+        self._require_privilege("console")
+        domain = self._find(name_or_id)
+        if domain.kernel is None:
+            raise XlError(f"xl console: {name_or_id} has no kernel")
+        lines = domain.kernel.log if tail is None else domain.kernel.log[-tail:]
+        return "\n".join(lines)
+
+    def vcpu_list(self) -> str:
+        """``xl vcpu-list`` — per-vCPU scheduling state."""
+        self._require_privilege("vcpu-list")
+        lines = [f"{'Name':<20}{'ID':>4}{'VCPU':>6}{'Runs':>8}{'State':>8}"]
+        for domain in sorted(self.xen.domains.values(), key=lambda d: d.id):
+            for vcpu in domain.vcpus:
+                account = self.xen.scheduler.account(domain.id, vcpu.vcpu_id)
+                if domain.paused:
+                    state = "paused"
+                elif account.blocked:
+                    state = "blocked"
+                else:
+                    state = "run"
+                lines.append(
+                    f"{domain.name:<20}{domain.id:>4}{vcpu.vcpu_id:>6}"
+                    f"{account.runs:>8}{state:>8}"
+                )
+        return "\n".join(lines)
+
+    def info(self) -> str:
+        """``xl info`` — host summary."""
+        self._require_privilege("info")
+        machine = self.xen.machine
+        return "\n".join(
+            [
+                f"xen_version            : {self.xen.version.name}",
+                f"nr_cpus                : {self.xen.num_pcpus}",
+                f"total_memory           : {machine.bytes_total // 1024} KiB",
+                f"free_memory            : "
+                f"{machine.frames_free * 4} KiB",
+                f"nr_domains             : {len(self.xen.domains)}",
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def create(self, name: str, memory_pages: int = 32) -> "Domain":
+        """``xl create`` — build and boot a new guest."""
+        self._require_privilege("create")
+        if any(d.name == name for d in self.xen.domains.values()):
+            raise XlError(f"xl create: domain {name!r} already exists")
+        domain = self.xen.create_domain(name, num_pages=memory_pages)
+        GuestKernel(self.xen, domain).boot()
+        return domain
+
+    def destroy(self, name_or_id: str) -> None:
+        """``xl destroy`` — tear a guest down immediately."""
+        self._require_privilege("destroy")
+        domain = self._find(name_or_id)
+        if domain.is_privileged:
+            raise XlError("xl destroy: refusing to destroy the control domain")
+        self.xen.destroy_domain(domain)
+
+    def pause(self, name_or_id: str) -> None:
+        self._require_privilege("pause")
+        self._find(name_or_id).paused = True
+
+    def unpause(self, name_or_id: str) -> None:
+        self._require_privilege("unpause")
+        self._find(name_or_id).paused = False
+
+    # ------------------------------------------------------------------
+    # Device attachment (split drivers)
+    # ------------------------------------------------------------------
+
+    def _host_backends(self) -> dict:
+        """Per-host backend daemons, stashed on the hypervisor object
+        (one block backend / one network backend per host)."""
+        backends = getattr(self.xen, "_xl_backends", None)
+        if backends is None:
+            backends = {"blk": None, "net": None}
+            self.xen._xl_backends = backends
+        return backends
+
+    def block_attach(self, name_or_id: str, sectors: int = 32):
+        """``xl block-attach`` — give a guest a PV block device.
+
+        Starts the host's block backend on first use, then connects a
+        frontend inside the guest.  Returns the frontend handle."""
+        self._require_privilege("block-attach")
+        from repro.drivers.blkback import Blkback
+        from repro.drivers.blkfront import Blkfront
+        from repro.drivers.disk import VirtualDisk
+
+        domain = self._find(name_or_id)
+        if domain.kernel is None:
+            raise XlError(f"xl block-attach: {name_or_id} has no kernel")
+        backends = self._host_backends()
+        if backends["blk"] is None:
+            dom0 = next(
+                d for d in self.xen.domains.values() if d.is_privileged
+            )
+            backend = Blkback(dom0.kernel, VirtualDisk(num_sectors=sectors))
+            backend.start()
+            backends["blk"] = backend
+        frontend = Blkfront(domain.kernel)
+        frontend.connect()
+        return frontend
+
+    def network_attach(self, name_or_id: str):
+        """``xl network-attach`` — give a guest a PV network interface."""
+        self._require_privilege("network-attach")
+        from repro.drivers.netback import Netback
+        from repro.drivers.netfront import Netfront
+
+        domain = self._find(name_or_id)
+        if domain.kernel is None:
+            raise XlError(f"xl network-attach: {name_or_id} has no kernel")
+        backends = self._host_backends()
+        if backends["net"] is None:
+            dom0 = next(
+                d for d in self.xen.domains.values() if d.is_privileged
+            )
+            backend = Netback(dom0.kernel)
+            backend.start()
+            backends["net"] = backend
+        frontend = Netfront(domain.kernel)
+        frontend.connect()
+        return frontend
+
+    # ------------------------------------------------------------------
+    # Shell entry point (used by the reverse-shell observable)
+    # ------------------------------------------------------------------
+
+    def run(self, command_line: str) -> str:
+        """Interpret an ``xl ...`` command line; returns its output."""
+        parts = command_line.split()
+        if not parts:
+            raise XlError("xl: missing command")
+        command, args = parts[0], parts[1:]
+        if command == "list":
+            return self.render_list()
+        if command == "info":
+            return self.info()
+        if command == "dmesg":
+            return self.dmesg(tail=int(args[0]) if args else None)
+        if command == "console":
+            if not args:
+                raise XlError("xl console: missing domain")
+            return self.console(args[0])
+        if command == "vcpu-list":
+            return self.vcpu_list()
+        if command == "create":
+            if not args:
+                raise XlError("xl create: missing domain name")
+            pages = int(args[1]) if len(args) > 1 else 32
+            domain = self.create(args[0], memory_pages=pages)
+            return f"created domain {domain.name} (d{domain.id})"
+        if command == "destroy":
+            if not args:
+                raise XlError("xl destroy: missing domain")
+            self.destroy(args[0])
+            return f"destroyed {args[0]}"
+        if command == "pause":
+            self.pause(args[0])
+            return f"paused {args[0]}"
+        if command == "unpause":
+            self.unpause(args[0])
+            return f"unpaused {args[0]}"
+        if command == "block-attach":
+            if not args:
+                raise XlError("xl block-attach: missing domain")
+            self.block_attach(args[0])
+            return f"block device attached to {args[0]}"
+        if command == "network-attach":
+            if not args:
+                raise XlError("xl network-attach: missing domain")
+            self.network_attach(args[0])
+            return f"network interface attached to {args[0]}"
+        raise XlError(f"xl: unknown command {command!r}")

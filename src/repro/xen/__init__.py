@@ -1,0 +1,6 @@
+"""Xen paravirtualized hypervisor simulator (the paper's substrate)."""
+
+from repro.xen.hypervisor import Xen
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13, XenVersion
+
+__all__ = ["Xen", "XenVersion", "XEN_4_6", "XEN_4_8", "XEN_4_13"]

@@ -1,0 +1,142 @@
+"""Architectural constants of the simulated x86-64 / Xen PV machine.
+
+The simulator models memory at 64-bit-word granularity: a page is
+4 KiB = 512 words of 8 bytes, which is exactly the layout of an x86-64
+page table, so page-table frames and data frames share one
+representation.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Page geometry
+# ---------------------------------------------------------------------------
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4096 bytes
+WORD_SIZE = 8
+WORDS_PER_PAGE = PAGE_SIZE // WORD_SIZE  # 512
+ENTRIES_PER_TABLE = 512
+
+#: Size in bytes of the region covered by one entry at each level.
+L1_COVERAGE = PAGE_SIZE  # 4 KiB
+L2_COVERAGE = L1_COVERAGE * ENTRIES_PER_TABLE  # 2 MiB
+L3_COVERAGE = L2_COVERAGE * ENTRIES_PER_TABLE  # 1 GiB
+L4_COVERAGE = L3_COVERAGE * ENTRIES_PER_TABLE  # 512 GiB
+
+# ---------------------------------------------------------------------------
+# Page-table entry flags (x86-64 layout)
+# ---------------------------------------------------------------------------
+
+PTE_PRESENT = 1 << 0
+PTE_RW = 1 << 1
+PTE_USER = 1 << 2
+PTE_PWT = 1 << 3
+PTE_PCD = 1 << 4
+PTE_ACCESSED = 1 << 5
+PTE_DIRTY = 1 << 6
+PTE_PSE = 1 << 7  # superpage at L2/L3
+PTE_GLOBAL = 1 << 8
+#: Software-available bit the simulated Xen uses to tag its own special
+#: region descriptors inside the shared upper-half tables.
+PTE_XEN_SPECIAL = 1 << 9
+PTE_AVAIL1 = 1 << 10
+PTE_AVAIL2 = 1 << 11
+PTE_NX = 1 << 63
+
+PTE_FLAGS_MASK = 0xFFF | PTE_NX
+PTE_MFN_MASK = 0x000F_FFFF_FFFF_F000
+
+#: Kind codes stored in bits 52..55 of a PTE_XEN_SPECIAL descriptor.
+XEN_SPECIAL_SHIFT = 52
+XEN_SPECIAL_MASK = 0xF << XEN_SPECIAL_SHIFT
+XEN_SPECIAL_RO_MPT = 1  # read-only machine-to-phys window
+XEN_SPECIAL_LINEAR_ALIAS = 2  # the RWX linear-page-table alias (pre-4.9)
+
+# ---------------------------------------------------------------------------
+# Hypercall numbers (subset of the real PV ABI, same numbering)
+# ---------------------------------------------------------------------------
+
+HYPERCALL_MMU_UPDATE = 1
+HYPERCALL_SET_TRAP_TABLE = 2
+HYPERCALL_CONSOLE_IO = 18
+HYPERCALL_GRANT_TABLE_OP = 20
+HYPERCALL_VCPU_OP = 24
+HYPERCALL_MMUEXT_OP = 26
+HYPERCALL_EVENT_CHANNEL_OP = 32
+HYPERCALL_MEMORY_OP = 12
+#: The paper's prototype hooks a spare slot in the hypercall table.
+HYPERCALL_ARBITRARY_ACCESS = 39
+
+# memory_op sub-commands
+XENMEM_INCREASE_RESERVATION = 0
+XENMEM_DECREASE_RESERVATION = 1
+XENMEM_EXCHANGE = 11
+
+# mmu_update request types (low 2 bits of ptr in the real ABI)
+MMU_NORMAL_PT_UPDATE = 0
+MMU_MACHPHYS_UPDATE = 1
+
+# mmuext_op commands
+MMUEXT_PIN_L1_TABLE = 0
+MMUEXT_PIN_L2_TABLE = 1
+MMUEXT_PIN_L3_TABLE = 2
+MMUEXT_PIN_L4_TABLE = 3
+MMUEXT_UNPIN_TABLE = 4
+MMUEXT_NEW_BASEPTR = 5
+MMUEXT_TLB_FLUSH_LOCAL = 6
+MMUEXT_INVLPG_LOCAL = 7
+
+# grant-table op sub-commands
+GNTTABOP_MAP_GRANT_REF = 0
+GNTTABOP_UNMAP_GRANT_REF = 1
+GNTTABOP_SETUP_TABLE = 2
+GNTTABOP_TRANSFER = 4
+GNTTABOP_SET_VERSION = 8
+GNTTABOP_GET_STATUS_FRAMES = 9
+
+#: Batched hypercall execution (real ABI number).
+HYPERCALL_MULTICALL = 13
+
+# event-channel op sub-commands
+EVTCHNOP_ALLOC_UNBOUND = 6
+EVTCHNOP_BIND_INTERDOMAIN = 0
+EVTCHNOP_SEND = 4
+EVTCHNOP_CLOSE = 3
+
+# ---------------------------------------------------------------------------
+# Interrupt vectors
+# ---------------------------------------------------------------------------
+
+TRAP_DIVIDE_ERROR = 0
+TRAP_DEBUG = 1
+TRAP_NMI = 2
+TRAP_INT3 = 3
+TRAP_INVALID_OP = 6
+TRAP_DOUBLE_FAULT = 8
+TRAP_GP_FAULT = 13
+TRAP_PAGE_FAULT = 14
+IDT_VECTORS = 256
+
+#: IDT descriptor layout used by the simulator: one 64-bit word per
+#: vector.  Bit 47 (as in the real gate descriptor) is the present bit;
+#: the low 48 bits hold the handler's linear address (truncated), and
+#: bits 48..62 hold a checksum that trap delivery verifies, so that a
+#: blind overwrite of a descriptor is detected exactly like a garbage
+#: gate on real hardware.
+IDT_PRESENT_BIT = 1 << 47
+
+# ---------------------------------------------------------------------------
+# Magic fingerprints (memory scanning targets for XSA-148-priv)
+# ---------------------------------------------------------------------------
+
+START_INFO_MAGIC = 0x78656E2D_73746172  # "xen-star(t_info)"
+VDSO_MAGIC = 0x7664736F_2D696D67  # "vdso-img"
+
+# ---------------------------------------------------------------------------
+# Identifiers
+# ---------------------------------------------------------------------------
+
+DOMID_XEN = 0x7FF2  # pseudo-domain owning hypervisor frames (real value)
+DOMID_IO = 0x7FF1
+DOM0_ID = 0

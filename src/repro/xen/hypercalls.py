@@ -1,0 +1,425 @@
+"""The hypercall interface — "system calls in a virtualization context".
+
+All guest↔hypervisor interaction flows through
+:meth:`repro.xen.hypervisor.Xen.hypercall`, which dispatches into the
+handlers registered here.  Three handlers carry the paper's
+version-gated defects:
+
+* ``mmu_update`` — page-table writes, validated per entry (XSA-148's
+  missing PSE check and XSA-182's flag-only fast path live in
+  :mod:`repro.xen.validation`);
+* ``memory_op/XENMEM_exchange`` — XSA-212's missing bounds check on the
+  output handle turns the hypercall into an arbitrary 8-byte write at a
+  guest-chosen hypervisor linear address;
+* ``memory_op/XENMEM_decrease_reservation`` — with XSA-393 present,
+  returning pages to Xen does not revoke stale guest mappings of them.
+
+The paper's injector adds one more entry to this table — see
+:mod:`repro.core.injector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import (
+    EBUSY,
+    EFAULT,
+    EINVAL,
+    ENOSYS,
+    EPERM,
+    GuestFault,
+    HypercallError,
+    HypervisorFault,
+)
+from repro.xen import constants as C
+from repro.xen.addrspace import Access
+from repro.xen.frames import PAGETABLE_TYPE_BY_LEVEL, PageType
+from repro.xen.paging import pte_mfn, pte_present
+from repro.xen.versions import Vulnerability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.domain import Domain
+    from repro.xen.hypervisor import Xen
+
+
+# ---------------------------------------------------------------------------
+# Argument structures (the ABI's guest-provided structs)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MmuUpdate:
+    """One ``mmu_update`` request: ``ptr`` low bits select the type."""
+
+    ptr: int
+    val: int
+
+    @property
+    def update_type(self) -> int:
+        return self.ptr & 3
+
+    @property
+    def maddr(self) -> int:
+        return self.ptr & ~3
+
+
+@dataclass
+class MmuExtOp:
+    """One ``mmuext_op`` request."""
+
+    cmd: int
+    mfn: int = 0
+    vcpu_id: int = 0
+
+
+@dataclass
+class ExchangeArgs:
+    """Arguments of ``XENMEM_exchange`` (paper §VI-B).
+
+    ``out_extent_start`` is the guest-provided output handle; the
+    hypervisor reports each exchanged frame by writing one 64-bit word
+    at ``out_extent_start + 8 * nr_exchanged`` — the address the
+    XSA-212 PoCs aim at hypervisor memory.
+
+    ``out_values`` models the PoCs' control over the written words (the
+    real exploits steer the reported GMFN values through the in-extent
+    list and the resume path); it only has any effect on builds where
+    the vulnerable, unchecked copy is reachable.
+    """
+
+    in_pfns: List[int]
+    out_extent_start: int
+    nr_exchanged: int = 0
+    out_values: Optional[List[int]] = None
+
+
+@dataclass
+class GrantTableOpArgs:
+    cmd: int
+    nr_entries: int = 0
+    ref: int = 0
+    granter_id: int = 0
+    to_domid: int = 0
+    pfn: int = 0
+    readonly: bool = False
+    version: int = 1
+    mfn: int = 0
+
+
+@dataclass
+class EventChannelOpArgs:
+    cmd: int
+    remote_domid: int = 0
+    remote_port: int = 0
+    port: int = 0
+
+
+Handler = Callable[..., int]
+
+
+class HypercallTable:
+    """Number → handler mapping plus dispatch."""
+
+    def __init__(self, xen: "Xen"):
+        self.xen = xen
+        self._handlers: Dict[int, Handler] = {}
+        self._register_defaults()
+
+    def register(self, number: int, handler: Handler, replace: bool = False) -> None:
+        if number in self._handlers and not replace:
+            raise HypercallError(EINVAL, f"hypercall {number} already registered")
+        self._handlers[number] = handler
+
+    def is_registered(self, number: int) -> bool:
+        return number in self._handlers
+
+    def dispatch(self, domain: "Domain", number: int, *args) -> int:
+        handler = self._handlers.get(number)
+        if handler is None:
+            return -ENOSYS
+        try:
+            result = handler(domain, *args)
+            return 0 if result is None else result
+        except HypercallError as exc:
+            self.xen.log(f"hypercall {number} from d{domain.id} failed: {exc}")
+            return -exc.errno
+        except GuestFault:
+            # The hypercall dereferenced a bad guest address.
+            return -EFAULT
+
+    # ------------------------------------------------------------------
+    # Default handlers
+    # ------------------------------------------------------------------
+
+    def _register_defaults(self) -> None:
+        self.register(C.HYPERCALL_MMU_UPDATE, self._mmu_update)
+        self.register(C.HYPERCALL_MMUEXT_OP, self._mmuext_op)
+        self.register(C.HYPERCALL_SET_TRAP_TABLE, self._set_trap_table)
+        self.register(C.HYPERCALL_MEMORY_OP, self._memory_op)
+        self.register(C.HYPERCALL_CONSOLE_IO, self._console_io)
+        self.register(C.HYPERCALL_GRANT_TABLE_OP, self._grant_table_op)
+        self.register(C.HYPERCALL_EVENT_CHANNEL_OP, self._event_channel_op)
+        self.register(C.HYPERCALL_VCPU_OP, self._vcpu_op)
+        self.register(C.HYPERCALL_MULTICALL, self._multicall)
+
+    # -- multicall ---------------------------------------------------------
+
+    def _multicall(self, domain: "Domain", entries, results: list) -> int:
+        """Batched hypercalls: each entry is ``(number, args tuple)``;
+        per-entry return codes are written into ``results`` (the
+        guest-provided multicall structure).  A nested multicall is
+        rejected, as in the real ABI."""
+        for number, args in entries:
+            if number == C.HYPERCALL_MULTICALL:
+                raise HypercallError(EINVAL, "nested multicall")
+            results.append(self.dispatch(domain, number, *args))
+        return 0
+
+    # -- mmu_update ------------------------------------------------------
+
+    def _mmu_update(self, domain: "Domain", updates: Sequence[MmuUpdate]) -> int:
+        xen = self.xen
+        for update in updates:
+            if update.update_type == C.MMU_NORMAL_PT_UPDATE:
+                self._normal_pt_update(domain, update)
+            elif update.update_type == C.MMU_MACHPHYS_UPDATE:
+                self._machphys_update(domain, update)
+            else:
+                raise HypercallError(EINVAL, f"bad update type {update.update_type}")
+        return 0
+
+    def _normal_pt_update(self, domain: "Domain", update: MmuUpdate) -> None:
+        xen = self.xen
+        maddr = update.maddr
+        if maddr % 8:
+            raise HypercallError(EINVAL, f"unaligned PTE address {maddr:#x}")
+        table_mfn, index = xen.machine.split_paddr(maddr)
+        info = xen.frames.info(table_mfn)
+        level = info.type.level
+        if level == 0:
+            raise HypercallError(
+                EINVAL, f"mfn {table_mfn:#x} is not a validated page table"
+            )
+        if info.owner != domain.id and not domain.is_privileged:
+            raise HypercallError(
+                EPERM, f"page table mfn {table_mfn:#x} not owned by d{domain.id}"
+            )
+        old_entry = xen.machine.read_word(table_mfn, index)
+        validated = xen.validation.check_update(
+            domain, table_mfn, level, index, update.val
+        )
+        xen.machine.write_word(table_mfn, index, update.val)
+        # Reference discipline: full validation took a ref for the new
+        # entry; the overwritten entry's ref (if it held one) goes away
+        # with it.  Fast-path (flag-only) updates keep the same child,
+        # so no reference moves.
+        if validated and xen.validation.entry_takes_ref(
+            level, old_entry, table_mfn
+        ):
+            xen.validation.put_entry_ref(level, old_entry)
+        for listener in xen.pt_update_listeners:
+            listener(table_mfn, index, update.val)
+
+    def _machphys_update(self, domain: "Domain", update: MmuUpdate) -> None:
+        xen = self.xen
+        mfn = update.maddr >> C.PAGE_SHIFT
+        if xen.frames.owner_of(mfn) != domain.id and not domain.is_privileged:
+            raise HypercallError(EPERM, f"mfn {mfn:#x} not owned by d{domain.id}")
+        xen.set_m2p(mfn, update.val)
+
+    # -- mmuext_op --------------------------------------------------------
+
+    _PIN_LEVELS = {
+        C.MMUEXT_PIN_L1_TABLE: 1,
+        C.MMUEXT_PIN_L2_TABLE: 2,
+        C.MMUEXT_PIN_L3_TABLE: 3,
+        C.MMUEXT_PIN_L4_TABLE: 4,
+    }
+
+    def _mmuext_op(self, domain: "Domain", ops: Sequence[MmuExtOp]) -> int:
+        xen = self.xen
+        for op in ops:
+            if op.cmd in self._PIN_LEVELS:
+                level = self._PIN_LEVELS[op.cmd]
+                self._check_owned(domain, op.mfn)
+                xen.frames.pin(
+                    op.mfn,
+                    PAGETABLE_TYPE_BY_LEVEL[level],
+                    xen.validation.validator_for(domain),
+                )
+            elif op.cmd == C.MMUEXT_UNPIN_TABLE:
+                self._check_owned(domain, op.mfn)
+                level = xen.frames.pagetable_level(op.mfn)
+                xen.frames.unpin(op.mfn)
+                if xen.frames.info(op.mfn).type_count == 0 and level >= 2:
+                    # Last reference gone: the table releases the child
+                    # references its entries held.
+                    xen.validation.release_table(op.mfn, level)
+            elif op.cmd == C.MMUEXT_NEW_BASEPTR:
+                info = xen.frames.info(op.mfn)
+                if info.type is not PageType.L4 or not info.validated:
+                    raise HypercallError(
+                        EINVAL, f"mfn {op.mfn:#x} is not a validated L4 table"
+                    )
+                self._check_owned(domain, op.mfn)
+                vcpu = domain.vcpu(op.vcpu_id)
+                old_cr3 = vcpu.cr3_mfn
+                # The loaded root holds its own typed reference.
+                xen.frames.get_page_type(op.mfn, PageType.L4)
+                vcpu.cr3_mfn = op.mfn
+                if old_cr3 is not None:
+                    xen.frames.put_page_type(old_cr3)
+                    old_info = xen.frames.info(old_cr3)
+                    if old_info.type_count == 0 and not old_info.pinned:
+                        xen.validation.release_table(old_cr3, 4)
+            elif op.cmd in (C.MMUEXT_TLB_FLUSH_LOCAL, C.MMUEXT_INVLPG_LOCAL):
+                pass  # the simulator has no TLB
+            else:
+                raise HypercallError(EINVAL, f"bad mmuext cmd {op.cmd}")
+        return 0
+
+    def _check_owned(self, domain: "Domain", mfn: int) -> None:
+        owner = self.xen.frames.owner_of(mfn)
+        if owner != domain.id and not domain.is_privileged:
+            raise HypercallError(EPERM, f"mfn {mfn:#x} owned by d{owner}")
+
+    # -- traps ------------------------------------------------------------
+
+    def _set_trap_table(self, domain: "Domain", traps: Dict[int, str]) -> int:
+        for vector, handler_name in traps.items():
+            if not 0 <= vector < C.IDT_VECTORS:
+                raise HypercallError(EINVAL, f"bad trap vector {vector}")
+            domain.current_vcpu.trap_table[vector] = handler_name
+        return 0
+
+    # -- memory_op ----------------------------------------------------------
+
+    def _memory_op(self, domain: "Domain", cmd: int, args) -> int:
+        if cmd == C.XENMEM_EXCHANGE:
+            return self._memory_exchange(domain, args)
+        if cmd == C.XENMEM_DECREASE_RESERVATION:
+            return self._decrease_reservation(domain, args)
+        if cmd == C.XENMEM_INCREASE_RESERVATION:
+            return self._increase_reservation(domain, args)
+        raise HypercallError(EINVAL, f"bad memory_op cmd {cmd}")
+
+    def _memory_exchange(self, domain: "Domain", args: ExchangeArgs) -> int:
+        """``XENMEM_exchange`` — the XSA-212 site.
+
+        The fixed code verifies that the output handle is a
+        guest-writable address *before* writing the result words; the
+        vulnerable code performs "an insufficient check on the input
+        address", so the copy lands wherever the guest pointed it —
+        including hypervisor memory.
+        """
+        xen = self.xen
+        vulnerable = xen.version.has_vuln(Vulnerability.XSA_212)
+
+        if not vulnerable:
+            # Fixed bounds check: every word the hypercall will write
+            # must land in guest-writable memory.
+            for i in range(len(args.in_pfns)):
+                dest = args.out_extent_start + 8 * (args.nr_exchanged + i)
+                try:
+                    xen.addrspace.guest_translate(domain, dest, Access.WRITE)
+                except GuestFault:
+                    raise HypercallError(
+                        EFAULT, f"output handle {dest:#x} not guest-writable"
+                    ) from None
+
+        for i, pfn in enumerate(args.in_pfns):
+            old_mfn = domain.pfn_to_mfn(pfn)
+            if xen.m2p(old_mfn) != pfn:
+                # Defensive FATAL directive: the M2P must agree with the
+                # P2M here, or internal state is corrupt ("impossible"
+                # — unless someone injected exactly that state).
+                xen.bug(f"m2p({old_mfn:#x}) == {pfn:#x}")
+            new_mfn = xen.machine.alloc_frame()
+            xen.frames.assign(new_mfn, domain.id, pfn)
+            domain.p2m[pfn] = new_mfn
+            xen.set_m2p(new_mfn, pfn)
+            xen.machine.copy_frame(old_mfn, new_mfn)
+            xen.free_domain_page(domain, old_mfn, update_p2m=False)
+
+            if args.out_values is not None and vulnerable:
+                value = args.out_values[i]
+            else:
+                value = new_mfn
+            dest = args.out_extent_start + 8 * (args.nr_exchanged + i)
+            if vulnerable:
+                xen.unchecked_copy_to_guest(domain, dest, value)
+            else:
+                mfn, word = xen.addrspace.guest_translate(domain, dest, Access.WRITE)
+                xen.machine.write_word(mfn, word, value)
+        return 0
+
+    def _decrease_reservation(self, domain: "Domain", pfns: Sequence[int]) -> int:
+        """Return pages to Xen — the XSA-393 "keep page access" site."""
+        xen = self.xen
+        for pfn in pfns:
+            mfn = domain.pfn_to_mfn(pfn)
+            info = xen.frames.info(mfn)
+            if info.type_count or info.count:
+                # A referenced frame (e.g. a live page table) cannot be
+                # returned to the heap; check before touching any state.
+                raise HypercallError(
+                    EBUSY, f"mfn {mfn:#x} still referenced (typed or mapped)"
+                )
+            if not xen.version.has_vuln(Vulnerability.XSA_393):
+                xen.zap_guest_mappings(domain, mfn)
+            # BUG (XSA-393): with the defect present, stale page-table
+            # entries mapping the freed frame survive in the guest.
+            domain.p2m[pfn] = None
+            xen.clear_m2p(mfn)
+            xen.free_domain_page(domain, mfn, update_p2m=False)
+        return 0
+
+    def _increase_reservation(self, domain: "Domain", nr_pages: int) -> int:
+        for _ in range(nr_pages):
+            self.xen.alloc_domain_page(domain)
+        return 0
+
+    # -- console -------------------------------------------------------------
+
+    def _console_io(self, domain: "Domain", message: str) -> int:
+        self.xen.console.append(f"(d{domain.id}) {message}")
+        return 0
+
+    # -- grant tables -----------------------------------------------------------
+
+    def _grant_table_op(self, domain: "Domain", args: GrantTableOpArgs) -> int:
+        grants = self.xen.grants
+        if args.cmd == C.GNTTABOP_SETUP_TABLE:
+            return grants.setup_table(domain, args.nr_entries)
+        if args.cmd == C.GNTTABOP_MAP_GRANT_REF:
+            return grants.map_grant_ref(domain, args.granter_id, args.ref)
+        if args.cmd == C.GNTTABOP_UNMAP_GRANT_REF:
+            return grants.unmap_grant_ref(domain, args.mfn)
+        if args.cmd == C.GNTTABOP_SET_VERSION:
+            return grants.set_version(domain, args.version)
+        if args.cmd == C.GNTTABOP_TRANSFER:
+            return grants.transfer(domain, args.pfn, args.to_domid)
+        raise HypercallError(EINVAL, f"bad grant-table cmd {args.cmd}")
+
+    # -- event channels ------------------------------------------------------------
+
+    def _event_channel_op(self, domain: "Domain", args: EventChannelOpArgs) -> int:
+        events = self.xen.events
+        if args.cmd == C.EVTCHNOP_ALLOC_UNBOUND:
+            return events.alloc_unbound(domain, args.remote_domid)
+        if args.cmd == C.EVTCHNOP_BIND_INTERDOMAIN:
+            return events.bind_interdomain(domain, args.remote_domid, args.remote_port)
+        if args.cmd == C.EVTCHNOP_SEND:
+            return events.send(domain, args.port)
+        if args.cmd == C.EVTCHNOP_CLOSE:
+            return events.close(domain, args.port)
+        raise HypercallError(EINVAL, f"bad event-channel cmd {args.cmd}")
+
+    # -- vcpu_op ----------------------------------------------------------------------
+
+    def _vcpu_op(self, domain: "Domain", cmd: str, vcpu_id: int) -> int:
+        domain.vcpu(vcpu_id)  # existence check
+        if cmd in ("up", "down"):
+            return 0
+        raise HypercallError(EINVAL, f"bad vcpu_op {cmd!r}")

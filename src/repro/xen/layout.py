@@ -1,0 +1,113 @@
+"""The simulated x86-64 Xen PV virtual-memory layout (paper §V-A).
+
+Xen's memory layout segments the upper half of the address space into
+regions with different guest-access rules; as the paper notes, "any
+error in this memory layout implementation directly affects the system
+security".  The layout constants below follow the real 64-bit PV
+layout closely enough that the exploits' addresses look right:
+
+========================  =====================  =========================
+region                    base                   guest access
+========================  =====================  =========================
+read-only M2P window      ``0xffff800000000000``  read-only
+linear-pagetable alias    ``0xffff804000000000``  RWX (removed by 4.9
+                                                  hardening; paper §VIII)
+Xen direct map            ``0xffff830000000000``  none (hypervisor only)
+guest kernel area         ``0xffff880000000000``  guest-managed
+========================  =====================  =========================
+
+L4 slots 256..271 belong to the hypervisor and are shared across all
+guests, which is exactly why the XSA-212-priv payload, once mapped
+there, is reachable from every domain.
+"""
+
+from __future__ import annotations
+
+from repro.xen.constants import L3_COVERAGE, L4_COVERAGE, PAGE_SIZE
+
+# -- hypervisor-reserved slots ------------------------------------------------
+
+XEN_FIRST_SLOT = 256
+XEN_LAST_SLOT = 271
+
+HYPERVISOR_VIRT_START = 0xFFFF_8000_0000_0000
+HYPERVISOR_VIRT_END = 0xFFFF_8800_0000_0000  # exclusive (slot 272)
+
+#: Read-only machine-to-phys window: first 256 GiB of slot 256.  The
+#: paper quotes this range as "read-only for guest domains".
+RO_MPT_START = 0xFFFF_8000_0000_0000
+RO_MPT_SIZE = 256 * (1 << 30)
+RO_MPT_END = RO_MPT_START + RO_MPT_SIZE  # exclusive
+
+#: The 512 GiB-slot-resident RWX alias of the linear page tables /
+#: machine memory (second half of slot 256).  Present on Xen 4.6/4.8;
+#: removed by the post-XSA-213..215 hardening that ships in 4.13
+#: (paper §VIII: range 0xffff804000000000..0xffff80403fffffff).
+LINEAR_ALIAS_START = 0xFFFF_8040_0000_0000
+LINEAR_ALIAS_SIZE = 256 * (1 << 30)
+LINEAR_ALIAS_END = LINEAR_ALIAS_START + LINEAR_ALIAS_SIZE  # exclusive
+
+#: First L3 index (within the slot-256 table) covered by the alias.
+LINEAR_ALIAS_FIRST_L3 = (LINEAR_ALIAS_START - RO_MPT_START) // L3_COVERAGE  # 256
+
+#: Hypervisor-private direct map of all machine memory (slots 262-263).
+#: Guests can never access it; the hypervisor (and therefore the
+#: injector hypercall) uses it for linear addressing of any frame.
+XEN_DIRECTMAP_START = 0xFFFF_8300_0000_0000
+XEN_DIRECTMAP_SIZE = 1 << 40  # 1 TiB
+XEN_DIRECTMAP_END = XEN_DIRECTMAP_START + XEN_DIRECTMAP_SIZE  # exclusive
+
+# -- guest areas ---------------------------------------------------------------
+
+#: Base of the guest kernel's pseudo-direct map (slot 272, the first
+#: guest-owned slot, like the real PV ABI).
+GUEST_KERNEL_BASE = 0xFFFF_8800_0000_0000
+
+#: Conventional base for guest user-space mappings (vDSO and friends).
+GUEST_USER_BASE = 0x0000_7F00_0000_0000
+
+
+def directmap_va(mfn: int, word: int = 0) -> int:
+    """Hypervisor-linear address of word ``word`` of frame ``mfn``."""
+    return XEN_DIRECTMAP_START + mfn * PAGE_SIZE + word * 8
+
+
+def alias_va(mfn: int, word: int = 0) -> int:
+    """Guest-visible linear-alias address of a frame (pre-hardening)."""
+    return LINEAR_ALIAS_START + mfn * PAGE_SIZE + word * 8
+
+
+def guest_kernel_va(pfn: int, word: int = 0) -> int:
+    """Guest-kernel virtual address of guest pseudo-physical page ``pfn``."""
+    return GUEST_KERNEL_BASE + pfn * PAGE_SIZE + word * 8
+
+
+def in_hypervisor_area(va: int) -> bool:
+    """Is ``va`` inside the hypervisor-reserved slots?"""
+    return HYPERVISOR_VIRT_START <= va < HYPERVISOR_VIRT_END
+
+
+def in_ro_mpt(va: int) -> bool:
+    """Is ``va`` inside the read-only machine-to-phys window?"""
+    return RO_MPT_START <= va < RO_MPT_END
+
+
+def in_linear_alias(va: int) -> bool:
+    """Is ``va`` inside the (pre-hardening) RWX linear alias?"""
+    return LINEAR_ALIAS_START <= va < LINEAR_ALIAS_END
+
+
+def in_xen_directmap(va: int) -> bool:
+    """Is ``va`` inside the hypervisor-private direct map?"""
+    return XEN_DIRECTMAP_START <= va < XEN_DIRECTMAP_END
+
+
+def slot_base(slot: int) -> int:
+    """Canonical base address of an L4 slot."""
+    from repro.xen.paging import build_va
+
+    return build_va(slot, 0, 0, 0)
+
+
+assert LINEAR_ALIAS_FIRST_L3 == 256, "alias must start at L3 index 256"
+assert L4_COVERAGE == 1 << 39

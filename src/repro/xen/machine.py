@@ -1,0 +1,204 @@
+"""The raw physical machine: frames of 64-bit words plus a blob store.
+
+The simulator models memory contents at word granularity (a page is
+512 words of 8 bytes).  That representation is exact for page tables,
+descriptors, magic fingerprints and counters, which is everything the
+paper's exploits manipulate numerically.
+
+Executable payloads, however, are not modelled at the ISA level.  A
+payload written into memory is represented by a *blob*: an opaque
+Python object attached to a ``(mfn, word)`` coordinate, together with a
+marker word written into the frame so that scans and overwrites behave
+consistently.  Executing memory means looking up the blob at the
+translated coordinate — if no blob is there, the "CPU" faults, exactly
+as jumping into garbage would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.xen.constants import PAGE_SHIFT, PAGE_SIZE, WORDS_PER_PAGE
+
+_WORD_MASK = (1 << 64) - 1
+
+#: Marker value written into a frame word that carries a blob, so the
+#: word reads back as obviously non-zero data.
+BLOB_MARKER = 0xB10B_B10B_B10B_B10B
+
+
+class Machine:
+    """Physical memory of the simulated host.
+
+    Parameters
+    ----------
+    num_frames:
+        Number of 4 KiB machine frames.  The default (2048 = 8 MiB) is
+        plenty for the three-domain testbed while keeping full-memory
+        scans fast.
+    """
+
+    def __init__(self, num_frames: int = 2048):
+        if num_frames <= 0:
+            raise MachineError("machine needs at least one frame")
+        self.num_frames = num_frames
+        self._frames: Dict[int, np.ndarray] = {}
+        self._blobs: Dict[Tuple[int, int], object] = {}
+        self._free: List[int] = list(range(num_frames - 1, -1, -1))
+        self._allocated: set = set()
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def bytes_total(self) -> int:
+        return self.num_frames * PAGE_SIZE
+
+    def check_mfn(self, mfn: int) -> None:
+        if not 0 <= mfn < self.num_frames:
+            raise MachineError(f"mfn {mfn:#x} out of range (0..{self.num_frames - 1:#x})")
+
+    # -- allocation --------------------------------------------------------
+
+    def alloc_frame(self) -> int:
+        """Pop a free frame (zeroed) and return its MFN."""
+        if not self._free:
+            raise MachineError("out of machine memory")
+        mfn = self._free.pop()
+        self._allocated.add(mfn)
+        self.zero_frame(mfn)
+        return mfn
+
+    def alloc_frames(self, count: int) -> List[int]:
+        return [self.alloc_frame() for _ in range(count)]
+
+    def free_frame(self, mfn: int) -> None:
+        self.check_mfn(mfn)
+        if mfn not in self._allocated:
+            raise MachineError(f"double free of mfn {mfn:#x}")
+        self._allocated.remove(mfn)
+        self.zero_frame(mfn)
+        self._free.append(mfn)
+
+    def is_allocated(self, mfn: int) -> bool:
+        return mfn in self._allocated
+
+    @property
+    def frames_free(self) -> int:
+        return len(self._free)
+
+    # -- word access -------------------------------------------------------
+
+    def _frame(self, mfn: int) -> np.ndarray:
+        self.check_mfn(mfn)
+        frame = self._frames.get(mfn)
+        if frame is None:
+            frame = np.zeros(WORDS_PER_PAGE, dtype=np.uint64)
+            self._frames[mfn] = frame
+        return frame
+
+    @staticmethod
+    def _check_index(index: int) -> None:
+        if not 0 <= index < WORDS_PER_PAGE:
+            raise MachineError(f"word index {index} out of page bounds")
+
+    def read_word(self, mfn: int, index: int) -> int:
+        """Read the 64-bit word at word offset ``index`` of frame ``mfn``."""
+        self._check_index(index)
+        if mfn not in self._frames:
+            self.check_mfn(mfn)
+            return 0
+        return int(self._frames[mfn][index])
+
+    def write_word(self, mfn: int, index: int, value: int) -> None:
+        """Write a 64-bit word; any blob previously at that word is destroyed."""
+        self._check_index(index)
+        frame = self._frame(mfn)
+        frame[index] = value & _WORD_MASK
+        self._blobs.pop((mfn, index), None)
+
+    def read_words(self, mfn: int, start: int, count: int) -> List[int]:
+        return [self.read_word(mfn, start + i) for i in range(count)]
+
+    def write_words(self, mfn: int, start: int, values) -> None:
+        for i, value in enumerate(values):
+            self.write_word(mfn, start + i, value)
+
+    def zero_frame(self, mfn: int) -> None:
+        self.check_mfn(mfn)
+        self._frames.pop(mfn, None)
+        stale = [key for key in self._blobs if key[0] == mfn]
+        for key in stale:
+            del self._blobs[key]
+
+    def copy_frame(self, src_mfn: int, dst_mfn: int) -> None:
+        self.zero_frame(dst_mfn)
+        if src_mfn in self._frames:
+            self._frames[dst_mfn] = self._frames[src_mfn].copy()
+        for (mfn, index), blob in list(self._blobs.items()):
+            if mfn == src_mfn:
+                self._blobs[(dst_mfn, index)] = blob
+
+    # -- physical byte-address helpers --------------------------------------
+
+    @staticmethod
+    def split_paddr(paddr: int) -> Tuple[int, int]:
+        """Split a byte-granular physical address into ``(mfn, word_index)``.
+
+        The address must be 8-byte aligned — the simulator, like the
+        paper's prototype interface, transfers whole words.
+        """
+        if paddr % 8:
+            raise MachineError(f"unaligned physical address {paddr:#x}")
+        return paddr >> PAGE_SHIFT, (paddr & (PAGE_SIZE - 1)) // 8
+
+    def read_paddr(self, paddr: int) -> int:
+        mfn, index = self.split_paddr(paddr)
+        return self.read_word(mfn, index)
+
+    def write_paddr(self, paddr: int, value: int) -> None:
+        mfn, index = self.split_paddr(paddr)
+        self.write_word(mfn, index, value)
+
+    # -- blobs ("code" payloads) --------------------------------------------
+
+    def attach_blob(self, mfn: int, index: int, blob: object) -> None:
+        """Install an opaque payload at ``(mfn, index)``.
+
+        Writes the blob marker word so that memory reads observe that
+        *something* was written there.
+        """
+        self._check_index(index)
+        frame = self._frame(mfn)
+        frame[index] = BLOB_MARKER & _WORD_MASK
+        self._blobs[(mfn, index)] = blob
+
+    def blob_at(self, mfn: int, index: int) -> Optional[object]:
+        return self._blobs.get((mfn, index))
+
+    def iter_blobs(self) -> Iterator[Tuple[int, int, object]]:
+        for (mfn, index), blob in self._blobs.items():
+            yield mfn, index, blob
+
+    # -- scanning ------------------------------------------------------------
+
+    def find_word(self, value: int, start_mfn: int = 0) -> Optional[Tuple[int, int]]:
+        """Linear scan of physical memory for a word value.
+
+        Returns the first ``(mfn, index)`` at or after ``start_mfn``
+        holding ``value``, or ``None``.  Used by tests; the exploits do
+        their own scanning through their (possibly crafted) mappings.
+        """
+        target = np.uint64(value & _WORD_MASK)
+        for mfn in range(start_mfn, self.num_frames):
+            frame = self._frames.get(mfn)
+            if frame is None:
+                if target == 0:
+                    return (mfn, 0)
+                continue
+            hits = np.nonzero(frame == target)[0]
+            if hits.size:
+                return (mfn, int(hits[0]))
+        return None

@@ -1,0 +1,160 @@
+"""Page-table entry encoding and virtual-address arithmetic (x86-64).
+
+Pure functions only; the actual page walk lives in
+:mod:`repro.xen.addrspace` because it needs the machine, the frame
+table and the per-version layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.xen.constants import (
+    ENTRIES_PER_TABLE,
+    PAGE_SHIFT,
+    PTE_FLAGS_MASK,
+    PTE_MFN_MASK,
+    PTE_PRESENT,
+    PTE_PSE,
+    PTE_RW,
+    PTE_USER,
+    PTE_XEN_SPECIAL,
+    XEN_SPECIAL_MASK,
+    XEN_SPECIAL_SHIFT,
+)
+
+_VA_MASK_48 = (1 << 48) - 1
+_SIGN_BIT = 1 << 47
+_CANONICAL_HIGH = 0xFFFF_0000_0000_0000
+
+
+# ---------------------------------------------------------------------------
+# PTE encode / decode
+# ---------------------------------------------------------------------------
+
+def make_pte(mfn: int, flags: int) -> int:
+    """Build a PTE mapping machine frame ``mfn`` with the given flag bits."""
+    return ((mfn << PAGE_SHIFT) & PTE_MFN_MASK) | (flags & PTE_FLAGS_MASK)
+
+
+def pte_mfn(pte: int) -> int:
+    """Machine frame number a PTE references."""
+    return (pte & PTE_MFN_MASK) >> PAGE_SHIFT
+
+
+def pte_flags(pte: int) -> int:
+    """Flag bits of a PTE."""
+    return pte & PTE_FLAGS_MASK
+
+
+def pte_present(pte: int) -> bool:
+    """Is the present bit set?"""
+    return bool(pte & PTE_PRESENT)
+
+
+def pte_writable(pte: int) -> bool:
+    """Is the RW bit set?"""
+    return bool(pte & PTE_RW)
+
+
+def pte_user(pte: int) -> bool:
+    """Is the user bit set?"""
+    return bool(pte & PTE_USER)
+
+
+def pte_superpage(pte: int) -> bool:
+    """Is the PSE (superpage) bit set?"""
+    return bool(pte & PTE_PSE)
+
+
+def make_special_pte(kind: int) -> int:
+    """Build one of Xen's internal special-region descriptors.
+
+    These live in the hypervisor-owned upper-half tables and are tagged
+    with a software-available bit; the walkers treat them as region
+    descriptors rather than frame mappings.
+    """
+    return PTE_PRESENT | PTE_XEN_SPECIAL | (kind << XEN_SPECIAL_SHIFT)
+
+
+def special_kind(pte: int) -> Optional[int]:
+    """Return the special-region kind of a PTE, or ``None`` if ordinary."""
+    if pte & PTE_XEN_SPECIAL and pte & PTE_PRESENT:
+        return (pte & XEN_SPECIAL_MASK) >> XEN_SPECIAL_SHIFT
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Virtual-address arithmetic
+# ---------------------------------------------------------------------------
+
+def canonical(va: int) -> int:
+    """Sign-extend a 48-bit address into canonical 64-bit form."""
+    va &= _VA_MASK_48
+    if va & _SIGN_BIT:
+        return va | _CANONICAL_HIGH
+    return va
+
+
+def is_canonical(va: int) -> bool:
+    """Is ``va`` a canonical 64-bit address?"""
+    return canonical(va) == (va & ((1 << 64) - 1))
+
+
+def l4_index(va: int) -> int:
+    """L4 (PML4) index of a virtual address."""
+    return (va >> 39) & (ENTRIES_PER_TABLE - 1)
+
+
+def l3_index(va: int) -> int:
+    """L3 (PUD) index of a virtual address."""
+    return (va >> 30) & (ENTRIES_PER_TABLE - 1)
+
+
+def l2_index(va: int) -> int:
+    """L2 (PMD) index of a virtual address."""
+    return (va >> 21) & (ENTRIES_PER_TABLE - 1)
+
+
+def l1_index(va: int) -> int:
+    """L1 (PTE) index of a virtual address."""
+    return (va >> PAGE_SHIFT) & (ENTRIES_PER_TABLE - 1)
+
+
+def page_offset(va: int) -> int:
+    """Byte offset of an address within its page."""
+    return va & ((1 << PAGE_SHIFT) - 1)
+
+
+def word_index(va: int) -> int:
+    """Word offset of an 8-byte-aligned address within its page."""
+    return page_offset(va) >> 3
+
+
+def table_indices(va: int) -> Tuple[int, int, int, int]:
+    """Return the (l4, l3, l2, l1) indices of a virtual address."""
+    return l4_index(va), l3_index(va), l2_index(va), l1_index(va)
+
+
+def build_va(l4: int, l3: int, l2: int, l1: int, offset: int = 0) -> int:
+    """Compose a canonical virtual address from table indices."""
+    for name, value in (("l4", l4), ("l3", l3), ("l2", l2), ("l1", l1)):
+        if not 0 <= value < ENTRIES_PER_TABLE:
+            raise ValueError(f"{name} index {value} out of range")
+    va = (l4 << 39) | (l3 << 30) | (l2 << 21) | (l1 << PAGE_SHIFT) | offset
+    return canonical(va)
+
+
+def describe_pte(pte: int) -> str:
+    """Human-readable PTE rendering used in audit reports."""
+    if not pte_present(pte):
+        return f"{pte:#018x} <not present>"
+    kind = special_kind(pte)
+    if kind is not None:
+        return f"{pte:#018x} <xen special region kind={kind}>"
+    bits = []
+    for mask, label in ((PTE_RW, "RW"), (PTE_USER, "US"), (PTE_PSE, "PSE")):
+        if pte & mask:
+            bits.append(label)
+    flags = "|".join(bits) if bits else "RO"
+    return f"{pte:#018x} mfn={pte_mfn(pte):#x} [{flags}]"

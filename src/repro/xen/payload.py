@@ -1,0 +1,89 @@
+"""Executable payloads — the simulator's stand-in for machine code.
+
+The simulator does not interpret x86 instructions; anything executable
+is a *blob* attached to a memory coordinate (see
+:mod:`repro.xen.machine`).  Jumping to a linear address means
+translating it and executing the blob found there; jumping anywhere
+else is a crash, just like jumping into garbage bytes.
+
+Two families of blobs exist:
+
+* :class:`XenStub` — the hypervisor's own entry stubs, installed at
+  boot behind every IDT gate.
+* :class:`Payload` — attacker-provided code written into memory by an
+  exploit or by an injection script.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.domain import Domain
+    from repro.xen.hypervisor import Xen
+
+
+class XenStub:
+    """One of Xen's exception/interrupt entry stubs."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XenStub {self.name}>"
+
+
+class Payload:
+    """Attacker code.  ``execute`` runs with the privileges of whatever
+    context jumped to it — hypervisor context if reached through an IDT
+    gate, guest-process context if reached through a patched vDSO."""
+
+    def __init__(
+        self,
+        name: str,
+        action: Optional[Callable[["Xen", Optional["Domain"]], None]] = None,
+    ):
+        self.name = name
+        self._action = action
+
+    def execute(self, xen: "Xen", domain: Optional["Domain"]) -> None:
+        if self._action is not None:
+            self._action(xen, domain)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Payload {self.name}>"
+
+
+class SpinPayload(Payload):
+    """Ring-0 code that never returns: the CPU it runs on stops
+    scheduling anything (the "Induce a Hang State" erroneous state)."""
+
+    def __init__(self, cpu: int = 0):
+        super().__init__("ring0-spin")
+        self.cpu = cpu
+
+    def execute(self, xen: "Xen", domain) -> None:
+        pcpu = xen.scheduler.pcpus[self.cpu]
+        pcpu.spinning = True
+        xen.log(f"cpu{self.cpu}: stuck in ring 0 (no progress)")
+
+
+class RootShellPayload(Payload):
+    """The XSA-212-priv payload: run a shell command as root in every
+    domain on the host (the paper's ``/tmp/injector_log`` drop)."""
+
+    def __init__(self, command_output: str, log_path: str = "/tmp/injector_log"):
+        super().__init__("root-shell-everywhere")
+        self.command_output = command_output
+        self.log_path = log_path
+
+    def execute(self, xen: "Xen", domain) -> None:
+        # Runs in hypervisor context: full access to every domain.
+        for victim in xen.domains.values():
+            if victim.kernel is None or victim.dead:
+                continue
+            content = (
+                f"|uid=0(root) gid=0(root) groups=0(root)|@{victim.hostname}"
+            )
+            victim.kernel.fs.write(self.log_path, content, uid=0)
+        xen.log(f"payload {self.name!r} executed in ring 0")

@@ -1,0 +1,153 @@
+"""A credit-style vCPU scheduler with starvation accounting.
+
+The paper's taxonomy reserves its largest non-memory class for
+"Induce a Hang State" (20 of 100 CVEs), and §IX-C announces prototype
+extensions toward interrupt- and availability-flavoured intrusion
+models.  This substrate makes those assessable: physical CPUs run
+vCPUs round-robin with per-vCPU credit accounting, and a hypervisor
+context that stops yielding (a payload spinning in ring 0, a
+non-preemptible hypercall) starves the run queue — which the
+starvation counters expose to the hang monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.domain import Domain
+    from repro.xen.hypervisor import Xen
+
+#: Credits granted to each vCPU at every accounting period.
+CREDITS_PER_PERIOD = 30
+#: Scheduler ticks per accounting period.
+PERIOD_TICKS = 10
+
+
+@dataclass
+class PCpu:
+    """One physical CPU as the scheduler sees it."""
+
+    cpu_id: int
+    #: Set when ring-0 code on this CPU stopped yielding (a spinning
+    #: payload, a livelocked hypercall) — the "hang" erroneous state.
+    spinning: bool = False
+    #: Ticks during which this CPU made no scheduling progress.
+    starved_ticks: int = 0
+    current: Optional[Tuple[int, int]] = None  # (domain_id, vcpu_id)
+
+
+@dataclass
+class VcpuAccount:
+    domain_id: int
+    vcpu_id: int
+    credits: int = CREDITS_PER_PERIOD
+    runs: int = 0
+    blocked: bool = False
+
+
+class Scheduler:
+    """Round-robin credit scheduler over all live domains' vCPUs."""
+
+    def __init__(self, xen: "Xen"):
+        self.xen = xen
+        self.pcpus: List[PCpu] = [PCpu(cpu_id=i) for i in range(xen.num_pcpus)]
+        self._accounts: Dict[Tuple[int, int], VcpuAccount] = {}
+        self._ticks = 0
+        self.trace: List[Tuple[int, int, int]] = []  # (tick, domain, vcpu)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_domain(self, domain: "Domain") -> None:
+        for vcpu in domain.vcpus:
+            key = (domain.id, vcpu.vcpu_id)
+            self._accounts[key] = VcpuAccount(domain.id, vcpu.vcpu_id)
+
+    def unregister_domain(self, domain: "Domain") -> None:
+        for key in [k for k in self._accounts if k[0] == domain.id]:
+            del self._accounts[key]
+
+    def account(self, domain_id: int, vcpu_id: int = 0) -> VcpuAccount:
+        return self._accounts[(domain_id, vcpu_id)]
+
+    # ------------------------------------------------------------------
+    # Blocking / pausing
+    # ------------------------------------------------------------------
+
+    def block(self, domain_id: int, vcpu_id: int = 0) -> None:
+        self.account(domain_id, vcpu_id).blocked = True
+
+    def unblock(self, domain_id: int, vcpu_id: int = 0) -> None:
+        self.account(domain_id, vcpu_id).blocked = False
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+
+    def _runnable(self) -> List[VcpuAccount]:
+        runnable = []
+        for (domain_id, _), account in sorted(self._accounts.items()):
+            domain = self.xen.domains.get(domain_id)
+            if domain is None or domain.dead:
+                continue
+            if getattr(domain, "paused", False):
+                continue
+            if account.blocked:
+                continue
+            runnable.append(account)
+        return runnable
+
+    def tick(self, ticks: int = 1) -> None:
+        """Advance scheduling time.
+
+        Each tick, every physical CPU either runs the next runnable
+        vCPU (consuming one credit) or — if its ring-0 context is
+        spinning — starves.  Credits refill every accounting period.
+        """
+        for _ in range(ticks):
+            self._ticks += 1
+            if self._ticks % PERIOD_TICKS == 0:
+                for account in self._accounts.values():
+                    account.credits = CREDITS_PER_PERIOD
+            runnable = self._runnable()
+            cursor = self._ticks  # rotate the starting point
+            for pcpu in self.pcpus:
+                if pcpu.spinning:
+                    pcpu.starved_ticks += 1
+                    pcpu.current = None
+                    continue
+                if not runnable:
+                    pcpu.current = None
+                    continue
+                account = runnable[(cursor + pcpu.cpu_id) % len(runnable)]
+                account.runs += 1
+                if account.credits > 0:
+                    account.credits -= 1
+                pcpu.current = (account.domain_id, account.vcpu_id)
+                self.trace.append(
+                    (self._ticks, account.domain_id, account.vcpu_id)
+                )
+
+    # ------------------------------------------------------------------
+    # Hang observation
+    # ------------------------------------------------------------------
+
+    @property
+    def hung_pcpus(self) -> List[PCpu]:
+        return [p for p in self.pcpus if p.spinning or p.starved_ticks > 0]
+
+    def is_hung(self, starvation_threshold: int = 5) -> bool:
+        """Has any physical CPU starved past the watchdog threshold?"""
+        return any(p.starved_ticks >= starvation_threshold for p in self.pcpus)
+
+    def fairness(self) -> Dict[int, int]:
+        """Total runs per domain — flat for a healthy system."""
+        totals: Dict[int, int] = {}
+        for account in self._accounts.values():
+            totals[account.domain_id] = (
+                totals.get(account.domain_id, 0) + account.runs
+            )
+        return totals

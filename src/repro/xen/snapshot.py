@@ -1,0 +1,84 @@
+"""Machine-state snapshots and differential comparison.
+
+Auditing an erroneous state ultimately means comparing memory against
+what it should be.  The paper does this by hand (page-table walks,
+re-reading corrupted words); this module generalises it: capture a
+snapshot of all machine frames, run something, and diff — yielding
+exactly which words changed.  The differential-equivalence analysis
+(:mod:`repro.core.differential`) builds on this to compare an exploit
+run against an injection run location by location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.xen.constants import WORDS_PER_PAGE
+from repro.xen.machine import Machine
+
+
+@dataclass(frozen=True)
+class WordChange:
+    """One changed memory word."""
+
+    mfn: int
+    word: int
+    old: int
+    new: int
+
+    @property
+    def location(self) -> Tuple[int, int]:
+        return (self.mfn, self.word)
+
+
+class MachineSnapshot:
+    """An immutable copy of all frame contents at capture time."""
+
+    def __init__(self, frames: Dict[int, np.ndarray], num_frames: int):
+        self._frames = frames
+        self.num_frames = num_frames
+
+    @classmethod
+    def capture(cls, machine: Machine) -> "MachineSnapshot":
+        frames = {
+            mfn: frame.copy()
+            for mfn, frame in machine._frames.items()  # noqa: SLF001 — snapshotting is privileged
+        }
+        return cls(frames=frames, num_frames=machine.num_frames)
+
+    def word(self, mfn: int, index: int) -> int:
+        frame = self._frames.get(mfn)
+        if frame is None:
+            return 0
+        return int(frame[index])
+
+    # ------------------------------------------------------------------
+
+    def diff(self, machine: Machine) -> List[WordChange]:
+        """All words that differ between this snapshot and ``machine``
+        now, in (mfn, word) order."""
+        changes: List[WordChange] = []
+        mfns = set(self._frames) | set(machine._frames)  # noqa: SLF001
+        zero = np.zeros(WORDS_PER_PAGE, dtype=np.uint64)
+        for mfn in sorted(mfns):
+            old = self._frames.get(mfn)
+            new = machine._frames.get(mfn)  # noqa: SLF001
+            old_arr = old if old is not None else zero
+            new_arr = new if new is not None else zero
+            hits = np.nonzero(old_arr != new_arr)[0]
+            for index in hits:
+                changes.append(
+                    WordChange(
+                        mfn=mfn,
+                        word=int(index),
+                        old=int(old_arr[index]),
+                        new=int(new_arr[index]),
+                    )
+                )
+        return changes
+
+    def changed_frames(self, machine: Machine) -> Set[int]:
+        return {change.mfn for change in self.diff(machine)}

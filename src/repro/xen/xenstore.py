@@ -1,0 +1,130 @@
+"""XenStore — the shared hierarchical configuration store.
+
+Xen's split drivers discover each other through XenStore: the frontend
+publishes its ring reference and event-channel port under
+``/local/domain/<id>/device/...`` and the backend watches for it.
+This implementation provides the pieces the driver substrate (and
+management tooling) needs:
+
+* a path → value tree with per-subtree ownership;
+* permission checks (a domain writes only below its own
+  ``/local/domain/<id>``; dom0 writes anywhere; reads are open, as in
+  the default XenStore ACLs for the paths we model);
+* watches: callbacks fired on writes under a prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.domain import Domain
+
+
+class XenStoreError(Exception):
+    """Permission failure or malformed path."""
+
+
+WatchCallback = Callable[[str, str], None]  # (path, value)
+
+
+@dataclass
+class _Watch:
+    prefix: str
+    callback: WatchCallback
+    owner_id: int
+
+
+def domain_prefix(domid: int) -> str:
+    """The XenStore subtree a domain owns."""
+    return f"/local/domain/{domid}"
+
+
+class XenStore:
+    """The store itself (one per host)."""
+
+    def __init__(self):
+        self._values: Dict[str, str] = {}
+        self._watches: List[_Watch] = []
+
+    # ------------------------------------------------------------------
+    # Path rules
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_path(path: str) -> None:
+        if not path.startswith("/") or path.endswith("/") or "//" in path:
+            raise XenStoreError(f"malformed path {path!r}")
+
+    @staticmethod
+    def _may_write(caller: "Domain", path: str) -> bool:
+        if caller.is_privileged:
+            return True
+        prefix = domain_prefix(caller.id)
+        return path == prefix or path.startswith(prefix + "/")
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def write(self, caller: "Domain", path: str, value: str) -> None:
+        self._check_path(path)
+        if not self._may_write(caller, path):
+            raise XenStoreError(
+                f"d{caller.id} may not write {path!r} "
+                f"(outside {domain_prefix(caller.id)})"
+            )
+        self._values[path] = value
+        for watch in list(self._watches):
+            if path == watch.prefix or path.startswith(watch.prefix + "/"):
+                watch.callback(path, value)
+
+    def read(self, path: str, default: Optional[str] = None) -> Optional[str]:
+        self._check_path(path)
+        return self._values.get(path, default)
+
+    def exists(self, path: str) -> bool:
+        return path in self._values
+
+    def remove(self, caller: "Domain", path: str) -> None:
+        self._check_path(path)
+        if not self._may_write(caller, path):
+            raise XenStoreError(f"d{caller.id} may not remove {path!r}")
+        removed = [p for p in self._values if p == path or p.startswith(path + "/")]
+        for key in removed:
+            del self._values[key]
+
+    def list_dir(self, path: str) -> List[str]:
+        """Immediate children of ``path``."""
+        self._check_path(path)
+        children = set()
+        prefix = path + "/"
+        for key in self._values:
+            if key.startswith(prefix):
+                children.add(key[len(prefix):].split("/")[0])
+        return sorted(children)
+
+    # ------------------------------------------------------------------
+    # Watches
+    # ------------------------------------------------------------------
+
+    def watch(self, caller: "Domain", prefix: str, callback: WatchCallback) -> None:
+        """Fire ``callback`` on every write at or below ``prefix``.
+
+        Fires immediately for already-present entries, like the real
+        XenStore does on watch registration."""
+        self._check_path(prefix)
+        self._watches.append(
+            _Watch(prefix=prefix, callback=callback, owner_id=caller.id)
+        )
+        for path, value in sorted(self._values.items()):
+            if path == prefix or path.startswith(prefix + "/"):
+                callback(path, value)
+
+    def unwatch(self, caller: "Domain", prefix: str) -> None:
+        self._watches = [
+            w
+            for w in self._watches
+            if not (w.owner_id == caller.id and w.prefix == prefix)
+        ]

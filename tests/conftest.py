@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.testbed import TestBed, build_testbed
+from repro.guest.kernel import GuestKernel
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+ALL_VERSIONS = (XEN_4_6, XEN_4_8, XEN_4_13)
+FIXED_VERSIONS = (XEN_4_8, XEN_4_13)
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(512)
+
+
+@pytest.fixture
+def xen46() -> Xen:
+    return Xen(XEN_4_6, Machine(512))
+
+
+@pytest.fixture
+def xen48() -> Xen:
+    return Xen(XEN_4_8, Machine(512))
+
+
+@pytest.fixture
+def xen413() -> Xen:
+    return Xen(XEN_4_13, Machine(512))
+
+
+@pytest.fixture(params=ALL_VERSIONS, ids=lambda v: f"xen-{v.name}")
+def any_version(request):
+    """Parametrised over the three evaluated Xen versions."""
+    return request.param
+
+
+@pytest.fixture
+def xen(any_version) -> Xen:
+    return Xen(any_version, Machine(512))
+
+
+def make_guest(xen: Xen, name: str = "guest", pages: int = 32, privileged=False):
+    domain = xen.create_domain(name, num_pages=pages, is_privileged=privileged)
+    kernel = GuestKernel(xen, domain)
+    kernel.boot()
+    return domain
+
+
+@pytest.fixture
+def guest(xen):
+    """A booted guest on the parametrised hypervisor."""
+    return make_guest(xen)
+
+
+@pytest.fixture
+def bed46() -> TestBed:
+    return build_testbed(XEN_4_6)
+
+
+@pytest.fixture
+def bed48() -> TestBed:
+    return build_testbed(XEN_4_8)
+
+
+@pytest.fixture
+def bed413() -> TestBed:
+    return build_testbed(XEN_4_13)
+
+
+@pytest.fixture(params=ALL_VERSIONS, ids=lambda v: f"bed-{v.name}")
+def bed(request) -> TestBed:
+    """A full testbed, parametrised over all three versions."""
+    return build_testbed(request.param)

@@ -1,0 +1,108 @@
+"""Tests for the table renderers."""
+
+import pytest
+
+from repro.analysis.tables import (
+    render_rq1,
+    render_rq2,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.core.campaign import Campaign, Mode
+from repro.core.comparison import compare_runs
+from repro.cvedata import FunctionalityStudy
+from repro.exploits import USE_CASES, XSA182Test
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign()
+
+
+class TestTable1:
+    def test_contains_class_headers_with_totals(self):
+        text = render_table1(FunctionalityStudy.default())
+        assert "Memory Access - 35 CVEs" in text
+        assert "Memory Management - 40 CVEs" in text
+        assert "Exceptional Conditions - 11 CVEs" in text
+        assert "Non-Memory Related - 22 CVEs" in text
+
+    def test_contains_published_row_counts(self):
+        text = render_table1(FunctionalityStudy.default())
+        assert "Keep Page Access" in text and " 11" in text
+        assert "Induce a Hang State" in text and " 20" in text
+
+    def test_footer_mentions_multi_functionality(self):
+        text = render_table1(FunctionalityStudy.default())
+        assert "108" in text
+        assert "more than one" in text
+
+
+class TestTable2:
+    def test_rows_in_paper_order(self):
+        text = render_table2(USE_CASES)
+        lines = text.splitlines()
+        order = [
+            line.split()[0]
+            for line in lines
+            if line.startswith("XSA-")
+        ]
+        assert order == [
+            "XSA-212-crash",
+            "XSA-212-priv",
+            "XSA-148-priv",
+            "XSA-182-test",
+        ]
+
+    def test_functionality_labels(self):
+        text = render_table2(USE_CASES)
+        assert text.count("Write Arbitrary Memory") == 2
+        assert text.count("Write Page Table Entries") == 2
+
+    def test_instantiation_footer(self):
+        text = render_table2(USE_CASES)
+        assert "unprivileged guest virtual machine" in text
+
+
+class TestTable3:
+    def test_shield_cells_where_paper_has_shields(self, campaign):
+        cells = campaign.table3_runs(USE_CASES, (XEN_4_8, XEN_4_13))
+        text = render_table3(
+            cells, [u.name for u in USE_CASES], ["4.8", "4.13"]
+        )
+        lines = {line.split()[0]: line for line in text.splitlines() if line.startswith("XSA")}
+        assert "SHIELD" in lines["XSA-212-priv"]
+        assert "SHIELD" in lines["XSA-182-test"]
+        assert "SHIELD" not in lines["XSA-212-crash"]
+        assert "SHIELD" not in lines["XSA-148-priv"]
+
+    def test_all_err_states_ok(self, campaign):
+        cells = campaign.table3_runs(USE_CASES, (XEN_4_8, XEN_4_13))
+        text = render_table3(cells, [u.name for u in USE_CASES], ["4.8", "4.13"])
+        for line in text.splitlines():
+            if line.startswith("XSA"):
+                assert line.split()[1] == "ok"  # Err.State column, 4.8
+
+
+class TestRq1Rendering:
+    def test_four_of_four(self, campaign):
+        pairs = campaign.rq1_runs(USE_CASES, XEN_4_6)
+        verdicts = [compare_runs(e, i) for e, i in pairs]
+        text = render_rq1(pairs, verdicts)
+        assert "4/4 use cases" in text
+
+
+class TestRq2Rendering:
+    def test_all_failed_banner(self, campaign):
+        results = [
+            campaign.run(XSA182Test, v, Mode.EXPLOIT) for v in (XEN_4_8, XEN_4_13)
+        ]
+        text = render_rq2(results)
+        assert "all exploits failed" in text
+
+    def test_warning_if_exploit_works(self, campaign):
+        results = [campaign.run(XSA182Test, XEN_4_6, Mode.EXPLOIT)]
+        text = render_rq2(results)
+        assert "WARNING" in text

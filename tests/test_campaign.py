@@ -1,0 +1,104 @@
+"""Unit tests for the campaign runner and run results."""
+
+import pytest
+
+from repro.core.campaign import Campaign, Mode, RunResult
+from repro.core.comparison import compare_runs
+from repro.exploits import USE_CASES, XSA148Priv, XSA182Test, XSA212Crash
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign()
+
+
+class TestSingleRun:
+    def test_result_carries_metadata(self, campaign):
+        result = campaign.run(XSA212Crash, XEN_4_6, Mode.EXPLOIT)
+        assert result.use_case == "XSA-212-crash"
+        assert result.version == "4.6"
+        assert result.mode is Mode.EXPLOIT
+
+    def test_console_and_guest_log_captured(self, campaign):
+        result = campaign.run(XSA212Crash, XEN_4_6, Mode.EXPLOIT)
+        assert result.console
+        assert result.guest_log
+
+    def test_fresh_testbed_per_run(self, campaign):
+        """A crash in one run must not leak into the next."""
+        first = campaign.run(XSA212Crash, XEN_4_6, Mode.EXPLOIT)
+        assert first.crashed
+        second = campaign.run(XSA182Test, XEN_4_6, Mode.EXPLOIT)
+        assert not second.crashed
+
+    def test_summary_mentions_everything(self, campaign):
+        result = campaign.run(XSA212Crash, XEN_4_6, Mode.EXPLOIT)
+        assert "XSA-212-crash" in result.summary
+        assert "4.6" in result.summary
+        assert "err-state:YES" in result.summary
+        assert "violation:YES" in result.summary
+
+    def test_summary_shield_wording(self, campaign):
+        result = campaign.run(XSA182Test, XEN_4_13, Mode.INJECTION)
+        assert "violation:no (handled)" in result.summary
+
+
+class TestMatrices:
+    def test_run_matrix_cardinality(self, campaign):
+        results = campaign.run_matrix(
+            [XSA212Crash], [XEN_4_6, XEN_4_8], [Mode.INJECTION]
+        )
+        assert len(results) == 2
+
+    def test_rq1_pairs_are_exploit_then_injection(self, campaign):
+        pairs = campaign.rq1_runs([XSA182Test], XEN_4_6)
+        (exploit, injection), = pairs
+        assert exploit.mode is Mode.EXPLOIT
+        assert injection.mode is Mode.INJECTION
+
+    def test_table3_keys(self, campaign):
+        cells = campaign.table3_runs([XSA182Test], [XEN_4_8, XEN_4_13])
+        assert set(cells) == {("XSA-182-test", "4.8"), ("XSA-182-test", "4.13")}
+        assert all(r.mode is Mode.INJECTION for r in cells.values())
+
+
+class TestComparison:
+    def test_equivalent_pair(self, campaign):
+        exploit, injection = campaign.rq1_runs([XSA148Priv], XEN_4_6)[0]
+        verdict = compare_runs(exploit, injection)
+        assert verdict.equivalent
+        assert "EQUIVALENT" in verdict.render()
+
+    def test_non_equivalent_pair_detected(self, campaign):
+        """Exploit on 4.8 fails while injection succeeds — comparing
+        them must yield non-equivalence with explanatory notes."""
+        exploit = campaign.run(XSA148Priv, XEN_4_8, Mode.EXPLOIT)
+        injection = campaign.run(XSA148Priv, XEN_4_8, Mode.INJECTION)
+        verdict = compare_runs(exploit, injection)
+        assert not verdict.equivalent
+        assert verdict.notes
+
+    def test_mismatched_use_cases_rejected(self, campaign):
+        a = campaign.run(XSA148Priv, XEN_4_6, Mode.EXPLOIT)
+        b = campaign.run(XSA182Test, XEN_4_6, Mode.EXPLOIT)
+        with pytest.raises(ValueError):
+            compare_runs(a, b)
+
+    def test_mismatched_versions_rejected(self, campaign):
+        a = campaign.run(XSA182Test, XEN_4_6, Mode.EXPLOIT)
+        b = campaign.run(XSA182Test, XEN_4_8, Mode.EXPLOIT)
+        with pytest.raises(ValueError):
+            compare_runs(a, b)
+
+
+class TestCustomTestbedFactory:
+    def test_injector_free_testbed(self):
+        from repro.core.testbed import build_testbed
+
+        campaign = Campaign(
+            testbed_factory=lambda v: build_testbed(v, enable_injector=False)
+        )
+        result = campaign.run(XSA212Crash, XEN_4_8, Mode.INJECTION)
+        assert not result.erroneous_state.achieved
+        assert "rc=" in result.failure

@@ -1,0 +1,64 @@
+"""Tests for the assessment-coverage planner."""
+
+import pytest
+
+from repro.analysis.coverage import INJECTOR_COVERAGE, coverage_report
+from repro.core.taxonomy import AbusiveFunctionality as AF
+from repro.core.taxonomy import FunctionalityClass
+
+
+@pytest.fixture(scope="module")
+def report():
+    return coverage_report()
+
+
+class TestCoverageMap:
+    def test_every_functionality_mapped(self):
+        assert set(INJECTOR_COVERAGE) == set(AF)
+
+    def test_paper_use_cases_covered(self, report):
+        assert AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY in report.covered_functionalities
+        assert AF.GUEST_WRITABLE_PAGE_TABLE_ENTRY in report.covered_functionalities
+
+    def test_extension_ims_covered(self, report):
+        for functionality in (
+            AF.INDUCE_A_HANG_STATE,
+            AF.INDUCE_A_FATAL_EXCEPTION,
+            AF.UNCONTROLLED_ARBITRARY_INTERRUPT_REQUESTS,
+            AF.READ_UNAUTHORIZED_MEMORY,
+            AF.KEEP_PAGE_ACCESS,
+        ):
+            assert functionality in report.covered_functionalities
+
+    def test_known_gaps_reported(self, report):
+        for functionality in (
+            AF.FAIL_A_MEMORY_ACCESS,
+            AF.UNCONTROLLED_MEMORY_ALLOCATION,
+        ):
+            assert functionality in report.uncovered_functionalities
+
+
+class TestCoverageMetrics:
+    def test_functionality_coverage_fraction(self, report):
+        covered = len(report.covered_functionalities)
+        assert report.functionality_coverage == pytest.approx(covered / 16)
+        assert covered == 11
+
+    def test_cve_coverage_majority(self, report):
+        # The covered functionalities dominate the study.
+        assert report.cve_coverage >= 0.7
+        assert report.covered_cves() <= 100
+
+    def test_class_gaps_structure(self, report):
+        gaps = report.class_gaps()
+        assert FunctionalityClass.MEMORY_MANAGEMENT in gaps
+        flattened = [f for fs in gaps.values() for f in fs]
+        assert sorted(f.label for f in flattened) == sorted(
+            f.label for f in report.uncovered_functionalities
+        )
+
+    def test_render(self, report):
+        text = report.render()
+        assert "functionalities covered: 11/16" in text
+        assert "(no injector yet)" in text
+        assert "gaps by class" in text

@@ -1,0 +1,115 @@
+"""Tests for the 100-CVE study (Table I's data)."""
+
+import pytest
+
+from repro.core.taxonomy import AbusiveFunctionality, FunctionalityClass
+from repro.cvedata import FunctionalityStudy, XEN_CVE_STUDY
+from repro.cvedata.study import TABLE_I_CLASS_TOTALS, TABLE_I_EXPECTED
+
+
+@pytest.fixture(scope="module")
+def study():
+    return FunctionalityStudy.default()
+
+
+class TestDatasetShape:
+    def test_exactly_100_cves(self, study):
+        assert study.num_cves == 100
+
+    def test_108_functionality_assignments(self, study):
+        """Table I note: totals exceed 100 because some CVEs map to
+        more than one abusive functionality."""
+        assert study.num_assignments == 108
+
+    def test_eight_multi_functionality_cves(self, study):
+        assert len(study.multi_functionality_cves()) == 8
+
+    def test_paper_named_duals_present(self, study):
+        """§IV-D explicitly cites CVE-2019-17343 and CVE-2020-27672."""
+        duals = {r.cve_id for r in study.multi_functionality_cves()}
+        assert "CVE-2019-17343" in duals
+        assert "CVE-2020-27672" in duals
+
+    def test_validate_passes(self, study):
+        study.validate()
+
+    def test_unique_cve_ids(self, study):
+        ids = [r.cve_id for r in study.records]
+        assert len(ids) == len(set(ids))
+
+    def test_every_record_has_summary_and_component(self, study):
+        for record in study.records:
+            assert record.summary
+            assert record.component
+            assert record.xsa_id.startswith("XSA-")
+            assert 2012 <= record.year <= 2021
+
+
+class TestTableICounts:
+    def test_every_row_matches_table1(self, study):
+        counts = study.functionality_counts()
+        for functionality, expected in TABLE_I_EXPECTED.items():
+            assert counts[functionality] == expected, functionality.label
+
+    def test_class_totals_match_published(self, study):
+        totals = study.class_counts()
+        for klass, expected in TABLE_I_CLASS_TOTALS.items():
+            assert totals[klass] == expected, klass.value
+
+    def test_class_totals_sum_of_rows(self, study):
+        counts = study.functionality_counts()
+        totals = study.class_counts()
+        for klass, members in AbusiveFunctionality.by_class().items():
+            assert totals[klass] == sum(counts[f] for f in members)
+
+
+class TestAnchors:
+    def test_use_case_advisories_classified(self, study):
+        by_xsa = {r.xsa_id: r for r in study.records}
+        gw = AbusiveFunctionality.GUEST_WRITABLE_PAGE_TABLE_ENTRY
+        assert gw in by_xsa["XSA-148"].functionalities
+        assert gw in by_xsa["XSA-182"].functionalities
+        assert (
+            AbusiveFunctionality.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY
+            in by_xsa["XSA-212"].functionalities
+        )
+
+    def test_grant_table_examples_are_keep_page_access(self, study):
+        by_xsa = {r.xsa_id: r for r in study.records}
+        keep = AbusiveFunctionality.KEEP_PAGE_ACCESS
+        assert keep in by_xsa["XSA-387"].functionalities
+        assert keep in by_xsa["XSA-393"].functionalities
+
+    def test_venom_is_write_unauthorized(self, study):
+        by_xsa = {r.xsa_id: r for r in study.records}
+        assert (
+            AbusiveFunctionality.WRITE_UNAUTHORIZED_MEMORY
+            in by_xsa["XSA-133"].functionalities
+        )
+
+
+class TestQueries:
+    def test_records_for_functionality(self, study):
+        hits = study.records_for(AbusiveFunctionality.KEEP_PAGE_ACCESS)
+        assert len(hits) == 11
+
+    def test_records_in_class(self, study):
+        hits = study.records_in_class(FunctionalityClass.NON_MEMORY)
+        # 22 row-count minus duals counted once... every record with a
+        # non-memory functionality:
+        assert len(hits) == 22  # 18 + 2 hang singles/duals + 2 IRQ
+
+    def test_by_year_covers_study_range(self, study):
+        histogram = study.by_year()
+        assert sum(histogram.values()) == 100
+        assert min(histogram) >= 2012
+
+    def test_by_component_sorted_desc(self, study):
+        histogram = study.by_component()
+        values = list(histogram.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_duplicate_detection(self):
+        doubled = FunctionalityStudy(records=XEN_CVE_STUDY + XEN_CVE_STUDY[:1])
+        with pytest.raises(ValueError):
+            doubled.validate()

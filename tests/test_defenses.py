@@ -1,0 +1,129 @@
+"""Tests for the integrity-guard defences (§IV-C's assessment target)."""
+
+import pytest
+
+from repro.core.campaign import Campaign, Mode
+from repro.core.injector import IntrusionInjector
+from repro.core.testbed import build_testbed
+from repro.defenses import GuardMode, IdtGuard, PageTableGuard, deploy
+from repro.exploits import USE_CASES, XSA148Priv, XSA182Test, XSA212Crash, XSA212Priv
+from repro.xen import constants as C
+from repro.xen import layout
+from repro.xen.paging import make_pte
+from repro.xen.versions import XEN_4_6, XEN_4_8
+
+
+def guarded_bed(version=XEN_4_8, pt=True, idt=True, mode=GuardMode.RESTORE):
+    bed = build_testbed(version)
+    guards = []
+    if pt:
+        guards.append(PageTableGuard(bed.xen, mode=mode))
+    if idt:
+        guards.append(IdtGuard(bed.xen, mode=mode))
+    deploy(bed.xen, *guards)
+    return bed, guards
+
+
+class TestGuardMechanics:
+    def test_clean_system_never_alerts(self):
+        bed, guards = guarded_bed()
+        bed.attacker_domain.kernel.console_write("benign work")
+        bed.tick(3)
+        assert all(not guard.triggered for guard in guards)
+
+    def test_legitimate_pt_updates_rebaseline(self):
+        bed, (pt_guard, _) = guarded_bed()
+        kernel = bed.attacker_domain.kernel
+        l1_mfn = kernel.pfn_to_mfn(kernel.l1_pfns[0])
+        target = kernel.pfn_to_mfn(kernel.alloc_page())
+        rc = kernel.update_pt_entry(l1_mfn, 100, make_pte(target, C.PTE_PRESENT))
+        assert rc == 0
+        kernel.console_write("force another integrity point")
+        assert not pt_guard.triggered  # validated change, no alert
+
+    def test_injected_pt_write_detected_and_restored(self):
+        bed, (pt_guard, _) = guarded_bed()
+        kernel = bed.attacker_domain.kernel
+        injector = IntrusionInjector(kernel)
+        l1_mfn = kernel.pfn_to_mfn(kernel.l1_pfns[0])
+        before = bed.xen.machine.read_word(l1_mfn, 50)
+        injector.write_word(l1_mfn * C.PAGE_SIZE + 50 * 8, 0xBAD, linear=False)
+        # The post-hypercall integrity point already ran.
+        assert pt_guard.triggered
+        assert bed.xen.machine.read_word(l1_mfn, 50) == before
+
+    def test_detect_mode_alerts_without_restoring(self):
+        bed, (pt_guard, _) = guarded_bed(mode=GuardMode.DETECT)
+        kernel = bed.attacker_domain.kernel
+        injector = IntrusionInjector(kernel)
+        l1_mfn = kernel.pfn_to_mfn(kernel.l1_pfns[0])
+        injector.write_word(l1_mfn * C.PAGE_SIZE + 50 * 8, 0xBAD, linear=False)
+        assert pt_guard.triggered
+        assert bed.xen.machine.read_word(l1_mfn, 50) == 0xBAD
+
+    def test_idt_guard_restores_gates(self):
+        bed, (_, idt_guard) = guarded_bed()
+        injector = IntrusionInjector(bed.attacker_domain.kernel)
+        gate_va = bed.xen.sidt(0) + 14 * 16
+        injector.write_word(gate_va, 0xBAD)
+        assert idt_guard.triggered
+        assert bed.xen.idt(0).is_valid(14)
+
+    def test_alert_rendering(self):
+        bed, (pt_guard, _) = guarded_bed()
+        injector = IntrusionInjector(bed.attacker_domain.kernel)
+        l1_mfn = bed.attacker_domain.kernel.pfn_to_mfn(
+            bed.attacker_domain.kernel.l1_pfns[0]
+        )
+        injector.write_word(l1_mfn * C.PAGE_SIZE, 0xBAD, linear=False)
+        assert "restored" in pt_guard.alerts[0].render()
+        assert any("pagetable-guard" in line for line in bed.xen.console)
+
+    def test_newly_typed_tables_adopted(self):
+        bed, (pt_guard, _) = guarded_bed()
+        kernel = bed.attacker_domain.kernel
+        mfn = kernel.pfn_to_mfn(kernel.alloc_page())
+        assert kernel.pin_table(mfn, level=1) == 0
+        kernel.console_write("integrity point")
+        assert not pt_guard.triggered
+        assert mfn in pt_guard._baseline
+
+
+class TestGuardEffectiveness:
+    """The §IV-C campaign: which guard handles which injected state."""
+
+    def _campaign(self, pt: bool, idt: bool) -> Campaign:
+        return Campaign(
+            testbed_factory=lambda v: guarded_bed(v, pt=pt, idt=idt)[0]
+        )
+
+    @pytest.mark.parametrize("use_case", USE_CASES, ids=lambda u: u.name)
+    def test_both_guards_shield_everything_on_48(self, use_case):
+        result = self._campaign(True, True).run(use_case, XEN_4_8, Mode.INJECTION)
+        assert not result.violation.occurred
+
+    def test_pagetable_guard_scope(self):
+        campaign = self._campaign(pt=True, idt=False)
+        shielded = {
+            use_case.name
+            for use_case in USE_CASES
+            if not campaign.run(use_case, XEN_4_8, Mode.INJECTION).violation.occurred
+        }
+        assert shielded == {"XSA-148-priv", "XSA-182-test"}
+
+    def test_idt_guard_scope(self):
+        campaign = self._campaign(pt=False, idt=True)
+        shielded = {
+            use_case.name
+            for use_case in USE_CASES
+            if not campaign.run(use_case, XEN_4_8, Mode.INJECTION).violation.occurred
+        }
+        assert shielded == {"XSA-212-crash", "XSA-212-priv"}
+
+    def test_guards_do_not_stop_real_exploits_on_46(self):
+        """The guards trust validation, so a validation defect (the
+        real XSA-148 on 4.6) walks past them — they handle injected /
+        out-of-band corruption, not the vulnerable code path itself."""
+        campaign = self._campaign(pt=True, idt=False)
+        result = campaign.run(XSA148Priv, XEN_4_6, Mode.EXPLOIT)
+        assert result.violation.occurred

@@ -1,0 +1,74 @@
+"""Property tests: the integrity guards never miss, never false-alarm."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.injector import IntrusionInjector
+from repro.core.testbed import build_testbed
+from repro.defenses import GuardMode, IdtGuard, PageTableGuard, deploy
+from repro.xen import constants as C
+from repro.xen.paging import make_pte
+from repro.xen.versions import XEN_4_8
+
+
+def _guarded_bed():
+    bed = build_testbed(XEN_4_8)
+    pt_guard = PageTableGuard(bed.xen)
+    idt_guard = IdtGuard(bed.xen)
+    deploy(bed.xen, pt_guard, idt_guard)
+    return bed, pt_guard, idt_guard
+
+
+class TestGuardProperties:
+    @given(
+        word=st.integers(min_value=0, max_value=511),
+        value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_pt_corruption_is_caught_and_restored(self, word, value):
+        """Whatever word of whatever guarded page table the injector
+        corrupts, the very next integrity point restores it."""
+        bed, pt_guard, _ = _guarded_bed()
+        kernel = bed.attacker_domain.kernel
+        l1_mfn = kernel.pfn_to_mfn(kernel.l1_pfns[0])
+        before = bed.xen.machine.read_word(l1_mfn, word)
+        assume(value != before)
+        injector = IntrusionInjector(kernel)
+        rc = injector.write_word(l1_mfn * C.PAGE_SIZE + word * 8, value, linear=False)
+        assert rc == 0
+        assert pt_guard.triggered
+        assert bed.xen.machine.read_word(l1_mfn, word) == before
+
+    @given(vector=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_any_gate_corruption_is_caught(self, vector):
+        bed, _, idt_guard = _guarded_bed()
+        injector = IntrusionInjector(bed.attacker_domain.kernel)
+        gate_va = bed.xen.sidt(0) + vector * 16
+        injector.write_word(gate_va, 0xBAD_BAD)
+        assert idt_guard.triggered
+        assert bed.xen.idt(0).is_valid(vector)
+
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=64, max_value=511),
+                st.booleans(),
+            ),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_legitimate_update_sequences_never_alarm(self, updates):
+        """Any sequence of *validated* page-table updates leaves the
+        guard silent (no false positives)."""
+        bed, pt_guard, _ = _guarded_bed()
+        kernel = bed.attacker_domain.kernel
+        l1_mfn = kernel.pfn_to_mfn(kernel.l1_pfns[0])
+        target = kernel.pfn_to_mfn(kernel.alloc_page())
+        for index, present in updates:
+            entry = make_pte(target, C.PTE_PRESENT) if present else 0
+            assert kernel.update_pt_entry(l1_mfn, index, entry) in (0,)
+        kernel.console_write("integrity point")
+        assert not pt_guard.triggered

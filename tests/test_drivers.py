@@ -1,0 +1,199 @@
+"""Tests for the paravirtual split block driver."""
+
+import pytest
+
+from repro.drivers import Blkback, Blkfront, RING_SIZE, SharedRing, VirtualDisk
+from repro.drivers.blkfront import DATA_GREF, BlkfrontError
+from repro.drivers.disk import DiskError
+from repro.drivers.ring import (
+    OP_READ,
+    OP_WRITE,
+    RingRequest,
+    RingResponse,
+    STATUS_ERROR,
+    STATUS_OK,
+)
+from repro.xen.constants import WORDS_PER_PAGE
+
+
+@pytest.fixture
+def rig(bed48):
+    disk = VirtualDisk(num_sectors=16)
+    backend = Blkback(bed48.dom0.kernel, disk)
+    backend.start()
+    frontend = Blkfront(bed48.attacker_domain.kernel)
+    frontend.connect()
+    return bed48, disk, backend, frontend
+
+
+class TestVirtualDisk:
+    def test_read_unwritten_sector_is_zero(self):
+        disk = VirtualDisk(4)
+        assert disk.read_sector(0) == [0] * WORDS_PER_PAGE
+
+    def test_write_read_roundtrip(self):
+        disk = VirtualDisk(4)
+        payload = list(range(WORDS_PER_PAGE))
+        disk.write_sector(2, payload)
+        assert disk.read_sector(2) == payload
+
+    def test_out_of_range(self):
+        disk = VirtualDisk(4)
+        with pytest.raises(DiskError):
+            disk.read_sector(4)
+        with pytest.raises(DiskError):
+            disk.write_sector(-1, [0] * WORDS_PER_PAGE)
+
+    def test_short_write_rejected(self):
+        disk = VirtualDisk(4)
+        with pytest.raises(DiskError):
+            disk.write_sector(0, [1, 2, 3])
+
+    def test_stats(self):
+        disk = VirtualDisk(4)
+        disk.write_sector(0, [0] * WORDS_PER_PAGE)
+        disk.read_sector(0)
+        assert (disk.reads, disk.writes) == (1, 1)
+
+    def test_zero_sectors_rejected(self):
+        with pytest.raises(DiskError):
+            VirtualDisk(0)
+
+
+class TestSharedRing:
+    def test_request_roundtrip(self, machine):
+        ring = SharedRing(machine, machine.alloc_frame())
+        request = RingRequest(req_id=7, op=OP_WRITE, sector=3, gref=1)
+        ring.push_request(request)
+        assert ring.req_prod == 1
+        requests, cons, clamped = ring.pop_requests(0)
+        assert requests == [request]
+        assert cons == 1
+        assert not clamped
+
+    def test_response_roundtrip(self, machine):
+        ring = SharedRing(machine, machine.alloc_frame())
+        ring.write_response(0, RingResponse(req_id=7, status=STATUS_OK))
+        ring.rsp_prod = 1
+        responses, cons = ring.poll_responses(0)
+        assert responses == [RingResponse(req_id=7, status=STATUS_OK)]
+        assert cons == 1
+
+    def test_runaway_req_prod_clamped(self, machine):
+        ring = SharedRing(machine, machine.alloc_frame())
+        ring.req_prod = 10_000_000  # malicious frontend
+        requests, cons, clamped = ring.pop_requests(0)
+        assert clamped
+        assert len(requests) == RING_SIZE
+
+    def test_slots_wrap(self, machine):
+        ring = SharedRing(machine, machine.alloc_frame())
+        for i in range(RING_SIZE + 3):
+            ring.write_request(i, RingRequest(i, OP_READ, 0, 0))
+        assert ring.read_request(RING_SIZE).req_id == RING_SIZE
+
+
+class TestHandshake:
+    def test_backend_connects_on_announcement(self, rig):
+        bed, disk, backend, frontend = rig
+        assert frontend.kernel.domain.id in backend.connections
+        assert frontend.backend_state == "4"
+
+    def test_backend_ignores_incomplete_handshake(self, bed48):
+        backend = Blkback(bed48.dom0.kernel)
+        backend.start()
+        guest = bed48.attacker_domain
+        bed48.xen.xenstore.write(
+            guest, f"/local/domain/{guest.id}/device/vbd/0/state", "3"
+        )  # no ring-ref / event-channel
+        assert guest.id not in backend.connections
+        assert any("incomplete handshake" in line for line in backend.log)
+
+    def test_backend_requires_privilege(self, bed48):
+        with pytest.raises(ValueError):
+            Blkback(bed48.attacker_domain.kernel)
+
+    def test_multiple_frontends(self, bed48):
+        backend = Blkback(bed48.dom0.kernel, VirtualDisk(8))
+        backend.start()
+        fronts = []
+        for guest in bed48.guests:
+            front = Blkfront(guest.kernel)
+            front.connect()
+            fronts.append(front)
+        assert len(backend.connections) == 2
+        fronts[0].write_sector(1, [111])
+        fronts[1].write_sector(2, [222])
+        assert fronts[0].read_sector(1, 1) == [111]
+        assert fronts[1].read_sector(2, 1) == [222]
+
+
+class TestIO:
+    def test_write_then_read(self, rig):
+        _, disk, _, frontend = rig
+        frontend.write_sector(5, [10, 20, 30])
+        assert frontend.read_sector(5, 3) == [10, 20, 30]
+        assert disk.writes == 1 and disk.reads == 1
+
+    def test_data_lands_on_disk(self, rig):
+        _, disk, _, frontend = rig
+        frontend.write_sector(2, [0xFEED])
+        assert disk.read_sector(2)[0] == 0xFEED
+
+    def test_out_of_range_sector_errors(self, rig):
+        _, _, backend, frontend = rig
+        with pytest.raises(BlkfrontError):
+            frontend.read_sector(999)
+        connection = backend.connections[frontend.kernel.domain.id]
+        assert connection.errors_returned == 1
+        assert any("out of range" in line for line in backend.log)
+
+    def test_backend_stats(self, rig):
+        _, _, backend, frontend = rig
+        frontend.write_sector(0, [1])
+        frontend.read_sector(0)
+        connection = backend.connections[frontend.kernel.domain.id]
+        assert connection.requests_served == 2
+
+
+class TestMaliciousFrontend:
+    """The driver-facing intrusion surface: the backend must survive."""
+
+    def test_bad_grant_ref_is_error_not_crash(self, rig):
+        bed, _, backend, frontend = rig
+        ring = frontend.ring
+        ring.push_request(RingRequest(req_id=90, op=OP_READ, sector=0, gref=7))
+        frontend._kick()
+        responses, _ = ring.poll_responses(frontend._rsp_cons)
+        assert responses[-1].status == STATUS_ERROR
+        assert not bed.xen.crashed
+
+    def test_unknown_op_rejected(self, rig):
+        bed, _, backend, frontend = rig
+        ring = frontend.ring
+        ring.push_request(RingRequest(req_id=91, op=99, sector=0, gref=DATA_GREF))
+        frontend._kick()
+        responses, _ = ring.poll_responses(frontend._rsp_cons)
+        assert responses[-1].status == STATUS_ERROR
+        assert any("unknown op" in line for line in backend.log)
+
+    def test_runaway_producer_handled(self, rig):
+        bed, _, backend, frontend = rig
+        frontend.ring.req_prod = 1_000_000
+        frontend._kick()
+        connection = backend.connections[frontend.kernel.domain.id]
+        assert connection.clamps == 1
+        assert not bed.xen.crashed
+        assert any("clamped" in line for line in backend.log)
+
+    def test_backend_survives_and_serves_after_attack(self, rig):
+        bed, _, backend, frontend = rig
+        frontend.ring.req_prod = 1_000_000
+        frontend._kick()
+        # Resync the frontend to the backend's consumer position and
+        # continue normal service.
+        connection = backend.connections[frontend.kernel.domain.id]
+        frontend.ring.req_prod = connection.req_cons
+        frontend._rsp_cons = connection.rsp_prod
+        frontend.write_sector(1, [42])
+        assert frontend.read_sector(1, 1) == [42]

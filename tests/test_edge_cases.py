@@ -1,0 +1,141 @@
+"""Edge-case and robustness tests across the substrate."""
+
+import itertools
+
+import pytest
+
+from repro.core.campaign import Campaign, Mode
+from repro.core.injector import IntrusionInjector, install_injector
+from repro.core.testbed import build_testbed
+from repro.errors import GuestFault, HypervisorCrash
+from repro.exploits import USE_CASES, XSA148Priv
+from repro.xen import constants as C
+from repro.xen import layout
+from repro.xen.addrspace import Access
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.paging import make_pte
+from repro.xen.versions import (
+    XEN_4_6,
+    XEN_4_8,
+    Hardening,
+    Vulnerability,
+    XenVersion,
+)
+from tests.conftest import make_guest
+
+
+class TestAddressSpaceEdges:
+    def test_nx_page_not_executable(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l1_mfn = kernel.pfn_to_mfn(kernel.l1_pfns[0])
+        target = kernel.pfn_to_mfn(kernel.alloc_page())
+        entry = make_pte(target, C.PTE_PRESENT | C.PTE_RW) | C.PTE_NX
+        assert kernel.update_pt_entry(l1_mfn, 200, entry) == 0
+        va = layout.GUEST_KERNEL_BASE + 200 * C.PAGE_SIZE
+        xen.addrspace.guest_translate(guest, va, Access.READ)
+        with pytest.raises(GuestFault):
+            xen.addrspace.guest_translate(guest, va, Access.EXEC)
+
+    def test_noncanonical_addresses_normalised(self, xen):
+        guest = make_guest(xen)
+        va = layout.guest_kernel_va(4)
+        # Strip the sign extension: the walker re-canonicalises.
+        stripped = va & ((1 << 48) - 1)
+        mfn, _ = xen.addrspace.guest_translate(guest, stripped, Access.READ)
+        assert mfn == guest.pfn_to_mfn(4)
+
+    def test_corrupted_pte_with_garbage_mfn_faults_cleanly(self, xen):
+        """Bad MFNs in corrupted entries yield page faults, not
+        simulator errors (the fuzz campaign relies on this)."""
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l1_mfn = kernel.pfn_to_mfn(kernel.l1_pfns[0])
+        xen.machine.write_word(
+            l1_mfn, 4, make_pte(0xFFFFF, C.PTE_PRESENT | C.PTE_RW)
+        )
+        with pytest.raises(GuestFault) as excinfo:
+            xen.addrspace.guest_translate(
+                guest, layout.guest_kernel_va(4), Access.READ
+            )
+        assert "invalid frame" in excinfo.value.reason
+
+
+class TestInjectorEdges:
+    def test_injection_after_crash_raises_cleanly(self):
+        bed = build_testbed(XEN_4_8)
+        injector = IntrusionInjector(bed.attacker_domain.kernel)
+        with pytest.raises(HypervisorCrash):
+            bed.xen.panic("down")
+        with pytest.raises(HypervisorCrash):
+            injector.write_word(layout.directmap_va(10), 1)
+
+    def test_injector_survives_reinstall_after_domains_exist(self):
+        bed = build_testbed(XEN_4_8, enable_injector=False)
+        install_injector(bed.xen)
+        injector = IntrusionInjector(bed.attacker_domain.kernel)
+        assert injector.write_word(layout.directmap_va(10), 5) == 0
+
+
+class TestVersionMatrixRobustness:
+    @pytest.mark.parametrize(
+        "vmask",
+        list(itertools.product([0, 1], repeat=3)),
+        ids=lambda m: "v" + "".join(map(str, m)),
+    )
+    def test_campaign_never_errors_on_any_flag_combination(self, vmask):
+        """Every combination of the three vulnerability flags (with and
+        without hardening) yields a clean campaign run — no simulator
+        exceptions, only modelled outcomes."""
+        vulns = [
+            Vulnerability.XSA_148,
+            Vulnerability.XSA_182,
+            Vulnerability.XSA_212,
+        ]
+        campaign = Campaign()
+        for hardened in (False, True):
+            version = XenVersion(
+                name="combo",
+                release_year=2020,
+                vulnerabilities=frozenset(
+                    v for v, m in zip(vulns, vmask) if m
+                ),
+                hardening=frozenset(
+                    [Hardening.LINEAR_PT_ALIAS_REMOVED,
+                     Hardening.LINEAR_PT_RESTRICTED] if hardened else []
+                ),
+            )
+            for use_case in USE_CASES:
+                result = campaign.run(use_case, version, Mode.INJECTION)
+                assert result.erroneous_state is not None
+
+    def test_exploit_success_tracks_flags_exactly(self):
+        """XSA-148-priv works iff the XSA-148 flag is present,
+        regardless of the other two."""
+        campaign = Campaign()
+        for has_148 in (False, True):
+            version = XEN_4_6.derive(
+                name=f"148={has_148}",
+                remove_vulns=[] if has_148 else [Vulnerability.XSA_148],
+            )
+            result = campaign.run(XSA148Priv, version, Mode.EXPLOIT)
+            assert result.violation.occurred == has_148
+
+
+class TestScale:
+    def test_large_machine_testbed(self):
+        """An 8× machine still boots and completes the heaviest use
+        case (the XSA-148 full-memory scan)."""
+        bed = build_testbed(XEN_4_8, machine_frames=8192)
+        campaign = Campaign(testbed_factory=lambda _v: bed)
+        result = campaign.run(XSA148Priv, XEN_4_8, Mode.INJECTION)
+        assert result.violation.occurred
+
+    def test_many_domains(self):
+        xen = Xen(XEN_4_8, Machine(4096))
+        domains = [make_guest(xen, f"d{i}", pages=16) for i in range(20)]
+        xen.scheduler.tick(50)
+        fairness = xen.scheduler.fairness()
+        assert len(fairness) == 20
+        assert all(runs > 0 for runs in fairness.values())

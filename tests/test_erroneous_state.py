@@ -1,0 +1,117 @@
+"""Unit tests for erroneous-state reports and audits."""
+
+from repro.core.erroneous_state import (
+    ErroneousStateReport,
+    audit_idt_gate,
+    audit_pte,
+    inspection_walk,
+    pte_flag_signature,
+    render_walk,
+)
+from repro.xen import constants as C
+from repro.xen.paging import make_pte
+from tests.conftest import make_guest
+
+
+class TestReports:
+    def test_matching_reports(self):
+        a = ErroneousStateReport(True, "x", fingerprint={"k": 1})
+        b = ErroneousStateReport(True, "y", fingerprint={"k": 1})
+        assert a.matches(b)
+
+    def test_fingerprint_mismatch(self):
+        a = ErroneousStateReport(True, "x", fingerprint={"k": 1})
+        b = ErroneousStateReport(True, "x", fingerprint={"k": 2})
+        assert not a.matches(b)
+
+    def test_achievement_mismatch(self):
+        a = ErroneousStateReport(True, "x", fingerprint={})
+        b = ErroneousStateReport(False, "x", fingerprint={})
+        assert not a.matches(b)
+
+    def test_evidence_is_not_compared(self):
+        a = ErroneousStateReport(True, "x", fingerprint={}, evidence=["one"])
+        b = ErroneousStateReport(True, "x", fingerprint={}, evidence=["two"])
+        assert a.matches(b)
+
+
+class TestFlagSignature:
+    def test_not_present(self):
+        assert pte_flag_signature(0) == "not-present"
+
+    def test_full_flags(self):
+        pte = make_pte(3, C.PTE_PRESENT | C.PTE_RW | C.PTE_USER | C.PTE_PSE)
+        assert pte_flag_signature(pte) == "P|RW|US|PSE"
+
+    def test_readonly(self):
+        assert pte_flag_signature(make_pte(3, C.PTE_PRESENT)) == "P"
+
+    def test_signature_ignores_mfn(self):
+        a = make_pte(3, C.PTE_PRESENT | C.PTE_RW)
+        b = make_pte(99, C.PTE_PRESENT | C.PTE_RW)
+        assert pte_flag_signature(a) == pte_flag_signature(b)
+
+
+class TestAudits:
+    def test_audit_pte(self, xen):
+        xen.machine.write_word(5, 7, make_pte(3, C.PTE_PRESENT))
+        value, text = audit_pte(xen, 5, 7)
+        assert value == make_pte(3, C.PTE_PRESENT)
+        assert "mfn 0x0005[7]" in text
+
+    def test_audit_idt_gate_valid(self, xen):
+        gate = audit_idt_gate(xen, C.TRAP_PAGE_FAULT)
+        assert gate["valid"]
+        assert gate["handler"] is not None
+
+    def test_audit_idt_gate_corrupt(self, xen):
+        xen.machine.write_word(xen.idt_mfns[0], 2 * C.TRAP_PAGE_FAULT, 0xBAD)
+        gate = audit_idt_gate(xen, C.TRAP_PAGE_FAULT)
+        assert not gate["valid"]
+        assert gate["handler"] is None
+
+
+class TestInspectionWalk:
+    def test_full_walk_of_kernel_mapping(self, xen):
+        guest = make_guest(xen)
+        from repro.xen import layout
+
+        steps = inspection_walk(
+            xen, guest.current_vcpu.cr3_mfn, layout.guest_kernel_va(4)
+        )
+        assert [s.level for s in steps] == [4, 3, 2, 1]
+        assert steps[-1].entry != 0
+
+    def test_walk_stops_at_non_present(self, xen):
+        guest = make_guest(xen)
+        from repro.xen import layout
+
+        steps = inspection_walk(
+            xen, guest.current_vcpu.cr3_mfn, layout.GUEST_KERNEL_BASE + (1 << 38)
+        )
+        assert len(steps) == 2  # L4 present, L3 hole
+        assert steps[-1].entry == 0
+
+    def test_walk_stops_at_superpage(self, xen):
+        guest = make_guest(xen)
+        l2_mfn = guest.pfn_to_mfn(guest.kernel.l2_pfn)
+        xen.machine.write_word(
+            l2_mfn, 1, make_pte(0, C.PTE_PRESENT | C.PTE_RW | C.PTE_PSE)
+        )
+        from repro.xen import layout
+
+        steps = inspection_walk(
+            xen, guest.current_vcpu.cr3_mfn, layout.GUEST_KERNEL_BASE + (1 << 21)
+        )
+        assert steps[-1].level == 2
+
+    def test_render_walk(self, xen):
+        guest = make_guest(xen)
+        from repro.xen import layout
+
+        steps = inspection_walk(
+            xen, guest.current_vcpu.cr3_mfn, layout.guest_kernel_va(4)
+        )
+        lines = render_walk(steps)
+        assert len(lines) == 4
+        assert all("L" in line for line in lines)

@@ -1,0 +1,91 @@
+"""Unit tests for event channels."""
+
+import pytest
+
+from repro.errors import HypercallError
+from repro.xen import constants as C
+from repro.xen.hypercalls import EventChannelOpArgs
+from tests.conftest import make_guest
+
+
+@pytest.fixture
+def pair(xen):
+    return make_guest(xen, "server"), make_guest(xen, "client")
+
+
+def _connect(xen, server, client):
+    port_s = xen.events.alloc_unbound(server, client.id)
+    port_c = xen.events.bind_interdomain(client, server.id, port_s)
+    return port_s, port_c
+
+
+class TestLifecycle:
+    def test_alloc_unbound_returns_port(self, xen, pair):
+        server, client = pair
+        port = server.kernel.event_channel_op(
+            EventChannelOpArgs(cmd=C.EVTCHNOP_ALLOC_UNBOUND, remote_domid=client.id)
+        )
+        assert port >= 1
+        assert xen.events.channel(server.id, port).state == "unbound"
+
+    def test_bind_interdomain(self, xen, pair):
+        server, client = pair
+        port_s, port_c = _connect(xen, server, client)
+        assert xen.events.channel(server.id, port_s).state == "interdomain"
+        assert xen.events.channel(client.id, port_c).remote_port == port_s
+
+    def test_bind_foreign_offer_rejected(self, xen, pair):
+        server, client = pair
+        third = make_guest(xen, "third")
+        port = xen.events.alloc_unbound(server, third.id)
+        with pytest.raises(HypercallError):
+            xen.events.bind_interdomain(client, server.id, port)
+
+    def test_bind_unknown_port(self, xen, pair):
+        server, client = pair
+        with pytest.raises(HypercallError):
+            xen.events.bind_interdomain(client, server.id, 42)
+
+    def test_close_releases_peer(self, xen, pair):
+        server, client = pair
+        port_s, port_c = _connect(xen, server, client)
+        xen.events.close(client, port_c)
+        assert xen.events.channel(client.id, port_c).state == "closed"
+        assert xen.events.channel(server.id, port_s).state == "unbound"
+
+    def test_port_exhaustion(self, xen, pair):
+        server, client = pair
+        with pytest.raises(HypercallError):
+            for _ in range(100):
+                xen.events.alloc_unbound(server, client.id)
+
+
+class TestDelivery:
+    def test_send_notifies_kernel(self, xen, pair):
+        server, client = pair
+        port_s, port_c = _connect(xen, server, client)
+        rc = client.kernel.event_channel_op(
+            EventChannelOpArgs(cmd=C.EVTCHNOP_SEND, port=port_c)
+        )
+        assert rc == 0
+        assert server.kernel.events_received == [port_s]
+
+    def test_send_queues_pending(self, xen, pair):
+        server, client = pair
+        port_s, port_c = _connect(xen, server, client)
+        xen.events.send(client, port_c)
+        xen.events.send(client, port_c)
+        assert xen.events.drain(server.id) == [port_s, port_s]
+        assert xen.events.drain(server.id) == []
+
+    def test_send_on_unconnected_port(self, xen, pair):
+        server, client = pair
+        port = xen.events.alloc_unbound(server, client.id)
+        with pytest.raises(HypercallError):
+            xen.events.send(server, port)
+
+    def test_bidirectional(self, xen, pair):
+        server, client = pair
+        port_s, port_c = _connect(xen, server, client)
+        xen.events.send(server, port_s)
+        assert client.kernel.events_received == [port_c]

@@ -1,0 +1,86 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples are part of the public deliverable; these tests execute
+each one in-process (``runpy``) and check its key output lines, so a
+library change that breaks an example fails CI rather than a reader.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv=()):
+    path = EXAMPLES_DIR / name
+    old_argv = sys.argv
+    sys.argv = [str(path), *argv]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "security violation observed" in out
+        assert "DOUBLE FAULT" in out
+
+    def test_cross_version_assessment(self, capsys):
+        out = run_example("cross_version_assessment.py", capsys)
+        assert "Xen 4.13   handled 2/4" in out
+        assert "Xen 4.8    handled 0/4" in out
+        assert "SHIELD" in out
+
+    def test_unknown_vulnerability_assessment(self, capsys):
+        out = run_example(
+            "unknown_vulnerability_assessment.py", capsys, argv=["3"]
+        )
+        assert "random erroneous-state campaign" in out
+        assert "victim-data" in out
+
+    def test_grant_table_keep_page(self, capsys):
+        out = run_example("grant_table_keep_page.py", capsys)
+        assert "Xen 4.13: CONFIDENTIALITY VIOLATION" in out
+        assert "Xen 4.16: access revoked" in out
+
+    def test_venom_fdc(self, capsys):
+        out = run_example("venom_fdc.py", capsys)
+        assert out.count("GUEST ESCAPE") == 3
+        assert "contained" in out
+
+    def test_apt_multi_step(self, capsys):
+        out = run_example("apt_multi_step.py", capsys)
+        assert "confidentiality violation" in out
+        assert "remote privilege escalation" in out
+        assert "destroyed guest02" in out
+
+    def test_io_backend_assessment(self, capsys):
+        out = run_example("io_backend_assessment.py", capsys)
+        assert "backend clamps: True" in out
+        assert "victim IO still works afterwards: True" in out
+
+    def test_defense_evaluation(self, capsys):
+        out = run_example("defense_evaluation.py", capsys)
+        assert out.count("handled (no violation)") == 2
+        assert out.count("VIOLATION") == 2
+        assert "(restored)" in out and "(alert only)" in out
+
+    def test_all_examples_are_smoke_tested(self):
+        tested = {
+            "quickstart.py",
+            "cross_version_assessment.py",
+            "unknown_vulnerability_assessment.py",
+            "grant_table_keep_page.py",
+            "venom_fdc.py",
+            "apt_multi_step.py",
+            "io_backend_assessment.py",
+            "defense_evaluation.py",
+        }
+        shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert shipped == tested

@@ -1,0 +1,115 @@
+"""Tests for the extension intrusion models (§IX-C expansion)."""
+
+import pytest
+
+from repro.core.injections.extensions import (
+    FATAL_EXCEPTION_IM,
+    HANG_IM,
+    INTERRUPT_STORM_IM,
+    READ_UNAUTHORIZED_IM,
+    inject_fatal_exception,
+    inject_hang_state,
+    inject_interrupt_storm,
+    inject_read_unauthorized,
+)
+from repro.core.monitor import (
+    ConfidentialityMonitor,
+    HangMonitor,
+    InterruptStormMonitor,
+)
+from repro.core.taxonomy import AbusiveFunctionality
+from repro.core.testbed import SECRET_CANARY, build_testbed
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+
+class TestModels:
+    def test_ims_cover_new_classes(self):
+        assert (
+            INTERRUPT_STORM_IM.abusive_functionality
+            is AbusiveFunctionality.UNCONTROLLED_ARBITRARY_INTERRUPT_REQUESTS
+        )
+        assert HANG_IM.abusive_functionality is AbusiveFunctionality.INDUCE_A_HANG_STATE
+        assert (
+            FATAL_EXCEPTION_IM.abusive_functionality
+            is AbusiveFunctionality.INDUCE_A_FATAL_EXCEPTION
+        )
+        assert (
+            READ_UNAUTHORIZED_IM.abusive_functionality
+            is AbusiveFunctionality.READ_UNAUTHORIZED_MEMORY
+        )
+
+    def test_ims_describe(self):
+        for model in (INTERRUPT_STORM_IM, HANG_IM, FATAL_EXCEPTION_IM):
+            assert "unprivileged guest" in model.describe()
+
+
+class TestInterruptStorm:
+    def test_storm_floods_the_victim(self, bed):
+        erroneous, violation = inject_interrupt_storm(bed, count=128)
+        assert erroneous.achieved
+        assert violation.kind == "availability degradation (interrupt storm)"
+
+    def test_victim_is_the_non_attacker_guest(self, bed):
+        inject_interrupt_storm(bed, count=64)
+        victim, attacker = bed.guests[0], bed.attacker_domain
+        assert len(victim.kernel.events_received) >= 64
+        assert len(attacker.kernel.events_received) == 0
+
+    def test_small_storm_below_threshold(self, bed48):
+        erroneous, _ = inject_interrupt_storm(bed48, count=16)
+        assert erroneous.achieved
+        report = InterruptStormMonitor(bed48.guests[0].id, threshold=1000).observe(
+            bed48
+        )
+        assert not report.occurred
+
+
+class TestHangState:
+    def test_hang_starves_the_scheduler(self, bed):
+        erroneous, violation = inject_hang_state(bed)
+        assert erroneous.achieved
+        assert violation.kind == "availability violation (host hang)"
+
+    def test_hypervisor_alive_but_degraded(self, bed48):
+        inject_hang_state(bed48)
+        assert not bed48.xen.crashed  # a hang, not a crash
+        assert bed48.xen.scheduler.is_hung()
+
+    def test_hang_monitor_quiet_without_injection(self, bed48):
+        bed48.tick(10)
+        assert not HangMonitor().observe(bed48).occurred
+
+
+class TestFatalException:
+    @pytest.mark.parametrize(
+        "version", [XEN_4_6, XEN_4_8, XEN_4_13], ids=["4.6", "4.8", "4.13"]
+    )
+    def test_bug_on_fires_on_all_versions(self, version):
+        bed = build_testbed(version)
+        erroneous, violation = inject_fatal_exception(bed)
+        assert erroneous.achieved
+        assert violation.kind == "hypervisor crash"
+        assert bed.xen.crashed
+        assert "BUG" in bed.xen.crash_banner
+
+    def test_bug_banner_logged(self, bed48):
+        inject_fatal_exception(bed48)
+        assert any("Assertion failed: BUG_ON" in line for line in bed48.xen.console)
+
+
+class TestReadUnauthorized:
+    def test_secret_exfiltrated(self, bed):
+        erroneous, violation = inject_read_unauthorized(bed)
+        assert erroneous.achieved
+        assert violation.kind == "confidentiality violation (secret exfiltrated)"
+
+    def test_loot_contains_canary(self, bed48):
+        inject_read_unauthorized(bed48)
+        assert SECRET_CANARY in bed48.attacker_domain.kernel.loot
+
+    def test_monitor_quiet_without_exfiltration(self, bed48):
+        assert not ConfidentialityMonitor().observe(bed48).occurred
+
+    def test_monitor_ignores_dom0_itself(self, bed48):
+        bed48.dom0.kernel.exfiltrate(SECRET_CANARY)  # dom0 may read itself
+        assert not ConfidentialityMonitor().observe(bed48).occurred

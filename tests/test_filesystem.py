@@ -1,0 +1,80 @@
+"""Unit tests for the in-memory guest filesystem."""
+
+import pytest
+
+from repro.guest.filesystem import FileAccessError, FileSystem
+
+
+@pytest.fixture
+def fs():
+    return FileSystem()
+
+
+class TestBasics:
+    def test_write_read(self, fs):
+        fs.write("/tmp/x", "hello", uid=0)
+        assert fs.read("/tmp/x") == "hello"
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FileAccessError):
+            fs.read("/nope")
+
+    def test_exists(self, fs):
+        assert not fs.exists("/a")
+        fs.write("/a", "x", uid=0)
+        assert fs.exists("/a")
+
+    def test_owner(self, fs):
+        fs.write("/a", "x", uid=42)
+        assert fs.owner("/a") == 42
+        assert fs.owner("/b") is None
+
+    def test_listdir_prefix(self, fs):
+        fs.write("/root/a", "1", uid=0)
+        fs.write("/root/b", "2", uid=0)
+        fs.write("/tmp/c", "3", uid=0)
+        assert fs.listdir("/root") == ["/root/a", "/root/b"]
+
+    def test_remove(self, fs):
+        fs.write("/a", "x", uid=0)
+        fs.remove("/a")
+        assert not fs.exists("/a")
+
+    def test_remove_missing(self, fs):
+        with pytest.raises(FileAccessError):
+            fs.remove("/missing")
+
+
+class TestPermissions:
+    def test_root_reads_anything(self, fs):
+        fs.write("/home/user/secret", "s", uid=1000)
+        assert fs.read("/home/user/secret", uid=0) == "s"
+
+    def test_owner_reads_own_file(self, fs):
+        fs.write("/home/user/secret", "s", uid=1000)
+        assert fs.read("/home/user/secret", uid=1000) == "s"
+
+    def test_other_user_denied(self, fs):
+        fs.write("/root/root_msg", "confidential", uid=0)
+        with pytest.raises(FileAccessError):
+            fs.read("/root/root_msg", uid=1000)
+
+    def test_world_readable_mode(self, fs):
+        fs.write("/etc/motd", "hi", uid=0, mode=0o644)
+        assert fs.read("/etc/motd", uid=1000) == "hi"
+
+    def test_overwrite_foreign_file_denied(self, fs):
+        fs.write("/a", "orig", uid=0)
+        with pytest.raises(FileAccessError):
+            fs.write("/a", "evil", uid=1000)
+        assert fs.read("/a") == "orig"
+
+    def test_root_overwrites_anything(self, fs):
+        fs.write("/a", "orig", uid=1000)
+        fs.write("/a", "new", uid=0)
+        assert fs.read("/a") == "new"
+
+    def test_remove_foreign_denied(self, fs):
+        fs.write("/a", "x", uid=0)
+        with pytest.raises(FileAccessError):
+            fs.remove("/a", uid=1000)

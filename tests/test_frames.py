@@ -1,0 +1,156 @@
+"""Unit tests for the frame table (page-type system)."""
+
+import pytest
+
+from repro.errors import HypercallError
+from repro.xen.frames import PAGETABLE_TYPE_BY_LEVEL, FrameTable, PageType
+from repro.xen.machine import Machine
+
+
+@pytest.fixture
+def frames():
+    return FrameTable(Machine(64))
+
+
+class TestPageType:
+    def test_pagetable_levels(self):
+        assert PageType.L1.level == 1
+        assert PageType.L4.level == 4
+        assert PageType.WRITABLE.level == 0
+
+    def test_is_pagetable(self):
+        assert PageType.L2.is_pagetable
+        assert not PageType.NONE.is_pagetable
+        assert not PageType.WRITABLE.is_pagetable
+
+    def test_level_lookup_table(self):
+        for level, page_type in PAGETABLE_TYPE_BY_LEVEL.items():
+            assert page_type.level == level
+
+
+class TestOwnership:
+    def test_assign_and_owner(self, frames):
+        frames.assign(3, owner=7, pfn=1)
+        assert frames.owner_of(3) == 7
+        assert frames.info(3).pfn == 1
+
+    def test_unassigned_owner_is_none(self, frames):
+        assert frames.owner_of(5) is None
+
+    def test_release_resets(self, frames):
+        frames.assign(3, owner=7)
+        frames.release(3)
+        assert frames.owner_of(3) is None
+
+    def test_release_refuses_referenced(self, frames):
+        frames.assign(3, owner=7)
+        frames.get_page(3, 7)
+        with pytest.raises(HypercallError):
+            frames.release(3)
+
+
+class TestGeneralRefs:
+    def test_get_put_cycle(self, frames):
+        frames.assign(1, owner=2)
+        frames.get_page(1, 2)
+        assert frames.info(1).count == 1
+        frames.put_page(1)
+        assert frames.info(1).count == 0
+
+    def test_get_unowned_fails(self, frames):
+        with pytest.raises(HypercallError):
+            frames.get_page(1, 2)
+
+    def test_get_foreign_fails(self, frames):
+        frames.assign(1, owner=2)
+        with pytest.raises(HypercallError):
+            frames.get_page(1, 3)
+
+    def test_get_foreign_allowed_explicitly(self, frames):
+        frames.assign(1, owner=2)
+        frames.get_page(1, 3, allow_foreign=True)
+        assert frames.info(1).count == 1
+
+    def test_put_underflow(self, frames):
+        with pytest.raises(HypercallError):
+            frames.put_page(1)
+
+
+class TestTypedRefs:
+    def test_promotion_sets_type(self, frames):
+        frames.get_page_type(4, PageType.L1)
+        info = frames.info(4)
+        assert info.type is PageType.L1
+        assert info.type_count == 1
+        assert info.validated
+
+    def test_same_type_increments(self, frames):
+        frames.get_page_type(4, PageType.WRITABLE)
+        frames.get_page_type(4, PageType.WRITABLE)
+        assert frames.info(4).type_count == 2
+
+    def test_conflicting_type_rejected(self, frames):
+        frames.get_page_type(4, PageType.L1)
+        with pytest.raises(HypercallError):
+            frames.get_page_type(4, PageType.WRITABLE)
+
+    def test_type_drops_on_last_put(self, frames):
+        frames.get_page_type(4, PageType.L2)
+        frames.put_page_type(4)
+        assert frames.info(4).type is PageType.NONE
+        assert not frames.info(4).validated
+
+    def test_put_type_underflow(self, frames):
+        with pytest.raises(HypercallError):
+            frames.put_page_type(4)
+
+    def test_validator_runs_on_promotion(self, frames):
+        calls = []
+        frames.get_page_type(4, PageType.L3, validator=lambda m, l: calls.append((m, l)))
+        assert calls == [(4, 3)]
+
+    def test_validator_not_run_for_data_types(self, frames):
+        calls = []
+        frames.get_page_type(4, PageType.WRITABLE, validator=lambda m, l: calls.append(1))
+        assert calls == []
+
+    def test_validator_failure_keeps_type_none(self, frames):
+        def bad(mfn, level):
+            raise HypercallError(22, "nope")
+
+        with pytest.raises(HypercallError):
+            frames.get_page_type(4, PageType.L1, validator=bad)
+        assert frames.info(4).type is PageType.NONE
+
+
+class TestPinning:
+    def test_pin_keeps_type_alive(self, frames):
+        frames.pin(4, PageType.L4, validator=None)
+        frames.put_page_type(4)  # the pin's own reference going away...
+        assert frames.info(4).type is PageType.L4  # ...but pinned: type stays
+
+    def test_double_pin_rejected(self, frames):
+        frames.pin(4, PageType.L4, validator=None)
+        with pytest.raises(HypercallError):
+            frames.pin(4, PageType.L4, validator=None)
+
+    def test_unpin_releases(self, frames):
+        frames.pin(4, PageType.L4, validator=None)
+        frames.unpin(4)
+        assert frames.info(4).type is PageType.NONE
+
+    def test_unpin_unpinned_rejected(self, frames):
+        with pytest.raises(HypercallError):
+            frames.unpin(4)
+
+
+class TestQueries:
+    def test_is_pagetable(self, frames):
+        frames.get_page_type(4, PageType.L2)
+        assert frames.is_pagetable(4)
+        assert not frames.is_pagetable(5)
+
+    def test_pagetable_level(self, frames):
+        frames.get_page_type(4, PageType.L3)
+        assert frames.pagetable_level(4) == 3
+        assert frames.pagetable_level(5) == 0

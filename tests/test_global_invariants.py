@@ -1,0 +1,84 @@
+"""Global bookkeeping invariants, checked after whole campaigns.
+
+Whatever a run does — exploits, injections, crashes — the simulator's
+internal accounting must stay coherent: no negative counts, no typed
+frame on the free list, every P2M entry matched by M2P, every live
+domain's root still typed.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign, Mode
+from repro.core.testbed import TestBed, build_testbed
+from repro.exploits import USE_CASES
+from repro.xen.frames import PageType
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+
+def assert_invariants(bed: TestBed) -> None:
+    xen = bed.xen
+    for mfn in range(xen.machine.num_frames):
+        info = xen.frames.info(mfn)
+        assert info.count >= 0, f"mfn {mfn:#x}: negative general count"
+        assert info.type_count >= 0, f"mfn {mfn:#x}: negative type count"
+        if info.type is not PageType.NONE and info.type_count > 0:
+            assert xen.machine.is_allocated(mfn), (
+                f"typed mfn {mfn:#x} sits on the free list"
+            )
+    for domain in bed.all_domains():
+        if domain.dead:
+            continue
+        for pfn, mfn in enumerate(domain.p2m):
+            if mfn is None:
+                continue
+            assert xen.frames.owner_of(mfn) == domain.id, (
+                f"d{domain.id} pfn {pfn}: owner mismatch"
+            )
+            assert xen.m2p(mfn) == pfn, f"d{domain.id} pfn {pfn}: m2p mismatch"
+        cr3 = domain.current_vcpu.cr3_mfn
+        if cr3 is not None:
+            assert xen.frames.info(cr3).type is PageType.L4
+
+
+VERSIONS = (XEN_4_6, XEN_4_8, XEN_4_13)
+
+
+class TestInvariantsAfterRuns:
+    def test_fresh_testbed(self, bed):
+        assert_invariants(bed)
+
+    @pytest.mark.parametrize("use_case", USE_CASES, ids=lambda u: u.name)
+    @pytest.mark.parametrize("version", VERSIONS, ids=lambda v: v.name)
+    @pytest.mark.parametrize("mode", [Mode.EXPLOIT, Mode.INJECTION],
+                             ids=["exploit", "injection"])
+    def test_after_every_campaign_cell(self, use_case, version, mode):
+        captured = {}
+
+        def factory(v):
+            bed = build_testbed(v)
+            captured["bed"] = bed
+            return bed
+
+        Campaign(testbed_factory=factory).run(use_case, version, mode)
+        assert_invariants(captured["bed"])
+
+    def test_after_domain_churn(self, bed48):
+        from repro.tools.xl import XlToolstack
+
+        xl = XlToolstack(bed48.xen, bed48.dom0)
+        for i in range(5):
+            xl.create(f"churn{i}", memory_pages=16)
+        for i in range(5):
+            xl.destroy(f"churn{i}")
+        assert_invariants(bed48)
+
+    def test_after_driver_traffic(self, bed48):
+        from repro.drivers import Blkback, Blkfront, VirtualDisk
+
+        backend = Blkback(bed48.dom0.kernel, VirtualDisk(16))
+        backend.start()
+        frontend = Blkfront(bed48.attacker_domain.kernel)
+        frontend.connect()
+        for sector in range(8):
+            frontend.write_sector(sector, [sector])
+        assert_invariants(bed48)

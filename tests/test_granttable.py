@@ -1,0 +1,162 @@
+"""Unit tests for grant tables (including the XSA-387 gate)."""
+
+import pytest
+
+from repro.errors import HypercallError
+from repro.xen import constants as C
+from repro.xen.granttable import GTF_PERMIT_ACCESS
+from repro.xen.hypercalls import GrantTableOpArgs
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.versions import XEN_4_6, XEN_4_16
+from tests.conftest import make_guest
+
+
+@pytest.fixture
+def pair(xen):
+    return make_guest(xen, "granter"), make_guest(xen, "mapper")
+
+
+class TestSetupAndGrant:
+    def test_setup_table(self, xen, pair):
+        granter, _ = pair
+        rc = granter.kernel.grant_table_op(
+            GrantTableOpArgs(cmd=C.GNTTABOP_SETUP_TABLE, nr_entries=8)
+        )
+        assert rc == 0
+        assert len(xen.grants.table(granter).entries) == 8
+
+    def test_grant_access_fills_entry(self, xen, pair):
+        granter, mapper = pair
+        xen.grants.setup_table(granter, 4)
+        xen.grants.grant_access(granter, 2, mapper.id, pfn=3, readonly=False)
+        entry = xen.grants.table(granter).entries[2]
+        assert entry.flags & GTF_PERMIT_ACCESS
+        assert entry.domid == mapper.id
+
+    def test_grant_access_bad_ref(self, xen, pair):
+        granter, mapper = pair
+        xen.grants.setup_table(granter, 2)
+        with pytest.raises(HypercallError):
+            xen.grants.grant_access(granter, 5, mapper.id, pfn=3, readonly=False)
+
+    def test_grant_access_bad_pfn(self, xen, pair):
+        granter, mapper = pair
+        xen.grants.setup_table(granter, 2)
+        with pytest.raises(HypercallError):
+            xen.grants.grant_access(granter, 0, mapper.id, pfn=9999, readonly=False)
+
+
+class TestMapping:
+    def _granted(self, xen, pair):
+        granter, mapper = pair
+        xen.grants.setup_table(granter, 4)
+        xen.grants.grant_access(granter, 0, mapper.id, pfn=3, readonly=True)
+        return granter, mapper
+
+    def test_map_grant_ref_returns_mfn(self, xen, pair):
+        granter, mapper = self._granted(xen, pair)
+        mfn = mapper.kernel.grant_table_op(
+            GrantTableOpArgs(
+                cmd=C.GNTTABOP_MAP_GRANT_REF, granter_id=granter.id, ref=0
+            )
+        )
+        assert mfn == granter.pfn_to_mfn(3)
+        assert xen.frames.info(mfn).count == 1
+
+    def test_map_not_granted_to_us(self, xen, pair):
+        granter, mapper = pair
+        third = make_guest(xen, "third")
+        xen.grants.setup_table(granter, 4)
+        xen.grants.grant_access(granter, 0, third.id, pfn=3, readonly=True)
+        rc = mapper.kernel.grant_table_op(
+            GrantTableOpArgs(
+                cmd=C.GNTTABOP_MAP_GRANT_REF, granter_id=granter.id, ref=0
+            )
+        )
+        assert rc < 0
+
+    def test_map_unknown_domain(self, xen, pair):
+        _, mapper = pair
+        rc = mapper.kernel.grant_table_op(
+            GrantTableOpArgs(cmd=C.GNTTABOP_MAP_GRANT_REF, granter_id=99, ref=0)
+        )
+        assert rc < 0
+
+    def test_unmap_drops_reference(self, xen, pair):
+        granter, mapper = self._granted(xen, pair)
+        mfn = xen.grants.map_grant_ref(mapper, granter.id, 0)
+        xen.grants.unmap_grant_ref(mapper, mfn)
+        assert xen.frames.info(mfn).count == 0
+
+
+class TestVersionSwitch:
+    def test_v2_installs_status_frames(self, xen, pair):
+        granter, _ = pair
+        rc = granter.kernel.grant_table_op(
+            GrantTableOpArgs(cmd=C.GNTTABOP_SET_VERSION, version=2)
+        )
+        assert rc == 0
+        pfns = xen.grants.get_status_frames(granter)
+        assert pfns
+        mfn = granter.pfn_to_mfn(pfns[0])
+        assert xen.machine.read_word(mfn, 0) == 0x5747_5354
+
+    def test_same_version_noop(self, xen, pair):
+        granter, _ = pair
+        assert xen.grants.set_version(granter, 1) == 0
+
+    def test_bad_version(self, xen, pair):
+        granter, _ = pair
+        rc = granter.kernel.grant_table_op(
+            GrantTableOpArgs(cmd=C.GNTTABOP_SET_VERSION, version=3)
+        )
+        assert rc < 0
+
+
+class TestXsa387Gate:
+    """v2→v1 switch: vulnerable builds free the status frame but keep
+    the guest's mapping of it alive (Keep Page Reference)."""
+
+    def _switch_cycle(self, version):
+        xen = Xen(version, Machine(256))
+        guest = make_guest(xen)
+        xen.grants.set_version(guest, 2)
+        pfn = xen.grants.get_status_frames(guest)[0]
+        status_mfn = guest.pfn_to_mfn(pfn)
+        l1_mfn = guest.pfn_to_mfn(guest.kernel.l1_pfns[0])
+        # The guest's own kernel map covers the whole p2m range only up
+        # to the initial size; the status pfn may be beyond it, so map
+        # it explicitly (readonly is fine for the leak).
+        from repro.xen.paging import make_pte
+
+        rc = guest.kernel.update_pt_entry(
+            l1_mfn, 40, make_pte(status_mfn, C.PTE_PRESENT)
+        )
+        assert rc == 0
+        xen.grants.set_version(guest, 1)
+        return xen, guest, status_mfn, l1_mfn
+
+    def test_vulnerable_keeps_mapping(self):
+        xen, guest, status_mfn, l1_mfn = self._switch_cycle(XEN_4_6)
+        entry = xen.machine.read_word(l1_mfn, 40)
+        assert entry != 0  # stale mapping survives
+        assert not xen.machine.is_allocated(status_mfn)  # frame back on heap
+
+    def test_fixed_revokes_mapping(self):
+        xen, guest, status_mfn, l1_mfn = self._switch_cycle(XEN_4_16)
+        assert xen.machine.read_word(l1_mfn, 40) == 0
+        assert not xen.machine.is_allocated(status_mfn)
+
+    def test_vulnerable_leaks_reused_frame(self):
+        """The full Keep Page Reference scenario: after the frame is
+        reassigned to a victim, the stale mapping reads victim data."""
+        xen, guest, status_mfn, l1_mfn = self._switch_cycle(XEN_4_6)
+        victim = xen.create_domain("victim", num_pages=1)
+        victim_mfn = victim.p2m[0]
+        assert victim_mfn == status_mfn  # heap reuse (LIFO free list)
+        xen.machine.write_word(victim_mfn, 5, 0x5EC5E7)
+        from repro.xen import layout
+
+        leak_va = layout.GUEST_KERNEL_BASE + 40 * C.PAGE_SIZE + 5 * 8
+        assert guest.kernel.read_va(leak_va) == 0x5EC5E7

@@ -1,0 +1,155 @@
+"""Unit tests for the guest-kernel simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.guest.kernel import GuestKernel, KernelOops
+from repro.guest.process import ROOT, Credentials
+from repro.guest.vdso import VDSO_FUNCTION_WORD, VDSO_LEGIT_CODE
+from repro.xen import constants as C
+from repro.xen import layout
+from repro.xen.frames import PageType
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.payload import Payload
+from repro.xen.versions import XEN_4_8
+from tests.conftest import make_guest
+
+
+class TestBoot:
+    def test_cr3_loaded(self, guest):
+        assert guest.current_vcpu.cr3_mfn == guest.pfn_to_mfn(guest.kernel.l4_pfn)
+
+    def test_pagetable_hierarchy_typed(self, xen, guest):
+        kernel = guest.kernel
+        assert xen.frames.info(guest.pfn_to_mfn(kernel.l4_pfn)).type is PageType.L4
+        assert xen.frames.info(guest.pfn_to_mfn(kernel.l3_pfn)).type is PageType.L3
+        assert xen.frames.info(guest.pfn_to_mfn(kernel.l2_pfn)).type is PageType.L2
+        assert (
+            xen.frames.info(guest.pfn_to_mfn(kernel.l1_pfns[0])).type is PageType.L1
+        )
+
+    def test_l4_pinned(self, xen, guest):
+        assert xen.frames.info(guest.pfn_to_mfn(guest.kernel.l4_pfn)).pinned
+
+    def test_trap_table_registered(self, guest):
+        assert C.TRAP_PAGE_FAULT in guest.current_vcpu.trap_table
+
+    def test_vdso_stamped(self, xen, guest):
+        vdso_mfn = guest.pfn_to_mfn(guest.kernel.vdso_pfn)
+        assert xen.machine.read_word(vdso_mfn, 0) == C.VDSO_MAGIC
+        assert xen.machine.read_word(vdso_mfn, VDSO_FUNCTION_WORD) == VDSO_LEGIT_CODE
+
+    def test_init_process_spawned(self, guest):
+        assert guest.kernel.processes[0].name == "init"
+        assert guest.kernel.processes[0].creds.is_root
+
+    def test_double_boot_rejected(self, xen, guest):
+        with pytest.raises(SimulationError):
+            guest.kernel.boot()
+
+    def test_oversized_guest_rejected(self, xen):
+        domain = xen.create_domain("big", num_pages=4)
+        domain.p2m.extend([None] * 600)
+        with pytest.raises(SimulationError):
+            GuestKernel(xen, domain).boot()
+
+    def test_boot_log(self, guest):
+        assert any("guest kernel booted" in line for line in guest.kernel.log)
+
+
+class TestMemoryAccess:
+    def test_read_write_roundtrip(self, guest):
+        kernel = guest.kernel
+        va = kernel.kva(4, 10)
+        kernel.write_va(va, 0xABCD)
+        assert kernel.read_va(va) == 0xABCD
+
+    def test_write_hits_machine_frame(self, xen, guest):
+        kernel = guest.kernel
+        kernel.write_va(kernel.kva(4, 1), 0x55)
+        assert xen.machine.read_word(guest.pfn_to_mfn(4), 1) == 0x55
+
+    def test_fault_becomes_oops(self, guest):
+        with pytest.raises(KernelOops):
+            guest.kernel.read_va(layout.GUEST_KERNEL_BASE + (1 << 38))
+
+    def test_oops_logged(self, guest):
+        with pytest.raises(KernelOops):
+            guest.kernel.read_va(layout.GUEST_KERNEL_BASE + (1 << 38))
+        assert any(
+            "unable to handle page request" in line for line in guest.kernel.log
+        )
+
+    def test_write_to_readonly_oops(self, guest):
+        with pytest.raises(KernelOops):
+            guest.kernel.write_va(guest.kernel.kva(0), 1)  # start_info is RO
+
+    def test_trigger_page_fault(self, guest):
+        with pytest.raises(KernelOops):
+            guest.kernel.trigger_page_fault()
+
+    def test_payload_write_and_exec(self, xen, guest):
+        kernel = guest.kernel
+        payload = Payload("marker")
+        va = kernel.kva(4)
+        kernel.write_payload_va(va, payload)
+        assert kernel.exec_va(va) is payload
+
+
+class TestPageManagement:
+    def test_alloc_page_unique(self, guest):
+        pfns = {guest.kernel.alloc_page() for _ in range(5)}
+        assert len(pfns) == 5
+
+    def test_alloc_never_hands_out_reserved(self, guest):
+        kernel = guest.kernel
+        reserved = {0, kernel.vdso_pfn, kernel.l4_pfn, kernel.l3_pfn,
+                    kernel.l2_pfn, *kernel.l1_pfns}
+        all_pfns = [kernel.alloc_page() for _ in range(len(kernel._free_pfns))]
+        assert not reserved.intersection(all_pfns)
+
+    def test_exhaustion(self, guest):
+        kernel = guest.kernel
+        for _ in range(len(kernel._free_pfns)):
+            kernel.alloc_page()
+        with pytest.raises(SimulationError):
+            kernel.alloc_page()
+
+    def test_free_page_recycles(self, guest):
+        kernel = guest.kernel
+        pfn = kernel.alloc_page()
+        kernel.free_page(pfn)
+        assert pfn in kernel._free_pfns
+
+    def test_page_maddr(self, guest):
+        kernel = guest.kernel
+        assert kernel.page_maddr(3, 2) == kernel.pfn_to_mfn(3) * C.PAGE_SIZE + 16
+
+
+class TestProcesses:
+    def test_spawn_assigns_pids(self, guest):
+        kernel = guest.kernel
+        first = kernel.spawn("a", ROOT)
+        second = kernel.spawn("b", Credentials(uid=1000, gid=1000, username="user"))
+        assert second.pid == first.pid + 1
+
+    def test_run_user_work_without_backdoor_is_quiet(self, guest):
+        guest.kernel.run_user_work()  # no exception, no side effects
+
+    def test_printk_clock_monotonic(self, guest):
+        kernel = guest.kernel
+        kernel.printk("one")
+        kernel.printk("two")
+        times = [float(line.split("]")[0].strip("[ ")) for line in kernel.log[-2:]]
+        assert times[1] > times[0]
+
+    def test_on_event_records(self, guest):
+        guest.kernel.on_event(7)
+        assert guest.kernel.events_received == [7]
+
+
+class TestFilesystemIntegration:
+    def test_fs_available(self, guest):
+        guest.kernel.fs.write("/etc/hostname", guest.hostname, uid=0)
+        assert guest.kernel.fs.read("/etc/hostname") == guest.hostname

@@ -1,0 +1,340 @@
+"""Unit tests for the hypercall interface."""
+
+import pytest
+
+from repro.errors import EFAULT, ENOSYS, EPERM
+from repro.xen import constants as C
+from repro.xen import layout
+from repro.xen.frames import PageType
+from repro.xen.hypercalls import (
+    EventChannelOpArgs,
+    ExchangeArgs,
+    GrantTableOpArgs,
+    MmuExtOp,
+    MmuUpdate,
+)
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.paging import make_pte, pte_mfn
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+from tests.conftest import make_guest
+
+
+class TestDispatch:
+    def test_unknown_hypercall(self, xen):
+        guest = make_guest(xen)
+        assert xen.hypercall(guest, 999) == -ENOSYS
+
+    def test_console_io_logs(self, xen):
+        guest = make_guest(xen)
+        rc = xen.hypercall(guest, C.HYPERCALL_CONSOLE_IO, "hello world")
+        assert rc == 0
+        assert any("hello world" in line for line in xen.console)
+
+    def test_vcpu_op(self, xen):
+        guest = make_guest(xen)
+        assert xen.hypercall(guest, C.HYPERCALL_VCPU_OP, "up", 0) == 0
+        assert xen.hypercall(guest, C.HYPERCALL_VCPU_OP, "warp", 0) < 0
+
+    def test_handler_errors_become_negative_errno(self, xen):
+        guest = make_guest(xen)
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MMU_UPDATE,
+            [MmuUpdate(ptr=0x0 | C.MMU_NORMAL_PT_UPDATE, val=0)],
+        )
+        assert rc < 0
+
+
+class TestMmuUpdate:
+    def test_update_own_l1_entry(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l1_mfn = kernel.pfn_to_mfn(kernel.l1_pfns[0])
+        target = guest.pfn_to_mfn(kernel.alloc_page())
+        index = 200
+        rc = kernel.update_pt_entry(l1_mfn, index, make_pte(target, C.PTE_PRESENT))
+        assert rc == 0
+        assert pte_mfn(xen.machine.read_word(l1_mfn, index)) == target
+
+    def test_update_non_pagetable_rejected(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        data_mfn = guest.pfn_to_mfn(kernel.alloc_page())
+        rc = kernel.update_pt_entry(data_mfn, 0, make_pte(data_mfn, C.PTE_PRESENT))
+        assert rc < 0
+
+    def test_update_foreign_table_rejected(self, xen):
+        guest_a = make_guest(xen, "a")
+        guest_b = make_guest(xen, "b")
+        b_l1 = guest_b.pfn_to_mfn(guest_b.kernel.l1_pfns[0])
+        rc = guest_a.kernel.update_pt_entry(b_l1, 0, 0)
+        assert rc == -EPERM
+
+    def test_privileged_domain_may_update_foreign(self, xen):
+        dom0 = make_guest(xen, "dom0", privileged=True)
+        guest = make_guest(xen, "u")
+        g_l1 = guest.pfn_to_mfn(guest.kernel.l1_pfns[0])
+        rc = dom0.kernel.update_pt_entry(g_l1, 300, 0)
+        assert rc == 0
+
+    def test_unaligned_ptr_rejected(self, xen):
+        guest = make_guest(xen)
+        l1_mfn = guest.pfn_to_mfn(guest.kernel.l1_pfns[0])
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MMU_UPDATE,
+            [MmuUpdate(ptr=(l1_mfn * C.PAGE_SIZE + 4) | C.MMU_NORMAL_PT_UPDATE, val=0)],
+        )
+        assert rc < 0
+
+    def test_machphys_update(self, xen):
+        guest = make_guest(xen)
+        mfn = guest.pfn_to_mfn(2)
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MMU_UPDATE,
+            [MmuUpdate(ptr=(mfn * C.PAGE_SIZE) | C.MMU_MACHPHYS_UPDATE, val=77)],
+        )
+        assert rc == 0
+        assert xen.m2p(mfn) == 77
+
+    def test_machphys_update_foreign_rejected(self, xen):
+        guest_a = make_guest(xen, "a")
+        guest_b = make_guest(xen, "b")
+        mfn = guest_b.pfn_to_mfn(2)
+        rc = xen.hypercall(
+            guest_a,
+            C.HYPERCALL_MMU_UPDATE,
+            [MmuUpdate(ptr=(mfn * C.PAGE_SIZE) | C.MMU_MACHPHYS_UPDATE, val=1)],
+        )
+        assert rc == -EPERM
+
+    def test_bad_update_type_rejected(self, xen):
+        guest = make_guest(xen)
+        rc = xen.hypercall(
+            guest, C.HYPERCALL_MMU_UPDATE, [MmuUpdate(ptr=0x1000 | 3, val=0)]
+        )
+        assert rc < 0
+
+
+class TestMmuExtOp:
+    def test_pin_validates(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        pfn = kernel.alloc_page()
+        mfn = guest.pfn_to_mfn(pfn)
+        rc = kernel.pin_table(mfn, level=1)  # zeroed page: a valid empty L1
+        assert rc == 0
+        assert xen.frames.info(mfn).pinned
+        assert xen.frames.info(mfn).type is PageType.L1
+
+    def test_pin_bad_table_fails(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        pfn = kernel.alloc_page()
+        mfn = guest.pfn_to_mfn(pfn)
+        kernel.write_va(kernel.kva(pfn), make_pte(9999, C.PTE_PRESENT))
+        rc = kernel.pin_table(mfn, level=1)
+        assert rc < 0
+        assert not xen.frames.info(mfn).pinned
+
+    def test_unpin(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        mfn = guest.pfn_to_mfn(kernel.alloc_page())
+        kernel.pin_table(mfn, level=2)
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MMUEXT_OP,
+            [MmuExtOp(cmd=C.MMUEXT_UNPIN_TABLE, mfn=mfn)],
+        )
+        assert rc == 0
+        assert not xen.frames.info(mfn).pinned
+
+    def test_new_baseptr_requires_l4(self, xen):
+        guest = make_guest(xen)
+        mfn = guest.pfn_to_mfn(guest.kernel.alloc_page())
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MMUEXT_OP,
+            [MmuExtOp(cmd=C.MMUEXT_NEW_BASEPTR, mfn=mfn)],
+        )
+        assert rc < 0
+
+    def test_tlb_flush_is_noop(self, xen):
+        guest = make_guest(xen)
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MMUEXT_OP,
+            [MmuExtOp(cmd=C.MMUEXT_TLB_FLUSH_LOCAL)],
+        )
+        assert rc == 0
+
+    def test_pin_foreign_rejected(self, xen):
+        guest_a = make_guest(xen, "a")
+        guest_b = make_guest(xen, "b")
+        mfn = guest_b.pfn_to_mfn(guest_b.kernel.alloc_page())
+        rc = guest_a.kernel.pin_table(mfn, level=1)
+        assert rc == -EPERM
+
+
+class TestSetTrapTable:
+    def test_registers_handlers(self, xen):
+        guest = make_guest(xen)
+        rc = xen.hypercall(
+            guest, C.HYPERCALL_SET_TRAP_TABLE, {3: "do_int3"}
+        )
+        assert rc == 0
+        assert guest.current_vcpu.trap_table[3] == "do_int3"
+
+    def test_bad_vector_rejected(self, xen):
+        guest = make_guest(xen)
+        rc = xen.hypercall(guest, C.HYPERCALL_SET_TRAP_TABLE, {999: "x"})
+        assert rc < 0
+
+
+class TestMemoryExchange:
+    """The XSA-212 gate."""
+
+    def test_legit_exchange_writes_result_to_guest_memory(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        page = kernel.alloc_page()
+        result_pfn = kernel.alloc_page()
+        result_va = kernel.kva(result_pfn)
+        old_mfn = guest.pfn_to_mfn(page)
+        rc = kernel.memory_exchange(
+            ExchangeArgs(in_pfns=[page], out_extent_start=result_va)
+        )
+        assert rc == 0
+        new_mfn = guest.pfn_to_mfn(page)
+        assert new_mfn != old_mfn
+        assert kernel.read_va(result_va) == new_mfn
+
+    def test_exchange_preserves_page_contents(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        page = kernel.alloc_page()
+        kernel.write_va(kernel.kva(page), 0xC0FFEE)
+        result_va = kernel.kva(kernel.alloc_page())
+        kernel.memory_exchange(ExchangeArgs(in_pfns=[page], out_extent_start=result_va))
+        # Contents travel to the new frame; the guest refreshes its own
+        # mapping (the old L1 entry is stale after the exchange).
+        assert xen.machine.read_word(guest.pfn_to_mfn(page), 0) == 0xC0FFEE
+        assert kernel.remap_page(page) == 0
+        assert kernel.read_va(kernel.kva(page)) == 0xC0FFEE
+
+    def test_46_unchecked_write_reaches_hypervisor_memory(self):
+        xen = Xen(XEN_4_6, Machine(256))
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        page = kernel.alloc_page()
+        dest = layout.directmap_va(xen.xen_pud_mfn, 400)
+        rc = kernel.memory_exchange(
+            ExchangeArgs(in_pfns=[page], out_extent_start=dest, out_values=[0x41])
+        )
+        assert rc == 0
+        assert xen.machine.read_word(xen.xen_pud_mfn, 400) == 0x41
+
+    @pytest.mark.parametrize("version", [XEN_4_8, XEN_4_13], ids=["4.8", "4.13"])
+    def test_fixed_versions_return_efault(self, version):
+        xen = Xen(version, Machine(256))
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        page = kernel.alloc_page()
+        dest = layout.directmap_va(xen.xen_pud_mfn, 400)
+        rc = kernel.memory_exchange(
+            ExchangeArgs(in_pfns=[page], out_extent_start=dest, out_values=[0x41])
+        )
+        assert rc == -EFAULT
+        assert xen.machine.read_word(xen.xen_pud_mfn, 400) != 0x41
+
+    def test_out_values_ignored_on_fixed_versions(self, xen48):
+        """Even with a guest-writable handle, the fixed code reports
+        the real MFN, not attacker-chosen values."""
+        guest = make_guest(xen48)
+        kernel = guest.kernel
+        page = kernel.alloc_page()
+        result_va = kernel.kva(kernel.alloc_page())
+        rc = kernel.memory_exchange(
+            ExchangeArgs(
+                in_pfns=[page], out_extent_start=result_va, out_values=[0x999]
+            )
+        )
+        assert rc == 0
+        assert kernel.read_va(result_va) == guest.pfn_to_mfn(page)
+
+    def test_nr_exchanged_offsets_the_write(self, xen46):
+        guest = make_guest(xen46)
+        kernel = guest.kernel
+        page = kernel.alloc_page()
+        result_pfn = kernel.alloc_page()
+        result_va = kernel.kva(result_pfn)
+        rc = kernel.memory_exchange(
+            ExchangeArgs(
+                in_pfns=[page], out_extent_start=result_va, nr_exchanged=3
+            )
+        )
+        assert rc == 0
+        assert kernel.read_va(result_va + 24) == guest.pfn_to_mfn(page)
+
+    def test_exchange_bad_pfn(self, xen):
+        guest = make_guest(xen)
+        rc = guest.kernel.memory_exchange(
+            ExchangeArgs(in_pfns=[9999], out_extent_start=guest.kernel.kva(2))
+        )
+        assert rc < 0
+
+
+class TestReservations:
+    def test_increase_reservation_adds_pages(self, xen):
+        guest = make_guest(xen)
+        before = guest.num_pages
+        rc = guest.kernel.increase_reservation(3)
+        assert rc == 0
+        assert guest.num_pages == before + 3
+
+    def test_decrease_reservation_frees(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        pfn = kernel.alloc_page()
+        mfn = guest.pfn_to_mfn(pfn)
+        free_before = xen.machine.frames_free
+        rc = kernel.decrease_reservation([pfn])
+        assert rc == 0
+        assert guest.p2m[pfn] is None
+        assert xen.machine.frames_free == free_before + 1
+
+    def test_decrease_reservation_xsa393_gate(self):
+        """Vulnerable versions leave the stale L1 entry; fixed would
+        zap it (all three carry XSA-393, 4.16 does not)."""
+        from repro.xen.versions import XEN_4_16
+
+        for version, stale_expected in ((XEN_4_6, True), (XEN_4_16, False)):
+            xen = Xen(version, Machine(256))
+            guest = make_guest(xen)
+            kernel = guest.kernel
+            pfn = kernel.alloc_page()
+            mfn = guest.pfn_to_mfn(pfn)
+            l1_mfn = guest.pfn_to_mfn(kernel.l1_pfns[0])
+            entry_before = xen.machine.read_word(l1_mfn, pfn)
+            assert pte_mfn(entry_before) == mfn
+            kernel.decrease_reservation([pfn])
+            entry_after = xen.machine.read_word(l1_mfn, pfn)
+            if stale_expected:
+                assert entry_after == entry_before, version.name
+            else:
+                assert entry_after == 0, version.name
+
+    def test_decrease_bad_pfn(self, xen):
+        guest = make_guest(xen)
+        assert guest.kernel.decrease_reservation([4444]) < 0
+
+
+class TestDeadDomain:
+    def test_hypercall_from_dead_domain(self, xen):
+        guest = make_guest(xen)
+        xen.destroy_domain(guest)
+        with pytest.raises(Exception):
+            xen.hypercall(guest, C.HYPERCALL_CONSOLE_IO, "zombie")

@@ -1,0 +1,170 @@
+"""Tests for the later hypercall additions: multicall, grant transfer,
+CR3 reference accounting, and the xl console command."""
+
+import pytest
+
+from repro.errors import EINVAL, EPERM
+from repro.tools.xl import XlError, XlToolstack
+from repro.xen import constants as C
+from repro.xen.frames import PageType
+from repro.xen.hypercalls import GrantTableOpArgs, MmuExtOp
+from tests.conftest import make_guest
+
+
+class TestMulticall:
+    def test_batch_executes_in_order(self, xen):
+        guest = make_guest(xen)
+        results = []
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MULTICALL,
+            [
+                (C.HYPERCALL_CONSOLE_IO, ("first",)),
+                (C.HYPERCALL_CONSOLE_IO, ("second",)),
+            ],
+            results,
+        )
+        assert rc == 0
+        assert results == [0, 0]
+        joined = "\n".join(xen.console)
+        assert joined.index("first") < joined.index("second")
+
+    def test_per_entry_errors_reported(self, xen):
+        guest = make_guest(xen)
+        results = []
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MULTICALL,
+            [
+                (999, ()),  # unknown hypercall
+                (C.HYPERCALL_CONSOLE_IO, ("ok",)),
+            ],
+            results,
+        )
+        assert rc == 0
+        assert results[0] < 0
+        assert results[1] == 0
+
+    def test_nested_multicall_rejected(self, xen):
+        guest = make_guest(xen)
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MULTICALL,
+            [(C.HYPERCALL_MULTICALL, ([], []))],
+            [],
+        )
+        assert rc == -EINVAL
+
+    def test_empty_batch(self, xen):
+        guest = make_guest(xen)
+        assert xen.hypercall(guest, C.HYPERCALL_MULTICALL, [], []) == 0
+
+
+class TestGrantTransfer:
+    def test_transfer_moves_ownership(self, xen):
+        giver = make_guest(xen, "giver")
+        taker = make_guest(xen, "taker")
+        pfn = giver.kernel.alloc_page()
+        mfn = giver.pfn_to_mfn(pfn)
+        xen.machine.write_word(mfn, 0, 0x61F7)  # contents travel
+        dest_pfn = giver.kernel.grant_table_op(
+            GrantTableOpArgs(cmd=C.GNTTABOP_TRANSFER, pfn=pfn, to_domid=taker.id)
+        )
+        assert dest_pfn >= 0
+        assert giver.p2m[pfn] is None
+        assert taker.pfn_to_mfn(dest_pfn) == mfn
+        assert xen.frames.owner_of(mfn) == taker.id
+        assert xen.m2p(mfn) == dest_pfn
+        assert xen.machine.read_word(mfn, 0) == 0x61F7
+
+    def test_transfer_to_unknown_domain(self, xen):
+        giver = make_guest(xen)
+        pfn = giver.kernel.alloc_page()
+        rc = giver.kernel.grant_table_op(
+            GrantTableOpArgs(cmd=C.GNTTABOP_TRANSFER, pfn=pfn, to_domid=77)
+        )
+        assert rc == -EINVAL
+
+    def test_transfer_of_typed_page_refused(self, xen):
+        """The XSA-214 family: typed frames never cross domains."""
+        giver = make_guest(xen, "giver")
+        taker = make_guest(xen, "taker")
+        l1_pfn = giver.kernel.l1_pfns[0]
+        rc = giver.kernel.grant_table_op(
+            GrantTableOpArgs(cmd=C.GNTTABOP_TRANSFER, pfn=l1_pfn, to_domid=taker.id)
+        )
+        assert rc == -EPERM
+        assert xen.frames.owner_of(giver.pfn_to_mfn(l1_pfn)) == giver.id
+
+    def test_transfer_of_mapped_grant_refused(self, xen):
+        giver = make_guest(xen, "giver")
+        taker = make_guest(xen, "taker")
+        pfn = giver.kernel.alloc_page()
+        xen.grants.setup_table(giver, 2)
+        xen.grants.grant_access(giver, 0, taker.id, pfn=pfn, readonly=True)
+        xen.grants.map_grant_ref(taker, giver.id, 0)  # takes a ref
+        rc = giver.kernel.grant_table_op(
+            GrantTableOpArgs(cmd=C.GNTTABOP_TRANSFER, pfn=pfn, to_domid=taker.id)
+        )
+        assert rc == -EPERM
+
+
+class TestCr3Accounting:
+    def test_switching_roots_moves_the_ref(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        old_l4 = guest.current_vcpu.cr3_mfn
+        # Build a second (empty) L4, pin it, switch to it.
+        new_pfn = kernel.alloc_page()
+        new_l4 = guest.pfn_to_mfn(new_pfn)
+        assert kernel.pin_table(new_l4, level=4) == 0
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MMUEXT_OP,
+            [MmuExtOp(cmd=C.MMUEXT_NEW_BASEPTR, mfn=new_l4)],
+        )
+        assert rc == 0
+        assert xen.frames.info(new_l4).type_count == 2  # pin + cr3
+        assert xen.frames.info(old_l4).type_count == 1  # pin only
+
+    def test_old_root_children_released_when_fully_dropped(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        old_l4 = guest.current_vcpu.cr3_mfn
+        old_l3 = guest.pfn_to_mfn(kernel.l3_pfn)
+        new_pfn = kernel.alloc_page()
+        new_l4 = guest.pfn_to_mfn(new_pfn)
+        kernel.pin_table(new_l4, level=4)
+        xen.hypercall(
+            guest,
+            C.HYPERCALL_MMUEXT_OP,
+            [MmuExtOp(cmd=C.MMUEXT_NEW_BASEPTR, mfn=new_l4)],
+        )
+        # Unpin the old root: its last reference goes away, so the
+        # whole old hierarchy unwinds.
+        xen.hypercall(
+            guest,
+            C.HYPERCALL_MMUEXT_OP,
+            [MmuExtOp(cmd=C.MMUEXT_UNPIN_TABLE, mfn=old_l4)],
+        )
+        assert xen.frames.info(old_l4).type is PageType.NONE
+        assert xen.frames.info(old_l3).type is PageType.NONE
+
+
+class TestXlConsole:
+    def test_console_shows_guest_log(self, bed48):
+        xl = XlToolstack(bed48.xen, bed48.dom0)
+        bed48.guests[0].kernel.printk("hello from the guest")
+        output = xl.run("console guest02")
+        assert "hello from the guest" in output
+        assert "guest kernel booted" in output
+
+    def test_console_requires_privilege(self, bed48):
+        xl = XlToolstack(bed48.xen, bed48.attacker_domain)
+        with pytest.raises(XlError):
+            xl.console("guest02")
+
+    def test_console_missing_domain(self, bed48):
+        xl = XlToolstack(bed48.xen, bed48.dom0)
+        with pytest.raises(XlError):
+            xl.run("console ghost")

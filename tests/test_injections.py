@@ -1,0 +1,51 @@
+"""Tests for the standalone injection-script wrappers."""
+
+import pytest
+
+from repro.core.injections import (
+    inject_xsa148_priv,
+    inject_xsa182_test,
+    inject_xsa212_crash,
+    inject_xsa212_priv,
+)
+from repro.core.testbed import build_testbed
+from repro.xen.versions import XEN_4_8, XEN_4_13
+
+
+class TestInjectionScripts:
+    def test_crash_script(self):
+        bed = build_testbed(XEN_4_8)
+        erroneous, violation = inject_xsa212_crash(bed)
+        assert erroneous.achieved
+        assert violation.kind == "hypervisor crash"
+        assert bed.xen.crashed
+
+    def test_priv_script(self):
+        bed = build_testbed(XEN_4_8)
+        erroneous, violation = inject_xsa212_priv(bed)
+        assert erroneous.achieved
+        assert violation.occurred
+
+    def test_148_script(self):
+        bed = build_testbed(XEN_4_8)
+        erroneous, violation = inject_xsa148_priv(bed)
+        assert erroneous.achieved
+        assert violation.kind == "remote privilege escalation"
+
+    def test_182_script(self):
+        bed = build_testbed(XEN_4_8)
+        erroneous, violation = inject_xsa182_test(bed)
+        assert erroneous.achieved
+        assert violation.occurred
+
+    def test_182_script_shielded_on_413(self):
+        bed = build_testbed(XEN_4_13)
+        erroneous, violation = inject_xsa182_test(bed)
+        assert erroneous.achieved
+        assert not violation.occurred
+
+    def test_priv_script_shielded_on_413(self):
+        bed = build_testbed(XEN_4_13)
+        erroneous, violation = inject_xsa212_priv(bed)
+        assert erroneous.achieved
+        assert not violation.occurred

@@ -1,0 +1,182 @@
+"""Unit tests for the arbitrary_access injector (paper §V)."""
+
+import pytest
+
+from repro.core.injector import (
+    ArbitraryAccessAction,
+    IntrusionInjector,
+    injector_installed,
+    install_injector,
+)
+from repro.errors import EFAULT
+from repro.xen import constants as C
+from repro.xen import layout
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.payload import Payload
+from repro.xen.versions import XEN_4_6, XEN_4_13
+from tests.conftest import make_guest
+
+
+@pytest.fixture
+def rig(xen):
+    install_injector(xen)
+    guest = make_guest(xen)
+    return xen, guest, IntrusionInjector(guest.kernel)
+
+
+class TestInstallation:
+    def test_install_registers_hypercall(self, xen):
+        assert not injector_installed(xen)
+        install_injector(xen)
+        assert injector_installed(xen)
+
+    def test_install_idempotent(self, xen):
+        install_injector(xen)
+        install_injector(xen)  # no error
+
+    def test_install_logged(self, xen):
+        install_injector(xen)
+        assert any("arbitrary_access" in line for line in xen.console)
+
+    def test_uninstalled_injector_unavailable(self, xen):
+        guest = make_guest(xen)
+        injector = IntrusionInjector(guest.kernel)
+        assert not injector.available
+        rc = injector.write_word(layout.directmap_va(0), 1)
+        assert rc < 0  # ENOSYS
+
+    def test_available_on_every_version(self, any_version):
+        xen = Xen(any_version, Machine(128))
+        install_injector(xen)
+        guest = make_guest(xen)
+        assert IntrusionInjector(guest.kernel).available
+
+
+class TestLinearMode:
+    def test_write_read_roundtrip(self, rig):
+        xen, guest, injector = rig
+        addr = layout.directmap_va(50, 3)
+        assert injector.write_word(addr, 0xFACE) == 0
+        assert injector.read_word(addr) == 0xFACE
+        assert xen.machine.read_word(50, 3) == 0xFACE
+
+    def test_write_into_hypervisor_structures(self, rig):
+        """The whole point: no restriction checks on hypervisor memory."""
+        xen, guest, injector = rig
+        addr = layout.directmap_va(xen.xen_pud_mfn, 300)
+        assert injector.write_word(addr, 0x123) == 0
+        assert xen.machine.read_word(xen.xen_pud_mfn, 300) == 0x123
+
+    def test_multi_word_write(self, rig):
+        xen, guest, injector = rig
+        addr = layout.directmap_va(50)
+        assert injector.write(addr, [1, 2, 3]) == 0
+        assert xen.machine.read_words(50, 0, 3) == [1, 2, 3]
+
+    def test_multi_word_read(self, rig):
+        xen, guest, injector = rig
+        xen.machine.write_words(50, 0, [7, 8, 9])
+        assert injector.read(layout.directmap_va(50), 3) == [7, 8, 9]
+
+    def test_unmapped_linear_address_efault(self, rig):
+        xen, guest, injector = rig
+        rc = injector.write_word(0xFFFF_F000_0000_0000, 1)
+        assert rc == -EFAULT
+
+    def test_alias_usable_before_hardening(self):
+        xen = Xen(XEN_4_6, Machine(256))
+        install_injector(xen)
+        guest = make_guest(xen)
+        injector = IntrusionInjector(guest.kernel)
+        assert injector.write_word(layout.alias_va(60), 5) == 0
+        assert xen.machine.read_word(60, 0) == 5
+
+    def test_alias_gone_on_413(self):
+        xen = Xen(XEN_4_13, Machine(256))
+        install_injector(xen)
+        guest = make_guest(xen)
+        injector = IntrusionInjector(guest.kernel)
+        assert injector.write_word(layout.alias_va(60), 5) == -EFAULT
+
+
+class TestPhysicalMode:
+    def test_write_read_roundtrip(self, rig):
+        xen, guest, injector = rig
+        addr = 70 * C.PAGE_SIZE + 16
+        assert injector.write_word(addr, 0xBEEF, linear=False) == 0
+        assert injector.read_word(addr, linear=False) == 0xBEEF
+        assert xen.machine.read_word(70, 2) == 0xBEEF
+
+    def test_beyond_memory_efault(self, rig):
+        xen, guest, injector = rig
+        addr = xen.machine.num_frames * C.PAGE_SIZE
+        assert injector.write_word(addr, 1, linear=False) == -EFAULT
+
+    def test_unaligned_physical_rejected(self, rig):
+        xen, guest, injector = rig
+        rc = injector.write(12345, [1], ArbitraryAccessAction.WRITE_PHYSICAL)
+        assert rc < 0
+
+    def test_write_into_pagetable_bypasses_validation(self, rig):
+        """Physical-mode writes bypass the type system entirely —
+        the erroneous states of XSA-148/182 injections."""
+        xen, guest, injector = rig
+        l4_mfn = guest.current_vcpu.cr3_mfn
+        rc = injector.write_word(l4_mfn * C.PAGE_SIZE + 5 * 8, 0xBAD, linear=False)
+        assert rc == 0
+        assert xen.machine.read_word(l4_mfn, 5) == 0xBAD
+
+
+class TestPayloadInjection:
+    def test_payload_write(self, rig):
+        xen, guest, injector = rig
+        payload = Payload("injected-code")
+        assert injector.write_payload(layout.directmap_va(80), payload) == 0
+        assert xen.machine.blob_at(80, 0) is payload
+
+    def test_payload_write_physical(self, rig):
+        xen, guest, injector = rig
+        payload = Payload("injected-code")
+        assert injector.write_payload(80 * C.PAGE_SIZE, payload, linear=False) == 0
+        assert xen.machine.blob_at(80, 0) is payload
+
+
+class TestInterfaceValidation:
+    def test_bad_byte_count(self, rig):
+        xen, guest, injector = rig
+        rc = injector._call(
+            layout.directmap_va(1), [1], 5, ArbitraryAccessAction.WRITE_LINEAR
+        )
+        assert rc < 0
+
+    def test_zero_byte_count(self, rig):
+        xen, guest, injector = rig
+        rc = injector._call(
+            layout.directmap_va(1), [], 0, ArbitraryAccessAction.READ_LINEAR
+        )
+        assert rc < 0
+
+    def test_short_write_buffer(self, rig):
+        xen, guest, injector = rig
+        rc = injector._call(
+            layout.directmap_va(1), [1], 16, ArbitraryAccessAction.WRITE_LINEAR
+        )
+        assert rc < 0
+
+    def test_read_with_write_action_rejected_clientside(self, rig):
+        _, _, injector = rig
+        with pytest.raises(ValueError):
+            injector.read(0, 1, ArbitraryAccessAction.WRITE_LINEAR)
+        with pytest.raises(ValueError):
+            injector.write(0, [1], ArbitraryAccessAction.READ_LINEAR)
+
+    def test_failed_read_returns_none(self, rig):
+        _, _, injector = rig
+        assert injector.read_word(0xFFFF_F000_0000_0000) is None
+
+    def test_action_predicates(self):
+        assert ArbitraryAccessAction.WRITE_LINEAR.is_write
+        assert ArbitraryAccessAction.WRITE_LINEAR.is_linear
+        assert not ArbitraryAccessAction.READ_PHYSICAL.is_write
+        assert not ArbitraryAccessAction.READ_PHYSICAL.is_linear

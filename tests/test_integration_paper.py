@@ -1,0 +1,151 @@
+"""Integration tests asserting the paper's published results, end to end.
+
+These are the repository's headline checks: every cell of Table III,
+the RQ1 equivalence on Xen 4.6, the RQ2 exploit failures, and the RQ3
+cross-version security conclusion must come out exactly as published.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign, Mode
+from repro.core.comparison import compare_runs
+from repro.cvedata import FunctionalityStudy
+from repro.cvedata.study import TABLE_I_CLASS_TOTALS, TABLE_I_EXPECTED
+from repro.exploits import USE_CASES
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign()
+
+
+@pytest.fixture(scope="module")
+def table3(campaign):
+    return campaign.table3_runs(USE_CASES, (XEN_4_8, XEN_4_13))
+
+
+#: Table III as published: (use case, version) -> (err_state, violation).
+TABLE_III_PAPER = {
+    ("XSA-212-crash", "4.8"): (True, True),
+    ("XSA-212-crash", "4.13"): (True, True),
+    ("XSA-212-priv", "4.8"): (True, True),
+    ("XSA-212-priv", "4.13"): (True, False),  # shield
+    ("XSA-148-priv", "4.8"): (True, True),
+    ("XSA-148-priv", "4.13"): (True, True),
+    ("XSA-182-test", "4.8"): (True, True),
+    ("XSA-182-test", "4.13"): (True, False),  # shield
+}
+
+
+class TestTableIII:
+    @pytest.mark.parametrize("cell", sorted(TABLE_III_PAPER), ids=str)
+    def test_cell_matches_paper(self, table3, cell):
+        expected_err, expected_violation = TABLE_III_PAPER[cell]
+        result = table3[cell]
+        assert result.erroneous_state.achieved == expected_err
+        assert result.violation.occurred == expected_violation
+
+    def test_every_erroneous_state_injectable(self, table3):
+        """RQ2: 'intrusion injection can induce erroneous states ...
+        in versions where related vulnerabilities are already fixed'."""
+        assert all(r.erroneous_state.achieved for r in table3.values())
+
+    def test_413_handles_exactly_two(self, table3):
+        """RQ3: Xen 4.13 shields exactly XSA-212-priv and XSA-182-test."""
+        shielded = {
+            name
+            for (name, version), r in table3.items()
+            if version == "4.13" and not r.violation.occurred
+        }
+        assert shielded == {"XSA-212-priv", "XSA-182-test"}
+
+    def test_48_handles_nothing(self, table3):
+        """RQ3: on 4.8 every injected state still becomes a violation —
+        the hardening, not the fixes, makes the difference."""
+        for (name, version), result in table3.items():
+            if version == "4.8":
+                assert result.violation.occurred, name
+
+
+class TestRQ1:
+    def test_injection_emulates_every_exploit_on_46(self, campaign):
+        """§VI: same erroneous states and same violations, 4/4."""
+        pairs = campaign.rq1_runs(USE_CASES, XEN_4_6)
+        for exploit, injection in pairs:
+            verdict = compare_runs(exploit, injection)
+            assert verdict.equivalent, verdict.render()
+
+    def test_all_exploits_work_on_46(self, campaign):
+        for use_case in USE_CASES:
+            result = campaign.run(use_case, XEN_4_6, Mode.EXPLOIT)
+            assert result.erroneous_state.achieved, use_case.name
+            assert result.violation.occurred, use_case.name
+
+
+class TestRQ2Precondition:
+    @pytest.mark.parametrize("version", [XEN_4_8, XEN_4_13], ids=["4.8", "4.13"])
+    def test_no_exploit_works_on_fixed_versions(self, campaign, version):
+        """§VII: 'we were not able to execute any of the exploits in
+        versions 4.8 and 4.13'."""
+        for use_case in USE_CASES:
+            result = campaign.run(use_case, version, Mode.EXPLOIT)
+            assert not result.erroneous_state.achieved, use_case.name
+            assert not result.violation.occurred, use_case.name
+            assert result.failure is not None, use_case.name
+
+
+class TestRQ3Conclusion:
+    def test_hardening_is_the_difference(self, campaign):
+        """Removing the 4.13 hardening flags must restore the 4.8
+        behaviour — the paper attributes the shields to the post-4.9
+        hardening, and the ablation confirms it."""
+        from repro.exploits import XSA182Test, XSA212Priv
+
+        softened = XEN_4_13.derive(
+            name="4.13-no-hardening",
+            remove_hardening=list(XEN_4_13.hardening),
+        )
+        for use_case in (XSA212Priv, XSA182Test):
+            result = campaign.run(use_case, softened, Mode.INJECTION)
+            assert result.violation.occurred, use_case.name
+
+
+class TestTableI:
+    def test_full_table1_reproduction(self):
+        study = FunctionalityStudy.default()
+        study.validate()
+        assert study.num_cves == 100
+        counts = study.functionality_counts()
+        assert {f: counts[f] for f in TABLE_I_EXPECTED} == TABLE_I_EXPECTED
+        assert study.class_counts() == TABLE_I_CLASS_TOTALS
+
+
+class TestTableII:
+    def test_functionality_assignment(self):
+        from repro.core.taxonomy import table_ii_label
+
+        expected = {
+            "XSA-212-crash": "Write Arbitrary Memory",
+            "XSA-212-priv": "Write Arbitrary Memory",
+            "XSA-148-priv": "Write Page Table Entries",
+            "XSA-182-test": "Write Page Table Entries",
+        }
+        for use_case in USE_CASES:
+            assert (
+                table_ii_label(use_case.functionality) == expected[use_case.name]
+            )
+
+    def test_shared_instantiation(self):
+        """§VI-A: all four IMs share source/component/interface."""
+        from repro.core.model import (
+            InteractionInterface,
+            TargetComponent,
+            TriggeringSource,
+        )
+
+        for use_case in USE_CASES:
+            model = use_case.intrusion_model()
+            assert model.triggering_source is TriggeringSource.UNPRIVILEGED_GUEST
+            assert model.target_component is TargetComponent.MEMORY_MANAGEMENT
+            assert model.interface is InteractionInterface.HYPERCALL

@@ -1,0 +1,85 @@
+"""Tests for the audit trail and intrusiveness profiling (§IX-D)."""
+
+import pytest
+
+from repro.analysis.intrusiveness import IntrusivenessProfile, profile
+from repro.core.campaign import Campaign, Mode
+from repro.core.injector import IntrusionInjector
+from repro.core.testbed import build_testbed
+from repro.exploits import XSA148Priv
+from repro.xen import constants as C
+from repro.xen import layout
+from repro.xen.versions import XEN_4_6, XEN_4_8
+
+
+class TestAuditTrail:
+    def test_hypercalls_recorded(self, bed48):
+        kernel = bed48.attacker_domain.kernel
+        before = len(bed48.xen.audit)
+        kernel.console_write("hello")
+        assert len(bed48.xen.audit) == before + 1
+        domid, number, rc = bed48.xen.audit[-1]
+        assert domid == bed48.attacker_domain.id
+        assert number == C.HYPERCALL_CONSOLE_IO
+        assert rc == 0
+
+    def test_failed_hypercalls_recorded_with_errno(self, bed48):
+        kernel = bed48.attacker_domain.kernel
+        kernel.hypercall(999)
+        assert bed48.xen.audit[-1][2] < 0
+
+    def test_injector_calls_tagged(self, bed48):
+        injector = IntrusionInjector(bed48.attacker_domain.kernel)
+        injector.write_word(layout.directmap_va(100), 1)
+        assert bed48.xen.audit[-1][1] == C.HYPERCALL_ARBITRARY_ACCESS
+
+
+class TestProfile:
+    def test_clean_run_not_detectable(self, bed48):
+        bed48.attacker_domain.kernel.console_write("benign")
+        # Installation is logged but no injection ran.
+        report = profile(bed48.xen)
+        assert not report.detectable
+        assert report.total_hypercalls >= 1
+
+    def test_injection_detectable(self, bed48):
+        injector = IntrusionInjector(bed48.attacker_domain.kernel)
+        injector.write_word(layout.directmap_va(100), 1)
+        report = profile(bed48.xen)
+        assert report.detectable
+        assert report.injector_hypercalls == 1
+        assert 0 < report.injector_fraction <= 1
+
+    def test_console_marks_counted(self, bed48):
+        report = profile(bed48.xen)
+        assert report.injector_console_lines >= 1  # installation line
+
+    def test_render(self, bed48):
+        assert "hypercalls" in profile(bed48.xen).render()
+
+    def test_empty_profile(self):
+        empty = IntrusivenessProfile(0, 0, 0, {})
+        assert empty.injector_fraction == 0.0
+        assert not empty.detectable
+
+
+class TestExploitVsInjectionFootprint:
+    def test_exploit_invisible_injection_visible(self):
+        captured = {}
+
+        def factory(version):
+            bed = build_testbed(version)
+            captured["bed"] = bed
+            return bed
+
+        campaign = Campaign(testbed_factory=factory)
+        campaign.run(XSA148Priv, XEN_4_6, Mode.EXPLOIT)
+        exploit_profile = profile(captured["bed"].xen)
+        campaign.run(XSA148Priv, XEN_4_6, Mode.INJECTION)
+        injection_profile = profile(captured["bed"].xen)
+
+        assert not exploit_profile.detectable
+        assert injection_profile.detectable
+        assert exploit_profile.hypercalls_by_number.get(
+            C.HYPERCALL_MMU_UPDATE, 0
+        ) > 0

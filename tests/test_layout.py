@@ -1,0 +1,72 @@
+"""Unit tests for the virtual-memory layout constants."""
+
+from repro.xen import layout
+from repro.xen.constants import PAGE_SIZE
+from repro.xen.paging import l3_index, l4_index
+
+
+class TestRegionGeometry:
+    def test_ro_mpt_is_paper_range(self):
+        # §V-A: "the range 0xffff800000000000 - 0xffff807fffffffff is
+        # read-only for guest domains" — our RO window is its first half
+        # and the alias its second half (both inside slot 256).
+        assert layout.RO_MPT_START == 0xFFFF_8000_0000_0000
+        assert layout.LINEAR_ALIAS_END == 0xFFFF_8080_0000_0000
+
+    def test_alias_is_paper_range(self):
+        # §VIII: "removed a 512GB RWX mapping ... range
+        # 0xffff804000000000 to 0xffff80403fffffff" (first GiBs of it).
+        assert layout.LINEAR_ALIAS_START == 0xFFFF_8040_0000_0000
+
+    def test_hypervisor_slots(self):
+        assert l4_index(layout.RO_MPT_START) == layout.XEN_FIRST_SLOT
+        assert l4_index(layout.LINEAR_ALIAS_START) == 256
+        assert l4_index(layout.XEN_DIRECTMAP_START) == 262
+        assert l4_index(layout.GUEST_KERNEL_BASE) == 272
+        assert layout.XEN_LAST_SLOT == 271
+
+    def test_alias_first_l3(self):
+        assert l3_index(layout.LINEAR_ALIAS_START) == layout.LINEAR_ALIAS_FIRST_L3
+
+
+class TestHelpers:
+    def test_directmap_va(self):
+        assert layout.directmap_va(0) == layout.XEN_DIRECTMAP_START
+        assert (
+            layout.directmap_va(3, 2)
+            == layout.XEN_DIRECTMAP_START + 3 * PAGE_SIZE + 16
+        )
+
+    def test_alias_va(self):
+        assert layout.alias_va(0) == layout.LINEAR_ALIAS_START
+        assert layout.alias_va(1, 1) == layout.LINEAR_ALIAS_START + PAGE_SIZE + 8
+
+    def test_guest_kernel_va(self):
+        assert layout.guest_kernel_va(0) == layout.GUEST_KERNEL_BASE
+        assert layout.guest_kernel_va(2, 4) == layout.GUEST_KERNEL_BASE + 2 * PAGE_SIZE + 32
+
+    def test_slot_base(self):
+        assert layout.slot_base(272) == layout.GUEST_KERNEL_BASE
+        assert layout.slot_base(256) == layout.RO_MPT_START
+
+
+class TestPredicates:
+    def test_in_hypervisor_area(self):
+        assert layout.in_hypervisor_area(layout.RO_MPT_START)
+        assert layout.in_hypervisor_area(layout.XEN_DIRECTMAP_START)
+        assert not layout.in_hypervisor_area(layout.GUEST_KERNEL_BASE)
+        assert not layout.in_hypervisor_area(0x1000)
+
+    def test_in_ro_mpt(self):
+        assert layout.in_ro_mpt(layout.RO_MPT_START)
+        assert layout.in_ro_mpt(layout.LINEAR_ALIAS_START - 8)
+        assert not layout.in_ro_mpt(layout.LINEAR_ALIAS_START)
+
+    def test_in_linear_alias(self):
+        assert layout.in_linear_alias(layout.LINEAR_ALIAS_START)
+        assert not layout.in_linear_alias(layout.LINEAR_ALIAS_END)
+
+    def test_in_xen_directmap(self):
+        assert layout.in_xen_directmap(layout.XEN_DIRECTMAP_START)
+        assert layout.in_xen_directmap(layout.XEN_DIRECTMAP_END - 8)
+        assert not layout.in_xen_directmap(layout.XEN_DIRECTMAP_END)

@@ -1,0 +1,213 @@
+"""Unit tests for the raw machine model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.xen.constants import PAGE_SIZE, WORDS_PER_PAGE
+from repro.xen.machine import BLOB_MARKER, Machine
+
+
+class TestGeometry:
+    def test_bytes_total(self):
+        assert Machine(16).bytes_total == 16 * PAGE_SIZE
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(MachineError):
+            Machine(0)
+
+    def test_check_mfn_bounds(self, machine):
+        machine.check_mfn(0)
+        machine.check_mfn(machine.num_frames - 1)
+        with pytest.raises(MachineError):
+            machine.check_mfn(machine.num_frames)
+        with pytest.raises(MachineError):
+            machine.check_mfn(-1)
+
+
+class TestWordAccess:
+    def test_fresh_memory_reads_zero(self, machine):
+        assert machine.read_word(3, 17) == 0
+
+    def test_write_read_roundtrip(self, machine):
+        machine.write_word(5, 100, 0xDEAD)
+        assert machine.read_word(5, 100) == 0xDEAD
+
+    def test_write_masks_to_64_bits(self, machine):
+        machine.write_word(1, 0, 1 << 70 | 5)
+        assert machine.read_word(1, 0) == 5
+
+    def test_word_index_bounds(self, machine):
+        with pytest.raises(MachineError):
+            machine.read_word(0, WORDS_PER_PAGE)
+        with pytest.raises(MachineError):
+            machine.write_word(0, -1, 1)
+
+    def test_read_words_bulk(self, machine):
+        machine.write_words(2, 10, [1, 2, 3])
+        assert machine.read_words(2, 10, 3) == [1, 2, 3]
+
+    def test_zero_frame_clears_content(self, machine):
+        machine.write_word(4, 0, 99)
+        machine.zero_frame(4)
+        assert machine.read_word(4, 0) == 0
+
+    def test_copy_frame(self, machine):
+        machine.write_word(1, 7, 42)
+        machine.copy_frame(1, 2)
+        assert machine.read_word(2, 7) == 42
+
+    def test_copy_frame_copies_blobs(self, machine):
+        token = object()
+        machine.attach_blob(1, 3, token)
+        machine.copy_frame(1, 2)
+        assert machine.blob_at(2, 3) is token
+
+
+class TestAllocation:
+    def test_alloc_returns_distinct_frames(self, machine):
+        mfns = machine.alloc_frames(10)
+        assert len(set(mfns)) == 10
+
+    def test_alloc_ascending_order(self, machine):
+        # Domain-build fingerprinting (XSA-148) relies on allocation
+        # order being ascending from mfn 0.
+        assert machine.alloc_frames(3) == [0, 1, 2]
+
+    def test_alloc_zeroes_the_frame(self, machine):
+        mfn = machine.alloc_frame()
+        machine.write_word(mfn, 0, 7)
+        machine.free_frame(mfn)
+        assert machine.alloc_frame() == mfn
+        assert machine.read_word(mfn, 0) == 0
+
+    def test_free_then_realloc(self, machine):
+        mfn = machine.alloc_frame()
+        machine.free_frame(mfn)
+        assert machine.alloc_frame() == mfn
+
+    def test_double_free_rejected(self, machine):
+        mfn = machine.alloc_frame()
+        machine.free_frame(mfn)
+        with pytest.raises(MachineError):
+            machine.free_frame(mfn)
+
+    def test_exhaustion(self):
+        small = Machine(2)
+        small.alloc_frames(2)
+        with pytest.raises(MachineError):
+            small.alloc_frame()
+
+    def test_frames_free_accounting(self, machine):
+        before = machine.frames_free
+        mfn = machine.alloc_frame()
+        assert machine.frames_free == before - 1
+        machine.free_frame(mfn)
+        assert machine.frames_free == before
+
+    def test_is_allocated(self, machine):
+        mfn = machine.alloc_frame()
+        assert machine.is_allocated(mfn)
+        machine.free_frame(mfn)
+        assert not machine.is_allocated(mfn)
+
+
+class TestPhysicalAddresses:
+    def test_split_paddr(self):
+        mfn, word = Machine.split_paddr(3 * PAGE_SIZE + 16)
+        assert (mfn, word) == (3, 2)
+
+    def test_split_paddr_rejects_unaligned(self):
+        with pytest.raises(MachineError):
+            Machine.split_paddr(12)
+
+    def test_paddr_roundtrip(self, machine):
+        machine.write_paddr(5 * PAGE_SIZE + 8, 0xAB)
+        assert machine.read_paddr(5 * PAGE_SIZE + 8) == 0xAB
+        assert machine.read_word(5, 1) == 0xAB
+
+
+class TestBlobs:
+    def test_attach_and_fetch(self, machine):
+        token = object()
+        machine.attach_blob(2, 5, token)
+        assert machine.blob_at(2, 5) is token
+
+    def test_attach_writes_marker(self, machine):
+        machine.attach_blob(2, 5, object())
+        assert machine.read_word(2, 5) == BLOB_MARKER
+
+    def test_plain_write_destroys_blob(self, machine):
+        machine.attach_blob(2, 5, object())
+        machine.write_word(2, 5, 1)
+        assert machine.blob_at(2, 5) is None
+
+    def test_zero_frame_destroys_blobs(self, machine):
+        machine.attach_blob(2, 5, object())
+        machine.zero_frame(2)
+        assert machine.blob_at(2, 5) is None
+
+    def test_iter_blobs(self, machine):
+        machine.attach_blob(1, 0, "a")
+        machine.attach_blob(2, 1, "b")
+        assert {(m, w, b) for m, w, b in machine.iter_blobs()} == {
+            (1, 0, "a"),
+            (2, 1, "b"),
+        }
+
+
+class TestScanning:
+    def test_find_word_hits(self, machine):
+        machine.write_word(7, 33, 0xFEED)
+        assert machine.find_word(0xFEED) == (7, 33)
+
+    def test_find_word_respects_start(self, machine):
+        machine.write_word(3, 0, 0xFEED)
+        machine.write_word(9, 0, 0xFEED)
+        assert machine.find_word(0xFEED, start_mfn=4) == (9, 0)
+
+    def test_find_word_missing(self, machine):
+        assert machine.find_word(0x12345) is None
+
+    def test_find_zero_in_untouched_frame(self, machine):
+        assert machine.find_word(0) == (0, 0)
+
+
+class TestMachineProperties:
+    @given(
+        mfn=st.integers(min_value=0, max_value=511),
+        index=st.integers(min_value=0, max_value=WORDS_PER_PAGE - 1),
+        value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    @settings(max_examples=60)
+    def test_read_after_write(self, mfn, index, value):
+        machine = Machine(512)
+        machine.write_word(mfn, index, value)
+        assert machine.read_word(mfn, index) == value
+
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=31),
+                st.integers(min_value=0, max_value=WORDS_PER_PAGE - 1),
+                st.integers(min_value=0, max_value=(1 << 64) - 1),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40)
+    def test_last_write_wins(self, writes):
+        machine = Machine(32)
+        expected = {}
+        for mfn, index, value in writes:
+            machine.write_word(mfn, index, value)
+            expected[(mfn, index)] = value
+        for (mfn, index), value in expected.items():
+            assert machine.read_word(mfn, index) == value
+
+    @given(paddr=st.integers(min_value=0, max_value=511 * PAGE_SIZE).map(lambda x: x & ~7))
+    @settings(max_examples=50)
+    def test_split_paddr_inverse(self, paddr):
+        mfn, word = Machine.split_paddr(paddr)
+        assert mfn * PAGE_SIZE + word * 8 == paddr

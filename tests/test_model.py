@@ -1,0 +1,96 @@
+"""Unit tests for intrusion models and the AVI chain (Fig. 1)."""
+
+import pytest
+
+from repro.core.model import (
+    AviChain,
+    InteractionInterface,
+    IntrusionModel,
+    TargetComponent,
+    TriggeringSource,
+    memory_management_im,
+)
+from repro.core.taxonomy import AbusiveFunctionality
+
+
+class TestIntrusionModel:
+    def test_memory_management_instantiation(self):
+        model = memory_management_im(
+            "test", AbusiveFunctionality.GUEST_WRITABLE_PAGE_TABLE_ENTRY, ["XSA-148"]
+        )
+        assert model.triggering_source is TriggeringSource.UNPRIVILEGED_GUEST
+        assert model.target_component is TargetComponent.MEMORY_MANAGEMENT
+        assert model.interface is InteractionInterface.HYPERCALL
+        assert model.related_advisories == ("XSA-148",)
+
+    def test_describe_mentions_all_dimensions(self):
+        model = memory_management_im(
+            "demo", AbusiveFunctionality.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY, []
+        )
+        text = model.describe()
+        assert "unprivileged guest" in text
+        assert "hypercall" in text
+        assert "memory management" in text
+        assert "Write Arbitrary Memory" in text
+
+    def test_functionality_label_uses_table2_abbreviation(self):
+        model = memory_management_im(
+            "demo", AbusiveFunctionality.GUEST_WRITABLE_PAGE_TABLE_ENTRY, []
+        )
+        assert model.functionality_label == "Write Page Table Entries"
+
+    def test_models_are_frozen(self):
+        model = memory_management_im(
+            "demo", AbusiveFunctionality.KEEP_PAGE_ACCESS, []
+        )
+        with pytest.raises(Exception):
+            model.name = "other"
+
+    def test_custom_instantiation(self):
+        model = IntrusionModel(
+            name="grant-leak",
+            abusive_functionality=AbusiveFunctionality.KEEP_PAGE_ACCESS,
+            triggering_source=TriggeringSource.UNPRIVILEGED_GUEST,
+            target_component=TargetComponent.GRANT_TABLES,
+            interface=InteractionInterface.HYPERCALL,
+            related_advisories=("XSA-387", "XSA-393"),
+        )
+        assert "grant tables" in model.describe()
+
+
+class TestAviChain:
+    def test_five_stages(self):
+        assert len(AviChain.STAGES) == 5
+
+    def test_stage_names_in_paper_order(self):
+        names = [stage.name for stage in AviChain.STAGES]
+        assert names == [
+            "attack",
+            "vulnerability",
+            "intrusion",
+            "erroneous state",
+            "security violation",
+        ]
+
+    def test_dependability_mapping(self):
+        assert AviChain.stage("erroneous state").dependability_term == "error"
+        assert AviChain.stage("security violation").dependability_term == "failure"
+
+    def test_stage_lookup_missing(self):
+        with pytest.raises(KeyError):
+            AviChain.stage("exploit")
+
+    def test_full_propagation(self):
+        trace = AviChain.propagate()
+        assert trace[-1] == "security violation"
+        assert len(trace) == 5
+
+    def test_handled_propagation_stops_early(self):
+        trace = AviChain.propagate(handled_at="erroneous state")
+        assert trace[-1] == "<handled — no security violation>"
+        assert "security violation" not in trace
+
+    def test_render_contains_both_vocabularies(self):
+        text = AviChain.render()
+        assert "erroneous state" in text
+        assert "failure" in text

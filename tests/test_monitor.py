@@ -1,0 +1,169 @@
+"""Unit tests for the monitors (security-violation detection)."""
+
+import pytest
+
+from repro.core.monitor import (
+    CompositeMonitor,
+    CrashMonitor,
+    FileDropMonitor,
+    IdtIntegrityMonitor,
+    PageTableIntegrityMonitor,
+    ReverseShellMonitor,
+    ViolationReport,
+)
+from repro.errors import HypervisorCrash
+from repro.net import Shell
+from repro.xen import constants as C
+from repro.xen.paging import make_pte
+
+
+class TestViolationReport:
+    def test_none_report(self):
+        report = ViolationReport.none()
+        assert not report.occurred
+        assert report.kind is None
+
+    def test_matches_same_kind(self):
+        a = ViolationReport(True, "crash")
+        b = ViolationReport(True, "crash", evidence=["x"])
+        assert a.matches(b)
+
+    def test_matches_different_kind(self):
+        assert not ViolationReport(True, "crash").matches(ViolationReport(True, "leak"))
+
+    def test_matches_occurrence(self):
+        assert ViolationReport.none().matches(ViolationReport.none())
+        assert not ViolationReport.none().matches(ViolationReport(True, "x"))
+
+
+class TestCrashMonitor:
+    def test_quiet_on_healthy_system(self, bed):
+        assert not CrashMonitor().observe(bed).occurred
+
+    def test_detects_panic(self, bed):
+        with pytest.raises(HypervisorCrash):
+            bed.xen.panic("BOOM")
+        report = CrashMonitor().observe(bed)
+        assert report.occurred
+        assert report.kind == "hypervisor crash"
+        assert any("BOOM" in line for line in report.evidence)
+
+
+class TestFileDropMonitor:
+    CONTENT = "|uid=0(root) gid=0(root) groups=0(root)|@host"
+
+    def test_quiet_without_files(self, bed):
+        assert not FileDropMonitor().observe(bed).occurred
+
+    def test_partial_drop_not_a_violation(self, bed):
+        bed.dom0.kernel.fs.write("/tmp/injector_log", self.CONTENT, uid=0)
+        assert not FileDropMonitor().observe(bed).occurred
+
+    def test_full_drop_detected(self, bed):
+        for domain in bed.all_domains():
+            domain.kernel.fs.write("/tmp/injector_log", self.CONTENT, uid=0)
+        report = FileDropMonitor().observe(bed)
+        assert report.occurred
+        assert report.kind == "privilege escalation (all domains)"
+        assert len(report.evidence) == len(bed.all_domains())
+
+    def test_non_root_content_not_a_violation(self, bed):
+        for domain in bed.all_domains():
+            domain.kernel.fs.write("/tmp/injector_log", "uid=1000(user)", uid=0)
+        assert not FileDropMonitor().observe(bed).occurred
+
+
+class TestReverseShellMonitor:
+    def test_quiet_without_listener(self, bed):
+        monitor = ReverseShellMonitor(bed.attacker_host, bed.attacker_port)
+        assert not monitor.observe(bed).occurred
+
+    def test_quiet_without_connection(self, bed):
+        bed.network.listen(bed.attacker_host, bed.attacker_port)
+        monitor = ReverseShellMonitor(bed.attacker_host, bed.attacker_port)
+        assert not monitor.observe(bed).occurred
+
+    def test_root_shell_detected(self, bed):
+        listener = bed.network.listen(bed.attacker_host, bed.attacker_port)
+        bed.network.connect(
+            bed.dom0.hostname,
+            bed.attacker_host,
+            bed.attacker_port,
+            Shell(bed.dom0, uid=0),
+        )
+        report = ReverseShellMonitor(bed.attacker_host, bed.attacker_port).observe(bed)
+        assert report.occurred
+        assert report.kind == "remote privilege escalation"
+        assert any("Confidential" in line for line in report.evidence)
+
+    def test_unprivileged_shell_classified_differently(self, bed):
+        bed.network.listen(bed.attacker_host, bed.attacker_port)
+        bed.network.connect(
+            bed.dom0.hostname,
+            bed.attacker_host,
+            bed.attacker_port,
+            Shell(bed.dom0, uid=1000),
+        )
+        report = ReverseShellMonitor(bed.attacker_host, bed.attacker_port).observe(bed)
+        assert report.occurred
+        assert report.kind == "remote access (unprivileged)"
+
+
+class TestPageTableIntegrityMonitor:
+    def test_quiet_on_clean_tables(self, bed):
+        assert not PageTableIntegrityMonitor().observe(bed).occurred
+
+    def test_detects_writable_pse(self, bed):
+        guest = bed.attacker_domain
+        l2_mfn = guest.pfn_to_mfn(guest.kernel.l2_pfn)
+        bed.xen.machine.write_word(
+            l2_mfn, 1, make_pte(0, C.PTE_PRESENT | C.PTE_RW | C.PTE_PSE)
+        )
+        report = PageTableIntegrityMonitor().observe(bed)
+        assert report.occurred
+        assert "PSE" in report.evidence[0]
+
+    def test_detects_writable_self_map(self, bed):
+        guest = bed.attacker_domain
+        l4_mfn = guest.current_vcpu.cr3_mfn
+        bed.xen.machine.write_word(
+            l4_mfn, 5, make_pte(l4_mfn, C.PTE_PRESENT | C.PTE_RW)
+        )
+        report = PageTableIntegrityMonitor().observe(bed)
+        assert report.occurred
+        assert "self-mapping" in report.evidence[0]
+
+    def test_readonly_self_map_is_fine(self, bed):
+        guest = bed.attacker_domain
+        l4_mfn = guest.current_vcpu.cr3_mfn
+        bed.xen.machine.write_word(l4_mfn, 5, make_pte(l4_mfn, C.PTE_PRESENT))
+        assert not PageTableIntegrityMonitor().observe(bed).occurred
+
+
+class TestIdtIntegrityMonitor:
+    def test_quiet_on_intact_idt(self, bed):
+        assert not IdtIntegrityMonitor().observe(bed).occurred
+
+    def test_detects_corrupted_gate(self, bed):
+        bed.xen.machine.write_word(bed.xen.idt_mfns[0], 2 * 14, 0xBAD)
+        report = IdtIntegrityMonitor().observe(bed)
+        assert report.occurred
+        assert "vector 14" in report.evidence[0]
+
+
+class TestCompositeMonitor:
+    def test_first_violation_wins(self, bed):
+        with pytest.raises(HypervisorCrash):
+            bed.xen.panic("X")
+        composite = CompositeMonitor([CrashMonitor(), IdtIntegrityMonitor()])
+        report = composite.observe(bed)
+        assert report.kind == "hypervisor crash"
+
+    def test_quiet_when_all_quiet(self, bed):
+        composite = CompositeMonitor([CrashMonitor(), IdtIntegrityMonitor()])
+        assert not composite.observe(bed).occurred
+
+    def test_observe_all_returns_per_monitor(self, bed):
+        composite = CompositeMonitor([CrashMonitor(), IdtIntegrityMonitor()])
+        reports = composite.observe_all(bed)
+        assert set(reports) == {"hypervisor-crash", "idt-integrity"}

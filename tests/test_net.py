@@ -1,0 +1,100 @@
+"""Unit tests for the simulated network and shells."""
+
+import pytest
+
+from repro.guest.process import Credentials
+from repro.net import Network, Shell
+from repro.xen.versions import XEN_4_8
+from tests.conftest import make_guest
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+
+
+@pytest.fixture
+def guest48():
+    xen = Xen(XEN_4_8, Machine(256))
+    return make_guest(xen, "shellhost")
+
+
+class TestNetwork:
+    def test_connect_without_listener(self, guest48):
+        network = Network()
+        shell = Shell(guest48, uid=0)
+        assert network.connect("a", "b", 1234, shell) is None
+
+    def test_connect_with_listener(self, guest48):
+        network = Network()
+        listener = network.listen("attacker", 1234)
+        shell = Shell(guest48, uid=0)
+        connection = network.connect("victim", "attacker", 1234, shell)
+        assert connection is not None
+        assert listener.connected
+        assert listener.latest() is connection
+
+    def test_port_mismatch_no_connection(self, guest48):
+        network = Network()
+        network.listen("attacker", 1234)
+        assert network.connect("v", "attacker", 9999, Shell(guest48, 0)) is None
+
+    def test_multiple_connections_recorded(self, guest48):
+        network = Network()
+        listener = network.listen("attacker", 1234)
+        for _ in range(3):
+            network.connect("v", "attacker", 1234, Shell(guest48, 0))
+        assert len(listener.connections) == 3
+
+    def test_listener_lookup(self):
+        network = Network()
+        listener = network.listen("h", 80)
+        assert network.listener("h", 80) is listener
+        assert network.listener("h", 81) is None
+
+
+class TestShell:
+    def test_whoami_root(self, guest48):
+        assert Shell(guest48, uid=0).run("whoami") == "root"
+
+    def test_whoami_user(self, guest48):
+        assert Shell(guest48, uid=1000).run("whoami") == "uid1000"
+
+    def test_hostname(self, guest48):
+        assert Shell(guest48, uid=0).run("hostname") == "shellhost"
+
+    def test_id(self, guest48):
+        assert "uid=0(root)" in Shell(guest48, uid=0).run("id")
+
+    def test_chained_commands(self, guest48):
+        output = Shell(guest48, uid=0).run("whoami && hostname")
+        assert output == "root\nshellhost"
+
+    def test_cat_reads_file(self, guest48):
+        guest48.kernel.fs.write("/root/root_msg", "Confidential!", uid=0)
+        assert Shell(guest48, uid=0).run("cat /root/root_msg") == "Confidential!"
+
+    def test_cat_permission_denied_for_user(self, guest48):
+        guest48.kernel.fs.write("/root/root_msg", "Confidential!", uid=0)
+        output = Shell(guest48, uid=1000).run("cat /root/root_msg")
+        assert "permission denied" in output
+
+    def test_echo(self, guest48):
+        assert Shell(guest48, uid=0).run('echo "hi there"') == "hi there"
+
+    def test_unknown_command(self, guest48):
+        assert "command not found" in Shell(guest48, uid=0).run("frobnicate")
+
+    def test_transcript_recorded(self, guest48):
+        network = Network()
+        network.listen("a", 1)
+        connection = network.connect("v", "a", 1, Shell(guest48, 0))
+        connection.run("whoami")
+        assert connection.transcript == [("whoami", "root")]
+
+
+class TestCredentials:
+    def test_id_string(self):
+        creds = Credentials(uid=0, gid=0, username="root")
+        assert creds.id_string() == "uid=0(root) gid=0(root) groups=0(root)"
+
+    def test_is_root(self):
+        assert Credentials(0, 0, "root").is_root
+        assert not Credentials(1000, 1000, "u").is_root

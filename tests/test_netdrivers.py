@@ -1,0 +1,196 @@
+"""Tests for the PV network driver (netfront/netback) and the codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drivers.codec import (
+    CodecError,
+    MAX_PAYLOAD_BYTES,
+    decode_bytes,
+    decode_text,
+    encode_bytes,
+    encode_text,
+)
+from repro.drivers.netback import Netback
+from repro.drivers.netfront import Netfront, NetfrontError
+from repro.drivers.ring import RingRequest, STATUS_ERROR
+
+
+class TestCodec:
+    def test_roundtrip_simple(self):
+        words = encode_text("hello")
+        assert decode_text(words, 5) == "hello"
+
+    def test_roundtrip_unicode(self):
+        message = "ünïcode — πλήρης"
+        payload = message.encode("utf-8")
+        assert decode_text(encode_text(message), len(payload)) == message
+
+    def test_empty(self):
+        assert encode_bytes(b"") == []
+        assert decode_bytes([], 0) == b""
+
+    def test_oversized_rejected(self):
+        with pytest.raises(CodecError):
+            encode_bytes(b"x" * (MAX_PAYLOAD_BYTES + 1))
+
+    def test_length_beyond_words_rejected(self):
+        with pytest.raises(CodecError):
+            decode_bytes([1], 100)
+
+    @given(payload=st.binary(max_size=256))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, payload):
+        assert decode_bytes(encode_bytes(payload), len(payload)) == payload
+
+
+@pytest.fixture
+def net(bed48):
+    backend = Netback(bed48.dom0.kernel)
+    backend.start()
+    fronts = []
+    for guest in bed48.guests:
+        front = Netfront(guest.kernel)
+        front.connect()
+        fronts.append(front)
+    return bed48, backend, fronts
+
+
+class TestHandshake:
+    def test_vifs_connected(self, net):
+        bed, backend, fronts = net
+        assert set(backend.vifs) == {g.id for g in bed.guests}
+
+    def test_backend_requires_privilege(self, bed48):
+        with pytest.raises(ValueError):
+            Netback(bed48.attacker_domain.kernel)
+
+    def test_incomplete_handshake_ignored(self, bed48):
+        backend = Netback(bed48.dom0.kernel)
+        backend.start()
+        guest = bed48.attacker_domain
+        bed48.xen.xenstore.write(
+            guest, f"/local/domain/{guest.id}/device/vif/0/state", "3"
+        )
+        assert guest.id not in backend.vifs
+
+
+class TestSwitching:
+    def test_packet_delivery(self, net):
+        bed, backend, (a, b) = net
+        status = a.send(bed.guests[1].id, "ping")
+        assert status == 0
+        assert b.inbox[0].message == "ping"
+        assert b.inbox[0].source_domid == bed.guests[0].id
+
+    def test_bidirectional(self, net):
+        bed, backend, (a, b) = net
+        a.send(bed.guests[1].id, "ping")
+        b.send(bed.guests[0].id, "pong")
+        assert a.inbox[0].message == "pong"
+
+    def test_sequence_of_packets(self, net):
+        bed, backend, (a, b) = net
+        for i in range(5):
+            a.send(bed.guests[1].id, f"msg-{i}")
+        assert [p.message for p in b.inbox] == [f"msg-{i}" for i in range(5)]
+
+    def test_switch_counters(self, net):
+        bed, backend, (a, b) = net
+        a.send(bed.guests[1].id, "x")
+        assert backend.vifs[bed.guests[0].id].packets_switched == 1
+
+    def test_unknown_destination_errors(self, net):
+        bed, backend, (a, _) = net
+        status = a.send(99, "to nowhere")
+        assert status == STATUS_ERROR
+        assert any("no such destination" in line for line in backend.log)
+
+    def test_send_to_self_works(self, net):
+        bed, backend, (a, _) = net
+        status = a.send(bed.guests[0].id, "loopback")
+        assert status == 0
+        assert a.inbox[0].message == "loopback"
+
+    def test_oversized_packet_refused_clientside(self, net):
+        bed, _, (a, _) = net
+        with pytest.raises(NetfrontError):
+            a.send(bed.guests[1].id, "x" * (MAX_PAYLOAD_BYTES))
+
+
+class TestRobustness:
+    def test_rx_busy_drops(self, net):
+        """If the receiver never drains its RX buffer, further packets
+        are dropped with an error — not corrupted, not crashing."""
+        bed, backend, (a, b) = net
+        # Prevent the receiver from draining: unbind its handler.
+        b.kernel.unbind_handler(b.event_port)
+        assert a.send(bed.guests[1].id, "first") == 0  # parked in RX page
+        status = a.send(bed.guests[1].id, "second")
+        assert status == STATUS_ERROR
+        assert backend.vifs[bed.guests[1].id].drops == 1
+
+    def test_forged_tx_grant_refused(self, net):
+        bed, backend, (a, _) = net
+        a.ring.push_request(
+            RingRequest(req_id=50, op=10, sector=bed.guests[1].id, gref=7)
+        )
+        from repro.xen.hypercalls import EventChannelOpArgs
+        from repro.xen import constants as C
+
+        a.kernel.event_channel_op(
+            EventChannelOpArgs(cmd=C.EVTCHNOP_SEND, port=a.event_port)
+        )
+        assert any("TX grant refused" in line for line in backend.log)
+        assert not bed.xen.crashed
+
+    def test_unknown_op_rejected(self, net):
+        bed, backend, (a, _) = net
+        a.ring.push_request(
+            RingRequest(req_id=51, op=42, sector=bed.guests[1].id, gref=3)
+        )
+        from repro.xen.hypercalls import EventChannelOpArgs
+        from repro.xen import constants as C
+
+        a.kernel.event_channel_op(
+            EventChannelOpArgs(cmd=C.EVTCHNOP_SEND, port=a.event_port)
+        )
+        assert any("unknown op" in line for line in backend.log)
+
+    def test_runaway_producer_clamped(self, net):
+        bed, backend, (a, _) = net
+        a.ring.req_prod = 999_999
+        from repro.xen.hypercalls import EventChannelOpArgs
+        from repro.xen import constants as C
+
+        a.kernel.event_channel_op(
+            EventChannelOpArgs(cmd=C.EVTCHNOP_SEND, port=a.event_port)
+        )
+        assert any("clamped" in line for line in backend.log)
+        assert not bed.xen.crashed
+
+
+class TestCoexistence:
+    def test_block_and_net_share_a_guest(self, bed48):
+        """Both drivers use the same grant table and event subsystem;
+        they must not trample each other."""
+        from repro.drivers import Blkback, Blkfront, VirtualDisk
+
+        blk_back = Blkback(bed48.dom0.kernel, VirtualDisk(8))
+        blk_back.start()
+        net_back = Netback(bed48.dom0.kernel)
+        net_back.start()
+
+        guest = bed48.guests[0]
+        blk = Blkfront(guest.kernel)
+        blk.connect()
+        net = Netfront(guest.kernel)
+        net.connect()
+        peer = Netfront(bed48.guests[1].kernel)
+        peer.connect()
+
+        blk.write_sector(1, [7])
+        net.send(bed48.guests[1].id, "both drivers live")
+        assert blk.read_sector(1, 1) == [7]
+        assert peer.inbox[0].message == "both drivers live"

@@ -1,0 +1,129 @@
+"""Unit tests for PTE encoding and virtual-address arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xen import paging
+from repro.xen.constants import (
+    PAGE_SHIFT,
+    PTE_PRESENT,
+    PTE_PSE,
+    PTE_RW,
+    PTE_USER,
+    XEN_SPECIAL_LINEAR_ALIAS,
+    XEN_SPECIAL_RO_MPT,
+)
+
+
+class TestPteEncoding:
+    def test_roundtrip_simple(self):
+        pte = paging.make_pte(0x123, PTE_PRESENT | PTE_RW)
+        assert paging.pte_mfn(pte) == 0x123
+        assert paging.pte_present(pte)
+        assert paging.pte_writable(pte)
+        assert not paging.pte_user(pte)
+
+    def test_flags_extraction(self):
+        pte = paging.make_pte(1, PTE_PRESENT | PTE_USER | PTE_PSE)
+        assert paging.pte_flags(pte) == PTE_PRESENT | PTE_USER | PTE_PSE
+        assert paging.pte_superpage(pte)
+
+    def test_not_present(self):
+        assert not paging.pte_present(0)
+        assert not paging.pte_present(paging.make_pte(5, PTE_RW))
+
+    @given(
+        mfn=st.integers(min_value=0, max_value=(1 << 40) - 1),
+        flags=st.integers(min_value=0, max_value=0xFFF),
+    )
+    @settings(max_examples=80)
+    def test_roundtrip_property(self, mfn, flags):
+        pte = paging.make_pte(mfn, flags)
+        assert paging.pte_mfn(pte) == mfn
+        assert paging.pte_flags(pte) == flags
+
+
+class TestSpecialDescriptors:
+    def test_special_roundtrip(self):
+        pte = paging.make_special_pte(XEN_SPECIAL_RO_MPT)
+        assert paging.special_kind(pte) == XEN_SPECIAL_RO_MPT
+        assert paging.pte_present(pte)
+
+    def test_alias_kind(self):
+        pte = paging.make_special_pte(XEN_SPECIAL_LINEAR_ALIAS)
+        assert paging.special_kind(pte) == XEN_SPECIAL_LINEAR_ALIAS
+
+    def test_ordinary_pte_is_not_special(self):
+        assert paging.special_kind(paging.make_pte(3, PTE_PRESENT | PTE_RW)) is None
+
+    def test_non_present_special_is_none(self):
+        pte = paging.make_special_pte(XEN_SPECIAL_RO_MPT) & ~PTE_PRESENT
+        assert paging.special_kind(pte) is None
+
+
+class TestAddressArithmetic:
+    def test_canonical_upper_half(self):
+        assert paging.canonical(0x8000_0000_0000) == 0xFFFF_8000_0000_0000
+
+    def test_canonical_lower_half(self):
+        assert paging.canonical(0x7FFF_FFFF_FFFF) == 0x7FFF_FFFF_FFFF
+
+    def test_is_canonical(self):
+        assert paging.is_canonical(0xFFFF_8000_0000_0000)
+        assert paging.is_canonical(0x0000_7000_0000_0000)
+        assert not paging.is_canonical(0x0000_9000_0000_0000)
+
+    def test_indices_of_known_address(self):
+        # 0xffff880000000000 = slot 272 (the guest kernel base).
+        va = 0xFFFF_8800_0000_0000
+        assert paging.l4_index(va) == 272
+        assert paging.l3_index(va) == 0
+        assert paging.l2_index(va) == 0
+        assert paging.l1_index(va) == 0
+
+    def test_table_indices_tuple(self):
+        va = paging.build_va(5, 6, 7, 8, 16)
+        assert paging.table_indices(va) == (5, 6, 7, 8)
+        assert paging.word_index(va) == 2
+
+    def test_build_va_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            paging.build_va(512, 0, 0, 0)
+        with pytest.raises(ValueError):
+            paging.build_va(0, 0, 0, -1)
+
+    def test_build_va_upper_half_is_canonical(self):
+        va = paging.build_va(256, 0, 0, 0)
+        assert va == 0xFFFF_8000_0000_0000
+
+    @given(
+        l4=st.integers(min_value=0, max_value=511),
+        l3=st.integers(min_value=0, max_value=511),
+        l2=st.integers(min_value=0, max_value=511),
+        l1=st.integers(min_value=0, max_value=511),
+        offset=st.integers(min_value=0, max_value=(1 << PAGE_SHIFT) - 1),
+    )
+    @settings(max_examples=100)
+    def test_build_va_roundtrip(self, l4, l3, l2, l1, offset):
+        va = paging.build_va(l4, l3, l2, l1, offset)
+        assert paging.table_indices(va) == (l4, l3, l2, l1)
+        assert paging.page_offset(va) == offset
+        assert paging.is_canonical(va)
+
+
+class TestDescribePte:
+    def test_not_present(self):
+        assert "not present" in paging.describe_pte(0)
+
+    def test_special(self):
+        text = paging.describe_pte(paging.make_special_pte(XEN_SPECIAL_RO_MPT))
+        assert "special region" in text
+
+    def test_flags_rendered(self):
+        text = paging.describe_pte(paging.make_pte(7, PTE_PRESENT | PTE_RW | PTE_PSE))
+        assert "RW" in text and "PSE" in text and "mfn=0x7" in text
+
+    def test_readonly_rendered(self):
+        text = paging.describe_pte(paging.make_pte(7, PTE_PRESENT))
+        assert "[RO]" in text

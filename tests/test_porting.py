@@ -1,0 +1,115 @@
+"""Tests for the cross-system injector interfaces (§IX-A)."""
+
+import pytest
+
+from repro.core.porting import (
+    InductionOutcome,
+    QemuSystemInjector,
+    XenSystemInjector,
+    portable_campaign,
+)
+from repro.core.taxonomy import AbusiveFunctionality as AF
+from repro.qemu.machine import QEMU_FIXED, QemuProcess
+
+
+@pytest.fixture
+def xen_injector(bed48):
+    return XenSystemInjector(bed48)
+
+
+@pytest.fixture
+def qemu_injector():
+    return QemuSystemInjector(QemuProcess(QEMU_FIXED))
+
+
+class TestXenAdapter:
+    def test_supported_set(self, xen_injector):
+        supported = xen_injector.supported()
+        assert AF.WRITE_UNAUTHORIZED_MEMORY in supported
+        assert AF.READ_UNAUTHORIZED_MEMORY in supported
+        assert AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY in supported
+
+    def test_write_unauthorized(self, bed48, xen_injector):
+        outcome = xen_injector.induce(AF.WRITE_UNAUTHORIZED_MEMORY, value=0x77)
+        assert outcome.erroneous_state
+        assert bed48.xen.machine.read_word(bed48.dom0.pfn_to_mfn(4), 0) == 0x77
+
+    def test_read_unauthorized_exfiltrates(self, bed48, xen_injector):
+        bed48.xen.machine.write_word(bed48.dom0.pfn_to_mfn(4), 0, 0xABCD)
+        outcome = xen_injector.induce(AF.READ_UNAUTHORIZED_MEMORY)
+        assert outcome.erroneous_state
+        assert 0xABCD in bed48.attacker_domain.kernel.loot
+
+    def test_write_arbitrary_with_address(self, bed48, xen_injector):
+        from repro.xen.constants import PAGE_SIZE
+
+        target = 100 * PAGE_SIZE + 24
+        outcome = xen_injector.induce(
+            AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY, paddr=target, value=0x99
+        )
+        assert outcome.erroneous_state
+        assert bed48.xen.machine.read_word(100, 3) == 0x99
+
+    def test_unsupported_functionality_raises(self, xen_injector):
+        with pytest.raises(KeyError):
+            xen_injector.induce(AF.INDUCE_A_HANG_STATE)
+
+
+class TestQemuAdapter:
+    def test_supported_set(self, qemu_injector):
+        assert AF.WRITE_UNAUTHORIZED_MEMORY in qemu_injector.supported()
+        assert AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY not in qemu_injector.supported()
+
+    def test_write_unauthorized_corrupts_dispatch(self, qemu_injector):
+        outcome = qemu_injector.induce(AF.WRITE_UNAUTHORIZED_MEMORY)
+        assert outcome.erroneous_state
+        assert qemu_injector.process.dispatch_corrupted
+
+    def test_read_unauthorized(self, qemu_injector):
+        outcome = qemu_injector.induce(AF.READ_UNAUTHORIZED_MEMORY)
+        assert outcome.erroneous_state
+        assert "0x" in outcome.detail
+
+
+class TestPortableCampaign:
+    def test_same_functionality_on_both_systems(self, bed48, qemu_injector):
+        """Capability (v): one portable test case, two systems."""
+        outcomes = portable_campaign(
+            [XenSystemInjector(bed48), qemu_injector],
+            AF.WRITE_UNAUTHORIZED_MEMORY,
+        )
+        assert [o.system for o in outcomes] == ["xen-pv", "qemu-emulator"]
+        assert all(o.erroneous_state for o in outcomes)
+
+    def test_unsupported_systems_skipped(self, bed48, qemu_injector):
+        outcomes = portable_campaign(
+            [XenSystemInjector(bed48), qemu_injector],
+            AF.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY,
+        )
+        assert [o.system for o in outcomes] == ["xen-pv"]
+
+    def test_outcome_dataclass(self):
+        outcome = InductionOutcome(
+            system="s", functionality=AF.KEEP_PAGE_ACCESS, erroneous_state=True
+        )
+        assert outcome.detail == ""
+
+
+class TestXen49Boundary:
+    """The hardening boundary (§VIII names the 4.9 code) behaves like
+    4.13 for the paper's campaign."""
+
+    def test_49_shields_match_413(self):
+        from repro.core.campaign import Campaign, Mode
+        from repro.exploits import USE_CASES
+        from repro.xen.versions import version_by_name
+
+        campaign = Campaign()
+        xen_4_9 = version_by_name("4.9")
+        shielded = {
+            use_case.name
+            for use_case in USE_CASES
+            for result in [campaign.run(use_case, xen_4_9, Mode.INJECTION)]
+            if result.erroneous_state.achieved and not result.violation.occurred
+        }
+        assert shielded == {"XSA-212-priv", "XSA-182-test"}

@@ -1,0 +1,165 @@
+"""Property-based tests over the core security invariants.
+
+These check the *shape* of the security argument rather than single
+examples: validation never admits forbidden states on fixed versions,
+the injector can always reproduce states the validator refuses, and
+the guest/hypervisor address spaces stay disjoint where they must.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.injector import IntrusionInjector, install_injector
+from repro.errors import GuestFault, HypercallError
+from repro.xen import constants as C
+from repro.xen import layout
+from repro.xen.addrspace import Access
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.paging import make_pte, pte_mfn
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+from tests.conftest import make_guest
+
+FLAG_BITS = st.integers(min_value=0, max_value=0xFFF)
+
+
+def fixed_xen():
+    return Xen(XEN_4_8, Machine(256))
+
+
+class TestValidationInvariants:
+    @given(flags=FLAG_BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_no_pse_entry_ever_validates_on_fixed_versions(self, flags):
+        """On fixed versions, *no* flag combination with PSE set passes
+        L2 validation (the XSA-148 fix is unconditional)."""
+        assume(flags & C.PTE_PRESENT and flags & C.PTE_PSE)
+        xen = fixed_xen()
+        guest = make_guest(xen)
+        entry = make_pte(0, flags)
+        with pytest.raises(HypercallError):
+            xen.validation.validate_entry(guest, 2, entry, table_mfn=0)
+
+    @given(flags=FLAG_BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_no_writable_self_map_ever_validates(self, flags):
+        """No flag combination with RW set passes L4 self-map
+        validation on fixed versions (the XSA-182 fix)."""
+        assume(flags & C.PTE_PRESENT and flags & C.PTE_RW)
+        xen = fixed_xen()
+        guest = make_guest(xen)
+        l4_mfn = guest.current_vcpu.cr3_mfn
+        entry = make_pte(l4_mfn, flags)
+        with pytest.raises(HypercallError):
+            xen.validation.validate_entry(guest, 4, entry, table_mfn=l4_mfn)
+
+    @given(flags=FLAG_BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_writable_pagetable_mapping_never_validates(self, flags):
+        """L1 entries: RW mappings of page-table frames always refused
+        (on every version — this check was never broken)."""
+        assume(flags & C.PTE_PRESENT and flags & C.PTE_RW)
+        for version in (XEN_4_6, XEN_4_8, XEN_4_13):
+            xen = Xen(version, Machine(256))
+            guest = make_guest(xen)
+            l1_mfn = guest.pfn_to_mfn(guest.kernel.l1_pfns[0])
+            entry = make_pte(l1_mfn, flags)
+            with pytest.raises(HypercallError):
+                xen.validation.validate_entry(guest, 1, entry, table_mfn=0)
+
+
+class TestInjectorBypassesValidation:
+    @given(flags=FLAG_BITS, index=st.integers(min_value=0, max_value=511))
+    @settings(max_examples=40, deadline=None)
+    def test_injector_writes_what_validation_refuses(self, flags, index):
+        """The injector's reason to exist: every PTE value — valid or
+        forbidden — lands exactly as requested, on every version."""
+        xen = fixed_xen()
+        install_injector(xen)
+        guest = make_guest(xen)
+        injector = IntrusionInjector(guest.kernel)
+        l2_mfn = guest.pfn_to_mfn(guest.kernel.l2_pfn)
+        entry = make_pte(7, flags)
+        rc = injector.write_word(
+            l2_mfn * C.PAGE_SIZE + index * 8, entry, linear=False
+        )
+        assert rc == 0
+        assert xen.machine.read_word(l2_mfn, index) == entry
+
+    @given(
+        words=st.lists(
+            st.integers(min_value=0, max_value=(1 << 64) - 1),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_injector_write_read_roundtrip(self, words):
+        xen = fixed_xen()
+        install_injector(xen)
+        guest = make_guest(xen)
+        injector = IntrusionInjector(guest.kernel)
+        addr = layout.directmap_va(100)
+        assert injector.write(addr, words) == 0
+        assert injector.read(addr, len(words)) == words
+
+
+class TestAddressSpaceInvariants:
+    @given(mfn=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_guest_never_reaches_directmap(self, mfn):
+        """No guest-context access resolves inside the Xen-private
+        direct map, whatever the frame."""
+        xen = fixed_xen()
+        guest = make_guest(xen)
+        with pytest.raises(GuestFault):
+            xen.addrspace.guest_translate(
+                guest, layout.directmap_va(mfn), Access.READ
+            )
+
+    @given(offset=st.integers(min_value=0, max_value=(1 << 30) - 8))
+    @settings(max_examples=40, deadline=None)
+    def test_ro_mpt_never_writable_by_guests(self, offset):
+        xen = fixed_xen()
+        guest = make_guest(xen)
+        va = layout.RO_MPT_START + (offset & ~7)
+        with pytest.raises(GuestFault):
+            xen.addrspace.guest_translate(guest, va, Access.WRITE)
+
+    @given(pfn=st.integers(min_value=1, max_value=31))
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_map_translation_is_identity_on_pfn(self, pfn):
+        """kva(pfn) always resolves to the frame p2m[pfn]."""
+        xen = fixed_xen()
+        guest = make_guest(xen, pages=32)
+        mfn, word = xen.addrspace.guest_translate(
+            guest, layout.guest_kernel_va(pfn), Access.READ
+        )
+        assert mfn == guest.pfn_to_mfn(pfn)
+        assert word == 0
+
+
+class TestExchangeInvariant:
+    @given(seed=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_fixed_exchange_never_writes_hypervisor_memory(self, seed):
+        """On fixed versions, XENMEM_exchange can never modify a
+        hypervisor-owned frame, whatever value the guest supplies."""
+        from repro.xen.hypercalls import ExchangeArgs
+
+        xen = fixed_xen()
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        page = kernel.alloc_page()
+        target_word = 333
+        before = xen.machine.read_word(xen.xen_pud_mfn, target_word)
+        rc = kernel.memory_exchange(
+            ExchangeArgs(
+                in_pfns=[page],
+                out_extent_start=layout.directmap_va(xen.xen_pud_mfn, target_word),
+                out_values=[seed],
+            )
+        )
+        assert rc < 0
+        assert xen.machine.read_word(xen.xen_pud_mfn, target_word) == before

@@ -1,0 +1,149 @@
+"""Property-based tests over the driver, store and scheduler subsystems."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.drivers.ring import (
+    RING_SIZE,
+    RingRequest,
+    RingResponse,
+    SharedRing,
+)
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.versions import XEN_4_8
+from repro.xen.xenstore import XenStore, XenStoreError
+from tests.conftest import make_guest
+
+_WORD = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+class TestRingProperties:
+    @given(
+        requests=st.lists(
+            st.tuples(_WORD, st.integers(0, 3), _WORD, st.integers(0, 7)),
+            min_size=1,
+            max_size=RING_SIZE,
+        )
+    )
+    @settings(max_examples=40)
+    def test_requests_roundtrip_in_order(self, requests):
+        machine = Machine(4)
+        ring = SharedRing(machine, machine.alloc_frame())
+        pushed = [
+            RingRequest(req_id=a, op=b, sector=c, gref=d)
+            for a, b, c, d in requests
+        ]
+        for request in pushed:
+            ring.push_request(request)
+        popped, cons, clamped = ring.pop_requests(0)
+        assert popped == pushed
+        assert cons == len(pushed)
+        assert not clamped
+
+    @given(
+        batches=st.lists(
+            st.integers(min_value=1, max_value=RING_SIZE // 2), max_size=6
+        )
+    )
+    @settings(max_examples=30)
+    def test_incremental_consumption(self, batches):
+        """Producing and consuming in arbitrary batches never loses or
+        reorders requests (as long as in-flight stays within the ring)."""
+        machine = Machine(4)
+        ring = SharedRing(machine, machine.alloc_frame())
+        produced = consumed = 0
+        for batch in batches:
+            for _ in range(batch):
+                ring.push_request(
+                    RingRequest(req_id=produced, op=0, sector=0, gref=0)
+                )
+                produced += 1
+            popped, consumed, clamped = ring.pop_requests(consumed)
+            assert not clamped
+            assert [r.req_id for r in popped] == list(
+                range(consumed - len(popped), consumed)
+            )
+        assert consumed == produced
+
+    @given(prod=st.integers(min_value=0, max_value=1 << 40))
+    @settings(max_examples=40)
+    def test_pop_never_exceeds_ring_size(self, prod):
+        machine = Machine(4)
+        ring = SharedRing(machine, machine.alloc_frame())
+        ring.req_prod = prod
+        popped, cons, clamped = ring.pop_requests(0)
+        assert len(popped) <= RING_SIZE
+        assert clamped == (prod > RING_SIZE)
+
+
+_SEGMENT = st.text(
+    alphabet="abcdefghij0123456789", min_size=1, max_size=6
+)
+
+
+class TestXenStoreProperties:
+    @given(segments=st.lists(_SEGMENT, min_size=1, max_size=4))
+    @settings(max_examples=40)
+    def test_unprivileged_never_escapes_its_prefix(self, segments):
+        """Whatever path a guest constructs, a write either lands under
+        its own prefix or is refused."""
+        xen = Xen(XEN_4_8, Machine(128))
+        guest = make_guest(xen, pages=16)
+        path = "/" + "/".join(segments)
+        store = xen.xenstore
+        try:
+            store.write(guest, path, "v")
+        except XenStoreError:
+            return
+        assert path.startswith(f"/local/domain/{guest.id}")
+
+    @given(
+        writes=st.lists(
+            st.tuples(st.lists(_SEGMENT, min_size=1, max_size=3), _SEGMENT),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=30)
+    def test_last_write_wins(self, writes):
+        xen = Xen(XEN_4_8, Machine(128))
+        dom0 = make_guest(xen, "dom0", pages=16, privileged=True)
+        store = xen.xenstore
+        expected = {}
+        for segments, value in writes:
+            path = "/" + "/".join(segments)
+            store.write(dom0, path, value)
+            expected[path] = value
+        for path, value in expected.items():
+            assert store.read(path) == value
+
+
+class TestSchedulerProperties:
+    @given(
+        n_domains=st.integers(min_value=1, max_value=4),
+        ticks=st.integers(min_value=10, max_value=80),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fairness_bound(self, n_domains, ticks):
+        """No runnable domain is starved: every domain's share is
+        within one scheduling round of every other's."""
+        xen = Xen(XEN_4_8, Machine(512))
+        domains = [
+            make_guest(xen, f"g{i}", pages=16) for i in range(n_domains)
+        ]
+        xen.scheduler.tick(ticks)
+        runs = [xen.scheduler.account(d.id).runs for d in domains]
+        assert all(r > 0 for r in runs)
+        assert max(runs) - min(runs) <= xen.num_pcpus * 2
+
+    @given(spin_cpu=st.integers(min_value=0, max_value=1))
+    @settings(max_examples=10, deadline=None)
+    def test_starvation_monotone(self, spin_cpu):
+        xen = Xen(XEN_4_8, Machine(256))
+        make_guest(xen, pages=16)
+        xen.scheduler.pcpus[spin_cpu].spinning = True
+        xen.scheduler.tick(7)
+        assert xen.scheduler.pcpus[spin_cpu].starved_ticks == 7
+        other = xen.scheduler.pcpus[1 - spin_cpu]
+        assert other.starved_ticks == 0

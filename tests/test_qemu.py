@@ -1,0 +1,105 @@
+"""Unit tests for the QEMU/FDC substrate (VENOM)."""
+
+import pytest
+
+from repro.qemu.fdc import (
+    FD_CMD_DRIVE_SPECIFICATION_COMMAND,
+    FD_CMD_READ_ID,
+    FD_CMD_VERSION,
+    FD_CMD_WRITE,
+    FDC_FIFO_SIZE,
+)
+from repro.qemu.machine import (
+    DISPATCH_PTR_OFFSET,
+    FIFO_BASE,
+    LEGIT_DISPATCH,
+    QEMU_FIXED,
+    QEMU_VULNERABLE,
+    QemuInjector,
+    QemuProcess,
+)
+
+
+class TestProcess:
+    def test_dispatch_pointer_starts_legit(self):
+        process = QemuProcess(QEMU_FIXED)
+        assert process.dispatch_pointer == LEGIT_DISPATCH
+        assert not process.dispatch_corrupted
+
+    def test_io_request_served_when_intact(self):
+        process = QemuProcess(QEMU_FIXED)
+        assert process.handle_io_request() == "served"
+        assert not process.escaped
+
+    def test_heap_overrun_crashes(self):
+        process = QemuProcess(QEMU_FIXED)
+        process.heap_write(len(process.heap) - 1, b"\x00\x00")
+        assert process.crashed
+        assert process.handle_io_request() is None
+
+
+class TestFdcBehaviour:
+    def test_normal_command_stays_in_fifo(self):
+        process = QemuProcess(QEMU_VULNERABLE)
+        process.fdc.write_command(FD_CMD_WRITE)
+        process.fdc.write_block(bytes(range(64)))
+        assert process.heap[FIFO_BASE] == 0
+        assert not process.dispatch_corrupted
+
+    def test_fixed_version_wraps_index(self):
+        process = QemuProcess(QEMU_FIXED)
+        process.fdc.write_command(FD_CMD_READ_ID)
+        process.fdc.write_block(bytes(FDC_FIFO_SIZE + 10))
+        assert not process.dispatch_corrupted
+        assert not process.crashed
+
+    @pytest.mark.parametrize(
+        "command", [FD_CMD_READ_ID, FD_CMD_DRIVE_SPECIFICATION_COMMAND]
+    )
+    def test_defective_commands_overflow_on_vulnerable(self, command):
+        process = QemuProcess(QEMU_VULNERABLE)
+        process.fdc.write_command(command)
+        process.fdc.write_block(bytes(FDC_FIFO_SIZE) + b"AB")
+        assert process.dispatch_corrupted
+        assert process.fdc.overflowed
+
+    def test_safe_command_does_not_overflow_even_vulnerable(self):
+        process = QemuProcess(QEMU_VULNERABLE)
+        process.fdc.write_command(FD_CMD_VERSION)
+        process.fdc.write_block(bytes(FDC_FIFO_SIZE + 10))
+        assert not process.dispatch_corrupted
+
+    def test_command_resets_index(self):
+        process = QemuProcess(QEMU_VULNERABLE)
+        process.fdc.write_command(FD_CMD_READ_ID)
+        process.fdc.write_block(bytes(100))
+        process.fdc.write_command(FD_CMD_READ_ID)
+        assert process.fdc.fifo_index == 0
+
+    def test_overflow_leads_to_escape(self):
+        process = QemuProcess(QEMU_VULNERABLE)
+        process.fdc.write_command(FD_CMD_DRIVE_SPECIFICATION_COMMAND)
+        process.fdc.write_block(bytes(FDC_FIFO_SIZE) + b"\x41\x41")
+        assert process.handle_io_request() == "escape"
+        assert process.escaped
+
+
+class TestInjector:
+    def test_injection_corrupts_dispatch(self):
+        process = QemuProcess(QEMU_FIXED)
+        QemuInjector(process).inject_fifo_overflow(b"\x41\x41")
+        assert process.dispatch_corrupted
+
+    def test_injection_works_on_both_versions(self):
+        for version in (QEMU_FIXED, QEMU_VULNERABLE):
+            process = QemuProcess(version)
+            QemuInjector(process).inject_fifo_overflow(b"\x42\x42")
+            assert process.handle_io_request() == "escape"
+
+    def test_injection_logged(self):
+        process = QemuProcess(QEMU_FIXED)
+        QemuInjector(process).inject_fifo_overflow(b"\x41")
+        assert any("injector" in line for line in process.log)
+
+    def test_dispatch_offset_adjacent_to_fifo(self):
+        assert DISPATCH_PTR_OFFSET == FIFO_BASE + FDC_FIFO_SIZE

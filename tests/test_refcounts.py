@@ -1,0 +1,174 @@
+"""Tests for the page-table typed-reference discipline.
+
+Every present intermediate entry holds one typed reference on its
+child table; these tests verify the references move correctly through
+validation, entry updates, unpinning — and that they actually protect
+page tables from being freed out from under their parents.
+"""
+
+import pytest
+
+from repro.errors import HypercallError
+from repro.xen import constants as C
+from repro.xen.frames import PageType
+from repro.xen.paging import make_pte
+from tests.conftest import make_guest
+
+_INTERMEDIATE = C.PTE_PRESENT | C.PTE_RW
+
+
+def _fresh_table_chain(xen, guest):
+    """Allocate an (unpinned) L2 -> L1 chain built by the guest."""
+    kernel = guest.kernel
+    l2_pfn = kernel.alloc_page()
+    l1_pfn = kernel.alloc_page()
+    l2_mfn = guest.pfn_to_mfn(l2_pfn)
+    l1_mfn = guest.pfn_to_mfn(l1_pfn)
+    xen.machine.write_word(l2_mfn, 0, make_pte(l1_mfn, _INTERMEDIATE))
+    return l2_mfn, l1_mfn
+
+
+class TestBootHierarchyRefs:
+    def test_children_hold_one_ref_each(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l3_mfn = guest.pfn_to_mfn(kernel.l3_pfn)
+        l2_mfn = guest.pfn_to_mfn(kernel.l2_pfn)
+        l1_mfn = guest.pfn_to_mfn(kernel.l1_pfns[0])
+        # Each referenced once by its parent's entry.
+        assert xen.frames.info(l3_mfn).type_count == 1
+        assert xen.frames.info(l2_mfn).type_count == 1
+        assert xen.frames.info(l1_mfn).type_count == 1
+
+    def test_root_holds_pin_and_cr3_refs(self, xen):
+        guest = make_guest(xen)
+        l4_mfn = guest.pfn_to_mfn(guest.kernel.l4_pfn)
+        info = xen.frames.info(l4_mfn)
+        assert info.pinned
+        # One reference from the pin, one from being loaded as CR3.
+        assert info.type_count == 2
+
+
+class TestPinTakesAndReleasesRefs:
+    def test_pin_chain_takes_child_ref(self, xen):
+        guest = make_guest(xen)
+        l2_mfn, l1_mfn = _fresh_table_chain(xen, guest)
+        assert guest.kernel.pin_table(l2_mfn, level=2) == 0
+        assert xen.frames.info(l1_mfn).type is PageType.L1
+        assert xen.frames.info(l1_mfn).type_count == 1
+
+    def test_unpin_releases_children_recursively(self, xen):
+        guest = make_guest(xen)
+        l2_mfn, l1_mfn = _fresh_table_chain(xen, guest)
+        guest.kernel.pin_table(l2_mfn, level=2)
+        from repro.xen.hypercalls import MmuExtOp
+
+        rc = xen.hypercall(
+            guest,
+            C.HYPERCALL_MMUEXT_OP,
+            [MmuExtOp(cmd=C.MMUEXT_UNPIN_TABLE, mfn=l2_mfn)],
+        )
+        assert rc == 0
+        assert xen.frames.info(l2_mfn).type is PageType.NONE
+        assert xen.frames.info(l1_mfn).type is PageType.NONE
+        assert xen.frames.info(l1_mfn).type_count == 0
+
+    def test_failed_pin_rolls_back_refs(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l2_mfn, l1_mfn = _fresh_table_chain(xen, guest)
+        # A second entry referencing a bad frame makes validation fail
+        # *after* the first entry's ref was taken.
+        xen.machine.write_word(
+            l2_mfn, 1, make_pte(xen.machine.num_frames + 3, C.PTE_PRESENT)
+        )
+        assert kernel.pin_table(l2_mfn, level=2) < 0
+        assert xen.frames.info(l1_mfn).type_count == 0
+        assert xen.frames.info(l1_mfn).type is PageType.NONE
+
+
+class TestEntryUpdateRefs:
+    def test_overwriting_entry_moves_the_ref(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l2_mfn, l1_a = _fresh_table_chain(xen, guest)
+        kernel.pin_table(l2_mfn, level=2)
+        l1_b_pfn = kernel.alloc_page()
+        l1_b = guest.pfn_to_mfn(l1_b_pfn)
+        rc = kernel.update_pt_entry(l2_mfn, 0, make_pte(l1_b, _INTERMEDIATE))
+        assert rc == 0
+        assert xen.frames.info(l1_b).type_count == 1
+        assert xen.frames.info(l1_a).type_count == 0
+        assert xen.frames.info(l1_a).type is PageType.NONE
+
+    def test_clearing_entry_drops_the_ref(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l2_mfn, l1_mfn = _fresh_table_chain(xen, guest)
+        kernel.pin_table(l2_mfn, level=2)
+        assert kernel.update_pt_entry(l2_mfn, 0, 0) == 0
+        assert xen.frames.info(l1_mfn).type_count == 0
+
+    def test_rejected_update_keeps_old_ref(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l2_mfn, l1_mfn = _fresh_table_chain(xen, guest)
+        kernel.pin_table(l2_mfn, level=2)
+        bad = make_pte(xen.machine.num_frames + 1, C.PTE_PRESENT)
+        assert kernel.update_pt_entry(l2_mfn, 0, bad) < 0
+        assert xen.frames.info(l1_mfn).type_count == 1
+
+    def test_shared_child_keeps_refs_from_both_parents(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l2_mfn, l1_mfn = _fresh_table_chain(xen, guest)
+        kernel.pin_table(l2_mfn, level=2)
+        # Second entry in the same table referencing the same L1.
+        rc = kernel.update_pt_entry(l2_mfn, 1, make_pte(l1_mfn, _INTERMEDIATE))
+        assert rc == 0
+        assert xen.frames.info(l1_mfn).type_count == 2
+        kernel.update_pt_entry(l2_mfn, 0, 0)
+        assert xen.frames.info(l1_mfn).type_count == 1
+        assert xen.frames.info(l1_mfn).type is PageType.L1
+
+
+class TestRefsProtectTables:
+    def test_cannot_free_referenced_pagetable(self, xen):
+        """decrease_reservation on a live page-table page must fail:
+        the parent entry's reference pins it."""
+        guest = make_guest(xen)
+        rc = guest.kernel.decrease_reservation([guest.kernel.l1_pfns[0]])
+        assert rc < 0
+        assert xen.frames.info(
+            guest.pfn_to_mfn(guest.kernel.l1_pfns[0])
+        ).type is PageType.L1
+
+    def test_cannot_retype_referenced_pagetable(self, xen):
+        guest = make_guest(xen)
+        l1_mfn = guest.pfn_to_mfn(guest.kernel.l1_pfns[0])
+        with pytest.raises(HypercallError):
+            xen.frames.get_page_type(l1_mfn, PageType.WRITABLE)
+
+    def test_fastpath_update_moves_no_refs(self):
+        """The XSA-182 fast path (and the safe flag-change path) skip
+        validation, so reference counts stay untouched."""
+        from repro.xen.hypervisor import Xen
+        from repro.xen.machine import Machine
+        from repro.xen.versions import XEN_4_6
+
+        xen = Xen(XEN_4_6, Machine(256))
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l4_mfn = guest.current_vcpu.cr3_mfn
+        l3_mfn = guest.pfn_to_mfn(kernel.l3_pfn)
+        before = xen.frames.info(l3_mfn).type_count
+        from repro.xen import layout
+        from repro.xen.paging import l4_index
+
+        slot = l4_index(layout.GUEST_KERNEL_BASE)
+        old = xen.machine.read_word(l4_mfn, slot)
+        # Flag-only change on the kernel-map L4 entry (vulnerable fast
+        # path swallows it without re-validation).
+        rc = kernel.update_pt_entry(l4_mfn, slot, old | C.PTE_USER)
+        assert rc == 0
+        assert xen.frames.info(l3_mfn).type_count == before

@@ -1,0 +1,82 @@
+"""Tests for campaign reporting and serialization."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import (
+    render_markdown_report,
+    result_to_dict,
+    results_to_json,
+    summarize_by_version,
+)
+from repro.core.campaign import Campaign, Mode
+from repro.exploits import USE_CASES, XSA182Test, XSA212Crash
+from repro.xen.versions import XEN_4_8, XEN_4_13
+
+
+@pytest.fixture(scope="module")
+def results():
+    campaign = Campaign()
+    return campaign.run_matrix(
+        [XSA212Crash, XSA182Test], [XEN_4_8, XEN_4_13], [Mode.INJECTION]
+    )
+
+
+class TestSerialization:
+    def test_result_to_dict_fields(self, results):
+        record = result_to_dict(results[0])
+        assert record["use_case"] == "XSA-212-crash"
+        assert record["mode"] == "injection"
+        assert record["erroneous_state"]["achieved"] is True
+        assert isinstance(record["violation"]["occurred"], bool)
+
+    def test_json_roundtrip(self, results):
+        parsed = json.loads(results_to_json(results))
+        assert len(parsed) == len(results)
+        assert parsed[0]["version"] in ("4.8", "4.13")
+
+    def test_log_tails_bounded(self, results):
+        record = result_to_dict(results[0])
+        assert len(record["console_tail"]) <= 6
+        assert len(record["guest_log_tail"]) <= 6
+
+
+class TestSummaries:
+    def test_summary_counts(self, results):
+        summaries = summarize_by_version(results)
+        assert summaries["4.8"].injected == 2
+        assert summaries["4.8"].violated == 2
+        assert summaries["4.8"].handled == 0
+        assert summaries["4.13"].handled == 1  # XSA-182-test shielded
+
+    def test_handling_rate(self, results):
+        summaries = summarize_by_version(results)
+        assert summaries["4.8"].handling_rate == 0.0
+        assert summaries["4.13"].handling_rate == 0.5
+
+    def test_exploit_runs_excluded(self):
+        campaign = Campaign()
+        exploit_only = [campaign.run(XSA182Test, XEN_4_8, Mode.EXPLOIT)]
+        assert summarize_by_version(exploit_only) == {}
+
+    def test_empty_rate_is_zero(self):
+        from repro.analysis.report import VersionSummary
+
+        assert VersionSummary(version="x").handling_rate == 0.0
+
+
+class TestMarkdown:
+    def test_report_structure(self, results):
+        text = render_markdown_report(results, "Test campaign")
+        assert text.startswith("# Test campaign")
+        assert "## Version summary" in text
+        assert "## Runs" in text
+        assert "| XSA-182-test | 4.13 | injection | yes | handled |" in text
+
+    def test_report_row_count(self, results):
+        text = render_markdown_report(results, "t")
+        run_rows = [
+            line for line in text.splitlines() if line.startswith("| XSA-")
+        ]
+        assert len(run_rows) == len(results)

@@ -1,0 +1,63 @@
+"""Reproducibility guarantees: identical inputs → identical results.
+
+Scientific claims rest on re-runnable experiments; these tests pin
+down that the simulator is fully deterministic (no hidden randomness)
+so every table in EXPERIMENTS.md regenerates bit-identically.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign, Mode
+from repro.core.comparison import compare_runs
+from repro.core.testbed import build_testbed
+from repro.exploits import USE_CASES, XSA148Priv
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+
+class TestDeterminism:
+    def test_testbed_layout_is_deterministic(self):
+        a = build_testbed(XEN_4_8)
+        b = build_testbed(XEN_4_8)
+        assert [d.id for d in a.all_domains()] == [d.id for d in b.all_domains()]
+        assert a.dom0.p2m == b.dom0.p2m
+        assert a.xen.idt_mfns == b.xen.idt_mfns
+        assert a.xen.xen_pud_mfn == b.xen.xen_pud_mfn
+
+    @pytest.mark.parametrize("use_case", USE_CASES, ids=lambda u: u.name)
+    def test_runs_repeat_identically(self, use_case):
+        campaign = Campaign()
+        first = campaign.run(use_case, XEN_4_6, Mode.INJECTION)
+        second = campaign.run(use_case, XEN_4_6, Mode.INJECTION)
+        assert first.erroneous_state.fingerprint == second.erroneous_state.fingerprint
+        assert first.erroneous_state.evidence == second.erroneous_state.evidence
+        assert first.violation.kind == second.violation.kind
+        assert first.guest_log == second.guest_log
+
+    def test_table3_repeats_identically(self):
+        campaign = Campaign()
+        first = campaign.table3_runs(USE_CASES, (XEN_4_8, XEN_4_13))
+        second = campaign.table3_runs(USE_CASES, (XEN_4_8, XEN_4_13))
+        for key in first:
+            assert (
+                first[key].erroneous_state.achieved,
+                first[key].violation.occurred,
+            ) == (
+                second[key].erroneous_state.achieved,
+                second[key].violation.occurred,
+            )
+
+    def test_exploit_injection_comparison_stable(self):
+        campaign = Campaign()
+        verdicts = []
+        for _ in range(2):
+            exploit = campaign.run(XSA148Priv, XEN_4_6, Mode.EXPLOIT)
+            injection = campaign.run(XSA148Priv, XEN_4_6, Mode.INJECTION)
+            verdicts.append(compare_runs(exploit, injection).equivalent)
+        assert verdicts == [True, True]
+
+    def test_machine_allocation_is_deterministic(self):
+        from repro.xen.machine import Machine
+
+        a = Machine(64)
+        b = Machine(64)
+        assert a.alloc_frames(10) == b.alloc_frames(10)

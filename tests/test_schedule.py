@@ -1,0 +1,137 @@
+"""Unit tests for the vCPU scheduler and starvation accounting."""
+
+import pytest
+
+from repro.xen.schedule import CREDITS_PER_PERIOD, PERIOD_TICKS
+from tests.conftest import make_guest
+
+
+class TestRegistration:
+    def test_domains_registered_on_create(self, xen):
+        guest = make_guest(xen)
+        account = xen.scheduler.account(guest.id)
+        assert account.domain_id == guest.id
+
+    def test_domains_unregistered_on_destroy(self, xen):
+        guest = make_guest(xen)
+        xen.destroy_domain(guest)
+        with pytest.raises(KeyError):
+            xen.scheduler.account(guest.id)
+
+
+class TestScheduling:
+    def test_tick_runs_vcpus(self, xen):
+        guest = make_guest(xen)
+        xen.scheduler.tick(10)
+        assert xen.scheduler.account(guest.id).runs > 0
+
+    def test_round_robin_fairness(self, xen):
+        a = make_guest(xen, "a")
+        b = make_guest(xen, "b")
+        xen.scheduler.tick(100)
+        fairness = xen.scheduler.fairness()
+        # Two domains, two pCPUs: shares within 10% of each other.
+        assert abs(fairness[a.id] - fairness[b.id]) <= 0.1 * fairness[a.id] + 2
+
+    def test_blocked_vcpu_not_scheduled(self, xen):
+        guest = make_guest(xen)
+        xen.scheduler.block(guest.id)
+        xen.scheduler.tick(10)
+        assert xen.scheduler.account(guest.id).runs == 0
+
+    def test_unblock_resumes(self, xen):
+        guest = make_guest(xen)
+        xen.scheduler.block(guest.id)
+        xen.scheduler.tick(5)
+        xen.scheduler.unblock(guest.id)
+        xen.scheduler.tick(5)
+        assert xen.scheduler.account(guest.id).runs > 0
+
+    def test_paused_domain_not_scheduled(self, xen):
+        guest = make_guest(xen)
+        guest.paused = True
+        xen.scheduler.tick(10)
+        assert xen.scheduler.account(guest.id).runs == 0
+
+    def test_dead_domain_not_scheduled(self, xen):
+        guest = make_guest(xen)
+        other = make_guest(xen, "other")
+        xen.destroy_domain(guest)
+        xen.scheduler.tick(10)
+        assert xen.scheduler.account(other.id).runs > 0
+
+    def test_credits_refill_each_period(self, xen):
+        guest = make_guest(xen)
+        xen.scheduler.tick(PERIOD_TICKS * 3)
+        account = xen.scheduler.account(guest.id)
+        assert 0 <= account.credits <= CREDITS_PER_PERIOD
+
+    def test_trace_records_schedule(self, xen):
+        guest = make_guest(xen)
+        xen.scheduler.tick(3)
+        assert xen.scheduler.trace
+        assert all(entry[1] == guest.id for entry in xen.scheduler.trace)
+
+
+class TestMultiVcpu:
+    def test_create_domain_with_vcpus(self, xen):
+        domain = xen.create_domain("smp", num_pages=8, num_vcpus=3)
+        assert len(domain.vcpus) == 3
+        assert [v.vcpu_id for v in domain.vcpus] == [0, 1, 2]
+
+    def test_all_vcpus_registered(self, xen):
+        domain = xen.create_domain("smp", num_pages=8, num_vcpus=2)
+        assert xen.scheduler.account(domain.id, 0) is not None
+        assert xen.scheduler.account(domain.id, 1) is not None
+
+    def test_vcpus_share_time(self, xen):
+        domain = xen.create_domain("smp", num_pages=8, num_vcpus=2)
+        xen.scheduler.tick(40)
+        runs = [
+            xen.scheduler.account(domain.id, v).runs for v in (0, 1)
+        ]
+        assert all(r > 0 for r in runs)
+        assert abs(runs[0] - runs[1]) <= 4
+
+    def test_blocking_one_vcpu_leaves_the_other(self, xen):
+        domain = xen.create_domain("smp", num_pages=8, num_vcpus=2)
+        xen.scheduler.block(domain.id, 0)
+        xen.scheduler.tick(10)
+        assert xen.scheduler.account(domain.id, 0).runs == 0
+        assert xen.scheduler.account(domain.id, 1).runs > 0
+
+    def test_vcpu_lookup_bounds(self, xen):
+        domain = xen.create_domain("smp", num_pages=8, num_vcpus=2)
+        from repro.errors import HypercallError
+
+        with pytest.raises(HypercallError):
+            domain.vcpu(2)
+
+
+class TestStarvation:
+    def test_healthy_system_not_hung(self, xen):
+        make_guest(xen)
+        xen.scheduler.tick(20)
+        assert not xen.scheduler.is_hung()
+        assert not xen.scheduler.hung_pcpus
+
+    def test_spinning_pcpu_starves(self, xen):
+        make_guest(xen)
+        xen.scheduler.pcpus[0].spinning = True
+        xen.scheduler.tick(10)
+        assert xen.scheduler.pcpus[0].starved_ticks == 10
+        assert xen.scheduler.is_hung()
+
+    def test_other_pcpus_keep_running(self, xen):
+        guest = make_guest(xen)
+        xen.scheduler.pcpus[0].spinning = True
+        xen.scheduler.tick(10)
+        assert xen.scheduler.account(guest.id).runs > 0  # cpu1 still works
+
+    def test_threshold_respected(self, xen):
+        make_guest(xen)
+        xen.scheduler.pcpus[0].spinning = True
+        xen.scheduler.tick(3)
+        assert not xen.scheduler.is_hung(starvation_threshold=5)
+        xen.scheduler.tick(3)
+        assert xen.scheduler.is_hung(starvation_threshold=5)

@@ -1,0 +1,123 @@
+"""Tests for machine snapshots and the differential analysis."""
+
+import pytest
+
+from repro.core.differential import StateDelta, classify_frame, compare_deltas
+from repro.core.testbed import build_testbed
+from repro.errors import HypervisorCrash
+from repro.exploits import USE_CASES, XSA182Test, XSA212Crash
+from repro.exploits.base import ExploitFailed
+from repro.guest.kernel import KernelOops
+from repro.xen.machine import Machine
+from repro.xen.snapshot import MachineSnapshot, WordChange
+from repro.xen.versions import XEN_4_6, XEN_4_8
+
+
+class TestSnapshot:
+    def test_no_changes_on_idle(self, machine):
+        machine.write_word(3, 4, 5)
+        snapshot = MachineSnapshot.capture(machine)
+        assert snapshot.diff(machine) == []
+
+    def test_single_change_detected(self, machine):
+        snapshot = MachineSnapshot.capture(machine)
+        machine.write_word(7, 8, 9)
+        changes = snapshot.diff(machine)
+        assert changes == [WordChange(mfn=7, word=8, old=0, new=9)]
+
+    def test_revert_is_invisible(self, machine):
+        machine.write_word(1, 1, 42)
+        snapshot = MachineSnapshot.capture(machine)
+        machine.write_word(1, 1, 0)
+        machine.write_word(1, 1, 42)
+        assert snapshot.diff(machine) == []
+
+    def test_snapshot_is_immutable_copy(self, machine):
+        machine.write_word(2, 2, 10)
+        snapshot = MachineSnapshot.capture(machine)
+        machine.write_word(2, 2, 20)
+        assert snapshot.word(2, 2) == 10
+
+    def test_changed_frames(self, machine):
+        snapshot = MachineSnapshot.capture(machine)
+        machine.write_word(4, 0, 1)
+        machine.write_word(9, 0, 1)
+        assert snapshot.changed_frames(machine) == {4, 9}
+
+    def test_new_frame_materialisation(self, machine):
+        snapshot = MachineSnapshot.capture(machine)
+        machine.write_word(200, 5, 6)  # frame never touched before
+        changes = snapshot.diff(machine)
+        assert WordChange(mfn=200, word=5, old=0, new=6) in changes
+
+    def test_changes_ordered(self, machine):
+        snapshot = MachineSnapshot.capture(machine)
+        machine.write_word(9, 0, 1)
+        machine.write_word(4, 0, 1)
+        changes = snapshot.diff(machine)
+        assert [c.mfn for c in changes] == [4, 9]
+
+
+class TestClassification:
+    def test_roles(self, bed48):
+        xen = bed48.xen
+        assert classify_frame(bed48, xen.idt_mfns[0]) == "idt"
+        assert classify_frame(bed48, xen.xen_pud_mfn) == "shared-pud"
+        assert classify_frame(bed48, xen.m2p_frames[0]) == "m2p"
+        assert classify_frame(bed48, xen.xen_code_mfn) == "xen-code"
+        l4 = bed48.attacker_domain.current_vcpu.cr3_mfn
+        assert classify_frame(bed48, l4) == "pagetable-l4"
+        assert classify_frame(bed48, bed48.attacker_domain.pfn_to_mfn(4)) == "domain-data"
+        assert classify_frame(bed48, bed48.dom0.pfn_to_mfn(4)) == "dom0-data"
+
+    def test_free_frame(self, bed48):
+        free_mfn = bed48.xen.machine.num_frames - 1
+        assert classify_frame(bed48, free_mfn) == "free"
+
+
+def _delta(use_case_cls, mode: str, version) -> StateDelta:
+    bed = build_testbed(version)
+    snapshot = MachineSnapshot.capture(bed.xen.machine)
+    use_case = use_case_cls()
+    use_case.prepare(bed)
+    try:
+        if mode == "exploit":
+            use_case.run_exploit(bed)
+        else:
+            use_case.run_injection(bed)
+    except (HypervisorCrash, KernelOops, ExploitFailed):
+        pass
+    return StateDelta.capture(bed, snapshot)
+
+
+class TestDifferential:
+    def test_xsa182_footprints_identical(self):
+        exploit = _delta(XSA182Test, "exploit", XEN_4_6)
+        injection = _delta(XSA182Test, "injection", XEN_4_6)
+        verdict = compare_deltas(exploit, injection)
+        assert verdict.grade == "equivalent"
+        assert verdict.exploit_signature == {"pagetable-l4": 2}
+
+    def test_xsa212_crash_injection_is_minimal(self):
+        """The exploit's memory_exchange legitimately updates the M2P
+        on the way to its rogue write; the injection touches only the
+        target gate — strictly fewer side effects."""
+        exploit = _delta(XSA212Crash, "exploit", XEN_4_6)
+        injection = _delta(XSA212Crash, "injection", XEN_4_6)
+        verdict = compare_deltas(exploit, injection)
+        assert verdict.grade == "injection-minimal"
+        assert verdict.injection_signature == {"idt": 1}
+        assert verdict.exploit_signature["idt"] == 1
+        assert verdict.exploit_signature["m2p"] > 0
+
+    @pytest.mark.parametrize("use_case", USE_CASES, ids=lambda u: u.name)
+    def test_all_use_cases_at_least_minimal_on_46(self, use_case):
+        exploit = _delta(use_case, "exploit", XEN_4_6)
+        injection = _delta(use_case, "injection", XEN_4_6)
+        verdict = compare_deltas(exploit, injection)
+        assert verdict.grade in ("equivalent", "injection-minimal"), verdict.render()
+
+    def test_render(self):
+        exploit = _delta(XSA182Test, "exploit", XEN_4_6)
+        injection = _delta(XSA182Test, "injection", XEN_4_6)
+        assert "EQUIVALENT" in compare_deltas(exploit, injection).render()

@@ -1,0 +1,96 @@
+"""Unit tests for the Fig. 3 weird-machine abstraction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state_machine import (
+    AbstractIntrusionMachine,
+    ConcreteSystemMachine,
+    Transition,
+    abstract_from_concrete,
+    build_figure3_machines,
+    functionally_equivalent,
+)
+
+
+class TestConcreteMachine:
+    def test_run_follows_transitions(self):
+        concrete, _, _ = build_figure3_machines()
+        assert concrete.run(["instruction-set-a"]) == "state-2"
+
+    def test_run_stuck_returns_none(self):
+        concrete, _, _ = build_figure3_machines()
+        assert concrete.run(["malicious-input"]) is None
+
+    def test_cycle_back_to_initial(self):
+        concrete, _, _ = build_figure3_machines()
+        final = concrete.run(
+            ["instruction-set-a", "instruction-set-b", "instruction-set-c"]
+        )
+        assert final == "state-1"
+
+    def test_vulnerability_activation_reaches_erroneous_state(self):
+        concrete, _, _ = build_figure3_machines()
+        inputs = ["instruction-set-a", "instruction-set-b", "malicious-input"]
+        assert concrete.reaches_erroneous_state(inputs) == "erroneous-state"
+
+    def test_benign_run_reaches_no_erroneous_state(self):
+        concrete, _, _ = build_figure3_machines()
+        assert concrete.reaches_erroneous_state(["instruction-set-a"]) is None
+
+    def test_states_enumeration(self):
+        concrete, _, _ = build_figure3_machines()
+        assert "erroneous-state" in concrete.states
+        assert "state-1" in concrete.states
+
+
+class TestAbstractMachine:
+    def test_defined_functionality(self):
+        abstract = AbstractIntrusionMachine("init")
+        abstract.define_abusive_functionality(["evil"], "bad-state")
+        assert abstract.run(["evil"]) == "bad-state"
+
+    def test_unknown_input_is_none(self):
+        abstract = AbstractIntrusionMachine("init")
+        assert abstract.run(["benign"]) is None
+
+    def test_modelled_inputs_listing(self):
+        abstract = AbstractIntrusionMachine("init")
+        abstract.define_abusive_functionality(["a", "b"], "s")
+        assert abstract.modelled_inputs == [("a", "b")]
+
+
+class TestEquivalence:
+    def test_figure3_machines_equivalent(self):
+        concrete, abstract, inputs = build_figure3_machines()
+        assert functionally_equivalent(concrete, abstract, inputs)
+
+    def test_wrong_abstraction_detected(self):
+        concrete, _, inputs = build_figure3_machines()
+        wrong = AbstractIntrusionMachine(concrete.initial_state)
+        wrong.define_abusive_functionality(["instruction-set-a"], "erroneous-state")
+        assert not functionally_equivalent(concrete, wrong, [["instruction-set-a"]])
+
+    def test_derived_abstraction_is_equivalent(self):
+        concrete, _, inputs = build_figure3_machines()
+        derived = abstract_from_concrete(concrete, inputs)
+        assert functionally_equivalent(concrete, derived, inputs)
+
+    @given(
+        seed=st.lists(
+            st.sampled_from(
+                ["instruction-set-a", "instruction-set-b", "instruction-set-c",
+                 "malicious-input"]
+            ),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60)
+    def test_derivation_always_equivalent(self, seed):
+        """For any observed input set, the derived abstraction agrees
+        with the concrete machine on that set — the modelling step is
+        sound by construction (Fig. 3's equivalence claim)."""
+        concrete, _, _ = build_figure3_machines()
+        sequences = [seed, seed + ["malicious-input"]]
+        derived = abstract_from_concrete(concrete, sequences)
+        assert functionally_equivalent(concrete, derived, sequences)

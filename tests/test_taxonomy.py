@@ -1,0 +1,81 @@
+"""Unit tests for the abusive-functionality taxonomy (Table I shape)."""
+
+from repro.core.taxonomy import (
+    AbusiveFunctionality,
+    FunctionalityClass,
+    TABLE_II_LABELS,
+    table_ii_label,
+)
+
+
+class TestTaxonomyShape:
+    def test_sixteen_functionalities(self):
+        assert len(list(AbusiveFunctionality)) == 16
+
+    def test_four_classes(self):
+        assert len(list(FunctionalityClass)) == 4
+
+    def test_class_row_counts_match_table1(self):
+        grouped = AbusiveFunctionality.by_class()
+        assert len(grouped[FunctionalityClass.MEMORY_ACCESS]) == 5
+        assert len(grouped[FunctionalityClass.MEMORY_MANAGEMENT]) == 7
+        assert len(grouped[FunctionalityClass.EXCEPTIONAL_CONDITIONS]) == 2
+        assert len(grouped[FunctionalityClass.NON_MEMORY]) == 2
+
+    def test_every_functionality_in_exactly_one_class(self):
+        grouped = AbusiveFunctionality.by_class()
+        seen = [f for members in grouped.values() for f in members]
+        assert len(seen) == len(set(seen)) == 16
+
+    def test_labels_are_paper_strings(self):
+        assert (
+            AbusiveFunctionality.GUEST_WRITABLE_PAGE_TABLE_ENTRY.label
+            == "Guest-Writable Page Table Entry"
+        )
+        assert AbusiveFunctionality.KEEP_PAGE_ACCESS.label == "Keep Page Access"
+        assert (
+            AbusiveFunctionality.UNCONTROLLED_ARBITRARY_INTERRUPT_REQUESTS.label
+            == "Uncontrolled Arbitrary Interrupts Requests"
+        )
+
+    def test_class_assignment_examples(self):
+        assert (
+            AbusiveFunctionality.READ_UNAUTHORIZED_MEMORY.functionality_class
+            is FunctionalityClass.MEMORY_ACCESS
+        )
+        assert (
+            AbusiveFunctionality.KEEP_PAGE_ACCESS.functionality_class
+            is FunctionalityClass.MEMORY_MANAGEMENT
+        )
+        assert (
+            AbusiveFunctionality.INDUCE_A_HANG_STATE.functionality_class
+            is FunctionalityClass.NON_MEMORY
+        )
+
+    def test_by_class_preserves_declaration_order(self):
+        memory_access = AbusiveFunctionality.by_class()[FunctionalityClass.MEMORY_ACCESS]
+        assert memory_access[0] is AbusiveFunctionality.READ_UNAUTHORIZED_MEMORY
+        assert memory_access[-1] is AbusiveFunctionality.FAIL_A_MEMORY_ACCESS
+
+
+class TestTableIILabels:
+    def test_arbitrary_write_abbreviation(self):
+        assert (
+            table_ii_label(AbusiveFunctionality.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY)
+            == "Write Arbitrary Memory"
+        )
+
+    def test_pagetable_abbreviation(self):
+        assert (
+            table_ii_label(AbusiveFunctionality.GUEST_WRITABLE_PAGE_TABLE_ENTRY)
+            == "Write Page Table Entries"
+        )
+
+    def test_other_labels_pass_through(self):
+        assert (
+            table_ii_label(AbusiveFunctionality.KEEP_PAGE_ACCESS)
+            == "Keep Page Access"
+        )
+
+    def test_only_two_abbreviations(self):
+        assert len(TABLE_II_LABELS) == 2

@@ -1,0 +1,64 @@
+"""Tests for the §X test-case registry."""
+
+import pytest
+
+from repro.core.testcases import (
+    REGISTRY,
+    list_test_cases,
+    run_suite,
+    run_test_case,
+)
+from repro.xen.versions import XEN_4_8, XEN_4_13
+
+
+class TestRegistryShape:
+    def test_eight_cases(self):
+        assert len(REGISTRY) == 8
+
+    def test_paper_and_extension_split(self):
+        assert len(list_test_cases(origin="paper")) == 4
+        assert len(list_test_cases(origin="extension")) == 4
+
+    def test_every_case_has_model_and_attribute(self):
+        for case in REGISTRY.values():
+            assert case.intrusion_model is not None
+            assert case.attribute in (
+                "confidentiality", "integrity", "availability",
+            )
+            assert case.description
+
+    def test_names_are_stable_slugs(self):
+        for name in REGISTRY:
+            assert name == name.lower()
+            assert " " not in name
+
+
+class TestRunning:
+    def test_run_by_name(self):
+        outcome = run_test_case("xsa-182-test", XEN_4_13)
+        assert outcome.erroneous_state
+        assert not outcome.violation
+        assert outcome.handled
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError) as excinfo:
+            run_test_case("xsa-999", XEN_4_13)
+        assert "known:" in str(excinfo.value)
+
+    def test_outcome_carries_violation_kind(self):
+        outcome = run_test_case("xsa-212-crash", XEN_4_8)
+        assert outcome.violation
+        assert outcome.violation_kind == "hypervisor crash"
+
+    def test_suite_matches_security_benchmark(self):
+        """The registry suite on 4.13 reproduces the benchmark's score:
+        2/8 handled, both integrity cases."""
+        outcomes = run_suite(XEN_4_13)
+        assert len(outcomes) == 8
+        handled = {o.name for o in outcomes if o.handled}
+        assert handled == {"xsa-212-priv", "xsa-182-test"}
+
+    def test_suite_on_48_handles_nothing(self):
+        outcomes = run_suite(XEN_4_8)
+        assert all(o.erroneous_state for o in outcomes)
+        assert all(o.violation for o in outcomes)

@@ -1,0 +1,93 @@
+"""Behavioural tests for the XSA-148-priv use case."""
+
+import pytest
+
+from repro.core.campaign import Campaign, Mode
+from repro.exploits import XSA148Priv
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign()
+
+
+class TestOnVulnerable:
+    def test_exploit_opens_root_reverse_shell(self, campaign):
+        result = campaign.run(XSA148Priv, XEN_4_6, Mode.EXPLOIT)
+        assert result.erroneous_state.achieved
+        assert result.violation.kind == "remote privilege escalation"
+
+    def test_shell_transcript_matches_paper(self, campaign):
+        """§VI-C.3: whoami -> root, hostname -> xen3, and the
+        confidential /root/root_msg readable."""
+        result = campaign.run(XSA148Priv, XEN_4_6, Mode.EXPLOIT)
+        evidence = "\n".join(result.violation.evidence)
+        assert "root" in evidence
+        assert "xen3" in evidence
+        assert "Confidential content in root folder!" in evidence
+
+    def test_exploit_log_lines(self, campaign):
+        result = campaign.run(XSA148Priv, XEN_4_6, Mode.EXPLOIT)
+        log = "\n".join(result.guest_log)
+        assert "xen_exploit: xen version = 4.6" in log
+        assert "startup_dump ok" in log
+        assert "start_info page:" in log
+        assert "dom0!" in log
+        assert "dom0 vdso :" in log
+
+    def test_exploit_finds_dom0_not_self(self, campaign):
+        """The fingerprint scan must locate dom0's start_info, not the
+        attacker's own (both carry the magic)."""
+        result = campaign.run(XSA148Priv, XEN_4_6, Mode.EXPLOIT)
+        connection_line = result.violation.evidence[0]
+        assert "connection from xen3" in connection_line  # dom0's hostname
+
+    def test_injection_equivalent_on_46(self, campaign):
+        exploit = campaign.run(XSA148Priv, XEN_4_6, Mode.EXPLOIT)
+        injection = campaign.run(XSA148Priv, XEN_4_6, Mode.INJECTION)
+        assert exploit.erroneous_state.matches(injection.erroneous_state)
+        assert exploit.violation.matches(injection.violation)
+
+
+class TestOnFixed:
+    @pytest.mark.parametrize("version", [XEN_4_8, XEN_4_13], ids=["4.8", "4.13"])
+    def test_exploit_dies_with_kernel_exception(self, campaign, version):
+        """§VII: "the code fails with a kernel exception being unable
+        to handle a page request"."""
+        result = campaign.run(XSA148Priv, version, Mode.EXPLOIT)
+        assert not result.erroneous_state.achieved
+        assert not result.violation.occurred
+        assert "kernel exception" in result.failure
+        assert any(
+            "unable to handle page request" in line for line in result.guest_log
+        )
+
+    @pytest.mark.parametrize("version", [XEN_4_8, XEN_4_13], ids=["4.8", "4.13"])
+    def test_injection_succeeds_on_both_fixed_versions(self, campaign, version):
+        """Table III: XSA-148-priv err ✓ viol ✓ on 4.8 AND 4.13 —
+        the hardening does not stop this strategy (§VIII-3)."""
+        result = campaign.run(XSA148Priv, version, Mode.INJECTION)
+        assert result.erroneous_state.achieved
+        assert result.violation.kind == "remote privilege escalation"
+
+
+class TestErroneousState:
+    def test_fingerprint_is_writable_pse(self, campaign):
+        result = campaign.run(XSA148Priv, XEN_4_6, Mode.INJECTION)
+        assert result.erroneous_state.fingerprint == {
+            "l2_index": 1,
+            "entry_flags": "P|RW|PSE",
+        }
+
+    def test_fingerprint_identical_on_413(self, campaign):
+        result46 = campaign.run(XSA148Priv, XEN_4_6, Mode.INJECTION)
+        result413 = campaign.run(XSA148Priv, XEN_4_13, Mode.INJECTION)
+        assert (
+            result46.erroneous_state.fingerprint
+            == result413.erroneous_state.fingerprint
+        )
+
+    def test_audit_evidence_names_the_l2_entry(self, campaign):
+        result = campaign.run(XSA148Priv, XEN_4_6, Mode.INJECTION)
+        assert any("L2" in line for line in result.erroneous_state.evidence)

@@ -1,0 +1,96 @@
+"""Behavioural tests for the XSA-182-test use case."""
+
+import pytest
+
+from repro.core.campaign import Campaign, Mode
+from repro.exploits import XSA182Test
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign()
+
+
+class TestOnVulnerable:
+    def test_exploit_succeeds_on_46(self, campaign):
+        result = campaign.run(XSA182Test, XEN_4_6, Mode.EXPLOIT)
+        assert result.erroneous_state.achieved
+        assert result.violation.occurred
+
+    def test_page_directory_line_printed(self, campaign):
+        """§VI-C.4: the PoC prints page_directory[42] = 0x...82da9007."""
+        result = campaign.run(XSA182Test, XEN_4_6, Mode.EXPLOIT)
+        assert any(
+            "page_directory[42] = 0x0000000082da9007" in line
+            for line in result.guest_log
+        )
+
+    def test_injection_equivalent_on_46(self, campaign):
+        exploit = campaign.run(XSA182Test, XEN_4_6, Mode.EXPLOIT)
+        injection = campaign.run(XSA182Test, XEN_4_6, Mode.INJECTION)
+        assert exploit.erroneous_state.matches(injection.erroneous_state)
+        assert exploit.violation.matches(injection.violation)
+
+
+class TestOnFixed:
+    @pytest.mark.parametrize("version", [XEN_4_8, XEN_4_13], ids=["4.8", "4.13"])
+    def test_exploit_reports_not_vulnerable(self, campaign, version):
+        """§VII: "the output shows a not vulnerable output"."""
+        result = campaign.run(XSA182Test, version, Mode.EXPLOIT)
+        assert not result.erroneous_state.achieved
+        assert not result.violation.occurred
+        assert any("not vulnerable" in line for line in result.guest_log)
+
+    def test_injection_violates_on_48(self, campaign):
+        """Table III: 4.8 err ✓ viol ✓."""
+        result = campaign.run(XSA182Test, XEN_4_8, Mode.INJECTION)
+        assert result.erroneous_state.achieved
+        assert result.violation.kind == "guest-writable page table (user-space write)"
+
+    def test_injection_handled_on_413(self, campaign):
+        """Table III: 4.13 err ✓ viol shield (§VIII-4: the self-map VA
+        is no longer a valid guest reference)."""
+        result = campaign.run(XSA182Test, XEN_4_13, Mode.INJECTION)
+        assert result.erroneous_state.achieved
+        assert not result.violation.occurred
+        assert "kernel exception" in result.failure
+        assert "linear page-table" in result.failure
+
+    def test_injection_rw_message_on_fixed_versions(self, campaign):
+        """§VII-4: "the RW flag was added to the content of the L4
+        page in both non-vulnerable versions"."""
+        for version in (XEN_4_8, XEN_4_13):
+            result = campaign.run(XSA182Test, version, Mode.INJECTION)
+            assert any(
+                "RW flag added to the content of the L4 page" in line
+                for line in result.guest_log
+            ), version.name
+
+
+class TestErroneousState:
+    def test_fingerprint(self, campaign):
+        result = campaign.run(XSA182Test, XEN_4_6, Mode.INJECTION)
+        assert result.erroneous_state.fingerprint == {
+            "slot": 5,
+            "entry_flags": "P|RW|US",
+            "self_mapping": True,
+        }
+
+    def test_erroneous_state_survives_handled_violation(self, campaign):
+        """On 4.13 the state is present even though no violation
+        follows — exactly the separation the paper's concept needs."""
+        result = campaign.run(XSA182Test, XEN_4_13, Mode.INJECTION)
+        assert result.erroneous_state.achieved
+        assert result.erroneous_state.fingerprint["self_mapping"] is True
+
+    def test_ro_self_map_alone_is_not_the_erroneous_state(self, campaign):
+        """After only step 1 (legal RO self-map), the audit must say
+        'not achieved' — the erroneous state requires the RW bit."""
+        from repro.core.testbed import build_testbed
+
+        bed = build_testbed(XEN_4_8)
+        use_case = XSA182Test()
+        use_case._install_ro_self_map(bed)
+        report = use_case.audit_erroneous_state(bed)
+        assert not report.achieved

@@ -1,0 +1,124 @@
+"""Behavioural tests for the two XSA-212 use cases (paper §VI-§VIII)."""
+
+import pytest
+
+from repro.core.campaign import Campaign, Mode
+from repro.exploits import XSA212Crash, XSA212Priv
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign()
+
+
+class TestCrashOnVulnerable:
+    def test_exploit_crashes_46(self, campaign):
+        result = campaign.run(XSA212Crash, XEN_4_6, Mode.EXPLOIT)
+        assert result.crashed
+        assert result.erroneous_state.achieved
+        assert result.violation.kind == "hypervisor crash"
+        assert any("DOUBLE FAULT" in line for line in result.console)
+
+    def test_injection_crashes_46(self, campaign):
+        result = campaign.run(XSA212Crash, XEN_4_6, Mode.INJECTION)
+        assert result.crashed
+        assert result.erroneous_state.achieved
+        assert result.violation.occurred
+
+    def test_crash_banner_matches_paper(self, campaign):
+        result = campaign.run(XSA212Crash, XEN_4_6, Mode.EXPLOIT)
+        assert any("Panic on CPU 0" in line for line in result.console)
+        assert any("system shutdown" in line for line in result.console)
+
+
+class TestCrashOnFixed:
+    @pytest.mark.parametrize("version", [XEN_4_8, XEN_4_13], ids=["4.8", "4.13"])
+    def test_exploit_fails_with_efault(self, campaign, version):
+        result = campaign.run(XSA212Crash, version, Mode.EXPLOIT)
+        assert not result.crashed
+        assert not result.erroneous_state.achieved
+        assert not result.violation.occurred
+        assert "EFAULT" in result.failure
+
+    @pytest.mark.parametrize("version", [XEN_4_8, XEN_4_13], ids=["4.8", "4.13"])
+    def test_injection_still_crashes(self, campaign, version):
+        """Table III row 1: err-state and violation on both versions."""
+        result = campaign.run(XSA212Crash, version, Mode.INJECTION)
+        assert result.erroneous_state.achieved
+        assert result.violation.kind == "hypervisor crash"
+
+
+class TestPrivOnVulnerable:
+    def test_exploit_roots_every_domain(self, campaign):
+        result = campaign.run(XSA212Priv, XEN_4_6, Mode.EXPLOIT)
+        assert result.erroneous_state.achieved
+        assert result.violation.kind == "privilege escalation (all domains)"
+        assert len(result.violation.evidence) == 3  # dom0 + two guests
+        assert all("uid=0(root)" in line for line in result.violation.evidence)
+
+    def test_exploit_prints_paper_log_lines(self, campaign):
+        result = campaign.run(XSA212Priv, XEN_4_6, Mode.EXPLOIT)
+        log = "\n".join(result.guest_log)
+        assert "### crafted PUD entry written" in log
+        assert "going to link PMD into target PUD" in log
+        assert "linked PMD into target PUD" in log
+
+    def test_injection_equivalent_on_46(self, campaign):
+        exploit = campaign.run(XSA212Priv, XEN_4_6, Mode.EXPLOIT)
+        injection = campaign.run(XSA212Priv, XEN_4_6, Mode.INJECTION)
+        assert exploit.erroneous_state.matches(injection.erroneous_state)
+        assert exploit.violation.matches(injection.violation)
+
+    def test_injection_prints_same_link_message(self, campaign):
+        result = campaign.run(XSA212Priv, XEN_4_6, Mode.INJECTION)
+        assert any("linked PMD into target PUD" in line for line in result.guest_log)
+
+
+class TestPrivAcrossVersions:
+    def test_exploit_fails_on_48(self, campaign):
+        result = campaign.run(XSA212Priv, XEN_4_8, Mode.EXPLOIT)
+        assert not result.erroneous_state.achieved
+        assert not result.violation.occurred
+
+    def test_injection_succeeds_on_48(self, campaign):
+        """Table III: 4.8 err ✓ viol ✓."""
+        result = campaign.run(XSA212Priv, XEN_4_8, Mode.INJECTION)
+        assert result.erroneous_state.achieved
+        assert result.violation.occurred
+
+    def test_injection_handled_on_413(self, campaign):
+        """Table III: 4.13 err ✓ viol shield — the hardening (§VIII-2)."""
+        result = campaign.run(XSA212Priv, XEN_4_13, Mode.INJECTION)
+        assert result.erroneous_state.achieved
+        assert not result.violation.occurred
+        assert "kernel exception" in result.failure
+
+    def test_413_failure_is_the_alias_range(self, campaign):
+        """§VIII-2: the exploit's assumption — guest access to the
+        0xffff8040... range — no longer holds."""
+        result = campaign.run(XSA212Priv, XEN_4_13, Mode.INJECTION)
+        assert any(
+            "unable to handle page request" in line for line in result.guest_log
+        )
+
+    def test_audit_walk_evidence_present(self, campaign):
+        result = campaign.run(XSA212Priv, XEN_4_13, Mode.INJECTION)
+        evidence = "\n".join(result.erroneous_state.evidence)
+        assert "xen_pud[300]" in evidence
+        assert "PMD[0]" in evidence
+
+
+class TestFingerprints:
+    def test_crash_fingerprint_stable_across_modes(self, campaign):
+        exploit = campaign.run(XSA212Crash, XEN_4_6, Mode.EXPLOIT)
+        injection = campaign.run(XSA212Crash, XEN_4_6, Mode.INJECTION)
+        assert exploit.erroneous_state.fingerprint == {"pf_gate_corrupted": True}
+        assert injection.erroneous_state.fingerprint == {"pf_gate_corrupted": True}
+
+    def test_priv_fingerprint_flags(self, campaign):
+        result = campaign.run(XSA212Priv, XEN_4_6, Mode.INJECTION)
+        fingerprint = result.erroneous_state.fingerprint
+        assert fingerprint["pud_index"] == 300
+        assert fingerprint["pud_flags"] == "P|RW|US"
+        assert fingerprint["pmd_linked"] is True

@@ -1,0 +1,212 @@
+"""Unit tests for page-table validation (the vulnerability sites)."""
+
+import pytest
+
+from repro.errors import HypercallError
+from repro.xen.constants import (
+    DOMID_XEN,
+    PTE_PRESENT,
+    PTE_PSE,
+    PTE_RW,
+    PTE_USER,
+)
+from repro.xen.frames import PageType
+from repro.xen.hypervisor import Xen
+from repro.xen.machine import Machine
+from repro.xen.paging import make_pte, make_special_pte
+from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
+from repro.xen.constants import XEN_SPECIAL_RO_MPT
+from tests.conftest import make_guest
+
+
+def fresh_page(xen, guest):
+    """A data page owned by the guest."""
+    pfn = guest.kernel.alloc_page()
+    return guest.pfn_to_mfn(pfn)
+
+
+class TestL1Rules:
+    def test_mapping_own_page_ok(self, xen):
+        guest = make_guest(xen)
+        target = fresh_page(xen, guest)
+        entry = make_pte(target, PTE_PRESENT | PTE_RW)
+        xen.validation.validate_entry(guest, 1, entry, table_mfn=0)
+
+    def test_not_present_always_ok(self, xen):
+        guest = make_guest(xen)
+        xen.validation.validate_entry(guest, 1, 0, table_mfn=0)
+
+    def test_mapping_foreign_page_rejected(self, xen):
+        guest_a = make_guest(xen, "a")
+        guest_b = make_guest(xen, "b")
+        target = fresh_page(xen, guest_b)
+        entry = make_pte(target, PTE_PRESENT)
+        with pytest.raises(HypercallError):
+            xen.validation.validate_entry(guest_a, 1, entry, table_mfn=0)
+
+    def test_mapping_xen_page_rejected(self, xen):
+        guest = make_guest(xen)
+        entry = make_pte(xen.xen_pud_mfn, PTE_PRESENT)
+        assert xen.frames.owner_of(xen.xen_pud_mfn) == DOMID_XEN
+        with pytest.raises(HypercallError):
+            xen.validation.validate_entry(guest, 1, entry, table_mfn=0)
+
+    def test_writable_mapping_of_pagetable_rejected(self, xen):
+        guest = make_guest(xen)
+        l1_mfn = guest.pfn_to_mfn(guest.kernel.l1_pfns[0])
+        assert xen.frames.is_pagetable(l1_mfn)
+        entry = make_pte(l1_mfn, PTE_PRESENT | PTE_RW)
+        with pytest.raises(HypercallError) as excinfo:
+            xen.validation.validate_entry(guest, 1, entry, table_mfn=0)
+        assert "writable mapping of page table" in str(excinfo.value)
+
+    def test_readonly_mapping_of_pagetable_ok(self, xen):
+        guest = make_guest(xen)
+        l1_mfn = guest.pfn_to_mfn(guest.kernel.l1_pfns[0])
+        entry = make_pte(l1_mfn, PTE_PRESENT)
+        xen.validation.validate_entry(guest, 1, entry, table_mfn=0)
+
+    def test_special_descriptor_rejected(self, xen):
+        guest = make_guest(xen)
+        with pytest.raises(HypercallError):
+            xen.validation.validate_entry(
+                guest, 1, make_special_pte(XEN_SPECIAL_RO_MPT), table_mfn=0
+            )
+
+    def test_bad_mfn_rejected(self, xen):
+        guest = make_guest(xen)
+        entry = make_pte(xen.machine.num_frames + 5, PTE_PRESENT)
+        with pytest.raises(HypercallError):
+            xen.validation.validate_entry(guest, 1, entry, table_mfn=0)
+
+
+class TestXsa148Gate:
+    """L2 PSE entries: accepted blindly on 4.6, rejected when fixed."""
+
+    def _pse_entry(self):
+        return make_pte(0, PTE_PRESENT | PTE_RW | PTE_PSE)
+
+    def test_46_accepts_pse_blindly(self):
+        xen = Xen(XEN_4_6, Machine(256))
+        guest = make_guest(xen)
+        xen.validation.validate_entry(guest, 2, self._pse_entry(), table_mfn=0)
+
+    @pytest.mark.parametrize("version", [XEN_4_8, XEN_4_13], ids=["4.8", "4.13"])
+    def test_fixed_versions_reject_pse(self, version):
+        xen = Xen(version, Machine(256))
+        guest = make_guest(xen)
+        with pytest.raises(HypercallError) as excinfo:
+            xen.validation.validate_entry(guest, 2, self._pse_entry(), table_mfn=0)
+        assert "PSE" in str(excinfo.value)
+
+    def test_46_pse_even_over_foreign_memory(self):
+        """The missing check means the superpage target is not
+        inspected at all — even hypervisor-owned frames are reachable."""
+        xen = Xen(XEN_4_6, Machine(256))
+        guest = make_guest(xen)
+        entry = make_pte(xen.xen_pud_mfn, PTE_PRESENT | PTE_RW | PTE_PSE)
+        xen.validation.validate_entry(guest, 2, entry, table_mfn=0)
+
+
+class TestL4Rules:
+    def test_ro_self_map_allowed(self, xen):
+        guest = make_guest(xen)
+        l4_mfn = guest.current_vcpu.cr3_mfn
+        entry = make_pte(l4_mfn, PTE_PRESENT | PTE_USER)
+        xen.validation.validate_entry(guest, 4, entry, table_mfn=l4_mfn)
+
+    def test_rw_self_map_rejected(self, xen):
+        guest = make_guest(xen)
+        l4_mfn = guest.current_vcpu.cr3_mfn
+        entry = make_pte(l4_mfn, PTE_PRESENT | PTE_RW)
+        with pytest.raises(HypercallError):
+            xen.validation.validate_entry(guest, 4, entry, table_mfn=l4_mfn)
+
+    def test_rw_linear_map_of_other_l4_rejected(self, xen):
+        guest_a = make_guest(xen, "a")
+        other_l4 = guest_a.current_vcpu.cr3_mfn
+        entry = make_pte(other_l4, PTE_PRESENT | PTE_RW)
+        with pytest.raises(HypercallError):
+            xen.validation.validate_entry(guest_a, 4, entry, table_mfn=12345)
+
+    def test_l4_entry_to_untyped_frame_promotes_l3(self, xen):
+        guest = make_guest(xen)
+        target = fresh_page(xen, guest)  # zeroed -> valid empty L3
+        entry = make_pte(target, PTE_PRESENT | PTE_RW)
+        l4_mfn = guest.current_vcpu.cr3_mfn
+        xen.validation.validate_entry(guest, 4, entry, table_mfn=l4_mfn)
+        assert xen.frames.info(target).type is PageType.L3
+
+
+class TestXsa182FastPath:
+    """Flag-only L4 updates: unvalidated on 4.6, RW-checked when fixed."""
+
+    def _setup_ro_self_map(self, xen):
+        guest = make_guest(xen)
+        kernel = guest.kernel
+        l4_mfn = guest.current_vcpu.cr3_mfn
+        rc = kernel.update_pt_entry(
+            l4_mfn, 5, make_pte(l4_mfn, PTE_PRESENT | PTE_USER)
+        )
+        assert rc == 0
+        return guest, l4_mfn
+
+    def test_46_fastpath_lets_rw_through(self):
+        xen = Xen(XEN_4_6, Machine(256))
+        guest, l4_mfn = self._setup_ro_self_map(xen)
+        rc = guest.kernel.update_pt_entry(
+            l4_mfn, 5, make_pte(l4_mfn, PTE_PRESENT | PTE_RW | PTE_USER)
+        )
+        assert rc == 0  # the bug
+
+    @pytest.mark.parametrize("version", [XEN_4_8, XEN_4_13], ids=["4.8", "4.13"])
+    def test_fixed_versions_reject_rw_upgrade(self, version):
+        xen = Xen(version, Machine(256))
+        guest, l4_mfn = self._setup_ro_self_map(xen)
+        rc = guest.kernel.update_pt_entry(
+            l4_mfn, 5, make_pte(l4_mfn, PTE_PRESENT | PTE_RW | PTE_USER)
+        )
+        assert rc < 0
+
+    @pytest.mark.parametrize(
+        "version", [XEN_4_6, XEN_4_8, XEN_4_13], ids=["4.6", "4.8", "4.13"]
+    )
+    def test_safe_flag_change_allowed_everywhere(self, version):
+        """Removing USER (no RW added) is a safe flag-only change."""
+        xen = Xen(version, Machine(256))
+        guest, l4_mfn = self._setup_ro_self_map(xen)
+        rc = guest.kernel.update_pt_entry(
+            l4_mfn, 5, make_pte(l4_mfn, PTE_PRESENT)
+        )
+        assert rc == 0
+
+
+class TestRecursiveValidation:
+    def test_validate_table_checks_every_entry(self, xen):
+        guest = make_guest(xen)
+        table = fresh_page(xen, guest)
+        foreign_guest = make_guest(xen, "other")
+        foreign = fresh_page(xen, foreign_guest)
+        xen.machine.write_word(table, 44, make_pte(foreign, PTE_PRESENT))
+        with pytest.raises(HypercallError):
+            xen.validation.validate_table(guest, table, 1)
+
+    def test_circular_reference_detected(self, xen):
+        guest = make_guest(xen)
+        a = fresh_page(xen, guest)
+        b = fresh_page(xen, guest)
+        # a (as L3) points to b (as L2) which points back to a.
+        xen.machine.write_word(a, 0, make_pte(b, PTE_PRESENT | PTE_RW))
+        xen.machine.write_word(b, 0, make_pte(a, PTE_PRESENT | PTE_RW))
+        with pytest.raises(HypercallError):
+            xen.validation.validate_table(guest, a, 3)
+
+    def test_validating_set_cleared_after_failure(self, xen):
+        guest = make_guest(xen)
+        table = fresh_page(xen, guest)
+        xen.machine.write_word(
+            table, 0, make_pte(xen.machine.num_frames + 1, PTE_PRESENT)
+        )
+        with pytest.raises(HypercallError):
+            xen.validation.validate_table(guest, table, 1)
+        assert not xen.validation._validating

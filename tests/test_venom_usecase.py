@@ -1,0 +1,49 @@
+"""Behavioural tests for the VENOM use case (§III running example)."""
+
+from repro.exploits.venom import VenomUseCase
+from repro.qemu.machine import QEMU_FIXED, QEMU_VULNERABLE
+
+
+class TestExploit:
+    def test_exploit_escapes_on_vulnerable(self):
+        result = VenomUseCase().run_exploit(QEMU_VULNERABLE)
+        assert result.erroneous_state
+        assert result.violation
+        assert result.mode == "exploit"
+
+    def test_exploit_contained_on_fixed(self):
+        result = VenomUseCase().run_exploit(QEMU_FIXED)
+        assert not result.erroneous_state
+        assert not result.violation
+
+
+class TestInjection:
+    def test_injection_escapes_on_vulnerable(self):
+        result = VenomUseCase().run_injection(QEMU_VULNERABLE)
+        assert result.erroneous_state
+        assert result.violation
+
+    def test_injection_escapes_on_fixed_too(self):
+        """The §III-B claim: the injector reproduces the erroneous
+        state independently of the defect — and this emulator has no
+        handling for it, so the violation follows on both builds."""
+        result = VenomUseCase().run_injection(QEMU_FIXED)
+        assert result.erroneous_state
+        assert result.violation
+
+    def test_injection_logged(self):
+        result = VenomUseCase().run_injection(QEMU_FIXED)
+        assert any("injector" in line for line in result.log)
+
+
+class TestEquivalence:
+    def test_exploit_and_injection_same_observables_on_vulnerable(self):
+        use_case = VenomUseCase()
+        exploit = use_case.run_exploit(QEMU_VULNERABLE)
+        injection = use_case.run_injection(QEMU_VULNERABLE)
+        assert exploit.erroneous_state == injection.erroneous_state
+        assert exploit.violation == injection.violation
+
+    def test_version_names_recorded(self):
+        result = VenomUseCase().run_exploit(QEMU_VULNERABLE)
+        assert "qemu" in result.version

@@ -1,0 +1,89 @@
+"""Unit tests for the version configurations."""
+
+import pytest
+
+from repro.xen.versions import (
+    ALL_VERSIONS,
+    XEN_4_6,
+    XEN_4_8,
+    XEN_4_13,
+    XEN_4_16,
+    Hardening,
+    Vulnerability,
+    XenVersion,
+    version_by_name,
+)
+
+
+class TestShippedConfigurations:
+    def test_46_carries_the_three_paper_vulns(self):
+        for vuln in (Vulnerability.XSA_148, Vulnerability.XSA_182, Vulnerability.XSA_212):
+            assert XEN_4_6.has_vuln(vuln)
+
+    def test_48_fixed_the_three(self):
+        for vuln in (Vulnerability.XSA_148, Vulnerability.XSA_182, Vulnerability.XSA_212):
+            assert not XEN_4_8.has_vuln(vuln)
+
+    def test_48_not_hardened(self):
+        assert not XEN_4_8.hardening
+
+    def test_413_hardened(self):
+        assert XEN_4_13.has_hardening(Hardening.LINEAR_PT_ALIAS_REMOVED)
+        assert XEN_4_13.has_hardening(Hardening.LINEAR_PT_RESTRICTED)
+
+    def test_grant_table_vulns_in_all_three(self):
+        # XSA-387/393 post-date all evaluated releases.
+        for version in ALL_VERSIONS:
+            assert version.has_vuln(Vulnerability.XSA_387)
+            assert version.has_vuln(Vulnerability.XSA_393)
+
+    def test_416_fixed_grant_tables(self):
+        assert not XEN_4_16.has_vuln(Vulnerability.XSA_387)
+        assert not XEN_4_16.has_vuln(Vulnerability.XSA_393)
+
+    def test_release_years_ordered(self):
+        years = [v.release_year for v in ALL_VERSIONS]
+        assert years == sorted(years)
+
+    def test_str(self):
+        assert str(XEN_4_6) == "Xen 4.6"
+
+
+class TestDerive:
+    def test_remove_vuln(self):
+        derived = XEN_4_6.derive(remove_vulns=[Vulnerability.XSA_148])
+        assert not derived.has_vuln(Vulnerability.XSA_148)
+        assert derived.has_vuln(Vulnerability.XSA_182)
+
+    def test_add_hardening(self):
+        derived = XEN_4_8.derive(add_hardening=[Hardening.LINEAR_PT_RESTRICTED])
+        assert derived.has_hardening(Hardening.LINEAR_PT_RESTRICTED)
+
+    def test_remove_hardening(self):
+        derived = XEN_4_13.derive(remove_hardening=[Hardening.LINEAR_PT_ALIAS_REMOVED])
+        assert not derived.has_hardening(Hardening.LINEAR_PT_ALIAS_REMOVED)
+        assert derived.has_hardening(Hardening.LINEAR_PT_RESTRICTED)
+
+    def test_derived_name(self):
+        assert XEN_4_6.derive().name == "4.6*"
+        assert XEN_4_6.derive(name="custom").name == "custom"
+
+    def test_original_untouched(self):
+        XEN_4_6.derive(remove_vulns=[Vulnerability.XSA_212])
+        assert XEN_4_6.has_vuln(Vulnerability.XSA_212)
+
+    def test_versions_are_frozen(self):
+        with pytest.raises(Exception):
+            XEN_4_6.name = "evil"
+
+
+class TestLookup:
+    def test_known_names(self):
+        assert version_by_name("4.6") is XEN_4_6
+        assert version_by_name("4.8") is XEN_4_8
+        assert version_by_name("4.13") is XEN_4_13
+        assert version_by_name("4.16") is XEN_4_16
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            version_by_name("5.0")

@@ -1,0 +1,105 @@
+"""Unit tests for XenStore."""
+
+import pytest
+
+from repro.xen.xenstore import XenStore, XenStoreError, domain_prefix
+from tests.conftest import make_guest
+
+
+@pytest.fixture
+def store(bed48):
+    return bed48.xen.xenstore
+
+
+class TestPaths:
+    @pytest.mark.parametrize("bad", ["noslash", "/trailing/", "/dou//ble", ""])
+    def test_malformed_paths_rejected(self, store, bed48, bad):
+        with pytest.raises(XenStoreError):
+            store.write(bed48.dom0, bad, "x")
+
+    def test_domain_prefix(self):
+        assert domain_prefix(3) == "/local/domain/3"
+
+
+class TestPermissions:
+    def test_guest_writes_own_subtree(self, store, bed48):
+        guest = bed48.attacker_domain
+        path = f"{domain_prefix(guest.id)}/device/vbd/0/ring-ref"
+        store.write(guest, path, "0")
+        assert store.read(path) == "0"
+
+    def test_guest_cannot_write_other_subtree(self, store, bed48):
+        guest = bed48.attacker_domain
+        with pytest.raises(XenStoreError):
+            store.write(guest, "/local/domain/0/backend/thing", "evil")
+
+    def test_guest_cannot_write_global_paths(self, store, bed48):
+        with pytest.raises(XenStoreError):
+            store.write(bed48.attacker_domain, "/tool/xenstored", "evil")
+
+    def test_dom0_writes_anywhere(self, store, bed48):
+        store.write(bed48.dom0, "/local/domain/2/imposed", "value")
+        assert store.read("/local/domain/2/imposed") == "value"
+
+    def test_prefix_collision_not_confused(self, store, bed48):
+        """d1 must not be able to write under /local/domain/10."""
+        guest = bed48.guests[0]  # id 1
+        with pytest.raises(XenStoreError):
+            store.write(guest, f"/local/domain/{guest.id}0/x", "evil")
+
+    def test_remove_own_subtree(self, store, bed48):
+        guest = bed48.attacker_domain
+        base = domain_prefix(guest.id)
+        store.write(guest, f"{base}/a/b", "1")
+        store.remove(guest, f"{base}/a")
+        assert not store.exists(f"{base}/a/b")
+
+    def test_remove_foreign_denied(self, store, bed48):
+        store.write(bed48.dom0, "/local/domain/0/x", "1")
+        with pytest.raises(XenStoreError):
+            store.remove(bed48.attacker_domain, "/local/domain/0/x")
+
+
+class TestReadsAndListing:
+    def test_read_missing_returns_default(self, store):
+        assert store.read("/nothing/here") is None
+        assert store.read("/nothing/here", default="d") == "d"
+
+    def test_list_dir(self, store, bed48):
+        dom0 = bed48.dom0
+        store.write(dom0, "/a/x", "1")
+        store.write(dom0, "/a/y/z", "2")
+        assert store.list_dir("/a") == ["x", "y"]
+
+    def test_list_dir_empty(self, store):
+        assert store.list_dir("/void") == []
+
+
+class TestWatches:
+    def test_watch_fires_on_write(self, store, bed48):
+        hits = []
+        store.watch(bed48.dom0, "/local/domain", lambda p, v: hits.append((p, v)))
+        guest = bed48.attacker_domain
+        store.write(guest, f"{domain_prefix(guest.id)}/device/x", "1")
+        assert (f"{domain_prefix(guest.id)}/device/x", "1") in hits
+
+    def test_watch_fires_for_existing_entries(self, store, bed48):
+        guest = bed48.attacker_domain
+        store.write(guest, f"{domain_prefix(guest.id)}/pre", "existing")
+        hits = []
+        store.watch(bed48.dom0, domain_prefix(guest.id), lambda p, v: hits.append(v))
+        assert "existing" in hits
+
+    def test_watch_scoped_to_prefix(self, store, bed48):
+        hits = []
+        store.watch(bed48.dom0, "/local/domain/0", lambda p, v: hits.append(p))
+        guest = bed48.attacker_domain
+        store.write(guest, f"{domain_prefix(guest.id)}/device/x", "1")
+        assert not hits
+
+    def test_unwatch(self, store, bed48):
+        hits = []
+        store.watch(bed48.dom0, "/local", lambda p, v: hits.append(p))
+        store.unwatch(bed48.dom0, "/local")
+        store.write(bed48.dom0, "/local/domain/0/after", "1")
+        assert "/local/domain/0/after" not in hits

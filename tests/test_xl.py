@@ -1,0 +1,179 @@
+"""Unit tests for the xl management toolstack."""
+
+import pytest
+
+from repro.net import Shell
+from repro.tools.xl import XlError, XlToolstack
+
+
+@pytest.fixture
+def xl(bed48):
+    return XlToolstack(bed48.xen, bed48.dom0)
+
+
+@pytest.fixture
+def guest_xl(bed48):
+    return XlToolstack(bed48.xen, bed48.attacker_domain)
+
+
+class TestAuthorisation:
+    @pytest.mark.parametrize(
+        "command",
+        ["list", "info", "dmesg", "create x", "destroy guest02",
+         "pause guest02", "unpause guest02"],
+    )
+    def test_unprivileged_caller_denied(self, guest_xl, command):
+        with pytest.raises(XlError):
+            guest_xl.run(command)
+
+    def test_privileged_caller_allowed(self, xl):
+        assert "guest02" in xl.render_list()
+
+
+class TestInspection:
+    def test_list_shows_all_domains(self, xl, bed48):
+        rows = xl.list()
+        assert {row.name for row in rows} == {"dom0", "guest02", "guest03"}
+        assert all(row.state == "r" for row in rows)
+
+    def test_list_shows_paused_state(self, xl, bed48):
+        xl.pause("guest02")
+        rows = {row.name: row for row in xl.list()}
+        assert rows["guest02"].state == "p"
+
+    def test_dmesg_returns_console(self, xl):
+        assert "booting" in xl.dmesg()
+
+    def test_dmesg_tail(self, xl, bed48):
+        full = xl.dmesg().splitlines()
+        assert xl.dmesg(tail=2).splitlines() == full[-2:]
+
+    def test_info_summary(self, xl, bed48):
+        info = xl.info()
+        assert f"xen_version            : 4.8" in info
+        assert "nr_domains             : 3" in info
+
+
+class TestLifecycle:
+    def test_create_boots_a_guest(self, xl, bed48):
+        domain = xl.create("newguest", memory_pages=24)
+        assert domain.kernel is not None
+        assert domain.kernel.booted
+        assert domain.num_pages == 24
+
+    def test_create_duplicate_name(self, xl):
+        with pytest.raises(XlError):
+            xl.create("guest02")
+
+    def test_destroy_by_name(self, xl, bed48):
+        xl.destroy("guest02")
+        assert all(d.name != "guest02" for d in bed48.xen.domains.values())
+
+    def test_destroy_by_id(self, xl, bed48):
+        victim_id = bed48.guests[0].id
+        xl.destroy(str(victim_id))
+        assert victim_id not in bed48.xen.domains
+
+    def test_destroy_dom0_refused(self, xl):
+        with pytest.raises(XlError):
+            xl.destroy("dom0")
+
+    def test_destroy_unknown(self, xl):
+        with pytest.raises(XlError):
+            xl.destroy("ghost")
+
+    def test_pause_unpause(self, xl, bed48):
+        xl.pause("guest02")
+        assert bed48.guests[0].paused
+        xl.unpause("guest02")
+        assert not bed48.guests[0].paused
+
+
+class TestCommandLine:
+    def test_run_list(self, xl):
+        output = xl.run("list")
+        assert "Name" in output and "dom0" in output
+
+    def test_run_create_and_destroy(self, xl):
+        assert "created domain extra" in xl.run("create extra 16")
+        assert "destroyed extra" in xl.run("destroy extra")
+
+    def test_run_unknown_command(self, xl):
+        with pytest.raises(XlError):
+            xl.run("frobnicate")
+
+    def test_vcpu_list(self, xl, bed48):
+        bed48.tick(5)
+        output = xl.run("vcpu-list")
+        assert "dom0" in output and "guest03" in output
+        # Every domain shows at least one scheduled run.
+        data_lines = [l for l in output.splitlines()[1:] if l.strip()]
+        assert all(int(line.split()[3]) > 0 for line in data_lines)
+
+    def test_vcpu_list_shows_paused(self, xl, bed48):
+        xl.pause("guest02")
+        rows = [
+            line
+            for line in xl.vcpu_list().splitlines()
+            if line.startswith("guest02")
+        ]
+        assert rows and rows[0].endswith("paused")
+
+    def test_run_empty(self, xl):
+        with pytest.raises(XlError):
+            xl.run("")
+
+
+class TestDeviceAttachment:
+    def test_block_attach_gives_working_disk(self, xl, bed48):
+        frontend = xl.block_attach("guest02", sectors=8)
+        frontend.write_sector(1, [0xD15C])
+        assert frontend.read_sector(1, 1) == [0xD15C]
+
+    def test_backend_shared_across_attachments(self, xl, bed48):
+        xl.block_attach("guest02")
+        xl.block_attach("guest03")
+        backend = bed48.xen._xl_backends["blk"]
+        assert set(backend.connections) == {g.id for g in bed48.guests}
+
+    def test_network_attach_connects_vifs(self, xl, bed48):
+        a = xl.network_attach("guest02")
+        b = xl.network_attach("guest03")
+        assert a.send(bed48.guests[1].id, "via xl") == 0
+        assert b.inbox[0].message == "via xl"
+
+    def test_attach_requires_privilege(self, guest_xl):
+        with pytest.raises(XlError):
+            guest_xl.block_attach("guest02")
+        with pytest.raises(XlError):
+            guest_xl.network_attach("guest02")
+
+    def test_attach_via_command_line(self, xl):
+        assert "block device attached" in xl.run("block-attach guest02")
+        assert "network interface attached" in xl.run("network-attach guest03")
+
+    def test_attach_unknown_domain(self, xl):
+        with pytest.raises(XlError):
+            xl.block_attach("ghost")
+
+
+class TestShellIntegration:
+    """The APT step: a root shell on dom0 wields the toolstack."""
+
+    def test_root_shell_on_dom0_runs_xl(self, bed48):
+        shell = Shell(bed48.dom0, uid=0)
+        output = shell.run("xl list")
+        assert "guest03" in output
+
+    def test_root_shell_on_dom0_destroys_tenants(self, bed48):
+        shell = Shell(bed48.dom0, uid=0)
+        shell.run("xl destroy guest02")
+        assert all(d.name != "guest02" for d in bed48.xen.domains.values())
+
+    def test_non_root_shell_denied(self, bed48):
+        shell = Shell(bed48.dom0, uid=1000)
+        assert "permission denied" in shell.run("xl list")
+
+    def test_shell_on_unprivileged_domain_denied(self, bed48):
+        shell = Shell(bed48.attacker_domain, uid=0)
+        assert "permission denied" in shell.run("xl list")
