@@ -39,7 +39,7 @@ The package is organised in layers:
 
 from repro.core.benchmarking import SecurityBenchmark
 from repro.core.campaign import Campaign, Mode, RunResult
-from repro.core.fuzz import RandomErroneousStateCampaign
+from repro.core.fuzz import FuzzCampaign, RandomErroneousStateCampaign
 from repro.core.injector import ArbitraryAccessAction, IntrusionInjector
 from repro.core.model import IntrusionModel
 from repro.core.taxonomy import AbusiveFunctionality, FunctionalityClass
@@ -57,6 +57,7 @@ __all__ = [
     "IntrusionInjector",
     "IntrusionModel",
     "Mode",
+    "FuzzCampaign",
     "RandomErroneousStateCampaign",
     "RunResult",
     "SecurityBenchmark",

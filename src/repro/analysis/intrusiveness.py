@@ -14,7 +14,7 @@ monitoring would see injections at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict
 
 from repro.xen.constants import HYPERCALL_ARBITRARY_ACCESS
 

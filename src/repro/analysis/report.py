@@ -5,15 +5,22 @@ this module turns them into durable artefacts — JSON for tooling,
 markdown for humans — and computes the cross-version summary the
 paper's RQ3 discussion draws (which version handled how many injected
 erroneous states).
+
+Reports can also be rendered straight *from a runner result store*
+(:func:`runs_from_store` and friends): a campaign executed in parallel
+with ``--jobs N --store PATH`` yields byte-identical JSON and markdown
+artefacts to a serial in-process run over the same job set.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
 from repro.core.campaign import Mode, RunResult
+from repro.core.erroneous_state import ErroneousStateReport
+from repro.core.monitor import ViolationReport
 
 
 def result_to_dict(result: RunResult) -> dict:
@@ -46,6 +53,66 @@ def result_to_dict(result: RunResult) -> dict:
 def results_to_json(results: Iterable[RunResult], indent: int = 2) -> str:
     """Serialize a list of run results to a JSON document."""
     return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def run_result_from_dict(data: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output.
+
+    Console and guest logs come back as their archived tails — enough
+    for every report path, which only reads the structured fields.
+    """
+    err = data["erroneous_state"]
+    vio = data["violation"]
+    return RunResult(
+        use_case=data["use_case"],
+        version=data["version"],
+        mode=Mode(data["mode"]),
+        erroneous_state=ErroneousStateReport(
+            achieved=err["achieved"],
+            description=err["description"],
+            fingerprint=dict(err["fingerprint"]),
+            evidence=list(err["evidence"]),
+        ),
+        violation=ViolationReport(
+            occurred=vio["occurred"],
+            kind=vio["kind"],
+            evidence=list(vio["evidence"]),
+        ),
+        crashed=data["crashed"],
+        failure=data["failure"],
+        console=list(data["console_tail"]),
+        guest_log=list(data["guest_log_tail"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Rendering from a runner result store
+# ----------------------------------------------------------------------
+
+
+def runs_from_store(store) -> List[RunResult]:
+    """The store's completed campaign runs, in plan order."""
+    from repro.runner.jobs import CAMPAIGN_RUN
+
+    return [
+        run_result_from_dict(payload)
+        for _spec, payload in store.payloads(kind=CAMPAIGN_RUN)
+    ]
+
+
+def results_json_from_store(store, indent: int = 2) -> str:
+    """JSON artefact from a store — byte-identical to
+    :func:`results_to_json` over the same (serially run) job set."""
+    from repro.runner.jobs import CAMPAIGN_RUN
+
+    payloads = [payload for _spec, payload in store.payloads(kind=CAMPAIGN_RUN)]
+    return json.dumps(payloads, indent=indent)
+
+
+def render_markdown_report_from_store(store, title: str) -> str:
+    """Markdown artefact from a store — byte-identical to
+    :func:`render_markdown_report` over the same job set."""
+    return render_markdown_report(runs_from_store(store), title)
 
 
 @dataclass

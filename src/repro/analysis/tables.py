@@ -8,11 +8,11 @@ compared against the paper side by side.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Type
+from typing import Dict, Sequence, Tuple, Type
 
 from repro.core.campaign import RunResult
 from repro.core.comparison import EquivalenceVerdict
-from repro.core.taxonomy import AbusiveFunctionality, FunctionalityClass
+from repro.core.taxonomy import AbusiveFunctionality
 from repro.cvedata.study import FunctionalityStudy
 from repro.exploits.base import UseCase
 

@@ -9,11 +9,19 @@ Commands:
   optional report artefacts;
 * ``study [--by-year | --by-component]`` — the Table I dataset;
 * ``versions`` — the shipped hypervisor configurations.
+
+The ``campaign``, ``fuzz``, ``benchmark`` and ``testcase`` commands
+accept runner flags: ``--jobs N`` executes on a worker pool (fault
+isolation, per-job ``--timeout``), ``--store PATH`` persists every
+job to SQLite, and ``--resume PATH`` re-launches a half-finished
+campaign without re-running completed jobs.  ``--jobs 1`` without a
+store keeps the original serial in-process path and its exact output.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -30,6 +38,54 @@ from repro.core.comparison import compare_runs
 from repro.cvedata import FunctionalityStudy
 from repro.exploits import USE_CASE_BY_NAME, USE_CASES
 from repro.xen.versions import ALL_VERSIONS, XEN_4_6, version_by_name
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Campaign-execution flags shared by the heavy commands."""
+    group = parser.add_argument_group("execution")
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = serial in-process, the default)",
+    )
+    group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (parallel runs only)",
+    )
+    group.add_argument(
+        "--store", metavar="PATH",
+        help="persist jobs and results to a SQLite store",
+    )
+    group.add_argument(
+        "--resume", metavar="PATH",
+        help="resume from an existing store, skipping completed jobs",
+    )
+
+
+def _runner_from_args(args):
+    """(runner, store) from the execution flags.
+
+    Returns ``(None, None)`` when the plain serial path applies, so the
+    original code path (and its exact output) is untouched by default.
+    """
+    if args.jobs < 1:
+        raise SystemExit(f"error: --jobs must be at least 1, got {args.jobs}")
+    if args.resume and not os.path.exists(args.resume):
+        raise SystemExit(f"error: --resume store {args.resume!r} does not exist")
+    store_path = args.resume or args.store
+    if args.jobs <= 1 and store_path is None:
+        return None, None
+    from repro.runner import ConsoleRenderer, ResultStore, make_runner
+
+    store = ResultStore(store_path) if store_path else None
+    if args.resume and store is not None:
+        summary = store.summary()
+        if summary.total:
+            print(f"resuming: {summary.render()}", file=sys.stderr)
+    renderer = ConsoleRenderer() if args.jobs > 1 else None
+    runner = make_runner(
+        jobs=args.jobs, timeout=args.timeout, on_event=renderer
+    )
+    return runner, store
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,6 +114,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign = sub.add_parser("campaign", help="full experiment matrix")
     campaign.add_argument("--json", help="write raw results as JSON")
     campaign.add_argument("--markdown", help="write a markdown report")
+    _add_runner_args(campaign)
 
     study = sub.add_parser("study", help="the 100-CVE dataset")
     study.add_argument("--by-year", action="store_true")
@@ -70,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--versions", nargs="+", default=["4.6", "4.8", "4.13"],
         help="configurations to score",
     )
+    _add_runner_args(bench)
 
     fuzz = sub.add_parser(
         "fuzz", help="randomized erroneous-state campaign (§IV-C)"
@@ -77,6 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--version", default="4.13")
     fuzz.add_argument("--runs", type=int, default=20)
     fuzz.add_argument("--seed", type=int, default=2023)
+    _add_runner_args(fuzz)
 
     sub.add_parser(
         "coverage", help="Table I functionalities vs shipped injectors"
@@ -90,6 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     testcase.add_argument("name", nargs="?", help="test case for 'run'")
     testcase.add_argument("--version", default="4.13")
+    _add_runner_args(testcase)
 
     return parser
 
@@ -116,7 +176,14 @@ def _cmd_run(args) -> int:
 
 def _cmd_campaign(args) -> int:
     campaign = Campaign()
-    results = campaign.run_matrix(USE_CASES, ALL_VERSIONS)
+    runner, store = _runner_from_args(args)
+    try:
+        results = campaign.run_matrix(
+            USE_CASES, ALL_VERSIONS, runner=runner, store=store
+        )
+    finally:
+        if store is not None:
+            store.close()
     for result in results:
         print(result.summary)
     if args.json:
@@ -149,6 +216,16 @@ def _cmd_study(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    from repro.runner.pool import CampaignFailed
+
+    try:
+        return _dispatch(args)
+    except CampaignFailed as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
     campaign = Campaign()
 
     if args.command == "table1":
@@ -189,7 +266,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.core.benchmarking import SecurityBenchmark
 
         versions = [version_by_name(name) for name in args.versions]
-        for rank, card in enumerate(SecurityBenchmark().rank(versions), start=1):
+        runner, store = _runner_from_args(args)
+        try:
+            cards = SecurityBenchmark().rank(versions, runner=runner, store=store)
+        finally:
+            if store is not None:
+                store.close()
+        for rank, card in enumerate(cards, start=1):
             print(f"rank {rank}:")
             print(card.render())
             print()
@@ -199,7 +282,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         fuzz_campaign = RandomErroneousStateCampaign(
             version_by_name(args.version), seed=args.seed
         )
-        print(fuzz_campaign.run(runs_per_component=args.runs).render())
+        runner, store = _runner_from_args(args)
+        try:
+            report = fuzz_campaign.run(
+                runs_per_component=args.runs, runner=runner, store=store
+            )
+        finally:
+            if store is not None:
+                store.close()
+        print(report.render())
     elif args.command == "coverage":
         from repro.analysis.coverage import coverage_report
 
@@ -238,7 +329,12 @@ def _cmd_testcase(args) -> int:
         print(f"{outcome.name} on Xen {outcome.version}: {state}; {verdict}")
         return 0
     # suite
-    outcomes = run_suite(version)
+    runner, store = _runner_from_args(args)
+    try:
+        outcomes = run_suite(version, runner=runner, store=store)
+    finally:
+        if store is not None:
+            store.close()
     handled = sum(1 for o in outcomes if o.handled)
     for outcome in outcomes:
         verdict = "HANDLED" if outcome.handled else (

@@ -157,7 +157,9 @@ class SecurityBenchmark:
         self.suite = list(suite or default_suite())
         self.testbed_factory = testbed_factory
 
-    def score(self, version: XenVersion) -> ScoreCard:
+    def score(self, version: XenVersion, runner=None, store=None) -> ScoreCard:
+        if runner is not None:
+            return self.score_many([version], runner, store=store)[0]
         card = ScoreCard(version=version.name)
         for item in self.suite:
             bed = self.testbed_factory(version)  # fresh host per item
@@ -172,7 +174,55 @@ class SecurityBenchmark:
             )
         return card
 
-    def rank(self, versions: Sequence[XenVersion]) -> List[ScoreCard]:
+    def score_many(
+        self, versions: Sequence[XenVersion], runner, store=None
+    ) -> List[ScoreCard]:
+        """Score versions through a ``repro.runner``: every (item ×
+        version) cell becomes one isolated, parallelizable job.  The
+        parallel path resolves suite items by name in the workers via
+        :func:`default_suite`, so custom items need the serial path."""
+        from repro.runner import plan_benchmark
+
+        if self.testbed_factory is not build_testbed:
+            raise ValueError(
+                "custom testbed factories cannot cross process boundaries; "
+                "use the serial path"
+            )
+        names = [item.name for item in self.suite]
+        known = {item.name for item in default_suite()}
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            raise ValueError(
+                f"suite items {unknown} are not default items; custom "
+                "closures cannot cross process boundaries — use the "
+                "serial path"
+            )
+        specs = plan_benchmark(names, [v.name for v in versions])
+        payloads = runner.run(specs, store=store).payloads_for(specs)
+        cards = []
+        index = 0
+        for version in versions:
+            card = ScoreCard(version=version.name)
+            for _ in names:
+                payload = payloads[index]
+                index += 1
+                card.items.append(
+                    ItemResult(
+                        name=payload["name"],
+                        attribute=payload["attribute"],
+                        injected=payload["injected"],
+                        violated=payload["violated"],
+                    )
+                )
+            cards.append(card)
+        return cards
+
+    def rank(
+        self, versions: Sequence[XenVersion], runner=None, store=None
+    ) -> List[ScoreCard]:
         """Score each version; best handling rate first."""
-        cards = [self.score(version) for version in versions]
+        if runner is not None:
+            cards = self.score_many(versions, runner, store=store)
+        else:
+            cards = [self.score(version) for version in versions]
         return sorted(cards, key=lambda c: c.handling_rate, reverse=True)

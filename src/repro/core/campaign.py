@@ -135,13 +135,47 @@ class Campaign:
         use_cases: Sequence[Type[UseCase]],
         versions: Sequence[XenVersion],
         modes: Sequence[Mode] = (Mode.EXPLOIT, Mode.INJECTION),
+        runner=None,
+        store=None,
     ) -> List[RunResult]:
+        """The full matrix, serially or through a ``repro.runner``.
+
+        With ``runner`` (a :class:`repro.runner.SerialRunner` or
+        :class:`repro.runner.WorkerPool`) each cell executes as an
+        isolated job — parallel, fault-isolated, and resumable when a
+        :class:`repro.runner.ResultStore` is passed as ``store`` —
+        and the returned list is identical in content and order to a
+        serial run's.
+        """
+        if runner is not None:
+            return self._run_matrix_with_runner(
+                use_cases, versions, modes, runner, store
+            )
         results = []
         for use_case_cls in use_cases:
             for version in versions:
                 for mode in modes:
                     results.append(self.run(use_case_cls, version, mode))
         return results
+
+    def _run_matrix_with_runner(
+        self, use_cases, versions, modes, runner, store
+    ) -> List[RunResult]:
+        from repro.analysis.report import run_result_from_dict
+        from repro.runner import plan_campaign
+
+        if self.testbed_factory is not build_testbed:
+            raise ValueError(
+                "custom testbed factories cannot cross process boundaries; "
+                "use the serial path"
+            )
+        specs = plan_campaign(
+            [u.name for u in use_cases],
+            [v.name for v in versions],
+            [m.value for m in modes],
+        )
+        outcome = runner.run(specs, store=store)
+        return [run_result_from_dict(p) for p in outcome.payloads_for(specs)]
 
     def rq1_runs(
         self,

@@ -21,7 +21,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List
 
-from repro.xen.frames import PageType
 from repro.xen.snapshot import MachineSnapshot, WordChange
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

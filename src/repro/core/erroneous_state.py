@@ -17,7 +17,7 @@ compared for state equivalence (Fig. 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.xen.constants import PTE_PRESENT, PTE_PSE, PTE_RW, PTE_USER
 from repro.xen.hypervisor import Xen

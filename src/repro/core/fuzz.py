@@ -26,6 +26,7 @@ Outcome classes:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections import Counter
 from dataclasses import dataclass, field
@@ -40,6 +41,21 @@ from repro.xen.versions import XenVersion
 
 #: A component is a name plus a frame-selector over a testbed.
 FrameSelector = Callable[[TestBed], Sequence[int]]
+
+
+def trial_seed(root_seed: int, component: str, index: int) -> int:
+    """Derive the RNG seed of one trial from the campaign root seed.
+
+    Every trial owns a private ``random.Random`` seeded by this value —
+    no trial ever observes another trial's draws — so the outcome of
+    trial ``(component, index)`` depends only on ``(version, root_seed,
+    component, index)``.  That makes campaigns order-independent (and
+    therefore parallelizable) and every single trial replayable
+    standalone from its recorded seed.
+    """
+    blob = f"{root_seed}:{component}:{index}".encode()
+    digest = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+    return digest >> 1  # 63 bits: fits SQLite's signed INTEGER
 
 
 @dataclass(frozen=True)
@@ -78,6 +94,9 @@ class FuzzResult:
     word: int
     value: int
     outcome: str
+    #: The trial's private RNG seed; replay with
+    #: :meth:`RandomErroneousStateCampaign.replay`.
+    seed: Optional[int] = None
 
 
 @dataclass
@@ -128,25 +147,69 @@ class RandomErroneousStateCampaign:
         testbed_factory: Callable[[XenVersion], TestBed] = build_testbed,
     ):
         self.version = version
-        self.rng = random.Random(seed)
+        self.seed = seed
         self.components = list(components or default_components())
         self.testbed_factory = testbed_factory
 
     # ------------------------------------------------------------------
 
-    def run(self, runs_per_component: int = 20) -> FuzzReport:
+    def run(
+        self,
+        runs_per_component: int = 20,
+        runner=None,
+        store=None,
+    ) -> FuzzReport:
+        """Run the campaign; trials derive private seeds from the root.
+
+        With ``runner`` (a :class:`repro.runner.SerialRunner` or
+        :class:`repro.runner.WorkerPool`), trials execute as isolated
+        jobs — in parallel, resumable through ``store`` — and, because
+        every trial is seeded independently, the assembled report is
+        identical to a serial run's.  The parallel path resolves
+        component names in the workers via :func:`default_components`,
+        so custom :class:`ComponentTarget` closures require the serial
+        path.
+        """
+        if runner is not None:
+            return self._run_with_runner(runs_per_component, runner, store)
         report = FuzzReport(version=self.version.name)
         for component in self.components:
-            for _ in range(runs_per_component):
-                report.results.append(self._one(component))
+            for index in range(runs_per_component):
+                seed = trial_seed(self.seed, component.name, index)
+                report.results.append(self.run_trial(component, seed))
         return report
 
-    def _one(self, component: ComponentTarget) -> FuzzResult:
+    def _run_with_runner(self, runs_per_component, runner, store) -> FuzzReport:
+        from repro.runner import plan_fuzz
+
+        known = {c.name for c in default_components()}
+        unknown = [c.name for c in self.components if c.name not in known]
+        if unknown:
+            raise ValueError(
+                f"components {unknown} are not default components; "
+                "custom frame selectors cannot cross process boundaries — "
+                "use the serial path"
+            )
+        specs = plan_fuzz(
+            self.version.name,
+            [c.name for c in self.components],
+            runs_per_component,
+            self.seed,
+        )
+        outcome = runner.run(specs, store=store)
+        report = FuzzReport(version=self.version.name)
+        for payload in outcome.payloads_for(specs):
+            report.results.append(FuzzResult(**payload))
+        return report
+
+    def run_trial(self, component: ComponentTarget, seed: int) -> FuzzResult:
+        """One injection with a private, recorded RNG seed."""
+        rng = random.Random(seed)
         bed = self.testbed_factory(self.version)
         frames = list(component.frames(bed))
-        mfn = self.rng.choice(frames)
-        word = self.rng.randrange(512)
-        value = self.rng.getrandbits(64)
+        mfn = rng.choice(frames)
+        word = rng.randrange(512)
+        value = rng.getrandbits(64)
         previous = bed.xen.machine.read_word(mfn, word)
         injector = IntrusionInjector(bed.attacker_domain.kernel)
         rc = injector.write_word(layout.directmap_va(mfn, word), value)
@@ -156,8 +219,20 @@ class RandomErroneousStateCampaign:
             outcome = self._exercise(bed, mfn, word, changed=value != previous)
         return FuzzResult(
             component=component.name, mfn=mfn, word=word, value=value,
-            outcome=outcome,
+            outcome=outcome, seed=seed,
         )
+
+    def replay(self, component_name: str, seed: int) -> FuzzResult:
+        """Re-run one recorded trial standalone from its seed."""
+        by_name = {c.name: c for c in self.components}
+        try:
+            component = by_name[component_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown component {component_name!r}; "
+                f"known: {sorted(by_name)}"
+            ) from None
+        return self.run_trial(component, seed)
 
     # ------------------------------------------------------------------
 
@@ -186,3 +261,8 @@ class RandomErroneousStateCampaign:
         if changed and mfn in victim_frames:
             return "silent"
         return "latent"
+
+
+#: The name the runner subsystem (and the ISSUE tracker) use for this
+#: campaign class.
+FuzzCampaign = RandomErroneousStateCampaign

@@ -224,7 +224,7 @@ def inject_read_unauthorized(
 ) -> Tuple[ErroneousStateReport, ViolationReport]:
     """Exfiltrate dom0's in-memory secret through the injector's
     physical-read mode (the info-leak IM)."""
-    from repro.core.testbed import SECRET_CANARY, SECRET_PFN, SECRET_WORD
+    from repro.core.testbed import SECRET_PFN, SECRET_WORD
 
     kernel = bed.attacker_domain.kernel
     injector = IntrusionInjector(kernel)

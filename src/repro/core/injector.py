@@ -23,7 +23,6 @@ guest-side wrapper the injection scripts use.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import EFAULT, EINVAL, HypercallError, HypervisorFault

@@ -16,7 +16,7 @@ violation``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.taxonomy import AbusiveFunctionality, table_ii_label

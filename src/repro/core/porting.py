@@ -23,7 +23,7 @@ the FDC FIFO.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.injector import IntrusionInjector

@@ -15,8 +15,8 @@ check; the Fig. 3 benchmark instantiates them for the paper's example.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)

@@ -14,8 +14,8 @@ only parameter that varies across campaign runs is the Xen version.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.core.injector import install_injector
 from repro.guest.kernel import GuestKernel

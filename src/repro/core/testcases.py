@@ -15,7 +15,7 @@ security attribute it probes, runnable individually or as a suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.campaign import Campaign, Mode
@@ -183,6 +183,19 @@ def run_test_case(name: str, version: XenVersion) -> TestCaseOutcome:
     return case.run(version)
 
 
-def run_suite(version: XenVersion) -> List[TestCaseOutcome]:
-    """Run every registered test case against one configuration."""
-    return [case.run(version) for case in REGISTRY.values()]
+def run_suite(
+    version: XenVersion, runner=None, store=None
+) -> List[TestCaseOutcome]:
+    """Run every registered test case against one configuration.
+
+    With ``runner`` each test case executes as one isolated job
+    (parallel, resumable through ``store``); outcomes come back in
+    registry order either way.
+    """
+    if runner is None:
+        return [case.run(version) for case in REGISTRY.values()]
+    from repro.runner import plan_testcases
+
+    specs = plan_testcases(list(REGISTRY), version.name)
+    outcome = runner.run(specs, store=store)
+    return [TestCaseOutcome(**payload) for payload in outcome.payloads_for(specs)]

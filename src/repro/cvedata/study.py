@@ -9,7 +9,7 @@ more than one abusive functionality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.taxonomy import AbusiveFunctionality, FunctionalityClass
 from repro.cvedata.records import XEN_CVE_STUDY, CveRecord

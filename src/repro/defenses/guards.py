@@ -24,7 +24,7 @@ exist for.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.xen.constants import WORDS_PER_PAGE

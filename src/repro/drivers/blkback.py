@@ -15,7 +15,7 @@ was *handled*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.drivers.disk import DiskError, VirtualDisk

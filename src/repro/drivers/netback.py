@@ -13,8 +13,8 @@ drop counters), never backend failure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.drivers.codec import MAX_PAYLOAD_BYTES
 from repro.drivers.netfront import OP_SEND

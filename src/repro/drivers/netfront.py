@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.drivers.codec import MAX_PAYLOAD_BYTES, decode_text, encode_text
-from repro.drivers.ring import RingRequest, SharedRing, STATUS_OK
+from repro.drivers.ring import RingRequest, SharedRing
 from repro.xen import constants as C
 from repro.xen.hypercalls import EventChannelOpArgs, GrantTableOpArgs
 from repro.xen.xenstore import domain_prefix

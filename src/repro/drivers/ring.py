@@ -22,7 +22,7 @@ indices instead of trusting them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.xen.machine import Machine

@@ -9,7 +9,7 @@ opens a reverse shell to the attacker (paper §VI-A).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.xen.constants import VDSO_MAGIC
 from repro.xen.payload import Payload

@@ -1,0 +1,63 @@
+"""``repro.runner`` — parallel, fault-tolerant, resumable campaigns.
+
+The execution engine behind ``--jobs N``: experiments become
+serializable :class:`JobSpec` jobs, a ``spawn``-based
+:class:`WorkerPool` runs them with per-job timeouts, crash isolation
+and bounded retry, a SQLite :class:`ResultStore` makes campaigns
+resumable (``--resume``), and :class:`RunnerEvent` streams progress.
+"""
+
+from repro.runner.events import (
+    ConsoleRenderer,
+    EventRecorder,
+    RunnerEvent,
+)
+from repro.runner.jobs import (
+    BENCHMARK_CASE,
+    CAMPAIGN_RUN,
+    FUZZ_TRIAL,
+    SELFTEST,
+    TESTCASE,
+    JobSpec,
+    TransientJobError,
+    execute_job,
+    plan_benchmark,
+    plan_campaign,
+    plan_fuzz,
+    plan_testcases,
+)
+from repro.runner.pool import (
+    CampaignFailed,
+    RunnerOutcome,
+    SerialRunner,
+    WorkerPool,
+    make_runner,
+    run_jobs,
+)
+from repro.runner.store import ResultStore, StoreSummary
+
+__all__ = [
+    "BENCHMARK_CASE",
+    "CAMPAIGN_RUN",
+    "CampaignFailed",
+    "ConsoleRenderer",
+    "EventRecorder",
+    "FUZZ_TRIAL",
+    "JobSpec",
+    "ResultStore",
+    "RunnerEvent",
+    "RunnerOutcome",
+    "SELFTEST",
+    "SerialRunner",
+    "StoreSummary",
+    "TESTCASE",
+    "TransientJobError",
+    "WorkerPool",
+    "execute_job",
+    "make_runner",
+    "plan_benchmark",
+    "plan_campaign",
+    "plan_fuzz",
+    "plan_testcases",
+    "run_jobs",
+]

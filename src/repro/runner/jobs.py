@@ -1,0 +1,240 @@
+"""Job specifications and campaign planners.
+
+Every experiment the repository ships — a (use case × version × mode)
+campaign cell, one randomized fuzz trial, one benchmark suite item,
+one registered test case — can be described by a small, serializable
+:class:`JobSpec`.  Planners expand a whole campaign into a flat list
+of specs with **stable job IDs** (a content hash of the spec), which
+is what makes stores resumable: the same campaign planned twice yields
+the same IDs, so completed work is recognisable across processes and
+across re-launches.
+
+:func:`execute_job` is the worker-side interpreter: given a spec (and
+nothing else — workers share no state with the parent), it boots a
+fresh testbed, runs the experiment, and returns a plain-dict payload
+that survives pickling and JSON storage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+class TransientJobError(Exception):
+    """A retryable failure: the job may succeed if run again.
+
+    Raised by job implementations for conditions that are not a
+    property of the experiment itself (resource exhaustion, simulated
+    flakiness).  The pool retries these with backoff; any other
+    exception fails the job immediately.
+    """
+
+
+#: The recognised job kinds.
+CAMPAIGN_RUN = "campaign-run"
+FUZZ_TRIAL = "fuzz-trial"
+BENCHMARK_CASE = "benchmark-case"
+TESTCASE = "testcase"
+#: Internal kind used by the pool's own tests and health checks; the
+#: ``use_case`` field encodes the behaviour ("ok", "fail",
+#: "hang:<seconds>", "crash", "flaky:<n>").
+SELFTEST = "selftest"
+
+KINDS = (CAMPAIGN_RUN, FUZZ_TRIAL, BENCHMARK_CASE, TESTCASE, SELFTEST)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit of experiment work."""
+
+    kind: str
+    #: Use-case / component / suite-item / test-case name.
+    use_case: str
+    version: str = ""
+    #: Campaign mode ("exploit" / "injection"); empty otherwise.
+    mode: str = ""
+    #: Per-trial RNG seed (fuzz trials); ``None`` otherwise.
+    seed: Optional[int] = None
+    #: Trial index within its component (fuzz trials).
+    trial: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; known: {KINDS}")
+
+    @property
+    def job_id(self) -> str:
+        """Stable content-derived identifier."""
+        blob = json.dumps(asdict(self), sort_keys=True).encode()
+        return f"{self.kind}:{hashlib.sha1(blob).hexdigest()[:16]}"
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        return cls(**json.loads(text))
+
+    @property
+    def label(self) -> str:
+        """Short human-readable description for progress output."""
+        parts = [self.use_case]
+        if self.version:
+            parts.append(f"xen-{self.version}")
+        if self.mode:
+            parts.append(self.mode)
+        if self.trial is not None:
+            parts.append(f"#{self.trial}")
+        return "/".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Planners
+# ----------------------------------------------------------------------
+
+
+def plan_campaign(
+    use_cases: Sequence[str],
+    versions: Sequence[str],
+    modes: Sequence[str] = ("exploit", "injection"),
+) -> List[JobSpec]:
+    """Expand a campaign matrix into jobs, in matrix iteration order."""
+    return [
+        JobSpec(kind=CAMPAIGN_RUN, use_case=u, version=v, mode=m)
+        for u in use_cases
+        for v in versions
+        for m in modes
+    ]
+
+
+def plan_fuzz(
+    version: str,
+    components: Sequence[str],
+    runs_per_component: int,
+    root_seed: int,
+) -> List[JobSpec]:
+    """Expand a fuzz campaign into per-trial jobs with derived seeds."""
+    from repro.core.fuzz import trial_seed
+
+    return [
+        JobSpec(
+            kind=FUZZ_TRIAL,
+            use_case=component,
+            version=version,
+            seed=trial_seed(root_seed, component, index),
+            trial=index,
+        )
+        for component in components
+        for index in range(runs_per_component)
+    ]
+
+
+def plan_benchmark(items: Sequence[str], versions: Sequence[str]) -> List[JobSpec]:
+    """Expand the security benchmark: every suite item on every version."""
+    return [
+        JobSpec(kind=BENCHMARK_CASE, use_case=item, version=v)
+        for v in versions
+        for item in items
+    ]
+
+
+def plan_testcases(names: Sequence[str], version: str) -> List[JobSpec]:
+    """Expand registered test cases against one version."""
+    return [JobSpec(kind=TESTCASE, use_case=name, version=version) for name in names]
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+
+
+def execute_job(spec: JobSpec, attempt: int = 0) -> Dict[str, object]:
+    """Run one job from scratch and return a picklable payload.
+
+    Each invocation boots its own fresh testbed; nothing is shared with
+    the parent process, which is what gives the pool hard crash
+    isolation.  Parallel execution resolves names against the default
+    registries (use cases, fuzz components, benchmark suite), so only
+    default-configured experiments are parallelizable — custom
+    closures stay on the serial path.
+    """
+    if spec.kind == CAMPAIGN_RUN:
+        return _execute_campaign_run(spec)
+    if spec.kind == FUZZ_TRIAL:
+        return _execute_fuzz_trial(spec)
+    if spec.kind == BENCHMARK_CASE:
+        return _execute_benchmark_case(spec)
+    if spec.kind == TESTCASE:
+        return _execute_testcase(spec)
+    if spec.kind == SELFTEST:
+        return _execute_selftest(spec, attempt)
+    raise ValueError(f"unknown job kind {spec.kind!r}")
+
+
+def _execute_campaign_run(spec: JobSpec) -> Dict[str, object]:
+    from repro.analysis.report import result_to_dict
+    from repro.core.campaign import Campaign, Mode
+    from repro.exploits import USE_CASE_BY_NAME
+    from repro.xen.versions import version_by_name
+
+    result = Campaign().run(
+        USE_CASE_BY_NAME[spec.use_case],
+        version_by_name(spec.version),
+        Mode(spec.mode),
+    )
+    return result_to_dict(result)
+
+
+def _execute_fuzz_trial(spec: JobSpec) -> Dict[str, object]:
+    from repro.core.fuzz import RandomErroneousStateCampaign
+    from repro.xen.versions import version_by_name
+
+    campaign = RandomErroneousStateCampaign(version_by_name(spec.version))
+    result = campaign.replay(spec.use_case, spec.seed)
+    return asdict(result)
+
+
+def _execute_benchmark_case(spec: JobSpec) -> Dict[str, object]:
+    from repro.core.benchmarking import default_suite
+    from repro.core.testbed import build_testbed
+    from repro.xen.versions import version_by_name
+
+    by_name = {item.name: item for item in default_suite()}
+    item = by_name[spec.use_case]
+    bed = build_testbed(version_by_name(spec.version))
+    injected, violated = item.run(bed)
+    return {
+        "name": item.name,
+        "attribute": item.attribute,
+        "injected": injected,
+        "violated": violated,
+    }
+
+
+def _execute_testcase(spec: JobSpec) -> Dict[str, object]:
+    from repro.core.testcases import run_test_case
+    from repro.xen.versions import version_by_name
+
+    outcome = run_test_case(spec.use_case, version_by_name(spec.version))
+    return asdict(outcome)
+
+
+def _execute_selftest(spec: JobSpec, attempt: int) -> Dict[str, object]:
+    behaviour, _, arg = spec.use_case.partition(":")
+    if behaviour == "hang":
+        time.sleep(float(arg or "3600"))
+    elif behaviour == "crash":
+        os._exit(17)  # simulate a worker dying mid-job
+    elif behaviour == "fail":
+        raise RuntimeError("selftest: permanent failure")
+    elif behaviour == "flaky":
+        if attempt < int(arg or "1"):
+            raise TransientJobError(f"selftest: flaky attempt {attempt}")
+    elif behaviour != "ok":
+        raise ValueError(f"unknown selftest behaviour {behaviour!r}")
+    return {"status": "ok", "attempt": attempt, "pid": os.getpid()}

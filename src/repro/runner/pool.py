@@ -1,0 +1,478 @@
+"""Parallel, fault-tolerant job execution.
+
+:class:`WorkerPool` runs :class:`~repro.runner.jobs.JobSpec` lists on
+a pool of ``multiprocessing`` workers (``spawn`` context, so every
+worker is a pristine interpreter that boots its own testbeds).  The
+parent owns all scheduling state and the result store; workers only
+ever see one job at a time, which buys three properties the serial
+campaign loop cannot offer:
+
+* **timeout enforcement** — a job exceeding its wall-clock budget gets
+  its worker killed and replaced, and only that job is charged;
+* **crash isolation** — a worker dying mid-job (a simulated hypervisor
+  panic taking the process down, an ``os._exit``) fails that job only;
+* **bounded retry** — timeouts, crashes and
+  :class:`~repro.runner.jobs.TransientJobError` failures are retried
+  with exponential backoff up to a retry budget.
+
+:class:`SerialRunner` is the in-process twin with identical store and
+event semantics (minus timeout enforcement); ``--jobs 1`` uses it, so
+serial and parallel campaigns share one persistence/resume story.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.runner import events as ev
+from repro.runner.events import EventCallback, EventHub
+from repro.runner.jobs import JobSpec, TransientJobError, execute_job
+from repro.runner.store import ResultStore
+
+
+class CampaignFailed(RuntimeError):
+    """Raised by strict entry points when jobs exhausted their retries."""
+
+    def __init__(self, failures: Dict[str, str]):
+        self.failures = failures
+        summary = "; ".join(
+            f"{job_id}: {detail}" for job_id, detail in sorted(failures.items())
+        )
+        super().__init__(f"{len(failures)} job(s) failed: {summary}")
+
+
+@dataclass
+class RunnerOutcome:
+    """What a campaign execution produced."""
+
+    #: job_id -> result payload, for every completed job.
+    results: Dict[str, dict] = field(default_factory=dict)
+    #: job_id -> failure detail, for jobs that exhausted retries.
+    failures: Dict[str, str] = field(default_factory=dict)
+    #: Jobs skipped because the store already had their results.
+    skipped: Set[str] = field(default_factory=set)
+
+    def payloads_for(self, specs: Sequence[JobSpec]) -> List[dict]:
+        """Results in plan order; raises if any job failed or is missing."""
+        if self.failures:
+            raise CampaignFailed(self.failures)
+        return [self.results[spec.job_id] for spec in specs]
+
+
+JobFn = Callable[[JobSpec, int], dict]
+
+
+def _resume_into(
+    outcome: RunnerOutcome, specs: List[JobSpec], store: Optional[ResultStore]
+) -> List[JobSpec]:
+    """Register jobs and load already-completed results; return the rest."""
+    if store is None:
+        return specs
+    store.register(specs)
+    done = store.completed_ids()
+    remaining = []
+    for spec in specs:
+        if spec.job_id in done:
+            payload = store.payload(spec.job_id)
+            if payload is not None:
+                outcome.results[spec.job_id] = payload
+                outcome.skipped.add(spec.job_id)
+                continue
+        remaining.append(spec)
+    return remaining
+
+
+# ----------------------------------------------------------------------
+# Serial execution (the --jobs 1 path)
+# ----------------------------------------------------------------------
+
+
+class SerialRunner:
+    """In-process executor with the pool's store/retry/event semantics."""
+
+    def __init__(
+        self,
+        retries: int = 1,
+        backoff: float = 0.0,
+        job_fn: JobFn = execute_job,
+        on_event: Optional[EventCallback] = None,
+    ):
+        self.retries = retries
+        self.backoff = backoff
+        self.job_fn = job_fn
+        self.on_event = on_event
+
+    def run(
+        self, specs: Sequence[JobSpec], store: Optional[ResultStore] = None
+    ) -> RunnerOutcome:
+        specs = list(specs)
+        outcome = RunnerOutcome()
+        hub = EventHub(total=len(specs), callback=self.on_event)
+        remaining = _resume_into(outcome, specs, store)
+        for job_id in outcome.skipped:
+            hub.emit(ev.JOB_SKIPPED, job_id=job_id)
+
+        for spec in remaining:
+            if store is not None:
+                store.mark_running(spec.job_id)
+            attempt = 0
+            while True:
+                hub.emit(
+                    ev.JOB_STARTED, job_id=spec.job_id, label=spec.label,
+                    attempt=attempt,
+                )
+                started = time.perf_counter()
+                try:
+                    payload = self.job_fn(spec, attempt)
+                except Exception as exc:
+                    wall = time.perf_counter() - started
+                    retryable = isinstance(exc, TransientJobError)
+                    detail = f"{type(exc).__name__}: {exc}"
+                    if store is not None:
+                        store.record_attempt(
+                            spec.job_id, attempt, "error", detail, wall
+                        )
+                    if retryable and attempt < self.retries:
+                        attempt += 1
+                        hub.emit(
+                            ev.JOB_RETRIED, job_id=spec.job_id,
+                            label=spec.label, attempt=attempt, detail=detail,
+                        )
+                        if self.backoff:
+                            time.sleep(self.backoff * (2 ** (attempt - 1)))
+                        continue
+                    outcome.failures[spec.job_id] = detail
+                    if store is not None:
+                        store.record_failure(spec.job_id, detail)
+                    hub.emit(
+                        ev.JOB_FAILED, job_id=spec.job_id, label=spec.label,
+                        attempt=attempt, detail=detail,
+                    )
+                    break
+                wall = time.perf_counter() - started
+                outcome.results[spec.job_id] = payload
+                if store is not None:
+                    store.record_attempt(spec.job_id, attempt, "done", "", wall)
+                    store.record_success(spec.job_id, payload, wall)
+                hub.emit(
+                    ev.JOB_FINISHED, job_id=spec.job_id, label=spec.label,
+                    attempt=attempt,
+                )
+                break
+        hub.emit(ev.CAMPAIGN_FINISHED)
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# Parallel execution
+# ----------------------------------------------------------------------
+
+
+def _worker_main(worker_id: int, job_fn: JobFn, inbox, outbox) -> None:
+    """Worker loop: take one job, run it, report, repeat until sentinel."""
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        spec_json, attempt = item
+        spec = JobSpec.from_json(spec_json)
+        started = time.perf_counter()
+        try:
+            payload = job_fn(spec, attempt)
+        except TransientJobError as exc:
+            wall = time.perf_counter() - started
+            outbox.put((worker_id, spec.job_id, "error", str(exc), True, wall))
+        except BaseException as exc:  # noqa: BLE001 - isolation boundary
+            wall = time.perf_counter() - started
+            detail = f"{type(exc).__name__}: {exc}"
+            outbox.put((worker_id, spec.job_id, "error", detail, False, wall))
+        else:
+            wall = time.perf_counter() - started
+            outbox.put((worker_id, spec.job_id, "done", payload, False, wall))
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    worker_id: int
+    process: multiprocessing.process.BaseProcess
+    inbox: object
+    spec: Optional[JobSpec] = None
+    attempt: int = 0
+    started_at: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.spec is not None
+
+
+class WorkerPool:
+    """Multiprocessing campaign executor with fault isolation."""
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.05,
+        job_fn: JobFn = execute_job,
+        on_event: Optional[EventCallback] = None,
+        poll_interval: float = 0.05,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.job_fn = job_fn
+        self.on_event = on_event
+        self.poll_interval = poll_interval
+        self._ctx = multiprocessing.get_context("spawn")
+
+    # -- public API -----------------------------------------------------
+
+    def run(
+        self, specs: Sequence[JobSpec], store: Optional[ResultStore] = None
+    ) -> RunnerOutcome:
+        specs = list(specs)
+        outcome = RunnerOutcome()
+        hub = EventHub(total=len(specs), callback=self.on_event)
+        remaining = _resume_into(outcome, specs, store)
+        for job_id in outcome.skipped:
+            hub.emit(ev.JOB_SKIPPED, job_id=job_id)
+        if not remaining:
+            hub.emit(ev.CAMPAIGN_FINISHED)
+            return outcome
+
+        outbox = self._ctx.Queue()
+        #: (ready_time, spec, attempt) — backoff delays re-dispatch.
+        pending: List[tuple] = [(0.0, spec, 0) for spec in remaining]
+        workers: Dict[int, _Worker] = {}
+        next_worker_id = 0
+        for _ in range(min(self.jobs, len(pending))):
+            workers[next_worker_id] = self._spawn(next_worker_id, outbox)
+            next_worker_id += 1
+
+        try:
+            while pending or any(w.busy for w in workers.values()):
+                self._assign(pending, workers, store, hub)
+                self._drain(outbox, workers, pending, outcome, store, hub)
+                self._check_timeouts(workers, pending, outcome, store, hub)
+                self._check_crashes(workers, pending, outcome, store, hub)
+                next_worker_id = self._replenish(
+                    workers, pending, outbox, next_worker_id
+                )
+        finally:
+            self._shutdown(workers)
+        hub.emit(ev.CAMPAIGN_FINISHED)
+        return outcome
+
+    # -- scheduling internals ------------------------------------------
+
+    def _spawn(self, worker_id: int, outbox) -> _Worker:
+        inbox = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.job_fn, inbox, outbox),
+            daemon=True,
+            name=f"repro-runner-{worker_id}",
+        )
+        process.start()
+        return _Worker(worker_id=worker_id, process=process, inbox=inbox)
+
+    def _assign(self, pending, workers, store, hub) -> None:
+        now = time.monotonic()
+        for worker in workers.values():
+            if worker.busy or not pending:
+                continue
+            index = next(
+                (i for i, (ready, _, _) in enumerate(pending) if ready <= now),
+                None,
+            )
+            if index is None:
+                continue
+            _, spec, attempt = pending.pop(index)
+            worker.spec = spec
+            worker.attempt = attempt
+            worker.started_at = now
+            worker.inbox.put((spec.to_json(), attempt))
+            if store is not None and attempt == 0:
+                store.mark_running(spec.job_id)
+            hub.emit(
+                ev.JOB_STARTED, job_id=spec.job_id, label=spec.label,
+                worker=worker.worker_id, attempt=attempt,
+            )
+
+    def _drain(self, outbox, workers, pending, outcome, store, hub) -> None:
+        """Process every available worker message (block briefly once)."""
+        block = True
+        while True:
+            try:
+                message = outbox.get(timeout=self.poll_interval if block else 0)
+            except queue.Empty:
+                return
+            block = False
+            worker_id, job_id, status, payload, retryable, wall = message
+            worker = workers.get(worker_id)
+            if worker is None or worker.spec is None or worker.spec.job_id != job_id:
+                continue  # stale message from a worker we already replaced
+            spec, attempt = worker.spec, worker.attempt
+            worker.spec = None
+            if status == "done":
+                outcome.results[spec.job_id] = payload
+                if store is not None:
+                    store.record_attempt(spec.job_id, attempt, "done", "", wall)
+                    store.record_success(spec.job_id, payload, wall)
+                hub.emit(
+                    ev.JOB_FINISHED, job_id=spec.job_id, label=spec.label,
+                    worker=worker_id, attempt=attempt,
+                )
+            else:
+                if store is not None:
+                    store.record_attempt(
+                        spec.job_id, attempt, "error", str(payload), wall
+                    )
+                self._retry_or_fail(
+                    spec, attempt, str(payload), retryable, pending, outcome,
+                    store, hub,
+                )
+
+    def _check_timeouts(self, workers, pending, outcome, store, hub) -> None:
+        if self.timeout is None:
+            return
+        now = time.monotonic()
+        for worker in list(workers.values()):
+            if not worker.busy or now - worker.started_at <= self.timeout:
+                continue
+            spec, attempt = worker.spec, worker.attempt
+            detail = f"exceeded {self.timeout:.1f}s wall-clock budget"
+            hub.emit(
+                ev.JOB_TIMEOUT, job_id=spec.job_id, label=spec.label,
+                worker=worker.worker_id, attempt=attempt, detail=detail,
+            )
+            self._kill(workers, worker)
+            if store is not None:
+                store.record_attempt(
+                    spec.job_id, attempt, "timeout", detail, self.timeout
+                )
+            self._retry_or_fail(
+                spec, attempt, detail, True, pending, outcome, store, hub
+            )
+
+    def _check_crashes(self, workers, pending, outcome, store, hub) -> None:
+        """Detect dead workers and fail (or retry) their in-flight jobs."""
+        for worker in list(workers.values()):
+            if worker.process.is_alive():
+                continue
+            spec, attempt = worker.spec, worker.attempt
+            self._kill(workers, worker)
+            if spec is not None:
+                detail = (
+                    f"worker crashed (exit code {worker.process.exitcode})"
+                )
+                hub.emit(
+                    ev.WORKER_CRASHED, job_id=spec.job_id, label=spec.label,
+                    worker=worker.worker_id, attempt=attempt, detail=detail,
+                )
+                if store is not None:
+                    store.record_attempt(spec.job_id, attempt, "crash", detail)
+                self._retry_or_fail(
+                    spec, attempt, detail, True, pending, outcome, store, hub
+                )
+
+    def _replenish(self, workers, pending, outbox, next_worker_id) -> int:
+        """Keep the pool sized to the remaining work after kills."""
+        busy = sum(1 for w in workers.values() if w.busy)
+        target = min(self.jobs, busy + len(pending))
+        while len(workers) < target:
+            workers[next_worker_id] = self._spawn(next_worker_id, outbox)
+            next_worker_id += 1
+        return next_worker_id
+
+    def _retry_or_fail(
+        self, spec, attempt, detail, retryable, pending, outcome, store, hub
+    ) -> None:
+        if retryable and attempt < self.retries:
+            delay = self.backoff * (2 ** attempt)
+            pending.append((time.monotonic() + delay, spec, attempt + 1))
+            hub.emit(
+                ev.JOB_RETRIED, job_id=spec.job_id, label=spec.label,
+                attempt=attempt + 1, detail=detail,
+            )
+            return
+        outcome.failures[spec.job_id] = detail
+        if store is not None:
+            store.record_failure(spec.job_id, detail)
+        hub.emit(
+            ev.JOB_FAILED, job_id=spec.job_id, label=spec.label,
+            attempt=attempt, detail=detail,
+        )
+
+    # -- teardown -------------------------------------------------------
+
+    def _kill(self, workers: Dict[int, _Worker], worker: _Worker) -> None:
+        workers.pop(worker.worker_id, None)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+        worker.inbox.cancel_join_thread()
+        worker.inbox.close()
+
+    def _shutdown(self, workers: Dict[int, _Worker]) -> None:
+        for worker in list(workers.values()):
+            try:
+                worker.inbox.put(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for worker in list(workers.values()):
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in list(workers.values()):
+            self._kill(workers, worker)
+
+
+# ----------------------------------------------------------------------
+# Front door
+# ----------------------------------------------------------------------
+
+
+def make_runner(
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    job_fn: JobFn = execute_job,
+    on_event: Optional[EventCallback] = None,
+):
+    """A SerialRunner for ``jobs=1``, a WorkerPool otherwise."""
+    if jobs <= 1:
+        return SerialRunner(retries=retries, job_fn=job_fn, on_event=on_event)
+    return WorkerPool(
+        jobs=jobs, timeout=timeout, retries=retries, job_fn=job_fn,
+        on_event=on_event,
+    )
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    store: Optional[ResultStore] = None,
+    job_fn: JobFn = execute_job,
+    on_event: Optional[EventCallback] = None,
+) -> RunnerOutcome:
+    """One-call campaign execution: plan in, outcome out."""
+    runner = make_runner(
+        jobs=jobs, timeout=timeout, retries=retries, job_fn=job_fn,
+        on_event=on_event,
+    )
+    return runner.run(specs, store=store)

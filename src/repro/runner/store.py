@@ -1,0 +1,228 @@
+"""SQLite-backed campaign result store.
+
+One store file = one campaign's durable state: the planned jobs, every
+attempt (with status, detail, wall time), and the result payload of
+each completed job.  Because job IDs are content-derived
+(:class:`~repro.runner.jobs.JobSpec.job_id`), re-planning the same
+campaign against an existing store recognises completed work, which is
+what powers ``--resume``: only pending and failed jobs are re-queued.
+
+Only the parent (pool) process writes the store — workers ship their
+payloads back over a queue — so there is no cross-process SQLite
+contention to manage.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.runner.jobs import JobSpec
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id    TEXT PRIMARY KEY,
+    seq       INTEGER NOT NULL,
+    kind      TEXT NOT NULL,
+    spec      TEXT NOT NULL,
+    status    TEXT NOT NULL DEFAULT 'pending',
+    attempts  INTEGER NOT NULL DEFAULT 0,
+    seed      INTEGER,
+    wall_time REAL,
+    updated_at REAL
+);
+CREATE TABLE IF NOT EXISTS results (
+    job_id  TEXT PRIMARY KEY,
+    payload TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS attempts (
+    id        INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id    TEXT NOT NULL,
+    attempt   INTEGER NOT NULL,
+    status    TEXT NOT NULL,
+    detail    TEXT,
+    wall_time REAL,
+    at        REAL
+);
+"""
+
+#: Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class StoreSummary:
+    """Counts by status, for progress lines and resume banners."""
+
+    total: int
+    done: int
+    failed: int
+    pending: int
+
+    def render(self) -> str:
+        return (
+            f"{self.done}/{self.total} done, {self.failed} failed, "
+            f"{self.pending} pending"
+        )
+
+
+class ResultStore:
+    """Durable job/result persistence for one campaign."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, specs: Iterable[JobSpec]) -> None:
+        """Record planned jobs; already-known job IDs keep their state."""
+        row = self._conn.execute("SELECT COALESCE(MAX(seq), -1) FROM jobs")
+        next_seq = row.fetchone()[0] + 1
+        for spec in specs:
+            cur = self._conn.execute(
+                "INSERT OR IGNORE INTO jobs (job_id, seq, kind, spec, seed,"
+                " updated_at) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    spec.job_id,
+                    next_seq,
+                    spec.kind,
+                    spec.to_json(),
+                    spec.seed,
+                    time.time(),
+                ),
+            )
+            if cur.rowcount:
+                next_seq += 1
+        self._conn.commit()
+
+    # -- state transitions ---------------------------------------------
+
+    def mark_running(self, job_id: str) -> None:
+        self._set_status(job_id, RUNNING)
+
+    def record_attempt(
+        self,
+        job_id: str,
+        attempt: int,
+        status: str,
+        detail: str = "",
+        wall_time: Optional[float] = None,
+    ) -> None:
+        """Log one attempt (success, error, timeout, or crash)."""
+        self._conn.execute(
+            "INSERT INTO attempts (job_id, attempt, status, detail,"
+            " wall_time, at) VALUES (?, ?, ?, ?, ?, ?)",
+            (job_id, attempt, status, detail, wall_time, time.time()),
+        )
+        self._conn.execute(
+            "UPDATE jobs SET attempts = attempts + 1, updated_at = ?"
+            " WHERE job_id = ?",
+            (time.time(), job_id),
+        )
+        self._conn.commit()
+
+    def record_success(
+        self, job_id: str, payload: dict, wall_time: Optional[float] = None
+    ) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results (job_id, payload) VALUES (?, ?)",
+            (job_id, json.dumps(payload)),
+        )
+        self._conn.execute(
+            "UPDATE jobs SET status = ?, wall_time = ?, updated_at = ?"
+            " WHERE job_id = ?",
+            (DONE, wall_time, time.time(), job_id),
+        )
+        self._conn.commit()
+
+    def record_failure(self, job_id: str, detail: str = "") -> None:
+        self._conn.execute(
+            "UPDATE jobs SET status = ?, updated_at = ? WHERE job_id = ?",
+            (FAILED, time.time(), job_id),
+        )
+        self._conn.commit()
+        del detail  # logged per-attempt via record_attempt
+
+    def _set_status(self, job_id: str, status: str) -> None:
+        self._conn.execute(
+            "UPDATE jobs SET status = ?, updated_at = ? WHERE job_id = ?",
+            (status, time.time(), job_id),
+        )
+        self._conn.commit()
+
+    # -- queries --------------------------------------------------------
+
+    def completed_ids(self) -> set:
+        rows = self._conn.execute(
+            "SELECT job_id FROM jobs WHERE status = ?", (DONE,)
+        )
+        return {row[0] for row in rows}
+
+    def attempts_of(self, job_id: str) -> int:
+        row = self._conn.execute(
+            "SELECT attempts FROM jobs WHERE job_id = ?", (job_id,)
+        ).fetchone()
+        return row[0] if row else 0
+
+    def payload(self, job_id: str) -> Optional[dict]:
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE job_id = ?", (job_id,)
+        ).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def payloads(self, kind: Optional[str] = None) -> List[Tuple[JobSpec, dict]]:
+        """All completed (spec, payload) pairs in plan order."""
+        query = (
+            "SELECT jobs.spec, results.payload FROM jobs"
+            " JOIN results ON jobs.job_id = results.job_id"
+        )
+        params: tuple = ()
+        if kind is not None:
+            query += " WHERE jobs.kind = ?"
+            params = (kind,)
+        query += " ORDER BY jobs.seq"
+        return [
+            (JobSpec.from_json(spec), json.loads(payload))
+            for spec, payload in self._conn.execute(query, params)
+        ]
+
+    def specs(self) -> List[JobSpec]:
+        """All registered jobs in plan order."""
+        rows = self._conn.execute("SELECT spec FROM jobs ORDER BY seq")
+        return [JobSpec.from_json(row[0]) for row in rows]
+
+    def summary(self) -> StoreSummary:
+        counts: Dict[str, int] = {}
+        for status, count in self._conn.execute(
+            "SELECT status, COUNT(*) FROM jobs GROUP BY status"
+        ):
+            counts[status] = count
+        total = sum(counts.values())
+        done = counts.get(DONE, 0)
+        failed = counts.get(FAILED, 0)
+        return StoreSummary(
+            total=total,
+            done=done,
+            failed=failed,
+            pending=total - done - failed,
+        )

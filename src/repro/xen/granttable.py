@@ -18,7 +18,7 @@ guest's mapping of them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.errors import EINVAL, EPERM, HypercallError  # noqa: F401 (EPERM used in transfer)
 from repro.xen.versions import Vulnerability

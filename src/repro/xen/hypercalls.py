@@ -20,23 +20,13 @@ The paper's injector adds one more entry to this table — see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
-from repro.errors import (
-    EBUSY,
-    EFAULT,
-    EINVAL,
-    ENOSYS,
-    EPERM,
-    GuestFault,
-    HypercallError,
-    HypervisorFault,
-)
+from repro.errors import EBUSY, EFAULT, EINVAL, ENOSYS, EPERM, GuestFault, HypercallError
 from repro.xen import constants as C
 from repro.xen.addrspace import Access
 from repro.xen.frames import PAGETABLE_TYPE_BY_LEVEL, PageType
-from repro.xen.paging import pte_mfn, pte_present
 from repro.xen.versions import Vulnerability
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

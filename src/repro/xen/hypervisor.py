@@ -164,7 +164,7 @@ class Xen:
         banner = [
             "",
             "****************************************",
-            f"Panic on CPU 0:",
+            "Panic on CPU 0:",
             f"{reason}",
             "****************************************",
             "",

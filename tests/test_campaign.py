@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core.campaign import Campaign, Mode, RunResult
+from repro.core.campaign import Campaign, Mode
 from repro.core.comparison import compare_runs
-from repro.exploits import USE_CASES, XSA148Priv, XSA182Test, XSA212Crash
+from repro.exploits import XSA148Priv, XSA182Test, XSA212Crash
 from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
 
 

@@ -6,9 +6,8 @@ from repro.core.campaign import Campaign, Mode
 from repro.core.injector import IntrusionInjector
 from repro.core.testbed import build_testbed
 from repro.defenses import GuardMode, IdtGuard, PageTableGuard, deploy
-from repro.exploits import USE_CASES, XSA148Priv, XSA182Test, XSA212Crash, XSA212Priv
+from repro.exploits import USE_CASES, XSA148Priv
 from repro.xen import constants as C
-from repro.xen import layout
 from repro.xen.paging import make_pte
 from repro.xen.versions import XEN_4_6, XEN_4_8
 

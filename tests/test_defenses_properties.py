@@ -1,12 +1,11 @@
 """Property tests: the integrity guards never miss, never false-alarm."""
 
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.injector import IntrusionInjector
 from repro.core.testbed import build_testbed
-from repro.defenses import GuardMode, IdtGuard, PageTableGuard, deploy
+from repro.defenses import IdtGuard, PageTableGuard, deploy
 from repro.xen import constants as C
 from repro.xen.paging import make_pte
 from repro.xen.versions import XEN_4_8

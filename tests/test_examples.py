@@ -9,7 +9,6 @@ import pathlib
 import runpy
 import sys
 
-import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 

@@ -88,3 +88,23 @@ class TestReport:
         text = small_report.render()
         for component in default_components():
             assert component.name in text
+
+
+class TestSeeding:
+    def test_seed_recorded_and_private_per_trial(self, small_report):
+        seeds = [r.seed for r in small_report.results]
+        assert all(s is not None for s in seeds)
+        assert len(set(seeds)) == len(seeds)
+
+    def test_bench_output_stable_under_fixed_seed(self):
+        """The archived fuzz bench artefact must be reproducible."""
+        import pathlib
+
+        archived = (
+            pathlib.Path(__file__).parent.parent
+            / "benchmarks" / "output" / "fuzz_campaign.txt"
+        )
+        report = RandomErroneousStateCampaign(XEN_4_13, seed=20230701).run(
+            runs_per_component=25
+        )
+        assert archived.read_text().startswith(report.render())

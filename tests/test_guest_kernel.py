@@ -9,11 +9,7 @@ from repro.guest.vdso import VDSO_FUNCTION_WORD, VDSO_LEGIT_CODE
 from repro.xen import constants as C
 from repro.xen import layout
 from repro.xen.frames import PageType
-from repro.xen.hypervisor import Xen
-from repro.xen.machine import Machine
 from repro.xen.payload import Payload
-from repro.xen.versions import XEN_4_8
-from tests.conftest import make_guest
 
 
 class TestBoot:

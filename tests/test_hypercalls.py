@@ -6,13 +6,7 @@ from repro.errors import EFAULT, ENOSYS, EPERM
 from repro.xen import constants as C
 from repro.xen import layout
 from repro.xen.frames import PageType
-from repro.xen.hypercalls import (
-    EventChannelOpArgs,
-    ExchangeArgs,
-    GrantTableOpArgs,
-    MmuExtOp,
-    MmuUpdate,
-)
+from repro.xen.hypercalls import ExchangeArgs, MmuExtOp, MmuUpdate
 from repro.xen.hypervisor import Xen
 from repro.xen.machine import Machine
 from repro.xen.paging import make_pte, pte_mfn

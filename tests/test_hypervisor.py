@@ -5,7 +5,6 @@ import pytest
 from repro.errors import GuestFault, HypercallError, HypervisorCrash
 from repro.xen import constants as C
 from repro.xen import layout
-from repro.xen.frames import PageType
 from repro.xen.hypervisor import Xen
 from repro.xen.idt import encode_gate
 from repro.xen.machine import Machine

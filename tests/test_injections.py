@@ -1,6 +1,5 @@
 """Tests for the standalone injection-script wrappers."""
 
-import pytest
 
 from repro.core.injections import (
     inject_xsa148_priv,

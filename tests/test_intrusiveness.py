@@ -1,6 +1,5 @@
 """Tests for the audit trail and intrusiveness profiling (§IX-D)."""
 
-import pytest
 
 from repro.analysis.intrusiveness import IntrusivenessProfile, profile
 from repro.core.campaign import Campaign, Mode
@@ -9,7 +8,7 @@ from repro.core.testbed import build_testbed
 from repro.exploits import XSA148Priv
 from repro.xen import constants as C
 from repro.xen import layout
-from repro.xen.versions import XEN_4_6, XEN_4_8
+from repro.xen.versions import XEN_4_6
 
 
 class TestAuditTrail:

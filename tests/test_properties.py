@@ -17,7 +17,7 @@ from repro.xen import layout
 from repro.xen.addrspace import Access
 from repro.xen.hypervisor import Xen
 from repro.xen.machine import Machine
-from repro.xen.paging import make_pte, pte_mfn
+from repro.xen.paging import make_pte
 from repro.xen.versions import XEN_4_6, XEN_4_8, XEN_4_13
 from tests.conftest import make_guest
 

@@ -1,19 +1,13 @@
 """Property-based tests over the driver, store and scheduler subsystems."""
 
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.drivers.ring import (
-    RING_SIZE,
-    RingRequest,
-    RingResponse,
-    SharedRing,
-)
+from repro.drivers.ring import RING_SIZE, RingRequest, SharedRing
 from repro.xen.hypervisor import Xen
 from repro.xen.machine import Machine
 from repro.xen.versions import XEN_4_8
-from repro.xen.xenstore import XenStore, XenStoreError
+from repro.xen.xenstore import XenStoreError
 from tests.conftest import make_guest
 
 _WORD = st.integers(min_value=0, max_value=(1 << 40) - 1)

@@ -11,7 +11,7 @@ from repro.analysis.report import (
     summarize_by_version,
 )
 from repro.core.campaign import Campaign, Mode
-from repro.exploits import USE_CASES, XSA182Test, XSA212Crash
+from repro.exploits import XSA182Test, XSA212Crash
 from repro.xen.versions import XEN_4_8, XEN_4_13
 
 
@@ -80,3 +80,52 @@ class TestMarkdown:
             line for line in text.splitlines() if line.startswith("| XSA-")
         ]
         assert len(run_rows) == len(results)
+
+
+class TestFromStore:
+    """Parallel and serial campaigns must render identical artefacts."""
+
+    @pytest.fixture(scope="class")
+    def store_and_results(self, tmp_path_factory):
+        from repro.runner import ResultStore, SerialRunner
+
+        use_cases = [XSA182Test, XSA212Crash]
+        versions = [XEN_4_8, XEN_4_13]
+        serial = Campaign().run_matrix(use_cases, versions)
+        path = tmp_path_factory.mktemp("store") / "campaign.sqlite"
+        store = ResultStore(str(path))
+        Campaign().run_matrix(
+            use_cases, versions, runner=SerialRunner(), store=store
+        )
+        yield store, serial
+        store.close()
+
+    def test_round_trip_preserves_run_results(self):
+        from repro.analysis.report import result_to_dict, run_result_from_dict
+
+        original = Campaign().run(XSA182Test, XEN_4_13, Mode.INJECTION)
+        restored = run_result_from_dict(result_to_dict(original))
+        assert restored.summary == original.summary
+        assert restored.erroneous_state.matches(original.erroneous_state)
+        assert restored.violation.matches(original.violation)
+        assert restored.console == original.console[-6:]
+
+    def test_markdown_from_store_is_byte_identical(self, store_and_results):
+        from repro.analysis.report import render_markdown_report_from_store
+
+        store, serial = store_and_results
+        assert render_markdown_report_from_store(store, "T") == \
+            render_markdown_report(serial, "T")
+
+    def test_json_from_store_is_byte_identical(self, store_and_results):
+        from repro.analysis.report import results_json_from_store
+
+        store, serial = store_and_results
+        assert results_json_from_store(store) == results_to_json(serial)
+
+    def test_runs_from_store_in_plan_order(self, store_and_results):
+        from repro.analysis.report import runs_from_store
+
+        store, serial = store_and_results
+        assert [r.summary for r in runs_from_store(store)] == \
+            [r.summary for r in serial]

@@ -1,0 +1,331 @@
+"""Tests for ``repro.runner`` — the campaign execution engine.
+
+The worker-pool tests exercise the fault-tolerance contract with
+``selftest`` jobs (hang / crash / flaky) so they stay fast and
+deterministic; the integration tests then prove the property the
+engine exists for: parallel campaigns produce exactly the serial
+results.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.fuzz import FuzzCampaign, trial_seed
+from repro.runner import (
+    EventRecorder,
+    JobSpec,
+    ResultStore,
+    SerialRunner,
+    WorkerPool,
+    execute_job,
+    make_runner,
+    plan_benchmark,
+    plan_campaign,
+    plan_fuzz,
+    plan_testcases,
+    run_jobs,
+)
+from repro.runner import events as ev
+from repro.runner.pool import CampaignFailed
+from repro.xen.versions import XEN_4_13
+
+
+def selftest(behaviour: str) -> JobSpec:
+    return JobSpec(kind="selftest", use_case=behaviour)
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = JobSpec(
+            kind="fuzz-trial", use_case="idt", version="4.13", seed=99, trial=3
+        )
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_job_id_is_stable_and_content_derived(self):
+        a = JobSpec(kind="campaign-run", use_case="x", version="4.8", mode="exploit")
+        b = JobSpec(kind="campaign-run", use_case="x", version="4.8", mode="exploit")
+        c = JobSpec(kind="campaign-run", use_case="x", version="4.8", mode="injection")
+        assert a.job_id == b.job_id
+        assert a.job_id != c.job_id
+        assert a.job_id.startswith("campaign-run:")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec(kind="nonsense", use_case="x")
+
+    def test_label_mentions_the_work(self):
+        spec = JobSpec(kind="fuzz-trial", use_case="idt", version="4.13", trial=2)
+        assert "idt" in spec.label and "#2" in spec.label
+
+
+class TestPlanners:
+    def test_campaign_plan_matches_matrix_order(self):
+        specs = plan_campaign(["a", "b"], ["4.6", "4.8"], ["injection"])
+        assert [(s.use_case, s.version) for s in specs] == [
+            ("a", "4.6"), ("a", "4.8"), ("b", "4.6"), ("b", "4.8"),
+        ]
+
+    def test_fuzz_plan_derives_per_trial_seeds(self):
+        specs = plan_fuzz("4.13", ["idt"], 3, 7)
+        assert [s.seed for s in specs] == [
+            trial_seed(7, "idt", 0), trial_seed(7, "idt", 1), trial_seed(7, "idt", 2),
+        ]
+        assert len({s.seed for s in specs}) == 3
+
+    def test_trial_seed_fits_sqlite_integer(self):
+        assert 0 <= trial_seed(2**40, "idt", 10**6) < 2**63
+
+    def test_benchmark_and_testcase_plans(self):
+        bench = plan_benchmark(["i1", "i2"], ["4.6", "4.13"])
+        assert len(bench) == 4 and bench[0].version == "4.6"
+        cases = plan_testcases(["t1", "t2"], "4.8")
+        assert [s.use_case for s in cases] == ["t1", "t2"]
+
+    def test_replanning_yields_identical_ids(self):
+        first = [s.job_id for s in plan_fuzz("4.13", ["idt", "m2p"], 2, 5)]
+        second = [s.job_id for s in plan_fuzz("4.13", ["idt", "m2p"], 2, 5)]
+        assert first == second
+
+
+class TestResultStore:
+    def test_register_is_idempotent(self, tmp_path):
+        specs = [selftest("ok"), selftest("fail")]
+        with ResultStore(str(tmp_path / "s.sqlite")) as store:
+            store.register(specs)
+            store.register(specs)
+            assert len(store.specs()) == 2
+            assert [s.job_id for s in store.specs()] == [s.job_id for s in specs]
+
+    def test_success_and_payload_order(self):
+        specs = plan_fuzz("4.13", ["idt", "m2p"], 1, 3)
+        with ResultStore() as store:
+            store.register(specs)
+            # complete them out of plan order
+            store.record_success(specs[1].job_id, {"n": 1})
+            store.record_success(specs[0].job_id, {"n": 0})
+            assert [p["n"] for _s, p in store.payloads()] == [0, 1]
+            assert store.completed_ids() == {s.job_id for s in specs}
+
+    def test_attempts_and_summary(self):
+        spec = selftest("ok")
+        with ResultStore() as store:
+            store.register([spec])
+            store.record_attempt(spec.job_id, 0, "timeout", "budget")
+            store.record_attempt(spec.job_id, 1, "done", "")
+            store.record_success(spec.job_id, {"status": "ok"})
+            assert store.attempts_of(spec.job_id) == 2
+            summary = store.summary()
+            assert (summary.total, summary.done, summary.failed) == (1, 1, 0)
+            assert "1/1 done" in summary.render()
+
+    def test_failure_is_recorded(self):
+        spec = selftest("fail")
+        with ResultStore() as store:
+            store.register([spec])
+            store.record_failure(spec.job_id, "boom")
+            assert store.summary().failed == 1
+            assert store.payload(spec.job_id) is None
+
+
+class TestSerialRunner:
+    def test_executes_and_reports_events(self):
+        recorder = EventRecorder()
+        outcome = SerialRunner(on_event=recorder).run([selftest("ok")])
+        assert not outcome.failures
+        assert recorder.kinds() == [
+            ev.JOB_STARTED, ev.JOB_FINISHED, ev.CAMPAIGN_FINISHED,
+        ]
+        finished = recorder.events[1]
+        assert (finished.done, finished.total) == (1, 1)
+
+    def test_transient_failure_retried_to_success(self):
+        outcome = SerialRunner(retries=2).run([selftest("flaky:2")])
+        [payload] = outcome.results.values()
+        assert payload["attempt"] == 2 and not outcome.failures
+
+    def test_permanent_failure_not_retried(self):
+        recorder = EventRecorder()
+        outcome = SerialRunner(retries=3, on_event=recorder).run([selftest("fail")])
+        assert len(outcome.failures) == 1
+        assert ev.JOB_RETRIED not in recorder.kinds()
+
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        specs = [selftest("ok"), selftest("flaky:0"), selftest("ok:again")]
+        path = str(tmp_path / "resume.sqlite")
+        with ResultStore(path) as store:
+            SerialRunner().run(specs[:2], store=store)
+        with ResultStore(path) as store:
+            recorder = EventRecorder()
+            outcome = SerialRunner(on_event=recorder).run(specs, store=store)
+            assert outcome.skipped == {specs[0].job_id, specs[1].job_id}
+            assert recorder.kinds().count(ev.JOB_SKIPPED) == 2
+            # the done jobs were not re-attempted
+            assert store.attempts_of(specs[0].job_id) == 1
+            assert len(outcome.results) == 3
+
+    def test_failed_jobs_requeued_on_resume(self, tmp_path):
+        path = str(tmp_path / "requeue.sqlite")
+        flaky = selftest("flaky:1")
+        with ResultStore(path) as store:
+            outcome = SerialRunner(retries=0).run([flaky], store=store)
+            assert flaky.job_id in outcome.failures
+        with ResultStore(path) as store:
+            outcome = SerialRunner(retries=1).run([flaky], store=store)
+            assert flaky.job_id in outcome.results
+
+    def test_payloads_for_raises_on_failures(self):
+        outcome = SerialRunner(retries=0).run([selftest("fail")])
+        with pytest.raises(CampaignFailed, match="1 job"):
+            outcome.payloads_for([selftest("fail")])
+
+
+class TestWorkerPool:
+    def test_timeout_kills_worker_and_campaign_survives(self):
+        recorder = EventRecorder()
+        pool = WorkerPool(jobs=2, timeout=1.0, retries=0, on_event=recorder)
+        specs = [selftest("hang:60"), selftest("ok"), selftest("ok:2"),
+                 selftest("ok:3")]
+        outcome = pool.run(specs)
+        assert specs[0].job_id in outcome.failures
+        assert "wall-clock" in outcome.failures[specs[0].job_id]
+        assert len(outcome.results) == 3
+        assert ev.JOB_TIMEOUT in recorder.kinds()
+
+    def test_worker_crash_fails_only_its_job(self):
+        recorder = EventRecorder()
+        pool = WorkerPool(jobs=2, retries=0, on_event=recorder)
+        specs = [selftest("crash"), selftest("ok"), selftest("ok:2"),
+                 selftest("ok:3")]
+        outcome = pool.run(specs)
+        assert "crashed" in outcome.failures[specs[0].job_id]
+        assert len(outcome.results) == 3
+        assert ev.WORKER_CRASHED in recorder.kinds()
+
+    def test_transient_failure_retried_across_workers(self):
+        pool = WorkerPool(jobs=2, retries=1)
+        outcome = pool.run([selftest("flaky:1"), selftest("ok")])
+        assert not outcome.failures
+        flaky_payload = outcome.results[selftest("flaky:1").job_id]
+        assert flaky_payload["attempt"] == 1
+
+    def test_resume_completes_half_finished_store(self, tmp_path):
+        specs = plan_fuzz("4.13", ["idt", "victim-data"], 2, 7)
+        path = str(tmp_path / "half.sqlite")
+        with ResultStore(path) as store:
+            SerialRunner().run(specs[:2], store=store)
+        with ResultStore(path) as store:
+            outcome = WorkerPool(jobs=2).run(specs, store=store)
+            assert not outcome.failures and len(outcome.results) == 4
+            assert outcome.skipped == {s.job_id for s in specs[:2]}
+            for spec in specs[:2]:
+                assert store.attempts_of(spec.job_id) == 1
+            assert store.summary().done == 4
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerPool(jobs=0)
+
+    def test_make_runner_picks_implementation(self):
+        assert isinstance(make_runner(jobs=1), SerialRunner)
+        assert isinstance(make_runner(jobs=4), WorkerPool)
+
+
+class TestParallelFuzzParity:
+    def test_parallel_fuzz_matches_serial_counter(self):
+        serial = FuzzCampaign(XEN_4_13, seed=11).run(runs_per_component=2)
+        parallel = FuzzCampaign(XEN_4_13, seed=11).run(
+            runs_per_component=2, runner=WorkerPool(jobs=2)
+        )
+        assert Counter(r.outcome for r in serial.results) == Counter(
+            r.outcome for r in parallel.results
+        )
+        assert [(r.component, r.mfn, r.word, r.value, r.seed)
+                for r in serial.results] == \
+               [(r.component, r.mfn, r.word, r.value, r.seed)
+                for r in parallel.results]
+        assert serial.render() == parallel.render()
+
+    def test_trial_is_replayable_standalone_from_its_seed(self):
+        campaign = FuzzCampaign(XEN_4_13, seed=5)
+        report = campaign.run(runs_per_component=1)
+        for result in report.results:
+            replayed = campaign.replay(result.component, result.seed)
+            assert replayed == result
+
+    def test_custom_components_rejected_on_parallel_path(self):
+        from repro.core.fuzz import ComponentTarget
+
+        campaign = FuzzCampaign(
+            XEN_4_13,
+            components=[ComponentTarget("custom", lambda bed: [1])],
+        )
+        with pytest.raises(ValueError, match="custom"):
+            campaign.run(runs_per_component=1, runner=SerialRunner())
+
+
+class TestExecuteJob:
+    def test_campaign_run_payload_shape(self):
+        spec = JobSpec(
+            kind="campaign-run", use_case="XSA-182-test", version="4.8",
+            mode="injection",
+        )
+        payload = execute_job(spec)
+        assert payload["use_case"] == "XSA-182-test"
+        assert payload["erroneous_state"]["achieved"] is True
+
+    def test_testcase_payload_shape(self):
+        spec = JobSpec(kind="testcase", use_case="xsa-182-test", version="4.13")
+        payload = execute_job(spec)
+        assert payload["name"] == "xsa-182-test"
+        assert "violation" in payload
+
+    def test_benchmark_payload_shape(self):
+        spec = JobSpec(
+            kind="benchmark-case", use_case="interrupt-storm", version="4.13"
+        )
+        payload = execute_job(spec)
+        assert payload["attribute"] == "availability"
+
+    def test_run_jobs_front_door(self):
+        outcome = run_jobs([selftest("ok")])
+        assert len(outcome.results) == 1
+
+
+class TestCliIntegration:
+    def run_fuzz(self, capsys, *extra) -> str:
+        code = cli_main(
+            ["fuzz", "--runs", "2", "--seed", "7", "--version", "4.13", *extra]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_jobs_4_matches_jobs_1(self, capsys):
+        serial = self.run_fuzz(capsys, "--jobs", "1")
+        parallel = self.run_fuzz(capsys, "--jobs", "4")
+        assert parallel == serial
+
+    def test_store_then_resume_skips_done_jobs(self, capsys, tmp_path):
+        path = str(tmp_path / "cli.sqlite")
+        first = self.run_fuzz(capsys, "--store", path)
+        with ResultStore(path) as store:
+            attempts = {
+                spec.job_id: store.attempts_of(spec.job_id)
+                for spec in store.specs()
+            }
+            assert all(count == 1 for count in attempts.values())
+        resumed = self.run_fuzz(capsys, "--resume", path)
+        assert resumed == first
+        with ResultStore(path) as store:
+            for job_id, count in attempts.items():
+                assert store.attempts_of(job_id) == count  # no re-execution
+
+    def test_testcase_suite_accepts_runner_flags(self, capsys, tmp_path):
+        path = str(tmp_path / "suite.sqlite")
+        code = cli_main(["testcase", "suite", "--store", path])
+        assert code == 0
+        plain = capsys.readouterr().out
+        assert "handled" in plain
+        with ResultStore(path) as store:
+            assert store.summary().done == len(store.specs()) > 0

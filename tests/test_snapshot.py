@@ -8,9 +8,8 @@ from repro.errors import HypervisorCrash
 from repro.exploits import USE_CASES, XSA182Test, XSA212Crash
 from repro.exploits.base import ExploitFailed
 from repro.guest.kernel import KernelOops
-from repro.xen.machine import Machine
 from repro.xen.snapshot import MachineSnapshot, WordChange
-from repro.xen.versions import XEN_4_6, XEN_4_8
+from repro.xen.versions import XEN_4_6
 
 
 class TestSnapshot:

@@ -3,14 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.state_machine import (
-    AbstractIntrusionMachine,
-    ConcreteSystemMachine,
-    Transition,
-    abstract_from_concrete,
-    build_figure3_machines,
-    functionally_equivalent,
-)
+from repro.core.state_machine import AbstractIntrusionMachine, abstract_from_concrete, build_figure3_machines, functionally_equivalent
 
 
 class TestConcreteMachine:

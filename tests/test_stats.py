@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.analysis.stats import (
-    HandlingComparison,
-    bootstrap_rate,
-    compare_handling,
-    handling_scores,
-)
+from repro.analysis.stats import bootstrap_rate, compare_handling, handling_scores
 from repro.core.campaign import Campaign, Mode
 from repro.core.fuzz import FuzzReport, FuzzResult
 from repro.exploits import USE_CASES

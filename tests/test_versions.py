@@ -2,17 +2,7 @@
 
 import pytest
 
-from repro.xen.versions import (
-    ALL_VERSIONS,
-    XEN_4_6,
-    XEN_4_8,
-    XEN_4_13,
-    XEN_4_16,
-    Hardening,
-    Vulnerability,
-    XenVersion,
-    version_by_name,
-)
+from repro.xen.versions import ALL_VERSIONS, XEN_4_6, XEN_4_8, XEN_4_13, XEN_4_16, Hardening, Vulnerability, version_by_name
 
 
 class TestShippedConfigurations:

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.xen.xenstore import XenStore, XenStoreError, domain_prefix
-from tests.conftest import make_guest
+from repro.xen.xenstore import XenStoreError, domain_prefix
 
 
 @pytest.fixture

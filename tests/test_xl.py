@@ -50,7 +50,7 @@ class TestInspection:
 
     def test_info_summary(self, xl, bed48):
         info = xl.info()
-        assert f"xen_version            : 4.8" in info
+        assert "xen_version            : 4.8" in info
         assert "nr_domains             : 3" in info
 
 
