@@ -151,6 +151,10 @@ def _build_parser() -> argparse.ArgumentParser:
     testcase.add_argument("--version", default="4.13")
     _add_runner_args(testcase)
 
+    from repro.staticcheck.cli import add_staticcheck_parser
+
+    add_staticcheck_parser(sub)
+
     return parser
 
 
@@ -217,11 +221,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     from repro.runner.pool import CampaignFailed
+    from repro.runner.store import StorePlanMismatch
 
     try:
         return _dispatch(args)
     except CampaignFailed as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)
+        return 1
+    except StorePlanMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
 
 
@@ -297,6 +305,10 @@ def _dispatch(args) -> int:
         print(coverage_report().render())
     elif args.command == "testcase":
         return _cmd_testcase(args)
+    elif args.command == "staticcheck":
+        from repro.staticcheck.cli import run_staticcheck
+
+        return run_staticcheck(args)
     return 0
 
 

@@ -209,7 +209,7 @@ def inject_fatal_exception(
         kernel.memory_exchange(
             ExchangeArgs(in_pfns=[pfn], out_extent_start=kernel.kva(pfn))
         )
-    except HypervisorCrash:
+    except HypervisorCrash:  # staticcheck: ignore[R3] the FATAL crash is the injected outcome; CrashMonitor observes it next
         pass
     violation = CrashMonitor().observe(bed)
     return erroneous, violation

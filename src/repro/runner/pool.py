@@ -26,7 +26,7 @@ import multiprocessing
 import queue
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.runner import events as ev
 from repro.runner.events import EventCallback, EventHub
@@ -113,8 +113,9 @@ class SerialRunner:
         outcome = RunnerOutcome()
         hub = EventHub(total=len(specs), callback=self.on_event)
         remaining = _resume_into(outcome, specs, store)
-        for job_id in outcome.skipped:
-            hub.emit(ev.JOB_SKIPPED, job_id=job_id)
+        for spec in specs:  # plan order, not set order: deterministic events
+            if spec.job_id in outcome.skipped:
+                hub.emit(ev.JOB_SKIPPED, job_id=spec.job_id)
 
         for spec in remaining:
             if store is not None:
@@ -201,7 +202,7 @@ class _Worker:
 
     worker_id: int
     process: multiprocessing.process.BaseProcess
-    inbox: object
+    inbox: Any  # multiprocessing.Queue from a spawn context
     spec: Optional[JobSpec] = None
     attempt: int = 0
     started_at: float = 0.0
@@ -244,8 +245,9 @@ class WorkerPool:
         outcome = RunnerOutcome()
         hub = EventHub(total=len(specs), callback=self.on_event)
         remaining = _resume_into(outcome, specs, store)
-        for job_id in outcome.skipped:
-            hub.emit(ev.JOB_SKIPPED, job_id=job_id)
+        for spec in specs:  # plan order, not set order: deterministic events
+            if spec.job_id in outcome.skipped:
+                hub.emit(ev.JOB_SKIPPED, job_id=spec.job_id)
         if not remaining:
             hub.emit(ev.CAMPAIGN_FINISHED)
             return outcome
@@ -348,9 +350,9 @@ class WorkerPool:
             return
         now = time.monotonic()
         for worker in list(workers.values()):
-            if not worker.busy or now - worker.started_at <= self.timeout:
-                continue
             spec, attempt = worker.spec, worker.attempt
+            if spec is None or now - worker.started_at <= self.timeout:
+                continue
             detail = f"exceeded {self.timeout:.1f}s wall-clock budget"
             hub.emit(
                 ev.JOB_TIMEOUT, job_id=spec.job_id, label=spec.label,

@@ -14,11 +14,12 @@ contention to manage.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sqlite3
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.runner.jobs import JobSpec
 
@@ -47,7 +48,27 @@ CREATE TABLE IF NOT EXISTS attempts (
     wall_time REAL,
     at        REAL
 );
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
 """
+
+_PLAN_HASH_KEY = "plan_hash"
+
+
+class StorePlanMismatch(RuntimeError):
+    """A store holds jobs from a different campaign plan.
+
+    Raised instead of silently resuming against the wrong store, which
+    would report the old campaign's completed jobs as this campaign's
+    results.
+    """
+
+
+def _plan_hash(job_ids: Iterable[str]) -> str:
+    digest = hashlib.sha1("\n".join(sorted(job_ids)).encode("ascii"))
+    return digest.hexdigest()
 
 #: Job lifecycle states.
 PENDING = "pending"
@@ -75,8 +96,13 @@ class StoreSummary:
 class ResultStore:
     """Durable job/result persistence for one campaign."""
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(
+        self,
+        path: str = ":memory:",
+        clock: Callable[[], float] = time.time,
+    ):
         self.path = path
+        self._clock = clock
         self._conn = sqlite3.connect(path)
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
@@ -95,7 +121,18 @@ class ResultStore:
     # -- registration ---------------------------------------------------
 
     def register(self, specs: Iterable[JobSpec]) -> None:
-        """Record planned jobs; already-known job IDs keep their state."""
+        """Record planned jobs; already-known job IDs keep their state.
+
+        Raises :class:`StorePlanMismatch` when the store already holds a
+        *different* campaign plan — resuming against the wrong store
+        would silently report another campaign's results as completed
+        work.  Growing or shrinking the same campaign (the incoming
+        plan is a superset or subset of the recorded one) is fine; a
+        plan that neither contains nor is contained by the recorded
+        jobs is a different campaign.
+        """
+        specs = list(specs)
+        self._guard_plan(specs)
         row = self._conn.execute("SELECT COALESCE(MAX(seq), -1) FROM jobs")
         next_seq = row.fetchone()[0] + 1
         for spec in specs:
@@ -108,12 +145,39 @@ class ResultStore:
                     spec.kind,
                     spec.to_json(),
                     spec.seed,
-                    time.time(),
+                    self._clock(),
                 ),
             )
             if cur.rowcount:
                 next_seq += 1
+        registered = [
+            r[0] for r in self._conn.execute("SELECT job_id FROM jobs")
+        ]
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (_PLAN_HASH_KEY, _plan_hash(registered)),
+        )
         self._conn.commit()
+
+    def _guard_plan(self, specs: List[JobSpec]) -> None:
+        existing = {
+            r[0] for r in self._conn.execute("SELECT job_id FROM jobs")
+        }
+        if not existing:  # fresh store: nothing to guard against
+            return
+        incoming = {spec.job_id for spec in specs}
+        if existing <= incoming or incoming <= existing:
+            return
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (_PLAN_HASH_KEY,)
+        ).fetchone()
+        recorded = row[0] if row is not None else _plan_hash(existing)
+        raise StorePlanMismatch(
+            f"store {self.path!r} was created for a different campaign "
+            f"plan (recorded {recorded[:12]}, current "
+            f"{_plan_hash(incoming)[:12]}); pass a fresh --store path or "
+            "resume with the original command line"
+        )
 
     # -- state transitions ---------------------------------------------
 
@@ -132,12 +196,12 @@ class ResultStore:
         self._conn.execute(
             "INSERT INTO attempts (job_id, attempt, status, detail,"
             " wall_time, at) VALUES (?, ?, ?, ?, ?, ?)",
-            (job_id, attempt, status, detail, wall_time, time.time()),
+            (job_id, attempt, status, detail, wall_time, self._clock()),
         )
         self._conn.execute(
             "UPDATE jobs SET attempts = attempts + 1, updated_at = ?"
             " WHERE job_id = ?",
-            (time.time(), job_id),
+            (self._clock(), job_id),
         )
         self._conn.commit()
 
@@ -151,14 +215,14 @@ class ResultStore:
         self._conn.execute(
             "UPDATE jobs SET status = ?, wall_time = ?, updated_at = ?"
             " WHERE job_id = ?",
-            (DONE, wall_time, time.time(), job_id),
+            (DONE, wall_time, self._clock(), job_id),
         )
         self._conn.commit()
 
     def record_failure(self, job_id: str, detail: str = "") -> None:
         self._conn.execute(
             "UPDATE jobs SET status = ?, updated_at = ? WHERE job_id = ?",
-            (FAILED, time.time(), job_id),
+            (FAILED, self._clock(), job_id),
         )
         self._conn.commit()
         del detail  # logged per-attempt via record_attempt
@@ -166,7 +230,7 @@ class ResultStore:
     def _set_status(self, job_id: str, status: str) -> None:
         self._conn.execute(
             "UPDATE jobs SET status = ?, updated_at = ? WHERE job_id = ?",
-            (status, time.time(), job_id),
+            (status, self._clock(), job_id),
         )
         self._conn.commit()
 

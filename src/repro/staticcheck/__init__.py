@@ -1,0 +1,46 @@
+"""Domain-aware static analysis for the simulator's hypervisor invariants.
+
+The paper's three use cases all stem from *missing checks* on
+privileged state transitions: XSA-212 is an absent bounds check,
+XSA-148 a missing L2-entry invariant check, XSA-182 a fast path that
+skips re-validation.  The simulator encodes the corrected checks in
+Python — refcount pairing in :mod:`repro.xen.frames`, ownership gates
+in the hypercall handlers, the ``SimulationError`` taxonomy, per-trial
+seeded RNGs — and this package enforces, at the AST level, that future
+changes keep encoding them:
+
+* **R1 refcount-balance** — ``frames.get_page``/``get_page_type``
+  references must be released on every exit path (the XSA-212 family:
+  a reference leaked on an error edge is a latent type-confusion);
+* **R2 privilege-gate** — hypercall handlers that mutate MFN-level
+  state must consult ownership or privilege first (the XSA-148 family:
+  a mutation without a gate is the vulnerability shape itself);
+* **R3 error-taxonomy** — no bare ``except:``/``raise Exception``;
+  ``HypervisorCrash``/``DoubleFault`` may never be silently swallowed;
+* **R4 determinism** — no module-level RNG, wall-clock reads, or
+  unordered-set iteration in ``repro.core``/``repro.runner`` (parallel
+  campaigns must equal serial ones, bit for bit);
+* **R5 version-gating** — Xen-version conditionals go through
+  :mod:`repro.xen.versions` predicates, never raw comparisons.
+
+Deliberate exceptions carry inline waivers
+(``# staticcheck: ignore[R1] reason`` / ``# staticcheck: trusted``);
+known legacy findings can be accepted wholesale via a baseline file.
+Entry points: ``repro staticcheck`` on the command line,
+:func:`repro.staticcheck.engine.check_paths` from code.
+"""
+
+from repro.staticcheck.baseline import load_baseline, write_baseline
+from repro.staticcheck.engine import CheckResult, check_paths, check_source
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import RULE_REGISTRY
+
+__all__ = [
+    "CheckResult",
+    "Finding",
+    "RULE_REGISTRY",
+    "check_paths",
+    "check_source",
+    "load_baseline",
+    "write_baseline",
+]

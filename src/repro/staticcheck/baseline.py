@@ -1,0 +1,46 @@
+"""Baseline file: accepted findings, keyed by stable fingerprint.
+
+A baseline lets the checker be adopted on a codebase with pre-existing
+findings: ``repro staticcheck --write-baseline`` records what exists
+today, and from then on only *new* findings fail the build.  The
+repository itself carries no baseline entries — every deliberate
+exception is an inline waiver instead — but the mechanism is part of
+the framework so downstream forks can ratchet.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Set
+
+from repro.staticcheck.model import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints accepted by the baseline file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    return set(data.get("fingerprints", {}))
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write all ``findings`` as the new baseline; returns the count."""
+    fingerprints: Dict[str, dict] = {}
+    for finding in findings:
+        fingerprints[finding.fingerprint] = {
+            "rule": finding.rule,
+            "path": finding.path.replace("\\", "/"),
+            "function": finding.function,
+            "message": finding.message,
+        }
+    payload = {"version": BASELINE_VERSION, "fingerprints": fingerprints}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(fingerprints)

@@ -1,0 +1,131 @@
+"""The ``repro staticcheck`` subcommand.
+
+Usage::
+
+    repro staticcheck [PATHS...]            # default: src
+    repro staticcheck src --json report.json
+    repro staticcheck src --rules R1,R3
+    repro staticcheck src --baseline staticcheck.baseline.json
+    repro staticcheck src --write-baseline staticcheck.baseline.json
+    repro staticcheck --list-rules
+
+Exit codes: 0 clean (waived/baselined findings do not count), 1 when
+any finding or parse error remains, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.staticcheck.baseline import load_baseline, write_baseline
+from repro.staticcheck.engine import check_paths
+from repro.staticcheck.reporters import render_json, render_text
+from repro.staticcheck.rules import RULE_REGISTRY
+
+
+def load_config(pyproject: str = "pyproject.toml") -> dict:
+    """The ``[tool.staticcheck]`` table, or ``{}``.
+
+    Config is best-effort: no pyproject, no ``tomllib`` (Python < 3.11
+    without tomli), or no table all mean defaults.
+    """
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ImportError:
+            return {}
+    try:
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+    except (OSError, ValueError):
+        return {}
+    table = data.get("tool", {}).get("staticcheck", {})
+    return table if isinstance(table, dict) else {}
+
+
+def add_staticcheck_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the subcommand to the main ``repro`` parser."""
+    parser = sub.add_parser(
+        "staticcheck",
+        help="enforce the simulator's hypervisor invariants on the source",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to check "
+        "(default: [tool.staticcheck] paths in pyproject.toml, else src)",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write a JSON findings report (CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="accept findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list waived and baselined findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="describe the rule set and exit",
+    )
+
+
+def run_staticcheck(args: argparse.Namespace) -> int:
+    """Execute the subcommand; returns the process exit code."""
+    if args.list_rules:
+        for rule in sorted(RULE_REGISTRY.values(), key=lambda r: r.id):
+            print(f"{rule.id}  {rule.name:<18} {rule.description}")
+        return 0
+
+    config = load_config()
+    paths = args.paths or config.get("paths") or ["src"]
+
+    rule_ids: Optional[List[str]] = None
+    if args.rules:
+        rule_ids = [part for part in args.rules.split(",") if part.strip()]
+
+    baseline: set = set()
+    baseline_path = args.baseline or config.get("baseline")
+    if baseline_path:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"staticcheck: bad baseline: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = check_paths(paths, rules=rule_ids, baseline=baseline)
+    except KeyError as exc:
+        print(f"staticcheck: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(
+            args.write_baseline, result.findings + result.baselined
+        )
+        print(
+            f"staticcheck: baselined {count} finding(s) into "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result))
+
+    print(render_text(result, verbose=args.verbose))
+    return result.exit_code

@@ -1,0 +1,161 @@
+"""The checker engine: file discovery, rule dispatch, waiver filtering.
+
+``check_paths`` is the front door: it expands files/directories,
+parses each Python file once, runs every selected rule over the AST,
+then filters the raw findings through the file's inline waivers and
+the optional baseline.  ``check_source`` is the same pipeline for an
+in-memory snippet — what the fixture tests use.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import RULE_REGISTRY, Rule, RuleContext
+from repro.staticcheck.waivers import Waiver, WaiverSet
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one checker run."""
+
+    #: Findings that survived waivers and the baseline — these fail CI.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings suppressed by an inline waiver, with the waiver.
+    waived: List[Tuple[Finding, Waiver]] = field(default_factory=list)
+    #: Findings suppressed by the baseline file.
+    baselined: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: Syntax/IO problems, as findings under the pseudo-rule E0.
+    errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def waivers_used(self) -> int:
+        """Distinct waiver comments that suppressed at least one finding."""
+        return len({(f.path, w.line) for f, w in self.waived})
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.errors) else 0
+
+    def extend(self, other: "CheckResult") -> None:
+        self.findings.extend(other.findings)
+        self.waived.extend(other.waived)
+        self.baselined.extend(other.baselined)
+        self.errors.extend(other.errors)
+        self.files_checked += other.files_checked
+
+
+def _select_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+    if rule_ids is None:
+        return [RULE_REGISTRY[key] for key in sorted(RULE_REGISTRY)]
+    rules = []
+    for raw in rule_ids:
+        key = raw.strip().upper()
+        if key not in RULE_REGISTRY:
+            known = ", ".join(sorted(RULE_REGISTRY))
+            raise KeyError(f"unknown rule {raw!r}; known rules: {known}")
+        rules.append(RULE_REGISTRY[key])
+    return rules
+
+
+def check_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Iterable[str] = (),
+) -> CheckResult:
+    """Run the pipeline over one in-memory file."""
+    result = CheckResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.errors.append(
+            Finding(
+                rule="E0",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"could not parse: {exc.msg}",
+            )
+        )
+        return result
+
+    ctx = RuleContext(path=path, tree=tree, source=source)
+    waivers = WaiverSet(source, tree)
+    baseline_set: Set[str] = set(baseline)
+
+    raw: List[Finding] = []
+    for rule_obj in _select_rules(rules):
+        raw.extend(rule_obj.check(ctx))
+    raw.extend(waivers.missing_reasons(path))
+    raw.sort(key=lambda f: (f.line, f.col, f.rule))
+
+    for finding in raw:
+        waiver = (
+            waivers.waiver_for(finding) if finding.rule != "W0" else None
+        )
+        if waiver is not None:
+            result.waived.append((finding, waiver))
+        elif finding.fingerprint in baseline_set:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def _iter_python_files(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in {"__pycache__", ".git"}
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def check_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+    baseline: Iterable[str] = (),
+) -> CheckResult:
+    """Check every Python file under ``paths``."""
+    result = CheckResult()
+    baseline_set = set(baseline)
+    for path in _iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            result.errors.append(
+                Finding(
+                    rule="E0", path=path, line=0, col=0,
+                    message=f"could not read: {exc}",
+                )
+            )
+            result.files_checked += 1
+            continue
+        result.extend(
+            check_source(source, path, rules=rules, baseline=baseline_set)
+        )
+    return result
+
+
+def waiver_inventory(result: CheckResult) -> Dict[Tuple[str, int], Tuple[Waiver, int]]:
+    """(path, line) -> (waiver, findings suppressed), for reporting."""
+    inventory: Dict[Tuple[str, int], Tuple[Waiver, int]] = {}
+    for finding, waiver in result.waived:
+        key = (finding.path, waiver.line)
+        previous = inventory.get(key)
+        inventory[key] = (waiver, (previous[1] if previous else 0) + 1)
+    return inventory

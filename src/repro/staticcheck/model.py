@@ -1,0 +1,62 @@
+"""The findings model shared by rules, reporters and the baseline."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    ``fingerprint`` deliberately excludes the line number so baselines
+    survive unrelated edits above a finding; it is derived from the
+    rule, the file, the enclosing function and the message.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Suggested fix, shown indented under the finding.
+    hint: str = ""
+    #: Qualified name of the enclosing function ("" at module level).
+    function: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        blob = "|".join(
+            (self.rule, self.path.replace("\\", "/"), self.function, self.message)
+        )
+        return hashlib.sha1(blob.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "function": self.function,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class FileReport:
+    """Per-file outcome: kept findings plus the waivers that fired."""
+
+    path: str
+    findings: list = field(default_factory=list)
+    waived: list = field(default_factory=list)
+    #: Lines of waiver comments that suppressed at least one finding.
+    waivers_used: set = field(default_factory=set)

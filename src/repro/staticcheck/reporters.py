@@ -1,0 +1,69 @@
+"""Text and JSON renderings of a :class:`~repro.staticcheck.engine.CheckResult`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.staticcheck.engine import CheckResult, waiver_inventory
+from repro.staticcheck.rules import RULE_REGISTRY
+
+
+def render_text(result: CheckResult, verbose: bool = False) -> str:
+    """Human-readable report: findings, then a one-line summary."""
+    lines = []
+    for finding in result.errors:
+        lines.append(finding.render())
+    for finding in result.findings:
+        lines.append(finding.render())
+    if verbose:
+        for (path, waiver_line), (waiver, count) in sorted(
+            waiver_inventory(result).items()
+        ):
+            scope = "all rules" if waiver.rules is None else ",".join(waiver.rules)
+            lines.append(
+                f"{path}:{waiver_line}: waived {count} finding(s) "
+                f"[{scope}]: {waiver.reason}"
+            )
+        for finding in result.baselined:
+            lines.append(f"{finding.render()}  [baselined]")
+    total = len(result.findings) + len(result.errors)
+    summary = (
+        f"{result.files_checked} file(s) checked: {total} finding(s), "
+        f"{result.waivers_used} waiver(s) in effect, "
+        f"{len(result.baselined)} baselined"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """Machine-readable report (the CI artifact)."""
+    payload = {
+        "rules": {
+            rule.id: {"name": rule.name, "description": rule.description}
+            for rule in RULE_REGISTRY.values()
+        },
+        "summary": {
+            "files_checked": result.files_checked,
+            "findings": len(result.findings),
+            "errors": len(result.errors),
+            "waivers_used": result.waivers_used,
+            "baselined": len(result.baselined),
+            "exit_code": result.exit_code,
+        },
+        "findings": [f.to_dict() for f in result.findings],
+        "errors": [f.to_dict() for f in result.errors],
+        "waived": [
+            {
+                "finding": finding.to_dict(),
+                "waiver": {
+                    "line": waiver.line,
+                    "rules": list(waiver.rules) if waiver.rules else "all",
+                    "reason": waiver.reason,
+                },
+            }
+            for finding, waiver in result.waived
+        ],
+        "baselined": [f.to_dict() for f in result.baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,97 @@
+"""Rule registry and the per-file context rules receive.
+
+Every rule is a function ``check(ctx) -> List[Finding]`` registered
+under a stable id.  Rules self-scope: each knows which part of the
+tree it guards (R1 watches ``repro/xen``, R4 watches ``repro/core`` +
+``repro/runner``, ...), so the engine can hand every file to every
+rule and let out-of-scope rules return nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.staticcheck.model import Finding
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    #: Path normalized to forward slashes, for scope matching.
+    norm_path: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.norm_path = self.path.replace("\\", "/")
+
+    def in_tree(self, fragment: str) -> bool:
+        """Is this file under the given path fragment (e.g. ``repro/xen/``)?"""
+        return fragment in self.norm_path
+
+    def is_file(self, name: str) -> bool:
+        return self.norm_path.endswith(name)
+
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+        function: str = "",
+    ) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=hint,
+            function=function,
+        )
+
+
+CheckFn = Callable[[RuleContext], List[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    name: str
+    description: str
+    check: CheckFn
+
+
+RULE_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, name: str, description: str) -> Callable[[CheckFn], CheckFn]:
+    """Register a check function under ``rule_id``."""
+
+    def decorator(fn: CheckFn) -> CheckFn:
+        if rule_id in RULE_REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        RULE_REGISTRY[rule_id] = Rule(
+            id=rule_id, name=name, description=description, check=fn
+        )
+        return fn
+
+    return decorator
+
+
+def _load_rules() -> None:
+    """Import the rule modules so their decorators run."""
+    from repro.staticcheck.rules import (  # noqa: F401
+        determinism,
+        errortaxonomy,
+        privilege,
+        refcount,
+        versiongate,
+    )
+
+
+_load_rules()

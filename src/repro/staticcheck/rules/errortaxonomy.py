@@ -1,0 +1,111 @@
+"""R3 — error-taxonomy discipline.
+
+The simulator's whole observation story rests on its exception
+taxonomy: :class:`~repro.errors.HypervisorCrash` *is* the paper's
+"Crash of the Virtualization Infrastructure" violation, and
+:class:`~repro.errors.DoubleFault` is how it comes about.  Generic
+exceptions blur the taxonomy, and a handler that silently swallows a
+crash erases the very signal the experiments measure.  Three checks:
+
+* ``raise Exception(...)`` / ``raise BaseException(...)`` — use a
+  :class:`~repro.errors.SimulationError` subclass instead;
+* bare ``except:`` — catches ``SystemExit``/``KeyboardInterrupt`` too
+  and hides which failure class occurred;
+* an ``except`` clause that *names* ``HypervisorCrash`` or
+  ``DoubleFault`` and whose body is only ``pass``/``...`` — the crash
+  must be recorded, re-raised, or the clause explicitly waived (a
+  campaign that observes the crash through ``bed.xen.crashed``
+  afterwards waives with the reason saying so).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import RuleContext, rule
+
+_GENERIC_RAISES = {"Exception", "BaseException"}
+_FATAL_NAMES = {"HypervisorCrash", "DoubleFault"}
+
+
+def _exception_names(node: ast.expr) -> List[str]:
+    """Exception type names referenced by an except clause."""
+    if isinstance(node, ast.Tuple):
+        names: List[str] = []
+        for elt in node.elts:
+            names.extend(_exception_names(elt))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
+
+
+def _is_noop_body(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@rule(
+    "R3",
+    "error-taxonomy",
+    "no generic raises or bare excepts; HypervisorCrash/DoubleFault "
+    "must never be silently swallowed (all of src/repro)",
+)
+def check_error_taxonomy(ctx: RuleContext) -> List[Finding]:
+    """R3: flag generic raises, bare excepts, and swallowed crash signals."""
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Raise):
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            if isinstance(target, ast.Name) and target.id in _GENERIC_RAISES:
+                findings.append(
+                    ctx.finding(
+                        "R3",
+                        node,
+                        f"raise of generic {target.id}; use the "
+                        "SimulationError taxonomy from repro.errors",
+                        hint="pick (or add) a specific SimulationError "
+                        "subclass so monitors can classify the failure",
+                    )
+                )
+        elif isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                findings.append(
+                    ctx.finding(
+                        "R3",
+                        node,
+                        "bare `except:` hides the failure class (and "
+                        "catches SystemExit/KeyboardInterrupt)",
+                        hint="catch the narrowest SimulationError "
+                        "subclass that applies",
+                    )
+                )
+                continue
+            fatal = sorted(
+                set(_exception_names(node.type)) & _FATAL_NAMES
+            )
+            if fatal and _is_noop_body(node.body):
+                findings.append(
+                    ctx.finding(
+                        "R3",
+                        node,
+                        f"{'/'.join(fatal)} caught and silently "
+                        "swallowed; the crash signal is the experiment's "
+                        "observable",
+                        hint="record or re-raise the crash; if the "
+                        "surrounding code observes it via bed.xen.crashed, "
+                        "waive with # staticcheck: ignore[R3] saying so",
+                    )
+                )
+    return findings

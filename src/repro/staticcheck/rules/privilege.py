@@ -1,0 +1,144 @@
+"""R2 — privilege/ownership gates in hypercall handlers.
+
+XSA-148 was a mutation committed without checking the invariant that
+guards it; XSA-212 wrote through a guest-supplied pointer that was
+never bounds-checked.  The simulator's equivalent of those gates is
+ownership: a hypercall handler that mutates MFN-level machine state
+(page words, the M2P, frame assignment, frees, mapping revocation)
+must first consult who owns the frame — ``_check_owned``, or
+``owner_of`` / ``.owner`` together with an ``is_privileged`` escape —
+or allocate the frame itself (``alloc_domain_page`` establishes
+ownership by construction).  A handler that consciously omits the gate
+(a deliberately-vulnerable path) carries ``# staticcheck: trusted``.
+
+Scope: the hypercall surface — ``repro/xen/hypercalls.py`` and the
+grant-table operations in ``repro/xen/granttable.py``.  A *handler* is
+a function whose first non-``self`` parameter is the calling domain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import RuleContext, rule
+
+#: Mutating calls, mapped to the receiver-chain tail that identifies
+#: them (``machine.write_word``, ``frames.assign``, ``xen.set_m2p``).
+_MUTATORS: Dict[str, str] = {
+    "write_word": "machine",
+    "copy_frame": "machine",
+    "assign": "frames",
+    "pin": "frames",
+    "unpin": "frames",
+    "set_m2p": "xen",
+    "clear_m2p": "xen",
+    "free_domain_page": "xen",
+    "zap_guest_mappings": "xen",
+    "unchecked_copy_to_guest": "xen",
+}
+
+#: Calls that count as consulting ownership / privilege.
+_EVIDENCE_CALLS = {"_check_owned", "owner_of", "alloc_domain_page"}
+#: Attribute reads that count as consulting ownership / privilege.
+_EVIDENCE_ATTRS = {"is_privileged", "owner"}
+
+_DOMAIN_PARAM_NAMES = {"domain", "mapper", "granter", "caller"}
+
+
+def _receiver_tail(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_handler(func: ast.FunctionDef) -> bool:
+    """Does this function take the calling domain as its first argument?"""
+    args = [a for a in func.args.args if a.arg != "self"]
+    if not args:
+        return False
+    first = args[0]
+    if first.arg in _DOMAIN_PARAM_NAMES:
+        return True
+    annotation = first.annotation
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return "Domain" in annotation.value
+    if isinstance(annotation, ast.Name) and "Domain" in annotation.id:
+        return True
+    return False
+
+
+def _mutations(func: ast.FunctionDef) -> List[ast.Call]:
+    calls = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if not isinstance(callee, ast.Attribute):
+            continue
+        wanted_tail = _MUTATORS.get(callee.attr)
+        if wanted_tail is None:
+            continue
+        tail = _receiver_tail(callee.value)
+        if tail == wanted_tail or tail == "self":
+            calls.append(node)
+    return calls
+
+
+def _has_ownership_evidence(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = (
+                callee.attr
+                if isinstance(callee, ast.Attribute)
+                else callee.id
+                if isinstance(callee, ast.Name)
+                else None
+            )
+            if name in _EVIDENCE_CALLS:
+                return True
+        elif isinstance(node, ast.Attribute) and node.attr in _EVIDENCE_ATTRS:
+            return True
+    return False
+
+
+@rule(
+    "R2",
+    "privilege-gate",
+    "hypercall handlers mutating MFN-level state must consult ownership "
+    "or privilege first (repro.xen hypercall surface)",
+)
+def check_privilege_gates(ctx: RuleContext) -> List[Finding]:
+    """R2: handlers that mutate machine state must gate on ownership."""
+    if not (
+        ctx.is_file("repro/xen/hypercalls.py")
+        or ctx.is_file("repro/xen/granttable.py")
+    ):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_handler(node):
+            continue
+        mutations = _mutations(node)
+        if not mutations or _has_ownership_evidence(node):
+            continue
+        verbs = sorted({m.func.attr for m in mutations})  # type: ignore[union-attr]
+        findings.append(
+            ctx.finding(
+                "R2",
+                node,
+                f"handler mutates machine state ({', '.join(verbs)}) "
+                "without consulting ownership or privilege",
+                hint="call _check_owned()/owner_of() (with an "
+                "is_privileged escape) before mutating, or mark a "
+                "deliberately-vulnerable path `# staticcheck: trusted`",
+                function=node.name,
+            )
+        )
+    return findings

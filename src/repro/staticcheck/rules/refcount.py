@@ -1,0 +1,300 @@
+"""R1 — refcount balance over ``frames.get_page*`` / ``put_page*``.
+
+XSA-212's lesson is that one missed release or one early error return
+in a handler turns the frame-table discipline into a type-confusion
+primitive.  This rule walks each function's AST as a small control-flow
+graph, tracking the net number of frame references taken through the
+frame table (``*.frames.get_page`` / ``get_page_type`` add one,
+``put_page`` / ``put_page_type`` release one), and reports:
+
+* an explicit ``raise`` reached while references are still held (the
+  "early ``raise HypercallError`` between get and put" leak);
+* return paths that disagree about the balance (one path releases, a
+  sibling path forgets);
+* a function that falls off the end holding references without
+  returning a handle to them.
+
+A function *may* exit with a consistent positive balance if every such
+exit returns a value — that is the producer idiom
+(``map_grant_ref`` returns the MFN whose reference the caller now
+owns).  Deliberate transfers into long-lived state (a loaded CR3, a
+page-table entry) are waived on the ``def`` line instead.
+
+Approximations (this is a linter, not a verifier): loops are analysed
+as executing zero-or-one times, and a ``raise`` inside a ``try`` with
+handlers is assumed caught — the handler is analysed starting from
+every balance observed inside the ``try`` body, so rollback paths are
+still checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import RuleContext, rule
+
+#: Tracked frame-table calls and their reference delta.
+_DELTAS: Dict[str, int] = {
+    "get_page": 1,
+    "get_page_type": 1,
+    "put_page": -1,
+    "put_page_type": -1,
+}
+
+Balances = FrozenSet[int]
+
+
+def _receiver_tail(node: ast.expr) -> Optional[str]:
+    """Last component of an attribute chain (``xen.frames`` -> ``frames``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _call_delta(node: ast.Call) -> int:
+    """Reference delta of one call (0 when untracked).
+
+    Only calls *through the frame table* count — the receiver chain
+    must end in ``frames`` — so the ``FrameTable`` implementation's own
+    ``self.get_page_type`` plumbing is not double-counted.
+    """
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _DELTAS:
+        if _receiver_tail(func.value) == "frames":
+            return _DELTAS[func.attr]
+    return 0
+
+
+@dataclass
+class _Exit:
+    kind: str  # "raise" | "return"
+    lineno: int
+    balances: Balances
+    returns_value: bool = False
+
+
+_SKIP_NESTED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+@dataclass
+class _Walker:
+    """Abstract interpreter over one function body.
+
+    Carries the set of possible reference balances through every
+    statement; records every function exit with the balances that can
+    reach it.
+    """
+
+    exits: List[_Exit] = field(default_factory=list)
+    _break_stack: List[Set[int]] = field(default_factory=list)
+
+    # -- expression handling -------------------------------------------
+
+    def _expr_delta(self, node: Optional[ast.AST], balances: Balances) -> Balances:
+        """Apply tracked calls appearing inside one expression/statement."""
+        if node is None:
+            return balances
+        for sub in ast.walk(node):
+            if isinstance(sub, _SKIP_NESTED):
+                continue
+            if isinstance(sub, ast.Call):
+                delta = _call_delta(sub)
+                if delta:
+                    balances = frozenset(b + delta for b in balances)
+        return balances
+
+    # -- statement handling --------------------------------------------
+
+    def walk(
+        self, stmts: List[ast.stmt], balances: Balances
+    ) -> Tuple[Balances, Balances]:
+        """Run a statement list; returns (out_balances, seen_balances).
+
+        ``seen`` is the union of balances observable at any point in
+        the list — the entry states an exception handler must cope
+        with.
+        """
+        seen: Set[int] = set(balances)
+        for stmt in stmts:
+            if not balances:
+                break  # everything above exited; the rest is unreachable
+            balances, inner_seen = self._stmt(stmt, balances)
+            seen |= inner_seen
+            seen |= balances
+        return balances, frozenset(seen)
+
+    def _stmt(self, stmt: ast.stmt, balances: Balances) -> Tuple[Balances, Balances]:
+        if isinstance(stmt, _SKIP_NESTED):
+            return balances, balances  # nested scopes are analysed separately
+
+        if isinstance(stmt, ast.Return):
+            balances = self._expr_delta(stmt.value, balances)
+            returns_value = stmt.value is not None and not (
+                isinstance(stmt.value, ast.Constant) and stmt.value.value is None
+            )
+            self.exits.append(
+                _Exit("return", stmt.lineno, balances, returns_value)
+            )
+            return frozenset(), balances
+
+        if isinstance(stmt, ast.Raise):
+            balances = self._expr_delta(stmt.exc, balances)
+            self.exits.append(_Exit("raise", stmt.lineno, balances))
+            return frozenset(), balances
+
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._break_stack:
+                self._break_stack[-1] |= balances
+            return frozenset(), balances
+
+        if isinstance(stmt, ast.If):
+            balances = self._expr_delta(stmt.test, balances)
+            body_out, body_seen = self.walk(stmt.body, balances)
+            else_out, else_seen = self.walk(stmt.orelse, balances)
+            return body_out | else_out, body_seen | else_seen
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            head = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+            entry = self._expr_delta(head, balances)
+            self._break_stack.append(set())
+            body_out, body_seen = self.walk(stmt.body, entry)
+            breaks = frozenset(self._break_stack.pop())
+            merged = entry | body_out | breaks  # zero-or-one iterations
+            else_out, else_seen = self.walk(stmt.orelse, merged)
+            return else_out, body_seen | else_seen | merged
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                balances = self._expr_delta(item.context_expr, balances)
+            return self.walk(stmt.body, balances)
+
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, balances)
+
+        # Simple statement: apply any tracked calls it contains.
+        return self._expr_delta(stmt, balances), balances
+
+    def _try(self, stmt: ast.Try, balances: Balances) -> Tuple[Balances, Balances]:
+        mark = len(self.exits)
+        try_out, try_seen = self.walk(stmt.body, balances)
+        if stmt.handlers:
+            # A raise inside a handled try is assumed caught; the
+            # handler walk below covers the resulting balances.
+            self.exits[mark:] = [
+                e for e in self.exits[mark:] if e.kind != "raise"
+            ]
+        handler_out: Set[int] = set()
+        handler_seen: Set[int] = set()
+        for handler in stmt.handlers:
+            h_out, h_seen = self.walk(handler.body, try_seen)
+            handler_out |= h_out
+            handler_seen |= h_seen
+        else_out, else_seen = self.walk(stmt.orelse, try_out)
+        combined = frozenset(else_out | handler_out)
+        all_seen = try_seen | frozenset(handler_seen) | else_seen
+        if stmt.finalbody:
+            # The finally body runs on every path out of the try,
+            # including exits recorded inside it.
+            shift_out, _ = _Walker().walk(stmt.finalbody, frozenset({0}))
+            if len(shift_out) == 1:
+                (shift,) = shift_out
+                if shift:
+                    for exit_ in self.exits[mark:]:
+                        exit_.balances = frozenset(
+                            b + shift for b in exit_.balances
+                        )
+            combined, final_seen = self.walk(stmt.finalbody, combined)
+            all_seen |= final_seen
+        return combined, frozenset(all_seen)
+
+
+def _check_function(
+    ctx: RuleContext, func: ast.FunctionDef, qualname: str
+) -> List[Finding]:
+    walker = _Walker()
+    out, _ = walker.walk(func.body, frozenset({0}))
+    if out:  # falling off the end is an implicit bare return
+        walker.exits.append(_Exit("return", func.lineno, out, False))
+
+    findings: List[Finding] = []
+    for exit_ in walker.exits:
+        if exit_.kind == "raise" and max(exit_.balances, default=0) > 0:
+            held = max(exit_.balances)
+            findings.append(
+                ctx.finding(
+                    "R1",
+                    exit_,
+                    f"exception path may leak {held} frame reference(s) "
+                    "taken via get_page/get_page_type",
+                    hint="release with put_page/put_page_type before "
+                    "raising, or guard the region with try/finally",
+                    function=qualname,
+                )
+            )
+
+    return_exits = [e for e in walker.exits if e.kind == "return"]
+    values = sorted({b for e in return_exits for b in e.balances})
+    if len(values) > 1:
+        findings.append(
+            ctx.finding(
+                "R1",
+                func,
+                "return paths disagree about the frame-reference "
+                f"balance (possible balances: {values})",
+                hint="every path must release what it took; waive on the "
+                "def line (# staticcheck: ignore[R1] reason) if one path "
+                "deliberately transfers the reference",
+                function=qualname,
+            )
+        )
+    elif values and values[0] > 0:
+        silent = [e for e in return_exits if not e.returns_value]
+        if silent:
+            findings.append(
+                ctx.finding(
+                    "R1",
+                    silent[0],
+                    f"function exits holding +{values[0]} frame "
+                    "reference(s) without returning a handle to them",
+                    hint="balance the get with a put, or waive on the def "
+                    "line if the reference is deliberately parked in "
+                    "long-lived state",
+                    function=qualname,
+                )
+            )
+    return findings
+
+
+@rule(
+    "R1",
+    "refcount-balance",
+    "frame references taken via frames.get_page/get_page_type must be "
+    "released on every exit path (repro.xen)",
+)
+def check_refcount_balance(ctx: RuleContext) -> List[Finding]:
+    """R1: every frame reference taken must be released on all exits."""
+    if not ctx.in_tree("repro/xen/"):
+        return []
+    findings: List[Finding] = []
+    for qualname, func in _iter_functions(ctx.tree):
+        findings.extend(_check_function(ctx, func, qualname))
+    return findings
+
+
+def _iter_functions(tree: ast.Module):
+    """Yield (qualname, node) for every function, including methods."""
+    stack: List[Tuple[str, ast.AST]] = [("", tree)]
+    while stack:
+        prefix, node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                yield name, child
+                stack.append((f"{name}.", child))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((f"{prefix}{child.name}.", child))

@@ -1,0 +1,111 @@
+"""R5 — version-gating through :mod:`repro.xen.versions` predicates.
+
+Every behavioural difference between hypervisor builds is a flag on
+:class:`~repro.xen.versions.XenVersion` — ``has_vuln`` /
+``has_hardening`` — which is what makes the ablation experiments
+(``derive()``) work: a derived version keeps the behaviour of the flag
+set, not of its name.  Raw comparisons (``version.name == "4.6"``,
+``version.release_year < 2017``) silently break derived versions and
+re-introduce the "which build is this" conditionals the paper's
+injector design avoids.  ``repro/xen/versions.py`` itself (the module
+defining the predicates) is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import RuleContext, rule
+
+_VERSION_ATTRS = {"name", "release_year"}
+
+_COMPARE_OPS = (
+    ast.Eq,
+    ast.NotEq,
+    ast.Lt,
+    ast.LtE,
+    ast.Gt,
+    ast.GtE,
+    ast.In,
+    ast.NotIn,
+)
+
+
+def _mentions_version(node: ast.expr) -> bool:
+    """Does the attribute's receiver chain go through a version object?"""
+    while isinstance(node, ast.Attribute):
+        if "version" in node.attr.lower():
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and "version" in node.id.lower()
+
+
+def _is_version_attribute(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in _VERSION_ATTRS
+        and _mentions_version(node.value)
+    )
+
+
+def _is_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (str, int, float))
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return all(_is_literal(elt) for elt in node.elts)
+    return False
+
+
+def _looks_like_version_string(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value
+        return bool(text) and text[0].isdigit() and "." in text
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return any(_looks_like_version_string(elt) for elt in node.elts)
+    return False
+
+
+@rule(
+    "R5",
+    "version-gate",
+    "Xen-version conditionals must use versions predicates "
+    "(has_vuln/has_hardening), not raw name/year comparisons",
+)
+def check_version_gates(ctx: RuleContext) -> List[Finding]:
+    """R5: version conditionals must go through the flag predicates."""
+    if ctx.is_file("repro/xen/versions.py"):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, _COMPARE_OPS) for op in node.ops):
+            continue
+        sides = [node.left, *node.comparators]
+        flagged = False
+        # version.name / version.release_year against any literal.
+        if any(_is_version_attribute(side) for side in sides) and any(
+            _is_literal(side) for side in sides
+        ):
+            flagged = True
+        # A bare `version` variable against a "4.x"-looking string.
+        elif any(
+            isinstance(side, ast.Name) and "version" in side.id.lower()
+            for side in sides
+        ) and any(_looks_like_version_string(side) for side in sides):
+            flagged = True
+        if flagged:
+            findings.append(
+                ctx.finding(
+                    "R5",
+                    node,
+                    "raw Xen-version comparison; derived/ablated versions "
+                    "will not match",
+                    hint="gate on version.has_vuln(...) / "
+                    "version.has_hardening(...), or resolve names via "
+                    "repro.xen.versions.version_by_name",
+                )
+            )
+    return findings

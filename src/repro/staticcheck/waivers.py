@@ -1,0 +1,118 @@
+"""Inline waiver comments: the suppression syntax rules honour.
+
+Two forms, both attached to source lines:
+
+* ``# staticcheck: ignore[R1] reason``        — waive specific rules
+  (comma-separated ids) on this line;
+* ``# staticcheck: trusted reason``           — waive every rule on
+  this line (the "privilege gate consciously absent" marker from R2).
+
+A waiver written on a ``def`` header line covers the whole function
+body — that is how deliberate whole-function exemptions (a handler
+that transfers a reference by design) are expressed without peppering
+every exit path.  A reason is required: a waiver without one is itself
+reported, so suppressions stay reviewable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.staticcheck.model import Finding
+
+_WAIVER_RE = re.compile(
+    r"#\s*staticcheck:\s*(?:ignore\[(?P<rules>[A-Za-z0-9_,\s]+)\]|(?P<trusted>trusted))"
+    r"\s*(?:[-—:]\s*)?(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed waiver comment."""
+
+    line: int
+    #: Rule ids covered; ``None`` means every rule (``trusted``).
+    rules: Optional[Tuple[str, ...]]
+    reason: str
+
+    def covers_rule(self, rule: str) -> bool:
+        return self.rules is None or rule in self.rules
+
+
+def parse_waivers(source: str) -> Dict[int, Waiver]:
+    """Extract waivers from source text, keyed by 1-based line."""
+    waivers: Dict[int, Waiver] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(text)
+        if not match:
+            continue
+        rules: Optional[Tuple[str, ...]]
+        if match.group("trusted"):
+            rules = None
+        else:
+            rules = tuple(
+                part.strip().upper()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+        waivers[lineno] = Waiver(
+            line=lineno, rules=rules, reason=match.group("reason").strip()
+        )
+    return waivers
+
+
+def _function_spans(tree: ast.AST) -> List[Tuple[int, int, int]]:
+    """(header_start, header_end, body_end) for every function."""
+    spans = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            header_end = node.body[0].lineno - 1 if node.body else node.lineno
+            spans.append(
+                (node.lineno, max(node.lineno, header_end), node.end_lineno or node.lineno)
+            )
+    return spans
+
+
+class WaiverSet:
+    """All waivers of one file, with function-scope resolution."""
+
+    def __init__(self, source: str, tree: ast.AST):
+        self.by_line = parse_waivers(source)
+        self._spans = _function_spans(tree)
+
+    def waiver_for(self, finding: Finding) -> Optional[Waiver]:
+        """The waiver suppressing ``finding``, if any.
+
+        Checks the finding's own line first, then any waiver sitting on
+        the header of a function whose body contains the finding.
+        """
+        direct = self.by_line.get(finding.line)
+        if direct is not None and direct.covers_rule(finding.rule):
+            return direct
+        for header_start, header_end, body_end in self._spans:
+            if not (header_start <= finding.line <= body_end):
+                continue
+            for line in range(header_start, header_end + 1):
+                waiver = self.by_line.get(line)
+                if waiver is not None and waiver.covers_rule(finding.rule):
+                    return waiver
+        return None
+
+    def missing_reasons(self, path: str) -> List[Finding]:
+        """A waiver without a reason is itself a finding (rule W0)."""
+        return [
+            Finding(
+                rule="W0",
+                path=path,
+                line=waiver.line,
+                col=0,
+                message="waiver has no reason; document why the rule "
+                "does not apply here",
+                hint="write `# staticcheck: ignore[Rn] <reason>`",
+            )
+            for waiver in self.by_line.values()
+            if not waiver.reason
+        ]

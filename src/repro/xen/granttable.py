@@ -123,6 +123,11 @@ class GrantTableSubsystem:
             raise HypercallError(EINVAL, f"no destination domain {dest_domid}")
         mfn = domain.pfn_to_mfn(pfn)
         info = self.xen.frames.info(mfn)
+        # Only the frame's owner may give it away.
+        if info.owner != domain.id and not domain.is_privileged:
+            raise HypercallError(
+                EPERM, f"mfn {mfn:#x} owned by d{info.owner}, not d{domain.id}"
+            )
         if info.type_count or info.count:
             raise HypercallError(
                 EPERM, f"mfn {mfn:#x} is typed/referenced; transfer refused"

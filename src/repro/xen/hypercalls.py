@@ -227,7 +227,9 @@ class HypercallTable:
         C.MMUEXT_PIN_L4_TABLE: 4,
     }
 
-    def _mmuext_op(self, domain: "Domain", ops: Sequence[MmuExtOp]) -> int:
+    def _mmuext_op(  # staticcheck: ignore[R1] NEW_BASEPTR parks the typed ref on vcpu.cr3_mfn; the matching put happens on the next baseptr switch
+        self, domain: "Domain", ops: Sequence[MmuExtOp]
+    ) -> int:
         xen = self.xen
         for op in ops:
             if op.cmd in self._PIN_LEVELS:
@@ -325,6 +327,9 @@ class HypercallTable:
                 # P2M here, or internal state is corrupt ("impossible"
                 # — unless someone injected exactly that state).
                 xen.bug(f"m2p({old_mfn:#x}) == {pfn:#x}")
+            # Only frames the caller owns may be traded in (steal_page's
+            # ownership check in real Xen).
+            self._check_owned(domain, old_mfn)
             new_mfn = xen.machine.alloc_frame()
             xen.frames.assign(new_mfn, domain.id, pfn)
             domain.p2m[pfn] = new_mfn
@@ -349,6 +354,8 @@ class HypercallTable:
         xen = self.xen
         for pfn in pfns:
             mfn = domain.pfn_to_mfn(pfn)
+            # A guest may only return its own frames to the heap.
+            self._check_owned(domain, mfn)
             info = xen.frames.info(mfn)
             if info.type_count or info.count:
                 # A referenced frame (e.g. a live page table) cannot be

@@ -246,7 +246,7 @@ class PageTableValidation:
             return
         self._validate_intermediate(domain, target, child_level=3)
 
-    def _validate_intermediate(
+    def _validate_intermediate(  # staticcheck: ignore[R1] the typed ref is parked in the referencing PTE; put_entry_ref releases it when the entry is cleared
         self, domain: "Domain", target: int, child_level: int
     ) -> None:
         frames = self.xen.frames

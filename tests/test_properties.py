@@ -7,7 +7,7 @@ the guest/hypervisor address spaces stay disjoint where they must.
 """
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.injector import IntrusionInjector, install_injector
@@ -24,29 +24,38 @@ from tests.conftest import make_guest
 FLAG_BITS = st.integers(min_value=0, max_value=0xFFF)
 
 
+def flags_with(required: int):
+    """Flag words guaranteed to carry ``required``.
+
+    Building the bits into the strategy (instead of ``assume()``-ing
+    them afterwards) keeps generation deterministic-cheap: filtering
+    out ~3/4 of draws occasionally trips Hypothesis's
+    ``filter_too_much`` health check on an unlucky streak.
+    """
+    return FLAG_BITS.map(lambda flags: flags | required)
+
+
 def fixed_xen():
     return Xen(XEN_4_8, Machine(256))
 
 
 class TestValidationInvariants:
-    @given(flags=FLAG_BITS)
+    @given(flags=flags_with(C.PTE_PRESENT | C.PTE_PSE))
     @settings(max_examples=60, deadline=None)
     def test_no_pse_entry_ever_validates_on_fixed_versions(self, flags):
         """On fixed versions, *no* flag combination with PSE set passes
         L2 validation (the XSA-148 fix is unconditional)."""
-        assume(flags & C.PTE_PRESENT and flags & C.PTE_PSE)
         xen = fixed_xen()
         guest = make_guest(xen)
         entry = make_pte(0, flags)
         with pytest.raises(HypercallError):
             xen.validation.validate_entry(guest, 2, entry, table_mfn=0)
 
-    @given(flags=FLAG_BITS)
+    @given(flags=flags_with(C.PTE_PRESENT | C.PTE_RW))
     @settings(max_examples=60, deadline=None)
     def test_no_writable_self_map_ever_validates(self, flags):
         """No flag combination with RW set passes L4 self-map
         validation on fixed versions (the XSA-182 fix)."""
-        assume(flags & C.PTE_PRESENT and flags & C.PTE_RW)
         xen = fixed_xen()
         guest = make_guest(xen)
         l4_mfn = guest.current_vcpu.cr3_mfn
@@ -54,12 +63,11 @@ class TestValidationInvariants:
         with pytest.raises(HypercallError):
             xen.validation.validate_entry(guest, 4, entry, table_mfn=l4_mfn)
 
-    @given(flags=FLAG_BITS)
+    @given(flags=flags_with(C.PTE_PRESENT | C.PTE_RW))
     @settings(max_examples=60, deadline=None)
     def test_writable_pagetable_mapping_never_validates(self, flags):
         """L1 entries: RW mappings of page-table frames always refused
         (on every version — this check was never broken)."""
-        assume(flags & C.PTE_PRESENT and flags & C.PTE_RW)
         for version in (XEN_4_6, XEN_4_8, XEN_4_13):
             xen = Xen(version, Machine(256))
             guest = make_guest(xen)

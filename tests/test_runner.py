@@ -29,6 +29,7 @@ from repro.runner import (
 )
 from repro.runner import events as ev
 from repro.runner.pool import CampaignFailed
+from repro.runner.store import StorePlanMismatch
 from repro.xen.versions import XEN_4_13
 
 
@@ -127,6 +128,66 @@ class TestResultStore:
             store.record_failure(spec.job_id, "boom")
             assert store.summary().failed == 1
             assert store.payload(spec.job_id) is None
+
+    def test_injected_clock_stamps_rows(self):
+        spec = selftest("ok")
+        with ResultStore(clock=lambda: 1234.5) as store:
+            store.register([spec])
+            row = store._conn.execute(
+                "SELECT updated_at FROM jobs WHERE job_id = ?", (spec.job_id,)
+            ).fetchone()
+            assert row[0] == 1234.5
+
+
+class TestStorePlanGuard:
+    """Resuming against the wrong store must fail loudly, not silently
+    report another campaign's results."""
+
+    def test_identical_plan_is_accepted(self, tmp_path):
+        specs = [selftest("ok"), selftest("fail")]
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            store.register(specs)
+        with ResultStore(path) as store:
+            store.register(specs)
+            assert len(store.specs()) == 2
+
+    def test_growing_the_campaign_is_accepted(self, tmp_path):
+        specs = [selftest("ok"), selftest("fail"), selftest("ok:more")]
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            store.register(specs[:2])
+        with ResultStore(path) as store:
+            store.register(specs)
+            assert len(store.specs()) == 3
+
+    def test_partial_rerun_is_accepted(self, tmp_path):
+        specs = [selftest("ok"), selftest("fail")]
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            store.register(specs)
+        with ResultStore(path) as store:
+            store.register(specs[:1])
+
+    def test_different_plan_is_rejected(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            store.register(plan_fuzz("4.13", ["idt"], 1, 3))
+        with ResultStore(path) as store:
+            with pytest.raises(StorePlanMismatch, match="different campaign"):
+                store.register([selftest("ok"), selftest("fail")])
+
+    def test_runner_surfaces_the_mismatch(self, tmp_path):
+        """The guard fires through the normal resume path, not only on
+        direct store use."""
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            SerialRunner().run([selftest("ok")], store=store)
+        with ResultStore(path) as store:
+            with pytest.raises(StorePlanMismatch):
+                SerialRunner().run(
+                    [selftest("flaky:0"), selftest("ok:other")], store=store
+                )
 
 
 class TestSerialRunner:
