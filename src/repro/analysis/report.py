@@ -24,8 +24,14 @@ from repro.core.monitor import ViolationReport
 
 
 def result_to_dict(result: RunResult) -> dict:
-    """Serialize one run result (log tails only, to keep files small)."""
-    return {
+    """Serialize one run result (log tails only, to keep files small).
+
+    The ``recovery`` key is present only for runs that microrebooted:
+    runs without recovery serialize exactly as they always have, so
+    campaign artefacts from before ``--recover`` existed — and every
+    campaign that never crashes — stay byte-identical.
+    """
+    data = {
         "use_case": result.use_case,
         "version": result.version,
         "mode": result.mode.value,
@@ -48,6 +54,9 @@ def result_to_dict(result: RunResult) -> dict:
         "console_tail": result.console[-6:],
         "guest_log_tail": result.guest_log[-6:],
     }
+    if result.recovery is not None:
+        data["recovery"] = result.recovery.to_dict()
+    return data
 
 
 def results_to_json(results: Iterable[RunResult], indent: int = 2) -> str:
@@ -63,6 +72,11 @@ def run_result_from_dict(data: dict) -> RunResult:
     """
     err = data["erroneous_state"]
     vio = data["violation"]
+    recovery = None
+    if data.get("recovery") is not None:
+        from repro.resilience.recovery import RecoveryReport
+
+        recovery = RecoveryReport.from_dict(data["recovery"])
     return RunResult(
         use_case=data["use_case"],
         version=data["version"],
@@ -82,6 +96,7 @@ def run_result_from_dict(data: dict) -> RunResult:
         failure=data["failure"],
         console=list(data["console_tail"]),
         guest_log=list(data["guest_log_tail"]),
+        recovery=recovery,
     )
 
 
@@ -190,4 +205,25 @@ def render_markdown_report(results: Sequence[RunResult], title: str) -> str:
             f"| {violation} | {result.failure or '—'} |"
         )
     lines.append("")
+
+    recovered = [r for r in results if r.recovery is not None]
+    if recovered:
+        lines += [
+            "## Recovery (microreboot runs)",
+            "",
+            "| use case | version | mode | outcome | reboots | quarantined | wall time |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for result in recovered:
+            report = result.recovery
+            quarantined = (
+                ", ".join(f"d{d}" for d in report.quarantined) or "—"
+            )
+            lines.append(
+                f"| {result.use_case} | {result.version} "
+                f"| {result.mode.value} | {report.outcome_class} "
+                f"| {report.reboots} | {quarantined} "
+                f"| {report.wall_time * 1000:.1f} ms |"
+            )
+        lines.append("")
     return "\n".join(lines)

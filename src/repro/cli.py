@@ -110,10 +110,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mode", default="injection", choices=["exploit", "injection"]
     )
     run.add_argument("--verbose", action="store_true", help="dump logs")
+    run.add_argument(
+        "--recover", action="store_true",
+        help="microreboot the hypervisor after a crash and report the "
+        "recovery outcome (crash-then-recovered / crash-unrecoverable)",
+    )
 
     campaign = sub.add_parser("campaign", help="full experiment matrix")
     campaign.add_argument("--json", help="write raw results as JSON")
     campaign.add_argument("--markdown", help="write a markdown report")
+    campaign.add_argument(
+        "--recover", action="store_true",
+        help="run every cell under the microreboot crash watchdog",
+    )
     _add_runner_args(campaign)
 
     study = sub.add_parser("study", help="the 100-CVE dataset")
@@ -151,6 +160,28 @@ def _build_parser() -> argparse.ArgumentParser:
     testcase.add_argument("--version", default="4.13")
     _add_runner_args(testcase)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the campaign under seeded infrastructure faults and "
+        "assert serial == chaos-parallel store contents",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2, 3], metavar="SEED",
+        help="chaos seeds to run (each is an independent campaign)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes for the chaos pool",
+    )
+    chaos.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="per-job wall-clock budget (hanging jobs exceed this)",
+    )
+    chaos.add_argument(
+        "--events", metavar="PATH",
+        help="append every runner event as JSON lines (the CI artifact)",
+    )
+
     from repro.staticcheck.cli import add_staticcheck_parser
 
     add_staticcheck_parser(sub)
@@ -162,10 +193,18 @@ def _cmd_run(args) -> int:
     use_case = USE_CASE_BY_NAME[args.use_case]
     version = version_by_name(args.version)
     mode = Mode(args.mode)
-    result = Campaign().run(use_case, version, mode)
+    result = Campaign(recover=args.recover).run(use_case, version, mode)
     print(result.summary)
     if result.failure:
         print(f"failure: {result.failure}")
+    if result.recovery is not None:
+        report = result.recovery
+        print(
+            f"recovery: {report.outcome_class} after {report.reboots} "
+            f"microreboot(s) in {report.wall_time * 1000:.1f} ms"
+        )
+        for line in report.evidence:
+            print(f"recovery: {line}")
     for line in result.erroneous_state.evidence:
         print(f"audit: {line}")
     for line in result.violation.evidence:
@@ -179,7 +218,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    campaign = Campaign()
+    campaign = Campaign(recover=args.recover)
     runner, store = _runner_from_args(args)
     try:
         results = campaign.run_matrix(
@@ -220,15 +259,18 @@ def _cmd_study(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    from repro.runner.pool import CampaignFailed
-    from repro.runner.store import StorePlanMismatch
+    from repro.runner.pool import CampaignFailed, CampaignInterrupted
+    from repro.runner.store import StoreCorrupt, StorePlanMismatch
 
     try:
         return _dispatch(args)
     except CampaignFailed as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)
         return 1
-    except StorePlanMismatch as exc:
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130  # the conventional fatal-signal exit code
+    except (StoreCorrupt, StorePlanMismatch) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -305,6 +347,8 @@ def _dispatch(args) -> int:
         print(coverage_report().render())
     elif args.command == "testcase":
         return _cmd_testcase(args)
+    elif args.command == "chaos":
+        return _cmd_chaos(args)
     elif args.command == "staticcheck":
         from repro.staticcheck.cli import run_staticcheck
 
@@ -354,6 +398,52 @@ def _cmd_testcase(args) -> int:
         )
         print(f"{outcome.name:<20} {verdict}")
     print(f"\nXen {version.name}: handled {handled}/{len(outcomes)}")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import dataclasses
+    import json
+    import tempfile
+
+    from repro.resilience.chaos import run_chaos_campaign
+    from repro.runner.jobs import plan_campaign
+
+    specs = plan_campaign(
+        ["XSA-212-crash", "XSA-182-test"], ["4.6", "4.8"],
+        ["exploit", "injection"],
+    )
+    events_handle = open(args.events, "a") if args.events else None
+
+    def record_event(event) -> None:
+        if events_handle is not None:
+            events_handle.write(json.dumps(dataclasses.asdict(event)) + "\n")
+
+    failed = 0
+    try:
+        for seed in args.seeds:
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                report = run_chaos_campaign(
+                    specs,
+                    seed=seed,
+                    store_path=os.path.join(tmp, "chaos.sqlite"),
+                    jobs=args.jobs,
+                    timeout=args.timeout,
+                    on_event=record_event if args.events else None,
+                )
+            print(report.render())
+            if not report.identical:
+                failed += 1
+    finally:
+        if events_handle is not None:
+            events_handle.close()
+    if failed:
+        print(
+            f"chaos: {failed}/{len(args.seeds)} seed(s) diverged "
+            "from the serial reference",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

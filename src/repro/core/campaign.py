@@ -20,13 +20,18 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
+from typing import TYPE_CHECKING
+
 from repro.core.erroneous_state import ErroneousStateReport
-from repro.core.monitor import ViolationReport
+from repro.core.monitor import ViolationReport, recovery_violation
 from repro.core.testbed import TestBed, build_testbed
 from repro.errors import HypervisorCrash
 from repro.exploits.base import ExploitFailed, UseCase
 from repro.guest.kernel import KernelOops
 from repro.xen.versions import XenVersion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.recovery import RecoveryReport
 
 
 class Mode(enum.Enum):
@@ -53,6 +58,10 @@ class RunResult:
     failure: Optional[str] = None
     console: List[str] = field(default_factory=list)
     guest_log: List[str] = field(default_factory=list)
+    #: Microreboot report when the run crashed under ``--recover``;
+    #: ``None`` for runs without recovery (including non-crashing
+    #: ``--recover`` runs, which never trigger the watchdog).
+    recovery: Optional["RecoveryReport"] = None
 
     @property
     def summary(self) -> str:
@@ -61,7 +70,10 @@ class RunResult:
             vio = f"violation:YES ({self.violation.kind})"
         else:
             vio = "violation:no (handled)"
-        return f"[{self.use_case} on Xen {self.version} / {self.mode.value}] {err}, {vio}"
+        line = f"[{self.use_case} on Xen {self.version} / {self.mode.value}] {err}, {vio}"
+        if self.recovery is not None:
+            line += f", recovery:{self.recovery.outcome}"
+        return line
 
 
 class Campaign:
@@ -71,9 +83,17 @@ class Campaign:
         self,
         testbed_factory: Callable[[XenVersion], TestBed] = build_testbed,
         settle_rounds: int = 2,
+        recover: bool = False,
+        max_reboots: int = 1,
     ):
         self.testbed_factory = testbed_factory
         self.settle_rounds = settle_rounds
+        #: Run the attack phase under the microreboot crash watchdog
+        #: (:mod:`repro.resilience`): a hypervisor crash becomes a
+        #: *crash-then-recovered* / *crash-unrecoverable* outcome
+        #: instead of ending the trial.
+        self.recover = recover
+        self.max_reboots = max_reboots
 
     # ------------------------------------------------------------------
     # Single run
@@ -90,12 +110,22 @@ class Campaign:
         use_case = use_case_cls()
         use_case.prepare(bed)
 
-        failure: Optional[str] = None
-        try:
+        def attack() -> None:
             if mode is Mode.EXPLOIT:
                 use_case.run_exploit(bed)
             else:
                 use_case.run_injection(bed)
+
+        failure: Optional[str] = None
+        recovery: Optional["RecoveryReport"] = None
+        pre_crash_state: Optional[ErroneousStateReport] = None
+        try:
+            if self.recover:
+                recovery, pre_crash_state = self._guarded_attack(
+                    bed, use_case, attack
+                )
+            else:
+                attack()
         except HypervisorCrash:  # staticcheck: ignore[R3] the crash is the observable; CrashMonitor reads it from bed.xen.crashed below
             pass
         except KernelOops as oops:
@@ -108,6 +138,17 @@ class Campaign:
         bed.tick(self.settle_rounds)
         erroneous = use_case.audit_erroneous_state(bed)
         violation = use_case.detect_violation(bed)
+        if recovery is not None:
+            # The rollback un-corrupts memory, so the post-recovery
+            # audit would deny an erroneous state that demonstrably
+            # landed; the pre-rollback audit is the true observation.
+            if (
+                pre_crash_state is not None
+                and pre_crash_state.achieved
+                and not erroneous.achieved
+            ):
+                erroneous = pre_crash_state
+            violation = recovery_violation(recovery, base=violation)
 
         attacker_log = (
             list(bed.attacker_domain.kernel.log)
@@ -120,11 +161,32 @@ class Campaign:
             mode=mode,
             erroneous_state=erroneous,
             violation=violation,
-            crashed=bed.xen.crashed,
+            crashed=bed.xen.crashed or recovery is not None,
             failure=failure,
             console=list(bed.xen.console),
             guest_log=attacker_log,
+            recovery=recovery,
         )
+
+    def _guarded_attack(self, bed, use_case, attack):
+        """Run the attack under the microreboot watchdog (``--recover``).
+
+        Returns ``(recovery_report, pre_crash_erroneous_state)`` —
+        both ``None`` when the attack did not crash the hypervisor.
+        The erroneous state is audited *between* the crash and the
+        rollback, while the corrupted memory is still in place.
+        """
+        from repro.resilience.watchdog import CrashWatchdog
+
+        watchdog = CrashWatchdog(bed, max_reboots=self.max_reboots)
+        watchdog.checkpoint()
+        audited: dict = {}
+
+        def audit_before_rollback() -> None:
+            audited["state"] = use_case.audit_erroneous_state(bed)
+
+        verdict = watchdog.guard(attack, on_crash=audit_before_rollback)
+        return verdict.recovery, audited.get("state")
 
     # ------------------------------------------------------------------
     # Matrices
@@ -173,6 +235,7 @@ class Campaign:
             [u.name for u in use_cases],
             [v.name for v in versions],
             [m.value for m in modes],
+            recover=self.recover,
         )
         outcome = runner.run(specs, store=store)
         return [run_result_from_dict(p) for p in outcome.payloads_for(specs)]

@@ -274,6 +274,36 @@ class ConfidentialityMonitor(Monitor):
         return ViolationReport.none()
 
 
+def recovery_violation(
+    recovery, base: Optional[ViolationReport] = None
+) -> ViolationReport:
+    """Qualify a crash with its recovery outcome class.
+
+    A run that crashed and then microrebooted (``--recover``) is not
+    the same observation as a plain ``hypervisor crash``: the paper's
+    question is whether the system *handles* the erroneous state, and
+    a recovered crash is a distinct answer.  The returned report keeps
+    ``occurred=True`` — availability was still violated, however
+    briefly — but the kind carries the outcome class
+    (``crash-then-recovered`` / ``crash-then-degraded`` /
+    ``crash-unrecoverable``) and the evidence trail of the microreboot.
+    Any violation the monitors saw *after* recovery (``base``) is
+    folded into the evidence rather than lost.
+    """
+    evidence: List[str] = []
+    if recovery.crash_banner:
+        evidence.append(f"crash banner: {recovery.crash_banner}")
+    evidence.extend(recovery.evidence)
+    if base is not None and base.occurred:
+        evidence.append(f"post-recovery violation: {base.kind}")
+        evidence.extend(base.evidence)
+    return ViolationReport(
+        occurred=True,
+        kind=f"hypervisor crash ({recovery.outcome_class})",
+        evidence=evidence,
+    )
+
+
 class CompositeMonitor(Monitor):
     """Run several monitors; report the first violation found (in
     registration order, so put the most specific monitor first)."""

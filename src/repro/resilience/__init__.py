@@ -1,0 +1,56 @@
+"""``repro.resilience`` — recover from faults in the system *and* the tooling.
+
+The paper's thesis is that a system's worth shows in how it behaves
+*after* an erroneous state lands.  This package applies that standard
+to the reproduction itself, on two layers:
+
+* **Simulator layer** (:mod:`~repro.resilience.recovery`,
+  :mod:`~repro.resilience.watchdog`): ReHype-style microreboot of the
+  simulated hypervisor after a :class:`~repro.errors.HypervisorCrash`
+  — checkpoint, rollback, quarantine the offender, re-validate — so a
+  crash becomes a *crash-then-recovered* / *crash-unrecoverable*
+  campaign outcome instead of the end of the trial (``--recover``).
+* **Runner layer** (:mod:`~repro.resilience.quarantine`,
+  :mod:`~repro.resilience.chaos`): deterministic infrastructure fault
+  injection against the campaign runner — worker SIGKILL, hangs,
+  duplicated/delayed messages, store tear, SIGINT — asserting the
+  invariant *serial == parallel == chaos-parallel* on final store
+  contents (``repro chaos``).
+
+:mod:`~repro.resilience.chaos` is intentionally not imported here: it
+wraps :mod:`repro.runner.pool`, which itself imports the quarantine
+guards from this package — import it as a submodule.
+"""
+
+from repro.resilience.quarantine import (
+    CircuitBreaker,
+    PoisonTracker,
+    QuarantineVerdict,
+)
+from repro.resilience.recovery import (
+    DEGRADED,
+    OUTCOME_CLASSES,
+    RECOVERED,
+    UNRECOVERABLE,
+    HypervisorCheckpoint,
+    RecoveryManager,
+    RecoveryReport,
+    frame_type_census,
+)
+from repro.resilience.watchdog import CrashWatchdog, WatchdogVerdict
+
+__all__ = [
+    "DEGRADED",
+    "OUTCOME_CLASSES",
+    "RECOVERED",
+    "UNRECOVERABLE",
+    "CircuitBreaker",
+    "CrashWatchdog",
+    "HypervisorCheckpoint",
+    "PoisonTracker",
+    "QuarantineVerdict",
+    "RecoveryManager",
+    "RecoveryReport",
+    "WatchdogVerdict",
+    "frame_type_census",
+]

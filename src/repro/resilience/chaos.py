@@ -1,0 +1,333 @@
+"""Deterministic infrastructure fault injection for the campaign runner.
+
+The runner promises that a campaign's durable results do not depend on
+*how* it executed: serial, parallel, crashed-and-resumed — the final
+store contents are identical.  This module turns that promise into a
+checkable invariant by running campaigns under seeded infrastructure
+faults:
+
+* **worker kill** — the worker SIGKILLs itself mid-job (a simulated
+  OOM kill or hypervisor panic taking the process down);
+* **worker hang** — the job wedges until the pool's timeout fires;
+* **message duplication** — a result is delivered twice (at-least-once
+  queue semantics);
+* **message delay** — a result is delivered late;
+* **store tear** — the SQLite store file is truncated between
+  episodes (a torn write at the worst moment), recovered from the
+  last good copy;
+* **interruption** — SIGINT/SIGTERM between episodes (exercised by
+  the test-suite's subprocess driver rather than in-process, so the
+  harness itself never races a stray signal).
+
+Every fault decision is a pure function of ``(seed, episode, job)`` —
+no global RNG state — so a chaos run is exactly replayable.
+:func:`run_chaos_campaign` drives episodes (run, maybe tear, resume)
+until the store is complete, then asserts the invariant:
+*serial == chaos-parallel*, byte for byte, through the same
+from-store report rendering the real campaign artefacts use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.runner.jobs import CAMPAIGN_RUN, JobSpec, execute_job
+from repro.runner.pool import JobFn, SerialRunner, WorkerPool
+from repro.runner.store import ResultStore, StoreCorrupt
+
+
+def chaos_roll(seed: int, episode: int, salt: str, key: str) -> float:
+    """A deterministic uniform draw in [0, 1) for one fault decision."""
+    blob = f"{seed}:{episode}:{salt}:{key}".encode("ascii")
+    digest = hashlib.sha1(blob).digest()
+    return int.from_bytes(digest[:4], "big") / 2**32
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded fault-injection configuration for one chaos campaign."""
+
+    seed: int
+    #: Probability a job's first attempt SIGKILLs its worker.
+    kill_rate: float = 0.25
+    #: Probability a job's first attempt hangs until the pool timeout.
+    hang_rate: float = 0.1
+    #: Probability a result message is delivered twice.
+    dup_rate: float = 0.2
+    #: Probability a result message is delayed before delivery.
+    delay_rate: float = 0.2
+    #: Probability the store file is torn between incomplete episodes.
+    tear_rate: float = 0.4
+    #: How long a hanging job sleeps (must exceed the pool timeout).
+    hang_seconds: float = 30.0
+    #: Upper bound on an injected message delay, seconds.
+    max_delay: float = 0.05
+
+    def kills(self, episode: int, job_id: str) -> bool:
+        return chaos_roll(self.seed, episode, "kill", job_id) < self.kill_rate
+
+    def hangs(self, episode: int, job_id: str) -> bool:
+        if self.kills(episode, job_id):
+            return False  # the kill fires first; don't double-charge
+        return chaos_roll(self.seed, episode, "hang", job_id) < self.hang_rate
+
+    def duplicates(self, episode: int, job_id: str) -> bool:
+        return chaos_roll(self.seed, episode, "dup", job_id) < self.dup_rate
+
+    def delays(self, episode: int, job_id: str) -> float:
+        """Injected delivery delay in seconds (0.0 = deliver on time)."""
+        if chaos_roll(self.seed, episode, "delay", job_id) >= self.delay_rate:
+            return 0.0
+        return self.max_delay * chaos_roll(
+            self.seed, episode, "delay-len", job_id
+        )
+
+    def tears(self, episode: int) -> bool:
+        return chaos_roll(self.seed, episode, "tear", "store") < self.tear_rate
+
+
+@dataclass
+class ChaosJobFn:
+    """Worker-side fault injector wrapping the real job function.
+
+    A plain picklable dataclass: it crosses the ``spawn`` boundary as
+    a :class:`~repro.runner.pool.WorkerPool` ``job_fn``.  Faults fire
+    only on attempt 0, so the runner's own retry machinery (not the
+    harness) is what brings the job home.
+    """
+
+    plan: ChaosPlan
+    episode: int = 1
+    job_fn: JobFn = execute_job
+
+    def __call__(self, spec: JobSpec, attempt: int) -> dict:
+        if attempt == 0:
+            if self.plan.kills(self.episode, spec.job_id):
+                os.kill(os.getpid(), signal.SIGKILL)
+            if self.plan.hangs(self.episode, spec.job_id):
+                time.sleep(self.plan.hang_seconds)
+        return self.job_fn(spec, attempt)
+
+
+class ChaosOutbox:
+    """Result-channel wrapper injecting delivery delays and duplicates.
+
+    Wraps a worker's private result channel (see
+    :class:`~repro.runner.pool.WorkerPool`'s per-worker transport).
+    Delays are *time-only* — the message order within a worker's pipe
+    is untouched, because the parent drops results whose job does not
+    match the worker's current assignment (at-least-once delivery is
+    safe; reordering across assignments is not a fault this transport
+    can exhibit).  Duplicates exercise exactly that drop path.
+    """
+
+    def __init__(self, inner, plan: ChaosPlan, episode: int = 1):
+        self._inner = inner
+        self._plan = plan
+        self._episode = episode
+
+    def put(self, message) -> None:
+        job_id = message[1]
+        delay = self._plan.delays(self._episode, job_id)
+        if delay:
+            time.sleep(delay)
+        self._inner.put(message)
+        if self._plan.duplicates(self._episode, job_id):
+            self._inner.put(message)
+
+
+class ChaosPool(WorkerPool):
+    """A :class:`WorkerPool` whose workers and transport misbehave."""
+
+    def __init__(
+        self,
+        plan: ChaosPlan,
+        episode: int = 1,
+        base_job_fn: JobFn = execute_job,
+        **kwargs,
+    ):
+        kwargs.setdefault(
+            "job_fn", ChaosJobFn(plan=plan, episode=episode, job_fn=base_job_fn)
+        )
+        super().__init__(**kwargs)
+        self.plan = plan
+        self.episode = episode
+
+    def _wrap_outbox(self, channel):
+        return ChaosOutbox(channel, self.plan, self.episode)
+
+
+# ----------------------------------------------------------------------
+# Store tear/restore helpers
+# ----------------------------------------------------------------------
+
+
+def tear_file(path: str, keep_fraction: float = 0.6) -> int:
+    """Truncate a file to simulate a torn write; returns bytes dropped."""
+    size = os.path.getsize(path)
+    keep = max(1, int(size * keep_fraction))
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return size - keep
+
+
+def _open_store_restoring(path: str, good_copy: str) -> tuple:
+    """Open the store, falling back to the last good copy if torn.
+
+    Returns ``(store, restored)`` — ``restored`` is True when the
+    typed :class:`StoreCorrupt` fired and the good copy was used.
+    """
+    try:
+        return ResultStore(path), False
+    except StoreCorrupt:
+        if not os.path.exists(good_copy):
+            raise
+        shutil.copyfile(good_copy, path)
+        return ResultStore(path), True
+
+
+# ----------------------------------------------------------------------
+# The invariant driver
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos campaign did, and whether the invariant held."""
+
+    seed: int
+    total_jobs: int
+    episodes: int = 0
+    #: Fault counters: kills scheduled, tears applied, tears recovered.
+    faults: Dict[str, int] = field(default_factory=dict)
+    #: Did the chaos store match the serial reference byte-for-byte?
+    identical: bool = False
+    serial_json: str = ""
+    chaos_json: str = ""
+
+    def render(self) -> str:
+        verdict = "IDENTICAL" if self.identical else "DIVERGED"
+        fault_text = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.faults.items())
+        ) or "none"
+        return (
+            f"chaos seed {self.seed}: {self.total_jobs} jobs over "
+            f"{self.episodes} episode(s), faults [{fault_text}] -> "
+            f"store vs serial: {verdict}"
+        )
+
+
+def _store_fingerprint(store: ResultStore, specs: Sequence[JobSpec]) -> str:
+    """The comparable artefact for a completed store.
+
+    Campaign stores compare through the exact JSON rendering the real
+    ``--json`` artefact uses; mixed-kind job sets fall back to the
+    ordered payload dump (same determinism, no report semantics).
+    """
+    if specs and all(spec.kind == CAMPAIGN_RUN for spec in specs):
+        from repro.analysis.report import results_json_from_store
+
+        return results_json_from_store(store)
+    return json.dumps(
+        [store.payload(spec.job_id) for spec in specs], indent=2
+    )
+
+
+def run_chaos_campaign(
+    specs: Sequence[JobSpec],
+    seed: int,
+    store_path: str,
+    jobs: int = 2,
+    timeout: float = 10.0,
+    plan: Optional[ChaosPlan] = None,
+    base_job_fn: JobFn = execute_job,
+    max_episodes: int = 10,
+    on_event: Optional[Callable] = None,
+) -> ChaosReport:
+    """Run ``specs`` under seeded chaos and check the store invariant.
+
+    The reference is a plain serial run of the same specs.  The chaos
+    side runs episodes of a :class:`ChaosPool` against a durable store
+    — each episode may kill workers, hang jobs, duplicate and delay
+    messages; between incomplete episodes the store file may be torn
+    and is then restored from the last good copy — until every job is
+    done.  Faults fire on first attempts only and jobs run with no
+    in-episode retries, so recovery always flows through the store's
+    resume path, the property under test.
+    """
+    specs = list(specs)
+    plan = plan or ChaosPlan(seed=seed, hang_seconds=max(timeout * 3, 1.0))
+    report = ChaosReport(seed=seed, total_jobs=len(specs))
+
+    with ResultStore() as reference:
+        serial = SerialRunner(retries=0, job_fn=base_job_fn)
+        serial.run(specs, store=reference)
+        report.serial_json = _store_fingerprint(reference, specs)
+
+    good_copy = store_path + ".good"
+    complete = False
+    for episode in range(1, max_episodes + 1):
+        report.episodes = episode
+        store, restored = _open_store_restoring(store_path, good_copy)
+        if restored:
+            report.faults["tears-recovered"] = (
+                report.faults.get("tears-recovered", 0) + 1
+            )
+        # Snapshot the (verified-healthy) store before the episode
+        # misbehaves — this is the "known-good copy" a torn store is
+        # restored from.
+        shutil.copyfile(store_path, good_copy)
+        pool = ChaosPool(
+            plan=plan,
+            episode=episode,
+            base_job_fn=base_job_fn,
+            jobs=jobs,
+            timeout=timeout,
+            retries=0,
+            on_event=on_event,
+        )
+        try:
+            pool.run(specs, store=store)
+            planned_kills = sum(
+                1 for spec in specs if plan.kills(episode, spec.job_id)
+            )
+            report.faults["kills"] = (
+                report.faults.get("kills", 0) + planned_kills
+            )
+            summary = store.summary()
+            complete = summary.done == len(specs)
+        finally:
+            store.close()
+        if complete:
+            break
+        if plan.tears(episode):
+            tear_file(store_path)
+            report.faults["tears"] = report.faults.get("tears", 0) + 1
+
+    final, restored = _open_store_restoring(store_path, good_copy)
+    if restored:
+        report.faults["tears-recovered"] = (
+            report.faults.get("tears-recovered", 0) + 1
+        )
+    try:
+        if final.summary().done != len(specs):
+            # A tear may have eaten completed episodes; one clean
+            # (fault-free) pass over the restored store finishes the
+            # stragglers through the ordinary resume path.
+            SerialRunner(
+                retries=2, job_fn=base_job_fn, on_event=on_event
+            ).run(specs, store=final)
+        report.chaos_json = _store_fingerprint(final, specs)
+    finally:
+        final.close()
+    if os.path.exists(good_copy):
+        os.remove(good_copy)
+    report.identical = report.chaos_json == report.serial_json
+    return report

@@ -1,0 +1,81 @@
+"""The crash watchdog: intercept a hypervisor crash, microreboot, go on.
+
+:class:`CrashWatchdog` sits between a campaign trial and the testbed:
+the attack (or injection) script runs under :meth:`guard`, and when it
+dies with :class:`~repro.errors.HypervisorCrash` or
+:class:`~repro.errors.DoubleFault` the watchdog drives the
+:class:`~repro.resilience.recovery.RecoveryManager` through a bounded
+microreboot and reports what happened instead of letting the crash end
+the trial.  Any other exception passes through untouched — the
+watchdog only handles the crash class the recovery subsystem exists
+for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import DoubleFault, HypervisorCrash
+from repro.resilience.recovery import RecoveryManager, RecoveryReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import TestBed
+    from repro.xen.domain import Domain
+
+
+@dataclass
+class WatchdogVerdict:
+    """Outcome of one guarded trial phase."""
+
+    #: Did the guarded callable crash the hypervisor?
+    crashed: bool
+    #: The recovery report, when a crash triggered a microreboot.
+    recovery: Optional[RecoveryReport] = None
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery is not None and self.recovery.recovered
+
+
+class CrashWatchdog:
+    """Runs trial phases, converting crashes into recovery attempts."""
+
+    def __init__(
+        self,
+        bed: "TestBed",
+        manager: Optional[RecoveryManager] = None,
+        max_reboots: int = 1,
+    ):
+        self.bed = bed
+        self.manager = manager or RecoveryManager(bed, max_reboots=max_reboots)
+
+    def checkpoint(self) -> None:
+        """Record the last-known-good state to microreboot back to."""
+        self.manager.checkpoint()
+
+    def guard(
+        self,
+        phase: Callable[[], None],
+        offender: Optional["Domain"] = None,
+        on_crash: Optional[Callable[[], None]] = None,
+    ) -> WatchdogVerdict:
+        """Run ``phase``; on a hypervisor crash, microreboot and report.
+
+        ``on_crash`` runs *between* the crash and the rollback — the
+        campaign uses it to audit the erroneous state while the
+        corrupted memory is still in place.
+        """
+        try:
+            phase()
+        except (HypervisorCrash, DoubleFault):
+            if on_crash is not None:
+                on_crash()
+            offender = offender if offender is not None else self._offender()
+            report = self.manager.recover(offender=offender)
+            return WatchdogVerdict(crashed=True, recovery=report)
+        return WatchdogVerdict(crashed=False)
+
+    def _offender(self) -> Optional["Domain"]:
+        """Default quarantine target: the attacker-controlled guest."""
+        return self.bed.attacker_domain

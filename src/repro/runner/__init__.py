@@ -28,18 +28,21 @@ from repro.runner.jobs import (
 )
 from repro.runner.pool import (
     CampaignFailed,
+    CampaignInterrupted,
     RunnerOutcome,
     SerialRunner,
     WorkerPool,
     make_runner,
     run_jobs,
+    seeded_backoff,
 )
-from repro.runner.store import ResultStore, StoreSummary
+from repro.runner.store import ResultStore, StoreCorrupt, StoreSummary
 
 __all__ = [
     "BENCHMARK_CASE",
     "CAMPAIGN_RUN",
     "CampaignFailed",
+    "CampaignInterrupted",
     "ConsoleRenderer",
     "EventRecorder",
     "FUZZ_TRIAL",
@@ -49,6 +52,7 @@ __all__ = [
     "RunnerOutcome",
     "SELFTEST",
     "SerialRunner",
+    "StoreCorrupt",
     "StoreSummary",
     "TESTCASE",
     "TransientJobError",
@@ -60,4 +64,5 @@ __all__ = [
     "plan_fuzz",
     "plan_testcases",
     "run_jobs",
+    "seeded_backoff",
 ]

@@ -22,7 +22,11 @@ JOB_RETRIED = "job-retried"
 JOB_TIMEOUT = "job-timeout"
 JOB_FAILED = "job-failed"
 JOB_SKIPPED = "job-skipped"  # already done in the store (resume)
+JOB_QUARANTINED = "job-quarantined"  # poisonous: kept killing workers
 WORKER_CRASHED = "worker-crashed"
+WORKER_UNRESPONSIVE = "worker-unresponsive"  # heartbeat stopped
+CIRCUIT_OPEN = "circuit-open"  # too many consecutive worker deaths
+CAMPAIGN_INTERRUPTED = "campaign-interrupted"  # SIGINT/SIGTERM, resumable
 CAMPAIGN_FINISHED = "campaign-finished"
 
 
@@ -36,6 +40,9 @@ class RunnerEvent:
     worker: int = -1
     attempt: int = 0
     detail: str = ""
+    #: Backoff delay chosen for a retry, seconds (JOB_RETRIED only) —
+    #: recorded so replays can explain the schedule.
+    delay: float = 0.0
     #: Jobs completed (done + failed) so far.
     done: int = 0
     total: int = 0
@@ -59,7 +66,7 @@ class EventHub:
         self._started_at = time.monotonic()
 
     def emit(self, kind: str, **fields) -> RunnerEvent:
-        if kind in (JOB_FINISHED, JOB_FAILED, JOB_SKIPPED):
+        if kind in (JOB_FINISHED, JOB_FAILED, JOB_SKIPPED, JOB_QUARANTINED):
             self.completed += 1
         elapsed = time.monotonic() - self._started_at
         throughput = self.completed / elapsed if elapsed > 0 else 0.0
@@ -103,9 +110,23 @@ class ConsoleRenderer:
         if event.kind == JOB_TIMEOUT:
             return f"{progress} timeout {event.label} ({event.detail})"
         if event.kind == JOB_RETRIED:
-            return f"{progress} retry {event.label} (attempt {event.attempt})"
+            return (
+                f"{progress} retry {event.label} (attempt {event.attempt}, "
+                f"after {event.delay:.2f}s)"
+            )
+        if event.kind == JOB_QUARANTINED:
+            return f"{progress} QUARANTINED {event.label}: {event.detail}"
         if event.kind == WORKER_CRASHED:
             return f"{progress} worker {event.worker} crashed on {event.label}"
+        if event.kind == WORKER_UNRESPONSIVE:
+            return (
+                f"{progress} worker {event.worker} unresponsive on "
+                f"{event.label} ({event.detail})"
+            )
+        if event.kind == CIRCUIT_OPEN:
+            return f"{progress} HALTED: {event.detail}"
+        if event.kind == CAMPAIGN_INTERRUPTED:
+            return f"{progress} interrupted ({event.detail}); store is resumable"
         if event.kind == CAMPAIGN_FINISHED:
             return (
                 f"{progress} campaign finished in {event.elapsed:.1f}s "

@@ -62,6 +62,11 @@ class JobSpec:
     seed: Optional[int] = None
     #: Trial index within its component (fuzz trials).
     trial: Optional[int] = None
+    #: Run campaign cells under the microreboot recovery watchdog
+    #: (campaign-run jobs only).  Part of the content hash: a
+    #: ``--recover`` campaign is a different experiment from the same
+    #: matrix without recovery, and resumes against its own store.
+    recover: bool = False
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -102,10 +107,11 @@ def plan_campaign(
     use_cases: Sequence[str],
     versions: Sequence[str],
     modes: Sequence[str] = ("exploit", "injection"),
+    recover: bool = False,
 ) -> List[JobSpec]:
     """Expand a campaign matrix into jobs, in matrix iteration order."""
     return [
-        JobSpec(kind=CAMPAIGN_RUN, use_case=u, version=v, mode=m)
+        JobSpec(kind=CAMPAIGN_RUN, use_case=u, version=v, mode=m, recover=recover)
         for u in use_cases
         for v in versions
         for m in modes
@@ -182,7 +188,7 @@ def _execute_campaign_run(spec: JobSpec) -> Dict[str, object]:
     from repro.exploits import USE_CASE_BY_NAME
     from repro.xen.versions import version_by_name
 
-    result = Campaign().run(
+    result = Campaign(recover=spec.recover).run(
         USE_CASE_BY_NAME[spec.use_case],
         version_by_name(spec.version),
         Mode(spec.mode),
@@ -230,6 +236,12 @@ def _execute_selftest(spec: JobSpec, attempt: int) -> Dict[str, object]:
         time.sleep(float(arg or "3600"))
     elif behaviour == "crash":
         os._exit(17)  # simulate a worker dying mid-job
+    elif behaviour == "stop":
+        import signal
+
+        # A wedged worker: the process stays alive (is_alive() == True)
+        # but stops making progress — only the heartbeat can tell.
+        os.kill(os.getpid(), signal.SIGSTOP)
     elif behaviour == "fail":
         raise RuntimeError("selftest: permanent failure")
     elif behaviour == "flaky":

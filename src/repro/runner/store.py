@@ -57,6 +57,25 @@ CREATE TABLE IF NOT EXISTS meta (
 _PLAN_HASH_KEY = "plan_hash"
 
 
+class StoreCorrupt(RuntimeError):
+    """The store file is damaged beyond what SQLite can recover.
+
+    Raised instead of leaking a raw :class:`sqlite3.DatabaseError` when
+    a store was torn mid-write (truncated file, half-synced page): the
+    caller can distinguish "this campaign's durable state is gone —
+    start a fresh store" from a programming error.
+    """
+
+    def __init__(self, path: str, detail: str):
+        self.path = path
+        self.detail = detail
+        super().__init__(
+            f"result store {path!r} is corrupt ({detail}); the file was "
+            "likely torn mid-write — move it aside and start a fresh "
+            "--store, or restore it from a known-good copy and --resume"
+        )
+
+
 class StorePlanMismatch(RuntimeError):
     """A store holds jobs from a different campaign plan.
 
@@ -103,11 +122,40 @@ class ResultStore:
     ):
         self.path = path
         self._clock = clock
-        self._conn = sqlite3.connect(path)
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+        try:
+            self._conn = sqlite3.connect(path)
+            self._conn.executescript(_SCHEMA)
+            self._commit()
+            self._verify_integrity()
+        except sqlite3.DatabaseError as exc:
+            raise StoreCorrupt(path, str(exc)) from exc
+
+    def _verify_integrity(self) -> None:
+        """Fail fast on a torn file instead of erroring mid-campaign."""
+        rows = self._sql("PRAGMA quick_check").fetchall()
+        verdicts = [row[0] for row in rows]
+        if verdicts != ["ok"]:
+            raise StoreCorrupt(self.path, "; ".join(verdicts) or "empty check")
+
+    def _sql(self, query: str, params: tuple = ()):
+        """Execute one statement, converting low-level corruption errors
+        into the typed :class:`StoreCorrupt`."""
+        try:
+            return self._conn.execute(query, params)
+        except sqlite3.DatabaseError as exc:
+            raise StoreCorrupt(self.path, str(exc)) from exc
+
+    def _commit(self) -> None:
+        try:
+            self._conn.commit()
+        except sqlite3.DatabaseError as exc:
+            raise StoreCorrupt(self.path, str(exc)) from exc
 
     # -- lifecycle ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Force pending writes out — the checkpointed-shutdown hook."""
+        self._commit()
 
     def close(self) -> None:
         self._conn.close()
@@ -133,10 +181,10 @@ class ResultStore:
         """
         specs = list(specs)
         self._guard_plan(specs)
-        row = self._conn.execute("SELECT COALESCE(MAX(seq), -1) FROM jobs")
+        row = self._sql("SELECT COALESCE(MAX(seq), -1) FROM jobs")
         next_seq = row.fetchone()[0] + 1
         for spec in specs:
-            cur = self._conn.execute(
+            cur = self._sql(
                 "INSERT OR IGNORE INTO jobs (job_id, seq, kind, spec, seed,"
                 " updated_at) VALUES (?, ?, ?, ?, ?, ?)",
                 (
@@ -151,24 +199,24 @@ class ResultStore:
             if cur.rowcount:
                 next_seq += 1
         registered = [
-            r[0] for r in self._conn.execute("SELECT job_id FROM jobs")
+            r[0] for r in self._sql("SELECT job_id FROM jobs")
         ]
-        self._conn.execute(
+        self._sql(
             "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
             (_PLAN_HASH_KEY, _plan_hash(registered)),
         )
-        self._conn.commit()
+        self._commit()
 
     def _guard_plan(self, specs: List[JobSpec]) -> None:
         existing = {
-            r[0] for r in self._conn.execute("SELECT job_id FROM jobs")
+            r[0] for r in self._sql("SELECT job_id FROM jobs")
         }
         if not existing:  # fresh store: nothing to guard against
             return
         incoming = {spec.job_id for spec in specs}
         if existing <= incoming or incoming <= existing:
             return
-        row = self._conn.execute(
+        row = self._sql(
             "SELECT value FROM meta WHERE key = ?", (_PLAN_HASH_KEY,)
         ).fetchone()
         recorded = row[0] if row is not None else _plan_hash(existing)
@@ -193,63 +241,63 @@ class ResultStore:
         wall_time: Optional[float] = None,
     ) -> None:
         """Log one attempt (success, error, timeout, or crash)."""
-        self._conn.execute(
+        self._sql(
             "INSERT INTO attempts (job_id, attempt, status, detail,"
             " wall_time, at) VALUES (?, ?, ?, ?, ?, ?)",
             (job_id, attempt, status, detail, wall_time, self._clock()),
         )
-        self._conn.execute(
+        self._sql(
             "UPDATE jobs SET attempts = attempts + 1, updated_at = ?"
             " WHERE job_id = ?",
             (self._clock(), job_id),
         )
-        self._conn.commit()
+        self._commit()
 
     def record_success(
         self, job_id: str, payload: dict, wall_time: Optional[float] = None
     ) -> None:
-        self._conn.execute(
+        self._sql(
             "INSERT OR REPLACE INTO results (job_id, payload) VALUES (?, ?)",
             (job_id, json.dumps(payload)),
         )
-        self._conn.execute(
+        self._sql(
             "UPDATE jobs SET status = ?, wall_time = ?, updated_at = ?"
             " WHERE job_id = ?",
             (DONE, wall_time, self._clock(), job_id),
         )
-        self._conn.commit()
+        self._commit()
 
     def record_failure(self, job_id: str, detail: str = "") -> None:
-        self._conn.execute(
+        self._sql(
             "UPDATE jobs SET status = ?, updated_at = ? WHERE job_id = ?",
             (FAILED, self._clock(), job_id),
         )
-        self._conn.commit()
+        self._commit()
         del detail  # logged per-attempt via record_attempt
 
     def _set_status(self, job_id: str, status: str) -> None:
-        self._conn.execute(
+        self._sql(
             "UPDATE jobs SET status = ?, updated_at = ? WHERE job_id = ?",
             (status, self._clock(), job_id),
         )
-        self._conn.commit()
+        self._commit()
 
     # -- queries --------------------------------------------------------
 
     def completed_ids(self) -> set:
-        rows = self._conn.execute(
+        rows = self._sql(
             "SELECT job_id FROM jobs WHERE status = ?", (DONE,)
         )
         return {row[0] for row in rows}
 
     def attempts_of(self, job_id: str) -> int:
-        row = self._conn.execute(
+        row = self._sql(
             "SELECT attempts FROM jobs WHERE job_id = ?", (job_id,)
         ).fetchone()
         return row[0] if row else 0
 
     def payload(self, job_id: str) -> Optional[dict]:
-        row = self._conn.execute(
+        row = self._sql(
             "SELECT payload FROM results WHERE job_id = ?", (job_id,)
         ).fetchone()
         return json.loads(row[0]) if row else None
@@ -267,17 +315,17 @@ class ResultStore:
         query += " ORDER BY jobs.seq"
         return [
             (JobSpec.from_json(spec), json.loads(payload))
-            for spec, payload in self._conn.execute(query, params)
+            for spec, payload in self._sql(query, params)
         ]
 
     def specs(self) -> List[JobSpec]:
         """All registered jobs in plan order."""
-        rows = self._conn.execute("SELECT spec FROM jobs ORDER BY seq")
+        rows = self._sql("SELECT spec FROM jobs ORDER BY seq")
         return [JobSpec.from_json(row[0]) for row in rows]
 
     def summary(self) -> StoreSummary:
         counts: Dict[str, int] = {}
-        for status, count in self._conn.execute(
+        for status, count in self._sql(
             "SELECT status, COUNT(*) FROM jobs GROUP BY status"
         ):
             counts[status] = count

@@ -1,4 +1,4 @@
-"""Machine-state snapshots and differential comparison.
+"""Machine-state snapshots, differential comparison, and restore.
 
 Auditing an erroneous state ultimately means comparing memory against
 what it should be.  The paper does this by hand (page-table walks,
@@ -7,15 +7,23 @@ snapshot of all machine frames, run something, and diff — yielding
 exactly which words changed.  The differential-equivalence analysis
 (:mod:`repro.core.differential`) builds on this to compare an exploit
 run against an injection run location by location.
+
+Snapshots are also the substrate of ReHype-style microreboot recovery
+(:mod:`repro.resilience.recovery`): :meth:`MachineSnapshot.restore`
+rolls a machine back to the captured contents — words, code blobs and
+the frame allocator — so a campaign can recover the simulated
+hypervisor after a :class:`~repro.errors.HypervisorCrash` instead of
+abandoning the trial.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.errors import MachineError
 from repro.xen.constants import WORDS_PER_PAGE
 from repro.xen.machine import Machine
 
@@ -35,11 +43,29 @@ class WordChange:
 
 
 class MachineSnapshot:
-    """An immutable copy of all frame contents at capture time."""
+    """An immutable copy of all frame contents at capture time.
 
-    def __init__(self, frames: Dict[int, np.ndarray], num_frames: int):
+    :meth:`capture` also records the blob map (opaque "code" payloads)
+    and the frame allocator's state, which is what makes
+    :meth:`restore` an exact inverse: capture → arbitrary mutations →
+    restore leaves :meth:`diff` empty and the allocator exactly as it
+    was.  Blob objects themselves are shared, not copied — they are
+    opaque to the machine model and treated as immutable.
+    """
+
+    def __init__(
+        self,
+        frames: Dict[int, np.ndarray],
+        num_frames: int,
+        blobs: Optional[Dict[Tuple[int, int], object]] = None,
+        allocated: Optional[Set[int]] = None,
+        free: Optional[List[int]] = None,
+    ):
         self._frames = frames
         self.num_frames = num_frames
+        self._blobs = blobs
+        self._allocated = allocated
+        self._free = free
 
     @classmethod
     def capture(cls, machine: Machine) -> "MachineSnapshot":
@@ -47,7 +73,13 @@ class MachineSnapshot:
             mfn: frame.copy()
             for mfn, frame in machine._frames.items()  # noqa: SLF001 — snapshotting is privileged
         }
-        return cls(frames=frames, num_frames=machine.num_frames)
+        return cls(
+            frames=frames,
+            num_frames=machine.num_frames,
+            blobs=dict(machine._blobs),  # noqa: SLF001
+            allocated=set(machine._allocated),  # noqa: SLF001
+            free=list(machine._free),  # noqa: SLF001
+        )
 
     def word(self, mfn: int, index: int) -> int:
         frame = self._frames.get(mfn)
@@ -82,3 +114,34 @@ class MachineSnapshot:
 
     def changed_frames(self, machine: Machine) -> Set[int]:
         return {change.mfn for change in self.diff(machine)}
+
+    # ------------------------------------------------------------------
+
+    def restore(self, machine: Machine) -> int:
+        """Roll ``machine`` back to this snapshot's contents.
+
+        Restores every frame's words, the blob map, and — when the
+        snapshot captured them — the allocator's free list and
+        allocated set, so subsequent :meth:`diff` calls against the
+        restored machine are empty and later allocations proceed
+        exactly as they would have from the checkpoint.
+
+        Returns the number of words that had to be rewritten (the size
+        of the diff at restore time), which recovery reports surface as
+        the rollback's footprint.
+        """
+        if machine.num_frames != self.num_frames:
+            raise MachineError(
+                f"snapshot of a {self.num_frames}-frame machine cannot "
+                f"restore a {machine.num_frames}-frame machine"
+            )
+        rewritten = len(self.diff(machine))
+        machine._frames = {  # noqa: SLF001 — restore is privileged
+            mfn: frame.copy() for mfn, frame in self._frames.items()
+        }
+        if self._blobs is not None:
+            machine._blobs = dict(self._blobs)  # noqa: SLF001
+        if self._allocated is not None and self._free is not None:
+            machine._allocated = set(self._allocated)  # noqa: SLF001
+            machine._free = list(self._free)  # noqa: SLF001
+        return rewritten

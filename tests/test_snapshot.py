@@ -1,6 +1,8 @@
 """Tests for machine snapshots and the differential analysis."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.differential import StateDelta, classify_frame, compare_deltas
 from repro.core.testbed import build_testbed
@@ -8,6 +10,7 @@ from repro.errors import HypervisorCrash
 from repro.exploits import USE_CASES, XSA182Test, XSA212Crash
 from repro.exploits.base import ExploitFailed
 from repro.guest.kernel import KernelOops
+from repro.xen.machine import Machine
 from repro.xen.snapshot import MachineSnapshot, WordChange
 from repro.xen.versions import XEN_4_6
 
@@ -55,6 +58,77 @@ class TestSnapshot:
         machine.write_word(4, 0, 1)
         changes = snapshot.diff(machine)
         assert [c.mfn for c in changes] == [4, 9]
+
+
+#: One raw memory mutation: (mfn, word index, 64-bit value).
+_mutations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=127),
+        st.integers(min_value=0, max_value=511),
+        st.integers(min_value=0, max_value=2**64 - 1),
+    ),
+    max_size=32,
+)
+
+
+class TestRestoreInverse:
+    """``restore`` is the exact inverse of ``capture`` — the property
+    the microreboot (:mod:`repro.resilience.recovery`) stands on."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(writes=_mutations)
+    def test_restore_is_exact_inverse_of_capture(self, writes):
+        machine = Machine(128)
+        machine.write_word(1, 1, 42)  # pre-existing state to preserve
+        snapshot = MachineSnapshot.capture(machine)
+        for mfn, word, value in writes:
+            machine.write_word(mfn, word, value)
+        rewritten = snapshot.restore(machine)
+        assert snapshot.diff(machine) == []
+        assert machine.read_word(1, 1) == 42
+        # the footprint never exceeds the number of distinct locations
+        assert rewritten <= len({(m, w) for m, w, _v in writes})
+
+    def test_restore_rewinds_the_allocator(self, machine):
+        snapshot = MachineSnapshot.capture(machine)
+        first = machine.alloc_frame()
+        machine.write_word(first, 0, 7)
+        snapshot.restore(machine)
+        # the frame allocated after the checkpoint is free again, and
+        # allocation proceeds exactly as it would have from the capture
+        assert machine.alloc_frame() == first
+        assert machine.read_word(first, 0) == 0
+
+    def test_restore_after_arbitrary_access_revalidates_census(self, bed46):
+        """The injector's mutations roll back cleanly and the frame
+        type census matches the checkpoint — the microreboot's
+        re-validation phase in miniature."""
+        from repro.core.injector import IntrusionInjector, install_injector
+        from repro.resilience.recovery import frame_type_census
+
+        install_injector(bed46.xen)
+        census = frame_type_census(bed46.xen)
+        snapshot = MachineSnapshot.capture(bed46.xen.machine)
+
+        injector = IntrusionInjector(bed46.attacker_domain.kernel)
+        victim = bed46.xen.machine.num_frames - 2  # free frame, physical mode
+        for word in (0, 1, 2):
+            assert injector.write_word(
+                victim * 4096 + word * 8, 0xDEAD + word, linear=False
+            ) == 0
+
+        assert snapshot.changed_frames(bed46.xen.machine) == {victim}
+        rewritten = snapshot.restore(bed46.xen.machine)
+        assert rewritten == 3
+        assert snapshot.diff(bed46.xen.machine) == []
+        assert frame_type_census(bed46.xen) == census
+
+    def test_restore_rejects_mismatched_geometry(self):
+        snapshot = MachineSnapshot.capture(Machine(64))
+        from repro.errors import MachineError
+
+        with pytest.raises(MachineError, match="64-frame"):
+            snapshot.restore(Machine(128))
 
 
 class TestClassification:
