@@ -56,6 +56,12 @@ def result_to_dict(result: RunResult) -> dict:
     }
     if result.recovery is not None:
         data["recovery"] = result.recovery.to_dict()
+    if result.trace is not None:
+        # Basename-only summary: artefacts live in the campaign's
+        # trace directory, and payloads must not depend on where that
+        # directory happens to be (serial and parallel runs of the
+        # same campaign use different ones and must stay comparable).
+        data["trace"] = dict(result.trace)
     return data
 
 
@@ -97,6 +103,7 @@ def run_result_from_dict(data: dict) -> RunResult:
         console=list(data["console_tail"]),
         guest_log=list(data["guest_log_tail"]),
         recovery=recovery,
+        trace=data.get("trace"),
     )
 
 
@@ -225,5 +232,27 @@ def render_markdown_report(results: Sequence[RunResult], title: str) -> str:
                 f"| {report.reboots} | {quarantined} "
                 f"| {report.wall_time * 1000:.1f} ms |"
             )
+        lines.append("")
+
+    traced = [r for r in results if r.trace is not None]
+    if traced:
+        lines += [
+            "## Trace artefacts",
+            "",
+            "| use case | version | mode | trace file | ops | final digest |",
+            "|---|---|---|---|---|---|",
+        ]
+        for result in traced:
+            trace = result.trace
+            lines.append(
+                f"| {result.use_case} | {result.version} "
+                f"| {result.mode.value} | `{trace.get('file')}` "
+                f"| {trace.get('ops')} | `{trace.get('final_digest')}` |"
+            )
+        lines.append("")
+        lines.append(
+            "Replay with `repro replay <trace-dir>/<file>`; minimize a "
+            "crashing trace with `repro triage <trace-dir>/<file>`."
+        )
         lines.append("")
     return "\n".join(lines)

@@ -115,6 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="microreboot the hypervisor after a crash and report the "
         "recovery outcome (crash-then-recovered / crash-unrecoverable)",
     )
+    run.add_argument(
+        "--trace", metavar="DIR",
+        help="record the run into DIR as a replayable trace (kept when "
+        "the run crashes, violates, or recovers)",
+    )
 
     campaign = sub.add_parser("campaign", help="full experiment matrix")
     campaign.add_argument("--json", help="write raw results as JSON")
@@ -123,7 +128,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--recover", action="store_true",
         help="run every cell under the microreboot crash watchdog",
     )
+    campaign.add_argument(
+        "--trace", metavar="DIR",
+        help="record every cell into DIR; traces of crashing/violating/"
+        "recovering runs are kept as replayable artefacts",
+    )
     _add_runner_args(campaign)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a recorded trace against a fresh machine and "
+        "verify outcome and state digests op by op",
+    )
+    replay.add_argument("trace", help="trace file to replay")
+    replay.add_argument(
+        "--probe", action="store_true",
+        help="probe mode: skip divergence checks, just report the "
+        "terminal state",
+    )
+
+    triage = sub.add_parser(
+        "triage",
+        help="delta-debug a crashing trace to a minimal standalone "
+        "reproducer plus a triage report",
+    )
+    triage.add_argument("trace", help="crashing trace file to minimize")
+    triage.add_argument(
+        "--out", metavar="PATH",
+        help="minimized trace destination (default: <trace>.min.trace)",
+    )
+    triage.add_argument(
+        "--report", metavar="PATH",
+        help="markdown report destination (default: <trace>.triage.md)",
+    )
 
     study = sub.add_parser("study", help="the 100-CVE dataset")
     study.add_argument("--by-year", action="store_true")
@@ -181,6 +218,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--events", metavar="PATH",
         help="append every runner event as JSON lines (the CI artifact)",
     )
+    chaos.add_argument(
+        "--trace", metavar="DIR",
+        help="record traces for both the serial reference and the "
+        "chaos run into DIR/<seed>/{serial,chaos} and assert they are "
+        "byte-identical",
+    )
 
     from repro.staticcheck.cli import add_staticcheck_parser
 
@@ -193,8 +236,15 @@ def _cmd_run(args) -> int:
     use_case = USE_CASE_BY_NAME[args.use_case]
     version = version_by_name(args.version)
     mode = Mode(args.mode)
-    result = Campaign(recover=args.recover).run(use_case, version, mode)
+    result = Campaign(recover=args.recover, trace_dir=args.trace).run(
+        use_case, version, mode
+    )
     print(result.summary)
+    if result.trace is not None:
+        print(
+            f"trace: {os.path.join(args.trace, result.trace['file'])} "
+            f"({result.trace['ops']} ops)"
+        )
     if result.failure:
         print(f"failure: {result.failure}")
     if result.recovery is not None:
@@ -218,7 +268,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    campaign = Campaign(recover=args.recover)
+    campaign = Campaign(recover=args.recover, trace_dir=args.trace)
     runner, store = _runner_from_args(args)
     try:
         results = campaign.run_matrix(
@@ -260,7 +310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     from repro.runner.pool import CampaignFailed, CampaignInterrupted
-    from repro.runner.store import StoreCorrupt, StorePlanMismatch
+    from repro.runner.store import StoreCorrupt, StorePlanMismatch, StoreSchemaMismatch
 
     try:
         return _dispatch(args)
@@ -270,7 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CampaignInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
         return 130  # the conventional fatal-signal exit code
-    except (StoreCorrupt, StorePlanMismatch) as exc:
+    except (StoreCorrupt, StorePlanMismatch, StoreSchemaMismatch) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -349,6 +399,10 @@ def _dispatch(args) -> int:
         return _cmd_testcase(args)
     elif args.command == "chaos":
         return _cmd_chaos(args)
+    elif args.command == "replay":
+        return _cmd_replay(args)
+    elif args.command == "triage":
+        return _cmd_triage(args)
     elif args.command == "staticcheck":
         from repro.staticcheck.cli import run_staticcheck
 
@@ -401,6 +455,52 @@ def _cmd_testcase(args) -> int:
     return 0
 
 
+def _cmd_replay(args) -> int:
+    from repro.trace import ReplayDivergence, TraceError, replay_trace
+
+    if not os.path.exists(args.trace):
+        print(f"replay: trace file {args.trace!r} not found", file=sys.stderr)
+        return 2
+    try:
+        outcome = replay_trace(args.trace, strict=not args.probe)
+    except ReplayDivergence as exc:
+        print(f"replay: DIVERGED\n{exc}", file=sys.stderr)
+        return 1
+    except TraceError as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 1
+    state = "crashed" if outcome.crashed else "alive"
+    mode = "verified" if outcome.faithful else "probed"
+    print(
+        f"replay: {mode} {outcome.ops_replayed} ops; hypervisor {state}"
+        + (f" ({outcome.banner})" if outcome.crashed else "")
+    )
+    print(f"replay: final digest {outcome.final_digest}")
+    return 0
+
+
+def _cmd_triage(args) -> int:
+    from repro.trace import TraceError, minimize_trace
+
+    if not os.path.exists(args.trace):
+        print(f"triage: trace file {args.trace!r} not found", file=sys.stderr)
+        return 2
+    try:
+        report = minimize_trace(
+            args.trace, out_path=args.out, report_path=args.report
+        )
+    except TraceError as exc:
+        print(f"triage: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"triage: {report.original_ops} ops -> {report.minimized_ops} "
+        f"({report.reduction:.0%} removed, {report.probes} probe replays)"
+    )
+    print(f"triage: minimal reproducer written to {report.minimized_path}")
+    print(f"triage: report written to {report.report_path}")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     import dataclasses
     import json
@@ -422,6 +522,9 @@ def _cmd_chaos(args) -> int:
     failed = 0
     try:
         for seed in args.seeds:
+            trace_dir = (
+                os.path.join(args.trace, str(seed)) if args.trace else None
+            )
             with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
                 report = run_chaos_campaign(
                     specs,
@@ -430,6 +533,7 @@ def _cmd_chaos(args) -> int:
                     jobs=args.jobs,
                     timeout=args.timeout,
                     on_event=record_event if args.events else None,
+                    trace_dir=trace_dir,
                 )
             print(report.render())
             if not report.identical:

@@ -62,6 +62,11 @@ class RunResult:
     #: ``None`` for runs without recovery (including non-crashing
     #: ``--recover`` runs, which never trigger the watchdog).
     recovery: Optional["RecoveryReport"] = None
+    #: Trace artefact summary (``{"file", "ops", "final_digest"}``)
+    #: when the run was recorded and the trace was kept; ``None``
+    #: otherwise.  The file name is a bare basename — artefacts live
+    #: in the campaign's ``trace_dir``.
+    trace: Optional[dict] = None
 
     @property
     def summary(self) -> str:
@@ -85,6 +90,8 @@ class Campaign:
         settle_rounds: int = 2,
         recover: bool = False,
         max_reboots: int = 1,
+        trace_dir: Optional[str] = None,
+        trace_keep: str = "failures",
     ):
         self.testbed_factory = testbed_factory
         self.settle_rounds = settle_rounds
@@ -94,6 +101,18 @@ class Campaign:
         #: instead of ending the trial.
         self.recover = recover
         self.max_reboots = max_reboots
+        #: Record every run into ``trace_dir`` (``--trace``).  Traces
+        #: are kept for runs that end in a crash, a security violation
+        #: or a recovery (``trace_keep="failures"``, the default) or
+        #: unconditionally (``trace_keep="always"``); uninteresting
+        #: traces are deleted so campaign output stays bounded.
+        self.trace_dir = trace_dir
+        self._trace_dir_ready = False
+        if trace_keep not in ("failures", "always"):
+            raise ValueError(
+                f"trace_keep must be 'failures' or 'always', got {trace_keep!r}"
+            )
+        self.trace_keep = trace_keep
 
     # ------------------------------------------------------------------
     # Single run
@@ -109,6 +128,7 @@ class Campaign:
         bed = self.testbed_factory(version)
         use_case = use_case_cls()
         use_case.prepare(bed)
+        recorder = self._make_recorder(bed, use_case_cls.name, version, mode)
 
         def attack() -> None:
             if mode is Mode.EXPLOIT:
@@ -120,22 +140,28 @@ class Campaign:
         recovery: Optional["RecoveryReport"] = None
         pre_crash_state: Optional[ErroneousStateReport] = None
         try:
-            if self.recover:
-                recovery, pre_crash_state = self._guarded_attack(
-                    bed, use_case, attack
-                )
-            else:
-                attack()
-        except HypervisorCrash:  # staticcheck: ignore[R3] the crash is the observable; CrashMonitor reads it from bed.xen.crashed below
-            pass
-        except KernelOops as oops:
-            failure = f"kernel exception: {oops.fault.reason}"
-        except ExploitFailed as exc:
-            failure = f"{mode.value} failed: {exc}"
+            try:
+                if self.recover:
+                    recovery, pre_crash_state = self._guarded_attack(
+                        bed, use_case, attack, recorder
+                    )
+                else:
+                    attack()
+            except HypervisorCrash:  # staticcheck: ignore[R3] the crash is the observable; CrashMonitor reads it from bed.xen.crashed below
+                pass
+            except KernelOops as oops:
+                failure = f"kernel exception: {oops.fault.reason}"
+            except ExploitFailed as exc:
+                failure = f"{mode.value} failed: {exc}"
 
-        # Let the system run so deferred effects (vDSO calls, event
-        # deliveries) materialise, then observe.
-        bed.tick(self.settle_rounds)
+            # Let the system run so deferred effects (vDSO calls, event
+            # deliveries) materialise, then observe.
+            bed.tick(self.settle_rounds)
+        finally:
+            # Unhook before auditing: the observation phase must see
+            # the native testbed, and audits are not part of the trace.
+            if recorder is not None:
+                recorder.detach()
         erroneous = use_case.audit_erroneous_state(bed)
         violation = use_case.detect_violation(bed)
         if recovery is not None:
@@ -155,20 +181,58 @@ class Campaign:
             if bed.attacker_domain.kernel is not None
             else []
         )
+        crashed = bed.xen.crashed or recovery is not None
+        trace_info: Optional[dict] = None
+        if recorder is not None:
+            keep = (
+                self.trace_keep == "always"
+                or crashed
+                or violation.occurred
+                or recovery is not None
+            )
+            if keep:
+                trace_info = recorder.finalize()
+            else:
+                recorder.abandon()
         return RunResult(
             use_case=use_case_cls.name,
             version=version.name,
             mode=mode,
             erroneous_state=erroneous,
             violation=violation,
-            crashed=bed.xen.crashed or recovery is not None,
+            crashed=crashed,
             failure=failure,
             console=list(bed.xen.console),
             guest_log=attacker_log,
             recovery=recovery,
+            trace=trace_info,
         )
 
-    def _guarded_attack(self, bed, use_case, attack):
+    def _make_recorder(self, bed, use_case_name: str, version, mode):
+        """Build and attach a trace recorder when ``trace_dir`` is set."""
+        if self.trace_dir is None:
+            return None
+        import os
+
+        from repro.trace import TraceRecorder, trace_filename
+
+        if not self._trace_dir_ready:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            self._trace_dir_ready = True
+        path = os.path.join(
+            self.trace_dir,
+            trace_filename(use_case_name, version.name, mode.value, self.recover),
+        )
+        return TraceRecorder(
+            bed,
+            path,
+            use_case=use_case_name,
+            version=version.name,
+            mode=mode.value,
+            recover=self.recover,
+        ).attach()
+
+    def _guarded_attack(self, bed, use_case, attack, recorder=None):
         """Run the attack under the microreboot watchdog (``--recover``).
 
         Returns ``(recovery_report, pre_crash_erroneous_state)`` —
@@ -179,6 +243,8 @@ class Campaign:
         from repro.resilience.watchdog import CrashWatchdog
 
         watchdog = CrashWatchdog(bed, max_reboots=self.max_reboots)
+        if recorder is not None:
+            recorder.attach_recovery(watchdog.manager)
         watchdog.checkpoint()
         audited: dict = {}
 
@@ -236,6 +302,7 @@ class Campaign:
             [v.name for v in versions],
             [m.value for m in modes],
             recover=self.recover,
+            trace_dir=self.trace_dir,
         )
         outcome = runner.run(specs, store=store)
         return [run_result_from_dict(p) for p in outcome.payloads_for(specs)]

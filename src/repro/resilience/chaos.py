@@ -35,7 +35,7 @@ import os
 import shutil
 import signal
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.runner.jobs import CAMPAIGN_RUN, JobSpec, execute_job
@@ -207,21 +207,40 @@ class ChaosReport:
     episodes: int = 0
     #: Fault counters: kills scheduled, tears applied, tears recovered.
     faults: Dict[str, int] = field(default_factory=dict)
-    #: Did the chaos store match the serial reference byte-for-byte?
+    #: Did the chaos store match the serial reference byte-for-byte
+    #: (and, when traces were recorded, the trace artefacts too)?
     identical: bool = False
     serial_json: str = ""
     chaos_json: str = ""
+    #: Trace files compared between the serial and chaos directories
+    #: (0 when the campaign ran without ``trace_dir``).
+    traces_compared: int = 0
+    #: Human-readable descriptions of trace artefact divergences.
+    trace_mismatches: List[str] = field(default_factory=list)
 
     def render(self) -> str:
         verdict = "IDENTICAL" if self.identical else "DIVERGED"
         fault_text = ", ".join(
             f"{name}={count}" for name, count in sorted(self.faults.items())
         ) or "none"
-        return (
+        line = (
             f"chaos seed {self.seed}: {self.total_jobs} jobs over "
             f"{self.episodes} episode(s), faults [{fault_text}] -> "
             f"store vs serial: {verdict}"
         )
+        if self.traces_compared or self.trace_mismatches:
+            trace_verdict = (
+                "byte-identical"
+                if not self.trace_mismatches
+                else f"{len(self.trace_mismatches)} mismatch(es)"
+            )
+            line += (
+                f"\nchaos seed {self.seed}: {self.traces_compared} trace "
+                f"artefact(s) vs serial: {trace_verdict}"
+            )
+            for mismatch in self.trace_mismatches:
+                line += f"\n  trace divergence: {mismatch}"
+        return line
 
 
 def _store_fingerprint(store: ResultStore, specs: Sequence[JobSpec]) -> str:
@@ -240,6 +259,38 @@ def _store_fingerprint(store: ResultStore, specs: Sequence[JobSpec]) -> str:
     )
 
 
+def _compare_trace_dirs(serial_dir: str, chaos_dir: str) -> List[str]:
+    """Byte-compare two trace directories; returns mismatch descriptions.
+
+    Trace files carry no timestamps, pids or ordering artefacts, so a
+    chaos run — workers killed mid-record, jobs retried, results
+    duplicated — must leave *exactly* the bytes a serial run leaves.
+    A torn trace from a SIGKILLed worker is overwritten whole by the
+    retry (the writer opens ``"w"``), so survivors are never torn.
+    """
+    serial_files = sorted(os.listdir(serial_dir)) if os.path.isdir(serial_dir) else []
+    chaos_files = sorted(os.listdir(chaos_dir)) if os.path.isdir(chaos_dir) else []
+    mismatches = []
+    for name in serial_files:
+        if name not in chaos_files:
+            mismatches.append(f"{name}: recorded serially but missing under chaos")
+    for name in chaos_files:
+        if name not in serial_files:
+            mismatches.append(f"{name}: recorded under chaos but not serially")
+    for name in serial_files:
+        if name not in chaos_files:
+            continue
+        with open(os.path.join(serial_dir, name), "rb") as handle:
+            serial_bytes = handle.read()
+        with open(os.path.join(chaos_dir, name), "rb") as handle:
+            chaos_bytes = handle.read()
+        if serial_bytes != chaos_bytes:
+            mismatches.append(
+                f"{name}: differs ({len(serial_bytes)} vs {len(chaos_bytes)} bytes)"
+            )
+    return mismatches
+
+
 def run_chaos_campaign(
     specs: Sequence[JobSpec],
     seed: int,
@@ -250,6 +301,7 @@ def run_chaos_campaign(
     base_job_fn: JobFn = execute_job,
     max_episodes: int = 10,
     on_event: Optional[Callable] = None,
+    trace_dir: Optional[str] = None,
 ) -> ChaosReport:
     """Run ``specs`` under seeded chaos and check the store invariant.
 
@@ -261,15 +313,32 @@ def run_chaos_campaign(
     done.  Faults fire on first attempts only and jobs run with no
     in-episode retries, so recovery always flows through the store's
     resume path, the property under test.
+
+    With ``trace_dir`` the serial reference records under
+    ``trace_dir/serial`` and the chaos side under ``trace_dir/chaos``;
+    the directories must come out byte-identical (trace determinism
+    under infrastructure faults), folded into ``report.identical``.
     """
     specs = list(specs)
     plan = plan or ChaosPlan(seed=seed, hang_seconds=max(timeout * 3, 1.0))
     report = ChaosReport(seed=seed, total_jobs=len(specs))
 
+    serial_trace_dir = chaos_trace_dir = None
+    serial_specs = specs
+    if trace_dir is not None:
+        serial_trace_dir = os.path.join(trace_dir, "serial")
+        chaos_trace_dir = os.path.join(trace_dir, "chaos")
+        os.makedirs(serial_trace_dir, exist_ok=True)
+        os.makedirs(chaos_trace_dir, exist_ok=True)
+        # trace_dir is excluded from job identity, so both variants
+        # plan the same job_ids and resume against the same store.
+        serial_specs = [replace(s, trace_dir=serial_trace_dir) for s in specs]
+        specs = [replace(s, trace_dir=chaos_trace_dir) for s in specs]
+
     with ResultStore() as reference:
         serial = SerialRunner(retries=0, job_fn=base_job_fn)
-        serial.run(specs, store=reference)
-        report.serial_json = _store_fingerprint(reference, specs)
+        serial.run(serial_specs, store=reference)
+        report.serial_json = _store_fingerprint(reference, serial_specs)
 
     good_copy = store_path + ".good"
     complete = False
@@ -330,4 +399,11 @@ def run_chaos_campaign(
     if os.path.exists(good_copy):
         os.remove(good_copy)
     report.identical = report.chaos_json == report.serial_json
+    if serial_trace_dir is not None and chaos_trace_dir is not None:
+        report.trace_mismatches = _compare_trace_dirs(
+            serial_trace_dir, chaos_trace_dir
+        )
+        report.traces_compared = len(os.listdir(serial_trace_dir))
+        if report.trace_mismatches:
+            report.identical = False
     return report

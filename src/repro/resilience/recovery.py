@@ -35,7 +35,7 @@ from repro.core.monitor import (
     IdtIntegrityMonitor,
     PageTableIntegrityMonitor,
 )
-from repro.xen.snapshot import MachineSnapshot
+from repro.xen.snapshot import MachineSnapshot, machine_digest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.testbed import TestBed
@@ -73,6 +73,11 @@ class RecoveryReport:
     quarantined: List[int] = field(default_factory=list)
     #: Microreboots consumed so far in this trial (this one included).
     reboots: int = 0
+    #: Post-rollback machine digest (see
+    #: :func:`repro.xen.snapshot.machine_digest`) — the same digest a
+    #: trace replay computes, so a recovery can be cross-checked
+    #: against its recorded trace.  Empty for unrecoverable outcomes.
+    state_digest: str = ""
     evidence: List[str] = field(default_factory=list)
 
     @property
@@ -94,6 +99,7 @@ class RecoveryReport:
             "census_ok": self.census_ok,
             "quarantined": list(self.quarantined),
             "reboots": self.reboots,
+            "state_digest": self.state_digest,
             "evidence": list(self.evidence),
         }
 
@@ -108,6 +114,7 @@ class RecoveryReport:
             census_ok=data.get("census_ok", False),
             quarantined=list(data.get("quarantined", ())),
             reboots=data.get("reboots", 0),
+            state_digest=data.get("state_digest", ""),
             evidence=list(data.get("evidence", ())),
         )
 
@@ -121,6 +128,10 @@ class HypervisorCheckpoint:
     p2m: Dict[int, list]
     domain_ids: Set[int]
     census: Dict[str, int]
+    #: Machine digest at capture time — what a faithful rollback must
+    #: reproduce, and what a trace replay of the same checkpoint op
+    #: computes.
+    digest: str = ""
 
 
 def frame_type_census(xen) -> Dict[str, int]:
@@ -162,6 +173,7 @@ class RecoveryManager:
             p2m={d.id: list(d.p2m) for d in self.bed.all_domains()},
             domain_ids={d.id for d in self.bed.all_domains()},
             census=frame_type_census(xen),
+            digest=machine_digest(xen.machine),
         )
         self._checkpoint = checkpoint
         return checkpoint
@@ -227,7 +239,10 @@ class RecoveryManager:
         xen.log("*** MICROREBOOT ***")
         xen.log(f"recovered from: {banner}")
 
-        # Phase 4 — re-validate: census plus integrity monitors.
+        # Phase 4 — re-validate: census, integrity monitors, and the
+        # replay-grade digest check: a faithful rollback must leave the
+        # machine at exactly the checkpointed digest (the same value a
+        # trace replay of the checkpoint op computes).
         census = frame_type_census(xen)
         census_ok = census == checkpoint.census
         if not census_ok:
@@ -242,7 +257,14 @@ class RecoveryManager:
                 evidence.append(
                     f"{monitor.name} re-check failed: {verdict.kind}"
                 )
-        intact = census_ok and integrity_ok and not domains_changed
+        state_digest = machine_digest(xen.machine)
+        digest_ok = not checkpoint.digest or state_digest == checkpoint.digest
+        if not digest_ok:
+            evidence.append(
+                "post-rollback digest mismatch: checkpoint "
+                f"{checkpoint.digest[:12]} vs machine {state_digest[:12]}"
+            )
+        intact = census_ok and integrity_ok and digest_ok and not domains_changed
 
         report = RecoveryReport(
             outcome=RECOVERED if intact else DEGRADED,
@@ -253,6 +275,7 @@ class RecoveryManager:
             census_ok=census_ok,
             quarantined=quarantined,
             reboots=self.reboots,
+            state_digest=state_digest,
             evidence=evidence,
         )
         self.last_report = report

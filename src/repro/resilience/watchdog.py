@@ -32,6 +32,10 @@ class WatchdogVerdict:
     crashed: bool
     #: The recovery report, when a crash triggered a microreboot.
     recovery: Optional[RecoveryReport] = None
+    #: An exception the ``on_crash`` hook raised, chained to the crash
+    #: it was observing (``hook_error.__cause__``).  Never aborts the
+    #: recovery — a broken observer must not mask the crash outcome.
+    hook_error: Optional[Exception] = None
 
     @property
     def recovered(self) -> bool:
@@ -64,16 +68,31 @@ class CrashWatchdog:
 
         ``on_crash`` runs *between* the crash and the rollback — the
         campaign uses it to audit the erroneous state while the
-        corrupted memory is still in place.
+        corrupted memory is still in place.  A hook that itself raises
+        must not mask the crash it was called to observe: the hook's
+        exception is captured on the verdict (chained to the crash as
+        its ``__cause__``) and recovery proceeds regardless.
         """
         try:
             phase()
-        except (HypervisorCrash, DoubleFault):
+        except (HypervisorCrash, DoubleFault) as crash:
+            hook_error: Optional[Exception] = None
             if on_crash is not None:
-                on_crash()
+                try:
+                    on_crash()
+                except Exception as exc:
+                    exc.__cause__ = crash
+                    hook_error = exc
+                    self.bed.xen.log(
+                        f"watchdog: on_crash hook failed "
+                        f"({type(exc).__name__}: {exc}); proceeding with "
+                        "recovery"
+                    )
             offender = offender if offender is not None else self._offender()
             report = self.manager.recover(offender=offender)
-            return WatchdogVerdict(crashed=True, recovery=report)
+            return WatchdogVerdict(
+                crashed=True, recovery=report, hook_error=hook_error
+            )
         return WatchdogVerdict(crashed=False)
 
     def _offender(self) -> Optional["Domain"]:

@@ -36,7 +36,12 @@ from repro.runner.pool import (
     run_jobs,
     seeded_backoff,
 )
-from repro.runner.store import ResultStore, StoreCorrupt, StoreSummary
+from repro.runner.store import (
+    ResultStore,
+    StoreCorrupt,
+    StoreSchemaMismatch,
+    StoreSummary,
+)
 
 __all__ = [
     "BENCHMARK_CASE",
@@ -53,6 +58,7 @@ __all__ = [
     "SELFTEST",
     "SerialRunner",
     "StoreCorrupt",
+    "StoreSchemaMismatch",
     "StoreSummary",
     "TESTCASE",
     "TransientJobError",

@@ -67,6 +67,11 @@ class JobSpec:
     #: ``--recover`` campaign is a different experiment from the same
     #: matrix without recovery, and resumes against its own store.
     recover: bool = False
+    #: Directory for trace artefacts (``--trace``); ``None`` disables
+    #: recording.  Deliberately EXCLUDED from the content hash: where
+    #: traces land does not change the experiment, so a traced resume
+    #: recognises work done by an untraced run and vice versa.
+    trace_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -75,7 +80,9 @@ class JobSpec:
     @property
     def job_id(self) -> str:
         """Stable content-derived identifier."""
-        blob = json.dumps(asdict(self), sort_keys=True).encode()
+        fields = asdict(self)
+        fields.pop("trace_dir")  # artefact destination, not experiment identity
+        blob = json.dumps(fields, sort_keys=True).encode()
         return f"{self.kind}:{hashlib.sha1(blob).hexdigest()[:16]}"
 
     def to_json(self) -> str:
@@ -108,10 +115,18 @@ def plan_campaign(
     versions: Sequence[str],
     modes: Sequence[str] = ("exploit", "injection"),
     recover: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> List[JobSpec]:
     """Expand a campaign matrix into jobs, in matrix iteration order."""
     return [
-        JobSpec(kind=CAMPAIGN_RUN, use_case=u, version=v, mode=m, recover=recover)
+        JobSpec(
+            kind=CAMPAIGN_RUN,
+            use_case=u,
+            version=v,
+            mode=m,
+            recover=recover,
+            trace_dir=trace_dir,
+        )
         for u in use_cases
         for v in versions
         for m in modes
@@ -188,7 +203,7 @@ def _execute_campaign_run(spec: JobSpec) -> Dict[str, object]:
     from repro.exploits import USE_CASE_BY_NAME
     from repro.xen.versions import version_by_name
 
-    result = Campaign(recover=spec.recover).run(
+    result = Campaign(recover=spec.recover, trace_dir=spec.trace_dir).run(
         USE_CASE_BY_NAME[spec.use_case],
         version_by_name(spec.version),
         Mode(spec.mode),

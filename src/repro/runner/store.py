@@ -55,6 +55,13 @@ CREATE TABLE IF NOT EXISTS meta (
 """
 
 _PLAN_HASH_KEY = "plan_hash"
+_SCHEMA_VERSION_KEY = "schema_version"
+
+#: Version of the on-disk layout *and* of the payload/spec JSON shapes
+#: stored inside it.  Bumped when resuming an old store would misread
+#: its contents (v1 → v2: job specs grew ``trace_dir`` and campaign
+#: payloads an optional ``trace`` summary).
+SCHEMA_VERSION = 2
 
 
 class StoreCorrupt(RuntimeError):
@@ -83,6 +90,28 @@ class StorePlanMismatch(RuntimeError):
     would report the old campaign's completed jobs as this campaign's
     results.
     """
+
+
+class StoreSchemaMismatch(RuntimeError):
+    """A store was written under a different schema version.
+
+    Raised on open, before any resume logic runs: silently resuming
+    would misparse the recorded specs/payloads (newer store) or write
+    records an older build cannot read back (older store).  Stores
+    from before versions were stamped count as version 1.
+    """
+
+    def __init__(self, path: str, found: int, expected: int):
+        self.path = path
+        self.found = found
+        self.expected = expected
+        direction = "older" if found < expected else "newer"
+        super().__init__(
+            f"result store {path!r} uses schema version {found}, but this "
+            f"build expects {expected} (the store is from an {direction} "
+            "build); pass a fresh --store path to re-run, or open the "
+            "store with a matching build"
+        )
 
 
 def _plan_hash(job_ids: Iterable[str]) -> str:
@@ -129,6 +158,7 @@ class ResultStore:
             self._verify_integrity()
         except sqlite3.DatabaseError as exc:
             raise StoreCorrupt(path, str(exc)) from exc
+        self._check_schema_version()
 
     def _verify_integrity(self) -> None:
         """Fail fast on a torn file instead of erroring mid-campaign."""
@@ -136,6 +166,28 @@ class ResultStore:
         verdicts = [row[0] for row in rows]
         if verdicts != ["ok"]:
             raise StoreCorrupt(self.path, "; ".join(verdicts) or "empty check")
+
+    def _check_schema_version(self) -> None:
+        """Stamp fresh stores; refuse resumes across schema versions."""
+        row = self._sql(
+            "SELECT value FROM meta WHERE key = ?", (_SCHEMA_VERSION_KEY,)
+        ).fetchone()
+        if row is not None:
+            found = int(row[0])
+            if found != SCHEMA_VERSION:
+                raise StoreSchemaMismatch(self.path, found, SCHEMA_VERSION)
+            return
+        jobs = self._sql("SELECT COUNT(*) FROM jobs").fetchone()[0]
+        meta = self._sql("SELECT COUNT(*) FROM meta").fetchone()[0]
+        if jobs or meta:
+            # Populated, but no version stamp: written before stamping
+            # existed — that layout is retroactively version 1.
+            raise StoreSchemaMismatch(self.path, 1, SCHEMA_VERSION)
+        self._sql(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (_SCHEMA_VERSION_KEY, str(SCHEMA_VERSION)),
+        )
+        self._commit()
 
     def _sql(self, query: str, params: tuple = ()):
         """Execute one statement, converting low-level corruption errors

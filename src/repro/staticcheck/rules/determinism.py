@@ -1,4 +1,5 @@
-"""R4 — determinism discipline in ``repro.core`` and ``repro.runner``.
+"""R4 — determinism discipline in ``repro.core``, ``repro.runner`` and
+``repro.trace``.
 
 The runner's guarantee (PR 1) is that parallel campaigns equal serial
 ones byte for byte, because every fuzz trial derives a private seeded
@@ -70,11 +71,16 @@ def _iteration_targets(tree: ast.Module):
     "R4",
     "determinism",
     "no module-level RNG, wall-clock reads, or unordered iteration in "
-    "repro.core / repro.runner (parallel must equal serial)",
+    "repro.core / repro.runner / repro.trace (parallel must equal serial, "
+    "and trace files must be byte-stable)",
 )
 def check_determinism(ctx: RuleContext) -> List[Finding]:
-    """R4: flag ambient-nondeterminism sources in core/runner code."""
-    if not (ctx.in_tree("repro/core/") or ctx.in_tree("repro/runner/")):
+    """R4: flag ambient-nondeterminism sources in core/runner/trace code."""
+    if not (
+        ctx.in_tree("repro/core/")
+        or ctx.in_tree("repro/runner/")
+        or ctx.in_tree("repro/trace/")
+    ):
         return []
     findings: List[Finding] = []
 

@@ -1,0 +1,57 @@
+"""repro.trace — deterministic record/replay with divergence detection.
+
+The robustness backbone the campaign machinery plugs into:
+
+* :class:`TraceRecorder` hooks a live testbed and appends typed,
+  versioned records (with machine-state digests) to a crash-safe
+  append-only trace file;
+* :func:`replay_trace` re-executes a trace against a fresh machine and
+  raises :class:`ReplayDivergence` the moment it departs;
+* :func:`minimize_trace` delta-debugs a crashing trace to a minimal
+  standalone reproducer plus a human-readable triage report.
+"""
+
+from repro.trace.codec import DecodeContext, decode_value, encode_value, register_payload
+from repro.trace.format import (
+    TRACE_FORMAT,
+    TraceCorrupt,
+    TraceData,
+    TraceDecodeError,
+    TraceError,
+    TraceVersionError,
+    TraceWriter,
+    read_trace,
+    trace_filename,
+)
+from repro.trace.recorder import MachineTap, TraceRecorder
+from repro.trace.replay import (
+    ReplayDivergence,
+    ReplayOutcome,
+    TraceReplayer,
+    replay_trace,
+)
+from repro.trace.triage import TriageReport, minimize_trace
+
+__all__ = [
+    "TRACE_FORMAT",
+    "DecodeContext",
+    "MachineTap",
+    "ReplayDivergence",
+    "ReplayOutcome",
+    "TraceCorrupt",
+    "TraceData",
+    "TraceDecodeError",
+    "TraceError",
+    "TraceRecorder",
+    "TraceReplayer",
+    "TraceVersionError",
+    "TraceWriter",
+    "TriageReport",
+    "decode_value",
+    "encode_value",
+    "minimize_trace",
+    "read_trace",
+    "register_payload",
+    "replay_trace",
+    "trace_filename",
+]

@@ -1,0 +1,203 @@
+"""Encoding recorded operation inputs to JSON and back to live objects.
+
+Hypercall arguments in the simulator are Python values: ints, lists
+(including out-parameter buffers), the injector's action enum, the
+ABI argument dataclasses, and :class:`~repro.xen.payload.Payload`
+blobs standing in for machine code.  A trace must round-trip all of
+them through JSON without ambiguity, so every non-primitive value is
+wrapped in a marker object ``{"t": <type tag>, ...}``:
+
+===========  ==========================================================
+tag          meaning
+===========  ==========================================================
+``list``     a ``list`` or ``tuple`` (replayed as a fresh ``list``)
+``dict``     a mapping, stored as a key/value pair list
+``enum``     a registered enum member, by class and value
+``struct``   a registered ABI dataclass, by class and field dict
+``payload``  a registered payload blob, by class and constructor args
+``opaque``   anything unrecognised — recorded lossily for the report;
+             decoding raises :class:`TraceDecodeError`
+===========  ==========================================================
+
+Opacity is deliberate: a generic :class:`Payload` carrying a live
+``action`` callable has no faithful serial form, so the recorder keeps
+its repr for humans and the replayer reports honestly that it cannot
+rebuild it instead of silently substituting a different object.
+
+Decoding runs against a :class:`DecodeContext` so payloads that need
+live testbed resources (the vDSO backdoor holds the simulated
+network) are reconstructed wired into the *replay* testbed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+from repro.core.injector import ArbitraryAccessAction
+from repro.trace.format import TraceDecodeError
+from repro.xen.hypercalls import (
+    EventChannelOpArgs,
+    ExchangeArgs,
+    GrantTableOpArgs,
+    MmuExtOp,
+    MmuUpdate,
+)
+from repro.xen.payload import Payload, RootShellPayload, SpinPayload, XenStub
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import TestBed
+
+
+@dataclasses.dataclass
+class DecodeContext:
+    """Live resources a decoded value may need to attach to."""
+
+    bed: Optional["TestBed"] = None
+
+
+#: Enums whose members may appear as hypercall arguments.
+_ENUMS: Dict[str, Any] = {
+    "ArbitraryAccessAction": ArbitraryAccessAction,
+}
+
+#: ABI argument dataclasses (field-wise encodable/decodable).
+_STRUCTS: Dict[str, Any] = {
+    "MmuUpdate": MmuUpdate,
+    "MmuExtOp": MmuExtOp,
+    "ExchangeArgs": ExchangeArgs,
+    "GrantTableOpArgs": GrantTableOpArgs,
+    "EventChannelOpArgs": EventChannelOpArgs,
+}
+
+
+def _encode_vdso(payload: object) -> dict:
+    return {
+        "attacker_host": payload.attacker_host,
+        "attacker_port": payload.attacker_port,
+    }
+
+
+def _decode_vdso(args: dict, ctx: DecodeContext) -> object:
+    from repro.guest.vdso import VdsoBackdoorPayload
+
+    if ctx.bed is None:
+        raise TraceDecodeError(
+            "VdsoBackdoorPayload needs a testbed network to rebuild against"
+        )
+    return VdsoBackdoorPayload(
+        network=ctx.bed.network,
+        attacker_host=args["attacker_host"],
+        attacker_port=args["attacker_port"],
+    )
+
+
+#: Payload classes with a faithful serial form: class name → (encode
+#: the constructor arguments, decode them back into a live instance).
+_PAYLOADS: Dict[str, Any] = {
+    "XenStub": (
+        lambda blob: {"name": blob.name},
+        lambda args, ctx: XenStub(name=args["name"]),
+    ),
+    "SpinPayload": (
+        lambda blob: {"cpu": blob.cpu},
+        lambda args, ctx: SpinPayload(cpu=args["cpu"]),
+    ),
+    "RootShellPayload": (
+        lambda blob: {
+            "command_output": blob.command_output,
+            "log_path": blob.log_path,
+        },
+        lambda args, ctx: RootShellPayload(
+            command_output=args["command_output"], log_path=args["log_path"]
+        ),
+    ),
+    "VdsoBackdoorPayload": (_encode_vdso, _decode_vdso),
+}
+
+
+def register_payload(
+    cls_name: str,
+    encode: Callable[[object], dict],
+    decode: Callable[[dict, DecodeContext], object],
+) -> None:
+    """Extension point: teach the codec a new payload class."""
+    _PAYLOADS[cls_name] = (encode, decode)
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one operation input into its JSON-safe form.
+
+    Never raises — values with no faithful serial form become
+    ``opaque`` markers so recording cannot perturb the trial.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return {"t": "list", "v": [encode_value(item) for item in value]}
+    if isinstance(value, dict):
+        return {
+            "t": "dict",
+            "v": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    cls_name = type(value).__name__
+    if cls_name in _ENUMS and isinstance(value, _ENUMS[cls_name]):
+        return {"t": "enum", "cls": cls_name, "v": value.value}
+    if cls_name in _STRUCTS and isinstance(value, _STRUCTS[cls_name]):
+        fields = {
+            f.name: encode_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"t": "struct", "cls": cls_name, "v": fields}
+    if cls_name in _PAYLOADS:
+        encoder, _ = _PAYLOADS[cls_name]
+        return {"t": "payload", "cls": cls_name, "v": encoder(value)}
+    if isinstance(value, (Payload, XenStub)):
+        # A payload subclass the codec does not know (e.g. one built
+        # around a live callable) — keep the repr for the report.
+        return {"t": "opaque", "cls": cls_name, "repr": repr(value)}
+    return {"t": "opaque", "cls": cls_name, "repr": repr(value)}
+
+
+def decode_value(encoded: Any, ctx: Optional[DecodeContext] = None) -> Any:
+    """Rebuild a live value from its encoded form.
+
+    Raises :class:`TraceDecodeError` for ``opaque`` markers and
+    malformed encodings — honest failure beats a wrong replay.
+    """
+    ctx = ctx or DecodeContext()
+    if encoded is None or isinstance(encoded, (bool, int, float, str)):
+        return encoded
+    if not isinstance(encoded, dict):
+        raise TraceDecodeError(f"unencodable trace value of type {type(encoded).__name__}")
+    tag = encoded.get("t")
+    if tag == "list":
+        return [decode_value(item, ctx) for item in encoded["v"]]
+    if tag == "dict":
+        return {decode_value(k, ctx): decode_value(v, ctx) for k, v in encoded["v"]}
+    if tag == "enum":
+        cls = _ENUMS.get(encoded.get("cls", ""))
+        if cls is None:
+            raise TraceDecodeError(f"unknown enum class {encoded.get('cls')!r}")
+        return cls(encoded["v"])
+    if tag == "struct":
+        cls = _STRUCTS.get(encoded.get("cls", ""))
+        if cls is None:
+            raise TraceDecodeError(f"unknown struct class {encoded.get('cls')!r}")
+        fields = {
+            name: decode_value(field_value, ctx)
+            for name, field_value in encoded["v"].items()
+        }
+        return cls(**fields)
+    if tag == "payload":
+        entry = _PAYLOADS.get(encoded.get("cls", ""))
+        if entry is None:
+            raise TraceDecodeError(f"unknown payload class {encoded.get('cls')!r}")
+        _, decoder = entry
+        return decoder(encoded["v"], ctx)
+    if tag == "opaque":
+        raise TraceDecodeError(
+            f"value of class {encoded.get('cls')!r} was recorded opaquely "
+            f"({encoded.get('repr')}) and cannot be replayed"
+        )
+    raise TraceDecodeError(f"unknown trace value tag {tag!r}")

@@ -1,0 +1,387 @@
+"""Recording a trial: semantic-operation capture via instance hooks.
+
+The recorder attaches to one live :class:`~repro.core.testbed.TestBed`
+and intercepts every entry point through which a trial perturbs the
+simulated machine:
+
+* :meth:`Xen.hypercall` — the guest→hypervisor gate (arguments are
+  encoded *before* dispatch, because buffers are out-parameters the
+  handlers mutate in place);
+* :meth:`Xen.deliver_page_fault` / :meth:`Xen.software_interrupt` —
+  trap delivery, including the double-fault-to-panic path;
+* :meth:`Scheduler.tick` and every guest kernel's ``run_user_work`` —
+  the scheduler decisions that make deferred effects (vDSO calls)
+  happen;
+* raw :meth:`Machine.write_word` / :meth:`Machine.attach_blob` calls
+  made directly from attack scripts (guest-kernel memory setup);
+* :meth:`RecoveryManager.checkpoint` / ``recover`` when a trial runs
+  under ``--recover`` (via :meth:`TraceRecorder.attach_recovery`).
+
+Hooks are installed as *instance* attributes over the bound methods, so
+detaching is simply deleting the attribute — the class is never
+touched, and concurrently running testbeds in the same process are
+unaffected.
+
+A depth counter makes recording semantic rather than mechanical: a
+hypercall that internally writes a hundred words records as ONE op;
+the nested machine writes only feed the dirty-frame set whose digests
+the op record carries.  That is what lets the replayer compare state
+op-by-op without recording every word.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.trace.codec import encode_value
+from repro.trace.format import (
+    FULL_DIGEST_EVERY,
+    OP_ATTACH_BLOB,
+    OP_CHECKPOINT,
+    OP_HYPERCALL,
+    OP_PAGE_FAULT,
+    OP_RECOVER,
+    OP_SCHED_TICK,
+    OP_SOFT_IRQ,
+    OP_USER_WORK,
+    OP_WRITE_WORD,
+    TraceWriter,
+    outcome_of_exception,
+    outcome_of_result,
+)
+from repro.xen.snapshot import frame_digest, machine_digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import TestBed
+    from repro.resilience.recovery import RecoveryManager
+
+
+class MachineTap:
+    """Tracks which machine frames a stretch of execution dirties.
+
+    Used standalone by the replayer; the recorder embeds the same
+    bookkeeping in its own hooks.  Patch/unpatch is instance-local.
+    """
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.dirty: Set[int] = set()
+        write_word = machine.write_word
+        attach_blob = machine.attach_blob
+        zero_frame = machine.zero_frame
+        copy_frame = machine.copy_frame
+
+        def tapped_write_word(mfn: int, index: int, value: int) -> None:
+            self.dirty.add(mfn)
+            return write_word(mfn, index, value)
+
+        def tapped_attach_blob(mfn: int, index: int, blob: object) -> None:
+            self.dirty.add(mfn)
+            return attach_blob(mfn, index, blob)
+
+        def tapped_zero_frame(mfn: int) -> None:
+            self.dirty.add(mfn)
+            return zero_frame(mfn)
+
+        def tapped_copy_frame(src_mfn: int, dst_mfn: int) -> None:
+            self.dirty.add(dst_mfn)
+            return copy_frame(src_mfn, dst_mfn)
+
+        machine.write_word = tapped_write_word
+        machine.attach_blob = tapped_attach_blob
+        machine.zero_frame = tapped_zero_frame
+        machine.copy_frame = tapped_copy_frame
+
+    def clear(self) -> None:
+        self.dirty = set()
+
+    def detach(self) -> None:
+        for name in ("write_word", "attach_blob", "zero_frame", "copy_frame"):
+            if name in self.machine.__dict__:
+                delattr(self.machine, name)
+
+
+class TraceRecorder:
+    """Records one trial's operations into an append-only trace file."""
+
+    def __init__(
+        self,
+        bed: "TestBed",
+        path: str,
+        use_case: str = "",
+        version: str = "",
+        mode: str = "",
+        recover: bool = False,
+    ):
+        self.bed = bed
+        self.path = path
+        self.use_case = use_case
+        self.version = version or bed.xen.version.name
+        self.mode = mode
+        self.recover = recover
+        self.writer: Optional[TraceWriter] = None
+        self.ops_recorded = 0
+        self.final_digest: Optional[str] = None
+        self._depth = 0
+        self._dirty: Set[int] = set()
+        self._patched: List[Tuple[object, str]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        return bool(self._patched)
+
+    def attach(self) -> "TraceRecorder":
+        """Open the trace, write the header, install the hooks."""
+        if self.writer is not None:
+            raise RuntimeError("recorder already attached")
+        self.writer = TraceWriter(self.path)
+        self.writer.write_header(
+            use_case=self.use_case,
+            version=self.version,
+            mode=self.mode,
+            recover=self.recover,
+            initial_digest=machine_digest(self.bed.xen.machine),
+        )
+        self._hook_machine()
+        self._hook_xen()
+        self._hook_scheduler()
+        self._hook_kernels()
+        return self
+
+    def detach(self) -> None:
+        """Remove every instance hook; the testbed behaves natively again."""
+        for obj, name in reversed(self._patched):
+            if name in obj.__dict__:
+                delattr(obj, name)
+        self._patched = []
+
+    def finalize(self) -> dict:
+        """Write the end record and close; returns the artefact summary."""
+        self.detach()
+        if self.writer is None:
+            raise RuntimeError("recorder was never attached")
+        xen = self.bed.xen
+        self.final_digest = machine_digest(xen.machine)
+        self.writer.write_end(
+            crashed=xen.crashed,
+            banner=xen.crash_banner or "",
+            final_digest=self.final_digest,
+            ops=self.ops_recorded,
+        )
+        self.writer.close()
+        self.writer = None
+        return {
+            "file": os.path.basename(self.path),
+            "ops": self.ops_recorded,
+            "final_digest": self.final_digest,
+        }
+
+    def abandon(self) -> None:
+        """Detach, close, and delete the (unwanted) trace file."""
+        self.detach()
+        if self.writer is not None:
+            self.writer.close()
+            self.writer = None
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+    # ------------------------------------------------------------------
+    # Hook installation
+    # ------------------------------------------------------------------
+
+    def _patch(self, obj: object, name: str, wrapper: Callable) -> None:
+        self._patched.append((obj, name))
+        setattr(obj, name, wrapper)
+
+    def _hook_machine(self) -> None:
+        machine = self.bed.xen.machine
+        write_word = machine.write_word
+        attach_blob = machine.attach_blob
+        zero_frame = machine.zero_frame
+        copy_frame = machine.copy_frame
+
+        def hooked_write_word(mfn: int, index: int, value: int) -> None:
+            if self._depth:
+                self._dirty.add(mfn)
+                return write_word(mfn, index, value)
+            return self._record(
+                OP_WRITE_WORD,
+                {"mfn": mfn, "word": index, "value": encode_value(value)},
+                lambda: write_word(mfn, index, value),
+                pre_dirty=(mfn,),
+            )
+
+        def hooked_attach_blob(mfn: int, index: int, blob: object) -> None:
+            if self._depth:
+                self._dirty.add(mfn)
+                return attach_blob(mfn, index, blob)
+            return self._record(
+                OP_ATTACH_BLOB,
+                {"mfn": mfn, "word": index, "blob": encode_value(blob)},
+                lambda: attach_blob(mfn, index, blob),
+                pre_dirty=(mfn,),
+            )
+
+        def hooked_zero_frame(mfn: int) -> None:
+            self._dirty.add(mfn)
+            return zero_frame(mfn)
+
+        def hooked_copy_frame(src_mfn: int, dst_mfn: int) -> None:
+            self._dirty.add(dst_mfn)
+            return copy_frame(src_mfn, dst_mfn)
+
+        self._patch(machine, "write_word", hooked_write_word)
+        self._patch(machine, "attach_blob", hooked_attach_blob)
+        self._patch(machine, "zero_frame", hooked_zero_frame)
+        self._patch(machine, "copy_frame", hooked_copy_frame)
+
+    def _hook_xen(self) -> None:
+        xen = self.bed.xen
+        hypercall = xen.hypercall
+        deliver_page_fault = xen.deliver_page_fault
+        software_interrupt = xen.software_interrupt
+
+        def hooked_hypercall(domain, number: int, *args) -> int:
+            if self._depth:
+                return hypercall(domain, number, *args)
+            # Encode BEFORE dispatch: read buffers are out-parameters
+            # and struct args (ExchangeArgs) mutate during handling.
+            data = {
+                "domain": domain.id,
+                "number": number,
+                "args": [encode_value(a) for a in args],
+            }
+            return self._record(
+                OP_HYPERCALL, data, lambda: hypercall(domain, number, *args)
+            )
+
+        def hooked_deliver_page_fault(domain, fault) -> None:
+            if self._depth:
+                return deliver_page_fault(domain, fault)
+            data = {
+                "domain": domain.id,
+                "va": fault.va,
+                "access": fault.access,
+                "reason": fault.reason,
+            }
+            return self._record(
+                OP_PAGE_FAULT, data, lambda: deliver_page_fault(domain, fault)
+            )
+
+        def hooked_software_interrupt(domain, vector: int) -> None:
+            if self._depth:
+                return software_interrupt(domain, vector)
+            data = {"domain": domain.id, "vector": vector}
+            return self._record(
+                OP_SOFT_IRQ, data, lambda: software_interrupt(domain, vector)
+            )
+
+        self._patch(xen, "hypercall", hooked_hypercall)
+        self._patch(xen, "deliver_page_fault", hooked_deliver_page_fault)
+        self._patch(xen, "software_interrupt", hooked_software_interrupt)
+
+    def _hook_scheduler(self) -> None:
+        scheduler = self.bed.xen.scheduler
+        tick = scheduler.tick
+
+        def hooked_tick(ticks: int = 1):
+            if self._depth:
+                return tick(ticks)
+            return self._record(OP_SCHED_TICK, {"ticks": ticks}, lambda: tick(ticks))
+
+        self._patch(scheduler, "tick", hooked_tick)
+
+    def _hook_kernels(self) -> None:
+        for domain in self.bed.all_domains():
+            kernel = domain.kernel
+            if kernel is None:
+                continue
+            self._hook_one_kernel(domain.id, kernel)
+
+    def _hook_one_kernel(self, domain_id: int, kernel) -> None:
+        run_user_work = kernel.run_user_work
+
+        def hooked_run_user_work():
+            if self._depth:
+                return run_user_work()
+            return self._record(
+                OP_USER_WORK, {"domain": domain_id}, run_user_work
+            )
+
+        self._patch(kernel, "run_user_work", hooked_run_user_work)
+
+    def attach_recovery(self, manager: "RecoveryManager") -> None:
+        """Also record the microreboot lifecycle of ``manager``.
+
+        Checkpoint and recover records carry *full* machine digests:
+        a rollback rewrites frames wholesale (bypassing the write
+        hooks), so the dirty-set digest cannot see its footprint.
+        """
+        checkpoint = manager.checkpoint
+        recover = manager.recover
+
+        def hooked_checkpoint():
+            if self._depth:
+                return checkpoint()
+            return self._record(
+                OP_CHECKPOINT,
+                {"max_reboots": manager.max_reboots},
+                checkpoint,
+                force_full=True,
+            )
+
+        def hooked_recover(offender=None):
+            if self._depth:
+                return recover(offender)
+            data = {"offender": None if offender is None else offender.id}
+            return self._record(
+                OP_RECOVER, data, lambda: recover(offender), force_full=True
+            )
+
+        self._patch(manager, "checkpoint", hooked_checkpoint)
+        self._patch(manager, "recover", hooked_recover)
+
+    # ------------------------------------------------------------------
+    # The record step
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        op: str,
+        data: Dict[str, Any],
+        fn: Callable[[], Any],
+        pre_dirty: tuple = (),
+        force_full: bool = False,
+    ):
+        self._depth += 1
+        self._dirty = set(pre_dirty)
+        try:
+            try:
+                result = fn()
+            except SimulationError as exc:
+                self._emit(op, data, outcome_of_exception(exc), force_full)
+                raise
+        finally:
+            self._depth -= 1
+        self._emit(op, data, outcome_of_result(result), force_full)
+        return result
+
+    def _emit(self, op: str, data: dict, outcome: dict, force_full: bool) -> None:
+        if self.writer is None:  # detached mid-op (e.g. abandon during crash)
+            return
+        machine = self.bed.xen.machine
+        index = self.ops_recorded
+        self.ops_recorded += 1
+        digests = {
+            str(mfn): frame_digest(machine, mfn) for mfn in sorted(self._dirty)
+        }
+        full: Optional[str] = None
+        if force_full or index % FULL_DIGEST_EVERY == FULL_DIGEST_EVERY - 1:
+            full = machine_digest(machine)
+        self.writer.write_op(index, op, data, outcome, digests, full)

@@ -1,0 +1,376 @@
+"""Replaying a trace against a fresh machine, detecting divergence.
+
+The replayer rebuilds the recorded trial's starting point from scratch
+— a fresh testbed at the recorded :class:`~repro.xen.versions.XenVersion`
+with the recorded use case's :meth:`prepare` applied — then re-executes
+every op record through the same entry points the recorder hooked.
+
+**Strict** replay (the default) is a verifier: after each op it
+compares the observed outcome and the digests of every dirtied frame
+against the recording, and raises :class:`ReplayDivergence` — op
+index, expected vs. actual digest, per-frame diff — the moment the
+re-execution departs.  The initial digest is checked before op 0, so a
+header edited to a different (valid) Xen version diverges at index -1
+instead of producing confusing downstream mismatches.
+
+**Probe** replay (``strict=False``) is the triage minimizer's engine:
+comparisons and the machine tap are skipped, per-op failures (e.g. an
+op that only makes sense after one the minimizer dropped) are
+classified and swallowed, and the caller inspects the terminal state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
+
+from repro.core.testbed import TestBed, build_testbed
+from repro.errors import GuestFault
+from repro.trace.codec import DecodeContext, decode_value
+from repro.trace.format import (
+    OP_ATTACH_BLOB,
+    OP_CHECKPOINT,
+    OP_HYPERCALL,
+    OP_PAGE_FAULT,
+    OP_RECOVER,
+    OP_SCHED_TICK,
+    OP_SOFT_IRQ,
+    OP_USER_WORK,
+    OP_WRITE_WORD,
+    TraceData,
+    TraceDecodeError,
+    TraceError,
+    TraceVersionError,
+    read_trace,
+    run_classified,
+)
+from repro.trace.recorder import MachineTap
+from repro.xen.snapshot import frame_digest, machine_digest
+from repro.xen.versions import version_by_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.recovery import RecoveryManager
+
+
+class ReplayDivergence(TraceError):
+    """Replay departed from the recording.
+
+    Carries everything a debugging session needs: where (``op_index``,
+    -1 for the pre-op initial state), what was expected vs. observed,
+    and a per-frame diff of the digest mismatch.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        op_index: int,
+        reason: str,
+        expected: Any,
+        actual: Any,
+        diff: Optional[List[str]] = None,
+    ):
+        self.path = path
+        self.op_index = op_index
+        self.reason = reason
+        self.expected = expected
+        self.actual = actual
+        self.diff = diff or []
+        where = "initial state" if op_index < 0 else f"op {op_index}"
+        lines = [f"replay of {path!r} diverged at {where}: {reason}"]
+        lines.append(f"  expected: {expected}")
+        lines.append(f"  actual:   {actual}")
+        lines.extend(f"  {entry}" for entry in self.diff)
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class ReplayOutcome:
+    """Terminal state of one replay."""
+
+    path: str
+    ops_replayed: int
+    crashed: bool
+    banner: str
+    final_digest: str
+    #: True when a strict replay matched the recording end to end.
+    faithful: bool
+    #: Outcome of each op as observed during replay (probe mode keeps
+    #: these so triage can report what the minimized ops did).
+    op_outcomes: List[dict] = field(default_factory=list)
+
+
+def _digest_diff(
+    expected: Dict[str, str], actual: Dict[str, str]
+) -> List[str]:
+    diff: List[str] = []
+    for key in sorted(set(expected) | set(actual), key=int):
+        want = expected.get(key)
+        got = actual.get(key)
+        if want == got:
+            continue
+        if want is None:
+            diff.append(f"frame {key}: dirtied on replay but not in recording ({got})")
+        elif got is None:
+            diff.append(f"frame {key}: dirtied in recording but not on replay ({want})")
+        else:
+            diff.append(f"frame {key}: recorded {want} != replayed {got}")
+    return diff
+
+
+class TraceReplayer:
+    """Drives one trace through a fresh testbed."""
+
+    def __init__(
+        self,
+        trace: TraceData,
+        strict: bool = True,
+        testbed_factory: Callable = build_testbed,
+        bed_hook: Optional[Callable] = None,
+        recovery_hook: Optional[Callable] = None,
+    ):
+        self.trace = trace
+        self.strict = strict
+        self.testbed_factory = testbed_factory
+        #: Called with the freshly prepared testbed before any op runs
+        #: (the triage re-recorder attaches its hooks here).
+        self.bed_hook = bed_hook
+        #: Called with the lazily created RecoveryManager, so a
+        #: re-recorder can wrap checkpoint/recover too.
+        self.recovery_hook = recovery_hook
+        self.bed: Optional[TestBed] = None
+        self._ctx: Optional[DecodeContext] = None
+        self._domains: Dict[int, object] = {}
+        self._tap: Optional[MachineTap] = None
+        self._recovery: Optional["RecoveryManager"] = None
+
+    # -- setup ----------------------------------------------------------
+
+    def _build(self) -> TestBed:
+        header = self.trace.header
+        try:
+            version = version_by_name(header.get("version", ""))
+        except KeyError as exc:
+            raise TraceVersionError(
+                f"trace {self.trace.path!r} was recorded on Xen "
+                f"{header.get('version')!r}, which this build does not ship: {exc}"
+            ) from None
+        bed = self.testbed_factory(version)
+        use_case_name = header.get("use_case", "")
+        if use_case_name:
+            from repro.exploits import USE_CASE_BY_NAME
+
+            use_case_cls = USE_CASE_BY_NAME.get(use_case_name)
+            if use_case_cls is None:
+                raise TraceVersionError(
+                    f"trace {self.trace.path!r} needs unknown use case "
+                    f"{use_case_name!r}"
+                )
+            use_case_cls().prepare(bed)
+        return bed
+
+    def _remember_domains(self) -> None:
+        # Hold every domain ever seen: a recorded op may target a
+        # domain that was destroyed (and dropped from xen.domains)
+        # earlier in the trial while the script kept its reference.
+        assert self.bed is not None
+        for domain in self.bed.all_domains():
+            self._domains[domain.id] = domain
+        for domid, domain in self.bed.xen.domains.items():
+            self._domains[domid] = domain
+
+    def _domain(self, domid: int):
+        domain = self._domains.get(domid)
+        if domain is None:
+            raise TraceDecodeError(f"trace references unknown domain d{domid}")
+        return domain
+
+    # -- op execution ---------------------------------------------------
+
+    def _execute(self, op: str, data: dict):
+        assert self.bed is not None
+        bed = self.bed
+        ctx = self._ctx
+        if op == OP_HYPERCALL:
+            domain = self._domain(data["domain"])
+            args = [decode_value(a, ctx) for a in data["args"]]
+            return bed.xen.hypercall(domain, data["number"], *args)
+        if op == OP_PAGE_FAULT:
+            domain = self._domain(data["domain"])
+            fault = GuestFault(data["va"], data["access"], data["reason"])
+            return bed.xen.deliver_page_fault(domain, fault)
+        if op == OP_SOFT_IRQ:
+            domain = self._domain(data["domain"])
+            return bed.xen.software_interrupt(domain, data["vector"])
+        if op == OP_SCHED_TICK:
+            return bed.xen.scheduler.tick(data.get("ticks", 1))
+        if op == OP_USER_WORK:
+            domain = self._domain(data["domain"])
+            if domain.kernel is None:
+                raise TraceDecodeError(
+                    f"domain d{data['domain']} has no kernel to run user work"
+                )
+            return domain.kernel.run_user_work()
+        if op == OP_WRITE_WORD:
+            value = decode_value(data["value"], ctx)
+            return bed.xen.machine.write_word(data["mfn"], data["word"], value)
+        if op == OP_ATTACH_BLOB:
+            blob = decode_value(data["blob"], ctx)
+            return bed.xen.machine.attach_blob(data["mfn"], data["word"], blob)
+        if op == OP_CHECKPOINT:
+            return self._recovery_manager(data.get("max_reboots", 1)).checkpoint()
+        if op == OP_RECOVER:
+            manager = self._recovery_manager(1)
+            offender_id = data.get("offender")
+            offender = None if offender_id is None else self._domain(offender_id)
+            return manager.recover(offender=offender)
+        raise TraceDecodeError(f"unknown op kind {op!r}")
+
+    def _recovery_manager(self, max_reboots: int) -> "RecoveryManager":
+        if self._recovery is None:
+            from repro.resilience.recovery import RecoveryManager
+
+            self._recovery = RecoveryManager(self.bed, max_reboots=max_reboots)
+            if self.recovery_hook is not None:
+                self.recovery_hook(self._recovery)
+        return self._recovery
+
+    # -- the run --------------------------------------------------------
+
+    def run(self) -> ReplayOutcome:
+        trace = self.trace
+        self.bed = self._build()
+        self._ctx = DecodeContext(bed=self.bed)
+        self._remember_domains()
+        if self.bed_hook is not None:
+            self.bed_hook(self.bed)
+
+        if self.strict:
+            recorded_initial = trace.header.get("initial", "")
+            actual_initial = machine_digest(self.bed.xen.machine)
+            if recorded_initial and recorded_initial != actual_initial:
+                raise ReplayDivergence(
+                    trace.path,
+                    -1,
+                    "freshly prepared testbed does not match the recording "
+                    "(was the trace recorded on a different build?)",
+                    recorded_initial,
+                    actual_initial,
+                )
+            self._tap = MachineTap(self.bed.xen.machine)
+
+        op_outcomes: List[dict] = []
+        try:
+            for record in trace.ops:
+                op_outcomes.append(self._replay_one(record))
+        finally:
+            if self._tap is not None:
+                self._tap.detach()
+                self._tap = None
+
+        xen = self.bed.xen
+        final_digest = machine_digest(xen.machine)
+        faithful = self.strict
+        if self.strict and trace.end is not None:
+            self._check_end(trace, final_digest)
+        return ReplayOutcome(
+            path=trace.path,
+            ops_replayed=len(trace.ops),
+            crashed=xen.crashed,
+            banner=xen.crash_banner or "",
+            final_digest=final_digest,
+            faithful=faithful,
+            op_outcomes=op_outcomes,
+        )
+
+    def _replay_one(self, record: dict) -> dict:
+        index = record.get("i", -1)
+        op = record.get("op", "")
+        data = record.get("data", {})
+        self._remember_domains()
+        if self._tap is not None:
+            self._tap.clear()
+        outcome = run_classified(lambda: self._execute(op, data))
+        if not self.strict:
+            return outcome
+
+        expected_outcome = record.get("outcome", {})
+        if outcome != expected_outcome:
+            raise ReplayDivergence(
+                self.trace.path,
+                index,
+                f"outcome of {op} differs",
+                expected_outcome,
+                outcome,
+            )
+        assert self.bed is not None and self._tap is not None
+        machine = self.bed.xen.machine
+        actual_digest = {
+            str(mfn): frame_digest(machine, mfn)
+            for mfn in sorted(self._tap.dirty)
+        }
+        expected_digest = record.get("digest", {})
+        if actual_digest != expected_digest:
+            raise ReplayDivergence(
+                self.trace.path,
+                index,
+                f"dirty-frame digest of {op} differs",
+                expected_digest,
+                actual_digest,
+                diff=_digest_diff(expected_digest, actual_digest),
+            )
+        expected_full = record.get("full")
+        if expected_full is not None:
+            actual_full = machine_digest(machine)
+            if actual_full != expected_full:
+                raise ReplayDivergence(
+                    self.trace.path,
+                    index,
+                    f"full machine digest after {op} differs",
+                    expected_full,
+                    actual_full,
+                )
+        return outcome
+
+    def _check_end(self, trace: TraceData, final_digest: str) -> None:
+        assert self.bed is not None
+        end = trace.end or {}
+        xen = self.bed.xen
+        index = len(trace.ops)
+        if bool(end.get("crashed")) != xen.crashed:
+            raise ReplayDivergence(
+                trace.path,
+                index,
+                "terminal crash state differs",
+                {"crashed": end.get("crashed"), "banner": end.get("banner")},
+                {"crashed": xen.crashed, "banner": xen.crash_banner or ""},
+            )
+        if end.get("crashed") and end.get("banner") != (xen.crash_banner or ""):
+            raise ReplayDivergence(
+                trace.path,
+                index,
+                "crash banner differs",
+                end.get("banner"),
+                xen.crash_banner or "",
+            )
+        if end.get("final") and end["final"] != final_digest:
+            raise ReplayDivergence(
+                trace.path,
+                index,
+                "final machine digest differs",
+                end["final"],
+                final_digest,
+            )
+
+
+def replay_trace(
+    trace: Union[str, TraceData],
+    strict: bool = True,
+    testbed_factory: Callable = build_testbed,
+) -> ReplayOutcome:
+    """Replay a trace (by path or pre-parsed) and return its outcome.
+
+    Strict replays raise :class:`ReplayDivergence` on the first
+    departure; probe replays (``strict=False``) always run to the end.
+    """
+    data = read_trace(trace) if isinstance(trace, str) else trace
+    return TraceReplayer(data, strict=strict, testbed_factory=testbed_factory).run()

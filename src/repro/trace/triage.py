@@ -1,0 +1,241 @@
+"""Automatic crash triage: delta-debug a trace to a minimal reproducer.
+
+A crashing trace from a real campaign carries every operation the
+trial performed — scheduler ticks, benign setup hypercalls, user work
+— of which usually only a handful matter.  The minimizer runs
+Zeller-style ddmin over the trace's op list: each candidate subset is
+probe-replayed (``strict=False``) against a fresh testbed, and a
+subset *reproduces* when the replay ends with the hypervisor crashed
+under the recorded banner.
+
+The surviving 1-minimal op subset is then **re-recorded**: the ops are
+executed once more on a fresh testbed with a live
+:class:`~repro.trace.recorder.TraceRecorder` attached, producing a
+standalone, fully replayable artefact (fresh digests, fresh end
+record) rather than a filtered copy of the original file.  A filtered
+copy would carry digests of frames the dropped ops had touched and
+fail strict replay; re-recording restores the invariant that every
+trace on disk replays faithfully.
+
+Everything here is deterministic: ddmin's probe order is a function of
+the op list alone, so triaging the same trace twice yields
+byte-identical minimized artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+from repro.core.testbed import build_testbed
+from repro.trace.format import TraceData, TraceError, read_trace
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import TraceReplayer
+
+#: Probe budget: ddmin on campaign-sized traces converges in far fewer
+#: probes; the cap bounds pathological inputs.
+DEFAULT_MAX_PROBES = 400
+
+
+@dataclass
+class TriageReport:
+    """What the minimizer established about one crashing trace."""
+
+    source_path: str
+    minimized_path: str
+    banner: str
+    original_ops: int
+    minimized_ops: int
+    probes: int
+    final_digest: str
+    #: Human-oriented one-liners for each op kept in the reproducer.
+    kept: List[str] = field(default_factory=list)
+    report_path: Optional[str] = None
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of ops removed (0.0 when nothing could be dropped)."""
+        if self.original_ops == 0:
+            return 0.0
+        return 1.0 - self.minimized_ops / self.original_ops
+
+    def render(self) -> str:
+        lines = [
+            "# Trace triage report",
+            "",
+            f"- source trace: `{self.source_path}` ({self.original_ops} ops)",
+            f"- minimal reproducer: `{self.minimized_path}` "
+            f"({self.minimized_ops} ops, {self.reduction:.0%} removed)",
+            f"- crash banner: `{self.banner}`",
+            f"- probe replays spent: {self.probes}",
+            f"- reproducer final digest: `{self.final_digest}`",
+            "",
+            "## Minimal reproducing operations",
+            "",
+        ]
+        lines.extend(f"{index + 1}. {entry}" for index, entry in enumerate(self.kept))
+        lines.append("")
+        lines.append(
+            "Replay the reproducer with "
+            f"`repro replay {os.path.basename(self.minimized_path)}`."
+        )
+        return "\n".join(lines) + "\n"
+
+
+def _describe_op(record: dict) -> str:
+    data = record.get("data", {})
+    outcome = record.get("outcome", {})
+    return (
+        f"op #{record.get('i')}: {record.get('op')} "
+        f"{json.dumps(data, sort_keys=True)} -> {json.dumps(outcome, sort_keys=True)}"
+    )
+
+
+def _probe(
+    trace: TraceData,
+    ops: List[dict],
+    banner: str,
+    testbed_factory: Callable,
+) -> bool:
+    """Does this op subset still crash the hypervisor with the banner?"""
+    candidate = TraceData(path=trace.path, header=trace.header, ops=ops)
+    outcome = TraceReplayer(
+        candidate, strict=False, testbed_factory=testbed_factory
+    ).run()
+    return outcome.crashed and outcome.banner == banner
+
+
+def _ddmin(
+    ops: List[dict],
+    test: Callable[[List[dict]], bool],
+    max_probes: int,
+) -> tuple:
+    """Classic ddmin over the op list; returns (minimal subset, probes)."""
+    probes = 0
+    current = list(ops)
+    granularity = 2
+    while len(current) >= 2 and probes < max_probes:
+        chunk_size = max(1, len(current) // granularity)
+        chunks = [
+            current[start : start + chunk_size]
+            for start in range(0, len(current), chunk_size)
+        ]
+        reduced = False
+        for index, chunk in enumerate(chunks):
+            if probes >= max_probes:
+                break
+            probes += 1
+            if test(chunk):
+                current = chunk
+                granularity = 2
+                reduced = True
+                break
+            complement = [
+                record
+                for other, candidate in enumerate(chunks)
+                if other != index
+                for record in candidate
+            ]
+            if complement and len(complement) < len(current):
+                probes += 1
+                if test(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if granularity >= len(current):
+            break
+        granularity = min(granularity * 2, len(current))
+    return current, probes
+
+
+def write_minimized(
+    trace: TraceData,
+    ops: List[dict],
+    out_path: str,
+    testbed_factory: Callable = build_testbed,
+) -> dict:
+    """Re-record an op subset as a standalone replayable trace."""
+    candidate = TraceData(path=trace.path, header=trace.header, ops=ops)
+    holder: dict = {}
+
+    def attach_recorder(bed) -> None:
+        header = trace.header
+        recorder = TraceRecorder(
+            bed,
+            out_path,
+            use_case=header.get("use_case", ""),
+            version=header.get("version", ""),
+            mode=header.get("mode", ""),
+            recover=bool(header.get("recover", False)),
+        )
+        recorder.attach()
+        holder["recorder"] = recorder
+
+    replayer = TraceReplayer(
+        candidate,
+        strict=False,
+        testbed_factory=testbed_factory,
+        bed_hook=attach_recorder,
+        recovery_hook=lambda manager: holder["recorder"].attach_recovery(manager),
+    )
+    replayer.run()
+    return holder["recorder"].finalize()
+
+
+def minimize_trace(
+    trace: Union[str, TraceData],
+    out_path: Optional[str] = None,
+    report_path: Optional[str] = None,
+    testbed_factory: Callable = build_testbed,
+    max_probes: int = DEFAULT_MAX_PROBES,
+) -> TriageReport:
+    """Delta-debug a crashing trace down to a minimal reproducer.
+
+    Writes the minimized trace to ``out_path`` (default:
+    ``<trace>.min.trace`` beside the input) and a human-readable
+    markdown report to ``report_path`` (default:
+    ``<trace>.triage.md``).  Raises :class:`TraceError` when the input
+    trace does not crash — there is nothing to triage.
+    """
+    data = read_trace(trace) if isinstance(trace, str) else trace
+    banner = data.crash_banner
+    if banner is None:
+        raise TraceError(
+            f"trace {data.path!r} does not end in a hypervisor crash; "
+            "triage minimizes crashing traces only"
+        )
+    stem = data.path[: -len(".trace")] if data.path.endswith(".trace") else data.path
+    out_path = out_path or stem + ".min.trace"
+    report_path = report_path or stem + ".triage.md"
+
+    def test(ops: List[dict]) -> bool:
+        return _probe(data, ops, banner, testbed_factory)
+
+    if not test(list(data.ops)):
+        raise TraceError(
+            f"trace {data.path!r} no longer reproduces its recorded crash "
+            f"({banner!r}) when probe-replayed; cannot minimize"
+        )
+    minimal, probes = _ddmin(data.ops, test, max_probes)
+    probes += 1  # the initial whole-trace probe above
+
+    summary = write_minimized(data, minimal, out_path, testbed_factory)
+    report = TriageReport(
+        source_path=data.path,
+        minimized_path=out_path,
+        banner=banner,
+        original_ops=len(data.ops),
+        minimized_ops=len(minimal),
+        probes=probes,
+        final_digest=summary.get("final_digest", ""),
+        kept=[_describe_op(record) for record in minimal],
+        report_path=report_path,
+    )
+    with open(report_path, "w") as handle:
+        handle.write(report.render())
+    return report

@@ -18,6 +18,7 @@ abandoning the trial.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -26,6 +27,65 @@ import numpy as np
 from repro.errors import MachineError
 from repro.xen.constants import WORDS_PER_PAGE
 from repro.xen.machine import Machine
+
+#: Byte image of an untouched (all-zero) frame, for digesting frames
+#: that were never materialised in the machine's lazy frame map.
+_ZERO_FRAME_BYTES = np.zeros(WORDS_PER_PAGE, dtype=np.uint64).tobytes()
+
+
+def blob_fingerprint(blob: object) -> str:
+    """A stable content fingerprint for an opaque code blob.
+
+    Blobs are arbitrary Python objects, so the fingerprint covers what
+    is stable and comparable across processes: the class name plus
+    every public attribute with a primitive value.  Two payloads built
+    from the same recorded parameters fingerprint identically; live
+    object references (networks, callbacks) are deliberately excluded.
+    """
+    parts = [type(blob).__name__]
+    attrs = getattr(blob, "__dict__", None) or {}
+    for name in sorted(attrs):
+        if name.startswith("_"):
+            continue
+        value = attrs[name]
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            parts.append(f"{name}={value!r}")
+    return "|".join(parts)
+
+
+def frame_digest(machine: Machine, mfn: int) -> str:
+    """Digest of one frame: its 512 words plus any blobs attached to it."""
+    digest = hashlib.sha1()
+    frame = machine._frames.get(mfn)  # noqa: SLF001 — digesting is privileged
+    # .data hashes the array buffer without the tobytes() copy; frames
+    # are contiguous 1-D uint64 arrays, so the bytes are identical.
+    digest.update(frame.data if frame is not None else _ZERO_FRAME_BYTES)
+    attached = [
+        (word, blob)
+        for (blob_mfn, word), blob in machine._blobs.items()  # noqa: SLF001
+        if blob_mfn == mfn
+    ]
+    for word, blob in sorted(attached, key=lambda item: item[0]):
+        digest.update(f"{word}:{blob_fingerprint(blob)}".encode())
+    return digest.hexdigest()
+
+
+def machine_digest(machine: Machine) -> str:
+    """Digest of the whole machine: every materialised frame and blob.
+
+    This is the state fingerprint the trace subsystem records at trial
+    boundaries and the recovery manager re-validates after a rollback:
+    two machines that executed the same operations digest identically.
+    """
+    digest = hashlib.sha1()
+    for mfn, frame in sorted(machine._frames.items()):  # noqa: SLF001
+        digest.update(mfn.to_bytes(8, "little"))
+        digest.update(frame.data)
+    for (mfn, word), blob in sorted(
+        machine._blobs.items(), key=lambda item: item[0]  # noqa: SLF001
+    ):
+        digest.update(f"{mfn}:{word}:{blob_fingerprint(blob)}".encode())
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)

@@ -276,3 +276,65 @@ class TestSeededBackoff:
         assert not outcome.failures
         [retried] = [e for e in recorder.events if e.kind == ev.JOB_RETRIED]
         assert retried.delay == seeded_backoff(0.01, 1, spec.job_id, 5.0)
+
+
+class TestWatchdogHookGuard:
+    """A broken ``on_crash`` observer must never mask the crash outcome
+    it was called to observe — recovery proceeds, and the hook's
+    exception is reported on the verdict, chained to the crash."""
+
+    def test_failing_hook_does_not_mask_recovery(self, bed46):
+        use_case = XSA212Crash()
+        use_case.prepare(bed46)
+        watchdog = CrashWatchdog(bed46)
+        watchdog.checkpoint()
+
+        def exploding_auditor() -> None:
+            raise RuntimeError("auditor exploded")
+
+        verdict = watchdog.guard(
+            lambda: use_case.run_exploit(bed46), on_crash=exploding_auditor
+        )
+
+        assert verdict.crashed and verdict.recovered
+        assert isinstance(verdict.hook_error, RuntimeError)
+        assert isinstance(verdict.hook_error.__cause__, CRASHES)
+        assert not bed46.xen.crashed  # the microreboot still happened
+        assert any(
+            "on_crash hook failed" in line for line in bed46.xen.console
+        )
+
+    def test_healthy_hook_reports_no_error(self, bed46):
+        use_case = XSA212Crash()
+        use_case.prepare(bed46)
+        watchdog = CrashWatchdog(bed46)
+        watchdog.checkpoint()
+        verdict = watchdog.guard(
+            lambda: use_case.run_exploit(bed46), on_crash=lambda: None
+        )
+        assert verdict.crashed and verdict.hook_error is None
+
+
+class TestRecoveryStateDigest:
+    """Phase 4 re-validation includes a replay-grade digest check: a
+    faithful rollback restores the machine to the exact checkpointed
+    digest (the same value a trace replay of the checkpoint computes)."""
+
+    def test_recovered_outcome_carries_matching_digest(self, bed46):
+        manager = RecoveryManager(bed46)
+        checkpoint = manager.checkpoint()
+        assert checkpoint.digest
+        crash_the_hypervisor(bed46)
+
+        report = manager.recover(offender=bed46.attacker_domain)
+
+        assert report.outcome == RECOVERED
+        assert report.state_digest == checkpoint.digest
+
+    def test_state_digest_survives_serialization(self, bed46):
+        manager = RecoveryManager(bed46)
+        manager.checkpoint()
+        crash_the_hypervisor(bed46)
+        report = manager.recover(offender=bed46.attacker_domain)
+        roundtrip = RecoveryReport.from_dict(report.to_dict())
+        assert roundtrip.state_digest == report.state_digest != ""

@@ -7,6 +7,7 @@ engine exists for: parallel campaigns produce exactly the serial
 results.
 """
 
+import sqlite3
 from collections import Counter
 
 import pytest
@@ -29,7 +30,11 @@ from repro.runner import (
 )
 from repro.runner import events as ev
 from repro.runner.pool import CampaignFailed
-from repro.runner.store import StorePlanMismatch
+from repro.runner.store import (
+    SCHEMA_VERSION,
+    StorePlanMismatch,
+    StoreSchemaMismatch,
+)
 from repro.xen.versions import XEN_4_13
 
 
@@ -390,3 +395,55 @@ class TestCliIntegration:
         assert "handled" in plain
         with ResultStore(path) as store:
             assert store.summary().done == len(store.specs()) > 0
+
+
+class TestStoreSchemaVersion:
+    """Stores stamp their schema version on creation; opening a store
+    written under a different version fails with a typed error instead
+    of silently misreading its specs and payloads."""
+
+    def test_fresh_store_is_stamped_and_reopens(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            store.register([selftest("ok")])
+        with ResultStore(path) as store:  # same build: resume is fine
+            assert len(store.specs()) == 1
+        conn = sqlite3.connect(path)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        conn.close()
+        assert row == (str(SCHEMA_VERSION),)
+
+    def test_unstamped_populated_store_counts_as_version_one(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            store.register([selftest("ok")])
+        conn = sqlite3.connect(path)
+        conn.execute("DELETE FROM meta WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreSchemaMismatch) as excinfo:
+            ResultStore(path)
+        assert excinfo.value.found == 1
+        assert excinfo.value.expected == SCHEMA_VERSION
+        assert "older" in str(excinfo.value)
+
+    def test_newer_store_is_rejected(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        ResultStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = '99' WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreSchemaMismatch) as excinfo:
+            ResultStore(path)
+        assert excinfo.value.found == 99
+        assert "newer" in str(excinfo.value)
+
+    def test_mismatch_is_importable_from_the_package(self):
+        from repro.runner import StoreSchemaMismatch as exported
+
+        assert exported is StoreSchemaMismatch

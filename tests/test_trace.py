@@ -1,0 +1,359 @@
+"""Tests for ``repro.trace`` — deterministic record/replay, divergence
+detection, and automatic crash triage.
+
+The acceptance properties under test:
+
+* recording a crashing trial and replaying the trace on a fresh
+  testbed reproduces the identical outcome and final machine digest;
+* a multi-step crashing trace is minimized to a *strictly smaller*
+  reproducer that still crashes with the same banner;
+* a tampered trace raises a typed :class:`ReplayDivergence` naming the
+  op and the digest mismatch;
+* a torn final line is tolerated, mid-file corruption is a typed
+  :class:`TraceCorrupt`, and a trace recorded under an unknown
+  hypervisor version is a typed :class:`TraceVersionError`;
+* chaos-parallel campaigns leave trace artefacts byte-identical to a
+  serial run's (see also ``tests/test_chaos.py``);
+* the ``repro replay`` / ``repro triage`` commands use distinct exit
+  codes for success (0), trace problems (1) and missing files (2).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.campaign import Campaign, Mode
+from repro.core.testbed import build_testbed
+from repro.errors import DoubleFault, HypervisorCrash
+from repro.exploits import XSA182Test, XSA212Crash
+from repro.runner.jobs import plan_campaign
+from repro.resilience.chaos import run_chaos_campaign
+from repro.trace import (
+    ReplayDivergence,
+    TraceCorrupt,
+    TraceError,
+    TraceRecorder,
+    TraceVersionError,
+    minimize_trace,
+    read_trace,
+    replay_trace,
+    trace_filename,
+)
+from repro.xen.versions import XEN_4_6, XEN_4_13
+
+CRASHES = (HypervisorCrash, DoubleFault)
+
+
+def record_crash_trace(trace_dir):
+    """Record the XSA-212 crash exploit on 4.6 through the campaign."""
+    campaign = Campaign(trace_dir=str(trace_dir))
+    result = campaign.run(XSA212Crash, XEN_4_6, Mode.EXPLOIT)
+    assert result.trace is not None
+    return str(trace_dir / result.trace["file"]), result
+
+
+def record_padded_crash_trace(path):
+    """A multi-step crashing trace: benign scheduler rounds, then the
+    XSA-212 crash sequence — padding the minimizer must strip."""
+    bed = build_testbed(XEN_4_6)
+    use_case = XSA212Crash()
+    use_case.prepare(bed)
+    recorder = TraceRecorder(
+        bed, str(path), use_case="XSA-212-crash", version="4.6", mode="exploit"
+    ).attach()
+    for _ in range(3):
+        bed.tick(1)
+    with pytest.raises(CRASHES):
+        use_case.run_exploit(bed)
+    return recorder.finalize()
+
+
+def rewrite_trace(path, mutate):
+    """Parse every line, pass the record list to ``mutate``, rewrite."""
+    with open(path) as handle:
+        records = [json.loads(line) for line in handle.read().splitlines()]
+    mutate(records)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def run_cli(capsys, *argv):
+    code = cli_main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRecording:
+    def test_campaign_records_crashing_trial(self, tmp_path):
+        path, result = record_crash_trace(tmp_path)
+        trace = read_trace(path)
+        assert trace.complete and not trace.torn
+        assert trace.header["use_case"] == "XSA-212-crash"
+        assert trace.header["version"] == "4.6"
+        assert trace.header["mode"] == "exploit"
+        assert trace.header["initial"]
+        assert trace.end["crashed"] and trace.end["banner"]
+        assert trace.end["ops"] == len(trace.ops) == result.trace["ops"]
+        assert trace.end["final"] == result.trace["final_digest"]
+
+    def test_uninteresting_trace_is_abandoned(self, tmp_path):
+        campaign = Campaign(trace_dir=str(tmp_path))
+        # The XSA-182 exploit fails on the fixed version: no crash, no
+        # violation — the artefact is deleted under the default policy.
+        result = campaign.run(XSA182Test, XEN_4_13, Mode.EXPLOIT)
+        assert result.trace is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_trace_keep_always_retains_clean_runs(self, tmp_path):
+        campaign = Campaign(trace_dir=str(tmp_path), trace_keep="always")
+        result = campaign.run(XSA182Test, XEN_4_13, Mode.EXPLOIT)
+        assert result.trace is not None
+        assert (tmp_path / result.trace["file"]).exists()
+
+    def test_bad_trace_keep_is_rejected(self):
+        with pytest.raises(ValueError, match="trace_keep"):
+            Campaign(trace_dir="x", trace_keep="sometimes")
+
+    def test_recording_is_deterministic(self, tmp_path):
+        path_a, _ = record_crash_trace(tmp_path / "a")
+        path_b, _ = record_crash_trace(tmp_path / "b")
+        with open(path_a, "rb") as first, open(path_b, "rb") as second:
+            assert first.read() == second.read()
+
+    def test_trace_filename_is_deterministic_and_safe(self):
+        name = trace_filename("XSA-212-crash", "4.6", "exploit")
+        assert name == "XSA-212-crash_4.6_exploit.trace"
+        assert trace_filename("a/b c", "4.6", "injection", recover=True) == (
+            "a-b-c_4.6_injection_recover.trace"
+        )
+
+    def test_detached_testbed_leaves_no_hooks(self, tmp_path):
+        bed = build_testbed(XEN_4_6)
+        use_case = XSA212Crash()
+        use_case.prepare(bed)
+        recorder = TraceRecorder(bed, str(tmp_path / "t.trace")).attach()
+        recorder.detach()
+        # Instance-attribute hooks are gone: the bound methods resolve
+        # to the class again.
+        assert "hypercall" not in vars(bed.xen)
+        assert "write_word" not in vars(bed.xen.machine)
+        assert "tick" not in vars(bed.xen.scheduler)
+
+
+class TestReplay:
+    def test_replay_reproduces_crash_and_final_digest(self, tmp_path):
+        path, result = record_crash_trace(tmp_path)
+        trace = read_trace(path)
+        outcome = replay_trace(path)
+        assert outcome.faithful
+        assert outcome.crashed == result.crashed is True
+        assert outcome.banner == trace.end["banner"]
+        assert outcome.final_digest == result.trace["final_digest"]
+        assert outcome.ops_replayed == result.trace["ops"]
+
+    def test_tampered_digest_raises_typed_divergence(self, tmp_path):
+        path, _ = record_crash_trace(tmp_path)
+
+        def corrupt_first_digested_op(records):
+            for record in records:
+                if record.get("kind") == "op" and record.get("digest"):
+                    frame = sorted(record["digest"])[0]
+                    record["digest"][frame] = "0" * 40
+                    return
+            raise AssertionError("no op with a digest to tamper with")
+
+        rewrite_trace(path, corrupt_first_digested_op)
+        with pytest.raises(ReplayDivergence) as excinfo:
+            replay_trace(path)
+        divergence = excinfo.value
+        assert divergence.op_index >= 0
+        assert divergence.diff  # names the mismatching frame
+        assert "diverged at op" in str(divergence)
+
+    def test_tampered_initial_digest_diverges_before_any_op(self, tmp_path):
+        path, _ = record_crash_trace(tmp_path)
+        rewrite_trace(
+            path, lambda records: records[0].update(initial="f" * 40)
+        )
+        with pytest.raises(ReplayDivergence) as excinfo:
+            replay_trace(path)
+        assert excinfo.value.op_index == -1
+        assert "initial state" in str(excinfo.value)
+
+    def test_probe_mode_skips_divergence_checks(self, tmp_path):
+        path, _ = record_crash_trace(tmp_path)
+        rewrite_trace(
+            path, lambda records: records[0].update(initial="f" * 40)
+        )
+        outcome = replay_trace(path, strict=False)
+        assert not outcome.faithful
+        assert outcome.crashed
+
+    def test_unknown_hypervisor_version_is_typed(self, tmp_path):
+        path, _ = record_crash_trace(tmp_path)
+        rewrite_trace(path, lambda records: records[0].update(version="9.99"))
+        with pytest.raises(TraceVersionError, match="9.99"):
+            replay_trace(path)
+
+
+class TestCorruption:
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path, _ = record_crash_trace(tmp_path)
+        intact = read_trace(path)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "op", "i"')  # a torn write, no newline
+        trace = read_trace(path)
+        assert trace.torn
+        assert len(trace.ops) == len(intact.ops)
+        # A torn tail never reached the recording; replay still verifies.
+        assert replay_trace(trace).faithful
+
+    def test_midfile_corruption_is_typed_with_line_number(self, tmp_path):
+        path, _ = record_crash_trace(tmp_path)
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        lines[1] = "certainly not json"
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(TraceCorrupt) as excinfo:
+            read_trace(path)
+        assert excinfo.value.line_no == 2
+        assert path in str(excinfo.value)
+
+    def test_empty_file_is_corrupt_not_a_crash(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(TraceCorrupt, match="empty trace"):
+            read_trace(str(path))
+
+    def test_unknown_format_number_is_a_version_error(self, tmp_path):
+        path, _ = record_crash_trace(tmp_path)
+        rewrite_trace(path, lambda records: records[0].update(format=99))
+        with pytest.raises(TraceVersionError, match="format 99"):
+            read_trace(path)
+
+
+class TestTriage:
+    def test_padded_crash_minimizes_strictly_smaller(self, tmp_path):
+        path = tmp_path / "padded.trace"
+        info = record_padded_crash_trace(path)
+        assert info["ops"] > 2  # the padding really recorded
+
+        report = minimize_trace(str(path))
+
+        assert report.minimized_ops < report.original_ops
+        assert report.original_ops == info["ops"]
+        assert report.probes > 0
+        # The reproducer is a standalone artefact: it replays strictly
+        # and still crashes with the recorded banner.
+        minimized = read_trace(report.minimized_path)
+        assert minimized.crash_banner == report.banner
+        outcome = replay_trace(report.minimized_path)
+        assert outcome.faithful and outcome.crashed
+        assert outcome.banner == report.banner
+        # And the human-readable report names the kept operations.
+        with open(report.report_path) as handle:
+            text = handle.read()
+        assert report.banner in text
+        assert f"{report.minimized_ops} ops" in text
+
+    def test_non_crashing_trace_is_refused(self, tmp_path):
+        campaign = Campaign(trace_dir=str(tmp_path), trace_keep="always")
+        result = campaign.run(XSA182Test, XEN_4_13, Mode.EXPLOIT)
+        path = tmp_path / result.trace["file"]
+        with pytest.raises(TraceError, match="does not end in a hypervisor crash"):
+            minimize_trace(str(path))
+
+
+class TestChaosTraceParity:
+    """Chaos-parallel trace artefacts are byte-identical to serial ones."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_traces_identical_under_faults(self, seed, tmp_path):
+        specs = plan_campaign(["XSA-212-crash"], ["4.6"], ["exploit", "injection"])
+        report = run_chaos_campaign(
+            specs,
+            seed=seed,
+            store_path=str(tmp_path / "chaos.sqlite"),
+            jobs=2,
+            timeout=10.0,
+            trace_dir=str(tmp_path / "traces"),
+        )
+        assert report.identical, report.render()
+        assert report.traces_compared >= 1
+        assert report.trace_mismatches == []
+        assert "trace artefact(s) vs serial: byte-identical" in report.render()
+
+
+class TestCliCommands:
+    def test_run_with_trace_prints_artefact(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "run", "--use-case", "XSA-212-crash", "--version", "4.6",
+            "--mode", "exploit", "--trace", str(tmp_path),
+        )
+        assert code == 0
+        assert "trace:" in out
+        assert (tmp_path / trace_filename("XSA-212-crash", "4.6", "exploit")).exists()
+
+    def test_replay_success_exits_zero(self, capsys, tmp_path):
+        path, _ = record_crash_trace(tmp_path)
+        code, out, _ = run_cli(capsys, "replay", path)
+        assert code == 0
+        assert "verified" in out and "crashed" in out
+
+    def test_replay_missing_file_exits_two(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "replay", str(tmp_path / "no.trace"))
+        assert code == 2
+        assert "not found" in err
+
+    def test_replay_divergence_exits_one(self, capsys, tmp_path):
+        path, _ = record_crash_trace(tmp_path)
+        rewrite_trace(
+            path, lambda records: records[0].update(initial="f" * 40)
+        )
+        code, _, err = run_cli(capsys, "replay", path)
+        assert code == 1
+        assert "DIVERGED" in err
+
+    def test_replay_corrupt_trace_exits_one(self, capsys, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("nonsense\nmore nonsense\n")
+        code, _, err = run_cli(capsys, "replay", str(path))
+        assert code == 1
+        assert "corrupt" in err
+
+    def test_replay_foreign_version_exits_one(self, capsys, tmp_path):
+        path, _ = record_crash_trace(tmp_path)
+        rewrite_trace(path, lambda records: records[0].update(version="9.99"))
+        code, _, err = run_cli(capsys, "replay", path)
+        assert code == 1
+        assert "9.99" in err
+
+    def test_triage_minimizes_and_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "padded.trace"
+        record_padded_crash_trace(path)
+        out_path = tmp_path / "minimal.trace"
+        report_path = tmp_path / "triage.md"
+        code, out, _ = run_cli(
+            capsys, "triage", str(path),
+            "--out", str(out_path), "--report", str(report_path),
+        )
+        assert code == 0
+        assert out_path.exists() and report_path.exists()
+        assert "probe replays" in out
+
+    def test_triage_missing_file_exits_two(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "triage", str(tmp_path / "no.trace"))
+        assert code == 2
+        assert "not found" in err
+
+    def test_triage_non_crashing_exits_one(self, capsys, tmp_path):
+        campaign = Campaign(trace_dir=str(tmp_path), trace_keep="always")
+        result = campaign.run(XSA182Test, XEN_4_13, Mode.EXPLOIT)
+        code, _, err = run_cli(
+            capsys, "triage", str(tmp_path / result.trace["file"])
+        )
+        assert code == 1
+        assert "does not end in a hypervisor crash" in err
