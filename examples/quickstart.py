@@ -48,7 +48,7 @@ def main() -> None:
     # 4. The console shows the paper-style crash banner.
     print()
     print("--- Xen console (tail) ---")
-    for line in bed.xen.console[-8:]:
+    for line in list(bed.xen.console)[-8:]:
         print(line)
 
 

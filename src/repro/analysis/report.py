@@ -62,6 +62,11 @@ def result_to_dict(result: RunResult) -> dict:
         # directory happens to be (serial and parallel runs of the
         # same campaign use different ones and must stay comparable).
         data["trace"] = dict(result.trace)
+    if result.metrics is not None:
+        # Counters only: timings are wall-clock and would break the
+        # serial-vs-parallel (and serial-vs-chaos) byte identity of
+        # campaign artefacts.
+        data["metrics"] = {"counters": dict(result.metrics.get("counters", {}))}
     return data
 
 
@@ -104,6 +109,7 @@ def run_result_from_dict(data: dict) -> RunResult:
         guest_log=list(data["guest_log_tail"]),
         recovery=recovery,
         trace=data.get("trace"),
+        metrics=data.get("metrics"),
     )
 
 
@@ -135,6 +141,28 @@ def render_markdown_report_from_store(store, title: str) -> str:
     """Markdown artefact from a store — byte-identical to
     :func:`render_markdown_report` over the same job set."""
     return render_markdown_report(runs_from_store(store), title)
+
+
+def aggregate_metrics(results: Sequence[RunResult]) -> dict:
+    """Sum per-run metric counters across a campaign.
+
+    Returns ``{"runs": <metered run count>, "counters": {...}}`` with
+    the counters summed key-by-key over every run that carried
+    metrics.  Deterministic (sorted keys, counters only), so the same
+    campaign aggregates identically however it was executed.
+    """
+    totals: Dict[str, int] = {}
+    metered = 0
+    for result in results:
+        if result.metrics is None:
+            continue
+        metered += 1
+        for key, value in result.metrics.get("counters", {}).items():
+            totals[key] = totals.get(key, 0) + value
+    return {
+        "runs": metered,
+        "counters": {key: totals[key] for key in sorted(totals)},
+    }
 
 
 @dataclass
@@ -231,6 +259,31 @@ def render_markdown_report(results: Sequence[RunResult], title: str) -> str:
                 f"| {result.mode.value} | {report.outcome_class} "
                 f"| {report.reboots} | {quarantined} "
                 f"| {report.wall_time * 1000:.1f} ms |"
+            )
+        lines.append("")
+
+    metered = [r for r in results if r.metrics is not None]
+    if metered:
+        lines += [
+            "## Metrics",
+            "",
+            "| use case | version | mode | ops | hypercalls | traps | pt updates | crashes |",
+            "|---|---|---|---|---|---|---|---|",
+        ]
+        for result in metered:
+            counters = result.metrics.get("counters", {})
+            total_ops = sum(
+                value
+                for key, value in counters.items()
+                if key.startswith("ops.")
+            )
+            traps = counters.get("traps", 0)
+            lines.append(
+                f"| {result.use_case} | {result.version} "
+                f"| {result.mode.value} | {total_ops} "
+                f"| {counters.get('ops.hypercall', 0)} | {traps} "
+                f"| {counters.get('pt.updates', 0)} "
+                f"| {counters.get('crashes', 0)} |"
             )
         lines.append("")
 

@@ -120,6 +120,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record the run into DIR as a replayable trace (kept when "
         "the run crashes, violates, or recovers)",
     )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="collect per-trial probe metrics (op counters, hypercall "
+        "breakdown, timings) and print them after the run",
+    )
 
     campaign = sub.add_parser("campaign", help="full experiment matrix")
     campaign.add_argument("--json", help="write raw results as JSON")
@@ -132,6 +137,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="DIR",
         help="record every cell into DIR; traces of crashing/violating/"
         "recovering runs are kept as replayable artefacts",
+    )
+    campaign.add_argument(
+        "--metrics", action="store_true",
+        help="collect per-trial probe metrics; counters land in the "
+        "JSON/markdown artefacts and the result store",
     )
     _add_runner_args(campaign)
 
@@ -224,6 +234,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "chaos run into DIR/<seed>/{serial,chaos} and assert they are "
         "byte-identical",
     )
+    chaos.add_argument(
+        "--metrics", action="store_true",
+        help="collect probe metrics in every job; the serial-vs-chaos "
+        "identity check then covers the metric counters too",
+    )
+    chaos.add_argument(
+        "--metrics-json", metavar="PATH",
+        help="write the aggregated metric counters of the serial "
+        "reference as JSON (implies --metrics)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="aggregate and print the probe metrics stored by a "
+        "--metrics campaign run with --store",
+    )
+    metrics.add_argument("store", help="SQLite result store to read")
+    metrics.add_argument(
+        "--json", metavar="PATH",
+        help="also write the aggregate as JSON",
+    )
 
     from repro.staticcheck.cli import add_staticcheck_parser
 
@@ -236,9 +267,11 @@ def _cmd_run(args) -> int:
     use_case = USE_CASE_BY_NAME[args.use_case]
     version = version_by_name(args.version)
     mode = Mode(args.mode)
-    result = Campaign(recover=args.recover, trace_dir=args.trace).run(
-        use_case, version, mode
-    )
+    result = Campaign(
+        recover=args.recover,
+        trace_dir=args.trace,
+        collect_metrics=args.metrics,
+    ).run(use_case, version, mode)
     print(result.summary)
     if result.trace is not None:
         print(
@@ -259,6 +292,12 @@ def _cmd_run(args) -> int:
         print(f"audit: {line}")
     for line in result.violation.evidence:
         print(f"violation: {line}")
+    if result.metrics is not None:
+        print("\n--- metrics ---")
+        for key, value in result.metrics.get("counters", {}).items():
+            print(f"{key:<32} {value}")
+        for key, value in result.metrics.get("timings", {}).items():
+            print(f"{key:<32} {value * 1000:.3f} ms")
     if args.verbose:
         print("\n--- guest log ---")
         print("\n".join(result.guest_log))
@@ -268,7 +307,11 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    campaign = Campaign(recover=args.recover, trace_dir=args.trace)
+    campaign = Campaign(
+        recover=args.recover,
+        trace_dir=args.trace,
+        collect_metrics=args.metrics,
+    )
     runner, store = _runner_from_args(args)
     try:
         results = campaign.run_matrix(
@@ -399,6 +442,8 @@ def _dispatch(args) -> int:
         return _cmd_testcase(args)
     elif args.command == "chaos":
         return _cmd_chaos(args)
+    elif args.command == "metrics":
+        return _cmd_metrics(args)
     elif args.command == "replay":
         return _cmd_replay(args)
     elif args.command == "triage":
@@ -509,9 +554,11 @@ def _cmd_chaos(args) -> int:
     from repro.resilience.chaos import run_chaos_campaign
     from repro.runner.jobs import plan_campaign
 
+    with_metrics = bool(args.metrics or args.metrics_json)
     specs = plan_campaign(
         ["XSA-212-crash", "XSA-182-test"], ["4.6", "4.8"],
         ["exploit", "injection"],
+        metrics=with_metrics,
     )
     events_handle = open(args.events, "a") if args.events else None
 
@@ -520,6 +567,7 @@ def _cmd_chaos(args) -> int:
             events_handle.write(json.dumps(dataclasses.asdict(event)) + "\n")
 
     failed = 0
+    metrics_by_seed = {}
     try:
         for seed in args.seeds:
             trace_dir = (
@@ -538,9 +586,16 @@ def _cmd_chaos(args) -> int:
             print(report.render())
             if not report.identical:
                 failed += 1
+            if args.metrics_json:
+                metrics_by_seed[str(seed)] = _chaos_metrics_aggregate(report)
     finally:
         if events_handle is not None:
             events_handle.close()
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as handle:
+            json.dump(metrics_by_seed, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"chaos: metric aggregates written to {args.metrics_json}")
     if failed:
         print(
             f"chaos: {failed}/{len(args.seeds)} seed(s) diverged "
@@ -548,6 +603,56 @@ def _cmd_chaos(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _chaos_metrics_aggregate(report) -> dict:
+    """Aggregate counters from a chaos report's serial reference JSON
+    (identical to the chaos side's by the invariant just checked)."""
+    import json
+
+    from repro.analysis.report import aggregate_metrics, run_result_from_dict
+
+    payloads = json.loads(report.serial_json) if report.serial_json else []
+    results = [run_result_from_dict(p) for p in payloads]
+    aggregate = aggregate_metrics(results)
+    aggregate["identical"] = report.identical
+    return aggregate
+
+
+def _cmd_metrics(args) -> int:
+    from repro.analysis.report import aggregate_metrics, runs_from_store
+    from repro.runner import ResultStore
+
+    if not os.path.exists(args.store):
+        print(f"metrics: store {args.store!r} not found", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+    try:
+        results = runs_from_store(store)
+    finally:
+        store.close()
+    aggregate = aggregate_metrics(results)
+    if not aggregate["runs"]:
+        print(
+            "metrics: no metered campaign runs in this store "
+            "(was the campaign run with --metrics?)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"metrics: {aggregate['runs']} metered run(s) of "
+        f"{len(results)} campaign run(s)"
+    )
+    for key, value in aggregate["counters"].items():
+        print(f"{key:<32} {value}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(aggregate, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics: aggregate written to {args.json}")
     return 0
 
 

@@ -67,6 +67,12 @@ class RunResult:
     #: otherwise.  The file name is a bare basename — artefacts live
     #: in the campaign's ``trace_dir``.
     trace: Optional[dict] = None
+    #: Per-trial metrics (``{"counters": {...}, "timings": {...}}``)
+    #: when the run was collected with ``collect_metrics`` /
+    #: ``--metrics``; ``None`` otherwise.  Only the deterministic
+    #: ``counters`` half survives serialization (see
+    #: ``repro.analysis.report.result_to_dict``).
+    metrics: Optional[dict] = None
 
     @property
     def summary(self) -> str:
@@ -92,6 +98,7 @@ class Campaign:
         max_reboots: int = 1,
         trace_dir: Optional[str] = None,
         trace_keep: str = "failures",
+        collect_metrics: bool = False,
     ):
         self.testbed_factory = testbed_factory
         self.settle_rounds = settle_rounds
@@ -113,6 +120,9 @@ class Campaign:
                 f"trace_keep must be 'failures' or 'always', got {trace_keep!r}"
             )
         self.trace_keep = trace_keep
+        #: Attach a :class:`repro.probes.MetricsCollector` to every run
+        #: (``--metrics``) and ship its snapshot on the result.
+        self.collect_metrics = collect_metrics
 
     # ------------------------------------------------------------------
     # Single run
@@ -129,6 +139,11 @@ class Campaign:
         use_case = use_case_cls()
         use_case.prepare(bed)
         recorder = self._make_recorder(bed, use_case_cls.name, version, mode)
+        collector = None
+        if self.collect_metrics:
+            from repro.probes import MetricsCollector
+
+            collector = MetricsCollector(bed.xen.probes).attach()
 
         def attack() -> None:
             if mode is Mode.EXPLOIT:
@@ -143,7 +158,7 @@ class Campaign:
             try:
                 if self.recover:
                     recovery, pre_crash_state = self._guarded_attack(
-                        bed, use_case, attack, recorder
+                        bed, use_case, attack
                     )
                 else:
                     attack()
@@ -159,9 +174,12 @@ class Campaign:
             bed.tick(self.settle_rounds)
         finally:
             # Unhook before auditing: the observation phase must see
-            # the native testbed, and audits are not part of the trace.
+            # the native testbed, and audits are not part of the trace
+            # or the metrics.
             if recorder is not None:
                 recorder.detach()
+            if collector is not None:
+                collector.detach()
         erroneous = use_case.audit_erroneous_state(bed)
         violation = use_case.detect_violation(bed)
         if recovery is not None:
@@ -206,6 +224,7 @@ class Campaign:
             guest_log=attacker_log,
             recovery=recovery,
             trace=trace_info,
+            metrics=collector.snapshot() if collector is not None else None,
         )
 
     def _make_recorder(self, bed, use_case_name: str, version, mode):
@@ -232,19 +251,19 @@ class Campaign:
             recover=self.recover,
         ).attach()
 
-    def _guarded_attack(self, bed, use_case, attack, recorder=None):
+    def _guarded_attack(self, bed, use_case, attack):
         """Run the attack under the microreboot watchdog (``--recover``).
 
         Returns ``(recovery_report, pre_crash_erroneous_state)`` —
         both ``None`` when the attack did not crash the hypervisor.
         The erroneous state is audited *between* the crash and the
-        rollback, while the corrupted memory is still in place.
+        rollback, while the corrupted memory is still in place.  An
+        attached recorder needs no wiring here: the manager's
+        checkpoint/recover probes fire on the testbed's bus.
         """
         from repro.resilience.watchdog import CrashWatchdog
 
         watchdog = CrashWatchdog(bed, max_reboots=self.max_reboots)
-        if recorder is not None:
-            recorder.attach_recovery(watchdog.manager)
         watchdog.checkpoint()
         audited: dict = {}
 
@@ -303,6 +322,7 @@ class Campaign:
             [m.value for m in modes],
             recover=self.recover,
             trace_dir=self.trace_dir,
+            metrics=self.collect_metrics,
         )
         outcome = runner.run(specs, store=store)
         return [run_result_from_dict(p) for p in outcome.payloads_for(specs)]

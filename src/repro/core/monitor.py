@@ -58,7 +58,7 @@ class CrashMonitor(Monitor):
         xen = bed.xen
         if not xen.crashed:
             return ViolationReport.none()
-        evidence = [line for line in xen.console[-12:]]
+        evidence = list(xen.console)[-12:]
         return ViolationReport(
             occurred=True, kind="hypervisor crash", evidence=evidence
         )

@@ -60,6 +60,12 @@ class TestBed:
         """The guest the adversary controls (``guest03``)."""
         return self.guests[-1]
 
+    @property
+    def probes(self):
+        """This testbed's :class:`~repro.probes.bus.ProbeBus` — the
+        single interception surface observers subscribe to."""
+        return self.xen.probes
+
     def all_domains(self) -> List[Domain]:
         return [self.dom0, *self.guests]
 

@@ -25,11 +25,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.xen.constants import WORDS_PER_PAGE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.probes.bus import Attachment
     from repro.xen.hypervisor import Xen
 
 
@@ -71,6 +72,8 @@ class IntegrityGuard:
         self._baseline: Dict[int, List[int]] = {}
         self.alerts: List[GuardAlert] = []
         self.scans = 0
+        #: Probe-bus subscription installed by :func:`deploy`.
+        self.attachment: Optional["Attachment"] = None
 
     # -- baseline ------------------------------------------------------------
 
@@ -152,10 +155,29 @@ class IdtGuard(IntegrityGuard):
 
 
 def deploy(xen: "Xen", *guards: IntegrityGuard) -> Tuple[IntegrityGuard, ...]:
-    """Install guards into the hypervisor's integrity points."""
+    """Install guards into the hypervisor's integrity probe points.
+
+    Each guard subscribes to the testbed's probe bus: ``integrity``
+    fires at every hypercall return and trap delivery (replacing the
+    old ``integrity_hooks`` list), and page-table guards additionally
+    follow validated ``pt_update`` notifications so legitimate writes
+    refresh the baseline.  The :class:`~repro.probes.bus.Attachment`
+    is stored on each guard as ``attachment`` for withdrawal.
+    """
+    from repro.probes import points as probe_points
+
     for guard in guards:
         guard.verify()  # adopt the current (trusted) state as baseline
-        xen.integrity_hooks.append(guard.verify)
+        pairs = [(probe_points.INTEGRITY, guard.verify)]
         if isinstance(guard, PageTableGuard):
-            xen.pt_update_listeners.append(guard.on_pt_update)
+            pairs.append((probe_points.PT_UPDATE, guard.on_pt_update))
+        guard.attachment = xen.probes.attach(pairs)
     return guards
+
+
+def withdraw(*guards: IntegrityGuard) -> None:
+    """Detach deployed guards from their probe bus (idempotent)."""
+    for guard in guards:
+        if guard.attachment is not None:
+            guard.attachment.detach()
+            guard.attachment = None

@@ -54,6 +54,9 @@ class GuestKernel:
         self.xen = xen
         self.domain = domain
         domain.kernel = self
+        from repro.probes import points as probe_points
+
+        self._p_user_work = xen.probes.point(probe_points.USER_WORK)
         self.fs = FileSystem()
         self.log: List[str] = []
         self._clock = 100.0
@@ -303,6 +306,12 @@ class GuestKernel:
     def run_user_work(self) -> None:
         """One scheduling round: every vDSO-using process calls into the
         vDSO page (the XSA-148 backdoor trigger point)."""
+        point = self._p_user_work
+        if point.subs:
+            return point.run(self._run_user_work_impl, (), (self.domain.id,))
+        return self._run_user_work_impl()
+
+    def _run_user_work_impl(self) -> None:
         if self.vdso_pfn is None:
             return
         vdso_mfn = self.pfn_to_mfn(self.vdso_pfn)

@@ -1,0 +1,44 @@
+"""``repro.probes`` — the simulator's single interception surface.
+
+Before this package existed, four subsystems observed the simulated
+hypervisor through four unrelated mechanisms: the trace recorder
+monkeypatched bound methods as instance attributes, integrity guards
+hung off an ad-hoc ``Xen.integrity_hooks`` list, violation monitors
+polled the testbed after the fact, and the watchdog wrapped calls from
+outside.  All of them now subscribe to one per-testbed
+:class:`~repro.probes.bus.ProbeBus` whose named probe points are
+compiled directly into the hot paths (see
+:mod:`repro.probes.points` for the registry and DESIGN.md §10 for the
+architecture).
+
+Public surface:
+
+* :mod:`repro.probes.points` — the point-name registry
+  (``repro.probes.points.HYPERCALL`` …).
+* :class:`ProbeBus` / :class:`Attachment` — subscription management,
+  all-or-nothing batch attach.
+* :class:`OpPoint` / :class:`NotifyPoint` — the two dispatch
+  disciplines.
+* :class:`MetricsCollector` — per-trial counters and timings on top
+  of the bus (``--metrics``).
+"""
+
+from repro.probes import points
+from repro.probes.bus import (
+    Attachment,
+    NotifyPoint,
+    OpPoint,
+    ProbeBus,
+    ProbeError,
+)
+from repro.probes.metrics import MetricsCollector
+
+__all__ = [
+    "Attachment",
+    "MetricsCollector",
+    "NotifyPoint",
+    "OpPoint",
+    "ProbeBus",
+    "ProbeError",
+    "points",
+]

@@ -1,0 +1,222 @@
+"""The per-testbed probe bus.
+
+One :class:`ProbeBus` lives on every :class:`~repro.xen.machine.Machine`
+(and is shared by the :class:`~repro.xen.hypervisor.Xen` built on it).
+The simulator's hot paths are compiled against *point objects* — each
+owner caches the point as an attribute at construction time and guards
+the probe dispatch with the empty-subscriber fast path::
+
+    point = self._p_write_word
+    if point.subs:
+        return point.run(self._write_word_impl, (mfn, index, value))
+    return self._write_word_impl(mfn, index, value)
+
+With no subscribers the cost is one attribute load and one tuple
+truthiness test; no closure, wrapper or argument tuple is allocated.
+
+Two kinds of point exist (see :mod:`repro.probes.points`):
+
+* :class:`OpPoint` wraps execution.  Subscribers implement
+  ``op_enter(name, args)`` and ``op_exit(name, args, result, exc)``;
+  enters run in subscription order, exits in reverse, and the
+  subscriber snapshot is taken before the first enter so detaching
+  mid-operation is safe.  Exceptions propagate unchanged after every
+  subscriber has seen them.
+
+* :class:`NotifyPoint` marks an event.  Subscribers are plain
+  callables invoked in subscription order with the event payload.
+
+:meth:`ProbeBus.attach` installs a batch of subscriptions
+*all-or-nothing*: every point name and subscriber interface is
+validated before anything is installed, and a failure mid-install
+rolls back what was already subscribed.  The returned
+:class:`Attachment` detaches the whole batch, idempotently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.probes import points as P
+
+__all__ = [
+    "Attachment",
+    "NotifyPoint",
+    "OpPoint",
+    "ProbeBus",
+    "ProbeError",
+]
+
+
+class ProbeError(RuntimeError):
+    """A probe subscription was malformed (unknown point, wrong
+    subscriber interface, or a duplicate install)."""
+
+
+class OpPoint:
+    """A named interception site wrapping one simulator operation."""
+
+    __slots__ = ("name", "subs")
+
+    def __init__(self, name: str):
+        self.name = name
+        #: Current subscribers, in subscription order.  A tuple that is
+        #: *replaced* (never mutated) on subscribe/unsubscribe, so the
+        #: hot path can read it without locking or copying.
+        self.subs: Tuple[Any, ...] = ()
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        call_args: Tuple[Any, ...],
+        probe_args: Optional[Tuple[Any, ...]] = None,
+    ) -> Any:
+        """Execute ``fn(*call_args)`` between subscriber callbacks.
+
+        ``probe_args`` is what subscribers observe; it defaults to
+        ``call_args`` and exists for sites whose probe payload differs
+        from the implementation signature (e.g. ``user_work`` probes
+        the domain id but the implementation takes no arguments).
+        """
+        subs = self.subs  # snapshot: detach mid-op still sees op_exit
+        args = call_args if probe_args is None else probe_args
+        name = self.name
+        for sub in subs:
+            sub.op_enter(name, args)
+        try:
+            result = fn(*call_args)
+        except BaseException as exc:
+            for sub in reversed(subs):
+                sub.op_exit(name, args, None, exc)
+            raise
+        for sub in reversed(subs):
+            sub.op_exit(name, args, result, None)
+        return result
+
+    def _validate(self, subscriber: Any) -> None:
+        if not callable(getattr(subscriber, "op_enter", None)) or not callable(
+            getattr(subscriber, "op_exit", None)
+        ):
+            raise ProbeError(
+                f"op point {self.name!r} needs a subscriber with "
+                f"op_enter/op_exit methods, got {subscriber!r}"
+            )
+
+
+class NotifyPoint:
+    """A named event site with no wrapped body."""
+
+    __slots__ = ("name", "subs")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.subs: Tuple[Any, ...] = ()
+
+    def fire(self, *args: Any) -> None:
+        for sub in self.subs:
+            sub(*args)
+
+    def _validate(self, subscriber: Any) -> None:
+        if not callable(subscriber):
+            raise ProbeError(
+                f"notify point {self.name!r} needs a callable "
+                f"subscriber, got {subscriber!r}"
+            )
+
+
+class Attachment:
+    """A batch of installed subscriptions, detachable as one unit."""
+
+    def __init__(self, bus: "ProbeBus", installed: List[Tuple[Any, Any]]):
+        self._bus = bus
+        self._installed: Optional[List[Tuple[Any, Any]]] = installed
+
+    @property
+    def active(self) -> bool:
+        return self._installed is not None
+
+    def detach(self) -> None:
+        """Remove every subscription in the batch (idempotent)."""
+        installed, self._installed = self._installed, None
+        if installed is None:
+            return
+        for point, subscriber in reversed(installed):
+            self._bus._remove(point, subscriber)
+
+
+class ProbeBus:
+    """The registry of every probe point of one simulated machine."""
+
+    def __init__(self) -> None:
+        self._points = {}
+        for name in P.OP_POINTS:
+            self._points[name] = OpPoint(name)
+        for name in P.NOTIFY_POINTS:
+            self._points[name] = NotifyPoint(name)
+
+    # -- lookup --------------------------------------------------------
+
+    def point(self, name: str):
+        """The :class:`OpPoint`/:class:`NotifyPoint` called ``name``."""
+        try:
+            return self._points[name]
+        except KeyError:
+            raise ProbeError(
+                f"unknown probe point {name!r}; see repro.probes.points"
+            ) from None
+
+    def subscribers(self, name: str) -> Tuple[Any, ...]:
+        """The current subscriber tuple of ``name`` (possibly empty)."""
+        return self.point(name).subs
+
+    # -- subscription --------------------------------------------------
+
+    def subscribe(self, name: str, subscriber: Any) -> None:
+        """Append ``subscriber`` to point ``name`` (validated first)."""
+        point = self.point(name)
+        point._validate(subscriber)
+        self._append(point, subscriber)
+
+    def unsubscribe(self, name: str, subscriber: Any) -> None:
+        """Remove ``subscriber`` from ``name`` (no-op if absent)."""
+        self._remove(self.point(name), subscriber)
+
+    def attach(self, subscriptions: Iterable[Tuple[Any, Any]]) -> Attachment:
+        """Install ``(point_name, subscriber)`` pairs all-or-nothing.
+
+        Every name and subscriber interface is validated *before* the
+        first install; if installation still fails part-way (e.g. a
+        hook raised), everything already installed is rolled back and
+        the error propagates.  Nothing is ever left half-attached.
+        """
+        pairs: Sequence[Tuple[Any, Any]] = list(subscriptions)
+        resolved = []
+        for name, subscriber in pairs:
+            point = self.point(name)
+            point._validate(subscriber)
+            resolved.append((point, subscriber))
+        installed: List[Tuple[Any, Any]] = []
+        try:
+            for point, subscriber in resolved:
+                self._append(point, subscriber)
+                installed.append((point, subscriber))
+        except BaseException:
+            for point, subscriber in reversed(installed):
+                self._remove(point, subscriber)
+            raise
+        return Attachment(self, installed)
+
+    # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _append(point: Any, subscriber: Any) -> None:
+        point.subs = point.subs + (subscriber,)
+
+    @staticmethod
+    def _remove(point: Any, subscriber: Any) -> None:
+        subs = list(point.subs)
+        for i, existing in enumerate(subs):
+            if existing is subscriber:
+                del subs[i]
+                break
+        point.subs = tuple(subs)

@@ -1,0 +1,127 @@
+"""The canonical registry of probe-point names.
+
+Every interception site compiled into the simulator is listed here,
+split by dispatch discipline:
+
+* **Op points** wrap the *execution* of a simulator operation.  The
+  owning object calls :meth:`repro.probes.bus.OpPoint.run` around its
+  private ``_*_impl`` method; subscribers see ``op_enter`` before the
+  operation and ``op_exit`` after it (including when it raises).
+
+* **Notify points** mark an *event* with no wrapped body.  The owner
+  calls :meth:`repro.probes.bus.NotifyPoint.fire` with the event's
+  payload; subscribers are plain callables.
+
+The names double as the wire-level identity used by
+:meth:`repro.probes.bus.ProbeBus.subscribe`, so they are part of the
+probe layer's public API and must stay stable.
+
+Probe arguments (what ``op_enter``/``op_exit`` receive as ``args``,
+or what ``fire`` is called with):
+
+======================  ==================================================
+point                   args
+======================  ==================================================
+``hypercall``           ``(domain, number, hypercall_args_tuple)``
+``page_fault``          ``(domain, fault)``
+``soft_irq``            ``(domain, vector)``
+``sched_tick``          ``(ticks,)``
+``user_work``           ``(domain_id,)``
+``write_word``          ``(mfn, index, value)``
+``attach_blob``         ``(mfn, index, blob)``
+``zero_frame``          ``(mfn,)``
+``copy_frame``          ``(src_mfn, dst_mfn)``
+``checkpoint``          ``(manager,)``
+``recover``             ``(manager, offender)``
+``integrity``           ``()``
+``pt_update``           ``(table_mfn, index, value)``
+``pt_validate``         ``(domain_id, mfn, level)``
+``frame_ref``           ``(kind, mfn, count)`` with kind in
+                        ``{"get", "put", "get_type", "put_type"}``
+``frame_type``          ``(mfn, old_type, new_type)``
+``recovery_phase``      ``(phase_name,)``
+``crash``               ``(reason,)``
+======================  ==================================================
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Op points (wrap execution; subscribers implement op_enter/op_exit)
+# ----------------------------------------------------------------------
+
+#: ``Xen.hypercall`` — the guest→hypervisor call gate.
+HYPERCALL = "hypercall"
+#: ``Xen.deliver_page_fault`` — #PF trap delivery into a guest.
+PAGE_FAULT = "page_fault"
+#: ``Xen.software_interrupt`` — ``int n`` trap delivery.
+SOFT_IRQ = "soft_irq"
+#: ``Scheduler.tick`` — the credit scheduler's time step.
+SCHED_TICK = "sched_tick"
+#: ``GuestKernel.run_user_work`` — one guest userspace quantum.
+USER_WORK = "user_work"
+#: ``Machine.write_word`` — one machine-memory word store.
+WRITE_WORD = "write_word"
+#: ``Machine.attach_blob`` — opaque payload attachment to a word.
+ATTACH_BLOB = "attach_blob"
+#: ``Machine.zero_frame`` — whole-frame clear.
+ZERO_FRAME = "zero_frame"
+#: ``Machine.copy_frame`` — whole-frame copy.
+COPY_FRAME = "copy_frame"
+#: ``RecoveryManager.checkpoint`` — pristine-state capture.
+CHECKPOINT = "checkpoint"
+#: ``RecoveryManager.recover`` — the microreboot itself.
+RECOVER = "recover"
+
+#: Every op point, in a stable documentation order.
+OP_POINTS = (
+    HYPERCALL,
+    PAGE_FAULT,
+    SOFT_IRQ,
+    SCHED_TICK,
+    USER_WORK,
+    WRITE_WORD,
+    ATTACH_BLOB,
+    ZERO_FRAME,
+    COPY_FRAME,
+    CHECKPOINT,
+    RECOVER,
+)
+
+# ----------------------------------------------------------------------
+# Notify points (mark events; subscribers are plain callables)
+# ----------------------------------------------------------------------
+
+#: Fired at every integrity-scan site (after each hypercall's audit
+#: entry and at the head of every trap delivery) — the successor of
+#: the old ``Xen.integrity_hooks`` list.
+INTEGRITY = "integrity"
+#: Fired after a page-table entry update commits — the successor of
+#: the old ``Xen.pt_update_listeners`` list.
+PT_UPDATE = "pt_update"
+#: Fired when page-table validation walks a table.
+PT_VALIDATE = "pt_validate"
+#: Fired on every general/type reference-count transition.
+FRAME_REF = "frame_ref"
+#: Fired when a frame changes its :class:`~repro.xen.frames.PageType`.
+FRAME_TYPE = "frame_type"
+#: Fired at the start of each executed microreboot phase
+#: (``park`` / ``reboot`` / ``reintegrate`` / ``revalidate``).
+RECOVERY_PHASE = "recovery_phase"
+#: Fired from ``Xen.panic`` after the crash flags are set, before
+#: :class:`~repro.errors.HypervisorCrash` propagates.
+CRASH = "crash"
+
+#: Every notify point, in a stable documentation order.
+NOTIFY_POINTS = (
+    INTEGRITY,
+    PT_UPDATE,
+    PT_VALIDATE,
+    FRAME_REF,
+    FRAME_TYPE,
+    RECOVERY_PHASE,
+    CRASH,
+)
+
+#: All point names (op + notify).
+ALL_POINTS = OP_POINTS + NOTIFY_POINTS

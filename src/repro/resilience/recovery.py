@@ -35,6 +35,7 @@ from repro.core.monitor import (
     IdtIntegrityMonitor,
     PageTableIntegrityMonitor,
 )
+from repro.probes import points as probe_points
 from repro.xen.snapshot import MachineSnapshot, machine_digest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -161,11 +162,21 @@ class RecoveryManager:
         self._checkpoint: Optional[HypervisorCheckpoint] = None
         #: The most recent report, exposed for monitors.
         self.last_report: Optional[RecoveryReport] = None
+        probes = bed.xen.probes
+        self._p_checkpoint = probes.point(probe_points.CHECKPOINT)
+        self._p_recover = probes.point(probe_points.RECOVER)
+        self._p_phase = probes.point(probe_points.RECOVERY_PHASE)
 
     # -- checkpoint -----------------------------------------------------
 
     def checkpoint(self) -> HypervisorCheckpoint:
         """Capture a last-known-good state to microreboot back to."""
+        point = self._p_checkpoint
+        if point.subs:
+            return point.run(self._checkpoint_impl, (), (self,))
+        return self._checkpoint_impl()
+
+    def _checkpoint_impl(self) -> HypervisorCheckpoint:
         xen = self.bed.xen
         checkpoint = HypervisorCheckpoint(
             snapshot=MachineSnapshot.capture(xen.machine),
@@ -182,6 +193,12 @@ class RecoveryManager:
 
     def recover(self, offender: Optional["Domain"] = None) -> RecoveryReport:
         """Attempt one bounded microreboot after a hypervisor crash."""
+        point = self._p_recover
+        if point.subs:
+            return point.run(self._recover_impl, (offender,), (self, offender))
+        return self._recover_impl(offender)
+
+    def _recover_impl(self, offender: Optional["Domain"] = None) -> RecoveryReport:
         xen = self.bed.xen
         banner = xen.crash_banner or ""
         started = self.clock()
@@ -205,8 +222,11 @@ class RecoveryManager:
 
         evidence: List[str] = []
         quarantined: List[int] = []
+        phases = self._p_phase
 
         # Phase 1 — park: quarantine the offender before touching state.
+        if phases.subs:
+            phases.fire("park")
         if offender is not None and not offender.dead:
             offender.dead = True
             xen.scheduler.unregister_domain(offender)
@@ -216,6 +236,8 @@ class RecoveryManager:
             )
 
         # Phase 2 — reboot: roll memory back, clear the crash.
+        if phases.subs:
+            phases.fire("reboot")
         checkpoint = self._checkpoint
         restored_words = checkpoint.snapshot.restore(xen.machine)
         xen.crashed = False
@@ -223,6 +245,8 @@ class RecoveryManager:
         evidence.append(f"rolled back {restored_words} memory words")
 
         # Phase 3 — reintegrate: frame table and p2m follow the memory.
+        if phases.subs:
+            phases.fire("reintegrate")
         xen.frames._info = copy.deepcopy(checkpoint.frame_info)  # noqa: SLF001
         domains_changed = False
         for domain in self.bed.all_domains():
@@ -243,6 +267,8 @@ class RecoveryManager:
         # replay-grade digest check: a faithful rollback must leave the
         # machine at exactly the checkpointed digest (the same value a
         # trace replay of the checkpoint op computes).
+        if phases.subs:
+            phases.fire("revalidate")
         census = frame_type_census(xen)
         census_ok = census == checkpoint.census
         if not census_ok:

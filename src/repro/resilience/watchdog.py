@@ -43,7 +43,17 @@ class WatchdogVerdict:
 
 
 class CrashWatchdog:
-    """Runs trial phases, converting crashes into recovery attempts."""
+    """Runs trial phases, converting crashes into recovery attempts.
+
+    The watchdog also subscribes to the testbed's ``crash`` notify
+    probe, so every panic banner it lived through is on
+    ``observed_crashes`` — including crashes swallowed by guest
+    double-fault handling that never propagate to :meth:`guard`.  The
+    probe fires *inside* ``panic()`` (before the exception unwinds),
+    so it is observation only; the recovery decision stays in
+    :meth:`guard`, which must run after the hypervisor's own crash
+    bookkeeping (audit append, console banner) completes.
+    """
 
     def __init__(
         self,
@@ -51,8 +61,19 @@ class CrashWatchdog:
         manager: Optional[RecoveryManager] = None,
         max_reboots: int = 1,
     ):
+        from repro.probes import points as probe_points
+
         self.bed = bed
         self.manager = manager or RecoveryManager(bed, max_reboots=max_reboots)
+        #: Panic banners observed via the crash probe, oldest first.
+        self.observed_crashes: list = []
+        self._attachment = bed.xen.probes.attach(
+            [(probe_points.CRASH, self.observed_crashes.append)]
+        )
+
+    def detach(self) -> None:
+        """Stop observing the crash probe (idempotent)."""
+        self._attachment.detach()
 
     def checkpoint(self) -> None:
         """Record the last-known-good state to microreboot back to."""

@@ -72,6 +72,12 @@ class JobSpec:
     #: traces land does not change the experiment, so a traced resume
     #: recognises work done by an untraced run and vice versa.
     trace_dir: Optional[str] = None
+    #: Collect per-trial probe metrics (``--metrics``) on campaign
+    #: runs.  Part of the content hash only when enabled: a metricless
+    #: spec hashes exactly as it did before the field existed, so old
+    #: stores stay resumable, while a metrics campaign is its own
+    #: experiment (its payloads carry an extra key).
+    metrics: bool = False
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -82,6 +88,8 @@ class JobSpec:
         """Stable content-derived identifier."""
         fields = asdict(self)
         fields.pop("trace_dir")  # artefact destination, not experiment identity
+        if not fields["metrics"]:
+            fields.pop("metrics")  # keep pre-metrics job IDs stable
         blob = json.dumps(fields, sort_keys=True).encode()
         return f"{self.kind}:{hashlib.sha1(blob).hexdigest()[:16]}"
 
@@ -116,6 +124,7 @@ def plan_campaign(
     modes: Sequence[str] = ("exploit", "injection"),
     recover: bool = False,
     trace_dir: Optional[str] = None,
+    metrics: bool = False,
 ) -> List[JobSpec]:
     """Expand a campaign matrix into jobs, in matrix iteration order."""
     return [
@@ -126,6 +135,7 @@ def plan_campaign(
             mode=m,
             recover=recover,
             trace_dir=trace_dir,
+            metrics=metrics,
         )
         for u in use_cases
         for v in versions
@@ -203,7 +213,11 @@ def _execute_campaign_run(spec: JobSpec) -> Dict[str, object]:
     from repro.exploits import USE_CASE_BY_NAME
     from repro.xen.versions import version_by_name
 
-    result = Campaign(recover=spec.recover, trace_dir=spec.trace_dir).run(
+    result = Campaign(
+        recover=spec.recover,
+        trace_dir=spec.trace_dir,
+        collect_metrics=spec.metrics,
+    ).run(
         USE_CASE_BY_NAME[spec.use_case],
         version_by_name(spec.version),
         Mode(spec.mode),

@@ -88,6 +88,7 @@ def _load_rules() -> None:
     from repro.staticcheck.rules import (  # noqa: F401
         determinism,
         errortaxonomy,
+        instancepatch,
         privilege,
         refcount,
         versiongate,

@@ -1,0 +1,110 @@
+"""R6 — no instance-level method patching of simulator objects.
+
+Before the probe bus existed, observers (the trace recorder, the
+replayer's machine tap) hooked the simulator by *rebinding methods on
+live instances* — ``machine.write_word = wrapper`` — which is
+invisible to readers of the patched class, breaks when two observers
+race for the same slot, and leaks when detach logic misses a path.
+The :mod:`repro.probes` bus replaced every such site with named probe
+points, and this rule keeps the old idiom from creeping back:
+
+* assigning to a **simulator entry-point attribute** on any object
+  other than ``self`` (``bed.xen.hypercall = ...``,
+  ``machine.zero_frame = ...``) is flagged — ``self.recover = recover``
+  style field initialisation stays legal, since a dataclass-ish field
+  that happens to share a method's name is not a patch;
+* the same through **``setattr``** with a constant attribute name
+  (``setattr(machine, "write_word", ...)``).
+
+Scope: everything under ``repro/`` except ``repro/probes/`` itself,
+which owns the one sanctioned interception mechanism.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import RuleContext, rule
+
+#: The probed simulator entry points (see repro.probes.points): the
+#: method slots observers used to patch before the bus existed.
+PATCHABLE_METHODS = frozenset(
+    {
+        "write_word",
+        "attach_blob",
+        "zero_frame",
+        "copy_frame",
+        "hypercall",
+        "deliver_page_fault",
+        "software_interrupt",
+        "tick",
+        "run_user_work",
+        "checkpoint",
+        "recover",
+    }
+)
+
+_HINT = (
+    "subscribe through the probe bus instead: "
+    "bed.probes.attach([(points.<POINT>, subscriber)]) "
+    "(see repro.probes)"
+)
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+@rule(
+    "R6",
+    "instance-patching",
+    "no instance-level rebinding of simulator entry-point methods "
+    "(write_word, hypercall, tick, ...) outside repro/probes — "
+    "observers must subscribe through the probe bus",
+)
+def check_instance_patching(ctx: RuleContext) -> List[Finding]:
+    """R6: flag setattr-style method patching of simulator objects."""
+    if not ctx.in_tree("repro/") or ctx.in_tree("repro/probes/"):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in PATCHABLE_METHODS
+                    and not _is_self(target.value)
+                ):
+                    findings.append(
+                        ctx.finding(
+                            "R6",
+                            target,
+                            f"instance-level patch of simulator method "
+                            f"`.{target.attr}` — invisible hooking the "
+                            "probe bus replaced",
+                            hint=_HINT,
+                        )
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "setattr"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and node.args[1].value in PATCHABLE_METHODS
+                and not _is_self(node.args[0])
+            ):
+                findings.append(
+                    ctx.finding(
+                        "R6",
+                        node,
+                        f"setattr patch of simulator method "
+                        f"`{node.args[1].value!r}` — invisible hooking "
+                        "the probe bus replaced",
+                        hint=_HINT,
+                    )
+                )
+    return findings

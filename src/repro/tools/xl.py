@@ -100,7 +100,9 @@ class XlToolstack:
     def dmesg(self, tail: Optional[int] = None) -> str:
         """``xl dmesg`` — the hypervisor console."""
         self._require_privilege("dmesg")
-        lines = self.xen.console if tail is None else self.xen.console[-tail:]
+        lines = list(self.xen.console)
+        if tail is not None:
+            lines = lines[-tail:]
         return "\n".join(lines)
 
     def console(self, name_or_id: str, tail: Optional[int] = None) -> str:

@@ -1,40 +1,48 @@
-"""Recording a trial: semantic-operation capture via instance hooks.
+"""Recording a trial: semantic-operation capture via the probe bus.
 
-The recorder attaches to one live :class:`~repro.core.testbed.TestBed`
-and intercepts every entry point through which a trial perturbs the
-simulated machine:
+The recorder is a :class:`~repro.probes.bus.ProbeBus` subscriber: it
+attaches to one live :class:`~repro.core.testbed.TestBed` and observes
+every entry point through which a trial perturbs the simulated machine
+(see :mod:`repro.probes.points` for the registry):
 
-* :meth:`Xen.hypercall` — the guest→hypervisor gate (arguments are
-  encoded *before* dispatch, because buffers are out-parameters the
+* ``hypercall`` — the guest→hypervisor gate (arguments are encoded at
+  *enter*, before dispatch, because buffers are out-parameters the
   handlers mutate in place);
-* :meth:`Xen.deliver_page_fault` / :meth:`Xen.software_interrupt` —
-  trap delivery, including the double-fault-to-panic path;
-* :meth:`Scheduler.tick` and every guest kernel's ``run_user_work`` —
-  the scheduler decisions that make deferred effects (vDSO calls)
-  happen;
-* raw :meth:`Machine.write_word` / :meth:`Machine.attach_blob` calls
-  made directly from attack scripts (guest-kernel memory setup);
-* :meth:`RecoveryManager.checkpoint` / ``recover`` when a trial runs
-  under ``--recover`` (via :meth:`TraceRecorder.attach_recovery`).
+* ``page_fault`` / ``soft_irq`` — trap delivery, including the
+  double-fault-to-panic path;
+* ``sched_tick`` and every guest kernel's ``user_work`` — the
+  scheduler decisions that make deferred effects (vDSO calls) happen;
+* raw ``write_word`` / ``attach_blob`` probes fired by calls made
+  directly from attack scripts (guest-kernel memory setup);
+* ``checkpoint`` / ``recover`` when a trial runs a
+  :class:`~repro.resilience.recovery.RecoveryManager` — these records
+  carry *full* machine digests, because a rollback rewrites frames
+  wholesale (bypassing the machine's write probes) and the dirty-set
+  digest cannot see its footprint.
 
-Hooks are installed as *instance* attributes over the bound methods, so
-detaching is simply deleting the attribute — the class is never
-touched, and concurrently running testbeds in the same process are
-unaffected.
+Attachment is all-or-nothing: the batch subscribe either installs
+every subscription or none (:meth:`ProbeBus.attach`), and a failure
+while opening the trace deletes the partial file.  Detaching is one
+:meth:`~repro.probes.bus.Attachment.detach` — no instance attribute
+of any simulator object is ever touched (staticcheck rule R6 keeps it
+that way), and concurrently running testbeds in the same process are
+unaffected because the bus is per-machine.
 
-A depth counter makes recording semantic rather than mechanical: a
-hypercall that internally writes a hundred words records as ONE op;
-the nested machine writes only feed the dirty-frame set whose digests
-the op record carries.  That is what lets the replayer compare state
-op-by-op without recording every word.
+An operation-frame stack makes recording semantic rather than
+mechanical: a hypercall that internally writes a hundred words records
+as ONE op; the nested machine-write probes only feed the dirty-frame
+set whose digests the op record carries.  That is what lets the
+replayer compare state op-by-op without recording every word.
 """
 
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
+from repro.probes import points as P
+from repro.probes.bus import Attachment
 from repro.trace.codec import encode_value
 from repro.trace.format import (
     FULL_DIGEST_EVERY,
@@ -55,52 +63,59 @@ from repro.xen.snapshot import frame_digest, machine_digest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.testbed import TestBed
-    from repro.resilience.recovery import RecoveryManager
 
 
 class MachineTap:
     """Tracks which machine frames a stretch of execution dirties.
 
     Used standalone by the replayer; the recorder embeds the same
-    bookkeeping in its own hooks.  Patch/unpatch is instance-local.
+    bookkeeping in its own subscriber.  Subscribes to the machine's
+    four mutation probes; ``detach`` removes the whole batch.
     """
 
     def __init__(self, machine):
         self.machine = machine
         self.dirty: Set[int] = set()
-        write_word = machine.write_word
-        attach_blob = machine.attach_blob
-        zero_frame = machine.zero_frame
-        copy_frame = machine.copy_frame
+        self._attachment = machine.probes.attach(
+            [
+                (P.WRITE_WORD, self),
+                (P.ATTACH_BLOB, self),
+                (P.ZERO_FRAME, self),
+                (P.COPY_FRAME, self),
+            ]
+        )
 
-        def tapped_write_word(mfn: int, index: int, value: int) -> None:
-            self.dirty.add(mfn)
-            return write_word(mfn, index, value)
+    def op_enter(self, name: str, args: Tuple[Any, ...]) -> None:
+        self.dirty.add(args[1] if name == P.COPY_FRAME else args[0])
 
-        def tapped_attach_blob(mfn: int, index: int, blob: object) -> None:
-            self.dirty.add(mfn)
-            return attach_blob(mfn, index, blob)
-
-        def tapped_zero_frame(mfn: int) -> None:
-            self.dirty.add(mfn)
-            return zero_frame(mfn)
-
-        def tapped_copy_frame(src_mfn: int, dst_mfn: int) -> None:
-            self.dirty.add(dst_mfn)
-            return copy_frame(src_mfn, dst_mfn)
-
-        machine.write_word = tapped_write_word
-        machine.attach_blob = tapped_attach_blob
-        machine.zero_frame = tapped_zero_frame
-        machine.copy_frame = tapped_copy_frame
+    def op_exit(self, name, args, result, exc) -> None:
+        pass
 
     def clear(self) -> None:
         self.dirty = set()
 
     def detach(self) -> None:
-        for name in ("write_word", "attach_blob", "zero_frame", "copy_frame"):
-            if name in self.machine.__dict__:
-                delattr(self.machine, name)
+        self._attachment.detach()
+
+
+#: Which op points the recorder subscribes, and the trace op code each
+#: one records as.  ``zero_frame``/``copy_frame`` are subscribed too
+#: but never produce records — they only feed the dirty set.
+_OP_CODES = {
+    P.HYPERCALL: OP_HYPERCALL,
+    P.PAGE_FAULT: OP_PAGE_FAULT,
+    P.SOFT_IRQ: OP_SOFT_IRQ,
+    P.SCHED_TICK: OP_SCHED_TICK,
+    P.USER_WORK: OP_USER_WORK,
+    P.WRITE_WORD: OP_WRITE_WORD,
+    P.ATTACH_BLOB: OP_ATTACH_BLOB,
+    P.CHECKPOINT: OP_CHECKPOINT,
+    P.RECOVER: OP_RECOVER,
+}
+
+#: Stack sentinel for probe enters that do not open an op record
+#: (nested ops, and the dirty-only frame mutations).
+_PASSTHROUGH = None
 
 
 class TraceRecorder:
@@ -126,7 +141,10 @@ class TraceRecorder:
         self.final_digest: Optional[str] = None
         self._depth = 0
         self._dirty: Set[int] = set()
-        self._patched: List[Tuple[object, str]] = []
+        #: One entry per in-flight probed op: either ``_PASSTHROUGH``
+        #: or ``(op_code, data, force_full)`` for a recording frame.
+        self._stack: List[Optional[Tuple[str, dict, bool]]] = []
+        self._attachment: Optional[Attachment] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -134,32 +152,54 @@ class TraceRecorder:
 
     @property
     def attached(self) -> bool:
-        return bool(self._patched)
+        return self._attachment is not None
 
     def attach(self) -> "TraceRecorder":
-        """Open the trace, write the header, install the hooks."""
+        """Open the trace, write the header, subscribe to the bus.
+
+        All-or-nothing: if the header write or the batch subscribe
+        fails, nothing stays installed and the partial file is
+        deleted.
+        """
         if self.writer is not None:
             raise RuntimeError("recorder already attached")
         self.writer = TraceWriter(self.path)
-        self.writer.write_header(
-            use_case=self.use_case,
-            version=self.version,
-            mode=self.mode,
-            recover=self.recover,
-            initial_digest=machine_digest(self.bed.xen.machine),
-        )
-        self._hook_machine()
-        self._hook_xen()
-        self._hook_scheduler()
-        self._hook_kernels()
+        try:
+            self.writer.write_header(
+                use_case=self.use_case,
+                version=self.version,
+                mode=self.mode,
+                recover=self.recover,
+                initial_digest=machine_digest(self.bed.xen.machine),
+            )
+            self._attachment = self.bed.xen.probes.attach(
+                [
+                    (P.WRITE_WORD, self),
+                    (P.ATTACH_BLOB, self),
+                    (P.ZERO_FRAME, self),
+                    (P.COPY_FRAME, self),
+                    (P.HYPERCALL, self),
+                    (P.PAGE_FAULT, self),
+                    (P.SOFT_IRQ, self),
+                    (P.SCHED_TICK, self),
+                    (P.USER_WORK, self),
+                    (P.CHECKPOINT, self),
+                    (P.RECOVER, self),
+                ]
+            )
+        except BaseException:
+            self.writer.close()
+            self.writer = None
+            if os.path.exists(self.path):
+                os.remove(self.path)
+            raise
         return self
 
     def detach(self) -> None:
-        """Remove every instance hook; the testbed behaves natively again."""
-        for obj, name in reversed(self._patched):
-            if name in obj.__dict__:
-                delattr(obj, name)
-        self._patched = []
+        """Unsubscribe; the testbed behaves natively again."""
+        if self._attachment is not None:
+            self._attachment.detach()
+            self._attachment = None
 
     def finalize(self) -> dict:
         """Write the end record and close; returns the artefact summary."""
@@ -192,185 +232,101 @@ class TraceRecorder:
             os.remove(self.path)
 
     # ------------------------------------------------------------------
-    # Hook installation
+    # Probe subscriber
     # ------------------------------------------------------------------
 
-    def _patch(self, obj: object, name: str, wrapper: Callable) -> None:
-        self._patched.append((obj, name))
-        setattr(obj, name, wrapper)
+    def op_enter(self, name: str, args: Tuple[Any, ...]) -> None:
+        if name == P.ZERO_FRAME:
+            self._dirty.add(args[0])
+            self._stack.append(_PASSTHROUGH)
+            return
+        if name == P.COPY_FRAME:
+            self._dirty.add(args[1])
+            self._stack.append(_PASSTHROUGH)
+            return
+        if self._depth:
+            # Nested inside a recorded op: machine mutations feed the
+            # enclosing op's dirty set, everything else passes through.
+            if name == P.WRITE_WORD or name == P.ATTACH_BLOB:
+                self._dirty.add(args[0])
+            self._stack.append(_PASSTHROUGH)
+            return
+        op, data, pre_dirty, force_full = self._describe(name, args)
+        self._depth += 1
+        self._dirty = set(pre_dirty)
+        self._stack.append((op, data, force_full))
 
-    def _hook_machine(self) -> None:
-        machine = self.bed.xen.machine
-        write_word = machine.write_word
-        attach_blob = machine.attach_blob
-        zero_frame = machine.zero_frame
-        copy_frame = machine.copy_frame
+    def op_exit(
+        self,
+        name: str,
+        args: Tuple[Any, ...],
+        result: Any,
+        exc: Optional[BaseException],
+    ) -> None:
+        frame = self._stack.pop() if self._stack else _PASSTHROUGH
+        if frame is _PASSTHROUGH:
+            return
+        self._depth -= 1
+        op, data, force_full = frame
+        if exc is None:
+            self._emit(op, data, outcome_of_result(result), force_full)
+        elif isinstance(exc, SimulationError):
+            self._emit(op, data, outcome_of_exception(exc), force_full)
+        # Non-simulation exceptions (harness bugs, interrupts) abort
+        # the op without a record, exactly as before the refactor.
 
-        def hooked_write_word(mfn: int, index: int, value: int) -> None:
-            if self._depth:
-                self._dirty.add(mfn)
-                return write_word(mfn, index, value)
-            return self._record(
-                OP_WRITE_WORD,
-                {"mfn": mfn, "word": index, "value": encode_value(value)},
-                lambda: write_word(mfn, index, value),
-                pre_dirty=(mfn,),
-            )
+    def _describe(self, name: str, args: Tuple[Any, ...]):
+        """Build the op record for a top-level probe enter.
 
-        def hooked_attach_blob(mfn: int, index: int, blob: object) -> None:
-            if self._depth:
-                self._dirty.add(mfn)
-                return attach_blob(mfn, index, blob)
-            return self._record(
-                OP_ATTACH_BLOB,
-                {"mfn": mfn, "word": index, "blob": encode_value(blob)},
-                lambda: attach_blob(mfn, index, blob),
-                pre_dirty=(mfn,),
-            )
-
-        def hooked_zero_frame(mfn: int) -> None:
-            self._dirty.add(mfn)
-            return zero_frame(mfn)
-
-        def hooked_copy_frame(src_mfn: int, dst_mfn: int) -> None:
-            self._dirty.add(dst_mfn)
-            return copy_frame(src_mfn, dst_mfn)
-
-        self._patch(machine, "write_word", hooked_write_word)
-        self._patch(machine, "attach_blob", hooked_attach_blob)
-        self._patch(machine, "zero_frame", hooked_zero_frame)
-        self._patch(machine, "copy_frame", hooked_copy_frame)
-
-    def _hook_xen(self) -> None:
-        xen = self.bed.xen
-        hypercall = xen.hypercall
-        deliver_page_fault = xen.deliver_page_fault
-        software_interrupt = xen.software_interrupt
-
-        def hooked_hypercall(domain, number: int, *args) -> int:
-            if self._depth:
-                return hypercall(domain, number, *args)
-            # Encode BEFORE dispatch: read buffers are out-parameters
-            # and struct args (ExchangeArgs) mutate during handling.
+        Runs at *enter* time: hypercall buffers are out-parameters and
+        struct args (ExchangeArgs) mutate during handling, so encoding
+        after dispatch would capture the wrong values.
+        """
+        if name == P.HYPERCALL:
+            domain, number, hargs = args
             data = {
                 "domain": domain.id,
                 "number": number,
-                "args": [encode_value(a) for a in args],
+                "args": [encode_value(a) for a in hargs],
             }
-            return self._record(
-                OP_HYPERCALL, data, lambda: hypercall(domain, number, *args)
-            )
-
-        def hooked_deliver_page_fault(domain, fault) -> None:
-            if self._depth:
-                return deliver_page_fault(domain, fault)
+            return OP_HYPERCALL, data, (), False
+        if name == P.WRITE_WORD:
+            mfn, index, value = args
+            data = {"mfn": mfn, "word": index, "value": encode_value(value)}
+            return OP_WRITE_WORD, data, (mfn,), False
+        if name == P.ATTACH_BLOB:
+            mfn, index, blob = args
+            data = {"mfn": mfn, "word": index, "blob": encode_value(blob)}
+            return OP_ATTACH_BLOB, data, (mfn,), False
+        if name == P.PAGE_FAULT:
+            domain, fault = args
             data = {
                 "domain": domain.id,
                 "va": fault.va,
                 "access": fault.access,
                 "reason": fault.reason,
             }
-            return self._record(
-                OP_PAGE_FAULT, data, lambda: deliver_page_fault(domain, fault)
-            )
-
-        def hooked_software_interrupt(domain, vector: int) -> None:
-            if self._depth:
-                return software_interrupt(domain, vector)
-            data = {"domain": domain.id, "vector": vector}
-            return self._record(
-                OP_SOFT_IRQ, data, lambda: software_interrupt(domain, vector)
-            )
-
-        self._patch(xen, "hypercall", hooked_hypercall)
-        self._patch(xen, "deliver_page_fault", hooked_deliver_page_fault)
-        self._patch(xen, "software_interrupt", hooked_software_interrupt)
-
-    def _hook_scheduler(self) -> None:
-        scheduler = self.bed.xen.scheduler
-        tick = scheduler.tick
-
-        def hooked_tick(ticks: int = 1):
-            if self._depth:
-                return tick(ticks)
-            return self._record(OP_SCHED_TICK, {"ticks": ticks}, lambda: tick(ticks))
-
-        self._patch(scheduler, "tick", hooked_tick)
-
-    def _hook_kernels(self) -> None:
-        for domain in self.bed.all_domains():
-            kernel = domain.kernel
-            if kernel is None:
-                continue
-            self._hook_one_kernel(domain.id, kernel)
-
-    def _hook_one_kernel(self, domain_id: int, kernel) -> None:
-        run_user_work = kernel.run_user_work
-
-        def hooked_run_user_work():
-            if self._depth:
-                return run_user_work()
-            return self._record(
-                OP_USER_WORK, {"domain": domain_id}, run_user_work
-            )
-
-        self._patch(kernel, "run_user_work", hooked_run_user_work)
-
-    def attach_recovery(self, manager: "RecoveryManager") -> None:
-        """Also record the microreboot lifecycle of ``manager``.
-
-        Checkpoint and recover records carry *full* machine digests:
-        a rollback rewrites frames wholesale (bypassing the write
-        hooks), so the dirty-set digest cannot see its footprint.
-        """
-        checkpoint = manager.checkpoint
-        recover = manager.recover
-
-        def hooked_checkpoint():
-            if self._depth:
-                return checkpoint()
-            return self._record(
-                OP_CHECKPOINT,
-                {"max_reboots": manager.max_reboots},
-                checkpoint,
-                force_full=True,
-            )
-
-        def hooked_recover(offender=None):
-            if self._depth:
-                return recover(offender)
+            return OP_PAGE_FAULT, data, (), False
+        if name == P.SOFT_IRQ:
+            domain, vector = args
+            return OP_SOFT_IRQ, {"domain": domain.id, "vector": vector}, (), False
+        if name == P.SCHED_TICK:
+            return OP_SCHED_TICK, {"ticks": args[0]}, (), False
+        if name == P.USER_WORK:
+            return OP_USER_WORK, {"domain": args[0]}, (), False
+        if name == P.CHECKPOINT:
+            (manager,) = args
+            data = {"max_reboots": manager.max_reboots}
+            return OP_CHECKPOINT, data, (), True
+        if name == P.RECOVER:
+            _manager, offender = args
             data = {"offender": None if offender is None else offender.id}
-            return self._record(
-                OP_RECOVER, data, lambda: recover(offender), force_full=True
-            )
-
-        self._patch(manager, "checkpoint", hooked_checkpoint)
-        self._patch(manager, "recover", hooked_recover)
+            return OP_RECOVER, data, (), True
+        raise RuntimeError(f"recorder subscribed to unexpected point {name!r}")
 
     # ------------------------------------------------------------------
-    # The record step
+    # The emit step
     # ------------------------------------------------------------------
-
-    def _record(
-        self,
-        op: str,
-        data: Dict[str, Any],
-        fn: Callable[[], Any],
-        pre_dirty: tuple = (),
-        force_full: bool = False,
-    ):
-        self._depth += 1
-        self._dirty = set(pre_dirty)
-        try:
-            try:
-                result = fn()
-            except SimulationError as exc:
-                self._emit(op, data, outcome_of_exception(exc), force_full)
-                raise
-        finally:
-            self._depth -= 1
-        self._emit(op, data, outcome_of_result(result), force_full)
-        return result
 
     def _emit(self, op: str, data: dict, outcome: dict, force_full: bool) -> None:
         if self.writer is None:  # detached mid-op (e.g. abandon during crash)
@@ -385,3 +341,8 @@ class TraceRecorder:
         if force_full or index % FULL_DIGEST_EVERY == FULL_DIGEST_EVERY - 1:
             full = machine_digest(machine)
         self.writer.write_op(index, op, data, outcome, digests, full)
+
+
+#: Re-exported for introspection/tests: the op-code mapping is part of
+#: the recorder's contract with the replayer.
+OP_CODES_BY_POINT: Dict[str, str] = dict(_OP_CODES)

@@ -126,17 +126,16 @@ class TraceReplayer:
         strict: bool = True,
         testbed_factory: Callable = build_testbed,
         bed_hook: Optional[Callable] = None,
-        recovery_hook: Optional[Callable] = None,
     ):
         self.trace = trace
         self.strict = strict
         self.testbed_factory = testbed_factory
         #: Called with the freshly prepared testbed before any op runs
-        #: (the triage re-recorder attaches its hooks here).
+        #: (the triage re-recorder subscribes to the probe bus here;
+        #: checkpoint/recover probes of the lazily created
+        #: RecoveryManager fire on the same bus, so no extra hook is
+        #: needed for recovery ops).
         self.bed_hook = bed_hook
-        #: Called with the lazily created RecoveryManager, so a
-        #: re-recorder can wrap checkpoint/recover too.
-        self.recovery_hook = recovery_hook
         self.bed: Optional[TestBed] = None
         self._ctx: Optional[DecodeContext] = None
         self._domains: Dict[int, object] = {}
@@ -230,8 +229,6 @@ class TraceReplayer:
             from repro.resilience.recovery import RecoveryManager
 
             self._recovery = RecoveryManager(self.bed, max_reboots=max_reboots)
-            if self.recovery_hook is not None:
-                self.recovery_hook(self._recovery)
         return self._recovery
 
     # -- the run --------------------------------------------------------

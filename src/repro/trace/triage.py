@@ -181,7 +181,6 @@ def write_minimized(
         strict=False,
         testbed_factory=testbed_factory,
         bed_hook=attach_recorder,
-        recovery_hook=lambda manager: holder["recorder"].attach_recovery(manager),
     )
     replayer.run()
     return holder["recorder"].finalize()

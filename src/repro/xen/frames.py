@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.errors import EBUSY, EINVAL, EPERM, HypercallError
+from repro.probes import points as probe_points
 from repro.xen.machine import Machine
 
 
@@ -80,6 +81,8 @@ class FrameTable:
     def __init__(self, machine: Machine):
         self.machine = machine
         self._info: Dict[int, PageInfo] = {}
+        self._p_frame_ref = machine.probes.point(probe_points.FRAME_REF)
+        self._p_frame_type = machine.probes.point(probe_points.FRAME_TYPE)
 
     def info(self, mfn: int) -> PageInfo:
         self.machine.check_mfn(mfn)
@@ -117,12 +120,18 @@ class FrameTable:
                 EPERM, f"mfn {mfn:#x} owned by d{record.owner}, not d{domid}"
             )
         record.count += 1
+        point = self._p_frame_ref
+        if point.subs:
+            point.fire("get", mfn, record.count)
 
     def put_page(self, mfn: int) -> None:
         record = self.info(mfn)
         if record.count <= 0:
             raise HypercallError(EINVAL, f"mfn {mfn:#x} reference underflow")
         record.count -= 1
+        point = self._p_frame_ref
+        if point.subs:
+            point.fire("put", mfn, record.count)
 
     # -- typed references --------------------------------------------------------
 
@@ -144,9 +153,16 @@ class FrameTable:
         if record.type_count == 0 or record.type == PageType.NONE:
             if wanted.is_pagetable and validator is not None:
                 validator(mfn, wanted.level)
+            old_type = record.type
             record.type = wanted
             record.type_count = 1
             record.validated = wanted.is_pagetable
+            point = self._p_frame_type
+            if point.subs:
+                point.fire(mfn, old_type, wanted)
+            refs = self._p_frame_ref
+            if refs.subs:
+                refs.fire("get_type", mfn, record.type_count)
             return
         if record.type != wanted:
             raise HypercallError(
@@ -155,15 +171,25 @@ class FrameTable:
                 f"(refs={record.type_count}), wanted {wanted.value}",
             )
         record.type_count += 1
+        point = self._p_frame_ref
+        if point.subs:
+            point.fire("get_type", mfn, record.type_count)
 
     def put_page_type(self, mfn: int) -> None:
         record = self.info(mfn)
         if record.type_count <= 0:
             raise HypercallError(EINVAL, f"mfn {mfn:#x} type underflow")
         record.type_count -= 1
+        point = self._p_frame_ref
+        if point.subs:
+            point.fire("put_type", mfn, record.type_count)
         if record.type_count == 0 and not record.pinned:
+            old_type = record.type
             record.type = PageType.NONE
             record.validated = False
+            types = self._p_frame_type
+            if types.subs:
+                types.fire(mfn, old_type, PageType.NONE)
 
     # -- pinning --------------------------------------------------------------
 

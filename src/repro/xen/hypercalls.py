@@ -208,8 +208,9 @@ class HypercallTable:
             level, old_entry, table_mfn
         ):
             xen.validation.put_entry_ref(level, old_entry)
-        for listener in xen.pt_update_listeners:
-            listener(table_mfn, index, update.val)
+        point = xen._p_pt_update
+        if point.subs:
+            point.fire(table_mfn, index, update.val)
 
     def _machphys_update(self, domain: "Domain", update: MmuUpdate) -> None:
         xen = self.xen

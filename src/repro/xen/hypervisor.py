@@ -15,7 +15,8 @@
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import (
     EBUSY,
@@ -25,6 +26,7 @@ from repro.errors import (
     HypervisorCrash,
     HypervisorFault,
 )
+from repro.probes import points as probe_points
 from repro.xen import constants as C
 from repro.xen import layout
 from repro.xen.addrspace import Access, AddressSpace
@@ -40,6 +42,14 @@ from repro.xen.payload import Payload, XenStub
 from repro.xen.validation import PageTableValidation
 from repro.xen.versions import Hardening, XenVersion
 
+#: Bounded log/audit capacities.  Long fuzz campaigns must not grow
+#: memory without limit; the limits are generous enough that no single
+#: trial ever evicts an entry (the longest recorded campaigns emit a
+#: few thousand console lines and a few tens of thousands of audit
+#: tuples), so digests, traces and replay are unaffected.
+CONSOLE_MAXLEN = 20_000
+AUDIT_MAXLEN = 200_000
+
 
 class Xen:
     """One booted instance of the simulated hypervisor."""
@@ -52,23 +62,32 @@ class Xen:
     ):
         self.version = version
         self.machine = machine if machine is not None else Machine()
+        #: The machine's probe bus — the single interception surface
+        #: every observer (recorder, guards, watchdog, metrics)
+        #: subscribes to.  See :mod:`repro.probes`.
+        self.probes = self.machine.probes
+        self._p_hypercall = self.probes.point(probe_points.HYPERCALL)
+        self._p_page_fault = self.probes.point(probe_points.PAGE_FAULT)
+        self._p_soft_irq = self.probes.point(probe_points.SOFT_IRQ)
+        #: Integrity-scan notify point: fired after every hypercall's
+        #: audit entry and before every trap delivery — the probe-bus
+        #: successor of the old ``integrity_hooks`` list.
+        self._p_integrity = self.probes.point(probe_points.INTEGRITY)
+        #: Legitimate page-table-update notify point (baselines of
+        #: integrity guards follow validated changes through it).
+        self._p_pt_update = self.probes.point(probe_points.PT_UPDATE)
+        self._p_crash = self.probes.point(probe_points.CRASH)
         self.frames = FrameTable(self.machine)
         self.addrspace = AddressSpace(self)
         self.validation = PageTableValidation(self)
-        self.console: List[str] = []
+        self.console: Deque[str] = deque(maxlen=CONSOLE_MAXLEN)
         #: Hypercall audit trail: ``(domain_id, number, rc)`` per call.
         #: This is the monitoring surface a defender would tap — and
         #: what makes the injector's intrusiveness measurable (§IX-D).
-        self.audit: List[Tuple[int, int, int]] = []
+        self.audit: Deque[Tuple[int, int, int]] = deque(maxlen=AUDIT_MAXLEN)
         self.crashed = False
         self.crash_banner: Optional[str] = None
         self.domains: Dict[int, Domain] = {}
-        #: Defence hooks: run after every hypercall and before every
-        #: trap delivery (integrity-checking mechanisms register here).
-        self.integrity_hooks: List = []
-        #: Listeners notified of every *legitimate* page-table update
-        #: (so integrity baselines follow validated changes).
-        self.pt_update_listeners: List = []
         self._domid_counter = itertools.count(C.DOM0_ID)
         self.num_pcpus = num_pcpus
 
@@ -174,6 +193,9 @@ class Xen:
             self.log(line)
         self.crashed = True
         self.crash_banner = reason
+        point = self._p_crash
+        if point.subs:
+            point.fire(reason)
         raise HypervisorCrash(reason)
 
     # ------------------------------------------------------------------
@@ -242,6 +264,16 @@ class Xen:
     def hypercall(self, domain: Domain, number: int, *args) -> int:
         """The guest→hypervisor gate.  Returns 0/positive on success or
         a negative errno, like the real ABI."""
+        point = self._p_hypercall
+        if point.subs:
+            return point.run(
+                self._hypercall_impl,
+                (domain, number) + args,
+                (domain, number, args),
+            )
+        return self._hypercall_impl(domain, number, *args)
+
+    def _hypercall_impl(self, domain: Domain, number: int, *args) -> int:
         self.check_alive()
         if domain.dead:
             raise HypercallError(EFAULT, f"domain d{domain.id} is dead")
@@ -251,12 +283,8 @@ class Xen:
             self.audit.append((domain.id, number, -1))
             raise
         self.audit.append((domain.id, number, rc))
-        self.run_integrity_hooks()
+        self._p_integrity.fire()
         return rc
-
-    def run_integrity_hooks(self) -> None:
-        for hook in self.integrity_hooks:
-            hook()
 
     # ------------------------------------------------------------------
     # Trap delivery
@@ -279,8 +307,14 @@ class Xen:
         corrupted gate the CPU double-faults and Xen panics — the
         XSA-212-crash security violation.
         """
+        point = self._p_page_fault
+        if point.subs:
+            return point.run(self._deliver_page_fault_impl, (domain, fault))
+        return self._deliver_page_fault_impl(domain, fault)
+
+    def _deliver_page_fault_impl(self, domain: Domain, fault: GuestFault) -> None:
         self.check_alive()
-        self.run_integrity_hooks()
+        self._p_integrity.fire()
         idt = self.idt(0)
         handler_va = idt.handler(C.TRAP_PAGE_FAULT)
         if handler_va is None:
@@ -311,8 +345,14 @@ class Xen:
 
     def software_interrupt(self, domain: Domain, vector: int) -> None:
         """Guest executed ``int <vector>``: dispatch through the IDT."""
+        point = self._p_soft_irq
+        if point.subs:
+            return point.run(self._software_interrupt_impl, (domain, vector))
+        return self._software_interrupt_impl(domain, vector)
+
+    def _software_interrupt_impl(self, domain: Domain, vector: int) -> None:
         self.check_alive()
-        self.run_integrity_hooks()
+        self._p_integrity.fire()
         idt = self.idt(0)
         handler_va = idt.handler(vector)
         if handler_va is None:

@@ -21,6 +21,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import MachineError
+from repro.probes import points as probe_points
+from repro.probes.bus import ProbeBus
 from repro.xen.constants import PAGE_SHIFT, PAGE_SIZE, WORDS_PER_PAGE
 
 _WORD_MASK = (1 << 64) - 1
@@ -49,6 +51,15 @@ class Machine:
         self._blobs: Dict[Tuple[int, int], object] = {}
         self._free: List[int] = list(range(num_frames - 1, -1, -1))
         self._allocated: set = set()
+        #: The probe bus of this machine (shared with the ``Xen`` built
+        #: on it).  The mutating memory operations below are compiled
+        #: against cached point objects: with no subscribers the probe
+        #: layer costs one attribute load and one truthiness test.
+        self.probes = ProbeBus()
+        self._p_write_word = self.probes.point(probe_points.WRITE_WORD)
+        self._p_attach_blob = self.probes.point(probe_points.ATTACH_BLOB)
+        self._p_zero_frame = self.probes.point(probe_points.ZERO_FRAME)
+        self._p_copy_frame = self.probes.point(probe_points.COPY_FRAME)
 
     # -- geometry ----------------------------------------------------------
 
@@ -114,6 +125,12 @@ class Machine:
 
     def write_word(self, mfn: int, index: int, value: int) -> None:
         """Write a 64-bit word; any blob previously at that word is destroyed."""
+        point = self._p_write_word
+        if point.subs:
+            return point.run(self._write_word_impl, (mfn, index, value))
+        return self._write_word_impl(mfn, index, value)
+
+    def _write_word_impl(self, mfn: int, index: int, value: int) -> None:
         self._check_index(index)
         frame = self._frame(mfn)
         frame[index] = value & _WORD_MASK
@@ -127,6 +144,12 @@ class Machine:
             self.write_word(mfn, start + i, value)
 
     def zero_frame(self, mfn: int) -> None:
+        point = self._p_zero_frame
+        if point.subs:
+            return point.run(self._zero_frame_impl, (mfn,))
+        return self._zero_frame_impl(mfn)
+
+    def _zero_frame_impl(self, mfn: int) -> None:
         self.check_mfn(mfn)
         self._frames.pop(mfn, None)
         stale = [key for key in self._blobs if key[0] == mfn]
@@ -134,6 +157,14 @@ class Machine:
             del self._blobs[key]
 
     def copy_frame(self, src_mfn: int, dst_mfn: int) -> None:
+        point = self._p_copy_frame
+        if point.subs:
+            return point.run(self._copy_frame_impl, (src_mfn, dst_mfn))
+        return self._copy_frame_impl(src_mfn, dst_mfn)
+
+    def _copy_frame_impl(self, src_mfn: int, dst_mfn: int) -> None:
+        # Clear through the public method: the nested zero_frame probe
+        # must fire, exactly as the pre-refactor instance hooks saw it.
         self.zero_frame(dst_mfn)
         if src_mfn in self._frames:
             self._frames[dst_mfn] = self._frames[src_mfn].copy()
@@ -170,6 +201,12 @@ class Machine:
         Writes the blob marker word so that memory reads observe that
         *something* was written there.
         """
+        point = self._p_attach_blob
+        if point.subs:
+            return point.run(self._attach_blob_impl, (mfn, index, blob))
+        return self._attach_blob_impl(mfn, index, blob)
+
+    def _attach_blob_impl(self, mfn: int, index: int, blob: object) -> None:
         self._check_index(index)
         frame = self._frame(mfn)
         frame[index] = BLOB_MARKER & _WORD_MASK

@@ -56,6 +56,9 @@ class Scheduler:
         self._accounts: Dict[Tuple[int, int], VcpuAccount] = {}
         self._ticks = 0
         self.trace: List[Tuple[int, int, int]] = []  # (tick, domain, vcpu)
+        from repro.probes import points as probe_points
+
+        self._p_tick = xen.probes.point(probe_points.SCHED_TICK)
 
     # ------------------------------------------------------------------
     # Registration
@@ -107,6 +110,12 @@ class Scheduler:
         vCPU (consuming one credit) or — if its ring-0 context is
         spinning — starves.  Credits refill every accounting period.
         """
+        point = self._p_tick
+        if point.subs:
+            return point.run(self._tick_impl, (ticks,))
+        return self._tick_impl(ticks)
+
+    def _tick_impl(self, ticks: int) -> None:
         for _ in range(ticks):
             self._ticks += 1
             if self._ticks % PERIOD_TICKS == 0:

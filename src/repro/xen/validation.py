@@ -52,6 +52,9 @@ class PageTableValidation:
     def __init__(self, xen: "Xen"):
         self.xen = xen
         self._validating: Set[int] = set()
+        from repro.probes import points as probe_points
+
+        self._p_pt_validate = xen.probes.point(probe_points.PT_VALIDATE)
 
     # ------------------------------------------------------------------
     # Entry points
@@ -71,6 +74,9 @@ class PageTableValidation:
         Takes one typed reference per present intermediate entry; on
         failure, the references already taken are rolled back so the
         table ends exactly as it started."""
+        point = self._p_pt_validate
+        if point.subs:
+            point.fire(domain.id, mfn, level)
         if mfn in self._validating:
             raise HypercallError(
                 EINVAL, f"circular page-table reference through mfn {mfn:#x}"

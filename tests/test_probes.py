@@ -1,0 +1,420 @@
+"""Tests for ``repro.probes`` — the probe bus the simulator's hot
+paths are compiled against.
+
+The properties under test:
+
+* the bus dispatches in subscription order (exits reversed), installs
+  batches all-or-nothing, and detaches idempotently;
+* an empty bus — and a bus carrying only passive observers — changes
+  *nothing* about simulator behaviour (hypothesis property over
+  randomized workloads);
+* every shipped observer (trace recorder, integrity guards, crash
+  watchdog, metrics collector) composes on one testbed at once, and
+  detaching any of them mid-trial is safe;
+* metric counters are deterministic across identical runs and only
+  the counters half survives serialization.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.report import (
+    aggregate_metrics,
+    render_markdown_report,
+    result_to_dict,
+    run_result_from_dict,
+)
+from repro.cli import main as cli_main
+from repro.core.campaign import Campaign, Mode
+from repro.core.testbed import build_testbed
+from repro.defenses.guards import GuardMode, IdtGuard, PageTableGuard, deploy, withdraw
+from repro.errors import DoubleFault, HypervisorCrash
+from repro.exploits import XSA182Test, XSA212Crash
+from repro.probes import MetricsCollector, ProbeBus, ProbeError, points
+from repro.resilience.watchdog import CrashWatchdog
+from repro.runner import ResultStore, SerialRunner
+from repro.runner.jobs import JobSpec, plan_campaign
+from repro.trace import TraceRecorder, replay_trace
+from repro.xen.snapshot import machine_digest
+from repro.xen.versions import XEN_4_6, XEN_4_13
+
+CRASHES = (HypervisorCrash, DoubleFault)
+
+
+class Logbook:
+    """An op subscriber that journals every callback it receives."""
+
+    def __init__(self, tag, log):
+        self.tag = tag
+        self.log = log
+
+    def op_enter(self, name, args):
+        self.log.append(("enter", self.tag, name))
+
+    def op_exit(self, name, args, result, exc):
+        self.log.append(("exit", self.tag, name))
+
+
+class NoopObserver:
+    """Subscribes everywhere, observes nothing, changes nothing."""
+
+    def op_enter(self, name, args):
+        pass
+
+    def op_exit(self, name, args, result, exc):
+        pass
+
+    def notify(self, *args):
+        pass
+
+    def attach(self, bus):
+        pairs = [(name, self) for name in points.OP_POINTS]
+        pairs += [(name, self.notify) for name in points.NOTIFY_POINTS]
+        return bus.attach(pairs)
+
+
+class TestBusMechanics:
+    def test_unknown_point_is_typed(self):
+        bus = ProbeBus()
+        with pytest.raises(ProbeError, match="unknown probe point"):
+            bus.point("no_such_point")
+
+    def test_op_point_rejects_plain_callable(self):
+        bus = ProbeBus()
+        with pytest.raises(ProbeError, match="op_enter/op_exit"):
+            bus.subscribe(points.HYPERCALL, lambda *a: None)
+
+    def test_notify_point_rejects_non_callable(self):
+        bus = ProbeBus()
+        with pytest.raises(ProbeError, match="callable"):
+            bus.subscribe(points.CRASH, object())
+
+    def test_enters_in_order_exits_reversed(self):
+        bus = ProbeBus()
+        log = []
+        bus.subscribe(points.SCHED_TICK, Logbook("a", log))
+        bus.subscribe(points.SCHED_TICK, Logbook("b", log))
+        bus.point(points.SCHED_TICK).run(lambda: None, ())
+        assert log == [
+            ("enter", "a", "sched_tick"),
+            ("enter", "b", "sched_tick"),
+            ("exit", "b", "sched_tick"),
+            ("exit", "a", "sched_tick"),
+        ]
+
+    def test_exception_reaches_every_subscriber_then_propagates(self):
+        bus = ProbeBus()
+        log = []
+        bus.subscribe(points.SCHED_TICK, Logbook("a", log))
+
+        def boom():
+            raise HypervisorCrash("bang")
+
+        with pytest.raises(HypervisorCrash):
+            bus.point(points.SCHED_TICK).run(boom, ())
+        assert log == [
+            ("enter", "a", "sched_tick"),
+            ("exit", "a", "sched_tick"),
+        ]
+
+    def test_attach_is_all_or_nothing(self):
+        bus = ProbeBus()
+        good = NoopObserver()
+        with pytest.raises(ProbeError):
+            bus.attach(
+                [
+                    (points.WRITE_WORD, good),
+                    (points.HYPERCALL, good),
+                    # A plain lambda cannot subscribe an op point, so
+                    # the whole batch must be refused...
+                    (points.SCHED_TICK, lambda *a: None),
+                ]
+            )
+        # ...and the two valid pairs must not have been installed.
+        for name in points.ALL_POINTS:
+            assert bus.subscribers(name) == ()
+
+    def test_attach_detach_is_idempotent_and_ordered(self):
+        bus = ProbeBus()
+        observer = NoopObserver()
+        attachment = observer.attach(bus)
+        assert attachment.active
+        assert bus.subscribers(points.HYPERCALL) == (observer,)
+        attachment.detach()
+        attachment.detach()  # second detach is a no-op
+        assert not attachment.active
+        for name in points.ALL_POINTS:
+            assert bus.subscribers(name) == ()
+
+    def test_unsubscribe_matches_identity(self):
+        bus = ProbeBus()
+        first, second = NoopObserver(), NoopObserver()
+        bus.subscribe(points.WRITE_WORD, first)
+        bus.subscribe(points.WRITE_WORD, second)
+        bus.unsubscribe(points.WRITE_WORD, first)
+        assert bus.subscribers(points.WRITE_WORD) == (second,)
+        bus.unsubscribe(points.WRITE_WORD, first)  # absent: no-op
+        assert bus.subscribers(points.WRITE_WORD) == (second,)
+
+    def test_detach_mid_op_still_sees_op_exit(self):
+        bus = ProbeBus()
+        log = []
+
+        class SelfDetaching(Logbook):
+            def op_enter(self, name, args):
+                super().op_enter(name, args)
+                self.attachment.detach()
+
+        sub = SelfDetaching("s", log)
+        sub.attachment = bus.attach([(points.SCHED_TICK, sub)])
+        bus.point(points.SCHED_TICK).run(lambda: 42, ())
+        # The snapshot taken before the first enter guarantees the
+        # exit callback even though the subscriber removed itself.
+        assert log == [
+            ("enter", "s", "sched_tick"),
+            ("exit", "s", "sched_tick"),
+        ]
+        assert bus.subscribers(points.SCHED_TICK) == ()
+        bus.point(points.SCHED_TICK).run(lambda: 42, ())
+        assert len(log) == 2  # no further observation
+
+
+def _run_workload(bed, actions):
+    """A deterministic machine workload driven by a small int list."""
+    attacker = bed.attacker_domain
+    mfn_a = attacker.pfn_to_mfn(4)
+    mfn_b = attacker.pfn_to_mfn(5)
+    for index, action in enumerate(actions):
+        kind = action % 4
+        if kind == 0:
+            bed.tick(1)
+        elif kind == 1:
+            bed.xen.machine.write_word(mfn_a, action % 512, action * 7)
+        elif kind == 2:
+            bed.xen.machine.zero_frame(mfn_b)
+        else:
+            bed.xen.machine.copy_frame(mfn_a, mfn_b)
+
+
+class TestObserverNeutrality:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=12))
+    def test_passive_observers_change_nothing(self, actions):
+        native = build_testbed(XEN_4_13)
+        observed = build_testbed(XEN_4_13)
+        attachment = NoopObserver().attach(observed.probes)
+        _run_workload(native, actions)
+        _run_workload(observed, actions)
+        attachment.detach()
+        assert machine_digest(native.xen.machine) == machine_digest(
+            observed.xen.machine
+        )
+        assert list(native.xen.console) == list(observed.xen.console)
+        assert list(native.xen.audit) == list(observed.xen.audit)
+
+    def test_attach_detach_cycle_leaves_no_residue(self):
+        bed = build_testbed(XEN_4_13)
+        NoopObserver().attach(bed.probes).detach()
+        MetricsCollector(bed.probes).attach().detach()
+        for name in points.ALL_POINTS:
+            assert bed.probes.subscribers(name) == ()
+
+
+class TestComposition:
+    def test_all_observers_compose_on_one_testbed(self, tmp_path):
+        bed = build_testbed(XEN_4_6)
+        use_case = XSA212Crash()
+        use_case.prepare(bed)
+        trace_path = str(tmp_path / "composed.trace")
+        recorder = TraceRecorder(
+            bed,
+            trace_path,
+            use_case="XSA-212-crash",
+            version="4.6",
+            mode="exploit",
+            recover=True,
+        ).attach()
+        collector = MetricsCollector(bed.probes).attach()
+        guard = IdtGuard(bed.xen, mode=GuardMode.DETECT)
+        deploy(bed.xen, guard)
+        watchdog = CrashWatchdog(bed, max_reboots=1)
+        watchdog.checkpoint()
+
+        verdict = watchdog.guard(lambda: use_case.run_exploit(bed))
+
+        assert verdict.crashed and verdict.recovered
+        assert watchdog.observed_crashes  # the crash probe fired
+        assert guard.triggered  # the integrity probe fed the guard
+        snapshot = collector.snapshot()
+        assert snapshot["counters"]["ops.hypercall"] >= 1
+        assert snapshot["counters"]["crashes"] >= 1
+        assert snapshot["counters"]["integrity.scans"] >= 1
+        assert any(
+            key.startswith("recovery.phase.") for key in snapshot["counters"]
+        )
+
+        collector.detach()
+        withdraw(guard)
+        watchdog.detach()
+        summary = recorder.finalize()
+        assert summary["ops"] >= 3
+        # With every other observer gone the bus must be empty again.
+        for name in points.ALL_POINTS:
+            assert bed.probes.subscribers(name) == ()
+        # The composed trace replays faithfully: the co-resident
+        # observers left no mark on the recording.
+        outcome = replay_trace(trace_path)
+        assert outcome.faithful
+
+    def test_detaching_one_observer_mid_trial_keeps_the_rest(self):
+        bed = build_testbed(XEN_4_13)
+        first = MetricsCollector(bed.probes).attach()
+        second = MetricsCollector(bed.probes).attach()
+        bed.tick(1)
+        first.detach()
+        bed.tick(1)
+        assert first.snapshot()["counters"]["ops.sched_tick"] == 1
+        assert second.snapshot()["counters"]["ops.sched_tick"] == 2
+        second.detach()
+
+    def test_recorder_attach_failure_installs_nothing(self, tmp_path, monkeypatch):
+        bed = build_testbed(XEN_4_13)
+        recorder = TraceRecorder(bed, str(tmp_path / "never.trace"))
+        import repro.trace.recorder as recorder_mod
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(
+            recorder_mod.TraceWriter, "write_header", explode
+        )
+        with pytest.raises(OSError):
+            recorder.attach()
+        assert not recorder.attached
+        assert not (tmp_path / "never.trace").exists()
+        for name in points.ALL_POINTS:
+            assert bed.probes.subscribers(name) == ()
+
+
+class TestMetrics:
+    def run_with_metrics(self):
+        return Campaign(collect_metrics=True).run(
+            XSA182Test, XEN_4_6, Mode.INJECTION
+        )
+
+    def test_counters_are_deterministic(self):
+        first = self.run_with_metrics()
+        second = self.run_with_metrics()
+        assert first.metrics is not None
+        assert first.metrics["counters"] == second.metrics["counters"]
+        assert list(first.metrics["counters"]) == sorted(
+            first.metrics["counters"]
+        )
+
+    def test_only_counters_survive_serialization(self):
+        result = self.run_with_metrics()
+        payload = result_to_dict(result)
+        assert set(payload["metrics"]) == {"counters"}
+        restored = run_result_from_dict(payload)
+        assert restored.metrics["counters"] == result.metrics["counters"]
+        rendered = render_markdown_report([restored], "metered")
+        assert "## Metrics" in rendered
+
+    def test_metricless_payloads_are_unchanged(self):
+        result = Campaign().run(XSA182Test, XEN_4_6, Mode.INJECTION)
+        assert result.metrics is None
+        assert "metrics" not in result_to_dict(result)
+
+    def test_aggregate_metrics_sums_counters(self):
+        result = self.run_with_metrics()
+        aggregate = aggregate_metrics([result, result])
+        assert aggregate["runs"] == 2
+        key = next(iter(aggregate["counters"]))
+        assert aggregate["counters"][key] == 2 * result.metrics["counters"][key]
+
+    def test_job_id_stable_without_metrics(self):
+        plain = JobSpec(kind="campaign-run", use_case="VENOM", version="4.6")
+        off = JobSpec(
+            kind="campaign-run", use_case="VENOM", version="4.6", metrics=False
+        )
+        on = JobSpec(
+            kind="campaign-run", use_case="VENOM", version="4.6", metrics=True
+        )
+        assert plain.job_id == off.job_id
+        assert on.job_id != off.job_id
+
+    def test_metrics_flow_through_runner_and_cli(self, tmp_path, capsys):
+        store_path = str(tmp_path / "metered.sqlite")
+        specs = plan_campaign(
+            ["XSA-182-test"], ["4.6"], ["injection"], metrics=True
+        )
+        with ResultStore(store_path) as store:
+            SerialRunner(retries=0).run(specs, store=store)
+        json_path = str(tmp_path / "metrics.json")
+        assert cli_main(["metrics", store_path, "--json", json_path]) == 0
+        out = capsys.readouterr().out
+        assert "1 metered run(s)" in out
+        payload = json.loads(open(json_path).read())
+        assert payload["runs"] == 1
+        assert payload["counters"]["ops.hypercall"] >= 1
+
+    def test_cli_metrics_on_metricless_store_exits_one(self, tmp_path, capsys):
+        store_path = str(tmp_path / "plain.sqlite")
+        specs = plan_campaign(["XSA-182-test"], ["4.6"], ["injection"])
+        with ResultStore(store_path) as store:
+            SerialRunner(retries=0).run(specs, store=store)
+        assert cli_main(["metrics", store_path]) == 1
+
+    def test_cli_run_prints_metrics(self, capsys):
+        rc = cli_main(
+            [
+                "run",
+                "--use-case",
+                "XSA-182-test",
+                "--version",
+                "4.6",
+                "--mode",
+                "injection",
+                "--metrics",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "--- metrics ---" in out
+        assert "ops.hypercall" in out
+
+
+class TestGuardsOnTheBus:
+    def test_pagetable_guard_follows_validated_updates(self):
+        # A deployed RESTORE-mode guard must not fight legitimate
+        # mmu_update traffic: the pt_update probe refreshes the
+        # baseline, so ordinary guest work raises no alerts.
+        bed = build_testbed(XEN_4_13)
+        guard = PageTableGuard(bed.xen, mode=GuardMode.RESTORE)
+        deploy(bed.xen, guard)
+        bed.tick(2)
+        assert guard.scans > 0
+        assert not guard.triggered
+        withdraw(guard)
+
+    def test_withdrawn_guard_stops_scanning(self):
+        from repro.xen import constants as C
+
+        bed = build_testbed(XEN_4_13)
+        guard = IdtGuard(bed.xen, mode=GuardMode.DETECT)
+        deploy(bed.xen, guard)
+        # A hypercall return is an integrity point, so the probe must
+        # drive one scan on top of deploy's adoption scan.
+        bed.xen.hypercall(
+            bed.attacker_domain, C.HYPERCALL_CONSOLE_IO, "probe check"
+        )
+        scans = guard.scans
+        assert scans > 1
+        withdraw(guard)
+        bed.xen.hypercall(
+            bed.attacker_domain, C.HYPERCALL_CONSOLE_IO, "after withdraw"
+        )
+        assert guard.scans == scans

@@ -36,8 +36,8 @@ def rule_ids(result: CheckResult):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert set(RULE_REGISTRY) == {"R1", "R2", "R3", "R4", "R5"}
+    def test_all_six_rules_registered(self):
+        assert set(RULE_REGISTRY) == {"R1", "R2", "R3", "R4", "R5", "R6"}
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(KeyError, match="unknown rule"):
@@ -423,6 +423,78 @@ class TestVersionGate:
         assert result.findings == []
 
 
+class TestInstancePatching:
+    """R6: simulator entry points are hooked via the probe bus, never
+    by rebinding methods on live instances."""
+
+    def test_attribute_patch_caught(self):
+        result = check(
+            """
+            def hook(machine, recorder):
+                machine.write_word = recorder.wrap(machine.write_word)
+            """,
+            CORE_PATH,
+        )
+        assert rule_ids(result) == ["R6"]
+        assert "write_word" in result.findings[0].message
+        assert "probe bus" in result.findings[0].hint
+
+    def test_setattr_patch_caught(self):
+        result = check(
+            """
+            def hook(xen, wrapper):
+                setattr(xen, "hypercall", wrapper)
+            """,
+            CORE_PATH,
+        )
+        assert rule_ids(result) == ["R6"]
+
+    def test_self_field_assignment_is_clean(self):
+        # Campaign.__init__ stores a `recover` flag; a field that
+        # shares an entry point's name is not a patch.
+        result = check(
+            """
+            class Campaign:
+                def __init__(self, recover=False):
+                    self.recover = recover
+                    self.checkpoint = None
+            """,
+            CORE_PATH,
+        )
+        assert result.findings == []
+
+    def test_probes_package_itself_exempt(self):
+        result = check(
+            """
+            def install(owner, wrapped):
+                owner.write_word = wrapped
+            """,
+            "src/repro/probes/fixture.py",
+        )
+        assert result.findings == []
+
+    def test_out_of_tree_path_ignored(self):
+        result = check(
+            """
+            def hook(machine, wrapper):
+                machine.write_word = wrapper
+            """,
+            "tools/fixture.py",
+        )
+        assert result.findings == []
+
+    def test_waiver_suppresses(self):
+        result = check(
+            """
+            def hook(machine, wrapper):
+                machine.write_word = wrapper  # staticcheck: ignore[R6] legacy-recorder fixture
+            """,
+            CORE_PATH,
+        )
+        assert result.findings == []
+        assert len(result.waived) == 1
+
+
 class TestWaivers:
     def test_parse_both_forms(self):
         waivers = parse_waivers(
@@ -525,7 +597,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert cli_main(["staticcheck", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
             assert rule_id in out
 
     def test_clean_file_exits_zero(self, tmp_path, capsys):
