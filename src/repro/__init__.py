@@ -35,6 +35,11 @@ The package is organised in layers:
 
 ``repro.analysis``
     Renderers for the paper's tables.
+
+``repro.vulngen``
+    The synthetic injectable-vulnerability corpus (SPEC-RG taxonomy,
+    version-gated, deterministic) and coverage-guided fuzz scheduling
+    over it.
 """
 
 from repro.core.benchmarking import SecurityBenchmark

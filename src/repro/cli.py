@@ -104,7 +104,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("versions", help="shipped hypervisor configurations")
 
     run = sub.add_parser("run", help="one experiment run")
-    run.add_argument("--use-case", required=True, choices=sorted(USE_CASE_BY_NAME))
+    run.add_argument(
+        "--use-case", required=True, metavar="NAME",
+        help=f"one of {', '.join(sorted(USE_CASE_BY_NAME))}, or a "
+             "synthetic corpus id (syn-<seed>-<index>-<class>)",
+    )
     run.add_argument("--version", required=True, help="4.6 / 4.8 / 4.13 / 4.16")
     run.add_argument(
         "--mode", default="injection", choices=["exploit", "injection"]
@@ -191,7 +195,63 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--version", default="4.13")
     fuzz.add_argument("--runs", type=int, default=20)
     fuzz.add_argument("--seed", type=int, default=2023)
+    coverage_group = fuzz.add_argument_group(
+        "coverage-guided mode (synthetic corpus)"
+    )
+    coverage_group.add_argument(
+        "--coverage", action="store_true",
+        help="fuzz the synthetic vulnerability corpus with "
+        "coverage-guided scheduling instead of uniform component "
+        "corruption (probe counters are the coverage map)",
+    )
+    coverage_group.add_argument(
+        "--corpus-seed", type=int, default=2023, metavar="SEED",
+        help="root seed of the synthetic corpus (default 2023)",
+    )
+    coverage_group.add_argument(
+        "--corpus-size", type=int, default=32, metavar="N",
+        help="corpus entries to generate (default 32)",
+    )
+    coverage_group.add_argument(
+        "--rounds", type=int, default=4, metavar="N",
+        help="scheduler rounds (default 4)",
+    )
+    coverage_group.add_argument(
+        "--trials", type=int, default=8, metavar="N",
+        help="trials per round (default 8)",
+    )
+    coverage_group.add_argument(
+        "--uniform", action="store_true",
+        help="use the uniform baseline scheduler (the control arm)",
+    )
+    coverage_group.add_argument(
+        "--report-json", metavar="PATH",
+        help="write the coverage report (schedule digest, novelty "
+        "curve, distinct outcomes) as JSON",
+    )
     _add_runner_args(fuzz)
+
+    vulngen = sub.add_parser(
+        "vulngen",
+        help="generate the synthetic hypercall-vulnerability corpus "
+        "(deterministic, version-gated, injectable like the real XSAs)",
+    )
+    vulngen.add_argument(
+        "--seed", type=int, default=2023,
+        help="corpus root seed (default 2023)",
+    )
+    vulngen.add_argument(
+        "--size", type=int, default=125,
+        help="number of entries to generate (default 125)",
+    )
+    vulngen.add_argument(
+        "--manifest", metavar="PATH",
+        help="write the canonical JSON manifest (byte-stable, digested)",
+    )
+    vulngen.add_argument(
+        "--resolve", metavar="ID",
+        help="resolve one synthetic id back to its full spec and exit",
+    )
 
     sub.add_parser(
         "coverage", help="Table I functionalities vs shipped injectors"
@@ -264,7 +324,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
-    use_case = USE_CASE_BY_NAME[args.use_case]
+    from repro.core.injections import resolve
+
+    try:
+        use_case = resolve(args.use_case)
+    except KeyError as exc:
+        print(f"run: {exc.args[0]}", file=sys.stderr)
+        return 2
     version = version_by_name(args.version)
     mode = Mode(args.mode)
     result = Campaign(
@@ -420,20 +486,9 @@ def _dispatch(args) -> int:
             print(card.render())
             print()
     elif args.command == "fuzz":
-        from repro.core.fuzz import RandomErroneousStateCampaign
-
-        fuzz_campaign = RandomErroneousStateCampaign(
-            version_by_name(args.version), seed=args.seed
-        )
-        runner, store = _runner_from_args(args)
-        try:
-            report = fuzz_campaign.run(
-                runs_per_component=args.runs, runner=runner, store=store
-            )
-        finally:
-            if store is not None:
-                store.close()
-        print(report.render())
+        return _cmd_fuzz(args)
+    elif args.command == "vulngen":
+        return _cmd_vulngen(args)
     elif args.command == "coverage":
         from repro.analysis.coverage import coverage_report
 
@@ -452,6 +507,88 @@ def _dispatch(args) -> int:
         from repro.staticcheck.cli import run_staticcheck
 
         return run_staticcheck(args)
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    if args.coverage:
+        return _cmd_fuzz_coverage(args)
+    from repro.core.fuzz import RandomErroneousStateCampaign
+
+    fuzz_campaign = RandomErroneousStateCampaign(
+        version_by_name(args.version), seed=args.seed
+    )
+    runner, store = _runner_from_args(args)
+    try:
+        report = fuzz_campaign.run(
+            runs_per_component=args.runs, runner=runner, store=store
+        )
+    finally:
+        if store is not None:
+            store.close()
+    print(report.render())
+    return 0
+
+
+def _cmd_fuzz_coverage(args) -> int:
+    if args.store or args.resume:
+        print(
+            "error: --coverage campaigns are multi-round (each round is "
+            "its own job plan) and cannot share a result store; drop "
+            "--store/--resume — the campaign is deterministic, so "
+            "re-running it is exact",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.vulngen import CoverageFuzzCampaign, generate_corpus
+
+    corpus = generate_corpus(args.corpus_seed, args.corpus_size)
+    runner, _ = _runner_from_args(args)
+    campaign = CoverageFuzzCampaign(
+        version_by_name(args.version),
+        corpus,
+        root_seed=args.seed,
+        guided=not args.uniform,
+    )
+    report = campaign.run(
+        rounds=args.rounds, trials_per_round=args.trials, runner=runner
+    )
+    print(report.render())
+    if args.report_json:
+        import json
+
+        with open(args.report_json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"coverage report written to {args.report_json}")
+    return 0
+
+
+def _cmd_vulngen(args) -> int:
+    from repro.vulngen import generate_corpus, is_synthetic_id, spec_by_id
+
+    if args.resolve:
+        if not is_synthetic_id(args.resolve):
+            print(
+                f"vulngen: {args.resolve!r} is not a synthetic id "
+                "(expected 'syn-<seed>-<index>-<class>')",
+                file=sys.stderr,
+            )
+            return 2
+        spec = spec_by_id(args.resolve)
+        print(f"id:        {spec.id}")
+        print(f"class:     {spec.vuln_class.value}")
+        print(f"component: {spec.component}")
+        print(f"gate:      {spec.gate.kind}:{spec.gate.advisory}")
+        print(f"word:      {spec.word} (span {spec.span})")
+        print(f"value:     {spec.value:#018x}")
+        return 0
+    corpus = generate_corpus(args.seed, args.size)
+    print(corpus.render())
+    if args.manifest:
+        with open(args.manifest, "w") as handle:
+            handle.write(corpus.manifest_json())
+        print(f"manifest written to {args.manifest}")
     return 0
 
 

@@ -97,6 +97,10 @@ class FuzzResult:
     #: The trial's private RNG seed; replay with
     #: :meth:`RandomErroneousStateCampaign.replay`.
     seed: Optional[int] = None
+    #: The trial's probe-coverage signature (sorted feature strings,
+    #: see :meth:`repro.probes.metrics.MetricsCollector.coverage_signature`);
+    #: populated only when coverage collection was requested.
+    coverage: Optional[List[str]] = None
 
 
 @dataclass

@@ -1,10 +1,18 @@
-"""The four injection scripts of Table II, as standalone functions.
+"""Injection scripts as standalone functions, backed by a registry.
+
+The four injection scripts of Table II remain available as the same
+standalone functions (``inject_xsa212_crash(bed)`` …), but lookup now
+goes through :mod:`repro.core.injections.registry`: every concrete
+:class:`~repro.exploits.base.UseCase` registers itself by name, and
+synthetic corpus ids (:mod:`repro.vulngen`) resolve on demand, so real
+XSAs and generated vulnerabilities enumerate and inject uniformly —
+``inject_by_name("XSA-182-test", bed)`` and
+``inject_by_name("syn-2023-0007-…", bed)`` run the identical path.
 
 Each function boots nothing itself — it takes a prepared
 :class:`~repro.core.testbed.TestBed` and injects one use case's
 erroneous state (plus the post-state steps), exactly like
-``Campaign.run(..., Mode.INJECTION)`` does internally.  They exist so
-scripts and examples can say ``inject_xsa212_crash(bed)`` directly.
+``Campaign.run(..., Mode.INJECTION)`` does internally.
 """
 
 from __future__ import annotations
@@ -12,10 +20,14 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Tuple
 
 from repro.core.erroneous_state import ErroneousStateReport
+from repro.core.injections.registry import (
+    is_registered,
+    register_use_case,
+    registered_names,
+    resolve,
+)
 from repro.core.monitor import ViolationReport
 from repro.errors import HypervisorCrash
-from repro.exploits import XSA148Priv, XSA182Test, XSA212Crash, XSA212Priv
-from repro.exploits.base import ExploitFailed, UseCase
 from repro.guest.kernel import KernelOops
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -25,6 +37,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def _inject(
     use_case_cls, bed: "TestBed"
 ) -> Tuple[ErroneousStateReport, ViolationReport]:
+    # Exploit imports stay function-local throughout this module: the
+    # use-case base class registers subclasses here at class-creation
+    # time, so a module-level import of ``repro.exploits`` would cycle.
+    from repro.exploits.base import ExploitFailed, UseCase
+
     use_case: UseCase = use_case_cls()
     use_case.prepare(bed)
     try:
@@ -35,29 +52,50 @@ def _inject(
     return use_case.audit_erroneous_state(bed), use_case.detect_violation(bed)
 
 
+def inject_by_name(
+    name: str, bed: "TestBed"
+) -> Tuple[ErroneousStateReport, ViolationReport]:
+    """Inject any registered use case — real XSA or synthetic vuln —
+    by its registry name, through the standard injection path."""
+    return _inject(resolve(name), bed)
+
+
 def inject_xsa212_crash(bed: "TestBed"):
     """Overwrite the IDT page-fault gate and trigger a page fault."""
+    from repro.exploits import XSA212Crash
+
     return _inject(XSA212Crash, bed)
 
 
 def inject_xsa212_priv(bed: "TestBed"):
     """Link a crafted PMD into Xen's shared PUD and run a ring-0 payload."""
+    from repro.exploits import XSA212Priv
+
     return _inject(XSA212Priv, bed)
 
 
 def inject_xsa148_priv(bed: "TestBed"):
     """Create the writable PSE window and patch dom0's vDSO."""
+    from repro.exploits import XSA148Priv
+
     return _inject(XSA148Priv, bed)
 
 
 def inject_xsa182_test(bed: "TestBed"):
     """Set RW on a self-mapping L4 entry and test-write through it."""
+    from repro.exploits import XSA182Test
+
     return _inject(XSA182Test, bed)
 
 
 __all__ = [
+    "inject_by_name",
     "inject_xsa148_priv",
     "inject_xsa182_test",
     "inject_xsa212_crash",
     "inject_xsa212_priv",
+    "is_registered",
+    "register_use_case",
+    "registered_names",
+    "resolve",
 ]

@@ -1,0 +1,93 @@
+"""Registry of injectable use cases: real XSAs and synthetic vulns.
+
+Before this module existed the repository had exactly four injectable
+use cases, enumerated by a hand-written tuple in ``repro.exploits``.
+The synthetic-vulnerability corpus (:mod:`repro.vulngen`) scales that
+number into the hundreds, so lookup becomes a registry: every concrete
+:class:`~repro.exploits.base.UseCase` subclass that declares a
+``name`` self-registers here (via ``UseCase.__init_subclass__``), and
+synthetic corpus ids resolve on demand — a ``syn-<seed>-<index>-…`` id
+is a *pure function* of its own text, so any worker process can
+rebuild the use case from the name alone, exactly like the real XSAs
+resolve through their class names.
+
+:func:`resolve` is the single lookup the runner, the CLI and the trace
+replayer use; ``repro.exploits.USE_CASE_BY_NAME`` remains as the
+stable view of the paper's four use cases (existing import paths keep
+working).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exploits.base import UseCase
+
+#: name -> concrete UseCase subclass, for explicitly registered cases.
+_REGISTRY: Dict[str, "Type[UseCase]"] = {}
+
+
+def register_use_case(cls: "Type[UseCase]") -> "Type[UseCase]":
+    """Register a concrete use case under its class-level ``name``.
+
+    Idempotent for the same class; a *different* class claiming an
+    already-registered name is an error (two experiments must never
+    silently shadow each other in stores keyed by use-case name).
+    """
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            f"use case {cls.__name__} has no class-level `name` to register"
+        )
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"use-case name {name!r} is already registered by "
+            f"{existing.__name__}; refusing to shadow it with {cls.__name__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def registered_names() -> Tuple[str, ...]:
+    """Explicitly registered use-case names, sorted for stable output.
+
+    Synthetic corpus ids are not listed here — they are unbounded and
+    resolve on demand through :func:`resolve`.
+    """
+    return tuple(sorted(_REGISTRY))
+
+
+def is_registered(name: str) -> bool:
+    """True iff ``name`` was explicitly registered (synthetic ids are
+    resolvable but never registered)."""
+    return name in _REGISTRY
+
+
+def resolve(name: str) -> "Type[UseCase]":
+    """Look up an injectable use case by name.
+
+    Real use cases come straight from the registry; a synthetic-corpus
+    id (``syn-<seed>-<index>-<class>``) is re-derived from its own
+    text, so resolution works in any process without shipping the
+    corpus around.
+    """
+    # Make sure the shipped use cases have registered themselves even
+    # when the caller imported only this module.
+    import repro.exploits  # noqa: F401
+
+    cls = _REGISTRY.get(name)
+    if cls is not None:
+        return cls
+    from repro.vulngen.corpus import is_synthetic_id
+
+    if is_synthetic_id(name):
+        from repro.vulngen.corpus import spec_by_id
+        from repro.vulngen.synthetic import make_use_case
+
+        return make_use_case(spec_by_id(name))
+    raise KeyError(
+        f"unknown use case {name!r}; registered: {list(registered_names())} "
+        "(synthetic ids look like 'syn-<seed>-<index>-<class>')"
+    )

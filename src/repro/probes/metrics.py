@@ -151,5 +151,19 @@ class MetricsCollector:
             "timings": {k: self.timings[k] for k in sorted(self.timings)},
         }
 
+    def coverage_signature(self) -> List[str]:
+        """The counters as AFL-style coverage features.
+
+        Each non-zero counter contributes one ``key:bucket`` feature,
+        where the bucket is the count's bit length — log2 bucketing, so
+        "this happened" and "this happened a lot" are distinct features
+        while exact counts (which shift with harmless workload jitter)
+        are not.  Derived purely from :meth:`snapshot`'s ``counters``
+        half, so the signature is deterministic and safe to persist;
+        sorted, so equal signatures compare byte for byte.
+        """
+        counters = self.snapshot()["counters"]
+        return [f"{key}:{count.bit_length()}" for key, count in counters.items() if count > 0]
+
     def _bump(self, key: str) -> None:
         self.counters[key] = self.counters.get(key, 0) + 1

@@ -23,6 +23,7 @@ from repro.runner.jobs import (
     execute_job,
     plan_benchmark,
     plan_campaign,
+    plan_coverage_round,
     plan_fuzz,
     plan_testcases,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "make_runner",
     "plan_benchmark",
     "plan_campaign",
+    "plan_coverage_round",
     "plan_fuzz",
     "plan_testcases",
     "run_jobs",

@@ -165,6 +165,30 @@ def plan_fuzz(
     ]
 
 
+def plan_coverage_round(version: str, trials: Sequence) -> List[JobSpec]:
+    """Expand one coverage-guided scheduler round into jobs.
+
+    ``trials`` are :class:`repro.vulngen.schedule.TrialPlan` objects
+    (anything with ``entry_id`` / ``mutation`` / ``seed`` / ``slot``
+    works).  The mapping reuses the FUZZ_TRIAL schema: the corpus id
+    rides in ``use_case`` (workers re-derive the full spec from it),
+    the mutation name in ``mode``, and ``metrics=True`` requests the
+    coverage signature every scheduling decision feeds on.
+    """
+    return [
+        JobSpec(
+            kind=FUZZ_TRIAL,
+            use_case=t.entry_id,
+            version=version,
+            mode=t.mutation,
+            seed=t.seed,
+            trial=t.slot,
+            metrics=True,
+        )
+        for t in trials
+    ]
+
+
 def plan_benchmark(items: Sequence[str], versions: Sequence[str]) -> List[JobSpec]:
     """Expand the security benchmark: every suite item on every version."""
     return [
@@ -210,7 +234,7 @@ def execute_job(spec: JobSpec, attempt: int = 0) -> Dict[str, object]:
 def _execute_campaign_run(spec: JobSpec) -> Dict[str, object]:
     from repro.analysis.report import result_to_dict
     from repro.core.campaign import Campaign, Mode
-    from repro.exploits import USE_CASE_BY_NAME
+    from repro.core.injections import resolve
     from repro.xen.versions import version_by_name
 
     result = Campaign(
@@ -218,7 +242,7 @@ def _execute_campaign_run(spec: JobSpec) -> Dict[str, object]:
         trace_dir=spec.trace_dir,
         collect_metrics=spec.metrics,
     ).run(
-        USE_CASE_BY_NAME[spec.use_case],
+        resolve(spec.use_case),
         version_by_name(spec.version),
         Mode(spec.mode),
     )
@@ -226,8 +250,26 @@ def _execute_campaign_run(spec: JobSpec) -> Dict[str, object]:
 
 
 def _execute_fuzz_trial(spec: JobSpec) -> Dict[str, object]:
-    from repro.core.fuzz import RandomErroneousStateCampaign
     from repro.xen.versions import version_by_name
+
+    from repro.vulngen.corpus import is_synthetic_id
+
+    if is_synthetic_id(spec.use_case):
+        # Synthetic corpus trial: the id alone re-derives the full
+        # spec, so workers need no shared state.  ``mode`` carries the
+        # mutation, ``metrics`` requests the coverage signature.
+        from repro.vulngen.corpus import spec_by_id
+        from repro.vulngen.synthetic import run_synthetic_trial
+
+        result = run_synthetic_trial(
+            spec_by_id(spec.use_case),
+            version_by_name(spec.version),
+            spec.seed if spec.seed is not None else 0,
+            mutation=spec.mode or "baseline",
+            collect_coverage=spec.metrics,
+        )
+        return asdict(result)
+    from repro.core.fuzz import RandomErroneousStateCampaign
 
     campaign = RandomErroneousStateCampaign(version_by_name(spec.version))
     result = campaign.replay(spec.use_case, spec.seed)

@@ -1,5 +1,5 @@
-"""R4 — determinism discipline in ``repro.core``, ``repro.runner`` and
-``repro.trace``.
+"""R4 — determinism discipline in ``repro.core``, ``repro.runner``,
+``repro.trace`` and ``repro.vulngen``.
 
 The runner's guarantee (PR 1) is that parallel campaigns equal serial
 ones byte for byte, because every fuzz trial derives a private seeded
@@ -71,15 +71,17 @@ def _iteration_targets(tree: ast.Module):
     "R4",
     "determinism",
     "no module-level RNG, wall-clock reads, or unordered iteration in "
-    "repro.core / repro.runner / repro.trace (parallel must equal serial, "
-    "and trace files must be byte-stable)",
+    "repro.core / repro.runner / repro.trace / repro.vulngen (parallel "
+    "must equal serial, and trace files and corpus manifests must be "
+    "byte-stable)",
 )
 def check_determinism(ctx: RuleContext) -> List[Finding]:
-    """R4: flag ambient-nondeterminism sources in core/runner/trace code."""
+    """R4: flag ambient-nondeterminism sources in deterministic trees."""
     if not (
         ctx.in_tree("repro/core/")
         or ctx.in_tree("repro/runner/")
         or ctx.in_tree("repro/trace/")
+        or ctx.in_tree("repro/vulngen/")
     ):
         return []
     findings: List[Finding] = []

@@ -156,14 +156,17 @@ class TraceReplayer:
         bed = self.testbed_factory(version)
         use_case_name = header.get("use_case", "")
         if use_case_name:
-            from repro.exploits import USE_CASE_BY_NAME
+            # Registry lookup covers real XSAs and synthetic corpus ids
+            # alike, so traces of synthetic-vulnerability runs replay too.
+            from repro.core.injections import resolve
 
-            use_case_cls = USE_CASE_BY_NAME.get(use_case_name)
-            if use_case_cls is None:
+            try:
+                use_case_cls = resolve(use_case_name)
+            except KeyError:
                 raise TraceVersionError(
                     f"trace {self.trace.path!r} needs unknown use case "
                     f"{use_case_name!r}"
-                )
+                ) from None
             use_case_cls().prepare(bed)
         return bed
 

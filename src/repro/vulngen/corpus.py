@@ -1,0 +1,278 @@
+"""Deterministic generation of the synthetic-vulnerability corpus.
+
+Every corpus entry (:class:`VulnSpec`) is a **pure function of
+``(root_seed, index)``**: the generator derives a private
+``random.Random`` per entry (no shared RNG state, rule R4), draws the
+class-specific parameters from it, and bakes the coordinates into the
+entry id — ``syn-<root_seed>-<index>-<class-slug>``.  That makes the
+corpus free to regenerate anywhere: a worker process that receives
+only the id re-derives the identical spec (:func:`spec_by_id`), the
+same way fuzz trials replay from their recorded seed.
+
+Version gating mirrors the real XSAs: each spec carries a
+:class:`VersionGate` built from the
+:class:`~repro.xen.versions.XenVersion` flag predicates (``has_vuln``
+/ ``has_hardening`` — rule R5; never raw name comparisons), anchored
+to the real advisory family whose defect class the synthetic entry
+instantiates.  The *exploit* path of a synthetic use case refuses on
+builds where its gate is closed, while the *injection* path works on
+every version — exactly the asymmetry the paper measures for the four
+real use cases.
+
+The corpus manifest is canonical JSON with a content digest; the same
+root seed yields byte-identical manifests in any process, which CI
+asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import re
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.vulngen.taxonomy import ALL_CLASSES, VulnClass, class_by_slug
+from repro.xen.versions import Hardening, Vulnerability, XenVersion
+
+#: Manifest format version (bumped on any derivation change: a corpus
+#: is an experiment input, so its derivation is part of its identity).
+CORPUS_FORMAT = 1
+
+#: Default generation parameters (the shipped corpus).
+DEFAULT_ROOT_SEED = 2023
+DEFAULT_SIZE = 125  # 25 entries per class
+
+
+@dataclass(frozen=True)
+class VersionGate:
+    """Presence predicate for a synthetic defect, over version flags.
+
+    ``kind == "vuln"`` — present while the anchoring real advisory is
+    unfixed (``version.has_vuln(flag)``); ``kind == "no-hardening"`` —
+    present until the named hardening ships
+    (``not version.has_hardening(flag)``).
+    """
+
+    kind: str  # "vuln" | "no-hardening"
+    flag: str  # Vulnerability / Hardening enum member name
+
+    def applies(self, version: XenVersion) -> bool:
+        """Is the synthetic defect present in this build?"""
+        if self.kind == "vuln":
+            return version.has_vuln(Vulnerability[self.flag])
+        if self.kind == "no-hardening":
+            return not version.has_hardening(Hardening[self.flag])
+        raise ValueError(f"unknown gate kind {self.kind!r}")
+
+    @property
+    def advisory(self) -> str:
+        """The real advisory/hardening family anchoring the gate."""
+        if self.kind == "vuln":
+            return Vulnerability[self.flag].value
+        return Hardening[self.flag].value
+
+
+#: Per-class gate pools: the real advisory families whose defect class
+#: the synthetic entries instantiate.  Drawn deterministically per
+#: entry.
+_GATE_POOL: Dict[VulnClass, Tuple[VersionGate, ...]] = {
+    VulnClass.MISSING_OWNERSHIP_CHECK: (
+        VersionGate("vuln", "XSA_148"),
+        VersionGate("vuln", "XSA_182"),
+        VersionGate("vuln", "XSA_387"),
+    ),
+    VulnClass.MISSING_PRIVILEGE_CHECK: (
+        VersionGate("vuln", "XSA_212"),
+        VersionGate("vuln", "XSA_148"),
+    ),
+    VulnClass.REFCOUNT_IMBALANCE: (
+        VersionGate("vuln", "XSA_387"),
+        VersionGate("vuln", "XSA_393"),
+        VersionGate("vuln", "XSA_212"),
+    ),
+    VulnClass.BOUNDS_ERROR: (
+        VersionGate("vuln", "XSA_212"),
+        VersionGate("vuln", "XSA_148"),
+    ),
+    VulnClass.TOCTOU_WINDOW: (
+        VersionGate("vuln", "XSA_393"),
+        VersionGate("vuln", "XSA_182"),
+        VersionGate("no-hardening", "LINEAR_PT_RESTRICTED"),
+    ),
+}
+
+#: Per-class component pools (targets resolved on a live testbed by
+#: :mod:`repro.vulngen.synthetic`).  Names deliberately reuse the fuzz
+#: campaign's component vocabulary.
+_COMPONENT_POOL: Dict[VulnClass, Tuple[str, ...]] = {
+    VulnClass.MISSING_OWNERSHIP_CHECK: ("victim-data", "victim-pagetables"),
+    VulnClass.MISSING_PRIVILEGE_CHECK: ("idt", "m2p", "shared-pud"),
+    VulnClass.REFCOUNT_IMBALANCE: ("victim-pagetables",),
+    VulnClass.BOUNDS_ERROR: ("victim-data", "m2p"),
+    VulnClass.TOCTOU_WINDOW: ("victim-pagetables", "idt"),
+}
+
+
+@dataclass(frozen=True)
+class VulnSpec:
+    """One synthetic injectable vulnerability, fully parameterized."""
+
+    id: str
+    index: int
+    root_seed: int
+    vuln_class: VulnClass
+    component: str
+    gate: VersionGate
+    #: Index into the component's candidate-frame list (mod length).
+    frame_pick: int
+    #: Base word within the target frame (bounds entries start near
+    #: the frame's end so the write crosses into the next frame).
+    word: int
+    #: The crafted 64-bit value.
+    value: int
+    #: Words written (> 1 only for bounds entries).
+    span: int = 1
+
+    def to_manifest_entry(self) -> dict:
+        entry = asdict(self)
+        entry["vuln_class"] = self.vuln_class.value
+        return entry
+
+
+def _entry_seed(root_seed: int, index: int) -> int:
+    blob = f"{root_seed}:vulngen:{index}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+def derive_spec(root_seed: int, index: int) -> VulnSpec:
+    """The generator core: ``(root_seed, index) -> VulnSpec``, pure."""
+    if index < 0:
+        raise ValueError(f"corpus index must be non-negative, got {index}")
+    rng = random.Random(_entry_seed(root_seed, index))
+    vuln_class = ALL_CLASSES[index % len(ALL_CLASSES)]
+    component = _COMPONENT_POOL[vuln_class][
+        rng.randrange(len(_COMPONENT_POOL[vuln_class]))
+    ]
+    gate = _GATE_POOL[vuln_class][rng.randrange(len(_GATE_POOL[vuln_class]))]
+    frame_pick = rng.randrange(8)
+    if vuln_class is VulnClass.BOUNDS_ERROR:
+        span = rng.randrange(2, 5)  # 2..4 words
+        word = 512 - rng.randrange(1, span)  # crosses the frame boundary
+    else:
+        span = 1
+        word = rng.randrange(512)
+    value = rng.getrandbits(64)
+    return VulnSpec(
+        id=f"syn-{root_seed}-{index:04d}-{vuln_class.value}",
+        index=index,
+        root_seed=root_seed,
+        vuln_class=vuln_class,
+        component=component,
+        gate=gate,
+        frame_pick=frame_pick,
+        word=word,
+        value=value,
+        span=span,
+    )
+
+
+_ID_PATTERN = re.compile(r"^syn-(\d+)-(\d{4,})-([a-z][a-z-]*)$")
+
+
+def is_synthetic_id(name: str) -> bool:
+    """Does ``name`` look like a synthetic corpus id?"""
+    return bool(_ID_PATTERN.match(name))
+
+
+def spec_by_id(vuln_id: str) -> VulnSpec:
+    """Rebuild the full spec from its id alone (worker-side lookup).
+
+    The id carries the derivation coordinates, so this is exact — the
+    class slug is verified against the re-derivation to catch
+    hand-edited ids.
+    """
+    match = _ID_PATTERN.match(vuln_id)
+    if match is None:
+        raise KeyError(
+            f"{vuln_id!r} is not a synthetic vulnerability id "
+            "(expected 'syn-<seed>-<index>-<class>')"
+        )
+    root_seed, index, slug = int(match.group(1)), int(match.group(2)), match.group(3)
+    class_by_slug(slug)  # reject unknown class slugs with a clear error
+    spec = derive_spec(root_seed, index)
+    if spec.vuln_class.value != slug:
+        raise KeyError(
+            f"id {vuln_id!r} names class {slug!r} but (seed={root_seed}, "
+            f"index={index}) derives {spec.vuln_class.value!r}"
+        )
+    return spec
+
+
+@dataclass
+class Corpus:
+    """A generated set of synthetic vulnerabilities."""
+
+    root_seed: int
+    specs: List[VulnSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def ids(self) -> List[str]:
+        return [spec.id for spec in self.specs]
+
+    def by_class(self) -> Dict[str, int]:
+        """Entry count per class slug, sorted by slug."""
+        counts: Dict[str, int] = {}
+        for spec in self.specs:
+            counts[spec.vuln_class.value] = counts.get(spec.vuln_class.value, 0) + 1
+        return {slug: counts[slug] for slug in sorted(counts)}
+
+    def manifest(self) -> dict:
+        """The canonical manifest: entries plus a content digest."""
+        entries = [spec.to_manifest_entry() for spec in self.specs]
+        blob = json.dumps(entries, sort_keys=True).encode()
+        return {
+            "format": CORPUS_FORMAT,
+            "root_seed": self.root_seed,
+            "size": len(self.specs),
+            "classes": self.by_class(),
+            "digest": hashlib.sha256(blob).hexdigest(),
+            "entries": entries,
+        }
+
+    def manifest_json(self) -> str:
+        """Byte-stable JSON rendering (the CI artifact)."""
+        return json.dumps(self.manifest(), sort_keys=True, indent=2) + "\n"
+
+    def render(self) -> str:
+        """Human-readable corpus table."""
+        lines = [
+            f"synthetic vulnerability corpus (root seed {self.root_seed}, "
+            f"{len(self.specs)} entries)",
+            f"{'id':<42}{'component':<20}{'gate':<22}{'word':<6}{'span':<5}",
+            "-" * 95,
+        ]
+        for spec in self.specs:
+            lines.append(
+                f"{spec.id:<42}{spec.component:<20}"
+                f"{spec.gate.advisory:<22}{spec.word:<6}{spec.span:<5}"
+            )
+        by_class = ", ".join(f"{k}: {v}" for k, v in self.by_class().items())
+        lines += ["-" * 95, f"per class: {by_class}"]
+        return "\n".join(lines)
+
+
+def generate_corpus(
+    root_seed: int = DEFAULT_ROOT_SEED, size: int = DEFAULT_SIZE
+) -> Corpus:
+    """Generate ``size`` synthetic vulnerabilities from ``root_seed``."""
+    if size < 1:
+        raise ValueError(f"corpus size must be positive, got {size}")
+    return Corpus(
+        root_seed=root_seed,
+        specs=[derive_spec(root_seed, index) for index in range(size)],
+    )

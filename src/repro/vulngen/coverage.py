@@ -1,0 +1,71 @@
+"""The coverage map: probe counters as fuzzing feedback.
+
+The PR 5 probe layer already counts every interesting event a trial
+provokes (hypercalls by number and return code, trap deliveries,
+page-table validations, refcount transitions, frames dirtied,
+crashes).  Those counters *are* a coverage signal: a corrupted word
+that sends the hypervisor down a new path changes which counters fire
+and how often.  This module turns them into an AFL-style map:
+
+* a **feature** is ``counter:bucket`` where the bucket is the count's
+  bit length (log2 bucketing — "happened" vs "happened a lot" are
+  distinct features, exact counts are not);
+* the **map** is the set of features any trial has ever exhibited;
+* a trial is **novel** if it contributes at least one unseen feature.
+
+Everything is a set of sorted strings with a SHA-256 digest, so two
+campaigns that observed the same trials hold byte-identical maps —
+the property the coverage-guided scheduler builds its determinism on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Set
+
+
+def coverage_features(counters: Dict[str, int]) -> List[str]:
+    """Bucket a counter dict into sorted coverage features.
+
+    The dict-level twin of
+    :meth:`repro.probes.metrics.MetricsCollector.coverage_signature`
+    (the probe layer cannot import this package, so the bucketing rule
+    lives in both places; the tests pin them equal).
+    """
+    return [
+        f"{key}:{counters[key].bit_length()}"
+        for key in sorted(counters)
+        if counters[key] > 0
+    ]
+
+
+class CoverageMap:
+    """The set of coverage features observed so far, with a digest."""
+
+    def __init__(self) -> None:
+        self._seen: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def observe(self, features: Iterable[str]) -> int:
+        """Fold one trial's features in; return how many were new."""
+        new = [f for f in features if f not in self._seen]
+        self._seen.update(new)
+        return len(new)
+
+    def is_novel(self, features: Iterable[str]) -> bool:
+        """Would this trial contribute at least one unseen feature?"""
+        return any(f not in self._seen for f in features)
+
+    def features(self) -> List[str]:
+        """All observed features, sorted (the persistable form)."""
+        return sorted(self._seen)
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the map — the scheduler's only view of
+        execution history, which is what makes schedules a pure
+        function of (root seed, observed coverage)."""
+        blob = "\n".join(self.features()).encode()
+        return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,100 @@
+"""The synthetic-vulnerability class taxonomy (after SPEC-RG).
+
+The SPEC-RG hypercall-handler report surveys real hypervisor
+vulnerabilities and groups the recurring root causes; the classes
+below are the ones the simulator can express as *injectable erroneous
+states* — the post-intrusion condition each defect class leaves
+behind, which is exactly what the paper's injector reproduces:
+
+``MISSING_OWNERSHIP_CHECK``
+    a handler mutates a frame another domain owns because the
+    ownership gate is absent — the erroneous state is a victim-owned
+    word holding an attacker-chosen value (XSA-148's family).
+``MISSING_PRIVILEGE_CHECK``
+    an unprivileged caller reaches a hypervisor-reserved structure
+    (IDT, M2P, shared page tables) — the erroneous state is corrupted
+    hypervisor metadata (XSA-212's family).
+``REFCOUNT_IMBALANCE``
+    a get/put imbalance lets a live page-table frame be retyped — the
+    erroneous state is a writable alias of a page-table frame
+    (XSA-387/393's family; statically modelled by rule R1).
+``BOUNDS_ERROR``
+    a length/index computation overflows its target window — the
+    erroneous state is a write that crossed a frame boundary into the
+    neighbouring frame.
+``TOCTOU_WINDOW``
+    state re-checked at use time differs from what was validated —
+    the erroneous state is a validated entry whose content changed
+    after the check.
+
+Each class carries its mapping onto the Table I abusive-functionality
+taxonomy (so synthetic intrusion models instantiate like the real
+ones) and onto the ``repro.staticcheck`` rule that guards the class
+statically (:data:`CLASS_RULE_MAP` — the generated-class ↔ R1/R2
+correspondence documented in DESIGN.md §7/§11).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from repro.core.taxonomy import AbusiveFunctionality
+
+
+class VulnClass(enum.Enum):
+    """One SPEC-RG-style defect class the generator can instantiate."""
+
+    MISSING_OWNERSHIP_CHECK = "missing-ownership-check"
+    MISSING_PRIVILEGE_CHECK = "missing-privilege-check"
+    REFCOUNT_IMBALANCE = "refcount-imbalance"
+    BOUNDS_ERROR = "bounds-error"
+    TOCTOU_WINDOW = "toctou-window"
+
+
+#: Stable generation order (the corpus round-robins over this tuple,
+#: so any corpus of >= 5 entries covers every class).
+ALL_CLASSES: Tuple[VulnClass, ...] = (
+    VulnClass.MISSING_OWNERSHIP_CHECK,
+    VulnClass.MISSING_PRIVILEGE_CHECK,
+    VulnClass.REFCOUNT_IMBALANCE,
+    VulnClass.BOUNDS_ERROR,
+    VulnClass.TOCTOU_WINDOW,
+)
+
+#: Class -> Table I abusive functionality, for the synthetic
+#: intrusion-model instantiation.
+CLASS_FUNCTIONALITY: Dict[VulnClass, AbusiveFunctionality] = {
+    VulnClass.MISSING_OWNERSHIP_CHECK: AbusiveFunctionality.WRITE_UNAUTHORIZED_MEMORY,
+    VulnClass.MISSING_PRIVILEGE_CHECK: (
+        AbusiveFunctionality.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY
+    ),
+    VulnClass.REFCOUNT_IMBALANCE: AbusiveFunctionality.CORRUPT_A_PAGE_REFERENCE,
+    VulnClass.BOUNDS_ERROR: AbusiveFunctionality.WRITE_UNAUTHORIZED_ARBITRARY_MEMORY,
+    VulnClass.TOCTOU_WINDOW: AbusiveFunctionality.CORRUPT_VIRTUAL_MEMORY_MAPPING,
+}
+
+#: Class -> the staticcheck rule(s) that model the defect class on the
+#: simulator's own source (DESIGN.md §7): R1 is the refcount-balance
+#: analysis, R2 the ownership/privilege-gate analysis.  Bounds and
+#: TOCTOU defects have no static shadow yet — they are caught
+#: dynamically by the campaign monitors only.
+CLASS_RULE_MAP: Dict[VulnClass, Tuple[str, ...]] = {
+    VulnClass.MISSING_OWNERSHIP_CHECK: ("R2",),
+    VulnClass.MISSING_PRIVILEGE_CHECK: ("R2",),
+    VulnClass.REFCOUNT_IMBALANCE: ("R1",),
+    VulnClass.BOUNDS_ERROR: (),
+    VulnClass.TOCTOU_WINDOW: (),
+}
+
+_BY_SLUG = {cls.value: cls for cls in VulnClass}
+
+
+def class_by_slug(slug: str) -> VulnClass:
+    """Resolve a class from its id slug (``"bounds-error"`` …)."""
+    try:
+        return _BY_SLUG[slug]
+    except KeyError:
+        raise KeyError(
+            f"unknown vulnerability class {slug!r}; known: {sorted(_BY_SLUG)}"
+        ) from None

@@ -66,8 +66,17 @@ class TestRun:
         assert "--- Xen console ---" in out
 
     def test_bad_use_case_rejected(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["run", "--use-case", "XSA-999", "--version", "4.6"])
+        code = main(["run", "--use-case", "XSA-999", "--version", "4.6"])
+        assert code == 2
+        assert "unknown use case" in capsys.readouterr().err
+
+    def test_synthetic_use_case_runs(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--use-case", "syn-2023-0003-bounds-error",
+            "--version", "4.6", "--mode", "injection",
+        )
+        assert code == 0
+        assert "err-state:YES" in out
 
 
 class TestCampaign:
