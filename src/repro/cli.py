@@ -316,9 +316,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the aggregate as JSON",
     )
 
-    from repro.staticcheck.cli import add_staticcheck_parser
+    from repro.staticcheck.cli import (
+        add_staticcheck_eval_parser,
+        add_staticcheck_parser,
+    )
 
     add_staticcheck_parser(sub)
+    add_staticcheck_eval_parser(sub)
 
     return parser
 
@@ -507,6 +511,10 @@ def _dispatch(args) -> int:
         from repro.staticcheck.cli import run_staticcheck
 
         return run_staticcheck(args)
+    elif args.command == "staticcheck-eval":
+        from repro.staticcheck.cli import run_staticcheck_eval
+
+        return run_staticcheck_eval(args)
     return 0
 
 

@@ -21,7 +21,22 @@ changes keep encoding them:
   unordered-set iteration in ``repro.core``/``repro.runner`` (parallel
   campaigns must equal serial ones, bit for bit);
 * **R5 version-gating** — Xen-version conditionals go through
-  :mod:`repro.xen.versions` predicates, never raw comparisons.
+  :mod:`repro.xen.versions` predicates, never raw comparisons;
+* **R7 tainted-sink** — interprocedural dataflow
+  (:mod:`repro.staticcheck.dataflow`): guest-controlled values
+  (hypercall arguments, ring payloads, guest PTE contents) must pass
+  an ownership/privilege/bounds sanitizer that *dominates* the sink
+  (machine writes, frame-type transitions, refcount ops, directmap),
+  even when the sink lives in a helper the handler calls;
+* **R8 toctou-window** — a sanitizer check and its dependent sink may
+  not be separated by a yield/preemption point without re-validation
+  (XSA-182's fast-path bug as a dataflow property).
+
+Detection quality is *measured*, not assumed: the evaluation harness
+(:mod:`repro.staticcheck.evaluation`, ``repro staticcheck-eval``)
+renders the ``repro.vulngen`` synthetic corpus to vulnerable/hardened
+handler pairs and scores per-class precision/recall/F1 against ground
+truth; CI pins per-class recall floors.
 
 Deliberate exceptions carry inline waivers
 (``# staticcheck: ignore[R1] reason`` / ``# staticcheck: trusted``);
@@ -32,15 +47,23 @@ Entry points: ``repro staticcheck`` on the command line,
 
 from repro.staticcheck.baseline import load_baseline, write_baseline
 from repro.staticcheck.engine import CheckResult, check_paths, check_source
+from repro.staticcheck.evaluation import (
+    RECALL_FLOORS,
+    EvaluationReport,
+    evaluate_corpus,
+)
 from repro.staticcheck.model import Finding
 from repro.staticcheck.rules import RULE_REGISTRY
 
 __all__ = [
     "CheckResult",
+    "EvaluationReport",
     "Finding",
+    "RECALL_FLOORS",
     "RULE_REGISTRY",
     "check_paths",
     "check_source",
+    "evaluate_corpus",
     "load_baseline",
     "write_baseline",
 ]

@@ -1,0 +1,172 @@
+"""A name-resolution call graph over a set of parsed modules.
+
+The taint analysis is interprocedural: a handler that pushes a
+guest-controlled value through ``self._commit(mfn)`` must see the
+``machine.write_word`` inside ``_commit``.  Python being dynamically
+dispatched, we resolve calls by the same pragmatic rules a reader
+uses:
+
+1. ``self.method(...)`` / ``cls.method(...)`` → a method of the
+   enclosing class (or any class in the same module that defines it);
+2. ``name(...)`` → a function in the same module;
+3. otherwise → a *unique* bare-name match across all modules in the
+   program (``granttable.map_ref`` called from ``hypercalls``); an
+   ambiguous name resolves to nothing rather than to everything.
+
+Unresolved calls are simply opaque: the analysis treats them as
+identity-ish (tainted in → tainted out) and never as sinks, so
+resolution misses cost recall, not precision.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.taint import call_name
+
+
+@dataclass
+class FunctionInfo:
+    """One function in the program, with its resolution coordinates."""
+
+    key: str  # "<norm_path>::<qualname>"
+    path: str
+    norm_path: str
+    qualname: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: str = ""  # enclosing class, "" for module level
+
+    @property
+    def params(self) -> List[str]:
+        fn = self.node
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        return [a.arg for a in fn.args.args if a.arg != "self"]
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, str, ast.AST]]:
+    """Yield (qualname, class_name, node) for every function/method."""
+    stack: List[Tuple[str, str, ast.AST]] = [("", "", tree)]
+    while stack:
+        prefix, class_name, node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, class_name, child
+                stack.append((f"{qualname}.", class_name, child))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((f"{prefix}{child.name}.", child.name, child))
+
+
+class CallGraph:
+    """Functions plus resolved call edges for a set of modules."""
+
+    def __init__(self, modules: Sequence[Tuple[str, ast.Module]]):
+        #: key -> FunctionInfo, in deterministic insertion order.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: (norm_path, bare name) -> keys defined in that module.
+        self._by_module_name: Dict[Tuple[str, str], List[str]] = {}
+        #: (norm_path, class, bare name) -> key.
+        self._by_class_name: Dict[Tuple[str, str, str], str] = {}
+        #: bare name -> all keys (for the unique-global fallback).
+        self._by_name: Dict[str, List[str]] = {}
+
+        for path, tree in sorted(modules, key=lambda m: m[0].replace("\\", "/")):
+            norm = path.replace("\\", "/")
+            for qualname, class_name, node in sorted(
+                _iter_functions(tree), key=lambda item: item[0]
+            ):
+                assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                key = f"{norm}::{qualname}"
+                info = FunctionInfo(
+                    key=key,
+                    path=path,
+                    norm_path=norm,
+                    qualname=qualname,
+                    name=node.name,
+                    node=node,
+                    class_name=class_name,
+                )
+                self.functions[key] = info
+                self._by_module_name.setdefault((norm, node.name), []).append(key)
+                if class_name:
+                    self._by_class_name[(norm, class_name, node.name)] = key
+                self._by_name.setdefault(node.name, []).append(key)
+
+    def resolve_call(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """The callee ``call`` refers to, by the resolution rules above."""
+        name = call_name(call)
+        if name is None:
+            return None
+        func = call.func
+        # self.method(...) → method in the caller's class first.
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+                if caller.class_name:
+                    key = self._by_class_name.get(
+                        (caller.norm_path, caller.class_name, name)
+                    )
+                    if key is not None:
+                        return self.functions[key]
+                return self._module_match(caller.norm_path, name)
+            # foo.bar(...): only a unique global definition resolves.
+            return self._unique_global(name)
+        # bar(...): same module first, then unique global.
+        local = self._module_match(caller.norm_path, name)
+        if local is not None:
+            return local
+        return self._unique_global(name)
+
+    def _module_match(self, norm_path: str, name: str) -> Optional[FunctionInfo]:
+        keys = self._by_module_name.get((norm_path, name), [])
+        if len(keys) == 1:
+            return self.functions[keys[0]]
+        return None
+
+    def _unique_global(self, name: str) -> Optional[FunctionInfo]:
+        keys = self._by_name.get(name, [])
+        if len(keys) == 1:
+            return self.functions[keys[0]]
+        return None
+
+    def callees(self, info: FunctionInfo) -> List[Tuple[ast.Call, FunctionInfo]]:
+        """Resolved (call site, callee) pairs inside ``info``."""
+        pairs: List[Tuple[ast.Call, FunctionInfo]] = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                callee = self.resolve_call(info, node)
+                if callee is not None and callee.key != info.key:
+                    pairs.append((node, callee))
+        return pairs
+
+    def topological_order(self) -> List[FunctionInfo]:
+        """Callees before callers (cycles broken by first-seen order).
+
+        Summary computation wants a callee's summary ready before its
+        callers are analysed; within a cycle the analysis iterates to
+        a fixpoint instead.
+        """
+        order: List[FunctionInfo] = []
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(info: FunctionInfo) -> None:
+            mark = state.get(info.key)
+            if mark is not None:
+                return
+            state[info.key] = 0
+            for _, callee in self.callees(info):
+                if state.get(callee.key) is None:
+                    visit(callee)
+            state[info.key] = 1
+            order.append(info)
+
+        for info in self.functions.values():
+            visit(info)
+        return order

@@ -7,10 +7,16 @@ Usage::
     repro staticcheck src --rules R1,R3
     repro staticcheck src --baseline staticcheck.baseline.json
     repro staticcheck src --write-baseline staticcheck.baseline.json
+    repro staticcheck src --update-baseline staticcheck.baseline.json
+    repro staticcheck src --sarif report.sarif
     repro staticcheck --list-rules
+    repro staticcheck-eval --json eval.json
 
 Exit codes: 0 clean (waived/baselined findings do not count), 1 when
 any finding or parse error remains, 2 on usage errors.
+``--update-baseline`` exits 1 when the refreshed baseline *grew* —
+new fingerprints are unexplained debt; shrinkage (fixed findings) is
+recorded silently.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from typing import List, Optional
 
 from repro.staticcheck.baseline import load_baseline, write_baseline
 from repro.staticcheck.engine import check_paths
-from repro.staticcheck.reporters import render_json, render_text
+from repro.staticcheck.reporters import render_json, render_sarif, render_text
 from repro.staticcheck.rules import RULE_REGISTRY
 
 
@@ -75,6 +81,15 @@ def add_staticcheck_parser(sub: argparse._SubParsersAction) -> None:
         help="record current findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--update-baseline", metavar="PATH",
+        help="refresh an existing baseline in place and diff it; exits "
+        "1 when new fingerprints appeared (unexplained growth)",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH",
+        help="also write a SARIF 2.1.0 report (code-scanning upload)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true",
         help="also list waived and baselined findings",
     )
@@ -82,6 +97,65 @@ def add_staticcheck_parser(sub: argparse._SubParsersAction) -> None:
         "--list-rules", action="store_true",
         help="describe the rule set and exit",
     )
+
+
+def add_staticcheck_eval_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the detection-evaluation subcommand."""
+    parser = sub.add_parser(
+        "staticcheck-eval",
+        help="score the checker's precision/recall on the synthetic "
+        "vulnerability corpus",
+    )
+    parser.add_argument(
+        "--root-seed", type=int, default=None,
+        help="corpus root seed (default: the shipped corpus seed)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=None,
+        help="corpus size (default: the shipped corpus size)",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated rule ids to evaluate (default: R1,R7,R8)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the byte-stable JSON report (CI artifact)",
+    )
+
+
+def run_staticcheck_eval(args: argparse.Namespace) -> int:
+    """Execute ``staticcheck-eval``; exit 1 when a recall floor breaks."""
+    from repro.staticcheck.evaluation import (
+        DEFAULT_RULES,
+        evaluate_corpus,
+    )
+    from repro.vulngen.corpus import DEFAULT_ROOT_SEED, DEFAULT_SIZE
+
+    rules = DEFAULT_RULES
+    if args.rules:
+        rules = tuple(
+            part.strip().upper()
+            for part in args.rules.split(",")
+            if part.strip()
+        )
+    try:
+        report = evaluate_corpus(
+            root_seed=(
+                args.root_seed if args.root_seed is not None
+                else DEFAULT_ROOT_SEED
+            ),
+            size=args.size if args.size is not None else DEFAULT_SIZE,
+            rules=rules,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"staticcheck-eval: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    print(report.render())
+    return 0 if report.floors_met else 1
 
 
 def run_staticcheck(args: argparse.Namespace) -> int:
@@ -99,11 +173,16 @@ def run_staticcheck(args: argparse.Namespace) -> int:
         rule_ids = [part for part in args.rules.split(",") if part.strip()]
 
     baseline: set = set()
-    baseline_path = args.baseline or config.get("baseline")
+    baseline_path = args.baseline or args.update_baseline or config.get("baseline")
     if baseline_path:
         try:
             baseline = load_baseline(baseline_path)
-        except (OSError, ValueError) as exc:
+        except OSError as exc:
+            if not args.update_baseline:
+                print(f"staticcheck: bad baseline: {exc}", file=sys.stderr)
+                return 2
+            baseline = set()  # first --update-baseline run creates the file
+        except ValueError as exc:
             print(f"staticcheck: bad baseline: {exc}", file=sys.stderr)
             return 2
 
@@ -123,9 +202,33 @@ def run_staticcheck(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.update_baseline:
+        current = result.findings + result.baselined
+        fingerprints = {f.fingerprint for f in current}
+        added = sorted(
+            {f.fingerprint: f for f in current if f.fingerprint not in baseline}
+            .values(),
+            key=lambda f: (f.path, f.line, f.rule),
+        )
+        removed = sorted(baseline - fingerprints)
+        count = write_baseline(args.update_baseline, current)
+        print(
+            f"staticcheck: refreshed {args.update_baseline}: {count} "
+            f"finding(s), {len(added)} new, {len(removed)} fixed"
+        )
+        for finding in added:
+            print(f"  new: {finding.render().splitlines()[0]}")
+        # Growth is unexplained debt; shrinkage is progress.  Parse
+        # errors still fail regardless.
+        return 1 if (added or result.errors) else 0
+
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(render_json(result))
+
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(result))
 
     print(render_text(result, verbose=args.verbose))
     return result.exit_code

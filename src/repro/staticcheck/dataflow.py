@@ -1,0 +1,654 @@
+"""Interprocedural, flow-sensitive taint analysis (rules R7/R8).
+
+The analysis is a summary-based abstract interpretation over the
+:mod:`~repro.staticcheck.callgraph`:
+
+* **Roots.**  Guest taint enters through the hypercall ABI surface —
+  the non-domain parameters of handlers in ``hypercalls.py`` /
+  ``granttable.py`` (rule R2's definition of *handler*) — and through
+  explicit source calls (:data:`~repro.staticcheck.taint.SOURCE_CALLS`)
+  anywhere in scope.
+
+* **Propagation.**  Each variable carries a set of taint *tags* naming
+  the roots it derives from; assignments union the tags of every name
+  mentioned on the right-hand side.  Calls resolved through the call
+  graph apply the callee's :class:`Summary`: which parameters the
+  callee checks, whether it consults a privilege/version gate, whether
+  it can yield the CPU, and which parameters reach a sink unchecked
+  inside it (``param_sinks`` — how a sink in ``hypervisor.py`` is
+  reported at its guilty call site in ``hypercalls.py``).
+
+* **Sanitization** is tracked per *tag*, not per variable: checking
+  ``info.owner`` where ``info`` derives from ``op`` clears the whole
+  ``op`` root, which is exactly the ownership idiom
+  (``lookup(mfn)`` → check → use ``mfn``).  Branch joins intersect
+  the sanitized set over the arms that fall through, so a check that
+  only one path performs does not launder the other.  Privilege
+  (``is_privileged``) and version gates (``has_vuln`` /
+  ``has_hardening``) sanitize *everything* pending: they gate the
+  operation, not one operand — and a version-gated deliberately
+  vulnerable path (``_memory_exchange``) is a modelled defect, not a
+  finding.
+
+* **R7 (tainted-sink).**  A tag that reaches a sink while neither
+  sanitized nor stale is a guest-controlled value with no dominating
+  check on the path — the finding message carries the source→sink
+  trace, across calls.
+
+* **R8 (toctou-window).**  A *yield point* (scheduler tick,
+  preemption hook — :data:`~repro.staticcheck.taint.YIELD_CALLS`)
+  moves every sanitized tag to *stale*: the check happened, but the
+  world may have changed under it.  A stale tag reaching a sink
+  without re-validation is a check/use window.
+
+Approximations (linter, not verifier): loops run zero-or-one times,
+exception handlers join the pre- and post-body states, and an
+unresolved call is identity (tainted in → tainted out), never a sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck import taint
+from repro.staticcheck.callgraph import CallGraph, FunctionInfo
+from repro.staticcheck.model import Finding
+
+#: Basenames of the hypercall ABI surface: the only files whose
+#: handler parameters root guest taint (matches rule R2's scope).
+GUEST_ROOT_FILES = ("hypercalls.py", "granttable.py")
+
+#: Path fragments the whole analysis is scoped to.
+ANALYSIS_SCOPE = ("repro/xen/", "repro/core/")
+
+
+def in_analysis_scope(norm_path: str) -> bool:
+    """Is this file part of the interprocedural analysis (R7/R8 scope)?"""
+    return any(fragment in norm_path for fragment in ANALYSIS_SCOPE)
+
+
+def is_guest_root_file(norm_path: str) -> bool:
+    """Do handler parameters in this file carry guest taint (the ABI files)?"""
+    return (
+        "repro/xen/" in norm_path
+        and norm_path.rsplit("/", 1)[-1] in GUEST_ROOT_FILES
+    )
+
+
+@dataclass(frozen=True)
+class ParamSink:
+    """Inside some callee, parameter ``param`` reaches ``sink`` unchecked."""
+
+    param: int
+    sink: str
+    line: int
+    kind: str  # "R7" (never checked) | "R8" (checked, then stale)
+    trace: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """What a caller needs to know about one function."""
+
+    #: Parameter indices the function checks (ownership/bounds events).
+    sanitizes_params: FrozenSet[int] = frozenset()
+    #: The function consults a privilege or version gate.
+    sanitizes_all: bool = False
+    #: The function may yield the CPU (directly or transitively).
+    yields_control: bool = False
+    param_sinks: Tuple[ParamSink, ...] = ()
+
+
+@dataclass
+class _State:
+    """Abstract state at one program point."""
+
+    tags: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    sanitized: Set[str] = field(default_factory=set)
+    #: tag -> (check line, yield line): checked, then possibly changed.
+    stale: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    checked_at: Dict[str, int] = field(default_factory=dict)
+
+    def copy(self) -> "_State":
+        return _State(
+            tags=dict(self.tags),
+            sanitized=set(self.sanitized),
+            stale=dict(self.stale),
+            checked_at=dict(self.checked_at),
+        )
+
+    def replace_with(self, other: "_State") -> None:
+        self.tags = other.tags
+        self.sanitized = other.sanitized
+        self.stale = other.stale
+        self.checked_at = other.checked_at
+
+
+def _merge(states: Sequence[_State]) -> _State:
+    """Join at a control-flow merge point.
+
+    Tags union (a value tainted on any path is tainted); sanitized
+    intersects (a check must dominate every surviving path); stale
+    unions minus re-sanitized.
+    """
+    if len(states) == 1:
+        return states[0].copy()
+    out = _State()
+    for state in states:
+        for var, tags in state.tags.items():
+            out.tags[var] = out.tags.get(var, frozenset()) | tags
+        for tag, line in state.checked_at.items():
+            out.checked_at[tag] = max(out.checked_at.get(tag, 0), line)
+    out.sanitized = set(states[0].sanitized)
+    for state in states[1:]:
+        out.sanitized &= state.sanitized
+    for state in states:
+        for tag, window in state.stale.items():
+            if tag not in out.sanitized:
+                out.stale.setdefault(tag, window)
+    return out
+
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _walk_expr(node: ast.AST):
+    """``ast.walk`` that does not descend into nested scopes."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if not isinstance(child, _NESTED_SCOPES):
+                stack.append(child)
+
+
+class _Analyzer:
+    """One function's pass: findings out, a Summary out."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        graph: CallGraph,
+        summaries: Dict[str, Summary],
+    ):
+        self.info = info
+        self.graph = graph
+        self.summaries = summaries
+        self.findings: List[Finding] = []
+        self.descs: Dict[str, str] = {}
+        self.sanitize_events: Set[str] = set()
+        self.saw_global_sanitize = False
+        self.saw_yield = False
+        self._param_sinks: List[ParamSink] = []
+        self._emitted: Set[Tuple[str, int, int, str, str]] = set()
+
+    # -- entry ----------------------------------------------------------
+
+    def run(self) -> None:
+        fn = self.info.node
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        state = _State()
+        params = self.info.params
+        for index, name in enumerate(params):
+            tag = f"param:{index}"
+            state.tags[name] = frozenset({tag})
+            self.descs[tag] = f"parameter '{name}'"
+        if is_guest_root_file(self.info.norm_path):
+            for name in taint.handler_taint_params(fn):  # type: ignore[arg-type]
+                tag = f"guest:{name}"
+                state.tags[name] = state.tags.get(name, frozenset()) | {tag}
+                self.descs[tag] = f"hypercall argument '{name}'"
+        self._walk(fn.body, state)
+
+    def summary(self) -> Summary:
+        sanitizes = frozenset(
+            int(tag.split(":", 1)[1])
+            for tag in self.sanitize_events
+            if tag.startswith("param:")
+        )
+        unique = sorted(set(self._param_sinks), key=lambda p: (p.param, p.line, p.sink))
+        return Summary(
+            sanitizes_params=sanitizes,
+            sanitizes_all=self.saw_global_sanitize,
+            yields_control=self.saw_yield,
+            param_sinks=tuple(unique),
+        )
+
+    # -- statements -----------------------------------------------------
+
+    def _walk(self, stmts: Sequence[ast.stmt], state: _State) -> bool:
+        """Run a statement list; False when no path falls through."""
+        for stmt in stmts:
+            if not self._stmt(stmt, state):
+                return False
+        return True
+
+    def _stmt(self, stmt: ast.stmt, state: _State) -> bool:
+        if isinstance(stmt, _NESTED_SCOPES):
+            return True
+
+        if isinstance(stmt, ast.Return):
+            self._scan(stmt.value, state)
+            return False
+        if isinstance(stmt, ast.Raise):
+            self._scan(stmt.exc, state)
+            self._scan(stmt.cause, state)
+            return False
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return False
+
+        if isinstance(stmt, ast.If):
+            self._scan(stmt.test, state)
+            self._mention_sanitize(stmt.test, state, stmt.lineno)
+            body_state = state.copy()
+            else_state = state.copy()
+            body_falls = self._walk(stmt.body, body_state)
+            else_falls = self._walk(stmt.orelse, else_state)
+            arms = [
+                arm
+                for arm, falls in ((body_state, body_falls), (else_state, else_falls))
+                if falls
+            ]
+            if not arms:
+                return False
+            state.replace_with(_merge(arms))
+            return True
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan(stmt.iter, state)
+            self._assign_target(stmt.target, self._tags_of(stmt.iter, state), state)
+            body_state = state.copy()
+            self._walk(stmt.body, body_state)  # zero-or-one iterations
+            state.replace_with(_merge([state, body_state]))
+            return self._walk(stmt.orelse, state)
+
+        if isinstance(stmt, ast.While):
+            self._scan(stmt.test, state)
+            self._mention_sanitize(stmt.test, state, stmt.lineno)
+            body_state = state.copy()
+            self._walk(stmt.body, body_state)
+            state.replace_with(_merge([state, body_state]))
+            return self._walk(stmt.orelse, state)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan(item.context_expr, state)
+            return self._walk(stmt.body, state)
+
+        if isinstance(stmt, ast.Try):
+            pre = state.copy()
+            body_falls = self._walk(stmt.body, state)
+            arm_states: List[_State] = []
+            if body_falls and self._walk(stmt.orelse, state):
+                arm_states.append(state.copy())
+            for handler in stmt.handlers:
+                handler_state = _merge([pre, state])
+                if self._walk(handler.body, handler_state):
+                    arm_states.append(handler_state)
+            survives = bool(arm_states)
+            merged = _merge(arm_states) if arm_states else _merge([pre, state])
+            if stmt.finalbody:
+                if not self._walk(stmt.finalbody, merged):
+                    survives = False
+            state.replace_with(merged)
+            return survives
+
+        if isinstance(stmt, ast.Assign):
+            self._scan(stmt.value, state)
+            tags = self._tags_of(stmt.value, state)
+            for target in stmt.targets:
+                self._assign_target(target, tags, state)
+            return True
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan(stmt.value, state)
+                self._assign_target(
+                    stmt.target, self._tags_of(stmt.value, state), state
+                )
+            return True
+        if isinstance(stmt, ast.AugAssign):
+            self._scan(stmt.value, state)
+            tags = self._tags_of(stmt.value, state)
+            if isinstance(stmt.target, ast.Name):
+                tags = tags | state.tags.get(stmt.target.id, frozenset())
+            self._assign_target(stmt.target, tags, state)
+            return True
+
+        if isinstance(stmt, ast.Assert):
+            self._scan(stmt.test, state)
+            self._mention_sanitize(stmt.test, state, stmt.lineno)
+            return True
+        if isinstance(stmt, ast.Expr):
+            self._scan(stmt.value, state)
+            return True
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state.tags.pop(target.id, None)
+            return True
+        return True
+
+    def _assign_target(
+        self, target: ast.expr, tags: FrozenSet[str], state: _State
+    ) -> None:
+        if isinstance(target, ast.Name):
+            state.tags[target.id] = tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign_target(element, tags, state)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, tags, state)
+        # Attribute / Subscript stores do not rebind a local.
+
+    # -- expressions ----------------------------------------------------
+
+    def _tags_of(self, expr: Optional[ast.AST], state: _State) -> FrozenSet[str]:
+        """Taint of one expression: every mentioned name plus sources."""
+        if expr is None:
+            return frozenset()
+        tags: Set[str] = set()
+        for sub in _walk_expr(expr):
+            if isinstance(sub, ast.Name):
+                tags |= state.tags.get(sub.id, frozenset())
+            elif isinstance(sub, ast.Call) and taint.is_source_call(sub):
+                tag = f"src:{taint.call_name(sub)}:{sub.lineno}"
+                self.descs[tag] = (
+                    f"value from {taint.call_name(sub)}() at line {sub.lineno}"
+                )
+                tags.add(tag)
+        return frozenset(tags)
+
+    def _scan(self, expr: Optional[ast.AST], state: _State) -> None:
+        """Apply every event (sanitize/source/yield/sink/call) in ``expr``."""
+        if expr is None:
+            return
+        for sub in _walk_expr(expr):
+            if (
+                isinstance(sub, ast.Attribute)
+                and sub.attr in taint.GLOBAL_SANITIZER_ATTRS
+            ):
+                self._sanitize_all(state, sub.lineno)
+            elif isinstance(sub, ast.Call):
+                self._call_event(sub, state)
+
+    def _call_event(self, call: ast.Call, state: _State) -> None:
+        name = taint.call_name(call)
+        if name is None:
+            return
+        if name in taint.GLOBAL_SANITIZER_CALLS:
+            self._sanitize_all(state, call.lineno)
+            return
+        if taint.is_sanitizer_call(call):
+            for arg in self._all_args(call):
+                self._sanitize_tags(state, self._tags_of(arg, state), call.lineno)
+            return
+        if taint.is_yield_call(call):
+            self._yield_point(state, call.lineno)
+
+        sink = taint.is_sink_call(call)
+        if sink is not None:
+            for arg in self._all_args(call):
+                self._flag(
+                    self._tags_of(arg, state), sink, call, state, trace_suffix=()
+                )
+
+        callee = self.graph.resolve_call(self.info, call)
+        if callee is None:
+            return
+        summary = self.summaries.get(callee.key)
+        if summary is None:
+            return
+        if sink is None:
+            for param_sink in summary.param_sinks:
+                arg = self._arg_at(call, callee, param_sink.param)
+                if arg is not None:
+                    self._flag(
+                        self._tags_of(arg, state),
+                        param_sink.sink,
+                        call,
+                        state,
+                        trace_suffix=(f"{callee.name}()",) + param_sink.trace,
+                        callee_kind=param_sink.kind,
+                    )
+        if summary.sanitizes_all:
+            self._sanitize_all(state, call.lineno)
+        for param in sorted(summary.sanitizes_params):
+            arg = self._arg_at(call, callee, param)
+            if arg is not None:
+                self._sanitize_tags(state, self._tags_of(arg, state), call.lineno)
+        if summary.yields_control:
+            self._yield_point(state, call.lineno)
+
+    @staticmethod
+    def _all_args(call: ast.Call) -> List[ast.expr]:
+        return list(call.args) + [keyword.value for keyword in call.keywords]
+
+    @staticmethod
+    def _arg_at(
+        call: ast.Call, callee: FunctionInfo, param: int
+    ) -> Optional[ast.expr]:
+        """The argument expression bound to the callee's ``param``."""
+        if any(isinstance(arg, ast.Starred) for arg in call.args):
+            return None
+        if param < len(call.args):
+            return call.args[param]
+        params = callee.params
+        if param < len(params):
+            wanted = params[param]
+            for keyword in call.keywords:
+                if keyword.arg == wanted:
+                    return keyword.value
+        return None
+
+    # -- events ---------------------------------------------------------
+
+    def _sanitize_tags(
+        self, state: _State, tags: FrozenSet[str], line: int
+    ) -> None:
+        for tag in tags:
+            state.sanitized.add(tag)
+            state.stale.pop(tag, None)
+            state.checked_at[tag] = line
+            self.sanitize_events.add(tag)
+
+    def _sanitize_all(self, state: _State, line: int) -> None:
+        self.saw_global_sanitize = True
+        pending: Set[str] = set(state.stale)
+        for tags in state.tags.values():
+            pending |= tags
+        self._sanitize_tags(state, frozenset(pending), line)
+
+    def _yield_point(self, state: _State, line: int) -> None:
+        self.saw_yield = True
+        for tag in sorted(state.sanitized):
+            state.stale[tag] = (state.checked_at.get(tag, 0), line)
+        state.sanitized.clear()
+
+    def _mention_sanitize(
+        self, test: Optional[ast.AST], state: _State, line: int
+    ) -> None:
+        """A conditional that inspects a tainted value checks it."""
+        if test is None:
+            return
+        mentioned: Set[str] = set()
+        for sub in _walk_expr(test):
+            if isinstance(sub, ast.Name):
+                mentioned |= state.tags.get(sub.id, frozenset())
+        if mentioned:
+            self._sanitize_tags(state, frozenset(mentioned), line)
+
+    # -- findings -------------------------------------------------------
+
+    def _flag(
+        self,
+        tags: FrozenSet[str],
+        sink: str,
+        call: ast.Call,
+        state: _State,
+        trace_suffix: Tuple[str, ...],
+        callee_kind: str = "R7",
+    ) -> None:
+        for tag in sorted(tags):
+            if tag in state.sanitized:
+                continue
+            if tag.startswith("param:"):
+                index = int(tag.split(":", 1)[1])
+                self._param_sinks.append(
+                    ParamSink(
+                        param=index,
+                        sink=sink,
+                        line=call.lineno,
+                        kind="R8" if tag in state.stale else callee_kind,
+                        trace=(f"{self.info.name}:{call.lineno} {sink}",)
+                        + trace_suffix,
+                    )
+                )
+            elif tag in state.stale:
+                check_line, yield_line = state.stale[tag]
+                self._emit_r8(tag, sink, call, check_line, yield_line, trace_suffix)
+            elif callee_kind == "R8":
+                self._emit_r8(tag, sink, call, 0, 0, trace_suffix)
+            else:
+                self._emit_r7(tag, sink, call, trace_suffix)
+
+    def _trace(self, call: ast.Call, sink: str, suffix: Tuple[str, ...]) -> str:
+        head = f"{self.info.name}:{call.lineno}"
+        steps = (head,) + suffix if suffix else (head, sink)
+        return " → ".join(steps)
+
+    def _emit(self, finding: Finding, dedup: Tuple[str, int, int, str, str]) -> None:
+        if dedup in self._emitted:
+            return
+        self._emitted.add(dedup)
+        self.findings.append(finding)
+
+    def _emit_r7(
+        self, tag: str, sink: str, call: ast.Call, suffix: Tuple[str, ...]
+    ) -> None:
+        desc = self.descs.get(tag, tag)
+        self._emit(
+            Finding(
+                rule="R7",
+                path=self.info.path,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"guest-controlled value ({desc}) reaches {sink} with no "
+                    "dominating ownership/privilege/bounds check "
+                    f"[path: {self._trace(call, sink, suffix)}]"
+                ),
+                hint=(
+                    "gate the value (owner_of/_check_owned, is_privileged, or "
+                    "a bounds predicate) before the sink, or waive a "
+                    "deliberately-vulnerable path with "
+                    "`# staticcheck: ignore[R7] reason`"
+                ),
+                function=self.info.qualname,
+            ),
+            ("R7", call.lineno, call.col_offset, sink, tag),
+        )
+
+    def _emit_r8(
+        self,
+        tag: str,
+        sink: str,
+        call: ast.Call,
+        check_line: int,
+        yield_line: int,
+        suffix: Tuple[str, ...],
+    ) -> None:
+        desc = self.descs.get(tag, tag)
+        if check_line:
+            window = (
+                f"checked at line {check_line} but used after a preemption "
+                f"point at line {yield_line}"
+            )
+        else:
+            window = "re-used after a preemption point inside the callee"
+        self._emit(
+            Finding(
+                rule="R8",
+                path=self.info.path,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"TOCTOU window: value ({desc}) {window}; {sink} may act "
+                    "on state that changed since the check "
+                    f"[path: {self._trace(call, sink, suffix)}]"
+                ),
+                hint=(
+                    "re-run the validation after the yield/preemption point, "
+                    "or waive with `# staticcheck: ignore[R8] reason`"
+                ),
+                function=self.info.qualname,
+            ),
+            ("R8", call.lineno, call.col_offset, sink, tag),
+        )
+
+
+# ----------------------------------------------------------------------
+# Program-level driver
+# ----------------------------------------------------------------------
+
+#: Summary fixpoint bound: recursion cycles in the call graph are rare
+#: and shallow here; three sweeps reach a fixpoint in practice and the
+#: bound keeps the engine linear.
+MAX_PASSES = 3
+
+
+def analyze_modules(
+    modules: Sequence[Tuple[str, ast.Module]]
+) -> List[Finding]:
+    """Run the taint analysis over a set of parsed modules."""
+    scoped = [
+        (path, tree)
+        for path, tree in modules
+        if in_analysis_scope(path.replace("\\", "/"))
+    ]
+    if not scoped:
+        return []
+    graph = CallGraph(scoped)
+    order = graph.topological_order()
+    summaries: Dict[str, Summary] = {}
+    findings: List[Finding] = []
+    for _ in range(MAX_PASSES):
+        findings = []
+        changed = False
+        for info in order:
+            analyzer = _Analyzer(info, graph, summaries)
+            analyzer.run()
+            summary = analyzer.summary()
+            if summaries.get(info.key) != summary:
+                summaries[info.key] = summary
+                changed = True
+            findings.extend(analyzer.findings)
+        if not changed:
+            break
+    findings.sort(key=lambda f: (f.path.replace("\\", "/"), f.line, f.col, f.rule))
+    return findings
+
+
+class Program:
+    """A parsed multi-module view shared by rules R7/R8.
+
+    ``check_paths`` builds one Program for the whole run so the
+    interprocedural analysis happens once; ``check_source`` builds a
+    single-file Program, which still resolves intra-module calls (the
+    fixture and evaluation case).
+    """
+
+    def __init__(self, modules: Sequence[Tuple[str, ast.Module]]):
+        self.modules = list(modules)
+        self._findings: Optional[List[Finding]] = None
+
+    def findings(self) -> List[Finding]:
+        if self._findings is None:
+            self._findings = analyze_modules(self.modules)
+        return self._findings
+
+    def findings_for(self, path: str) -> List[Finding]:
+        norm = path.replace("\\", "/")
+        return [f for f in self.findings() if f.path.replace("\\", "/") == norm]

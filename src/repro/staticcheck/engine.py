@@ -68,8 +68,14 @@ def check_source(
     path: str,
     rules: Optional[Sequence[str]] = None,
     baseline: Iterable[str] = (),
+    program: Optional[object] = None,
 ) -> CheckResult:
-    """Run the pipeline over one in-memory file."""
+    """Run the pipeline over one in-memory file.
+
+    ``program`` is the whole-run interprocedural view built by
+    ``check_paths``; standalone callers leave it ``None`` and the
+    dataflow rules fall back to a single-file program.
+    """
     result = CheckResult(files_checked=1)
     try:
         tree = ast.parse(source, filename=path)
@@ -85,7 +91,7 @@ def check_source(
         )
         return result
 
-    ctx = RuleContext(path=path, tree=tree, source=source)
+    ctx = RuleContext(path=path, tree=tree, source=source, program=program)
     waivers = WaiverSet(source, tree)
     baseline_set: Set[str] = set(baseline)
 
@@ -97,7 +103,9 @@ def check_source(
 
     for finding in raw:
         waiver = (
-            waivers.waiver_for(finding) if finding.rule != "W0" else None
+            waivers.waiver_for(finding)
+            if finding.rule not in ("W0", "W1")
+            else None
         )
         if waiver is not None:
             result.waived.append((finding, waiver))
@@ -105,23 +113,60 @@ def check_source(
             result.baselined.append(finding)
         else:
             result.findings.append(finding)
+
+    # Unused-waiver warning (W1): a waiver that suppresses nothing is
+    # stale debt — the finding it covered was fixed, or its rule list
+    # is wrong.  Only meaningful when every rule ran; under a partial
+    # ``--rules`` selection a waiver for an unselected rule is
+    # legitimately idle.
+    if rules is None:
+        used_lines = {waiver.line for _, waiver in result.waived}
+        for line in sorted(waivers.by_line):
+            waiver = waivers.by_line[line]
+            if line in used_lines or not waiver.reason:
+                continue  # reasonless waivers are already W0
+            scope = "all rules" if waiver.rules is None else ",".join(waiver.rules)
+            result.findings.append(
+                Finding(
+                    rule="W1",
+                    path=path,
+                    line=line,
+                    col=0,
+                    message=f"waiver [{scope}] suppresses no findings; "
+                    "remove it or fix its rule list",
+                    hint="stale waivers hide future regressions behind "
+                    "an already-spent justification",
+                )
+            )
+        result.findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return result
 
 
 def _iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under ``paths``, in a byte-stable order.
+
+    Findings, baselines and JSON reports must be byte-identical on any
+    machine, so the order cannot depend on ``os.walk``'s traversal or
+    the filesystem's directory order: the full list is sorted by its
+    normalized (forward-slash) relative path, deduplicated.
+    """
     files: List[str] = []
     for path in paths:
         if os.path.isfile(path):
             files.append(path)
             continue
         for dirpath, dirnames, filenames in os.walk(path):
-            dirnames[:] = sorted(
-                d for d in dirnames if d not in {"__pycache__", ".git"}
-            )
-            for name in sorted(filenames):
+            dirnames[:] = [d for d in dirnames if d not in {"__pycache__", ".git"}]
+            for name in filenames:
                 if name.endswith(".py"):
                     files.append(os.path.join(dirpath, name))
-    return files
+    seen: Set[str] = set()
+    unique: List[str] = []
+    for path in sorted(files, key=lambda p: p.replace(os.sep, "/")):
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
 
 
 def check_paths(
@@ -129,24 +174,48 @@ def check_paths(
     rules: Optional[Sequence[str]] = None,
     baseline: Iterable[str] = (),
 ) -> CheckResult:
-    """Check every Python file under ``paths``."""
+    """Check every Python file under ``paths``.
+
+    All files are parsed up front so the interprocedural rules see one
+    whole-run :class:`~repro.staticcheck.dataflow.Program` — a taint
+    source in ``hypercalls.py`` is followed into the ``hypervisor.py``
+    helper that sinks it, whichever order the files are visited in.
+    """
+    from repro.staticcheck.dataflow import Program
+
     result = CheckResult()
     baseline_set = set(baseline)
+    parsed: List[Tuple[str, Optional[str], Optional[ast.Module]]] = []
+    modules: List[Tuple[str, ast.Module]] = []
     for path in _iter_python_files(paths):
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 source = handle.read()
         except OSError as exc:
+            parsed.append((path, None, None))
             result.errors.append(
                 Finding(
                     rule="E0", path=path, line=0, col=0,
                     message=f"could not read: {exc}",
                 )
             )
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            tree = None  # check_source re-parses and reports E0
+        parsed.append((path, source, tree))
+        if tree is not None:
+            modules.append((path, tree))
+    program = Program(modules)
+    for path, source, _tree in parsed:
+        if source is None:
             result.files_checked += 1
             continue
         result.extend(
-            check_source(source, path, rules=rules, baseline=baseline_set)
+            check_source(
+                source, path, rules=rules, baseline=baseline_set, program=program
+            )
         )
     return result
 

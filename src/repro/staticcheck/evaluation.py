@@ -1,0 +1,214 @@
+"""Detection-quality evaluation of the checker against ``vulngen``.
+
+The synthetic corpus gives the one thing a linter's own source never
+can: **ground truth**.  Every corpus entry renders to a vulnerable
+and a hardened handler variant (:mod:`repro.vulngen.render`); the
+checker *should* flag the former (via the entry class's expected
+rules, :data:`~repro.vulngen.taxonomy.CLASS_RULE_MAP`) and *should
+not* flag the latter.  This module runs that experiment over the full
+corpus and scores per-class precision / recall / F1:
+
+* **TP** — vulnerable variant where an expected rule fired;
+* **FN** — vulnerable variant the checker missed;
+* **FP** — hardened variant with any finding at all (a hardened
+  handler is correct code; flagging it is noise);
+* **TN** — hardened variant reported clean.
+
+The report is canonical JSON with a content digest — byte-identical
+across runs and machines for the same (root seed, size, rules), which
+CI asserts by running the evaluation twice and comparing artifacts.
+CI also enforces :data:`RECALL_FLOORS`: a change that silently blinds
+the engine to a defect class fails the build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.staticcheck.engine import check_source
+from repro.vulngen.corpus import DEFAULT_ROOT_SEED, DEFAULT_SIZE, generate_corpus
+from repro.vulngen.render import render_pair, render_path
+from repro.vulngen.taxonomy import CLASS_RULE_MAP
+
+#: Report format version (bumped on any scoring change).
+EVALUATION_FORMAT = 1
+
+#: Rules the evaluation runs.  R2 is deliberately excluded: rendered
+#: modules are not on R2's per-file scope list, and its per-function
+#: heuristic is subsumed by R7 on this corpus.
+DEFAULT_RULES: Tuple[str, ...] = ("R1", "R7", "R8")
+
+#: Minimum acceptable recall per class slug — the CI tripwire.  The
+#: shipped engine scores 1.0 everywhere; the floor leaves headroom for
+#: benign template drift while still catching a blinded rule.
+RECALL_FLOORS: Dict[str, float] = {
+    "missing-ownership-check": 0.8,
+    "missing-privilege-check": 0.8,
+    "refcount-imbalance": 0.8,
+    "bounds-error": 0.8,
+    "toctou-window": 0.8,
+}
+
+
+@dataclass
+class ClassScore:
+    """Confusion-matrix counts and derived metrics for one class."""
+
+    vuln_class: str
+    expected_rules: Tuple[str, ...]
+    tp: int = 0
+    fn: int = 0
+    fp: int = 0
+    tn: int = 0
+    #: Ids of missed vulnerable variants / flagged hardened variants.
+    missed: List[str] = field(default_factory=list)
+    false_alarms: List[str] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.tp / (self.tp + self.fn) if (self.tp + self.fn) else 0.0
+
+    @property
+    def f1(self) -> float:
+        denom = self.precision + self.recall
+        return 2 * self.precision * self.recall / denom if denom else 0.0
+
+    def to_entry(self) -> dict:
+        return {
+            "class": self.vuln_class,
+            "expected_rules": list(self.expected_rules),
+            "tp": self.tp,
+            "fn": self.fn,
+            "fp": self.fp,
+            "tn": self.tn,
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f1": round(self.f1, 4),
+            "recall_floor": RECALL_FLOORS.get(self.vuln_class, 0.0),
+            "missed": self.missed,
+            "false_alarms": self.false_alarms,
+        }
+
+
+@dataclass
+class EvaluationReport:
+    """The full evaluation outcome over one rendered corpus."""
+
+    root_seed: int
+    size: int
+    rules: Tuple[str, ...]
+    scores: Dict[str, ClassScore]
+
+    @property
+    def total_tp(self) -> int:
+        return sum(s.tp for s in self.scores.values())
+
+    @property
+    def total_fn(self) -> int:
+        return sum(s.fn for s in self.scores.values())
+
+    @property
+    def total_fp(self) -> int:
+        return sum(s.fp for s in self.scores.values())
+
+    @property
+    def floors_met(self) -> bool:
+        """Does every class meet its pinned recall floor, with no FPs?"""
+        return self.total_fp == 0 and all(
+            score.recall >= RECALL_FLOORS.get(slug, 0.0)
+            for slug, score in self.scores.items()
+        )
+
+    def to_dict(self) -> dict:
+        entries = [self.scores[slug].to_entry() for slug in sorted(self.scores)]
+        blob = json.dumps(entries, sort_keys=True).encode()
+        return {
+            "format": EVALUATION_FORMAT,
+            "root_seed": self.root_seed,
+            "size": self.size,
+            "rules": list(self.rules),
+            "floors_met": self.floors_met,
+            "totals": {
+                "tp": self.total_tp,
+                "fn": self.total_fn,
+                "fp": self.total_fp,
+                "tn": sum(s.tn for s in self.scores.values()),
+            },
+            "digest": hashlib.sha256(blob).hexdigest(),
+            "classes": entries,
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON rendering (the CI artifact)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def render(self) -> str:
+        """Human-readable per-class metrics table."""
+        lines = [
+            "staticcheck detection evaluation "
+            f"(root seed {self.root_seed}, {self.size} entries, "
+            f"rules {','.join(self.rules)})",
+            f"{'class':<26}{'rules':<10}{'tp':>4}{'fn':>4}{'fp':>4}{'tn':>4}"
+            f"{'prec':>8}{'recall':>8}{'f1':>8}{'floor':>8}",
+            "-" * 84,
+        ]
+        for slug in sorted(self.scores):
+            score = self.scores[slug]
+            lines.append(
+                f"{slug:<26}{'+'.join(score.expected_rules):<10}"
+                f"{score.tp:>4}{score.fn:>4}{score.fp:>4}{score.tn:>4}"
+                f"{score.precision:>8.2f}{score.recall:>8.2f}{score.f1:>8.2f}"
+                f"{RECALL_FLOORS.get(slug, 0.0):>8.2f}"
+            )
+        lines += [
+            "-" * 84,
+            f"totals: tp={self.total_tp} fn={self.total_fn} "
+            f"fp={self.total_fp}; recall floors "
+            + ("met" if self.floors_met else "NOT MET"),
+        ]
+        return "\n".join(lines)
+
+
+def evaluate_corpus(
+    root_seed: int = DEFAULT_ROOT_SEED,
+    size: int = DEFAULT_SIZE,
+    rules: Sequence[str] = DEFAULT_RULES,
+) -> EvaluationReport:
+    """Render + check every corpus entry pair; score per class."""
+    corpus = generate_corpus(root_seed=root_seed, size=size)
+    rule_set = tuple(rules)
+    scores: Dict[str, ClassScore] = {}
+    for spec in corpus.specs:
+        slug = spec.vuln_class.value
+        expected = tuple(
+            r for r in CLASS_RULE_MAP[spec.vuln_class] if r in rule_set
+        )
+        score = scores.setdefault(slug, ClassScore(slug, expected))
+        vuln_src, hard_src = render_pair(spec)
+        vuln_result = check_source(
+            vuln_src, render_path(spec, hardened=False), rules=rule_set
+        )
+        hard_result = check_source(
+            hard_src, render_path(spec, hardened=True), rules=rule_set
+        )
+        detected = any(f.rule in expected for f in vuln_result.findings)
+        if detected:
+            score.tp += 1
+        else:
+            score.fn += 1
+            score.missed.append(spec.id)
+        if hard_result.findings or hard_result.errors or vuln_result.errors:
+            score.fp += 1
+            score.false_alarms.append(spec.id)
+        else:
+            score.tn += 1
+    return EvaluationReport(
+        root_seed=root_seed, size=size, rules=rule_set, scores=scores
+    )

@@ -1,4 +1,4 @@
-"""Text and JSON renderings of a :class:`~repro.staticcheck.engine.CheckResult`."""
+"""Text, JSON and SARIF renderings of a :class:`~repro.staticcheck.engine.CheckResult`."""
 
 from __future__ import annotations
 
@@ -67,3 +67,83 @@ def render_json(result: CheckResult) -> str:
         "baselined": [f.to_dict() for f in result.baselined],
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+#: Schema pinned so two runs of the same checker emit byte-identical
+#: documents (editors and code-scanning UIs key off this URI).
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _sarif_result(finding) -> dict:
+    region = {"startLine": max(finding.line, 1)}
+    if finding.col:
+        region["startColumn"] = finding.col + 1  # SARIF columns are 1-based
+    message = finding.message
+    if finding.hint:
+        message += f" (hint: {finding.hint})"
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/")
+                    },
+                    "region": region,
+                }
+            }
+        ],
+        "partialFingerprints": {"reproStaticcheck/v1": finding.fingerprint},
+    }
+
+
+def render_sarif(result: CheckResult) -> str:
+    """SARIF 2.1.0 document for code-scanning UIs.
+
+    Carries kept findings and parse errors (pseudo-rule ``E0``) as
+    ``error``-level results; waived and baselined findings are
+    suppressed here exactly as they are for the exit code.  Output is
+    byte-stable: rules sorted by id, results in engine order, keys
+    sorted.
+    """
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+        }
+        for rule in sorted(RULE_REGISTRY.values(), key=lambda r: r.id)
+    ]
+    if result.errors:
+        rules.append(
+            {
+                "id": "E0",
+                "name": "parse-error",
+                "shortDescription": {
+                    "text": "the file could not be parsed or read"
+                },
+            }
+        )
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-staticcheck",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _sarif_result(f) for f in result.errors + result.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.staticcheck.model import Finding
 
@@ -23,6 +23,10 @@ class RuleContext:
     path: str
     tree: ast.Module
     source: str
+    #: Whole-run program view for interprocedural rules (R7/R8): a
+    #: :class:`repro.staticcheck.dataflow.Program` when ``check_paths``
+    #: built one, else ``None`` (rules fall back to a one-file view).
+    program: Optional[Any] = None
     #: Path normalized to forward slashes, for scope matching.
     norm_path: str = field(init=False)
 
@@ -91,6 +95,8 @@ def _load_rules() -> None:
         instancepatch,
         privilege,
         refcount,
+        taintsink,
+        toctou,
         versiongate,
     )
 

@@ -1,0 +1,46 @@
+"""R7 — guest-controlled values must be checked before dangerous sinks.
+
+This is the interprocedural generalisation of R2: where R2 asks "does
+the handler consult ownership *anywhere*", R7 follows each
+guest-controlled value (hypercall arguments, ring payloads, guest PTE
+contents) through assignments and calls and demands a sanitizer that
+*dominates* the sink on the actual path — a check on a sibling branch,
+or after the write, does not count.  The engine, the model and the
+finding format (source→sink trace in the message) live in
+:mod:`repro.staticcheck.dataflow` / :mod:`repro.staticcheck.taint`;
+this module is the per-file dispatch glue.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.staticcheck.dataflow import Program, in_analysis_scope
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import RuleContext, rule
+
+
+def _program_for(ctx: RuleContext) -> Program:
+    if ctx.program is not None:
+        return ctx.program
+    # Single-file pipeline (check_source): intra-module resolution only.
+    ctx.program = Program([(ctx.path, ctx.tree)])
+    return ctx.program
+
+
+@rule(
+    "R7",
+    "tainted-sink",
+    "guest-controlled values (hypercall arguments, ring payloads) must "
+    "pass an ownership/privilege/bounds check before reaching machine "
+    "writes, frame-type transitions, refcount ops or the directmap",
+)
+def check_tainted_sinks(ctx: RuleContext) -> List[Finding]:
+    """R7: no unsanitized guest-controlled value may reach a sink."""
+    if not in_analysis_scope(ctx.norm_path):
+        return []
+    return [
+        finding
+        for finding in _program_for(ctx).findings_for(ctx.path)
+        if finding.rule == "R7"
+    ]

@@ -1,0 +1,38 @@
+"""R8 — a completed check must still hold at the moment of use.
+
+XSA-182's fast path re-used a validation that a concurrent update had
+invalidated; grant-copy handlers historically re-read guest-writable
+ring entries after checking them.  The pattern is always the same
+triple: *check* (ownership/bounds predicate passes), *window* (the CPU
+yields — scheduler tick, preemption hook — or guest-writable memory is
+re-read), *use* (the sink consumes the checked value).  The dataflow
+engine tracks the first two as sanitized→stale tag transitions
+(:meth:`~repro.staticcheck.dataflow._Analyzer._yield_point`); this
+rule reports the third.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.staticcheck.dataflow import in_analysis_scope
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import RuleContext, rule
+from repro.staticcheck.rules.taintsink import _program_for
+
+
+@rule(
+    "R8",
+    "toctou-window",
+    "a sanitizer check and its dependent sink must not be separated by "
+    "a yield/preemption point without re-validation (check/use races)",
+)
+def check_toctou_windows(ctx: RuleContext) -> List[Finding]:
+    """R8: no stale (checked-then-yielded) value may reach a sink."""
+    if not in_analysis_scope(ctx.norm_path):
+        return []
+    return [
+        finding
+        for finding in _program_for(ctx).findings_for(ctx.path)
+        if finding.rule == "R8"
+    ]

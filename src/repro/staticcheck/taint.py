@@ -1,0 +1,212 @@
+"""The taint model: guest-controlled sources, dangerous sinks,
+sanitizers.
+
+The SPEC-RG hypercall-handler survey reduces to one sentence: almost
+every real hypervisor vulnerability is a *guest-controlled value*
+reaching a *privileged operation* without the *check* that should
+stand between them.  This module names the three vocabularies for the
+simulator's codebase; :mod:`repro.staticcheck.dataflow` turns them
+into an interprocedural analysis and rules R7/R8 turn the analysis
+into findings.
+
+**Sources** — where guest-controlled data enters the hypervisor:
+
+* every non-domain parameter of a hypercall handler (the argument
+  structs a guest marshals into ``HYPERVISOR_*`` calls — the universal
+  source per "Breaking Isolation");
+* shared-ring / grant payload reads (``consume_requests``,
+  ``read_request`` …) — ring memory is guest-writable at all times;
+* guest PTE / guest-memory reads (``read_word`` through a guest
+  frame, ``copy_from_guest``): the content is the guest's to choose.
+
+**Sinks** — privileged operations whose operands must be trusted:
+
+* raw machine writes (``machine.write_word`` / ``copy_frame`` /
+  ``zero_frame``);
+* frame-type transitions and refcount ops (``frames.get_page``,
+  ``get_page_type``, ``assign``, ``pin``, ``unpin``);
+* M2P / mapping mutations (``set_m2p``, ``clear_m2p``,
+  ``free_domain_page``, ``zap_guest_mappings``);
+* directmap address formation (``directmap_va`` — a tainted offset
+  here is an arbitrary hypervisor write, XSA-212's exact shape).
+
+**Sanitizers** — evidence the value was checked before use:
+
+* ownership predicates (``_check_owned``, ``owner_of``, ``.owner``
+  comparisons);
+* privilege gates (``.is_privileged``) — these gate the *operation*,
+  so they clear every pending taint, not just the mentioned value;
+* bounds predicates: any comparison of a tainted value inside a
+  conditional (the ``if offset >= limit: raise`` idiom);
+* :class:`~repro.xen.versions.XenVersion` gates (``has_vuln`` /
+  ``has_hardening``) — also operation-wide.
+
+**Yield points** (R8's third vocabulary) — where the world may change
+under a completed check: scheduler ticks, preemption hooks, explicit
+re-reads of guest-writable memory.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+#: Parameter names that identify the *calling domain* argument of a
+#: hypercall handler (shared with rule R2 — the same definition of
+#: "handler" drives both rules).
+DOMAIN_PARAM_NAMES = frozenset({"domain", "mapper", "granter", "caller"})
+
+#: Calls whose return value is guest-controlled regardless of their
+#: arguments (shared-ring consumption, guest-memory copies).
+SOURCE_CALLS = frozenset(
+    {
+        "copy_from_guest",
+        "consume_requests",
+        "consume_request",
+        "read_request",
+        "read_guest_word",
+        "guest_read",
+    }
+)
+
+#: Dangerous calls, mapped to the receiver-chain tail that identifies
+#: them (``machine.write_word`` → ``machine``); ``None`` accepts any
+#: receiver (module-level helpers like ``directmap_va``).
+SINK_CALLS: dict = {
+    "write_word": ("machine", "self"),
+    "copy_frame": ("machine", "self"),
+    "zero_frame": ("machine", "self"),
+    "get_page": ("frames",),
+    "get_page_type": ("frames",),
+    "assign": ("frames",),
+    "pin": ("frames",),
+    "unpin": ("frames",),
+    "set_m2p": ("xen", "self"),
+    "clear_m2p": ("xen", "self"),
+    "free_domain_page": ("xen", "self"),
+    "zap_guest_mappings": ("xen", "self"),
+    "unchecked_copy_to_guest": ("xen", "self"),
+    "directmap_va": None,
+}
+
+#: Calls that count as *checking* their arguments (ownership and
+#: explicit validation helpers).
+SANITIZER_CALLS = frozenset(
+    {
+        "_check_owned",
+        "owner_of",
+        "check_bounds",
+        "validate_entry",
+        "validate_frame",
+    }
+)
+
+#: Attribute reads that, inside a conditional test, gate the whole
+#: operation rather than one value.
+GLOBAL_SANITIZER_ATTRS = frozenset({"is_privileged"})
+
+#: Version-gate calls (rule R5's vocabulary): conditioning on the
+#: build's vulnerability/hardening flags gates the whole operation.
+GLOBAL_SANITIZER_CALLS = frozenset({"has_vuln", "has_hardening"})
+
+#: Calls after which previously-checked guest state may have changed:
+#: scheduler ticks, preemption hooks, explicit yields.
+YIELD_CALLS = frozenset(
+    {
+        "tick",
+        "preempt",
+        "yield_to",
+        "do_yield",
+        "hypercall_preempt",
+        "schedule",
+    }
+)
+
+
+def receiver_tail(node: ast.expr) -> Optional[str]:
+    """Last component of the receiver chain (``xen.frames`` → ``frames``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Bare name of the callee (``xen.machine.write_word`` → ``write_word``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def is_sink_call(node: ast.Call) -> Optional[str]:
+    """The sink's display name when ``node`` is a dangerous call."""
+    name = call_name(node)
+    if name is None or name not in SINK_CALLS:
+        return None
+    wanted = SINK_CALLS[name]
+    func = node.func
+    if wanted is None:
+        return name
+    if isinstance(func, ast.Attribute):
+        tail = receiver_tail(func.value)
+        if tail in wanted:
+            return f"{tail}.{name}" if tail != "self" else name
+    return None
+
+
+def is_source_call(node: ast.Call) -> bool:
+    """Does this call read guest-controlled data (ring/PTE/copy-in)?"""
+    name = call_name(node)
+    return name is not None and name in SOURCE_CALLS
+
+
+def is_sanitizer_call(node: ast.Call) -> bool:
+    """Does this call validate its tainted arguments?"""
+    name = call_name(node)
+    return name is not None and name in SANITIZER_CALLS
+
+
+def is_global_sanitizer_expr(node: ast.AST) -> bool:
+    """Does this expression consult a privilege or version gate?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in GLOBAL_SANITIZER_ATTRS:
+            return True
+        if isinstance(sub, ast.Call):
+            name = call_name(sub)
+            if name in GLOBAL_SANITIZER_CALLS:
+                return True
+    return False
+
+
+def is_yield_call(node: ast.Call) -> bool:
+    """Does this call open a preemption window (R8's TOCTOU trigger)?"""
+    name = call_name(node)
+    return name is not None and name in YIELD_CALLS
+
+
+def handler_taint_params(func: ast.FunctionDef) -> list:
+    """Guest-controlled parameter names when ``func`` is a handler.
+
+    A *handler* takes the calling domain as its first non-``self``
+    argument (rule R2's definition); every later parameter is guest
+    marshalled and therefore a taint root.  Returns ``[]`` for
+    non-handlers.
+    """
+    args = [a for a in func.args.args if a.arg != "self"]
+    if not args:
+        return []
+    first = args[0]
+    is_handler = first.arg in DOMAIN_PARAM_NAMES
+    if not is_handler:
+        annotation = first.annotation
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            is_handler = "Domain" in annotation.value
+        elif isinstance(annotation, ast.Name):
+            is_handler = "Domain" in annotation.id
+    if not is_handler:
+        return []
+    return [a.arg for a in args[1:]]

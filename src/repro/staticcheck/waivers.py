@@ -17,7 +17,9 @@ reported, so suppressions stay reviewable.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -42,10 +44,29 @@ class Waiver:
         return self.rules is None or rule in self.rules
 
 
+def _comment_lines(source: str) -> Dict[int, str]:
+    """1-based line -> comment text, for *real* comments only.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps waiver
+    syntax quoted inside docstrings and string literals — rule hints,
+    documentation — from being parsed as live waivers.  Falls back to
+    treating every line as a candidate if tokenization fails (the
+    engine reports the syntax error separately).
+    """
+    try:
+        return {
+            tok.start[0]: tok.string
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+            if tok.type == tokenize.COMMENT
+        }
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return dict(enumerate(source.splitlines(), start=1))
+
+
 def parse_waivers(source: str) -> Dict[int, Waiver]:
     """Extract waivers from source text, keyed by 1-based line."""
     waivers: Dict[int, Waiver] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    for lineno, text in sorted(_comment_lines(source).items()):
         match = _WAIVER_RE.search(text)
         if not match:
             continue
@@ -65,13 +86,21 @@ def parse_waivers(source: str) -> Dict[int, Waiver]:
 
 
 def _function_spans(tree: ast.AST) -> List[Tuple[int, int, int]]:
-    """(header_start, header_end, body_end) for every function."""
+    """(header_start, header_end, body_end) for every function.
+
+    The header opens at the first decorator (a waiver on the
+    ``@probe_hook`` line reads as naturally as one on the ``def``) and
+    closes on the line before the body starts.
+    """
     spans = []
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            start = min(
+                [node.lineno] + [d.lineno for d in node.decorator_list]
+            )
             header_end = node.body[0].lineno - 1 if node.body else node.lineno
             spans.append(
-                (node.lineno, max(node.lineno, header_end), node.end_lineno or node.lineno)
+                (start, max(start, header_end), node.end_lineno or node.lineno)
             )
     return spans
 

@@ -10,7 +10,11 @@ count into the hundreds without inventing fake CVEs:
   vulnerability classes (missing ownership check, missing privilege
   check, refcount imbalance, bounds/arithmetic error, TOCTOU window),
   mapped to the abusive-functionality taxonomy and to the staticcheck
-  rules that model them (R1/R2).
+  rules that model them (R1/R2/R7/R8).
+
+* :mod:`repro.vulngen.render` — renders each corpus entry to a
+  vulnerable/hardened pair of hypercall-handler modules, the labelled
+  inputs for the ``repro staticcheck-eval`` detection-quality harness.
 
 * :mod:`repro.vulngen.corpus` — a deterministic generator of
   *synthetic vulnerabilities*: each corpus entry is a pure function of
@@ -44,6 +48,7 @@ from repro.vulngen.corpus import (
     spec_by_id,
 )
 from repro.vulngen.coverage import CoverageMap, coverage_features
+from repro.vulngen.render import render_pair, render_path, render_source
 from repro.vulngen.schedule import (
     CoverageFuzzCampaign,
     CoverageGuidedScheduler,
@@ -71,6 +76,9 @@ __all__ = [
     "generate_corpus",
     "is_synthetic_id",
     "make_use_case",
+    "render_pair",
+    "render_path",
+    "render_source",
     "run_synthetic_trial",
     "spec_by_id",
 ]

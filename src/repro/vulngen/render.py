@@ -1,0 +1,197 @@
+"""Render corpus entries to analyzable hypercall-handler source.
+
+Each :class:`~repro.vulngen.corpus.VulnSpec` renders to a pair of
+Python modules shaped like the simulator's own ``repro.xen``
+hypercall handlers: a **vulnerable** variant that instantiates the
+entry's defect class, and a **hardened** variant with the missing
+check restored.  The pair is what the detection-evaluation harness
+(:mod:`repro.staticcheck.evaluation`) feeds to the static checker —
+the vulnerable variant is the positive label, the hardened one the
+negative.
+
+Rendering is a pure function of the spec: identifier choices, the
+handler layout (direct sink vs. helper indirection) and the baked-in
+constants (frame word, crafted value, span) are all drawn from an RNG
+seeded by the entry id, so the same corpus renders byte-identically
+anywhere — a requirement inherited from the manifest (rule R4).
+
+The virtual path for a rendered module is
+``src/repro/xen/synthetic/<id>/hypercalls.py``: the ``hypercalls.py``
+basename puts the handlers inside the dataflow engine's
+guest-taint-root set, and the ``repro/xen/`` fragment keeps the file
+in R1's and the engine's analysis scope.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.vulngen.corpus import VulnSpec
+from repro.vulngen.taxonomy import VulnClass
+
+#: Identifier pools the renderer draws from (per-entry, deterministic).
+_HANDLER_VERBS = ("update", "apply", "commit", "install", "program")
+_HANDLER_NOUNS = ("entry", "slot", "frame", "mapping", "window")
+_CLASS_NAMES = ("SyntheticOps", "TableOps", "FrameOps", "MapOps")
+_ARG_NAMES = ("op", "req", "args")
+
+
+def render_path(spec: VulnSpec, hardened: bool = False) -> str:
+    """The virtual source path the evaluation analyses the module under."""
+    variant = "hardened" if hardened else "vulnerable"
+    return f"src/repro/xen/synthetic/{spec.id}/{variant}/hypercalls.py"
+
+
+def _rng(spec: VulnSpec) -> random.Random:
+    return random.Random(f"{spec.id}:render")
+
+
+def _names(spec: VulnSpec) -> dict:
+    rng = _rng(spec)
+    verb = rng.choice(_HANDLER_VERBS)
+    noun = rng.choice(_HANDLER_NOUNS)
+    return {
+        "cls": rng.choice(_CLASS_NAMES),
+        "handler": f"do_{verb}_{noun}",
+        "helper": f"_{verb}_{noun}",
+        "arg": rng.choice(_ARG_NAMES),
+        "indirect": rng.random() < 0.5,
+    }
+
+
+def _header(spec: VulnSpec, hardened: bool) -> List[str]:
+    variant = "hardened" if hardened else "vulnerable"
+    return [
+        f'"""Synthetic handler {spec.id} ({variant} variant).',
+        "",
+        f"Class: {spec.vuln_class.value}; component: {spec.component};",
+        f"anchored to {spec.gate.advisory}.  Rendered by repro.vulngen.render.",
+        '"""',
+        "",
+        f"WORD = {spec.word}",
+        f"VALUE = 0x{spec.value:016x}",
+        f"SPAN = {spec.span}",
+        "",
+        "",
+    ]
+
+
+def _ownership(spec: VulnSpec, names: dict, hardened: bool) -> List[str]:
+    arg = names["arg"]
+    guard = [
+        f"        if self.xen.frames.owner_of(mfn) != domain.id:",
+        f'            raise HypercallError("foreign frame")',
+    ]
+    if names["indirect"]:
+        body = [
+            f"    def {names['handler']}(self, domain, {arg}):",
+            f"        mfn = {arg}.mfn",
+            f"        value = {arg}.value",
+            *(guard if hardened else []),
+            f"        self.{names['helper']}(mfn, value)",
+            "",
+            f"    def {names['helper']}(self, mfn, value):",
+            "        self.machine.write_word(mfn, WORD, value)",
+        ]
+    else:
+        body = [
+            f"    def {names['handler']}(self, domain, {arg}):",
+            f"        mfn = {arg}.mfn",
+            *(guard if hardened else []),
+            f"        self.machine.write_word(mfn, WORD, {arg}.value)",
+        ]
+    return body
+
+
+def _privilege(spec: VulnSpec, names: dict, hardened: bool) -> List[str]:
+    arg = names["arg"]
+    guard = [
+        "        if not domain.is_privileged:",
+        f'            raise HypercallError("{spec.component} is reserved")',
+    ]
+    return [
+        f"    def {names['handler']}(self, domain, {arg}):",
+        f"        slot = {arg}.slot",
+        *(guard if hardened else []),
+        "        va = self.xen.directmap_va(slot)",
+        f"        self.machine.write_word(va, WORD, {arg}.value)",
+    ]
+
+
+def _refcount(spec: VulnSpec, names: dict, hardened: bool) -> List[str]:
+    arg = names["arg"]
+    release = ["            self.xen.frames.put_page(mfn)"] if hardened else []
+    return [
+        f"    def {names['handler']}(self, domain, {arg}):",
+        f"        mfn = {arg}.mfn",
+        "        if self.xen.frames.owner_of(mfn) != domain.id:",
+        '            raise HypercallError("foreign frame")',
+        "        self.xen.frames.get_page(mfn)",
+        f"        if {arg}.flags & 0x1:",
+        *release,
+        '            raise HypercallError("bad flags")',
+        "        self.machine.write_word(mfn, WORD, VALUE)",
+        "        self.xen.frames.put_page(mfn)",
+    ]
+
+
+def _bounds(spec: VulnSpec, names: dict, hardened: bool) -> List[str]:
+    arg = names["arg"]
+    guard = [
+        f"        if base + {arg}.count > 512:",
+        '            raise HypercallError("window overflow")',
+    ]
+    return [
+        f"    def {names['handler']}(self, domain, {arg}):",
+        f"        base = {arg}.offset",
+        *(guard if hardened else []),
+        f"        for i in range({arg}.count):",
+        f"            self.machine.write_word(self.table_mfn, base + i, {arg}.value)",
+    ]
+
+
+def _toctou(spec: VulnSpec, names: dict, hardened: bool) -> List[str]:
+    arg = names["arg"]
+    recheck = [
+        "        if self.xen.frames.owner_of(mfn) != domain.id:",
+        '            raise HypercallError("owner changed across the window")',
+    ]
+    return [
+        f"    def {names['handler']}(self, domain, {arg}):",
+        f"        mfn = {arg}.mfn",
+        "        if self.xen.frames.owner_of(mfn) != domain.id:",
+        '            raise HypercallError("foreign frame")',
+        "        self.xen.tick()",
+        *(recheck if hardened else []),
+        f"        self.machine.write_word(mfn, WORD, {arg}.value)",
+    ]
+
+
+_TEMPLATES = {
+    VulnClass.MISSING_OWNERSHIP_CHECK: _ownership,
+    VulnClass.MISSING_PRIVILEGE_CHECK: _privilege,
+    VulnClass.REFCOUNT_IMBALANCE: _refcount,
+    VulnClass.BOUNDS_ERROR: _bounds,
+    VulnClass.TOCTOU_WINDOW: _toctou,
+}
+
+
+def render_source(spec: VulnSpec, hardened: bool = False) -> str:
+    """Render one variant of ``spec`` to handler source."""
+    names = _names(spec)
+    lines = _header(spec, hardened)
+    lines += [
+        "class HypercallError(Exception):",
+        "    pass",
+        "",
+        "",
+        f"class {names['cls']}:",
+    ]
+    lines += _TEMPLATES[spec.vuln_class](spec, names, hardened)
+    return "\n".join(lines) + "\n"
+
+
+def render_pair(spec: VulnSpec) -> Tuple[str, str]:
+    """(vulnerable_source, hardened_source) for one corpus entry."""
+    return render_source(spec, hardened=False), render_source(spec, hardened=True)

@@ -75,16 +75,18 @@ CLASS_FUNCTIONALITY: Dict[VulnClass, AbusiveFunctionality] = {
 }
 
 #: Class -> the staticcheck rule(s) that model the defect class on the
-#: simulator's own source (DESIGN.md §7): R1 is the refcount-balance
-#: analysis, R2 the ownership/privilege-gate analysis.  Bounds and
-#: TOCTOU defects have no static shadow yet — they are caught
-#: dynamically by the campaign monitors only.
+#: simulator's own source (DESIGN.md §7/§12): R1 is the
+#: refcount-balance analysis, R2 the per-function ownership/privilege
+#: gate heuristic, R7 the interprocedural tainted-sink analysis and R8
+#: the check/yield/use (TOCTOU) analysis.  The evaluation harness
+#: (:mod:`repro.staticcheck.evaluation`) measures exactly this mapping
+#: against rendered corpus entries.
 CLASS_RULE_MAP: Dict[VulnClass, Tuple[str, ...]] = {
-    VulnClass.MISSING_OWNERSHIP_CHECK: ("R2",),
-    VulnClass.MISSING_PRIVILEGE_CHECK: ("R2",),
-    VulnClass.REFCOUNT_IMBALANCE: ("R1",),
-    VulnClass.BOUNDS_ERROR: (),
-    VulnClass.TOCTOU_WINDOW: (),
+    VulnClass.MISSING_OWNERSHIP_CHECK: ("R2", "R7"),
+    VulnClass.MISSING_PRIVILEGE_CHECK: ("R2", "R7"),
+    VulnClass.REFCOUNT_IMBALANCE: ("R1", "R7"),
+    VulnClass.BOUNDS_ERROR: ("R7",),
+    VulnClass.TOCTOU_WINDOW: ("R8",),
 }
 
 _BY_SLUG = {cls.value: cls for cls in VulnClass}

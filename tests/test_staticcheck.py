@@ -17,7 +17,8 @@ from repro.staticcheck import check_paths, check_source
 from repro.staticcheck.baseline import load_baseline, write_baseline
 from repro.staticcheck.engine import CheckResult
 from repro.staticcheck.model import Finding
-from repro.staticcheck.reporters import render_json, render_text
+from repro.staticcheck.engine import _iter_python_files
+from repro.staticcheck.reporters import render_json, render_sarif, render_text
 from repro.staticcheck.rules import RULE_REGISTRY
 from repro.staticcheck.waivers import parse_waivers
 
@@ -36,12 +37,14 @@ def rule_ids(result: CheckResult):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
-        assert set(RULE_REGISTRY) == {"R1", "R2", "R3", "R4", "R5", "R6"}
+    def test_all_eight_rules_registered(self):
+        assert set(RULE_REGISTRY) == {
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+        }
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(KeyError, match="unknown rule"):
-            check_source("x = 1", XEN_PATH, rules=["R9"])
+            check_source("x = 1", XEN_PATH, rules=["R99"])
 
 
 class TestRefcountBalance:
@@ -150,9 +153,15 @@ class TestPrivilegeGates:
         """
 
     def test_ungated_mutating_handler_caught(self):
-        result = check(self.UNGATED, HYPERCALLS_PATH)
+        result = check(self.UNGATED, HYPERCALLS_PATH, rules=["R2"])
         assert rule_ids(result) == ["R2"]
         assert "assign" in result.findings[0].message
+
+    def test_ungated_handler_also_fires_taint_rule(self):
+        # The same defect seen interprocedurally: R7 follows mfn into
+        # the frame-table sinks.
+        result = check(self.UNGATED, HYPERCALLS_PATH)
+        assert "R2" in rule_ids(result) and "R7" in rule_ids(result)
 
     def test_ownership_check_satisfies_the_gate(self):
         result = check(
@@ -192,7 +201,9 @@ class TestPrivilegeGates:
             HYPERCALLS_PATH,
         )
         assert result.findings == []
-        assert len(result.waived) == 1
+        # The bare ``trusted`` waiver covers every rule on the def
+        # line: both the R2 gate finding and the R7 taint finding.
+        assert {f.rule for f, _ in result.waived} == {"R2", "R7"}
 
     def test_non_handler_helper_ignored(self):
         result = check(
@@ -514,7 +525,9 @@ class TestWaivers:
             """,
             OTHER_PATH,
         )
-        assert rule_ids(result) == ["R3"]
+        # The R3 finding survives, and the idle R1 waiver is itself
+        # flagged as stale (W1).
+        assert rule_ids(result) == ["W1", "R3"]
 
     def test_reasonless_waiver_is_itself_a_finding(self):
         result = check(
@@ -597,7 +610,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert cli_main(["staticcheck", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
             assert rule_id in out
 
     def test_clean_file_exits_zero(self, tmp_path, capsys):
@@ -657,3 +670,229 @@ class TestRepositoryIsClean:
         own merits (the baseline mechanism is for downstream forks)."""
         result = check_paths(["src"])
         assert result.baselined == []
+
+
+class TestWaiverEdgeCases:
+    def test_waiver_on_decorator_line_covers_the_function(self):
+        result = check(
+            """
+            class Ops:
+                @probe_hook  # staticcheck: ignore[R1] ref parked by the hook
+                def parker(self, mfn):
+                    self.xen.frames.get_page(mfn)
+            """,
+            XEN_PATH,
+        )
+        assert [f for f in result.findings if f.rule == "R1"] == []
+        assert any(f.rule == "R1" for f, _ in result.waived)
+
+    def test_stacked_r7_r8_waiver_suppresses_both(self):
+        # The unchecked zero_frame fires R7; the checked-then-yielded
+        # write fires R8; one stacked waiver covers both.
+        result = check(
+            """
+            class Ops:
+                def do_op(self, domain, op):  # staticcheck: ignore[R7,R8] deliberately-vulnerable injection site
+                    self.machine.zero_frame(op.scratch)
+                    mfn = op.mfn
+                    if self.xen.frames.owner_of(mfn) != domain.id:
+                        raise HypercallError("foreign")
+                    self.xen.tick()
+                    self.machine.write_word(mfn, 0, op.value)
+            """,
+            HYPERCALLS_PATH,
+        )
+        assert result.findings == []
+        waived_rules = {f.rule for f, _ in result.waived}
+        assert {"R7", "R8"} <= waived_rules
+
+    def test_budget_exactly_at_cap_counts_distinct_comments(self):
+        # Five separate waiver comments = five units of budget, even
+        # when one comment suppresses several findings.
+        lines = ["class Ops:"]
+        for i in range(5):
+            lines += [
+                f"    def leak_{i}(self, mfn):  "
+                f"# staticcheck: ignore[R1] deliberate park {i}",
+                "        self.xen.frames.get_page(mfn)",
+                "",
+            ]
+        result = check_source("\n".join(lines), XEN_PATH)
+        assert result.findings == []
+        assert result.waivers_used == 5
+
+    def test_unused_waiver_reported_as_w1(self):
+        result = check(
+            """
+            def fine():  # staticcheck: ignore[R1] nothing here leaks anymore
+                return 1
+            """,
+            XEN_PATH,
+        )
+        assert rule_ids(result) == ["W1"]
+        assert "suppresses no findings" in result.findings[0].message
+
+    def test_unused_waiver_not_reported_under_partial_rules(self):
+        # With --rules R3 an idle R1 waiver is legitimately dormant.
+        result = check(
+            """
+            def fine():  # staticcheck: ignore[R1] nothing here leaks anymore
+                return 1
+            """,
+            XEN_PATH,
+            rules=["R3"],
+        )
+        assert result.findings == []
+
+    def test_waiver_syntax_in_docstring_is_not_a_waiver(self):
+        result = check(
+            '''
+            def documented():
+                """Write `# staticcheck: ignore[R1] reason` to waive."""
+                return 1
+            ''',
+            XEN_PATH,
+        )
+        assert result.findings == []
+
+
+class TestFileOrderDeterminism:
+    def test_iteration_sorted_and_deduplicated(self, tmp_path):
+        for name in ("b/z.py", "b/a.py", "a/m.py", "top.py"):
+            target = tmp_path / name
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text("x = 1\n")
+        files = _iter_python_files([str(tmp_path), str(tmp_path / "top.py")])
+        rel = [f.replace(str(tmp_path), "").replace("\\", "/") for f in files]
+        assert rel == ["/a/m.py", "/b/a.py", "/b/z.py", "/top.py"]
+
+    def test_report_is_byte_identical_across_runs(self, tmp_path):
+        (tmp_path / "one.py").write_text("import time\nT = time.time()\n")
+        (tmp_path / "two.py").write_text("import random\nR = random.random()\n")
+        core = tmp_path / "repro" / "core"
+        core.mkdir(parents=True)
+        for name in ("one.py", "two.py"):
+            (core / name).write_text((tmp_path / name).read_text())
+        first = render_json(check_paths([str(tmp_path)]))
+        second = render_json(check_paths([str(tmp_path)]))
+        assert first == second
+
+
+class TestUpdateBaseline:
+    SOURCE_ONE = "import time\n\nSTAMP = time.time()\n"
+    SOURCE_TWO = "import time\nimport random\n\nSTAMP = time.time()\nR = random.random()\n"
+
+    def _target(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "bad.py"
+        target.parent.mkdir(parents=True)
+        return target
+
+    def test_first_update_creates_and_flags_growth(self, tmp_path, capsys):
+        target = self._target(tmp_path)
+        target.write_text(self.SOURCE_ONE)
+        baseline = tmp_path / "baseline.json"
+        rc = cli_main(
+            ["staticcheck", str(target), "--update-baseline", str(baseline)]
+        )
+        assert rc == 1  # new fingerprints appeared (from empty)
+        assert "1 new" in capsys.readouterr().out
+        assert len(load_baseline(str(baseline))) == 1
+
+    def test_refresh_without_growth_exits_zero(self, tmp_path, capsys):
+        target = self._target(tmp_path)
+        target.write_text(self.SOURCE_ONE)
+        baseline = tmp_path / "baseline.json"
+        cli_main(["staticcheck", str(target), "--update-baseline", str(baseline)])
+        capsys.readouterr()
+        rc = cli_main(
+            ["staticcheck", str(target), "--update-baseline", str(baseline)]
+        )
+        assert rc == 0
+        assert "0 new, 0 fixed" in capsys.readouterr().out
+
+    def test_growth_is_flagged_shrinkage_recorded(self, tmp_path, capsys):
+        target = self._target(tmp_path)
+        target.write_text(self.SOURCE_ONE)
+        baseline = tmp_path / "baseline.json"
+        cli_main(["staticcheck", str(target), "--update-baseline", str(baseline)])
+        capsys.readouterr()
+
+        target.write_text(self.SOURCE_TWO)
+        rc = cli_main(
+            ["staticcheck", str(target), "--update-baseline", str(baseline)]
+        )
+        assert rc == 1
+        assert "1 new" in capsys.readouterr().out
+
+        target.write_text("x = 1\n")
+        rc = cli_main(
+            ["staticcheck", str(target), "--update-baseline", str(baseline)]
+        )
+        assert rc == 0  # shrinkage only
+        assert "0 new, 2 fixed" in capsys.readouterr().out
+        assert load_baseline(str(baseline)) == set()
+
+
+class TestSarifReport:
+    TWO_FINDINGS = (
+        "import time\n"
+        "\n"
+        "STAMP = time.time()\n"
+        "\n"
+        "\n"
+        "def swallow():\n"
+        "    try:\n"
+        "        return STAMP\n"
+        "    except:\n"
+        "        return None\n"
+    )
+
+    def _result(self):
+        return check_source(self.TWO_FINDINGS, "src/repro/core/fixture.py")
+
+    def test_two_finding_document_matches_golden_file(self, request):
+        golden = (
+            request.path.parent / "data" / "staticcheck_two_findings.sarif"
+        )
+        assert render_sarif(self._result()) == golden.read_text()
+
+    def test_document_shape(self):
+        payload = json.loads(render_sarif(self._result()))
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-staticcheck"
+        assert [r["ruleId"] for r in run["results"]] == ["R4", "R3"]
+        for result in run["results"]:
+            (location,) = result["locations"]
+            region = location["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert result["partialFingerprints"]["reproStaticcheck/v1"]
+        rule_ids_in_doc = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"R1", "R7", "R8"} <= rule_ids_in_doc
+
+    def test_parse_error_appears_as_e0(self):
+        result = check_source("def broken(:\n", "src/repro/core/broken.py")
+        payload = json.loads(render_sarif(result))
+        (run,) = payload["runs"]
+        assert run["results"][0]["ruleId"] == "E0"
+        assert any(r["id"] == "E0" for r in run["tool"]["driver"]["rules"])
+
+    def test_waived_findings_are_suppressed(self):
+        source = (
+            "import time\n"
+            "\n"
+            "STAMP = time.time()  # staticcheck: ignore[R4] fixture clock\n"
+        )
+        result = check_source(source, "src/repro/core/fixture.py")
+        payload = json.loads(render_sarif(result))
+        assert payload["runs"][0]["results"] == []
+
+    def test_cli_writes_sarif_artifact(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import time\n\nSTAMP = time.time()\n")
+        artifact = tmp_path / "report.sarif"
+        rc = cli_main(["staticcheck", str(target), "--sarif", str(artifact)])
+        assert rc == 1
+        payload = json.loads(artifact.read_text())
+        assert payload["runs"][0]["results"][0]["ruleId"] == "R4"

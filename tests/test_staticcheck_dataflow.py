@@ -1,0 +1,360 @@
+"""The interprocedural dataflow engine behind rules R7 and R8.
+
+Fixtures are shaped like the simulator's own hypercall handlers: the
+file path decides taint roots (``hypercalls.py``/``granttable.py``
+under ``repro/xen/`` seed guest taint on handler arguments) and
+analysis scope (``repro/xen/`` + ``repro/core/``).
+"""
+
+import textwrap
+
+from repro.staticcheck.callgraph import CallGraph
+from repro.staticcheck.dataflow import (
+    Program,
+    analyze_modules,
+    in_analysis_scope,
+    is_guest_root_file,
+)
+from repro.staticcheck.engine import check_paths, check_source
+
+HYPERCALLS = "src/repro/xen/hypercalls.py"
+GRANTS = "src/repro/xen/granttable.py"
+HELPER = "src/repro/xen/hypervisor.py"
+
+
+def check(source, path=HYPERCALLS, rules=("R7", "R8")):
+    return check_source(textwrap.dedent(source), path, rules=rules)
+
+
+def rule_ids(result):
+    return [finding.rule for finding in result.findings]
+
+
+class TestScope:
+    def test_guest_roots_are_the_hypercall_abi_files(self):
+        assert is_guest_root_file("src/repro/xen/hypercalls.py")
+        assert is_guest_root_file("src/repro/xen/granttable.py")
+        assert not is_guest_root_file("src/repro/xen/hypervisor.py")
+        assert not is_guest_root_file("src/repro/core/hypercalls.py")
+
+    def test_analysis_scope(self):
+        assert in_analysis_scope("src/repro/xen/frames.py")
+        assert in_analysis_scope("src/repro/core/campaign.py")
+        assert not in_analysis_scope("src/repro/runner/pool.py")
+
+    def test_out_of_scope_file_yields_nothing(self):
+        result = check(
+            """
+            class Ops:
+                def do_write(self, domain, op):
+                    self.machine.write_word(op.mfn, 0, op.value)
+            """,
+            path="src/repro/runner/hypercalls.py",
+        )
+        assert result.findings == []
+
+
+class TestCallGraph:
+    def test_method_and_module_resolution(self):
+        import ast
+
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def helper(x):
+                    return x
+
+                class Ops:
+                    def outer(self):
+                        self.inner()
+                        helper(1)
+
+                    def inner(self):
+                        pass
+                """
+            )
+        )
+        graph = CallGraph([("m.py", tree)])
+        outer = next(i for i in graph.functions.values() if i.name == "outer")
+        callees = {info.name for _, info in graph.callees(outer)}
+        assert callees == {"inner", "helper"}
+
+    def test_topological_order_visits_callees_first(self):
+        import ast
+
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def a():
+                    b()
+
+                def b():
+                    c()
+
+                def c():
+                    pass
+                """
+            )
+        )
+        graph = CallGraph([("m.py", tree)])
+        order = [info.name for info in graph.topological_order()]
+        assert order.index("c") < order.index("b") < order.index("a")
+
+
+class TestTaintedSink:
+    def test_direct_unchecked_write_fires(self):
+        result = check(
+            """
+            class Ops:
+                def do_write(self, domain, op):
+                    self.machine.write_word(op.mfn, 0, op.value)
+            """
+        )
+        assert "R7" in rule_ids(result)
+        assert "hypercall argument 'op'" in result.findings[0].message
+
+    def test_ownership_check_dominating_the_sink_is_clean(self):
+        result = check(
+            """
+            class Ops:
+                def do_write(self, domain, op):
+                    mfn = op.mfn
+                    if self.xen.frames.owner_of(mfn) != domain.id:
+                        raise HypercallError("foreign")
+                    self.machine.write_word(mfn, 0, op.value)
+            """
+        )
+        assert result.findings == []
+
+    def test_conditional_check_does_not_dominate(self):
+        # The ownership check only runs on one arm; the merge keeps a
+        # tag sanitized only when *every* surviving arm sanitized it,
+        # so the sink after the join still fires.
+        result = check(
+            """
+            class Ops:
+                def do_write(self, domain, op):
+                    mfn = op.mfn
+                    if domain.wants_check:
+                        if self.xen.frames.owner_of(mfn) != domain.id:
+                            raise HypercallError("foreign")
+                    self.machine.write_word(mfn, 0, 1)
+            """
+        )
+        assert rule_ids(result) == ["R7"]
+        assert result.findings[0].line == 8
+
+    def test_interprocedural_sink_reported_with_trace(self):
+        result = check(
+            """
+            class Ops:
+                def do_update(self, domain, op):
+                    self._commit(op.mfn, op.value)
+
+                def _commit(self, mfn, value):
+                    self.machine.write_word(mfn, 0, value)
+            """
+        )
+        assert rule_ids(result) == ["R7"]
+        finding = result.findings[0]
+        # The finding anchors at the guilty call site, and the message
+        # carries the source->sink path.
+        assert finding.line == 4
+        assert "_commit" in finding.message
+        assert "machine.write_word" in finding.message
+
+    def test_sanitizing_helper_summary_propagates(self):
+        result = check(
+            """
+            class Ops:
+                def do_update(self, domain, op):
+                    mfn = op.mfn
+                    self._check_it(domain, mfn)
+                    self.machine.write_word(mfn, 0, op.value)
+
+                def _check_it(self, domain, mfn):
+                    if self.xen.frames.owner_of(mfn) != domain.id:
+                        raise HypercallError("foreign")
+            """,
+            rules=("R7",),
+        )
+        assert result.findings == []
+
+    def test_privilege_attribute_sanitizes_globally(self):
+        result = check(
+            """
+            class Ops:
+                def do_table(self, domain, op):
+                    if not domain.is_privileged:
+                        raise HypercallError("no")
+                    va = self.xen.directmap_va(op.slot)
+                    self.machine.write_word(va, 0, op.value)
+            """
+        )
+        assert result.findings == []
+
+    def test_version_gated_vulnerable_path_is_modelled_not_flagged(self):
+        # Deliberately-vulnerable paths behind has_vuln()/has_hardening()
+        # version gates are the simulator's subject matter, not defects.
+        result = check(
+            """
+            class Ops:
+                def do_exchange(self, domain, op):
+                    vulnerable = self.xen.version.has_vuln(XSA_212)
+                    if vulnerable:
+                        self.machine.write_word(op.mfn, 0, op.value)
+            """
+        )
+        assert result.findings == []
+
+    def test_bounds_mention_in_branch_sanitizes(self):
+        result = check(
+            """
+            class Ops:
+                def do_fill(self, domain, op):
+                    base = op.offset
+                    if base + op.count > 512:
+                        raise HypercallError("overflow")
+                    for i in range(op.count):
+                        self.machine.write_word(self.table, base + i, op.value)
+            """
+        )
+        assert result.findings == []
+
+    def test_grant_table_params_are_guest_roots_too(self):
+        result = check(
+            """
+            class GrantTable:
+                def map_ref(self, mapper, ref):
+                    self.xen.frames.get_page(ref.mfn)
+            """,
+            path=GRANTS,
+        )
+        assert "R7" in rule_ids(result)
+
+    def test_cross_module_sink_via_check_paths(self, tmp_path):
+        pkg = tmp_path / "repro" / "xen"
+        pkg.mkdir(parents=True)
+        (pkg / "hypercalls.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.xen.hypervisor import commit_word
+
+
+                class Ops:
+                    def do_update(self, domain, op):
+                        commit_word(self.machine, op.mfn, op.value)
+                """
+            )
+        )
+        (pkg / "hypervisor.py").write_text(
+            textwrap.dedent(
+                """
+                def commit_word(machine, mfn, value):
+                    machine.write_word(mfn, 0, value)
+                """
+            )
+        )
+        result = check_paths([str(tmp_path)], rules=("R7",))
+        assert rule_ids(result) == ["R7"]
+        assert result.findings[0].path.endswith("hypercalls.py")
+
+
+class TestToctouWindow:
+    CHECK_TICK_USE = """
+        class Ops:
+            def do_remap(self, domain, op):
+                mfn = op.mfn
+                if self.xen.frames.owner_of(mfn) != domain.id:
+                    raise HypercallError("foreign")
+                self.xen.tick()
+                self.machine.write_word(mfn, 0, op.value)
+        """
+
+    def test_check_then_yield_then_use_fires_r8(self):
+        result = check(self.CHECK_TICK_USE)
+        assert rule_ids(result) == ["R8"]
+        message = result.findings[0].message
+        assert "checked at line 5" in message
+        assert "preemption point at line 7" in message
+
+    def test_revalidation_after_the_window_is_clean(self):
+        result = check(
+            """
+            class Ops:
+                def do_remap(self, domain, op):
+                    mfn = op.mfn
+                    if self.xen.frames.owner_of(mfn) != domain.id:
+                        raise HypercallError("foreign")
+                    self.xen.tick()
+                    if self.xen.frames.owner_of(mfn) != domain.id:
+                        raise HypercallError("changed")
+                    self.machine.write_word(mfn, 0, op.value)
+            """
+        )
+        assert result.findings == []
+
+    def test_yield_without_prior_check_is_r7_not_r8(self):
+        result = check(
+            """
+            class Ops:
+                def do_remap(self, domain, op):
+                    self.xen.tick()
+                    self.machine.write_word(op.mfn, 0, op.value)
+            """
+        )
+        assert rule_ids(result) == ["R7"]
+
+    def test_yield_in_callee_opens_the_window(self):
+        result = check(
+            """
+            class Ops:
+                def do_remap(self, domain, op):
+                    mfn = op.mfn
+                    if self.xen.frames.owner_of(mfn) != domain.id:
+                        raise HypercallError("foreign")
+                    self._drain()
+                    self.machine.write_word(mfn, 0, op.value)
+
+                def _drain(self):
+                    self.xen.hypercall_preempt()
+            """
+        )
+        assert rule_ids(result) == ["R8"]
+
+
+class TestProgram:
+    def test_findings_are_deterministically_ordered(self):
+        import ast
+
+        source = textwrap.dedent(
+            """
+            class Ops:
+                def do_b(self, domain, op):
+                    self.machine.write_word(op.mfn, 0, 1)
+
+                def do_a(self, domain, op):
+                    self.machine.write_word(op.mfn, 0, 2)
+            """
+        )
+        modules = [(HYPERCALLS, ast.parse(source))]
+        first = [f.message for f in analyze_modules(modules)]
+        second = [f.message for f in analyze_modules(modules)]
+        assert first == second
+        lines = [f.line for f in analyze_modules(modules)]
+        assert lines == sorted(lines)
+
+    def test_program_caches_and_filters_by_path(self):
+        import ast
+
+        source = "class Ops:\n    def do_x(self, domain, op):\n        self.machine.write_word(op.mfn, 0, 1)\n"
+        program = Program([(HYPERCALLS, ast.parse(source))])
+        assert program.findings() is program.findings()
+        assert program.findings_for(HYPERCALLS) == program.findings()
+        assert program.findings_for(HELPER) == []
+
+
+class TestRepositoryCleanUnderDataflow:
+    def test_r7_r8_clean_on_own_source(self):
+        result = check_paths(["src"], rules=("R7", "R8"))
+        assert [f.render() for f in result.findings] == []

@@ -1,0 +1,156 @@
+"""The detection-evaluation harness: renderer + scorer + CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.staticcheck.engine import check_source
+from repro.staticcheck.evaluation import (
+    DEFAULT_RULES,
+    RECALL_FLOORS,
+    evaluate_corpus,
+)
+from repro.vulngen.corpus import derive_spec
+from repro.vulngen.render import render_pair, render_path, render_source
+from repro.vulngen.taxonomy import ALL_CLASSES, CLASS_RULE_MAP, VulnClass
+
+
+class TestRenderer:
+    def test_rendering_is_deterministic(self):
+        spec = derive_spec(2023, 7)
+        assert render_source(spec) == render_source(spec)
+        assert render_source(spec, hardened=True) == render_source(
+            spec, hardened=True
+        )
+
+    def test_pair_differs_only_by_the_guard(self):
+        spec = derive_spec(2023, 0)  # missing-ownership-check
+        vuln, hard = render_pair(spec)
+        assert vuln != hard
+        assert len(hard.splitlines()) > len(vuln.splitlines())
+
+    def test_rendered_modules_parse(self):
+        import ast
+
+        for index in range(10):
+            spec = derive_spec(2023, index)
+            for hardened in (False, True):
+                ast.parse(render_source(spec, hardened=hardened))
+
+    def test_virtual_path_is_a_guest_taint_root(self):
+        from repro.staticcheck.dataflow import (
+            in_analysis_scope,
+            is_guest_root_file,
+        )
+
+        spec = derive_spec(2023, 3)
+        for hardened in (False, True):
+            path = render_path(spec, hardened=hardened)
+            assert is_guest_root_file(path)
+            assert in_analysis_scope(path)
+            assert spec.id in path
+
+    def test_spec_constants_are_baked_in(self):
+        spec = derive_spec(2023, 42)
+        source = render_source(spec)
+        assert f"WORD = {spec.word}" in source
+        assert f"VALUE = 0x{spec.value:016x}" in source
+
+    def test_every_class_has_a_template(self):
+        for index, expected_class in enumerate(ALL_CLASSES):
+            spec = derive_spec(99, index)
+            assert spec.vuln_class is expected_class
+            assert "def do_" in render_source(spec)
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # One full corpus round per class keeps the suite fast; the
+        # shipped 125-entry run is exercised by the benchmark and CI.
+        return evaluate_corpus(size=10)
+
+    def test_every_class_scored(self, report):
+        assert set(report.scores) == {cls.value for cls in ALL_CLASSES}
+
+    def test_recall_floors_met_with_zero_false_positives(self, report):
+        assert report.total_fp == 0
+        for slug, score in report.scores.items():
+            assert score.recall >= RECALL_FLOORS[slug]
+        assert report.floors_met
+
+    def test_expected_rules_follow_the_class_rule_map(self, report):
+        for cls in ALL_CLASSES:
+            expected = tuple(
+                r for r in CLASS_RULE_MAP[cls] if r in DEFAULT_RULES
+            )
+            assert report.scores[cls.value].expected_rules == expected
+
+    def test_json_artifact_is_byte_stable(self, report):
+        again = evaluate_corpus(size=10)
+        assert report.to_json() == again.to_json()
+        payload = json.loads(report.to_json())
+        assert payload["floors_met"] is True
+        assert payload["totals"]["fp"] == 0
+        assert len(payload["digest"]) == 64
+
+    def test_render_mentions_every_class(self, report):
+        text = report.render()
+        for cls in ALL_CLASSES:
+            assert cls.value in text
+        assert "recall floors met" in text
+
+    def test_blinded_rule_breaks_the_floor(self):
+        # Evaluating without R8 must report the TOCTOU class as missed
+        # and fail the floors — the tripwire CI relies on.
+        report = evaluate_corpus(size=10, rules=("R1", "R7"))
+        toctou = report.scores[VulnClass.TOCTOU_WINDOW.value]
+        assert toctou.recall == 0.0
+        assert toctou.missed
+        assert not report.floors_met
+
+
+class TestEvalCli:
+    def test_cli_reports_and_exits_zero(self, tmp_path, capsys):
+        artifact = tmp_path / "eval.json"
+        rc = cli_main(
+            ["staticcheck-eval", "--size", "10", "--json", str(artifact)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recall floors met" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["size"] == 10
+        assert payload["rules"] == list(DEFAULT_RULES)
+
+    def test_cli_fails_when_a_floor_breaks(self, tmp_path, capsys):
+        rc = cli_main(["staticcheck-eval", "--size", "10", "--rules", "R1,R7"])
+        assert rc == 1
+
+    def test_cli_rejects_unknown_rules(self, capsys):
+        assert cli_main(["staticcheck-eval", "--rules", "R99"]) == 2
+
+
+class TestGroundTruthContract:
+    """Spot-check the labels the scorer relies on."""
+
+    @pytest.mark.parametrize("index", range(5))
+    def test_vulnerable_variant_fires_an_expected_rule(self, index):
+        spec = derive_spec(2023, index)
+        expected = set(CLASS_RULE_MAP[spec.vuln_class]) & set(DEFAULT_RULES)
+        result = check_source(
+            render_source(spec), render_path(spec), rules=DEFAULT_RULES
+        )
+        assert expected & {f.rule for f in result.findings}
+
+    @pytest.mark.parametrize("index", range(5))
+    def test_hardened_variant_is_clean(self, index):
+        spec = derive_spec(2023, index)
+        result = check_source(
+            render_source(spec, hardened=True),
+            render_path(spec, hardened=True),
+            rules=DEFAULT_RULES,
+        )
+        assert [f.render() for f in result.findings] == []
+        assert result.errors == []

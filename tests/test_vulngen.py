@@ -247,6 +247,8 @@ class TestTaxonomyMapping:
         assert set(CLASS_RULE_MAP) == set(VulnClass)
 
     def test_check_classes_map_to_their_static_rules(self):
-        assert CLASS_RULE_MAP[VulnClass.MISSING_OWNERSHIP_CHECK] == ("R2",)
-        assert CLASS_RULE_MAP[VulnClass.MISSING_PRIVILEGE_CHECK] == ("R2",)
-        assert CLASS_RULE_MAP[VulnClass.REFCOUNT_IMBALANCE] == ("R1",)
+        assert CLASS_RULE_MAP[VulnClass.MISSING_OWNERSHIP_CHECK] == ("R2", "R7")
+        assert CLASS_RULE_MAP[VulnClass.MISSING_PRIVILEGE_CHECK] == ("R2", "R7")
+        assert CLASS_RULE_MAP[VulnClass.REFCOUNT_IMBALANCE] == ("R1", "R7")
+        assert CLASS_RULE_MAP[VulnClass.BOUNDS_ERROR] == ("R7",)
+        assert CLASS_RULE_MAP[VulnClass.TOCTOU_WINDOW] == ("R8",)
