@@ -1,69 +1,205 @@
-"""Extension experiment — campaign execution-engine throughput.
+"""Extension experiment — campaign execution-engine scaling curve.
 
-Runs the same §IV-C fuzz-trial job set twice: serially in-process
-(the seed repo's only mode) and on the ``repro.runner`` worker pool
-with ``--jobs 4``.  Because every trial derives a private RNG seed
-from the campaign root, the two runs produce identical outcome
-counters — the speedup is free of any behavioural drift.
+Runs the same §IV-C fuzz-trial job set through every execution engine
+the repository ships — the serial in-process loop, the spawn-per-job
+worker pool, and the persistent snapshot-cached fork-server — across
+campaign sizes (30 / 300 / 3000 jobs) and fork-server worker counts
+(1 / 2 / 4 / 8).  Because every trial derives a private RNG seed from
+the campaign root, all engines must produce byte-identical payloads;
+the curve measures pure execution-engine overhead.
 
-The archived artefact records jobs/sec for both modes plus the
-parity check; absolute numbers vary with the host, the parity must
-not.
+What the curve shows:
+
+* the spawn pool *loses* to serial on short campaigns — four spawn
+  interpreters cost more to boot than 30 trials cost to run;
+* the fork-server beats serial even at 30 jobs (fork start is ~2ms and
+  trials restore a cached checkpoint instead of booting a testbed);
+* fork-server throughput scales near-linearly in workers out to 3000
+  jobs, reported as jobs/sec/worker.
+
+The archived artefact is JSON with a fixed schema and canonical key
+order (``benchmarks/output/runner_throughput.json``); absolute rates
+vary with the host, the schema and the parity verdicts must not.
+
+Run directly for the full matrix (the CI artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_runner_throughput.py
+
+or through pytest-benchmark for the reduced matrix::
+
+    pytest benchmarks/bench_runner_throughput.py -s
 """
 
+import json
+import pathlib
 import time
-from collections import Counter
 
-from benchmarks.conftest import publish
-from repro.core.fuzz import FuzzCampaign
-from repro.runner import WorkerPool
-from repro.xen.versions import XEN_4_13
+from repro.runner import ForkServerPool, SerialRunner, WorkerPool, plan_fuzz
+from repro.runner.forkserver import preferred_context
 
 ROOT_SEED = 20230701
-TRIALS_PER_COMPONENT = 6
-JOBS = 4
+VERSION = "4.13"
+COMPONENTS = ["idt", "shared-pud", "m2p", "victim-pagetables", "victim-data"]
+SIZES = (30, 300, 3000)
+WORKER_COUNTS = (1, 2, 4, 8)
+OUTPUT_PATH = pathlib.Path(__file__).parent / "output" / "runner_throughput.json"
 
 
-def run_serial():
-    return FuzzCampaign(XEN_4_13, seed=ROOT_SEED).run(
-        runs_per_component=TRIALS_PER_COMPONENT
+def _specs(total):
+    assert total % len(COMPONENTS) == 0
+    return plan_fuzz(
+        VERSION, COMPONENTS, total // len(COMPONENTS), ROOT_SEED
     )
+
+
+def _measure(runner, specs):
+    started = time.perf_counter()
+    outcome = runner.run(specs)
+    elapsed = time.perf_counter() - started
+    assert not outcome.failures, outcome.failures
+    payloads = [outcome.results[s.job_id] for s in specs]
+    return elapsed, payloads
+
+
+def _entry(mode, workers, specs, elapsed, parity, stats=None):
+    total = len(specs)
+    entry = {
+        "mode": mode,
+        "workers": workers,
+        "jobs": total,
+        "wall_s": round(elapsed, 3),
+        "jobs_per_s": round(total / elapsed, 1),
+        "jobs_per_s_per_worker": round(total / elapsed / max(workers, 1), 1),
+        "parity": parity,
+    }
+    if stats is not None:
+        entry["snapshot_restores"] = stats.get("forkserver.restores", 0)
+        entry["cold_boots"] = (
+            stats.get("forkserver.captures", 0)
+            + stats.get("forkserver.cold_boots", 0)
+        )
+        entry["workers_recycled"] = stats.get(
+            "forkserver.workers.recycled", 0
+        )
+    return entry
+
+
+def build_curve(sizes=SIZES, worker_counts=WORKER_COUNTS):
+    """The scaling matrix: serial and spawn baselines + fork-server curve."""
+    matrix = []
+    reference = {}
+    for total in sizes:
+        specs = _specs(total)
+        elapsed, payloads = _measure(SerialRunner(), specs)
+        reference[total] = payloads
+        matrix.append(_entry("serial", 1, specs, elapsed, parity=True))
+
+    # The motivating loss case: a spawn pool on the smallest campaign.
+    small = min(sizes)
+    specs = _specs(small)
+    elapsed, payloads = _measure(WorkerPool(jobs=4), specs)
+    matrix.append(
+        _entry("spawn-pool", 4, specs, elapsed,
+               parity=payloads == reference[small])
+    )
+
+    for total in sizes:
+        specs = _specs(total)
+        for workers in worker_counts:
+            pool = ForkServerPool(jobs=workers)
+            elapsed, payloads = _measure(pool, specs)
+            matrix.append(
+                _entry("fork-server", workers, specs, elapsed,
+                       parity=payloads == reference[total],
+                       stats=pool.stats)
+            )
+    return {
+        "campaign": {
+            "version": VERSION,
+            "components": COMPONENTS,
+            "root_seed": ROOT_SEED,
+        },
+        "context": preferred_context(),
+        "matrix": matrix,
+    }
+
+
+def render(curve):
+    lines = [
+        "campaign execution engines on Xen "
+        f"{curve['campaign']['version']} fuzz trials "
+        f"(start method: {curve['context']})",
+        f"{'mode':<14}{'workers':<9}{'jobs':<7}{'wall (s)':<10}"
+        f"{'jobs/s':<9}{'jobs/s/worker':<15}{'parity'}",
+        "-" * 72,
+    ]
+    for row in curve["matrix"]:
+        lines.append(
+            f"{row['mode']:<14}{row['workers']:<9}{row['jobs']:<7}"
+            f"{row['wall_s']:<10.3f}{row['jobs_per_s']:<9.1f}"
+            f"{row['jobs_per_s_per_worker']:<15.1f}"
+            f"{'ok' if row['parity'] else 'DIVERGED'}"
+        )
+    return "\n".join(lines)
+
+
+def write_artifact(curve, path=OUTPUT_PATH):
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(curve, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _rows(curve, mode, jobs=None):
+    return [
+        row for row in curve["matrix"]
+        if row["mode"] == mode and (jobs is None or row["jobs"] == jobs)
+    ]
+
+
+def check_curve(curve):
+    """The claims the artefact must support, host speed aside."""
+    assert all(row["parity"] for row in curve["matrix"]), (
+        "an execution engine diverged from the serial reference"
+    )
+    smallest = min(row["jobs"] for row in curve["matrix"])
+    serial_small = _rows(curve, "serial", smallest)[0]
+    fork_small = max(
+        _rows(curve, "fork-server", smallest),
+        key=lambda row: row["jobs_per_s"],
+    )
+    assert fork_small["jobs_per_s"] > serial_small["jobs_per_s"], (
+        f"fork-server ({fork_small['jobs_per_s']} jobs/s) must beat "
+        f"serial ({serial_small['jobs_per_s']} jobs/s) on the "
+        f"{smallest}-job campaign"
+    )
+    for row in _rows(curve, "fork-server"):
+        if row["jobs"] >= 300:
+            assert row["snapshot_restores"] > 0, (
+                "fork-server ran a large campaign without its cache"
+            )
 
 
 def test_runner_throughput(benchmark):
-    serial_report = benchmark(run_serial)
-    total = len(serial_report.results)
+    """pytest-benchmark entry: reduced matrix, full parity checking."""
+    from benchmarks.conftest import publish
 
-    serial_started = time.perf_counter()
-    run_serial()
-    serial_elapsed = time.perf_counter() - serial_started
-
-    parallel_started = time.perf_counter()
-    parallel_report = FuzzCampaign(XEN_4_13, seed=ROOT_SEED).run(
-        runs_per_component=TRIALS_PER_COMPONENT,
-        runner=WorkerPool(jobs=JOBS),
+    curve = benchmark.pedantic(
+        build_curve,
+        kwargs={"sizes": (30, 300), "worker_counts": (1, 4)},
+        rounds=1,
+        iterations=1,
     )
-    parallel_elapsed = time.perf_counter() - parallel_started
+    check_curve(curve)
+    publish("runner_throughput", render(curve))
 
-    serial_counter = Counter(r.outcome for r in serial_report.results)
-    parallel_counter = Counter(r.outcome for r in parallel_report.results)
-    assert parallel_counter == serial_counter
-    assert len(parallel_report.results) == total
 
-    lines = [
-        f"campaign execution engine: {total} fuzz-trial jobs on Xen 4.13",
-        f"{'mode':<18}{'wall (s)':<12}{'jobs/sec':<10}",
-        "-" * 40,
-        f"{'serial':<18}{serial_elapsed:<12.2f}{total / serial_elapsed:<10.1f}",
-        f"{'--jobs ' + str(JOBS):<18}{parallel_elapsed:<12.2f}"
-        f"{total / parallel_elapsed:<10.1f}",
-        "",
-        "outcome counters (identical by construction — per-trial seeds):",
-        f"  serial:   {dict(sorted(serial_counter.items()))}",
-        f"  parallel: {dict(sorted(parallel_counter.items()))}",
-        "",
-        "parallel wall time includes spawning 4 worker interpreters; the",
-        "pool amortises that once per campaign, so real (longer) campaigns",
-        "approach a linear speedup in worker count.",
-    ]
-    publish("runner_throughput", "\n".join(lines))
+def main():
+    curve = build_curve()
+    check_curve(curve)
+    path = write_artifact(curve)
+    print(render(curve))
+    print(f"\nartifact: {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,20 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         help="per-job wall-clock budget (parallel runs only)",
     )
     group.add_argument(
+        "--fork-server", action="store_true",
+        help="persistent snapshot-cached workers: boot once per worker, "
+        "restore a digest-verified checkpoint per trial (fastest for "
+        "fuzz campaigns; implies --jobs workers stay warm)",
+    )
+    group.add_argument(
+        "--batch", type=int, default=8, metavar="N",
+        help="jobs dispatched to a fork-server worker at a time",
+    )
+    group.add_argument(
+        "--recycle-after", type=int, default=256, metavar="N",
+        help="recycle a fork-server worker after serving N trials",
+    )
+    group.add_argument(
         "--store", metavar="PATH",
         help="persist jobs and results to a SQLite store",
     )
@@ -69,10 +83,11 @@ def _runner_from_args(args):
     """
     if args.jobs < 1:
         raise SystemExit(f"error: --jobs must be at least 1, got {args.jobs}")
+    fork_server = getattr(args, "fork_server", False)
     if args.resume and not os.path.exists(args.resume):
         raise SystemExit(f"error: --resume store {args.resume!r} does not exist")
     store_path = args.resume or args.store
-    if args.jobs <= 1 and store_path is None:
+    if args.jobs <= 1 and store_path is None and not fork_server:
         return None, None
     from repro.runner import ConsoleRenderer, ResultStore, make_runner
 
@@ -81,9 +96,12 @@ def _runner_from_args(args):
         summary = store.summary()
         if summary.total:
             print(f"resuming: {summary.render()}", file=sys.stderr)
-    renderer = ConsoleRenderer() if args.jobs > 1 else None
+    renderer = ConsoleRenderer() if (args.jobs > 1 or fork_server) else None
     runner = make_runner(
-        jobs=args.jobs, timeout=args.timeout, on_event=renderer
+        jobs=args.jobs, timeout=args.timeout, on_event=renderer,
+        fork_server=fork_server,
+        batch=getattr(args, "batch", 8),
+        recycle_after=getattr(args, "recycle_after", 256),
     )
     return runner, store
 
@@ -303,6 +321,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-json", metavar="PATH",
         help="write the aggregated metric counters of the serial "
         "reference as JSON (implies --metrics)",
+    )
+    chaos.add_argument(
+        "--pool", choices=("spawn", "fork-server"), default="spawn",
+        help="pool mode for the chaos episodes; fork-server adds "
+        "snapshot-corruption and restore-wedge faults",
+    )
+    chaos.add_argument(
+        "--report-json", metavar="PATH",
+        help="write per-seed chaos reports (episodes, faults, verdict, "
+        "store sha256) as JSON — CI compares these across pool modes",
     )
 
     metrics = sub.add_parser(
@@ -713,6 +741,7 @@ def _cmd_chaos(args) -> int:
 
     failed = 0
     metrics_by_seed = {}
+    reports_by_seed = {}
     try:
         for seed in args.seeds:
             trace_dir = (
@@ -727,12 +756,28 @@ def _cmd_chaos(args) -> int:
                     timeout=args.timeout,
                     on_event=record_event if args.events else None,
                     trace_dir=trace_dir,
+                    pool_mode=args.pool,
                 )
             print(report.render())
             if not report.identical:
                 failed += 1
             if args.metrics_json:
                 metrics_by_seed[str(seed)] = _chaos_metrics_aggregate(report)
+            if args.report_json:
+                import hashlib
+
+                reports_by_seed[str(seed)] = {
+                    "pool": args.pool,
+                    "episodes": report.episodes,
+                    "faults": dict(sorted(report.faults.items())),
+                    "identical": report.identical,
+                    "total_jobs": report.total_jobs,
+                    # The cross-mode comparable: every pool mode must
+                    # leave a store rendering with this exact digest.
+                    "store_sha256": hashlib.sha256(
+                        report.chaos_json.encode()
+                    ).hexdigest(),
+                }
     finally:
         if events_handle is not None:
             events_handle.close()
@@ -741,6 +786,11 @@ def _cmd_chaos(args) -> int:
             json.dump(metrics_by_seed, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"chaos: metric aggregates written to {args.metrics_json}")
+    if args.report_json:
+        with open(args.report_json, "w") as handle:
+            json.dump(reports_by_seed, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"chaos: reports written to {args.report_json}")
     if failed:
         print(
             f"chaos: {failed}/{len(args.seeds)} seed(s) diverged "

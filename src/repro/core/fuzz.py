@@ -208,8 +208,24 @@ class RandomErroneousStateCampaign:
 
     def run_trial(self, component: ComponentTarget, seed: int) -> FuzzResult:
         """One injection with a private, recorded RNG seed."""
+        return self.run_trial_on(
+            self.testbed_factory(self.version), component, seed
+        )
+
+    def run_trial_on(
+        self, bed: TestBed, component: ComponentTarget, seed: int
+    ) -> FuzzResult:
+        """One injection against a caller-provided testbed.
+
+        The fork-server's snapshot-cached execution path: the caller
+        owns testbed construction (typically a checkpoint restore
+        instead of a fresh boot).  Because the trial RNG is private and
+        every draw depends only on the bed's frame layout — identical
+        after an exact restore — the result is byte-for-byte the same
+        as :meth:`run_trial`'s fresh-boot path, which the fork-server
+        parity tests assert.
+        """
         rng = random.Random(seed)
-        bed = self.testbed_factory(self.version)
         frames = list(component.frames(bed))
         mfn = rng.choice(frames)
         word = rng.randrange(512)
@@ -226,17 +242,19 @@ class RandomErroneousStateCampaign:
             outcome=outcome, seed=seed,
         )
 
-    def replay(self, component_name: str, seed: int) -> FuzzResult:
-        """Re-run one recorded trial standalone from its seed."""
+    def component_by_name(self, component_name: str) -> ComponentTarget:
         by_name = {c.name: c for c in self.components}
         try:
-            component = by_name[component_name]
+            return by_name[component_name]
         except KeyError:
             raise KeyError(
                 f"unknown component {component_name!r}; "
                 f"known: {sorted(by_name)}"
             ) from None
-        return self.run_trial(component, seed)
+
+    def replay(self, component_name: str, seed: int) -> FuzzResult:
+        """Re-run one recorded trial standalone from its seed."""
+        return self.run_trial(self.component_by_name(component_name), seed)
 
     # ------------------------------------------------------------------
 

@@ -17,7 +17,18 @@ faults:
   last good copy;
 * **interruption** — SIGINT/SIGTERM between episodes (exercised by
   the test-suite's subprocess driver rather than in-process, so the
-  harness itself never races a stray signal).
+  harness itself never races a stray signal);
+* **snapshot corruption** (fork-server mode) — a cached
+  :class:`~repro.core.checkpoint.TestbedCheckpoint`'s snapshot bytes
+  are flipped before a restore, so the digest check must catch the
+  rot and the trial must cold-boot to the identical result;
+* **restore wedge** (fork-server mode) — a restore stalls until the
+  pool's batch-progress timeout kills the worker.
+
+Fork-server faults are selected with ``pool_mode="fork-server"`` in
+:func:`run_chaos_campaign`; the invariant is then three-way — serial,
+chaos spawn-pool and chaos fork-server executions must all leave the
+same store bytes.
 
 Every fault decision is a pure function of ``(seed, episode, job)`` —
 no global RNG state — so a chaos run is exactly replayable.
@@ -38,6 +49,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.runner.forkserver import ForkServerPool, execute_job_cached
 from repro.runner.jobs import CAMPAIGN_RUN, JobSpec, execute_job
 from repro.runner.pool import JobFn, SerialRunner, WorkerPool
 from repro.runner.store import ResultStore, StoreCorrupt
@@ -69,6 +81,13 @@ class ChaosPlan:
     hang_seconds: float = 30.0
     #: Upper bound on an injected message delay, seconds.
     max_delay: float = 0.05
+    #: Probability a cached snapshot's bytes are corrupted before a
+    #: restore (fork-server mode; exercises digest verification and
+    #: the cold-boot fallback).
+    corrupt_rate: float = 0.0
+    #: Probability a cached restore wedges until the batch-progress
+    #: timeout fires (fork-server mode).
+    wedge_rate: float = 0.0
 
     def kills(self, episode: int, job_id: str) -> bool:
         return chaos_roll(self.seed, episode, "kill", job_id) < self.kill_rate
@@ -91,6 +110,17 @@ class ChaosPlan:
 
     def tears(self, episode: int) -> bool:
         return chaos_roll(self.seed, episode, "tear", "store") < self.tear_rate
+
+    def corrupts(self, episode: int, job_id: str) -> bool:
+        return (
+            chaos_roll(self.seed, episode, "corrupt", job_id)
+            < self.corrupt_rate
+        )
+
+    def wedges(self, episode: int, job_id: str) -> bool:
+        if self.corrupts(episode, job_id):
+            return False  # the corruption fires first; don't double-charge
+        return chaos_roll(self.seed, episode, "wedge", job_id) < self.wedge_rate
 
 
 @dataclass
@@ -162,6 +192,71 @@ class ChaosPool(WorkerPool):
 
     def _wrap_outbox(self, channel):
         return ChaosOutbox(channel, self.plan, self.episode)
+
+
+@dataclass
+class ForkChaos:
+    """Worker-side snapshot-cache fault injector (fork-server mode).
+
+    A picklable dataclass handed to workers through
+    :meth:`~repro.runner.forkserver.ForkServerPool._restore_chaos`; it
+    runs immediately before each cached checkpoint restore.  Faults
+    fire on first attempts only, like :class:`ChaosJobFn`'s:
+
+    * **corrupt** — flip one word of the cached snapshot's frame
+      bytes.  The restore writes the rotten word into the machine, the
+      digest check catches it, the entry is evicted and the trial
+      cold-boots: the result must come out identical anyway.
+    * **wedge** — stall the restore past the pool's batch-progress
+      timeout; the worker is killed and the job retried elsewhere.
+    """
+
+    plan: ChaosPlan
+    episode: int = 1
+
+    def before_restore(self, entry, job_id: str, attempt: int) -> None:
+        if attempt != 0:
+            return
+        if self.plan.corrupts(self.episode, job_id):
+            frames = entry.checkpoint.snapshot._frames  # noqa: SLF001
+            mfn = min(frames)
+            word = int(
+                chaos_roll(self.plan.seed, self.episode, "corrupt-word", job_id)
+                * len(frames[mfn])
+            )
+            frames[mfn][word] ^= type(frames[mfn][word])(0x1)
+        elif self.plan.wedges(self.episode, job_id):
+            time.sleep(self.plan.hang_seconds)
+
+
+class ChaosForkPool(ForkServerPool):
+    """A :class:`ForkServerPool` under the full chaos fault set.
+
+    Workers still get killed and hung mid-batch through
+    :class:`ChaosJobFn` and the transport still duplicates and delays
+    through :class:`ChaosOutbox`; on top, the snapshot cache itself
+    misbehaves through :class:`ForkChaos`.
+    """
+
+    def __init__(
+        self,
+        plan: ChaosPlan,
+        episode: int = 1,
+        base_job_fn: JobFn = execute_job_cached,
+        **kwargs,
+    ):
+        kwargs.setdefault(
+            "job_fn", ChaosJobFn(plan=plan, episode=episode, job_fn=base_job_fn)
+        )
+        super().__init__(**kwargs)
+        self.plan = plan
+        self.episode = episode
+
+    def _wrap_outbox(self, channel):
+        return ChaosOutbox(channel, self.plan, self.episode)
+
+    def _restore_chaos(self):
+        return ForkChaos(plan=self.plan, episode=self.episode)
 
 
 # ----------------------------------------------------------------------
@@ -302,6 +397,7 @@ def run_chaos_campaign(
     max_episodes: int = 10,
     on_event: Optional[Callable] = None,
     trace_dir: Optional[str] = None,
+    pool_mode: str = "spawn",
 ) -> ChaosReport:
     """Run ``specs`` under seeded chaos and check the store invariant.
 
@@ -314,13 +410,31 @@ def run_chaos_campaign(
     in-episode retries, so recovery always flows through the store's
     resume path, the property under test.
 
+    ``pool_mode="fork-server"`` runs the episodes on a
+    :class:`ChaosForkPool` instead: the same kill/hang/dup/delay/tear
+    fault set, plus snapshot-cache corruption and restore wedges (the
+    plan's ``corrupt_rate``/``wedge_rate``, bumped to a quarter each
+    when the caller left them at zero).  The invariant is unchanged —
+    the fork-server must leave exactly the bytes the serial reference
+    leaves, no matter how its cache misbehaved.
+
     With ``trace_dir`` the serial reference records under
     ``trace_dir/serial`` and the chaos side under ``trace_dir/chaos``;
     the directories must come out byte-identical (trace determinism
     under infrastructure faults), folded into ``report.identical``.
     """
+    if pool_mode not in ("spawn", "fork-server"):
+        raise ValueError(
+            f"unknown pool_mode {pool_mode!r}; known: spawn, fork-server"
+        )
     specs = list(specs)
     plan = plan or ChaosPlan(seed=seed, hang_seconds=max(timeout * 3, 1.0))
+    if (
+        pool_mode == "fork-server"
+        and plan.corrupt_rate == 0.0
+        and plan.wedge_rate == 0.0
+    ):
+        plan = replace(plan, corrupt_rate=0.25, wedge_rate=0.25)
     report = ChaosReport(seed=seed, total_jobs=len(specs))
 
     serial_trace_dir = chaos_trace_dir = None
@@ -353,15 +467,30 @@ def run_chaos_campaign(
         # misbehaves — this is the "known-good copy" a torn store is
         # restored from.
         shutil.copyfile(store_path, good_copy)
-        pool = ChaosPool(
-            plan=plan,
-            episode=episode,
-            base_job_fn=base_job_fn,
-            jobs=jobs,
-            timeout=timeout,
-            retries=0,
-            on_event=on_event,
-        )
+        if pool_mode == "fork-server":
+            pool: WorkerPool = ChaosForkPool(
+                plan=plan,
+                episode=episode,
+                base_job_fn=(
+                    execute_job_cached
+                    if base_job_fn is execute_job
+                    else base_job_fn
+                ),
+                jobs=jobs,
+                timeout=timeout,
+                retries=0,
+                on_event=on_event,
+            )
+        else:
+            pool = ChaosPool(
+                plan=plan,
+                episode=episode,
+                base_job_fn=base_job_fn,
+                jobs=jobs,
+                timeout=timeout,
+                retries=0,
+                on_event=on_event,
+            )
         try:
             pool.run(specs, store=store)
             planned_kills = sum(
@@ -370,6 +499,17 @@ def run_chaos_campaign(
             report.faults["kills"] = (
                 report.faults.get("kills", 0) + planned_kills
             )
+            if pool_mode == "fork-server":
+                for name, decide in (
+                    ("corrupts", plan.corrupts),
+                    ("wedges", plan.wedges),
+                ):
+                    planned = sum(
+                        1 for spec in specs if decide(episode, spec.job_id)
+                    )
+                    report.faults[name] = (
+                        report.faults.get(name, 0) + planned
+                    )
             summary = store.summary()
             complete = summary.done == len(specs)
         finally:

@@ -37,6 +37,11 @@ from repro.runner.pool import (
     run_jobs,
     seeded_backoff,
 )
+from repro.runner.forkserver import (
+    ForkServerPool,
+    execute_job_cached,
+    preferred_context,
+)
 from repro.runner.store import (
     ResultStore,
     StoreCorrupt,
@@ -52,6 +57,7 @@ __all__ = [
     "ConsoleRenderer",
     "EventRecorder",
     "FUZZ_TRIAL",
+    "ForkServerPool",
     "JobSpec",
     "ResultStore",
     "RunnerEvent",
@@ -65,7 +71,9 @@ __all__ = [
     "TransientJobError",
     "WorkerPool",
     "execute_job",
+    "execute_job_cached",
     "make_runner",
+    "preferred_context",
     "plan_benchmark",
     "plan_campaign",
     "plan_coverage_round",

@@ -25,6 +25,9 @@ JOB_SKIPPED = "job-skipped"  # already done in the store (resume)
 JOB_QUARANTINED = "job-quarantined"  # poisonous: kept killing workers
 WORKER_CRASHED = "worker-crashed"
 WORKER_UNRESPONSIVE = "worker-unresponsive"  # heartbeat stopped
+WORKER_RECYCLED = "worker-recycled"  # fork-server health recycling
+RESTORE_DIVERGED = "restore-diverged"  # cached snapshot failed its digest check
+POOL_DEGRADED = "pool-degraded"  # fork-server fell back to spawn-per-job
 CIRCUIT_OPEN = "circuit-open"  # too many consecutive worker deaths
 CAMPAIGN_INTERRUPTED = "campaign-interrupted"  # SIGINT/SIGTERM, resumable
 CAMPAIGN_FINISHED = "campaign-finished"
@@ -123,6 +126,15 @@ class ConsoleRenderer:
                 f"{progress} worker {event.worker} unresponsive on "
                 f"{event.label} ({event.detail})"
             )
+        if event.kind == WORKER_RECYCLED:
+            return f"{progress} recycled worker {event.worker} ({event.detail})"
+        if event.kind == RESTORE_DIVERGED:
+            return (
+                f"{progress} RESTORE DIVERGED on worker {event.worker}: "
+                f"{event.detail} (evicted; cold-booting)"
+            )
+        if event.kind == POOL_DEGRADED:
+            return f"{progress} DEGRADED to spawn-per-job pool: {event.detail}"
         if event.kind == CIRCUIT_OPEN:
             return f"{progress} HALTED: {event.detail}"
         if event.kind == CAMPAIGN_INTERRUPTED:

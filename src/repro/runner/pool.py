@@ -894,8 +894,27 @@ def make_runner(
     poison_threshold: int = 3,
     circuit_threshold: int = 8,
     liveness_grace: Optional[float] = 30.0,
+    fork_server: bool = False,
+    batch: int = 8,
+    recycle_after: int = 256,
 ):
-    """A SerialRunner for ``jobs=1``, a WorkerPool otherwise."""
+    """A SerialRunner for ``jobs=1``, a WorkerPool otherwise.
+
+    ``fork_server=True`` selects the persistent snapshot-cached
+    :class:`~repro.runner.forkserver.ForkServerPool` at any job count
+    (even one worker benefits from the snapshot cache).
+    """
+    if fork_server:
+        from repro.runner.forkserver import ForkServerPool, execute_job_cached
+
+        return ForkServerPool(
+            jobs=max(jobs, 1), batch=batch, recycle_after=recycle_after,
+            timeout=timeout, retries=retries, max_backoff=max_backoff,
+            job_fn=execute_job_cached if job_fn is execute_job else job_fn,
+            on_event=on_event, poison_threshold=poison_threshold,
+            circuit_threshold=circuit_threshold,
+            liveness_grace=liveness_grace,
+        )
     if jobs <= 1:
         return SerialRunner(
             retries=retries, max_backoff=max_backoff, job_fn=job_fn,

@@ -3,7 +3,11 @@
 
 The runner's guarantee (PR 1) is that parallel campaigns equal serial
 ones byte for byte, because every fuzz trial derives a private seeded
-``random.Random`` and every job is identified by a content hash.
+``random.Random`` and every job is identified by a content hash.  The
+scope includes the whole ``repro/runner/`` tree — the fork-server
+(``repro.runner.forkserver``) restores cached snapshots between
+trials, so any ambient nondeterminism there would poison *every*
+subsequent trial served from the same worker, not just one.
 Three syntactic habits silently break that guarantee:
 
 * calls on the **module-level RNG** (``random.random()``,
@@ -71,9 +75,9 @@ def _iteration_targets(tree: ast.Module):
     "R4",
     "determinism",
     "no module-level RNG, wall-clock reads, or unordered iteration in "
-    "repro.core / repro.runner / repro.trace / repro.vulngen (parallel "
-    "must equal serial, and trace files and corpus manifests must be "
-    "byte-stable)",
+    "repro.core / repro.runner (incl. the forkserver's snapshot cache) "
+    "/ repro.trace / repro.vulngen (parallel must equal serial, and "
+    "trace files and corpus manifests must be byte-stable)",
 )
 def check_determinism(ctx: RuleContext) -> List[Finding]:
     """R4: flag ambient-nondeterminism sources in deterministic trees."""

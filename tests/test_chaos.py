@@ -33,6 +33,7 @@ from repro.runner import (
     StoreCorrupt,
     WorkerPool,
     plan_campaign,
+    plan_fuzz,
 )
 from repro.runner import events as ev
 from repro.runner.pool import RunnerOutcome, _ResultChannel, _Worker
@@ -78,6 +79,18 @@ class TestChaosPlan:
         plan = ChaosPlan(seed=5, kill_rate=1.0, hang_rate=1.0)
         assert plan.kills(1, "j") and not plan.hangs(1, "j")
 
+    def test_fork_fault_decisions_are_deterministic(self):
+        a = ChaosPlan(seed=11, corrupt_rate=0.5, wedge_rate=0.5)
+        b = ChaosPlan(seed=11, corrupt_rate=0.5, wedge_rate=0.5)
+        for episode in (1, 2):
+            for job in ("j1", "j2", "j3", "j4"):
+                assert a.corrupts(episode, job) == b.corrupts(episode, job)
+                assert a.wedges(episode, job) == b.wedges(episode, job)
+
+    def test_corrupt_suppresses_wedge(self):
+        plan = ChaosPlan(seed=5, corrupt_rate=1.0, wedge_rate=1.0)
+        assert plan.corrupts(1, "j") and not plan.wedges(1, "j")
+
     def test_delays_bounded(self):
         plan = ChaosPlan(seed=7, delay_rate=1.0, max_delay=0.05)
         for i in range(32):
@@ -107,6 +120,41 @@ class TestChaosInvariant:
         assert report.identical, report.render()
         assert report.episodes >= 1
         assert no_orphans()
+
+
+class TestForkServerChaosInvariant:
+    """The three-way invariant: serial == chaos spawn == chaos fork-server."""
+
+    def test_fork_server_store_identical_under_faults(self, tmp_path):
+        specs = plan_fuzz("4.13", ["idt", "m2p"], 5, 20230701)
+        fork_report = run_chaos_campaign(
+            specs, seed=2, store_path=str(tmp_path / "fork.sqlite"),
+            jobs=2, timeout=3.0, pool_mode="fork-server",
+        )
+        assert fork_report.identical, fork_report.render()
+        assert fork_report.episodes >= 1
+        # the zero-rates default really got bumped: snapshot faults were
+        # planned, not silently skipped
+        assert "corrupts" in fork_report.faults
+        assert "wedges" in fork_report.faults
+        assert no_orphans()
+
+        spawn_report = run_chaos_campaign(
+            specs, seed=2, store_path=str(tmp_path / "spawn.sqlite"),
+            jobs=2, timeout=3.0,
+        )
+        assert spawn_report.identical, spawn_report.render()
+        # cross-mode byte identity: both chaos modes left exactly the
+        # serial reference's store bytes
+        assert fork_report.chaos_json == spawn_report.chaos_json
+        assert no_orphans()
+
+    def test_unknown_pool_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="pool_mode"):
+            run_chaos_campaign(
+                [selftest("ok")], seed=1,
+                store_path=str(tmp_path / "x.sqlite"), pool_mode="threads",
+            )
 
 
 class TestPoisonQuarantine:
