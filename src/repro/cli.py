@@ -66,6 +66,15 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         help="recycle a fork-server worker after serving N trials",
     )
     group.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="worker heartbeat grace before a wedged worker is killed "
+        "(parallel runs only; default 30)",
+    )
+    group.add_argument(
+        "--backoff-cap", type=float, default=5.0, metavar="SECONDS",
+        help="ceiling on the exponential retry backoff (default 5)",
+    )
+    group.add_argument(
         "--store", metavar="PATH",
         help="persist jobs and results to a SQLite store",
     )
@@ -99,6 +108,8 @@ def _runner_from_args(args):
     renderer = ConsoleRenderer() if (args.jobs > 1 or fork_server) else None
     runner = make_runner(
         jobs=args.jobs, timeout=args.timeout, on_event=renderer,
+        max_backoff=getattr(args, "backoff_cap", 5.0),
+        liveness_grace=getattr(args, "heartbeat_timeout", 30.0),
         fork_server=fork_server,
         batch=getattr(args, "batch", 8),
         recycle_after=getattr(args, "recycle_after", 256),
@@ -333,6 +344,108 @@ def _build_parser() -> argparse.ArgumentParser:
         "store sha256) as JSON — CI compares these across pool modes",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: HTTP submissions, SSE progress, "
+        "per-tenant quotas, crash-safe journal",
+    )
+    serve.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="service state root (journal, registry, per-tenant shards)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="listen port (0 = ephemeral; the bound port lands in "
+        "<data-dir>/service.json)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per campaign runner",
+    )
+    serve.add_argument(
+        "--fork-server", action="store_true",
+        help="run campaigns on the snapshot-cached fork-server pool",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="worker heartbeat grace before a wedged worker is killed",
+    )
+    serve.add_argument(
+        "--backoff-cap", type=float, default=5.0, metavar="SECONDS",
+        help="ceiling on the exponential retry backoff",
+    )
+    serve.add_argument(
+        "--ack-every", type=int, default=8, metavar="N",
+        help="journal a progress checkpoint every N completed jobs",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=2.0, metavar="PER_SEC",
+        help="per-tenant submission token refill rate",
+    )
+    serve.add_argument(
+        "--quota-burst", type=int, default=8, metavar="N",
+        help="per-tenant submission burst size",
+    )
+    serve.add_argument(
+        "--max-tenant-jobs", type=int, default=10000, metavar="N",
+        help="max unfinished jobs one tenant may hold",
+    )
+    serve.add_argument(
+        "--max-active", type=int, default=2, metavar="N",
+        help="campaigns executing concurrently",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="admitted-but-waiting campaigns before load shedding",
+    )
+    serve.add_argument(
+        "--ready-file", metavar="PATH",
+        help="where to write the host/port/pid file "
+        "(default <data-dir>/service.json)",
+    )
+
+    service = sub.add_parser(
+        "service",
+        help="offline service-data operations (compact, chaos)",
+    )
+    service_sub = service.add_subparsers(dest="service_command", required=True)
+    compact = service_sub.add_parser(
+        "compact",
+        help="fold per-campaign shard stores into one byte-stable "
+        "aggregate store and print its sha256",
+    )
+    compact.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="service data directory to compact",
+    )
+    compact.add_argument(
+        "--out", metavar="PATH",
+        help="aggregate store path (default <data-dir>/compacted.sqlite)",
+    )
+    svc_chaos = service_sub.add_parser(
+        "chaos",
+        help="kill-and-restart the service mid-campaign under seeded "
+        "faults and assert the compacted store is byte-identical to "
+        "an uninterrupted run",
+    )
+    svc_chaos.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2, 3], metavar="SEED",
+        help="chaos seeds (each is an independent service lifetime)",
+    )
+    svc_chaos.add_argument(
+        "--workdir", metavar="DIR",
+        help="scratch directory (default: a fresh temp dir per seed)",
+    )
+    svc_chaos.add_argument(
+        "--report-json", metavar="PATH",
+        help="write per-seed service chaos reports as JSON",
+    )
+
     metrics = sub.add_parser(
         "metrics",
         help="aggregate and print the probe metrics stored by a "
@@ -451,7 +564,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     from repro.runner.pool import CampaignFailed, CampaignInterrupted
-    from repro.runner.store import StoreCorrupt, StorePlanMismatch, StoreSchemaMismatch
+    from repro.runner.store import (
+        StoreBusy,
+        StoreCorrupt,
+        StorePlanMismatch,
+        StoreSchemaMismatch,
+    )
 
     try:
         return _dispatch(args)
@@ -461,7 +579,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CampaignInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
         return 130  # the conventional fatal-signal exit code
-    except (StoreCorrupt, StorePlanMismatch, StoreSchemaMismatch) as exc:
+    except (StoreBusy, StoreCorrupt, StorePlanMismatch, StoreSchemaMismatch) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -529,6 +647,10 @@ def _dispatch(args) -> int:
         return _cmd_testcase(args)
     elif args.command == "chaos":
         return _cmd_chaos(args)
+    elif args.command == "serve":
+        return _cmd_serve(args)
+    elif args.command == "service":
+        return _cmd_service(args)
     elif args.command == "metrics":
         return _cmd_metrics(args)
     elif args.command == "replay":
@@ -679,6 +801,11 @@ def _cmd_replay(args) -> int:
     if not os.path.exists(args.trace):
         print(f"replay: trace file {args.trace!r} not found", file=sys.stderr)
         return 2
+    if not os.path.isfile(args.trace):
+        print(
+            f"replay: trace path {args.trace!r} is not a file", file=sys.stderr
+        )
+        return 2
     try:
         outcome = replay_trace(args.trace, strict=not args.probe)
     except ReplayDivergence as exc:
@@ -687,6 +814,11 @@ def _cmd_replay(args) -> int:
     except TraceError as exc:
         print(f"replay: {exc}", file=sys.stderr)
         return 1
+    except OSError as exc:
+        # A torn, truncated or unreadable trace is an input problem,
+        # not a crash: report it like any other bad-path case.
+        print(f"replay: cannot read {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
     state = "crashed" if outcome.crashed else "alive"
     mode = "verified" if outcome.faithful else "probed"
     print(
@@ -815,12 +947,84 @@ def _chaos_metrics_aggregate(report) -> dict:
     return aggregate
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import QuotaConfig, ServiceConfig
+    from repro.service.server import serve
+
+    config = ServiceConfig(
+        data_dir=args.data_dir,
+        jobs=args.jobs,
+        fork_server=args.fork_server,
+        timeout=args.timeout,
+        max_backoff=args.backoff_cap,
+        liveness_grace=args.heartbeat_timeout,
+        ack_every=args.ack_every,
+        quota=QuotaConfig(
+            rate=args.quota_rate,
+            burst=args.quota_burst,
+            max_tenant_jobs=args.max_tenant_jobs,
+            max_active=args.max_active,
+            queue_depth=args.queue_depth,
+        ),
+    )
+    return serve(
+        config, host=args.host, port=args.port, ready_file=args.ready_file
+    )
+
+
+def _cmd_service(args) -> int:
+    if args.service_command == "compact":
+        from repro.service import compact_data_dir, iter_shards
+
+        if not os.path.isdir(args.data_dir):
+            print(
+                f"service: data dir {args.data_dir!r} not found",
+                file=sys.stderr,
+            )
+            return 2
+        if not iter_shards(args.data_dir):
+            print(
+                f"service: no shard stores under {args.data_dir!r}",
+                file=sys.stderr,
+            )
+            return 1
+        report = compact_data_dir(args.data_dir, args.out)
+        print(report.render())
+        return 0
+    # service chaos
+    import json as _json
+    import tempfile
+
+    from repro.resilience.chaos import run_service_chaos
+
+    reports = []
+    failures = 0
+    for seed in args.seeds:
+        workdir = args.workdir or tempfile.mkdtemp(prefix=f"svc-chaos-{seed}-")
+        report = run_service_chaos(seed=seed, workdir=workdir)
+        print(report.render())
+        reports.append(report.to_dict())
+        if not report.passed:
+            failures += 1
+    if args.report_json:
+        with open(args.report_json, "w") as handle:
+            _json.dump(reports, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"service chaos reports written to {args.report_json}")
+    return 1 if failures else 0
+
+
 def _cmd_metrics(args) -> int:
     from repro.analysis.report import aggregate_metrics, runs_from_store
     from repro.runner import ResultStore
 
     if not os.path.exists(args.store):
         print(f"metrics: store {args.store!r} not found", file=sys.stderr)
+        return 2
+    if not os.path.isfile(args.store):
+        print(
+            f"metrics: store path {args.store!r} is not a file", file=sys.stderr
+        )
         return 2
     store = ResultStore(args.store)
     try:

@@ -547,3 +547,260 @@ def run_chaos_campaign(
         if report.trace_mismatches:
             report.identical = False
     return report
+
+
+# ----------------------------------------------------------------------
+# Service-level chaos: kill-and-restart the whole front-end
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ServiceChaosReport:
+    """One service lifetime under chaos, and whether the invariant held.
+
+    The invariant is end-to-end: a service that was SIGKILLed
+    mid-campaign, had its journal and a shard store torn, was
+    restarted and drained must compact to the *byte-identical*
+    aggregate store of an uninterrupted in-process run of the same
+    plans — and the tenant that blew its quota must have been shed
+    with 429 while the other tenants completed unimpeded.
+    """
+
+    seed: int
+    total_jobs: int = 0
+    #: Jobs observed complete when the SIGKILL landed.
+    done_at_kill: int = 0
+    faults: Dict[str, int] = field(default_factory=dict)
+    identical: bool = False
+    quota_shed: bool = False
+    tenants_done: bool = False
+    drained_cleanly: bool = False
+    sha_reference: str = ""
+    sha_chaos: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.identical
+            and self.quota_shed
+            and self.tenants_done
+            and self.drained_cleanly
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "total_jobs": self.total_jobs,
+            "done_at_kill": self.done_at_kill,
+            "faults": dict(sorted(self.faults.items())),
+            "identical": self.identical,
+            "quota_shed": self.quota_shed,
+            "tenants_done": self.tenants_done,
+            "drained_cleanly": self.drained_cleanly,
+            "sha_reference": self.sha_reference,
+            "sha_chaos": self.sha_chaos,
+            "passed": self.passed,
+        }
+
+    def render(self) -> str:
+        verdict = "PASSED" if self.passed else "FAILED"
+        fault_text = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.faults.items())
+        ) or "none"
+        return (
+            f"service chaos seed {self.seed}: {self.total_jobs} jobs, "
+            f"killed at {self.done_at_kill} done, faults [{fault_text}]\n"
+            f"  compaction: {'IDENTICAL' if self.identical else 'DIVERGED'} "
+            f"(ref {self.sha_reference[:12]}, chaos {self.sha_chaos[:12]})\n"
+            f"  quota shed 429: {self.quota_shed}, tenants done: "
+            f"{self.tenants_done}, clean drain: {self.drained_cleanly} "
+            f"-> {verdict}"
+        )
+
+
+#: The deterministic multi-tenant workload every service chaos seed
+#: runs: big enough that a seeded kill lands mid-campaign, made only
+#: of deterministic-payload jobs so compactions can be compared by
+#: sha256.
+def _service_chaos_plans() -> List[tuple]:
+    return [
+        (
+            "alice",
+            {
+                "kind": "campaign",
+                "use_cases": ["XSA-212-crash", "XSA-182-test"],
+                "versions": ["4.6", "4.8", "4.13"],
+                "modes": ["exploit", "injection"],
+            },
+        ),
+        ("bob", {"kind": "fuzz", "version": "4.6", "runs": 30, "seed": 7}),
+        ("charlie", {"kind": "testcase", "version": "4.13"}),
+    ]
+
+
+#: The over-quota probe: charlie's *second* plan, submitted while his
+#: token bucket is empty — it must be shed with 429 and never run.
+_OVER_QUOTA_PLAN = {"kind": "testcase", "version": "4.6"}
+
+
+def _wait_ready(ready_file: str, process, timeout: float = 30.0):
+    """Wait for the server's ready file; returns a ServiceClient."""
+    from repro.service.client import ServiceClient
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"service exited early with code {process.returncode}"
+            )
+        if os.path.exists(ready_file):
+            try:
+                return ServiceClient.from_ready_file(ready_file, timeout=10.0)
+            except (ValueError, KeyError):
+                pass  # torn ready file mid-write; retry
+        time.sleep(0.02)
+    raise RuntimeError("service did not become ready in time")
+
+
+def _spawn_service(data_dir: str, ready_file: str):
+    import subprocess
+    import sys
+
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--data-dir", data_dir,
+            "--ready-file", ready_file,
+            "--quota-burst", "1",
+            "--quota-rate", "0.02",
+            "--max-active", "2",
+            "--ack-every", "4",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def run_service_chaos(
+    seed: int, workdir: str, timeout: float = 240.0
+) -> ServiceChaosReport:
+    """One kill-and-restart chaos lifetime against a real subprocess.
+
+    Reference and chaos run the same plans; the chaos side goes over
+    HTTP against a ``repro serve`` subprocess that is SIGKILLed at a
+    seeded completion fraction, has its journal (and possibly a shard
+    store) torn, is restarted, re-submitted to (idempotently), drained
+    with SIGTERM — and must compact byte-identically.
+    """
+    from repro.service import ServiceConfig, Supervisor, compact_data_dir
+    from repro.service.quotas import QuotaConfig
+
+    report = ServiceChaosReport(seed=seed)
+    plans = _service_chaos_plans()
+
+    # --- reference: uninterrupted, in-process, same plans -------------
+    ref_dir = os.path.join(workdir, "reference")
+    ref = Supervisor(
+        ServiceConfig(
+            data_dir=ref_dir, quota=QuotaConfig(rate=1000, burst=1000)
+        )
+    )
+    try:
+        for tenant, plan in plans:
+            status, payload = ref.submit(dict(plan), tenant)
+            assert status == 202, (status, payload)
+            report.total_jobs += payload["total"]
+        if not ref.run_until_idle(timeout):
+            raise RuntimeError("reference supervisor did not finish")
+    finally:
+        ref.close()
+    report.sha_reference = compact_data_dir(ref_dir).sha256
+
+    # --- chaos: subprocess service, seeded kill + tears ---------------
+    chaos_dir = os.path.join(workdir, "chaos")
+    ready_file = os.path.join(workdir, "service-ready.json")
+    process = _spawn_service(chaos_dir, ready_file)
+    killed_mid_flight = False
+    try:
+        client = _wait_ready(ready_file, process)
+        cids = []
+        for tenant, plan in plans:
+            status, payload = client.submit(dict(plan), tenant)
+            assert status == 202, (status, payload)
+            cids.append(payload["id"])
+        # The over-quota probe: charlie's bucket (burst 1, refill
+        # 0.02/s) is already empty.
+        status, payload = client.submit(dict(_OVER_QUOTA_PLAN), "charlie")
+        if status == 429:
+            report.quota_shed = True
+            report.faults["quota-429"] = 1
+
+        # Client disconnect mid-stream: read a few SSE frames off the
+        # first campaign, then drop the connection on the floor.
+        frames = list(client.stream(cids[0], limit=3, timeout=10.0))
+        if frames:
+            report.faults["client-disconnect"] = 1
+
+        # Seeded kill point: SIGKILL once this fraction of all jobs is
+        # complete (always mid-flight: between 10% and 50%).
+        fraction = 0.1 + 0.4 * chaos_roll(seed, 1, "svc", "killpoint")
+        threshold = max(3, int(report.total_jobs * fraction))
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            statuses = [client.status(cid) for cid in cids]
+            done = sum(s["ok"] + s["failed"] for s in statuses)
+            if done >= threshold:
+                killed_mid_flight = any(
+                    s["state"] in ("queued", "running") for s in statuses
+                )
+                report.done_at_kill = done
+                break
+            time.sleep(0.01)
+        process.kill()
+        process.wait(timeout=30)
+        report.faults["sigkill"] = 1
+
+        # Tear durable state while the service is down.
+        if chaos_roll(seed, 2, "svc", "journal-tear") < 0.5:
+            journal_path = os.path.join(chaos_dir, "journal.jsonl")
+            if os.path.exists(journal_path):
+                tear_file(journal_path, keep_fraction=0.7)
+                report.faults["journal-tear"] = 1
+        if chaos_roll(seed, 3, "svc", "shard-tear") < 0.4:
+            from repro.service.shards import iter_shards
+
+            shard_list = iter_shards(chaos_dir)
+            if shard_list:
+                index = int(
+                    chaos_roll(seed, 4, "svc", "shard-pick") * len(shard_list)
+                )
+                tear_file(shard_list[index][2], keep_fraction=0.5)
+                report.faults["shard-tear"] = 1
+
+        # Restart: the journal (+ registry safety net) must resume
+        # every in-flight campaign; resubmission is idempotent cover
+        # for submissions the tear may have eaten.
+        os.remove(ready_file)
+        process = _spawn_service(chaos_dir, ready_file)
+        client = _wait_ready(ready_file, process)
+        for tenant, plan in plans:
+            status, payload = client.submit(dict(plan), tenant)
+            assert status in (200, 202), (status, payload)
+        states = [
+            client.wait(cid, timeout=timeout)["state"] for cid in cids
+        ]
+        report.tenants_done = all(state == "done" for state in states)
+
+        # Graceful drain: first SIGTERM must exit 0 on its own.
+        process.send_signal(signal.SIGTERM)
+        report.drained_cleanly = process.wait(timeout=60) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+    report.sha_chaos = compact_data_dir(chaos_dir).sha256
+    report.identical = report.sha_chaos == report.sha_reference
+    if killed_mid_flight:
+        report.faults["killed-mid-campaign"] = 1
+    return report

@@ -44,6 +44,7 @@ from repro.runner.forkserver import (
 )
 from repro.runner.store import (
     ResultStore,
+    StoreBusy,
     StoreCorrupt,
     StoreSchemaMismatch,
     StoreSummary,
@@ -64,6 +65,7 @@ __all__ = [
     "RunnerOutcome",
     "SELFTEST",
     "SerialRunner",
+    "StoreBusy",
     "StoreCorrupt",
     "StoreSchemaMismatch",
     "StoreSummary",

@@ -1,0 +1,29 @@
+"""Deterministic retry backoff, shared across the execution stack.
+
+Lives in its own module because both ends of the runner need it: the
+pool retries failed *jobs* and the store retries locked *opens*, and
+``store`` cannot import ``pool`` (which imports ``store``) without a
+cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def seeded_backoff(base: float, attempt: int, job_id: str, cap: float) -> float:
+    """Capped exponential backoff with deterministic per-job jitter.
+
+    The delay before retry ``attempt`` (1-based) grows as
+    ``base * 2**(attempt-1)`` but never beyond ``cap`` — an uncapped
+    schedule turns a deep retry budget into minutes of dead air.  The
+    jitter factor (±15%) de-synchronises workers that failed together
+    without touching any global RNG state: it is derived from the job
+    id and attempt number, so replays see the same schedule.
+    """
+    if base <= 0:
+        return 0.0
+    raw = min(base * (2 ** (attempt - 1)), cap)
+    digest = hashlib.sha1(f"{job_id}:{attempt}".encode("ascii")).digest()
+    jitter = 0.85 + 0.30 * (digest[0] / 255.0)
+    return min(raw * jitter, cap)

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, TextIO
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, TextIO
 
 #: Event kinds.
 JOB_STARTED = "job-started"
@@ -31,6 +31,11 @@ POOL_DEGRADED = "pool-degraded"  # fork-server fell back to spawn-per-job
 CIRCUIT_OPEN = "circuit-open"  # too many consecutive worker deaths
 CAMPAIGN_INTERRUPTED = "campaign-interrupted"  # SIGINT/SIGTERM, resumable
 CAMPAIGN_FINISHED = "campaign-finished"
+# Service-level lifecycle kinds (repro.service): same event vocabulary
+# so one stream carries runner progress and campaign lifecycle.
+CAMPAIGN_SUBMITTED = "campaign-submitted"  # accepted by the service
+CAMPAIGN_STARTED = "campaign-started"  # picked up by a supervisor slot
+CAMPAIGN_DEGRADED = "campaign-degraded"  # circuit opened; continuing on a fallback pool
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,10 @@ class RunnerEvent:
     throughput: float = 0.0
     #: Estimated seconds until the campaign finishes (0 if unknown).
     eta: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON transport (event logs, SSE)."""
+        return asdict(self)
 
 
 EventCallback = Callable[[RunnerEvent], None]
@@ -139,6 +148,8 @@ class ConsoleRenderer:
             return f"{progress} HALTED: {event.detail}"
         if event.kind == CAMPAIGN_INTERRUPTED:
             return f"{progress} interrupted ({event.detail}); store is resumable"
+        if event.kind == CAMPAIGN_DEGRADED:
+            return f"{progress} campaign DEGRADED: {event.detail}"
         if event.kind == CAMPAIGN_FINISHED:
             return (
                 f"{progress} campaign finished in {event.elapsed:.1f}s "

@@ -374,6 +374,14 @@ class ForkServerPool(WorkerPool):
         #: Plain-dict mirror of the infra counters, for reports/tests.
         self.stats: Dict[str, int] = {}
         self._ctx = multiprocessing.get_context(context or preferred_context())
+        #: The degraded spawn pool, while one is running (stop
+        #: requests must reach it, not just this halted pool).
+        self._fallback: Optional[WorkerPool] = None
+
+    def request_stop(self) -> None:
+        super().request_stop()
+        if self._fallback is not None:
+            self._fallback.request_stop()
 
     # -- hooks ----------------------------------------------------------
 
@@ -426,7 +434,7 @@ class ForkServerPool(WorkerPool):
                     workers[next_worker_id] = self._spawn(next_worker_id)
                     next_worker_id += 1
                 while pending or any(w.busy for w in workers.values()):
-                    if guard.tripped or self._halted:
+                    if guard.tripped or self._halted or self._stop_requested:
                         break
                     self._assign(pending, workers, store, hub)
                     self._drain(workers, pending, outcome, store, hub)
@@ -441,9 +449,11 @@ class ForkServerPool(WorkerPool):
                 # after its last result; the loop above already exited
                 # by then.  Drain once more so the counters survive.
                 self._drain(workers, pending, outcome, store, hub)
-                if guard.tripped:
+                if guard.tripped or self._stop_requested:
                     outcome.interrupted = True
-                    outcome.interrupt_signal = guard.describe()
+                    outcome.interrupt_signal = (
+                        guard.describe() or "stop-requested"
+                    )
                 # Every unacked batch member flushes back: it was never
                 # recorded as done, so the store still counts it as
                 # pending work and --resume picks it up exactly.
@@ -501,7 +511,7 @@ class ForkServerPool(WorkerPool):
         self._count("forkserver.degraded")
         if not leftovers:
             return
-        fallback = WorkerPool(
+        fallback = self._fallback = WorkerPool(
             jobs=self.jobs,
             timeout=self.timeout,
             retries=self.retries,

@@ -42,7 +42,7 @@ BENCHMARK_CASE = "benchmark-case"
 TESTCASE = "testcase"
 #: Internal kind used by the pool's own tests and health checks; the
 #: ``use_case`` field encodes the behaviour ("ok", "fail",
-#: "hang:<seconds>", "crash", "flaky:<n>").
+#: "hang:<seconds>", "crash", "crash-until:<n>", "stop", "flaky:<n>").
 SELFTEST = "selftest"
 
 KINDS = (CAMPAIGN_RUN, FUZZ_TRIAL, BENCHMARK_CASE, TESTCASE, SELFTEST)
@@ -307,6 +307,12 @@ def _execute_selftest(spec: JobSpec, attempt: int) -> Dict[str, object]:
         time.sleep(float(arg or "3600"))
     elif behaviour == "crash":
         os._exit(17)  # simulate a worker dying mid-job
+    elif behaviour == "crash-until":
+        # Kills its worker on the first <n> attempts, then succeeds:
+        # the shape that opens a circuit breaker yet completes on a
+        # fresh pool (the service's degradation ladder exercises this).
+        if attempt < int(arg or "1"):
+            os._exit(17)
     elif behaviour == "stop":
         import signal
 

@@ -32,7 +32,6 @@ serial and parallel campaigns share one persistence/resume story.
 from __future__ import annotations
 
 import atexit
-import hashlib
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -46,9 +45,21 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.resilience.quarantine import CircuitBreaker, PoisonTracker
 from repro.runner import events as ev
+from repro.runner.backoff import seeded_backoff
 from repro.runner.events import EventCallback, EventHub
 from repro.runner.jobs import JobSpec, TransientJobError, execute_job
 from repro.runner.store import ResultStore
+
+__all__ = [
+    "CampaignFailed",
+    "CampaignInterrupted",
+    "RunnerOutcome",
+    "SerialRunner",
+    "WorkerPool",
+    "make_runner",
+    "run_jobs",
+    "seeded_backoff",  # re-exported from repro.runner.backoff
+]
 
 
 class CampaignFailed(RuntimeError):
@@ -72,26 +83,6 @@ class CampaignInterrupted(RuntimeError):
             f"campaign interrupted by {label}; completed work is in the "
             "store — re-run with --resume to finish the remaining jobs"
         )
-
-
-def seeded_backoff(
-    base: float, attempt: int, job_id: str, cap: float
-) -> float:
-    """Capped exponential backoff with deterministic per-job jitter.
-
-    The delay before retry ``attempt`` (1-based) grows as
-    ``base * 2**(attempt-1)`` but never beyond ``cap`` — an uncapped
-    schedule turns a deep retry budget into minutes of dead air.  The
-    jitter factor (±15%) de-synchronises workers that failed together
-    without touching any global RNG state: it is derived from the job
-    id and attempt number, so replays see the same schedule.
-    """
-    if base <= 0:
-        return 0.0
-    raw = min(base * (2 ** (attempt - 1)), cap)
-    digest = hashlib.sha1(f"{job_id}:{attempt}".encode("ascii")).digest()
-    jitter = 0.85 + 0.30 * (digest[0] / 255.0)
-    return min(raw * jitter, cap)
 
 
 @dataclass
@@ -209,6 +200,18 @@ class SerialRunner:
         self.max_backoff = max_backoff
         self.job_fn = job_fn
         self.on_event = on_event
+        self._stop_requested = False
+
+    def request_stop(self) -> None:
+        """Cooperative interruption from another thread.
+
+        Signal handlers only reach the main thread; a runner executing
+        inside a worker thread (the campaign service) is stopped with
+        this instead.  Semantics match a SIGTERM: the current job
+        finishes, the store is flushed, and the outcome is marked
+        interrupted/resumable.
+        """
+        self._stop_requested = True
 
     def run(
         self, specs: Sequence[JobSpec], store: Optional[ResultStore] = None
@@ -223,12 +226,12 @@ class SerialRunner:
 
         with _SignalGuard() as guard:
             for spec in remaining:
-                if guard.tripped:
+                if guard.tripped or self._stop_requested:
                     break
                 if store is not None:
                     store.mark_running(spec.job_id)
                 attempt = 0
-                while not guard.tripped:
+                while not (guard.tripped or self._stop_requested):
                     hub.emit(
                         ev.JOB_STARTED, job_id=spec.job_id, label=spec.label,
                         attempt=attempt,
@@ -278,9 +281,9 @@ class SerialRunner:
                         attempt=attempt,
                     )
                     break
-            if guard.tripped:
+            if guard.tripped or self._stop_requested:
                 outcome.interrupted = True
-                outcome.interrupt_signal = guard.describe()
+                outcome.interrupt_signal = guard.describe() or "stop-requested"
                 if store is not None:
                     store.flush()
                 hub.emit(
@@ -478,6 +481,13 @@ class WorkerPool:
         self._poison = PoisonTracker(poison_threshold)
         self._circuit = CircuitBreaker(circuit_threshold)
         self._halted = ""
+        self._stop_requested = False
+
+    def request_stop(self) -> None:
+        """Cooperative interruption from another thread (see
+        :meth:`SerialRunner.request_stop`).  In-flight jobs are
+        abandoned un-acked, so ``--resume`` re-runs them exactly."""
+        self._stop_requested = True
 
     # -- public API -----------------------------------------------------
 
@@ -513,7 +523,7 @@ class WorkerPool:
                     workers[next_worker_id] = self._spawn(next_worker_id)
                     next_worker_id += 1
                 while pending or any(w.busy for w in workers.values()):
-                    if guard.tripped or self._halted:
+                    if guard.tripped or self._halted or self._stop_requested:
                         break
                     self._assign(pending, workers, store, hub)
                     self._drain(workers, pending, outcome, store, hub)
@@ -523,9 +533,11 @@ class WorkerPool:
                     next_worker_id = self._replenish(
                         workers, pending, next_worker_id
                     )
-                if guard.tripped:
+                if guard.tripped or self._stop_requested:
                     outcome.interrupted = True
-                    outcome.interrupt_signal = guard.describe()
+                    outcome.interrupt_signal = (
+                        guard.describe() or "stop-requested"
+                    )
                 abandoned = [
                     (w.spec, w.attempt) for w in workers.values() if w.busy
                 ]

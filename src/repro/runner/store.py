@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.runner.backoff import seeded_backoff
 from repro.runner.jobs import JobSpec
 
 _SCHEMA = """
@@ -80,6 +81,27 @@ class StoreCorrupt(RuntimeError):
             f"result store {path!r} is corrupt ({detail}); the file was "
             "likely torn mid-write — move it aside and start a fresh "
             "--store, or restore it from a known-good copy and --resume"
+        )
+
+
+class StoreBusy(RuntimeError):
+    """The store stayed write-locked through every open retry.
+
+    Concurrent readers against a live campaign store (the service's
+    result/metrics endpoints, a ``repro metrics`` invocation mid-run)
+    can catch the writer inside a transaction; the open path retries
+    with :func:`~repro.runner.backoff.seeded_backoff` before giving
+    up, so this only fires when the lock is held pathologically long.
+    """
+
+    def __init__(self, path: str, attempts: int, detail: str):
+        self.path = path
+        self.attempts = attempts
+        self.detail = detail
+        super().__init__(
+            f"result store {path!r} is locked by another process "
+            f"({detail}); gave up after {attempts} attempt(s) — the "
+            "writer is holding a transaction open unusually long"
         )
 
 
@@ -144,6 +166,13 @@ class StoreSummary:
 class ResultStore:
     """Durable job/result persistence for one campaign."""
 
+    #: Open-time lock retries: attempts beyond the first, backoff base
+    #: and cap in seconds.  Retrying here is what lets readers open a
+    #: store that a live campaign is actively writing.
+    OPEN_RETRIES = 5
+    OPEN_BACKOFF = 0.05
+    OPEN_BACKOFF_CAP = 1.0
+
     def __init__(
         self,
         path: str = ":memory:",
@@ -151,14 +180,43 @@ class ResultStore:
     ):
         self.path = path
         self._clock = clock
+        last_detail = ""
+        for attempt in range(self.OPEN_RETRIES + 1):
+            if attempt:
+                time.sleep(seeded_backoff(
+                    self.OPEN_BACKOFF, attempt, path, self.OPEN_BACKOFF_CAP
+                ))
+            try:
+                self._conn = sqlite3.connect(path)
+                self._conn.executescript(_SCHEMA)
+                self._commit()
+                self._verify_integrity()
+                self._check_schema_version()
+            except sqlite3.OperationalError as exc:
+                if "locked" not in str(exc):
+                    raise StoreCorrupt(path, str(exc)) from exc
+                last_detail = str(exc)
+                self._close_quietly()
+                continue
+            except StoreCorrupt as exc:
+                # _sql/_commit wrap low-level errors; a wrapped lock
+                # conflict is still just a busy writer, not rot.
+                if "locked" not in exc.detail:
+                    raise
+                last_detail = exc.detail
+                self._close_quietly()
+                continue
+            except sqlite3.DatabaseError as exc:
+                raise StoreCorrupt(path, str(exc)) from exc
+            break
+        else:
+            raise StoreBusy(path, self.OPEN_RETRIES + 1, last_detail)
+
+    def _close_quietly(self) -> None:
         try:
-            self._conn = sqlite3.connect(path)
-            self._conn.executescript(_SCHEMA)
-            self._commit()
-            self._verify_integrity()
-        except sqlite3.DatabaseError as exc:
-            raise StoreCorrupt(path, str(exc)) from exc
-        self._check_schema_version()
+            self._conn.close()
+        except sqlite3.Error:
+            pass
 
     def _verify_integrity(self) -> None:
         """Fail fast on a torn file instead of erroring mid-campaign."""
@@ -374,6 +432,11 @@ class ResultStore:
         """All registered jobs in plan order."""
         rows = self._sql("SELECT spec FROM jobs ORDER BY seq")
         return [JobSpec.from_json(row[0]) for row in rows]
+
+    def statuses(self) -> Dict[str, str]:
+        """job_id -> status for every registered job."""
+        rows = self._sql("SELECT job_id, status FROM jobs")
+        return {job_id: status for job_id, status in rows}
 
     def summary(self) -> StoreSummary:
         counts: Dict[str, int] = {}

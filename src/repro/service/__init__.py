@@ -1,0 +1,57 @@
+"""``repro.service`` — campaign-as-a-service front-end.
+
+A crash-safe asyncio HTTP service (stdlib-only) that accepts campaign
+submissions per tenant, executes them on the existing runner pools,
+streams progress as SSE, and survives SIGKILL: the fsynced journal
+plus content-derived job IDs make every acknowledged campaign resume
+exactly where it stopped.  ``repro serve`` starts it; ``repro service
+compact`` folds the per-campaign shard stores into one byte-stable
+aggregate whose sha256 is the service's end-to-end integrity check.
+"""
+
+from repro.service.journal import (
+    CampaignRecord,
+    CampaignRegistry,
+    ServiceJournal,
+    boot,
+    read_jsonl,
+)
+from repro.service.plans import (
+    PlanError,
+    campaign_id_for,
+    canonical_plan,
+    expand_plan,
+)
+from repro.service.quotas import Admission, AdmissionController, QuotaConfig, TokenBucket
+from repro.service.shards import (
+    CompactReport,
+    compact,
+    compact_data_dir,
+    file_sha256,
+    iter_shards,
+)
+from repro.service.supervisor import EventStream, ServiceConfig, Supervisor
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "CampaignRecord",
+    "CampaignRegistry",
+    "CompactReport",
+    "EventStream",
+    "PlanError",
+    "QuotaConfig",
+    "ServiceConfig",
+    "ServiceJournal",
+    "Supervisor",
+    "TokenBucket",
+    "boot",
+    "campaign_id_for",
+    "canonical_plan",
+    "compact",
+    "compact_data_dir",
+    "expand_plan",
+    "file_sha256",
+    "iter_shards",
+    "read_jsonl",
+]

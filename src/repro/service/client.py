@@ -1,0 +1,168 @@
+"""A small stdlib client for the campaign service.
+
+Used by the service's own tests, the chaos harness, and CI — one
+shared implementation of submit / status / events / SSE so every
+consumer exercises the same wire format a human with ``curl`` sees.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from http.client import HTTPConnection
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries status and decoded payload."""
+
+    def __init__(self, status: int, payload: object):
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload}")
+
+
+class ServiceClient:
+    """Blocking HTTP client for one campaign-service endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_ready_file(cls, path: str, timeout: float = 30.0) -> "ServiceClient":
+        with open(path) as handle:
+            info = json.load(handle)
+        return cls(info["host"], info["port"], timeout=timeout)
+
+    # -- plumbing -------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], dict]:
+        """One round trip; JSON in, JSON out, never raises on 4xx/5xx."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            conn.request(method, path, body=payload, headers=headers or {})
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError:
+                decoded = {"raw": raw.decode("latin-1")}
+            return response.status, dict(response.getheaders()), decoded
+        finally:
+            conn.close()
+
+    def _ok(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        status, _headers, payload = self.request(method, path, body)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    # -- API ------------------------------------------------------------
+
+    def submit(self, plan: dict, tenant: str = "default") -> Tuple[int, dict]:
+        """Submit a plan; returns ``(status, payload)`` — 429s included."""
+        body = dict(plan)
+        body["tenant"] = tenant
+        status, _headers, payload = self.request("POST", "/v1/campaigns", body)
+        return status, payload
+
+    def status(self, campaign_id: str) -> dict:
+        return self._ok("GET", f"/v1/campaigns/{campaign_id}")
+
+    def list(self, tenant: Optional[str] = None) -> List[dict]:
+        path = "/v1/campaigns"
+        if tenant is not None:
+            path += f"?tenant={tenant}"
+        return self._ok("GET", path)["campaigns"]
+
+    def results(self, campaign_id: str, kind: Optional[str] = None) -> List[dict]:
+        path = f"/v1/campaigns/{campaign_id}/results"
+        if kind is not None:
+            path += f"?kind={kind}"
+        return self._ok("GET", path)["results"]
+
+    def metrics(self, campaign_id: str) -> dict:
+        return self._ok("GET", f"/v1/campaigns/{campaign_id}/metrics")
+
+    def events(self, campaign_id: str, after: int = 0, wait: float = 0.0) -> dict:
+        return self._ok(
+            "GET", f"/v1/campaigns/{campaign_id}/events?after={after}&wait={wait}"
+        )
+
+    def health(self) -> dict:
+        return self._ok("GET", "/healthz")
+
+    def wait(
+        self, campaign_id: str, timeout: float = 120.0, poll: float = 0.2
+    ) -> dict:
+        """Poll until the campaign reaches a terminal/interrupted state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(campaign_id)
+            if status["state"] in ("done", "failed", "interrupted"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} still {status['state']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)
+
+    # -- SSE ------------------------------------------------------------
+
+    def stream(
+        self,
+        campaign_id: str,
+        after: int = 0,
+        limit: Optional[int] = None,
+        timeout: float = 60.0,
+    ) -> Iterator[dict]:
+        """Yield ``{"seq": n, "event": {...}}`` frames from a live SSE
+        stream until the final event, ``limit`` frames, or timeout."""
+        conn = HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            conn.request(
+                "GET",
+                f"/v1/campaigns/{campaign_id}/events",
+                headers={
+                    "Accept": "text/event-stream",
+                    "Last-Event-ID": str(after),
+                },
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(response.status, response.read().decode("latin-1"))
+            yielded = 0
+            seq = after
+            data_lines: List[str] = []
+            while True:
+                try:
+                    raw = response.fp.readline()
+                except (socket.timeout, OSError):
+                    return
+                if not raw:
+                    return
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith("id: "):
+                    seq = int(line[4:])
+                elif line.startswith("data: "):
+                    data_lines.append(line[6:])
+                elif line == "" and data_lines:
+                    event = json.loads("\n".join(data_lines))
+                    data_lines = []
+                    yield {"seq": seq, "event": event}
+                    yielded += 1
+                    if event.get("final") or (limit and yielded >= limit):
+                        return
+        finally:
+            conn.close()

@@ -1,0 +1,189 @@
+"""Hand-rolled HTTP/1.1 + SSE primitives over asyncio streams.
+
+The service speaks a deliberately small slice of HTTP: one request per
+connection (``Connection: close``), JSON bodies sized by
+``Content-Length``, and ``text/event-stream`` responses for progress
+streaming.  Rolling it by hand keeps the server stdlib-only — the
+repository's hard rule — and the slice is small enough that the parser
+fits on a page.
+
+Limits are enforced up front (request line, header count, body size)
+so a misbehaving client is shed with a 4xx instead of growing buffers
+unboundedly — the same backpressure philosophy as the quota layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Protocol limits: exceeding any of them is a client error, not a
+#: server buffer.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 32768
+MAX_HEADERS = 100
+MAX_BODY = 8 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed or over-limit request; carries the response status."""
+
+    def __init__(self, status: int, detail: str):
+        self.status = status
+        self.detail = detail
+        super().__init__(detail)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)  # lower-cased names
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise ProtocolError(400, "expected a JSON body")
+        try:
+            value = json.loads(self.body)
+        except ValueError as exc:
+            raise ProtocolError(400, f"body is not valid JSON: {exc}") from exc
+        if not isinstance(value, dict):
+            raise ProtocolError(400, "body must be a JSON object")
+        return value
+
+    def wants_sse(self) -> bool:
+        accept = self.headers.get("accept", "")
+        return "text/event-stream" in accept or self.query.get("sse") == "1"
+
+
+async def read_request(reader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a closed socket."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, ValueError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(400, "malformed request line")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        header_bytes += len(raw)
+        if len(headers) >= MAX_HEADERS or header_bytes > MAX_HEADER_BYTES:
+            raise ProtocolError(400, "too many headers")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError as exc:
+        raise ProtocolError(400, "malformed Content-Length") from exc
+    if length < 0 or length > MAX_BODY:
+        raise ProtocolError(413, f"body exceeds {MAX_BODY} bytes")
+    body = await reader.readexactly(length) if length else b""
+
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+    return Request(
+        method=method,
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """A complete HTTP/1.1 response (Connection: close)."""
+    text = _STATUS_TEXT.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {text}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(
+    status: int,
+    payload: object,
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """A full HTTP response with a canonical-JSON body."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return render_response(status, body, extra_headers=extra_headers)
+
+
+def error_response(
+    status: int, detail: str, retry_after: Optional[float] = None
+) -> bytes:
+    """The uniform error shape; 429/503 carry ``Retry-After``."""
+    headers = {}
+    payload: Dict[str, object] = {"error": detail}
+    if retry_after is not None:
+        # Ceil to a whole second: Retry-After is integral in HTTP.
+        seconds = max(1, int(retry_after) + (retry_after % 1 > 0))
+        headers["Retry-After"] = str(seconds)
+        payload["retry_after"] = seconds
+    return json_response(status, payload, extra_headers=headers)
+
+
+#: Response head opening an SSE stream (no Content-Length: the stream
+#: ends when the connection closes).
+SSE_PREAMBLE = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: text/event-stream\r\n"
+    b"Cache-Control: no-store\r\n"
+    b"Connection: close\r\n\r\n"
+)
+
+
+def sse_frame(seq: int, data: object) -> bytes:
+    """One SSE event; ``id:`` carries the ack/resume sequence number."""
+    return (
+        f"id: {seq}\ndata: {json.dumps(data, sort_keys=True)}\n\n".encode()
+    )

@@ -1,0 +1,307 @@
+"""Crash-safe service journal and campaign registry.
+
+The service's durability story has two layers with different jobs:
+
+* :class:`ServiceJournal` — an append-only JSONL write-ahead log.
+  Every accepted state change (submission, start, batch ack,
+  degradation, terminal state) is appended, flushed and fsynced
+  **before** the client sees an acknowledgement.  Replaying the
+  journal from the top reconstructs every campaign the service ever
+  accepted, which is what makes a SIGKILL survivable: the restarted
+  service re-admits in-flight campaigns and resumes them through the
+  result store's content-derived job IDs.
+
+* :class:`CampaignRegistry` — a SQLite mirror of the *current* state,
+  rebuilt from the journal on every boot.  The journal is the truth;
+  the registry is the queryable view (and the safety net when the
+  journal itself loses its tail to a torn write).
+
+Torn writes are expected, not exceptional: a JSONL file killed
+mid-append ends with a partial line.  :func:`read_jsonl` stops at the
+first undecodable line and reports how many bytes were good, and
+:func:`open_append` truncates the tear before appending — the same
+discipline the chaos harness enforces on result stores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, IO, List, Optional, Tuple
+
+#: Campaign lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+INTERRUPTED = "interrupted"  # stopped mid-flight; resumable
+
+#: States that need no further work.
+TERMINAL_STATES = frozenset({DONE, FAILED})
+
+
+@dataclass
+class CampaignRecord:
+    """Everything the service knows about one campaign."""
+
+    campaign_id: str
+    tenant: str
+    #: The submitted plan document (canonical form).
+    plan: Dict[str, object]
+    total_jobs: int
+    state: str = QUEUED
+    #: True once execution fell back past a circuit-open — the
+    #: campaign still completes, on a degraded pool.
+    degraded: bool = False
+    ok_jobs: int = 0
+    failed_jobs: int = 0
+    submitted_at: float = 0.0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignRecord":
+        return cls(**data)  # type: ignore[arg-type]
+
+    def status(self) -> Dict[str, object]:
+        """The public status document served over HTTP."""
+        return {
+            "id": self.campaign_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "degraded": self.degraded,
+            "total": self.total_jobs,
+            "ok": self.ok_jobs,
+            "failed": self.failed_jobs,
+            "detail": self.detail,
+        }
+
+
+def read_jsonl(path: str) -> Tuple[List[dict], int]:
+    """Parse a JSONL file, tolerating a torn tail.
+
+    Returns ``(records, good_bytes)`` where ``good_bytes`` is the
+    offset just past the last complete, decodable line.  Everything
+    after the first bad line is presumed lost to the tear.
+    """
+    records: List[dict] = []
+    good = 0
+    if not os.path.exists(path):
+        return records, good
+    with open(path, "rb") as handle:
+        for raw in handle:
+            if not raw.endswith(b"\n"):
+                break  # torn final line
+            try:
+                value = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                break
+            if not isinstance(value, dict):
+                break
+            records.append(value)
+            good += len(raw)
+    return records, good
+
+
+def open_append(path: str, good_bytes: int) -> IO[bytes]:
+    """Open ``path`` for appending after truncating any torn tail."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    handle = open(path, "ab")
+    try:
+        if handle.tell() > good_bytes:
+            handle.truncate(good_bytes)
+            handle.seek(good_bytes)
+    except OSError:
+        handle.close()
+        raise
+    return handle
+
+
+class ServiceJournal:
+    """Append-only, fsynced JSONL write-ahead log.
+
+    Record shape: ``{"seq": n, "type": ..., **fields}``.  Sequence
+    numbers continue across restarts so the log totally orders every
+    accepted state change in the service's life.
+    """
+
+    def __init__(self, path: str, clock=time.time):
+        self.path = path
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.replayed, good = read_jsonl(path)
+        self._seq = max((int(r.get("seq", 0)) for r in self.replayed), default=0)
+        self._handle = open_append(path, good)
+
+    def append(self, record_type: str, **fields) -> dict:
+        """Durably append one record; returns it with its seq."""
+        with self._lock:
+            self._seq += 1
+            record = {"seq": self._seq, "type": record_type, "at": self._clock()}
+            record.update(fields)
+            line = json.dumps(record, sort_keys=True) + "\n"
+            self._handle.write(line.encode("utf-8"))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            return record
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass
+            self._handle.close()
+
+
+def replay_records(entries: List[dict]) -> Dict[str, CampaignRecord]:
+    """Fold journal entries into the latest per-campaign state."""
+    records: Dict[str, CampaignRecord] = {}
+    for entry in entries:
+        kind = entry.get("type")
+        if kind == "submitted":
+            data = entry.get("campaign")
+            if isinstance(data, dict):
+                try:
+                    record = CampaignRecord.from_dict(data)
+                except TypeError:
+                    continue
+                records[record.campaign_id] = record
+            continue
+        cid = entry.get("id")
+        record = records.get(cid) if isinstance(cid, str) else None
+        if record is None:
+            continue
+        if kind == "state":
+            record.state = str(entry.get("state", record.state))
+            record.detail = str(entry.get("detail", record.detail))
+        elif kind == "degraded":
+            record.degraded = True
+            record.detail = str(entry.get("detail", record.detail))
+        elif kind == "batch":
+            record.ok_jobs = int(entry.get("ok", record.ok_jobs))
+            record.failed_jobs = int(entry.get("failed", record.failed_jobs))
+    return records
+
+
+class CampaignRegistry:
+    """SQLite mirror of current campaign state (the queryable view)."""
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS campaigns (
+        campaign_id TEXT PRIMARY KEY,
+        tenant TEXT NOT NULL,
+        plan TEXT NOT NULL,
+        total_jobs INTEGER NOT NULL,
+        state TEXT NOT NULL,
+        degraded INTEGER NOT NULL DEFAULT 0,
+        ok_jobs INTEGER NOT NULL DEFAULT 0,
+        failed_jobs INTEGER NOT NULL DEFAULT 0,
+        submitted_at REAL NOT NULL DEFAULT 0,
+        detail TEXT NOT NULL DEFAULT ''
+    );
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self._lock = threading.Lock()
+        try:
+            self._conn = sqlite3.connect(path, check_same_thread=False)
+            self._conn.executescript(self._SCHEMA)
+            self._conn.commit()
+        except sqlite3.DatabaseError:
+            # The registry is derived state: a corrupt mirror is moved
+            # aside and rebuilt from the journal, never fatal.
+            try:
+                self._conn.close()
+            except Exception:
+                pass
+            os.replace(path, path + ".corrupt")
+            self._conn = sqlite3.connect(path, check_same_thread=False)
+            self._conn.executescript(self._SCHEMA)
+            self._conn.commit()
+
+    def upsert(self, record: CampaignRecord) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO campaigns VALUES (?,?,?,?,?,?,?,?,?,?)",
+                (
+                    record.campaign_id,
+                    record.tenant,
+                    json.dumps(record.plan, sort_keys=True),
+                    record.total_jobs,
+                    record.state,
+                    int(record.degraded),
+                    record.ok_jobs,
+                    record.failed_jobs,
+                    record.submitted_at,
+                    record.detail,
+                ),
+            )
+            self._conn.commit()
+
+    def _from_row(self, row) -> CampaignRecord:
+        return CampaignRecord(
+            campaign_id=row[0],
+            tenant=row[1],
+            plan=json.loads(row[2]),
+            total_jobs=row[3],
+            state=row[4],
+            degraded=bool(row[5]),
+            ok_jobs=row[6],
+            failed_jobs=row[7],
+            submitted_at=row[8],
+            detail=row[9],
+        )
+
+    def all(self) -> List[CampaignRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM campaigns ORDER BY submitted_at, campaign_id"
+            ).fetchall()
+        return [self._from_row(row) for row in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+@dataclass
+class BootState:
+    """Durable state reconstructed at service boot."""
+
+    journal: ServiceJournal
+    registry: CampaignRegistry
+    records: Dict[str, CampaignRecord] = field(default_factory=dict)
+
+
+def boot(journal_path: str, registry_path: str, clock=time.time) -> BootState:
+    """Recover durable state: journal is truth, registry the net.
+
+    A campaign present only in the registry means the journal lost its
+    tail (tear past that campaign's submission): we keep the registry
+    row, re-journal it, and mark it interrupted if it was in flight —
+    the supervisor will resume it like any other survivor.
+    """
+    journal = ServiceJournal(journal_path, clock=clock)
+    registry = CampaignRegistry(registry_path)
+    records = replay_records(journal.replayed)
+    for record in registry.all():
+        if record.campaign_id in records:
+            continue
+        if record.state not in TERMINAL_STATES:
+            record.state = INTERRUPTED
+            record.detail = "recovered from registry after journal tear"
+        journal.append("submitted", campaign=record.to_dict())
+        records[record.campaign_id] = record
+    for record in records.values():
+        registry.upsert(record)
+    return BootState(journal=journal, registry=registry, records=records)

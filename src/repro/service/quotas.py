@@ -1,0 +1,171 @@
+"""Per-tenant admission control: token buckets, budgets, a governor.
+
+Three independent gates decide whether a submission is admitted, in
+escalating scope:
+
+1. **Global governor** — the whole service accepts only so many
+   campaigns in flight (active + queued).  Past that, everyone is
+   shed with 429 regardless of tenant: protecting the host beats
+   fairness.
+2. **Per-tenant token bucket** — submissions refill at ``rate`` per
+   second up to ``burst``; an empty bucket yields 429 with a
+   ``Retry-After`` computed from the refill rate, so a well-behaved
+   client can sleep exactly long enough.
+3. **Per-tenant job budget** — a tenant may hold at most
+   ``max_tenant_jobs`` unfinished jobs across its campaigns, which
+   stops one tenant's giant plans from starving the pool even when it
+   submits slowly enough to pass the bucket.
+
+All gates are advisory-free: a rejected submission changes no state,
+so retrying after ``Retry-After`` is exactly as good as having been
+admitted later.  Campaigns resumed from the journal at boot bypass
+the bucket (they were already admitted once) but still count against
+the governor and budgets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class QuotaConfig:
+    """Admission limits; the CLI exposes each knob on ``repro serve``."""
+
+    #: Token-bucket refill, submissions per second per tenant.
+    rate: float = 2.0
+    #: Token-bucket capacity (burst size) per tenant.
+    burst: int = 8
+    #: Max unfinished jobs a tenant may hold across campaigns.
+    max_tenant_jobs: int = 10000
+    #: Campaign slots executing concurrently.
+    max_active: int = 2
+    #: Admitted-but-waiting campaigns beyond the active slots; past
+    #: this the governor sheds load.
+    queue_depth: int = 16
+    #: Retry-After hint when the governor (not a tenant gate) sheds.
+    shed_retry_after: float = 5.0
+
+
+class TokenBucket:
+    """Classic token bucket; monotonic-clock based, lock provided by caller."""
+
+    def __init__(self, rate: float, burst: int, clock=time.monotonic):
+        self.rate = max(rate, 1e-9)
+        self.burst = max(burst, 1)
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._stamp = clock()
+
+    def try_take(self) -> float:
+        """Take one token; returns 0.0 on success, else seconds to wait."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The verdict on one submission."""
+
+    ok: bool
+    status: int = 202
+    retry_after: float = 0.0
+    reason: str = ""
+
+
+class AdmissionController:
+    """Thread-safe composition of the three gates."""
+
+    def __init__(self, config: QuotaConfig, clock=time.monotonic):
+        self.config = config
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._tenant_jobs: Dict[str, int] = {}
+        self._in_flight = 0
+
+    def admit(self, tenant: str, jobs: int) -> Admission:
+        cfg = self.config
+        with self._lock:
+            if self._in_flight >= cfg.max_active + cfg.queue_depth:
+                return Admission(
+                    ok=False,
+                    status=429,
+                    retry_after=cfg.shed_retry_after,
+                    reason="service at capacity",
+                )
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    cfg.rate, cfg.burst, clock=self._clock
+                )
+            wait = bucket.try_take()
+            if wait > 0.0:
+                return Admission(
+                    ok=False,
+                    status=429,
+                    retry_after=wait,
+                    reason=f"tenant {tenant!r} submission rate exceeded",
+                )
+            held = self._tenant_jobs.get(tenant, 0)
+            if held + jobs > cfg.max_tenant_jobs:
+                # Bucket token already spent; that is fine — budget
+                # rejections should cost rate, or a tenant could probe
+                # the budget for free.
+                return Admission(
+                    ok=False,
+                    status=429,
+                    retry_after=cfg.shed_retry_after,
+                    reason=(
+                        f"tenant {tenant!r} job budget exceeded "
+                        f"({held}+{jobs} > {cfg.max_tenant_jobs})"
+                    ),
+                )
+            self._accept(tenant, jobs)
+            return Admission(ok=True)
+
+    def admit_resumed(self, tenant: str, jobs: int) -> None:
+        """Count a journal-recovered campaign without gating it.
+
+        Resumed campaigns were admitted in a previous life; refusing
+        them now would turn a crash into data loss.  They still occupy
+        governor and budget capacity so fresh submissions see honest
+        pressure.
+        """
+        with self._lock:
+            self._accept(tenant, jobs)
+
+    def _accept(self, tenant: str, jobs: int) -> None:
+        self._in_flight += 1
+        self._tenant_jobs[tenant] = self._tenant_jobs.get(tenant, 0) + jobs
+
+    def release(self, tenant: str, jobs: int) -> None:
+        """Return capacity when a campaign reaches a terminal state."""
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            held = self._tenant_jobs.get(tenant, 0)
+            remaining = max(0, held - jobs)
+            if remaining:
+                self._tenant_jobs[tenant] = remaining
+            else:
+                self._tenant_jobs.pop(tenant, None)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Current pressure figures for ``/healthz``."""
+        with self._lock:
+            return {
+                "in_flight": self._in_flight,
+                "tenants": dict(sorted(self._tenant_jobs.items())),
+                "max_active": self.config.max_active,
+                "queue_depth": self.config.queue_depth,
+            }

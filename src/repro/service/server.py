@@ -1,0 +1,350 @@
+"""The asyncio front-end: routes, SSE streaming, graceful shutdown.
+
+The server is a thin, stdlib-only shell around the
+:class:`~repro.service.supervisor.Supervisor`: HTTP parsing lives in
+:mod:`repro.service.http`, state and durability in the supervisor,
+and this module only maps routes to supervisor calls and manages the
+two shutdown ladders:
+
+* **SIGTERM/SIGINT (first)** — graceful drain: new submissions get
+  503 + Retry-After, active runners stop cooperatively at the next
+  batch boundary, journals flush, open SSE streams are allowed to
+  deliver their final (interrupted or finished) event, then the
+  process exits 0.
+* **Second signal** — the operator means it: immediate ``os._exit``
+  after a best-effort journal flush.
+
+Store reads (results/metrics) run in the default executor so a slow
+SQLite read never stalls the accept loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+from typing import Optional
+
+from repro.runner.store import ResultStore, StoreBusy, StoreCorrupt
+from repro.service import http as h
+from repro.service import shards
+from repro.service.supervisor import ServiceConfig, Supervisor
+
+#: How long a long-poll waits for fresh events at most, seconds.
+LONG_POLL_CAP = 30.0
+#: Grace given to in-flight streams after drain completes, seconds.
+STREAM_GRACE = 10.0
+
+READY_FILE = "service.json"
+
+
+class _App:
+    """Route table + connection handler bound to one supervisor."""
+
+    def __init__(self, supervisor: Supervisor):
+        self.sup = supervisor
+        self._conn_tasks: "set[asyncio.Task]" = set()
+
+    # -- connection plumbing -------------------------------------------
+
+    async def handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            try:
+                request = await h.read_request(reader)
+            except h.ProtocolError as exc:
+                writer.write(h.error_response(exc.status, exc.detail))
+                return
+            except asyncio.IncompleteReadError:
+                return
+            if request is None:
+                return
+            try:
+                await self.route(request, writer)
+            except h.ProtocolError as exc:
+                writer.write(h.error_response(exc.status, exc.detail))
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:  # route bug: report, don't die
+                writer.write(h.error_response(500, f"internal error: {exc}"))
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, OSError):
+                pass
+
+    async def wait_connections(self, timeout: float) -> None:
+        tasks = [t for t in self._conn_tasks if t is not asyncio.current_task()]
+        if tasks:
+            await asyncio.wait(tasks, timeout=timeout)
+
+    # -- routing --------------------------------------------------------
+
+    async def route(self, req: h.Request, writer: asyncio.StreamWriter) -> None:
+        parts = [p for p in req.path.split("/") if p]
+        if req.path == "/healthz" and req.method == "GET":
+            writer.write(h.json_response(200, self.sup.health()))
+            return
+        if parts[:1] != ["v1"] or len(parts) < 2 or parts[1] != "campaigns":
+            writer.write(h.error_response(404, f"no such route {req.path!r}"))
+            return
+
+        if len(parts) == 2:
+            if req.method == "POST":
+                await self._submit(req, writer)
+            elif req.method == "GET":
+                tenant = req.query.get("tenant")
+                writer.write(
+                    h.json_response(
+                        200, {"campaigns": self.sup.list_campaigns(tenant)}
+                    )
+                )
+            else:
+                writer.write(h.error_response(405, "use GET or POST"))
+            return
+
+        campaign_id = parts[2]
+        record = self.sup.records.get(campaign_id)
+        if record is None:
+            writer.write(h.error_response(404, f"unknown campaign {campaign_id!r}"))
+            return
+        tail = parts[3] if len(parts) > 3 else ""
+        if req.method != "GET":
+            writer.write(h.error_response(405, "campaign resources are read-only"))
+            return
+        if tail == "":
+            writer.write(h.json_response(200, record.status()))
+        elif tail == "events":
+            await self._events(req, writer, campaign_id)
+        elif tail == "results":
+            await self._from_store(req, writer, record, self._read_results)
+        elif tail == "metrics":
+            await self._from_store(req, writer, record, self._read_metrics)
+        elif tail == "traces":
+            self._traces(req, writer, record, parts[4] if len(parts) > 4 else "")
+        else:
+            writer.write(h.error_response(404, f"no such resource {tail!r}"))
+
+    async def _submit(self, req: h.Request, writer: asyncio.StreamWriter) -> None:
+        body = req.json()
+        tenant = str(body.pop("tenant", req.headers.get("x-tenant", "default")))
+        status, payload = self.sup.submit(body, tenant)
+        if status in (429, 503):
+            retry = payload.get("retry_after")
+            writer.write(
+                h.error_response(
+                    status,
+                    str(payload.get("error", "rejected")),
+                    retry_after=float(retry) if retry else 1.0,
+                )
+            )
+            return
+        writer.write(h.json_response(status, payload))
+
+    # -- stores ---------------------------------------------------------
+
+    async def _from_store(self, req, writer, record, read_fn) -> None:
+        path = shards.shard_store_path(
+            self.sup.config.data_dir, record.tenant, record.campaign_id
+        )
+        if not os.path.exists(path):
+            writer.write(h.error_response(404, "campaign has no results yet"))
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(None, read_fn, path, req)
+        except StoreBusy:
+            writer.write(h.error_response(503, "result store busy", retry_after=1.0))
+            return
+        except StoreCorrupt as exc:
+            writer.write(h.error_response(500, f"result store corrupt: {exc}"))
+            return
+        writer.write(h.json_response(200, payload))
+
+    @staticmethod
+    def _read_results(path: str, req: h.Request) -> dict:
+        with ResultStore(path) as store:
+            pairs = store.payloads(kind=req.query.get("kind"))
+            return {
+                "results": [
+                    {"job_id": spec.job_id, "label": spec.label, "payload": payload}
+                    for spec, payload in pairs
+                ]
+            }
+
+    @staticmethod
+    def _read_metrics(path: str, req: h.Request) -> dict:
+        del req
+        with ResultStore(path) as store:
+            summary = store.summary()
+            by_kind: dict = {}
+            for spec, _payload in store.payloads():
+                by_kind[spec.kind] = by_kind.get(spec.kind, 0) + 1
+            return {
+                "summary": {
+                    "total": summary.total,
+                    "done": summary.done,
+                    "failed": summary.failed,
+                    "pending": summary.pending,
+                },
+                "completed_by_kind": by_kind,
+            }
+
+    def _traces(self, req, writer, record, name: str) -> None:
+        tdir = shards.trace_dir_path(
+            self.sup.config.data_dir, record.tenant, record.campaign_id
+        )
+        if not name:
+            entries = sorted(os.listdir(tdir)) if os.path.isdir(tdir) else []
+            writer.write(h.json_response(200, {"traces": entries}))
+            return
+        if "/" in name or name.startswith("."):
+            writer.write(h.error_response(400, "invalid trace name"))
+            return
+        path = os.path.join(tdir, name)
+        if not os.path.isfile(path):
+            writer.write(h.error_response(404, f"no trace {name!r}"))
+            return
+        with open(path, "rb") as handle:
+            writer.write(
+                h.render_response(200, handle.read(), content_type="application/json")
+            )
+
+    # -- events: SSE + long-poll ---------------------------------------
+
+    async def _events(self, req, writer, campaign_id: str) -> None:
+        stream = self.sup.stream(campaign_id)
+        if stream is None:
+            writer.write(h.error_response(404, f"unknown campaign {campaign_id!r}"))
+            return
+        after = 0
+        raw_after = req.headers.get("last-event-id", req.query.get("after", "0"))
+        try:
+            after = int(raw_after)
+        except ValueError:
+            raise h.ProtocolError(400, f"bad event cursor {raw_after!r}")
+
+        if req.wants_sse():
+            await self._events_sse(writer, campaign_id, stream, after)
+            return
+
+        # Long-poll fallback: return immediately when there are events
+        # (or wait=0); otherwise wait up to `wait` seconds for news.
+        try:
+            wait = min(float(req.query.get("wait", "0")), LONG_POLL_CAP)
+        except ValueError:
+            raise h.ProtocolError(400, "bad wait value")
+        events = stream.read(after)
+        if not events and wait > 0:
+            queue = stream.subscribe()
+            try:
+                await asyncio.wait_for(queue.get(), timeout=wait)
+            except asyncio.TimeoutError:
+                pass
+            finally:
+                stream.unsubscribe(queue)
+            events = stream.read(after)
+        next_cursor = events[-1]["seq"] if events else after
+        writer.write(h.json_response(200, {"events": events, "next": next_cursor}))
+
+    async def _events_sse(self, writer, campaign_id, stream, after: int) -> None:
+        writer.write(h.SSE_PREAMBLE)
+        queue = stream.subscribe()
+        try:
+            last = after
+            for record in stream.read(after):
+                writer.write(h.sse_frame(record["seq"], record["event"]))
+                last = record["seq"]
+                if record["event"].get("final"):
+                    return
+            await writer.drain()
+            while True:
+                record = await queue.get()
+                if record["seq"] <= last:
+                    continue
+                writer.write(h.sse_frame(record["seq"], record["event"]))
+                last = record["seq"]
+                await writer.drain()
+                if record["event"].get("final"):
+                    return
+        finally:
+            stream.unsubscribe(queue)
+
+
+async def serve_async(
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_file: Optional[str] = None,
+    supervisor: Optional[Supervisor] = None,
+) -> int:
+    """Run the service until a signal drains it; returns exit code."""
+    sup = supervisor if supervisor is not None else Supervisor(config)
+    loop = asyncio.get_running_loop()
+    sup.attach_loop(loop)
+    app = _App(sup)
+
+    server = await asyncio.start_server(
+        app.handle, host=host, port=port, family=socket.AF_INET
+    )
+    bound_port = server.sockets[0].getsockname()[1]
+
+    stop = asyncio.Event()
+    signal_count = 0
+
+    def on_signal() -> None:
+        nonlocal signal_count
+        signal_count += 1
+        if signal_count == 1:
+            stop.set()
+        else:
+            # Second signal: the operator wants out NOW.  The journal
+            # is fsynced on every append, so there is nothing to save.
+            os._exit(130)
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, on_signal)
+
+    path = ready_file or os.path.join(config.data_dir, READY_FILE)
+    with open(path, "w") as handle:
+        json.dump({"host": host, "port": bound_port, "pid": os.getpid()}, handle)
+    print(f"repro service listening on http://{host}:{bound_port}", flush=True)
+
+    resumed = sup.resume_pending()
+    if resumed:
+        print(f"resumed {len(resumed)} campaign(s) from journal", flush=True)
+
+    await stop.wait()
+    print("draining: refusing new submissions, stopping runners", flush=True)
+    sup.begin_drain()
+    drained = await loop.run_in_executor(None, sup.run_until_idle, 60.0)
+    # Let open SSE streams deliver their final frames before closing.
+    await app.wait_connections(STREAM_GRACE)
+    server.close()
+    await server.wait_closed()
+    sup.close()
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+    print("drained, exiting", flush=True)
+    return 0 if drained else 1
+
+
+def serve(
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_file: Optional[str] = None,
+) -> int:
+    """Blocking entry point: run the service until drained; exit code."""
+    return asyncio.run(serve_async(config, host=host, port=port, ready_file=ready_file))
