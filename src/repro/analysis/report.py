@@ -54,6 +54,12 @@ def result_to_dict(result: RunResult) -> dict:
         "console_tail": result.console[-6:],
         "guest_log_tail": result.guest_log[-6:],
     }
+    if result.violation.observed_in is not None:
+        # Domain provenance: only cross-domain-aware monitors set it,
+        # so historical payloads keep their exact key set.
+        data["violation"]["observed_in"] = result.violation.observed_in
+    if result.topology is not None:
+        data["topology"] = result.topology
     if result.recovery is not None:
         data["recovery"] = result.recovery.to_dict()
     if result.trace is not None:
@@ -102,6 +108,7 @@ def run_result_from_dict(data: dict) -> RunResult:
             occurred=vio["occurred"],
             kind=vio["kind"],
             evidence=list(vio["evidence"]),
+            observed_in=vio.get("observed_in"),
         ),
         crashed=data["crashed"],
         failure=data["failure"],
@@ -110,6 +117,7 @@ def run_result_from_dict(data: dict) -> RunResult:
         recovery=recovery,
         trace=data.get("trace"),
         metrics=data.get("metrics"),
+        topology=data.get("topology"),
     )
 
 

@@ -117,6 +117,64 @@ def _runner_from_args(args):
     return runner, store
 
 
+def _add_topology_args(parser: argparse.ArgumentParser) -> None:
+    """Scenario-topology flags shared by ``run`` and ``campaign``."""
+    group = parser.add_argument_group("scenario topology")
+    group.add_argument(
+        "--guests", type=int, default=None, metavar="N",
+        help="number of unprivileged guests to boot (default 2)",
+    )
+    group.add_argument(
+        "--attacker", metavar="DOMAIN",
+        help="domain the adversary drives (default: the last guest)",
+    )
+    group.add_argument(
+        "--victim", metavar="DOMAIN",
+        help="domain holding the targeted state (default dom0)",
+    )
+    group.add_argument(
+        "--observer", metavar="DOMAIN",
+        help="domain monitors watch for cross-domain observables "
+        "(default: the victim)",
+    )
+
+
+def _topology_from_args(args):
+    """Build the scenario topology the flags describe.
+
+    Returns ``None`` when no flag was given, so callers pass nothing to
+    :class:`Campaign` and the default path stays byte-identical.
+    """
+    from repro.core.topology import ScenarioTopology, TopologyError
+
+    if getattr(args, "cross_domain", False):
+        for flag in ("guests", "attacker", "victim", "observer"):
+            if getattr(args, flag, None) is not None:
+                raise SystemExit(
+                    f"error: --cross-domain fixes the topology; drop --{flag}"
+                )
+        from repro.core.topology import CROSS_DOMAIN_TOPOLOGY
+
+        return CROSS_DOMAIN_TOPOLOGY
+    if all(
+        getattr(args, flag, None) is None
+        for flag in ("guests", "attacker", "victim", "observer")
+    ):
+        return None
+    try:
+        base = ScenarioTopology.paper_default(
+            args.guests if args.guests is not None else 2
+        )
+        return ScenarioTopology(
+            num_guests=base.num_guests,
+            attacker=args.attacker or base.attacker,
+            victim=args.victim or base.victim,
+            observer=args.observer or args.victim or base.observer,
+        )
+    except TopologyError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -158,6 +216,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect per-trial probe metrics (op counters, hypercall "
         "breakdown, timings) and print them after the run",
     )
+    _add_topology_args(run)
 
     campaign = sub.add_parser("campaign", help="full experiment matrix")
     campaign.add_argument("--json", help="write raw results as JSON")
@@ -176,6 +235,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect per-trial probe metrics; counters land in the "
         "JSON/markdown artefacts and the result store",
     )
+    campaign.add_argument(
+        "--cross-domain", action="store_true",
+        help="run the cross-domain matrix: the stock inject-in-A/"
+        "observe-in-B topology with the xdom-* use cases",
+    )
+    _add_topology_args(campaign)
     _add_runner_args(campaign)
 
     replay = sub.add_parser(
@@ -482,6 +547,7 @@ def _cmd_run(args) -> int:
         recover=args.recover,
         trace_dir=args.trace,
         collect_metrics=args.metrics,
+        topology=_topology_from_args(args),
     ).run(use_case, version, mode)
     print(result.summary)
     if result.trace is not None:
@@ -522,11 +588,17 @@ def _cmd_campaign(args) -> int:
         recover=args.recover,
         trace_dir=args.trace,
         collect_metrics=args.metrics,
+        topology=_topology_from_args(args),
     )
+    use_cases = USE_CASES
+    if args.cross_domain:
+        from repro.exploits import CROSS_DOMAIN_USE_CASES
+
+        use_cases = CROSS_DOMAIN_USE_CASES
     runner, store = _runner_from_args(args)
     try:
         results = campaign.run_matrix(
-            USE_CASES, ALL_VERSIONS, runner=runner, store=store
+            use_cases, ALL_VERSIONS, runner=runner, store=store
         )
     finally:
         if store is not None:
@@ -864,6 +936,16 @@ def _cmd_chaos(args) -> int:
         ["XSA-212-crash", "XSA-182-test"], ["4.6", "4.8"],
         ["exploit", "injection"],
         metrics=with_metrics,
+    )
+    # One cross-domain matrix cell rides along: the chaos invariant
+    # (fault-injected pools leave byte-identical stores) must hold for
+    # non-default topologies too.
+    from repro.core.topology import CROSS_DOMAIN_TOPOLOGY
+
+    specs += plan_campaign(
+        ["xdom-grant-leak"], ["4.6"], ["exploit", "injection"],
+        metrics=with_metrics,
+        topology=CROSS_DOMAIN_TOPOLOGY.spec_value(),
     )
     events_handle = open(args.events, "a") if args.events else None
 

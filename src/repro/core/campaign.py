@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 from repro.core.erroneous_state import ErroneousStateReport
 from repro.core.monitor import ViolationReport, recovery_violation
 from repro.core.testbed import TestBed, build_testbed
+from repro.core.topology import DEFAULT_TOPOLOGY, ScenarioTopology
 from repro.errors import HypervisorCrash
 from repro.exploits.base import ExploitFailed, UseCase
 from repro.guest.kernel import KernelOops
@@ -73,6 +74,10 @@ class RunResult:
     #: ``counters`` half survives serialization (see
     #: ``repro.analysis.report.result_to_dict``).
     metrics: Optional[dict] = None
+    #: Canonical JSON of the scenario topology when the run used a
+    #: non-default one; ``None`` for the paper topology (keeping
+    #: default payload bytes identical to pre-topology stores).
+    topology: Optional[str] = None
 
     @property
     def summary(self) -> str:
@@ -99,8 +104,13 @@ class Campaign:
         trace_dir: Optional[str] = None,
         trace_keep: str = "failures",
         collect_metrics: bool = False,
+        topology: Optional[ScenarioTopology] = None,
     ):
         self.testbed_factory = testbed_factory
+        #: The scenario topology every run boots (attacker / victim /
+        #: observer roles).  Defaults to the paper shape; part of job
+        #: identity on the parallel path.
+        self.topology = topology if topology is not None else DEFAULT_TOPOLOGY
         self.settle_rounds = settle_rounds
         #: Run the attack phase under the microreboot crash watchdog
         #: (:mod:`repro.resilience`): a hypervisor crash becomes a
@@ -135,7 +145,11 @@ class Campaign:
         mode: Mode,
     ) -> RunResult:
         """One experiment: fresh testbed, attack or inject, observe."""
-        bed = self.testbed_factory(version)
+        if self.testbed_factory is build_testbed:
+            bed = build_testbed(version, topology=self.topology)
+        else:
+            # Custom factories own the shape they boot; trust the bed.
+            bed = self.testbed_factory(version)
         use_case = use_case_cls()
         use_case.prepare(bed)
         recorder = self._make_recorder(bed, use_case_cls.name, version, mode)
@@ -144,6 +158,11 @@ class Campaign:
             from repro.probes import MetricsCollector
 
             collector = MetricsCollector(bed.xen.probes).attach()
+            if not bed.topology.is_default:
+                # Stamp the scenario shape into the metrics so per-cell
+                # counters are attributable to their topology; default
+                # runs stay byte-identical to pre-topology snapshots.
+                collector.count("topology.domains", bed.topology.num_guests + 1)
 
         def attack() -> None:
             if mode is Mode.EXPLOIT:
@@ -225,6 +244,9 @@ class Campaign:
             recovery=recovery,
             trace=trace_info,
             metrics=collector.snapshot() if collector is not None else None,
+            topology=(
+                None if bed.topology.is_default else bed.topology.canonical_json()
+            ),
         )
 
     def _make_recorder(self, bed, use_case_name: str, version, mode):
@@ -240,7 +262,13 @@ class Campaign:
             self._trace_dir_ready = True
         path = os.path.join(
             self.trace_dir,
-            trace_filename(use_case_name, version.name, mode.value, self.recover),
+            trace_filename(
+                use_case_name,
+                version.name,
+                mode.value,
+                self.recover,
+                topology=bed.topology,
+            ),
         )
         return TraceRecorder(
             bed,
@@ -249,6 +277,7 @@ class Campaign:
             version=version.name,
             mode=mode.value,
             recover=self.recover,
+            topology=bed.topology,
         ).attach()
 
     def _guarded_attack(self, bed, use_case, attack):
@@ -323,6 +352,7 @@ class Campaign:
             recover=self.recover,
             trace_dir=self.trace_dir,
             metrics=self.collect_metrics,
+            topology=self.topology.spec_value(),
         )
         outcome = runner.run(specs, store=store)
         return [run_result_from_dict(p) for p in outcome.payloads_for(specs)]

@@ -75,12 +75,12 @@ def default_components() -> List[ComponentTarget]:
         ComponentTarget(
             "victim-pagetables",
             lambda bed: [
-                bed.dom0.pfn_to_mfn(bed.dom0.kernel.l4_pfn),
-                bed.dom0.pfn_to_mfn(bed.dom0.kernel.l1_pfns[0]),
+                bed.victim_domain.pfn_to_mfn(bed.victim_domain.kernel.l4_pfn),
+                bed.victim_domain.pfn_to_mfn(bed.victim_domain.kernel.l1_pfns[0]),
             ],
         ),
         ComponentTarget(
-            "victim-data", lambda bed: [bed.dom0.pfn_to_mfn(4)]
+            "victim-data", lambda bed: [bed.victim_domain.pfn_to_mfn(4)]
         ),
     ]
 
@@ -261,11 +261,11 @@ class RandomErroneousStateCampaign:
     @staticmethod
     def _exercise(bed: TestBed, mfn: int, word: int, changed: bool) -> str:
         attacker = bed.attacker_domain.kernel
-        dom0 = bed.dom0.kernel
-        victim_frames = {m for m in bed.dom0.p2m if m is not None}
+        victim = bed.victim_domain.kernel
+        victim_frames = {m for m in bed.victim_domain.p2m if m is not None}
         try:
             for pfn in range(2, 8):
-                dom0.read_va(dom0.kva(pfn))
+                victim.read_va(victim.kva(pfn))
             try:
                 attacker.trigger_page_fault()
             except KernelOops:

@@ -139,9 +139,9 @@ class _StormPayload(Payload):
 def inject_interrupt_storm(
     bed: "TestBed", count: int = 128
 ) -> Tuple[ErroneousStateReport, ViolationReport]:
-    """Flood the first (victim) guest with notifications it never
-    bound a channel for."""
-    victim = bed.guests[0]
+    """Flood the topology's victim guest (``guests[0]`` in the paper
+    default) with notifications it never bound a channel for."""
+    victim = bed.victim_guest
     rc = _inject_ring0(bed, _STORM_VECTOR, _StormPayload(victim.id, count))
     pending = len(bed.xen.events.pending.get(victim.id, []))
     erroneous = ErroneousStateReport(
@@ -222,13 +222,15 @@ def inject_fatal_exception(
 def inject_read_unauthorized(
     bed: "TestBed",
 ) -> Tuple[ErroneousStateReport, ViolationReport]:
-    """Exfiltrate dom0's in-memory secret through the injector's
-    physical-read mode (the info-leak IM)."""
+    """Exfiltrate the victim's in-memory secret (dom0's in the paper
+    topology) through the injector's physical-read mode (the
+    info-leak IM)."""
     from repro.core.testbed import SECRET_PFN, SECRET_WORD
 
     kernel = bed.attacker_domain.kernel
     injector = IntrusionInjector(kernel)
-    target_mfn = bed.dom0.pfn_to_mfn(SECRET_PFN)
+    victim = bed.victim_domain
+    target_mfn = victim.pfn_to_mfn(SECRET_PFN)
     value = injector.read_word(
         target_mfn * PAGE_SIZE + SECRET_WORD * 8, linear=False
     )
@@ -238,7 +240,7 @@ def inject_read_unauthorized(
         achieved=value is not None,
         description="guest read access to another domain's memory",
         fingerprint={"cross_domain_read": value is not None},
-        evidence=[f"read d{bed.dom0.id} mfn {target_mfn:#x} -> "
+        evidence=[f"read d{victim.id} mfn {target_mfn:#x} -> "
                   f"{value:#x}" if value is not None else "read failed"],
     )
     violation = ConfidentialityMonitor().observe(bed)

@@ -30,13 +30,24 @@ class ViolationReport:
     occurred: bool
     kind: Optional[str] = None  # e.g. "hypervisor crash", "privilege escalation"
     evidence: List[str] = field(default_factory=list)
+    #: Domain provenance: the canonical name of the domain in which the
+    #: violation was *observed* (not where it was injected).  ``None``
+    #: for system-wide observables (a hypervisor crash has no single
+    #: observation site).  Part of the violation fingerprint: the same
+    #: kind seen in the attacker's own domain and seen across a domain
+    #: boundary are different observations.
+    observed_in: Optional[str] = None
 
     @classmethod
     def none(cls) -> "ViolationReport":
         return cls(occurred=False)
 
     def matches(self, other: "ViolationReport") -> bool:
-        return self.occurred == other.occurred and self.kind == other.kind
+        return (
+            self.occurred == other.occurred
+            and self.kind == other.kind
+            and self.observed_in == other.observed_in
+        )
 
 
 class Monitor(abc.ABC):
@@ -248,30 +259,161 @@ class InterruptStormMonitor(Monitor):
                 f"d{victim.id} received {received} notifications "
                 f"(threshold {self.threshold})"
             ],
+            observed_in=victim.name,
         )
 
 
 class ConfidentialityMonitor(Monitor):
-    """Detects exfiltration of the dom0 in-memory secret canary."""
+    """Detects exfiltration of the victim's in-memory secret canary
+    (seeded into dom0 in the paper topology)."""
 
     name = "confidentiality"
 
     def observe(self, bed: "TestBed") -> ViolationReport:
         from repro.core.testbed import SECRET_CANARY
 
-        for domain in bed.guests:
-            if domain.kernel is None:
+        victim = bed.victim_domain
+        for domain in bed.all_domains():
+            if domain.kernel is None or domain.name == victim.name:
                 continue
             if SECRET_CANARY in domain.kernel.loot:
                 return ViolationReport(
                     occurred=True,
                     kind="confidentiality violation (secret exfiltrated)",
                     evidence=[
-                        f"d{domain.id} ({domain.name}) exfiltrated the dom0 "
-                        f"canary {SECRET_CANARY:#x}"
+                        f"d{domain.id} ({domain.name}) exfiltrated the "
+                        f"{victim.name} canary {SECRET_CANARY:#x}"
                     ],
+                    observed_in=domain.name,
                 )
         return ViolationReport.none()
+
+
+class ForeignMappingMonitor(Monitor):
+    """Victim-side detection of the *Keep Page Access* violation: a
+    live page-table entry in some other domain maps a victim-owned
+    frame that the victim never granted out.  The observation site is
+    the victim — the cross-domain counterpart of the attacker-side
+    confidentiality monitor."""
+
+    name = "foreign-mapping"
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        from repro.xen.granttable import GTF_PERMIT_ACCESS
+
+        xen = bed.xen
+        victim = bed.victim_domain
+        granted = set()
+        table = xen.grants.tables.get(victim.id)
+        if table is not None:
+            for entry in table.entries:
+                if entry.flags & GTF_PERMIT_ACCESS:
+                    granted.add(victim.pfn_to_mfn(entry.pfn))
+        victim_frames = {
+            mfn for mfn in victim.p2m if mfn is not None
+        } - granted
+        evidence = []
+        for domain in bed.all_domains():
+            if domain.id == victim.id or domain.kernel is None:
+                continue
+            for mfn in domain.p2m:
+                if mfn is None:
+                    continue
+                if xen.frames.info(mfn).type is not PageType.L1:
+                    continue
+                for index in range(ENTRIES_PER_TABLE):
+                    entry = xen.machine.read_word(mfn, index)
+                    if entry & PTE_PRESENT and pte_mfn(entry) in victim_frames:
+                        evidence.append(
+                            f"d{domain.id} ({domain.name}) L1 mfn "
+                            f"{mfn:#06x}[{index}] maps {victim.name} frame "
+                            f"{pte_mfn(entry):#06x} without a grant"
+                        )
+        if not evidence:
+            return ViolationReport.none()
+        return ViolationReport(
+            occurred=True,
+            kind="isolation violation (ungranted foreign mapping)",
+            evidence=evidence,
+            observed_in=victim.name,
+        )
+
+
+class StrayEventMonitor(Monitor):
+    """Detects event notifications delivered to a domain on ports it
+    never bound — the footprint of a misrouted interdomain channel.
+    Observed in the domain that received the stray upcalls (the
+    topology's observer by default)."""
+
+    name = "stray-event"
+
+    def __init__(self, threshold: int = 1):
+        self.threshold = threshold
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        from repro.errors import HypercallError
+
+        observer = bed.observer_domain
+        if observer.kernel is None:
+            return ViolationReport.none()
+        stray = []
+        for port in observer.kernel.events_received:
+            try:
+                bed.xen.events.channel(observer.id, port)
+            except HypercallError:
+                stray.append(port)
+        if len(stray) < self.threshold:
+            return ViolationReport.none()
+        return ViolationReport(
+            occurred=True,
+            kind="cross-domain signal misdelivery",
+            evidence=[
+                f"d{observer.id} ({observer.name}) received {len(stray)} "
+                f"notifications on unbound ports {sorted(set(stray))}"
+            ],
+            observed_in=observer.name,
+        )
+
+
+class RingTamperMonitor(Monitor):
+    """Peer-side detection of shared-ring tampering: the block backend
+    survived a malformed producer index (clamps) or returned error
+    responses, while the frontend's IO was corrupted.  Observed in the
+    backend's domain — the peer across the ring, not the attacker and
+    not the frontend."""
+
+    name = "ring-tamper"
+
+    def __init__(self, backend, frontend_id: int, io_failure: Optional[str] = None):
+        self.backend = backend
+        self.frontend_id = frontend_id
+        self.io_failure = io_failure
+
+    def observe(self, bed: "TestBed") -> ViolationReport:
+        connection = self.backend.connections.get(self.frontend_id)
+        if connection is None:
+            return ViolationReport.none()
+        tampered = connection.clamps > 0 or connection.errors_returned > 0
+        if not tampered and self.io_failure is None:
+            return ViolationReport.none()
+        backend_domain = self.backend.kernel.domain
+        evidence = [
+            f"d{backend_domain.id} ({backend_domain.name}) backend: "
+            f"{connection.clamps} clamps, "
+            f"{connection.errors_returned} error responses for "
+            f"d{self.frontend_id}"
+        ]
+        evidence.extend(
+            line for line in self.backend.log if "clamped" in line
+        )
+        if self.io_failure is not None:
+            evidence.append(f"frontend IO failed: {self.io_failure}")
+        return ViolationReport(
+            occurred=True,
+            kind="integrity violation (shared ring tampered)",
+            evidence=evidence,
+            observed_in=backend_domain.name,
+        )
 
 
 def recovery_violation(

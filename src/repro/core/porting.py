@@ -90,16 +90,17 @@ class XenSystemInjector(SystemInjector):
         }
 
     def _victim_paddr(self, word: int = 0) -> int:
-        return self.bed.dom0.pfn_to_mfn(4) * PAGE_SIZE + word * 8
+        return self.bed.victim_domain.pfn_to_mfn(4) * PAGE_SIZE + word * 8
 
     def _write_unauthorized(self, value: int = 0x4141) -> InductionOutcome:
-        """Corrupt a fixed victim structure (dom0 data page)."""
+        """Corrupt a fixed victim structure (the victim's data page —
+        dom0's in the paper topology)."""
         rc = self.injector.write_word(self._victim_paddr(), value, linear=False)
         return InductionOutcome(
             system=self.system_name,
             functionality=AF.WRITE_UNAUTHORIZED_MEMORY,
             erroneous_state=rc == 0,
-            detail=f"wrote {value:#x} into dom0 memory (rc={rc})",
+            detail=f"wrote {value:#x} into victim memory (rc={rc})",
         )
 
     def _read_unauthorized(self) -> InductionOutcome:

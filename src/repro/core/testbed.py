@@ -14,10 +14,11 @@ only parameter that varies across campaign runs is the Xen version.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.core.injector import install_injector
+from repro.core.topology import DEFAULT_TOPOLOGY, ScenarioTopology
 from repro.guest.kernel import GuestKernel
 from repro.net import Network
 from repro.xen.domain import Domain
@@ -54,11 +55,57 @@ class TestBed:
     network: Network
     attacker_host: str = ATTACKER_HOST
     attacker_port: int = ATTACKER_PORT
+    #: The scenario shape this testbed was booted for.  Role accessors
+    #: (:attr:`attacker_domain`, :attr:`victim_domain`,
+    #: :attr:`observer_domain`) resolve through it — never index
+    #: ``guests`` positionally (staticcheck R9).
+    topology: ScenarioTopology = field(default=DEFAULT_TOPOLOGY)
+
+    def domain_by_name(self, name: str) -> Domain:
+        """Resolve a topology domain name against the booted domains."""
+        for domain in self.all_domains():
+            if domain.name == name:
+                return domain
+        raise KeyError(
+            f"no domain named {name!r} in this testbed "
+            f"(topology: {self.topology.describe()})"
+        )
 
     @property
     def attacker_domain(self) -> Domain:
-        """The guest the adversary controls (``guest03``)."""
-        return self.guests[-1]
+        """The guest the adversary controls.
+
+        Deprecation shim for the pre-topology accessor: delegates to
+        ``topology.attacker`` (``guest03`` in the paper default)
+        instead of the historical hardwired last-guest index.
+        """
+        return self.domain_by_name(self.topology.attacker)
+
+    @property
+    def victim_domain(self) -> Domain:
+        """The domain whose state the erroneous state targets and
+        whose memory holds the secret canary (dom0 in the default)."""
+        return self.domain_by_name(self.topology.victim)
+
+    @property
+    def observer_domain(self) -> Domain:
+        """Where cross-domain monitors look by default."""
+        return self.domain_by_name(self.topology.observer)
+
+    @property
+    def victim_guest(self) -> Domain:
+        """The unprivileged guest that takes guest-directed abuse
+        (interrupt storms).  The victim itself when it is a guest,
+        otherwise the first guest that is not the attacker — which is
+        ``guests[0]`` in the paper default, preserving the historical
+        target of the storm extension."""
+        victim = self.victim_domain
+        if not victim.is_privileged:
+            return victim
+        for guest in self.guests:
+            if guest.name != self.topology.attacker:
+                return guest
+        return victim
 
     @property
     def probes(self):
@@ -88,8 +135,27 @@ def build_testbed(
     num_guests: int = 2,
     pages_per_domain: int = 48,
     machine_frames: int = 2048,
+    topology: Optional[ScenarioTopology] = None,
 ) -> TestBed:
-    """Boot a fresh, fully populated testbed."""
+    """Boot a fresh, fully populated testbed.
+
+    With no explicit ``topology`` the paper shape at ``num_guests`` is
+    assumed (adversary in the last guest, victim state in dom0) —
+    byte-identical to the pre-topology boot.  An explicit topology
+    overrides ``num_guests`` and decides which domain receives the
+    secret canary: the victim's kernel page 6 (dom0 keeps its copy
+    either way, since it remains the control domain holding
+    ``/root/root_msg``).
+    """
+    if topology is None:
+        topology = (
+            DEFAULT_TOPOLOGY
+            if num_guests == 2
+            else ScenarioTopology.paper_default(num_guests)
+        )
+    else:
+        num_guests = topology.num_guests
+
     machine = Machine(machine_frames)
     xen = Xen(version, machine)
     if enable_injector:
@@ -111,5 +177,12 @@ def build_testbed(
         GuestKernel(xen, guest).boot()
         guests.append(guest)
 
-    network = Network()
-    return TestBed(xen=xen, dom0=dom0, guests=guests, network=network)
+    bed = TestBed(
+        xen=xen, dom0=dom0, guests=guests, network=Network(), topology=topology
+    )
+    if topology.victim != "dom0":
+        victim = bed.victim_domain
+        machine.write_word(
+            victim.pfn_to_mfn(SECRET_PFN), SECRET_WORD, SECRET_CANARY
+        )
+    return bed

@@ -1,0 +1,230 @@
+"""Scenario topology: who attacks, who is attacked, who watches.
+
+The paper's testbed fixes one shape — the adversary drives the last
+unprivileged guest (``guest03``) and the interesting state lives in
+dom0.  That shape used to be hardwired in every layer; this module
+turns it into an explicit value object so campaigns can vary it:
+cross-domain scenarios inject erroneous state in one domU and observe
+the security violation in *another* ("Breaking Isolation"), and the
+harness-VM layout itself becomes a campaign parameter (NecoFuzz).
+
+A :class:`ScenarioTopology` is canonical-JSON-serializable and
+content-hashed, which makes it part of job identity: two campaigns
+over different topologies are different experiments with different
+job IDs, while the default (paper) topology hashes to the empty spec
+value so every pre-topology job ID, store fingerprint and trace byte
+is preserved.
+
+The only sanctioned way to reach positional guests is through the
+role accessors here and on ``TestBed`` — staticcheck rule R9 flags
+new direct ``guests[<index>]`` subscripts elsewhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Upper bound on unprivileged guests per testbed — keeps accidental
+#: plan typos ("guests": 5000) from booting absurd machines.
+MAX_GUESTS = 8
+
+#: Nesting tags reserved for the L0/L1 roadmap item.  ``None`` means
+#: a flat (single-level) testbed; ``"l1"`` will mark topologies whose
+#: hypervisor itself runs as a guest of an outer simulator.
+NESTING_TAGS = ("l1",)
+
+_FIELDS = ("num_guests", "attacker", "victim", "observer", "nesting")
+
+
+class TopologyError(ValueError):
+    """An invalid or unknown scenario-topology description."""
+
+
+def guest_name(index: int) -> str:
+    """Canonical name of the ``index``-th guest (guest02, guest03, ...)."""
+    return f"guest{index + 2:02d}"
+
+
+@dataclass(frozen=True)
+class ScenarioTopology:
+    """One testbed shape: domain count plus the three scenario roles.
+
+    Domains are identified by their canonical boot names (``dom0``,
+    ``guest02`` ... ``guest{N+1:02d}``); privileges follow from the
+    name — dom0 is the control domain, guests are unprivileged.  The
+    attacker must be a guest (the paper's threat model) and must
+    differ from the victim, whose memory holds the secret canary and
+    whose hypervisor-shared state the erroneous state targets.  The
+    observer names the domain where monitors look for cross-domain
+    observables by default.
+    """
+
+    num_guests: int = 2
+    attacker: str = "guest03"
+    victim: str = "dom0"
+    observer: str = "dom0"
+    nesting: Optional[str] = None
+
+    def __post_init__(self):
+        if not isinstance(self.num_guests, int) or isinstance(self.num_guests, bool):
+            raise TopologyError("num_guests must be an integer")
+        if not 1 <= self.num_guests <= MAX_GUESTS:
+            raise TopologyError(
+                f"num_guests must be between 1 and {MAX_GUESTS}, "
+                f"got {self.num_guests}"
+            )
+        names = self.domain_names
+        for role in ("attacker", "victim", "observer"):
+            value = getattr(self, role)
+            if not isinstance(value, str):
+                raise TopologyError(f"{role} must be a domain name string")
+            if value not in names:
+                raise TopologyError(
+                    f"{role} {value!r} is not one of this topology's "
+                    f"domains {list(names)}"
+                )
+        if self.attacker == "dom0":
+            raise TopologyError("the attacker must be an unprivileged guest")
+        if self.attacker == self.victim:
+            raise TopologyError("attacker and victim must be distinct domains")
+        if self.nesting is not None and self.nesting not in NESTING_TAGS:
+            raise TopologyError(
+                f"unknown nesting tag {self.nesting!r}; known: {NESTING_TAGS}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived shape
+    # ------------------------------------------------------------------
+
+    @property
+    def domain_names(self) -> Tuple[str, ...]:
+        return ("dom0", *(guest_name(i) for i in range(self.num_guests)))
+
+    @property
+    def privileges(self) -> Dict[str, bool]:
+        """Domain name → privileged? (dom0 is the only control domain)."""
+        return {name: name == "dom0" for name in self.domain_names}
+
+    def roles_of(self, name: str) -> Tuple[str, ...]:
+        """The scenario roles a domain plays (possibly several)."""
+        return tuple(
+            role
+            for role in ("attacker", "victim", "observer")
+            if getattr(self, role) == name
+        )
+
+    @classmethod
+    def paper_default(cls, num_guests: int = 2) -> "ScenarioTopology":
+        """The paper's shape at a given guest count: the adversary in
+        the last-booted guest, the victim state in dom0."""
+        if not isinstance(num_guests, int) or num_guests < 1:
+            raise TopologyError("num_guests must be a positive integer")
+        return cls(
+            num_guests=num_guests,
+            attacker=guest_name(num_guests - 1),
+            victim="dom0",
+            observer="dom0",
+        )
+
+    # ------------------------------------------------------------------
+    # Canonical serialization & identity
+    # ------------------------------------------------------------------
+
+    def canonical_dict(self) -> Dict[str, object]:
+        return {
+            "num_guests": self.num_guests,
+            "attacker": self.attacker,
+            "victim": self.victim,
+            "observer": self.observer,
+            "nesting": self.nesting,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @property
+    def topology_hash(self) -> str:
+        """Short content hash — the identity that folds into job IDs,
+        trace filenames and benchmark labels."""
+        return hashlib.sha1(self.canonical_json().encode()).hexdigest()[:12]
+
+    @property
+    def is_default(self) -> bool:
+        return self == DEFAULT_TOPOLOGY
+
+    def describe(self) -> str:
+        tag = f", nesting={self.nesting}" if self.nesting else ""
+        return (
+            f"{self.num_guests} guests, attacker={self.attacker}, "
+            f"victim={self.victim}, observer={self.observer}{tag}"
+        )
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioTopology":
+        """Build from a plan/JSON mapping, rejecting unknown fields.
+
+        The strictness is deliberate: a typoed ``"attakcer"`` silently
+        falling back to the default topology would run the wrong
+        experiment, so unknown keys raise :class:`TopologyError`
+        (which the service maps to a typed HTTP 400).
+        """
+        if not isinstance(data, Mapping):
+            raise TopologyError("topology must be a JSON object")
+        unknown = sorted(set(data) - set(_FIELDS))
+        if unknown:
+            raise TopologyError(
+                f"unknown topology field(s) {unknown}; known: {list(_FIELDS)}"
+            )
+        merged = dict(DEFAULT_TOPOLOGY.canonical_dict())
+        merged.update(data)
+        return cls(**merged)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioTopology":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TopologyError(f"topology is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # JobSpec encoding
+    # ------------------------------------------------------------------
+
+    def spec_value(self) -> str:
+        """The ``JobSpec.topology`` field encoding.
+
+        The default topology encodes as the empty string, which the
+        job-ID hash drops entirely — that is the compatibility rule
+        keeping every pre-topology job ID and resumable store valid.
+        """
+        return "" if self.is_default else self.canonical_json()
+
+    @classmethod
+    def from_spec_value(cls, value: str) -> "ScenarioTopology":
+        if not value:
+            return DEFAULT_TOPOLOGY
+        return cls.from_json(value)
+
+
+#: The paper's testbed shape (§VI-C): dom0 plus two unprivileged
+#: guests, the adversary driving ``guest03``, victim state in dom0.
+DEFAULT_TOPOLOGY = ScenarioTopology()
+
+#: The stock cross-domain shape used by ``repro campaign
+#: --cross-domain`` and the cross-domain benchmark: three guests,
+#: the attacker in the last one, erroneous state injected into
+#: ``guest02``'s hypervisor-shared structures, and the violation
+#: observed from ``guest03`` — inject-in-A, observe-in-B.
+CROSS_DOMAIN_TOPOLOGY = ScenarioTopology(
+    num_guests=3, attacker="guest04", victim="guest02", observer="guest03"
+)

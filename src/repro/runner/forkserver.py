@@ -140,7 +140,9 @@ def _lease_bed(campaign: Any, spec: JobSpec, attempt: int = 0) -> Any:
     """
     from repro.core.checkpoint import CheckpointDiverged, TestbedCheckpoint
 
-    key = spec.version
+    # One warm bed per (version, topology): a cached snapshot of the
+    # wrong scenario shape must never serve a trial.
+    key = f"{spec.version}|{spec.topology}" if spec.topology else spec.version
     entry = _CACHE.get(key)
     if entry is not None:
         if _RESTORE_CHAOS is not None:

@@ -78,6 +78,14 @@ class JobSpec:
     #: stores stay resumable, while a metrics campaign is its own
     #: experiment (its payloads carry an extra key).
     metrics: bool = False
+    #: Scenario topology as canonical JSON
+    #: (:meth:`repro.core.topology.ScenarioTopology.spec_value`); the
+    #: empty string is the paper default.  Same compatibility rule as
+    #: ``metrics``: part of the content hash only when non-default, so
+    #: every pre-topology job ID (and therefore every existing
+    #: resumable store) is preserved, while each distinct topology is
+    #: its own experiment with distinct IDs.
+    topology: str = ""
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -90,6 +98,8 @@ class JobSpec:
         fields.pop("trace_dir")  # artefact destination, not experiment identity
         if not fields["metrics"]:
             fields.pop("metrics")  # keep pre-metrics job IDs stable
+        if not fields["topology"]:
+            fields.pop("topology")  # keep pre-topology job IDs stable
         blob = json.dumps(fields, sort_keys=True).encode()
         return f"{self.kind}:{hashlib.sha1(blob).hexdigest()[:16]}"
 
@@ -125,8 +135,14 @@ def plan_campaign(
     recover: bool = False,
     trace_dir: Optional[str] = None,
     metrics: bool = False,
+    topology: str = "",
 ) -> List[JobSpec]:
-    """Expand a campaign matrix into jobs, in matrix iteration order."""
+    """Expand a campaign matrix into jobs, in matrix iteration order.
+
+    ``topology`` is a :class:`~repro.core.topology.ScenarioTopology`
+    spec value (canonical JSON; empty string = paper default) applied
+    to every cell of the matrix.
+    """
     return [
         JobSpec(
             kind=CAMPAIGN_RUN,
@@ -136,6 +152,7 @@ def plan_campaign(
             recover=recover,
             trace_dir=trace_dir,
             metrics=metrics,
+            topology=topology,
         )
         for u in use_cases
         for v in versions
@@ -235,12 +252,14 @@ def _execute_campaign_run(spec: JobSpec) -> Dict[str, object]:
     from repro.analysis.report import result_to_dict
     from repro.core.campaign import Campaign, Mode
     from repro.core.injections import resolve
+    from repro.core.topology import ScenarioTopology
     from repro.xen.versions import version_by_name
 
     result = Campaign(
         recover=spec.recover,
         trace_dir=spec.trace_dir,
         collect_metrics=spec.metrics,
+        topology=ScenarioTopology.from_spec_value(spec.topology),
     ).run(
         resolve(spec.use_case),
         version_by_name(spec.version),

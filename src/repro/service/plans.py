@@ -65,6 +65,22 @@ def _str_list(value: object, what: str) -> List[str]:
     return list(value)
 
 
+def _check_topology(value: object) -> str:
+    """Validate a plan's scenario topology; returns its spec value
+    (``""`` when omitted or explicitly the paper default)."""
+    if value is None:
+        return ""
+    if not isinstance(value, dict):
+        raise PlanError("topology must be a JSON object")
+    from repro.core.topology import ScenarioTopology, TopologyError
+
+    try:
+        topology = ScenarioTopology.from_dict(value)
+    except TopologyError as exc:
+        raise PlanError(f"invalid topology: {exc}") from exc
+    return topology.spec_value()
+
+
 def canonical_plan(plan: Dict[str, object]) -> Dict[str, object]:
     """Validate a plan document and materialize its defaults."""
     if not isinstance(plan, dict):
@@ -86,7 +102,7 @@ def canonical_plan(plan: Dict[str, object]) -> Dict[str, object]:
         for mode in modes:
             if mode not in ("exploit", "injection"):
                 raise PlanError(f"unknown campaign mode {mode!r}")
-        return {
+        canonical: Dict[str, object] = {
             "kind": "campaign",
             "use_cases": use_cases,
             "versions": _check_versions(plan.get("versions", _all_version_names())),
@@ -95,6 +111,14 @@ def canonical_plan(plan: Dict[str, object]) -> Dict[str, object]:
             "metrics": bool(plan.get("metrics", False)),
             "trace": bool(plan.get("trace", False)),
         }
+        topology = _check_topology(plan.get("topology"))
+        if topology:
+            # Only non-default shapes enter the canonical plan: an
+            # explicitly spelled-out default is the same campaign as an
+            # omitted one (same campaign ID, same job IDs as every
+            # pre-topology submission).
+            canonical["topology"] = json.loads(topology)
+        return canonical
 
     if kind == "fuzz":
         from repro.core.fuzz import default_components
@@ -172,6 +196,7 @@ def expand_plan(
     """
     kind = canonical["kind"]
     if kind == "campaign":
+        topology = canonical.get("topology")
         return plan_campaign(
             canonical["use_cases"],  # type: ignore[arg-type]
             canonical["versions"],  # type: ignore[arg-type]
@@ -179,6 +204,11 @@ def expand_plan(
             recover=bool(canonical["recover"]),
             trace_dir=trace_dir if canonical.get("trace") else None,
             metrics=bool(canonical["metrics"]),
+            topology=(
+                json.dumps(topology, sort_keys=True, separators=(",", ":"))
+                if topology
+                else ""
+            ),
         )
     if kind == "fuzz":
         return plan_fuzz(

@@ -97,6 +97,7 @@ def _load_rules() -> None:
         refcount,
         taintsink,
         toctou,
+        topologyindexing,
         versiongate,
     )
 

@@ -1,0 +1,86 @@
+"""R9 — scenario roles, not positional guest indexing.
+
+Before :mod:`repro.core.topology` existed, the single-attacker/
+dom0-victim assumption hid in positional subscripts: ``bed.guests[-1]``
+*was* the attacker, ``guests[0]`` the victim's stand-in.  Those sites
+silently break the moment a campaign varies the topology — the code
+still runs, but against the wrong domain.  The refactor replaced every
+one with a role accessor (``bed.attacker_domain``, ``victim_domain``,
+``observer_domain``, ``victim_guest``, ``domain_by_name``), and this
+rule keeps the positional idiom from creeping back:
+
+* any **constant subscript** of a ``guests`` attribute or name —
+  ``bed.guests[0]``, ``self.guests[-1]`` — is flagged; iteration
+  (``for guest in bed.guests``) and dynamic indexing stay legal, since
+  walking all guests is topology-honest.
+
+Scope: everything under ``repro/`` except ``repro/core/topology.py``
+and ``repro/core/testbed.py``, which define the sanctioned accessors
+(the testbed's own properties must index somewhere).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import RuleContext, rule
+
+_HINT = (
+    "resolve the domain through its scenario role instead: "
+    "bed.attacker_domain / bed.victim_domain / bed.observer_domain / "
+    "bed.victim_guest, or bed.domain_by_name(...) for an explicit name "
+    "(see repro.core.topology)"
+)
+
+
+def _is_guests(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr == "guests"
+    return isinstance(node, ast.Name) and node.id == "guests"
+
+
+def _constant_index(node: ast.expr) -> bool:
+    """A literal (possibly negative) integer subscript."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, int) and not isinstance(node.value, bool)
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, int)
+    )
+
+
+@rule(
+    "R9",
+    "topology-indexing",
+    "no positional guests[<const>] indexing outside the topology/"
+    "testbed accessors — domains are reached through scenario roles",
+)
+def check_topology_indexing(ctx: RuleContext) -> List[Finding]:
+    """R9: flag constant subscripts of guest lists."""
+    if not ctx.in_tree("repro/"):
+        return []
+    if ctx.is_file("repro/core/topology.py") or ctx.is_file(
+        "repro/core/testbed.py"
+    ):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Subscript)
+            and _is_guests(node.value)
+            and _constant_index(node.slice)
+        ):
+            findings.append(
+                ctx.finding(
+                    "R9",
+                    node,
+                    "positional guest indexing `guests[<const>]` bakes "
+                    "one scenario topology into the code",
+                    hint=_HINT,
+                )
+            )
+    return findings

@@ -163,18 +163,27 @@ class TraceWriter:
         mode: str,
         recover: bool,
         initial_digest: str,
+        topology: Optional[str] = None,
     ) -> None:
-        self._write(
-            {
-                "kind": "header",
-                "format": TRACE_FORMAT,
-                "use_case": use_case,
-                "version": version,
-                "mode": mode,
-                "recover": recover,
-                "initial": initial_digest,
-            }
-        )
+        """Write the trial-coordinates record.
+
+        ``topology`` is the canonical JSON of a non-default scenario
+        topology; the key is omitted entirely for the paper default so
+        default-topology traces stay byte-identical to format-1 files
+        recorded before topologies existed.
+        """
+        record = {
+            "kind": "header",
+            "format": TRACE_FORMAT,
+            "use_case": use_case,
+            "version": version,
+            "mode": mode,
+            "recover": recover,
+            "initial": initial_digest,
+        }
+        if topology:
+            record["topology"] = topology
+        self._write(record)
 
     def write_op(
         self,
@@ -300,9 +309,23 @@ def read_trace(path: str) -> TraceData:
     return TraceData(path=path, header=header, ops=ops, end=end, torn=torn)
 
 
-def trace_filename(use_case: str, version: str, mode: str, recover: bool = False) -> str:
-    """The deterministic artefact name for one campaign cell's trace."""
+def trace_filename(
+    use_case: str,
+    version: str,
+    mode: str,
+    recover: bool = False,
+    topology=None,
+) -> str:
+    """The deterministic artefact name for one campaign cell's trace.
+
+    A non-default :class:`~repro.core.topology.ScenarioTopology` adds
+    its content hash to the stem, so the same cell run under two
+    topologies into one ``trace_dir`` never collides; the default
+    topology keeps the historical name.
+    """
     stem = f"{use_case}_{version}_{mode}" + ("_recover" if recover else "")
+    if topology is not None and not topology.is_default:
+        stem += f"_t{topology.topology_hash}"
     return stem.replace("/", "-").replace(" ", "-") + ".trace"
 
 

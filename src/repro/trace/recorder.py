@@ -129,6 +129,7 @@ class TraceRecorder:
         version: str = "",
         mode: str = "",
         recover: bool = False,
+        topology=None,
     ):
         self.bed = bed
         self.path = path
@@ -136,6 +137,9 @@ class TraceRecorder:
         self.version = version or bed.xen.version.name
         self.mode = mode
         self.recover = recover
+        #: Scenario topology recorded in the header; defaults to the
+        #: bed's own (``None`` → take it from the testbed).
+        self.topology = topology if topology is not None else bed.topology
         self.writer: Optional[TraceWriter] = None
         self.ops_recorded = 0
         self.final_digest: Optional[str] = None
@@ -171,6 +175,11 @@ class TraceRecorder:
                 mode=self.mode,
                 recover=self.recover,
                 initial_digest=machine_digest(self.bed.xen.machine),
+                topology=(
+                    None
+                    if self.topology.is_default
+                    else self.topology.canonical_json()
+                ),
             )
             self._attachment = self.bed.xen.probes.attach(
                 [

@@ -153,7 +153,18 @@ class TraceReplayer:
                 f"trace {self.trace.path!r} was recorded on Xen "
                 f"{header.get('version')!r}, which this build does not ship: {exc}"
             ) from None
-        bed = self.testbed_factory(version)
+        topology_json = header.get("topology", "")
+        if topology_json and self.testbed_factory is build_testbed:
+            # Cross-domain recordings carry their scenario shape in the
+            # header; replay must boot the same shape or the initial
+            # digest check would reject a perfectly good trace.
+            from repro.core.topology import ScenarioTopology
+
+            bed = build_testbed(
+                version, topology=ScenarioTopology.from_json(topology_json)
+            )
+        else:
+            bed = self.testbed_factory(version)
         use_case_name = header.get("use_case", "")
         if use_case_name:
             # Registry lookup covers real XSAs and synthetic corpus ids

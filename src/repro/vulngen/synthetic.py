@@ -125,7 +125,8 @@ class SyntheticUseCase(UseCase, register=False):
         if spec.vuln_class is VulnClass.REFCOUNT_IMBALANCE:
             # The consequence of the imbalance: a writable alias of the
             # live page-table frame, parked in a victim L1 slot.
-            alias_slot_frame = bed.dom0.pfn_to_mfn(bed.dom0.kernel.l1_pfns[0])
+            victim = bed.victim_domain
+            alias_slot_frame = victim.pfn_to_mfn(victim.kernel.l1_pfns[0])
             alias = make_pte(mfn, PTE_PRESENT | PTE_RW)
             return [(alias_slot_frame, spec.word, alias)]
         return [(mfn, spec.word, spec.value)]
@@ -240,7 +241,7 @@ class SyntheticUseCase(UseCase, register=False):
             idt = IdtIntegrityMonitor().observe(bed)
             if idt.occurred:
                 return idt
-        victim_frames = {m for m in bed.dom0.p2m if m is not None}
+        victim_frames = {m for m in bed.victim_domain.p2m if m is not None}
         corrupted = [
             (m, w, v)
             for m, w, v in self.writes

@@ -37,9 +37,9 @@ def rule_ids(result: CheckResult):
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert set(RULE_REGISTRY) == {
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
         }
 
     def test_unknown_rule_rejected(self):
@@ -506,6 +506,67 @@ class TestInstancePatching:
         assert len(result.waived) == 1
 
 
+class TestTopologyIndexing:
+    """R9: domains are reached through scenario roles, never by
+    positional ``guests[<const>]`` subscripts."""
+
+    def test_constant_index_caught(self):
+        result = check(
+            """
+            def attack(bed):
+                return bed.guests[0].kernel
+            """,
+            CORE_PATH,
+        )
+        assert rule_ids(result) == ["R9"]
+        assert "guests[<const>]" in result.findings[0].message
+        assert "attacker_domain" in result.findings[0].hint
+
+    def test_negative_index_caught(self):
+        result = check(
+            """
+            def attacker(self):
+                return self.guests[-1]
+            """,
+            CORE_PATH,
+        )
+        assert rule_ids(result) == ["R9"]
+
+    def test_iteration_and_dynamic_index_are_clean(self):
+        result = check(
+            """
+            def scan(bed, i):
+                for guest in bed.guests:
+                    audit(guest)
+                return bed.guests[i]
+            """,
+            CORE_PATH,
+        )
+        assert result.findings == []
+
+    def test_sanctioned_accessor_files_exempt(self):
+        source = """
+        def attacker_domain(self):
+            return self.guests[-1]
+        """
+        for path in (
+            "src/repro/core/topology.py",
+            "src/repro/core/testbed.py",
+        ):
+            assert check(source, path).findings == []
+
+    def test_unrelated_subscripts_are_clean(self):
+        result = check(
+            """
+            def pick(frames, guests):
+                first = frames[0]
+                return guests[compute()], first
+            """,
+            CORE_PATH,
+        )
+        assert result.findings == []
+
+
 class TestWaivers:
     def test_parse_both_forms(self):
         waivers = parse_waivers(
@@ -646,7 +707,7 @@ class TestCli:
         )
 
     def test_unknown_rule_is_usage_error(self, capsys):
-        assert cli_main(["staticcheck", "src", "--rules", "R9"]) == 2
+        assert cli_main(["staticcheck", "src", "--rules", "R42"]) == 2
 
 
 class TestRepositoryIsClean:
